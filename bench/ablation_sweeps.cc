@@ -1,0 +1,130 @@
+// Ablations of the design choices DESIGN.md §6 calls out:
+//   1. RGB histogram bin count (the paper leaves it unspecified);
+//   2. hybrid alpha/beta weights (paper tried (1,1) and (0.3,0.7));
+//   3. ratio-test threshold for the descriptor pipelines (0.5 vs 0.75);
+//   4. brute-force vs k-d tree matching (the paper's FLANN comparison);
+//   5. masked vs unmasked colour histograms.
+// All sweeps run on the controlled SNS2 -> SNS1 configuration.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/descriptor_classifier.h"
+#include "util/table.h"
+
+namespace snor {
+namespace {
+
+EvalReport RunHybrid(ExperimentContext& ctx, double alpha, double beta,
+                     int hist_bins, bool mask) {
+  FeatureOptions fo;
+  fo.hist_bins = hist_bins;
+  fo.mask_histogram = mask;
+  fo.preprocess.white_background = true;
+  const auto inputs = ComputeFeatures(ctx.Sns2(), fo);
+  const auto gallery = ComputeFeatures(ctx.Sns1(), fo);
+  HybridClassifier classifier(gallery, ShapeMatchMethod::kI3,
+                              HistCompareMethod::kHellinger, alpha, beta,
+                              HybridStrategy::kWeightedSum);
+  return Evaluate(TruthLabels(inputs),
+                  classifier.ClassifyAll(inputs));
+}
+
+void SweepHistogramBins(ExperimentContext& ctx) {
+  std::printf("\n[1] Histogram bin count (hybrid L3+Hellinger, 0.3/0.7):\n");
+  TablePrinter table({"Bins/channel", "Cumulative accuracy"});
+  for (int bins : {2, 4, 8, 16, 32}) {
+    const EvalReport r = RunHybrid(ctx, 0.3, 0.7, bins, false);
+    table.AddRow({std::to_string(bins),
+                  StrFormat("%.3f", r.cumulative_accuracy)});
+  }
+  table.Print(std::cout);
+}
+
+void SweepHybridWeights(ExperimentContext& ctx) {
+  std::printf("\n[2] Hybrid weights alpha/beta (8 bins):\n");
+  TablePrinter table({"alpha", "beta", "Cumulative accuracy"});
+  const double weights[][2] = {{1.0, 0.0}, {0.7, 0.3}, {0.5, 0.5},
+                               {0.3, 0.7}, {0.1, 0.9}, {0.0, 1.0},
+                               {1.0, 1.0}};
+  for (const auto& w : weights) {
+    const EvalReport r = RunHybrid(ctx, w[0], w[1], 8, false);
+    table.AddRow({StrFormat("%.1f", w[0]), StrFormat("%.1f", w[1]),
+                  StrFormat("%.3f", r.cumulative_accuracy)});
+  }
+  table.Print(std::cout);
+}
+
+void SweepRatioThreshold(ExperimentContext& ctx) {
+  std::printf("\n[3] Ratio-test threshold (SIFT, SNS1 v. SNS2):\n");
+  std::vector<ObjectClass> truth;
+  for (const auto& item : ctx.Sns1().items) truth.push_back(item.label);
+  TablePrinter table({"Ratio", "Cumulative accuracy"});
+  for (float ratio : {0.4f, 0.5f, 0.6f, 0.75f, 0.9f}) {
+    DescriptorClassifierOptions opts;
+    opts.type = DescriptorType::kSift;
+    opts.ratio = ratio;
+    opts.sift.max_features = 150;
+    DescriptorClassifier classifier(ctx.Sns2(), opts);
+    const EvalReport r =
+        Evaluate(truth, classifier.ClassifyAll(ctx.Sns1()));
+    table.AddRow({StrFormat("%.2f", ratio),
+                  StrFormat("%.3f", r.cumulative_accuracy)});
+  }
+  table.Print(std::cout);
+}
+
+void SweepMatcherBackend(ExperimentContext& ctx) {
+  std::printf(
+      "\n[4] Brute force vs k-d tree (SIFT, accuracy + wall clock):\n");
+  std::vector<ObjectClass> truth;
+  for (const auto& item : ctx.Sns1().items) truth.push_back(item.label);
+  TablePrinter table({"Backend", "Cumulative accuracy", "Classify time"});
+  for (bool use_kdtree : {false, true}) {
+    DescriptorClassifierOptions opts;
+    opts.type = DescriptorType::kSift;
+    opts.ratio = 0.5f;
+    opts.sift.max_features = 150;
+    opts.use_kdtree = use_kdtree;
+    DescriptorClassifier classifier(ctx.Sns2(), opts);
+    Stopwatch sw;
+    const EvalReport r =
+        Evaluate(truth, classifier.ClassifyAll(ctx.Sns1()));
+    table.AddRow({use_kdtree ? "k-d tree (FLANN stand-in)" : "brute force",
+                  StrFormat("%.3f", r.cumulative_accuracy),
+                  StrFormat("%.1fs", sw.ElapsedSeconds())});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "(The paper reports FLANN gave no gains at this gallery size.)\n");
+}
+
+void SweepHistogramMasking(ExperimentContext& ctx) {
+  std::printf("\n[5] Histogram over whole crop vs object-only mask:\n");
+  TablePrinter table({"Histogram support", "Cumulative accuracy"});
+  for (bool mask : {false, true}) {
+    const EvalReport r = RunHybrid(ctx, 0.3, 0.7, 8, mask);
+    table.AddRow({mask ? "object-only (masked)" : "whole crop (paper)",
+                  StrFormat("%.3f", r.cumulative_accuracy)});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace snor
+
+int main() {
+  using namespace snor;
+  bench::PrintHeader("Ablations", "design-choice sweeps (SNS2 v. SNS1)");
+  Stopwatch sw;
+  ExperimentConfig config = bench::DefaultConfig();
+  config.nyu_fraction = 0.01;  // NYU not used here.
+  ExperimentContext context(config);
+  SweepHistogramBins(context);
+  SweepHybridWeights(context);
+  SweepRatioThreshold(context);
+  SweepMatcherBackend(context);
+  SweepHistogramMasking(context);
+  bench::PrintElapsed(sw);
+  return 0;
+}

@@ -1,0 +1,79 @@
+#ifndef SNOR_BENCH_BENCH_UTIL_H_
+#define SNOR_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace snor::bench {
+
+/// True when the SNOR_QUICK environment variable is set (non-empty, not
+/// "0"): table benches then run on subsampled data for fast iteration.
+/// The default (unset) reproduces the paper-scale configuration.
+inline bool QuickMode() {
+  const char* env = std::getenv("SNOR_QUICK");
+  return env != nullptr && env[0] != '\0' && std::string(env) != "0";
+}
+
+/// Experiment configuration honouring SNOR_QUICK.
+inline ExperimentConfig DefaultConfig() {
+  ExperimentConfig config;
+  config.canvas_size = 96;
+  config.nyu_fraction = QuickMode() ? 0.05 : 1.0;
+  return config;
+}
+
+/// Prints a standard header naming the table being reproduced.
+inline void PrintHeader(const char* table_name, const char* description) {
+  std::printf("=======================================================\n");
+  std::printf("%s — %s\n", table_name, description);
+  std::printf("Mode: %s\n",
+              QuickMode() ? "QUICK (SNOR_QUICK set; subsampled data)"
+                          : "paper scale");
+  std::printf("=======================================================\n");
+}
+
+/// Prints elapsed wall-clock at the end of a reproduction run.
+inline void PrintElapsed(const Stopwatch& sw) {
+  std::printf("[elapsed: %.1fs]\n\n", sw.ElapsedSeconds());
+}
+
+/// Appends the four class-wise metric rows (Accuracy, Precision, Recall,
+/// F1) of one approach to a table, using the paper's reporting convention
+/// (accuracy = per-class recall; precision = TP / total samples).
+inline void AddClasswiseRows(TablePrinter& table, const std::string& name,
+                             const EvalReport& report, int precision = 5) {
+  auto row = [&](const char* metric, auto getter) {
+    std::vector<std::string> cells = {name + " " + metric};
+    for (int c = 0; c < kNumClasses; ++c) {
+      cells.push_back(StrFormat(
+          "%.*f", precision,
+          getter(report.per_class[static_cast<std::size_t>(c)])));
+    }
+    table.AddRow(std::move(cells));
+  };
+  row("Accuracy", [](const ClassMetrics& m) { return m.recall; });
+  row("Precision",
+      [](const ClassMetrics& m) { return m.precision_paper; });
+  row("Recall", [](const ClassMetrics& m) { return m.recall; });
+  row("F1", [](const ClassMetrics& m) { return m.f1_paper; });
+}
+
+/// Header row for class-wise tables: "Approach/Measure" + 10 class names.
+inline std::vector<std::string> ClasswiseHeader() {
+  std::vector<std::string> header = {"Approach / Measure"};
+  for (ObjectClass cls : AllClasses()) {
+    header.emplace_back(ObjectClassName(cls));
+  }
+  return header;
+}
+
+}  // namespace snor::bench
+
+#endif  // SNOR_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,223 @@
+// google-benchmark micro-benchmarks of the hot kernels that bound the
+// on-board (mobile robot) runtime the paper's motivation hinges on.
+
+#include <benchmark/benchmark.h>
+
+#include "core/preprocess.h"
+#include "data/renderer.h"
+#include "features/fast.h"
+#include "img/color.h"
+#include "features/histogram.h"
+#include "features/hog.h"
+#include "features/kmeans.h"
+#include "features/matcher.h"
+#include "features/orb.h"
+#include "features/sift.h"
+#include "features/surf.h"
+#include "geometry/fourier.h"
+#include "geometry/moments.h"
+#include "nn/layers.h"
+#include "nn/xcorr.h"
+#include "util/rng.h"
+
+namespace snor {
+namespace {
+
+ImageU8 BenchView(int size) {
+  RenderOptions ro;
+  ro.canvas_size = size;
+  ro.white_background = false;
+  ro.noise_stddev = 6.0;
+  ro.nuisance_seed = 1;
+  return RenderObjectView(ObjectClass::kChair, 0, ro);
+}
+
+void BM_Preprocess(benchmark::State& state) {
+  const ImageU8 img = BenchView(static_cast<int>(state.range(0)));
+  PreprocessOptions opts;
+  opts.white_background = false;
+  for (auto _ : state) {
+    auto result = Preprocess(img, opts);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_Preprocess)->Arg(64)->Arg(96)->Arg(128);
+
+void BM_HuMoments(benchmark::State& state) {
+  const ImageU8 img = BenchView(96);
+  PreprocessOptions opts;
+  opts.white_background = false;
+  const Contour contour = Preprocess(img, opts)->contour;
+  for (auto _ : state) {
+    auto hu = ComputeHuMoments(ContourMoments(contour));
+    benchmark::DoNotOptimize(hu);
+  }
+}
+BENCHMARK(BM_HuMoments);
+
+void BM_MatchShapes(benchmark::State& state) {
+  const ImageU8 a = BenchView(96);
+  RenderOptions ro;
+  ro.canvas_size = 96;
+  const ImageU8 b = RenderObjectView(ObjectClass::kSofa, 1, ro);
+  PreprocessOptions po;
+  po.white_background = false;
+  const HuMoments ha = Preprocess(a, po)->hu;
+  const HuMoments hb = Preprocess(b, PreprocessOptions{})->hu;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatchShapes(ha, hb, ShapeMatchMethod::kI3));
+  }
+}
+BENCHMARK(BM_MatchShapes);
+
+void BM_HistogramCompute(benchmark::State& state) {
+  const ImageU8 img = BenchView(96);
+  const int bins = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto h = ColorHistogram::Compute(img, nullptr, bins);
+    benchmark::DoNotOptimize(h);
+  }
+}
+BENCHMARK(BM_HistogramCompute)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_HistogramCompare(benchmark::State& state) {
+  const ImageU8 a = BenchView(96);
+  RenderOptions ro;
+  ro.canvas_size = 96;
+  const ImageU8 b = RenderObjectView(ObjectClass::kBottle, 2, ro);
+  auto ha = ColorHistogram::Compute(a);
+  auto hb = ColorHistogram::Compute(b);
+  ha.NormalizeL1();
+  hb.NormalizeL1();
+  const auto method = static_cast<HistCompareMethod>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CompareHistograms(ha, hb, method));
+  }
+}
+BENCHMARK(BM_HistogramCompare)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_Fast(benchmark::State& state) {
+  const ImageU8 img = RgbToGray(BenchView(96));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DetectFast(img));
+  }
+}
+BENCHMARK(BM_Fast);
+
+void BM_Orb(benchmark::State& state) {
+  const ImageU8 img = BenchView(96);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExtractOrb(img));
+  }
+}
+BENCHMARK(BM_Orb);
+
+void BM_Sift(benchmark::State& state) {
+  const ImageU8 img = BenchView(96);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExtractSift(img));
+  }
+}
+BENCHMARK(BM_Sift);
+
+void BM_Surf(benchmark::State& state) {
+  const ImageU8 img = BenchView(96);
+  SurfOptions opts;
+  opts.hessian_threshold = 100.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExtractSurf(img, opts));
+  }
+}
+BENCHMARK(BM_Surf);
+
+std::vector<FloatDescriptor> RandomDescriptors(int n, int dim,
+                                               std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<FloatDescriptor> out(static_cast<std::size_t>(n));
+  for (auto& d : out) {
+    d.resize(static_cast<std::size_t>(dim));
+    for (auto& v : d) v = static_cast<float>(rng.Normal());
+  }
+  return out;
+}
+
+void BM_BruteForceKnn(benchmark::State& state) {
+  const auto query = RandomDescriptors(100, 128, 1);
+  const auto train =
+      RandomDescriptors(static_cast<int>(state.range(0)), 128, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KnnMatchBruteForce(query, train, 2));
+  }
+}
+BENCHMARK(BM_BruteForceKnn)->Arg(100)->Arg(500);
+
+void BM_Conv2DForward(benchmark::State& state) {
+  Rng rng(3);
+  Conv2D conv(8, 12, 5, 1, 2, rng);
+  Tensor input({4, 8, 16, 16});
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<float>(rng.Normal());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(input, false));
+  }
+}
+BENCHMARK(BM_Conv2DForward);
+
+void BM_Hog(benchmark::State& state) {
+  const ImageU8 img = BenchView(96);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeHog(img));
+  }
+}
+BENCHMARK(BM_Hog);
+
+void BM_FourierDescriptors(benchmark::State& state) {
+  const ImageU8 img = BenchView(96);
+  PreprocessOptions opts;
+  opts.white_background = false;
+  const Contour contour = Preprocess(img, opts)->contour;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FourierDescriptors(contour, 16));
+  }
+}
+BENCHMARK(BM_FourierDescriptors);
+
+void BM_RgbToHsv(benchmark::State& state) {
+  const ImageU8 img = BenchView(96);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RgbToHsv(img));
+  }
+}
+BENCHMARK(BM_RgbToHsv);
+
+void BM_KMeansVocabulary(benchmark::State& state) {
+  Rng rng(9);
+  const auto points = RandomDescriptors(400, 64, 5);
+  KMeansOptions opts;
+  opts.k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KMeansCluster(points, opts));
+  }
+}
+BENCHMARK(BM_KMeansVocabulary)->Arg(16)->Arg(64);
+
+void BM_NormXCorrForward(benchmark::State& state) {
+  NormXCorrLayer xcorr(3, 2, 2);
+  Rng rng(4);
+  Tensor a({1, 12, 8, 8});
+  Tensor b({1, 12, 8, 8});
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<float>(rng.Normal());
+    b[i] = static_cast<float>(rng.Normal());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xcorr.Forward(a, b));
+  }
+}
+BENCHMARK(BM_NormXCorrForward);
+
+}  // namespace
+}  // namespace snor
+
+BENCHMARK_MAIN();

@@ -1,0 +1,125 @@
+// End-to-end per-image classification latency of every pipeline — the
+// number that decides on-board feasibility for a mobile robot (§2).
+
+#include <benchmark/benchmark.h>
+
+#include "core/classifiers.h"
+#include "core/descriptor_classifier.h"
+#include "core/experiment.h"
+#include "data/renderer.h"
+
+namespace snor {
+namespace {
+
+ExperimentContext& Context() {
+  static ExperimentContext& ctx = *new ExperimentContext([] {
+    ExperimentConfig config;
+    config.canvas_size = 96;
+    config.nyu_fraction = 0.01;
+    return config;
+  }());
+  return ctx;
+}
+
+ImageU8 ProbeImage() {
+  RenderOptions ro;
+  ro.canvas_size = 96;
+  ro.white_background = false;
+  ro.noise_stddev = 7.0;
+  ro.nuisance_seed = 9;
+  return RenderObjectView(ObjectClass::kTable, 7, ro);
+}
+
+ImageFeatures ProbeFeatures() {
+  Dataset probe;
+  probe.items.push_back(
+      LabeledImage{ProbeImage(), ObjectClass::kTable, 7, 0});
+  FeatureOptions fo;
+  fo.preprocess.white_background = false;
+  return ComputeFeatures(probe, fo)[0];
+}
+
+// Feature extraction + gallery matching, per pipeline. The gallery is the
+// 82-view SNS1, as in the paper.
+
+void BM_EndToEnd_Shape(benchmark::State& state) {
+  ShapeOnlyClassifier classifier(Context().Sns1Features(),
+                                 ShapeMatchMethod::kI3);
+  const ImageU8 img = ProbeImage();
+  Dataset probe;
+  probe.items.push_back(LabeledImage{img, ObjectClass::kTable, 7, 0});
+  FeatureOptions fo;
+  fo.preprocess.white_background = false;
+  for (auto _ : state) {
+    const auto features = ComputeFeatures(probe, fo);
+    benchmark::DoNotOptimize(classifier.Classify(features[0]));
+  }
+}
+BENCHMARK(BM_EndToEnd_Shape);
+
+void BM_EndToEnd_Color(benchmark::State& state) {
+  ColorOnlyClassifier classifier(Context().Sns1Features(),
+                                 HistCompareMethod::kHellinger);
+  const ImageU8 img = ProbeImage();
+  Dataset probe;
+  probe.items.push_back(LabeledImage{img, ObjectClass::kTable, 7, 0});
+  FeatureOptions fo;
+  fo.preprocess.white_background = false;
+  for (auto _ : state) {
+    const auto features = ComputeFeatures(probe, fo);
+    benchmark::DoNotOptimize(classifier.Classify(features[0]));
+  }
+}
+BENCHMARK(BM_EndToEnd_Color);
+
+void BM_EndToEnd_Hybrid(benchmark::State& state) {
+  HybridClassifier classifier(Context().Sns1Features(),
+                              ShapeMatchMethod::kI3,
+                              HistCompareMethod::kHellinger, 0.3, 0.7,
+                              HybridStrategy::kWeightedSum);
+  const ImageU8 img = ProbeImage();
+  Dataset probe;
+  probe.items.push_back(LabeledImage{img, ObjectClass::kTable, 7, 0});
+  FeatureOptions fo;
+  fo.preprocess.white_background = false;
+  for (auto _ : state) {
+    const auto features = ComputeFeatures(probe, fo);
+    benchmark::DoNotOptimize(classifier.Classify(features[0]));
+  }
+}
+BENCHMARK(BM_EndToEnd_Hybrid);
+
+void BM_EndToEnd_MatchOnly(benchmark::State& state) {
+  // Gallery matching alone (features precomputed): the robot's steady
+  // state when features come from a tracked detection.
+  HybridClassifier classifier(Context().Sns1Features(),
+                              ShapeMatchMethod::kI3,
+                              HistCompareMethod::kHellinger, 0.3, 0.7,
+                              HybridStrategy::kWeightedSum);
+  const ImageFeatures features = ProbeFeatures();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classifier.Classify(features));
+  }
+}
+BENCHMARK(BM_EndToEnd_MatchOnly);
+
+void BM_EndToEnd_Descriptor(benchmark::State& state) {
+  DescriptorClassifierOptions opts;
+  opts.type = static_cast<DescriptorType>(state.range(0));
+  opts.ratio = 0.5f;
+  opts.sift.max_features = 150;
+  opts.surf.hessian_threshold = 100.0;
+  opts.surf.max_features = 150;
+  static const Dataset& gallery = Context().Sns1();
+  DescriptorClassifier classifier(gallery, opts);
+  const ImageU8 img = ProbeImage();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classifier.Classify(img));
+  }
+}
+BENCHMARK(BM_EndToEnd_Descriptor)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+}  // namespace snor
+
+BENCHMARK_MAIN();

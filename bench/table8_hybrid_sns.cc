@@ -1,0 +1,34 @@
+// Reproduces Table 8: same hybrid configurations as Table 7, but matching
+// ShapeNetSet2 inputs against the ShapeNetSet1 gallery (the controlled
+// all-ShapeNet setting).
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "util/table.h"
+
+int main() {
+  using namespace snor;
+  bench::PrintHeader("Table 8",
+                     "Class-wise results, hybrid matching (SNS2 v. SNS1)");
+  Stopwatch sw;
+
+  ExperimentContext context(bench::DefaultConfig());
+  const auto& inputs = context.Sns2Features();
+  const auto& gallery = context.Sns1Features();
+
+  TablePrinter table(bench::ClasswiseHeader());
+  const auto specs = Table2Approaches();
+  for (std::size_t i = 8; i < 11; ++i) {
+    const EvalReport report = context.RunApproach(specs[i], inputs, gallery);
+    bench::AddClasswiseRows(table, specs[i].DisplayName(), report, 2);
+  }
+  table.Print(std::cout);
+  std::printf(
+      "Shape expectations (paper Table 8): overall accuracy is higher\n"
+      "than Table 7 (all models are ShapeNet), but recognition stays\n"
+      "unbalanced — some classes are still never recognised, showing the\n"
+      "imbalance is not caused by NYU segmentation noise alone.\n");
+  bench::PrintElapsed(sw);
+  return 0;
+}

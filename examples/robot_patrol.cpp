@@ -1,0 +1,79 @@
+// Robot patrol: the semantic-mapping scenario that motivates the paper
+// (health & safety monitoring, obstacle inventory). A simulated robot
+// sweeps a corridor; each frame contains several segmented objects on a
+// dark background. The pipeline segments every frame into object regions
+// (`SegmentFrame`), classifies each region against the ShapeNet gallery,
+// and accumulates a task-agnostic inventory.
+//
+// Run: ./build/examples/robot_patrol
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/classifiers.h"
+#include "core/experiment.h"
+#include "core/segmentation.h"
+#include "data/scene.h"
+#include "util/table.h"
+
+int main() {
+  using namespace snor;
+
+  // Reference gallery + classifier (hybrid, paper's best configuration).
+  ExperimentConfig config;
+  config.nyu_fraction = 0.01;
+  ExperimentContext context(config);
+  HybridClassifier classifier(context.Sns1Features(), ShapeMatchMethod::kI3,
+                              HistCompareMethod::kHellinger, 0.3, 0.7,
+                              HybridStrategy::kWeightedSum);
+
+  std::map<std::string, int> inventory;
+  int seen = 0;
+  int correct = 0;
+
+  const int kFrames = 6;
+  for (int frame_id = 0; frame_id < kFrames; ++frame_id) {
+    SceneOptions scene_opts;
+    scene_opts.seed = 2024 + static_cast<std::uint64_t>(frame_id);
+    const Scene scene = RandomScene(scene_opts);
+
+    const auto regions = SegmentFrame(scene.frame);
+    std::printf("frame %d: %zu segmented regions\n", frame_id,
+                regions.size());
+
+    for (const auto& region : regions) {
+      Dataset probe;
+      probe.items.push_back(
+          LabeledImage{region.crop, ObjectClass::kChair, 0, 0});
+      FeatureOptions fo;
+      fo.preprocess.white_background = false;
+      const auto features = ComputeFeatures(probe, fo);
+      if (!features[0].valid) continue;
+
+      const ObjectClass predicted = classifier.Classify(features[0]);
+      ++inventory[std::string(ObjectClassName(predicted))];
+      ++seen;
+
+      const Point centre{region.bbox.x + region.bbox.width / 2,
+                         region.bbox.y + region.bbox.height / 2};
+      if (scene.Covers(centre) && scene.TruthAt(centre) == predicted) {
+        ++correct;
+      }
+    }
+  }
+
+  std::printf("\nSemantic inventory after %d frames:\n", kFrames);
+  TablePrinter table({"Object class", "Count"});
+  for (const auto& [name, count] : inventory) {
+    table.AddRow({name, std::to_string(count)});
+  }
+  table.Print(std::cout);
+  std::printf("Recognition: %d/%d regions correct (%.1f%%)\n", correct, seen,
+              seen > 0 ? 100.0 * correct / seen : 0.0);
+  std::printf(
+      "(Random assignment over 10 classes would land near 10%%;\n"
+      " the paper's best NYU-scale pipeline reaches ~21%%.)\n");
+  return 0;
+}

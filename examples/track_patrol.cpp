@@ -1,0 +1,116 @@
+// Tracked patrol: frame-to-frame object re-identification — the task the
+// paper's Normalized-X-Corr reference was designed for (person re-id
+// across successive frames) — combined with per-track classification.
+// Identity comes from the appearance tracker, so each physical object is
+// classified by *voting over its whole track* instead of per frame,
+// which smooths the paper's noisy single-frame predictions.
+//
+// Run: ./build/examples/track_patrol
+
+#include <cstdio>
+#include <iostream>
+#include <algorithm>
+#include <array>
+#include <map>
+
+#include "core/classifiers.h"
+#include "core/experiment.h"
+#include "core/segmentation.h"
+#include "core/tracker.h"
+#include "data/scene.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main() {
+  using namespace snor;
+
+  ExperimentConfig config;
+  config.nyu_fraction = 0.01;
+  ExperimentContext context(config);
+  HybridClassifier classifier(context.Sns1Features(), ShapeMatchMethod::kI3,
+                              HistCompareMethod::kHellinger, 0.3, 0.7,
+                              HybridStrategy::kWeightedSum);
+
+  // A camera panning over a fixed scene: the same three objects shift
+  // left a little every frame.
+  std::vector<ScenePlacement> world;
+  {
+    const ObjectClass classes[3] = {ObjectClass::kChair, ObjectClass::kSofa,
+                                    ObjectClass::kLamp};
+    for (int i = 0; i < 3; ++i) {
+      ScenePlacement p;
+      p.cls = classes[i];
+      p.model_id = 6 + i;
+      p.x = 20 + i * 140;
+      p.y = 12;
+      p.render.canvas_size = 110;
+      p.render.noise_stddev = 7.0;
+      world.push_back(p);
+    }
+  }
+
+  TrackerOptions tracker_opts;
+  tracker_opts.max_center_distance = 70.0;
+  Tracker tracker(tracker_opts);
+  FeatureOptions fo;
+  fo.preprocess.white_background = false;
+
+  // Per-track classification votes.
+  std::map<int, std::array<int, kNumClasses>> votes;
+
+  const int kFrames = 6;
+  for (int frame_id = 0; frame_id < kFrames; ++frame_id) {
+    // Pan: shift all placements and refresh sensor noise.
+    std::vector<ScenePlacement> placements = world;
+    for (auto& p : placements) {
+      p.x -= frame_id * 12;
+      p.render.nuisance_seed =
+          static_cast<std::uint64_t>(frame_id) * 31 + 7;
+      p.render.view_angle_deg = frame_id * 2.0;
+    }
+    const Scene scene = ComposeScene(placements, 460, 140);
+    const auto regions = SegmentFrame(scene.frame);
+    const auto ids = tracker.Update(regions);
+
+    std::printf("frame %d: %zu regions -> tracks [", frame_id,
+                regions.size());
+    for (std::size_t r = 0; r < regions.size(); ++r) {
+      std::printf("%s#%d", r ? ", " : "", ids[r]);
+      Dataset probe;
+      probe.items.push_back(
+          LabeledImage{regions[r].crop, ObjectClass::kChair, 0, 0});
+      const auto features = ComputeFeatures(probe, fo);
+      if (features[0].valid) {
+        const ObjectClass predicted = classifier.Classify(features[0]);
+        ++votes[ids[r]][static_cast<std::size_t>(ClassIndex(predicted))];
+      }
+    }
+    std::printf("]\n");
+  }
+
+  std::printf("\nPer-track majority vote after %d frames:\n", kFrames);
+  TablePrinter table({"Track", "Votes", "Majority label", "Agreement"});
+  for (const auto& [id, vote] : votes) {
+    int total = 0;
+    int best = 0;
+    for (int c = 0; c < kNumClasses; ++c) {
+      total += vote[static_cast<std::size_t>(c)];
+      if (vote[static_cast<std::size_t>(c)] >
+          vote[static_cast<std::size_t>(best)]) {
+        best = c;
+      }
+    }
+    table.AddRow({StrFormat("#%d", id), std::to_string(total),
+                  std::string(ObjectClassName(ClassFromIndex(best))),
+                  StrFormat("%.0f%%",
+                            100.0 * vote[static_cast<std::size_t>(best)] /
+                                std::max(1, total))});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "Tracks created: %d (3 physical objects). Track-level voting turns\n"
+      "noisy per-frame predictions into stable object labels — the\n"
+      "temporal extension the paper's conclusion points toward.\n",
+      tracker.total_tracks_created());
+  return 0;
+}

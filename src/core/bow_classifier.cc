@@ -1,0 +1,99 @@
+#include "core/bow_classifier.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace snor {
+
+BowClassifier::BowClassifier(const Dataset& gallery,
+                             const BowOptions& options)
+    : options_(options) {
+  SNOR_CHECK(!gallery.items.empty());
+
+  // Pool all gallery descriptors and remember per-view boundaries.
+  std::vector<FloatDescriptor> pool;
+  std::vector<std::vector<FloatDescriptor>> per_view;
+  for (const auto& item : gallery.items) {
+    per_view.push_back(Extract(item.image));
+    labels_.push_back(item.label);
+    for (const auto& d : per_view.back()) pool.push_back(d);
+  }
+  SNOR_CHECK(!pool.empty());
+
+  KMeansOptions kmeans;
+  kmeans.k = options_.vocabulary_size;
+  kmeans.seed = options_.seed;
+  vocabulary_ = KMeansCluster(pool, kmeans).centroids;
+
+  view_histograms_.reserve(per_view.size());
+  for (const auto& descriptors : per_view) {
+    view_histograms_.push_back(HistogramOf(descriptors));
+  }
+}
+
+std::vector<FloatDescriptor> BowClassifier::Extract(
+    const ImageU8& image) const {
+  if (options_.use_surf) return ExtractSurf(image, options_.surf).descriptors;
+  return ExtractSift(image, options_.sift).descriptors;
+}
+
+std::vector<float> BowClassifier::HistogramOf(
+    const std::vector<FloatDescriptor>& descriptors) const {
+  std::vector<float> hist(vocabulary_.size(), 0.0f);
+  for (const auto& d : descriptors) {
+    const int word = NearestCentroid(vocabulary_, d);
+    if (word >= 0) hist[static_cast<std::size_t>(word)] += 1.0f;
+  }
+  float total = 0.0f;
+  for (float v : hist) total += v;
+  if (total > 0.0f) {
+    for (float& v : hist) v /= total;
+  }
+  return hist;
+}
+
+std::vector<float> BowClassifier::WordHistogram(const ImageU8& image) const {
+  return HistogramOf(Extract(image));
+}
+
+namespace {
+
+double Cosine(const std::vector<float>& a, const std::vector<float>& b) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+}  // namespace
+
+ObjectClass BowClassifier::Classify(const ImageU8& image) const {
+  const std::vector<float> hist = WordHistogram(image);
+  double best = -2.0;
+  ObjectClass best_label = labels_.front();
+  for (std::size_t v = 0; v < view_histograms_.size(); ++v) {
+    const double sim = Cosine(hist, view_histograms_[v]);
+    if (sim > best) {
+      best = sim;
+      best_label = labels_[v];
+    }
+  }
+  return best_label;
+}
+
+std::vector<ObjectClass> BowClassifier::ClassifyAll(
+    const Dataset& inputs) const {
+  std::vector<ObjectClass> predictions;
+  predictions.reserve(inputs.size());
+  for (const auto& item : inputs.items) {
+    predictions.push_back(Classify(item.image));
+  }
+  return predictions;
+}
+
+}  // namespace snor

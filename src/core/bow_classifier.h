@@ -1,0 +1,59 @@
+#ifndef SNOR_CORE_BOW_CLASSIFIER_H_
+#define SNOR_CORE_BOW_CLASSIFIER_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "features/kmeans.h"
+#include "features/sift.h"
+#include "features/surf.h"
+
+namespace snor {
+
+/// \brief Bag-of-visual-words options.
+struct BowOptions {
+  /// Vocabulary size (visual words).
+  int vocabulary_size = 64;
+  /// Use SURF instead of SIFT descriptors.
+  bool use_surf = false;
+  SiftOptions sift;
+  SurfOptions surf;
+  std::uint64_t seed = 2048;
+};
+
+/// \brief Bag-of-visual-words classifier: a natural aggregation extension
+/// of the paper's §3.3 descriptor pipelines. A k-means vocabulary is
+/// learned over all gallery keypoint descriptors; every view becomes an
+/// L1-normalized word histogram; inputs are classified as the view with
+/// the closest histogram (cosine similarity).
+class BowClassifier {
+ public:
+  /// Builds the vocabulary and the per-view word histograms.
+  BowClassifier(const Dataset& gallery, const BowOptions& options);
+
+  /// Predicts the class of one image.
+  ObjectClass Classify(const ImageU8& image) const;
+
+  /// Predicts every item of a dataset.
+  std::vector<ObjectClass> ClassifyAll(const Dataset& inputs) const;
+
+  std::size_t vocabulary_size() const { return vocabulary_.size(); }
+  std::size_t num_gallery_views() const { return labels_.size(); }
+
+  /// Word histogram for an arbitrary image (exposed for tests).
+  std::vector<float> WordHistogram(const ImageU8& image) const;
+
+ private:
+  std::vector<FloatDescriptor> Extract(const ImageU8& image) const;
+  std::vector<float> HistogramOf(
+      const std::vector<FloatDescriptor>& descriptors) const;
+
+  BowOptions options_;
+  std::vector<FloatDescriptor> vocabulary_;
+  std::vector<std::vector<float>> view_histograms_;
+  std::vector<ObjectClass> labels_;
+};
+
+}  // namespace snor
+
+#endif  // SNOR_CORE_BOW_CLASSIFIER_H_

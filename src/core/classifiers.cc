@@ -1,0 +1,189 @@
+#include "core/classifiers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "util/check.h"
+
+namespace snor {
+namespace {
+
+constexpr double kHuge = std::numeric_limits<double>::max();
+
+// Converts a colour comparison into a "smaller is better" score the way
+// the paper does: distances pass through, similarities are inverted.
+double ColorDistance(const ColorHistogram& a, const ColorHistogram& b,
+                     HistCompareMethod method) {
+  const double c = CompareHistograms(a, b, method);
+  if (!IsSimilarityMetric(method)) return c;
+  return 1.0 / std::max(c, 1e-6);
+}
+
+}  // namespace
+
+MatchingClassifier::MatchingClassifier(std::vector<ImageFeatures> gallery)
+    : gallery_(std::move(gallery)) {
+  SNOR_CHECK(!gallery_.empty());
+}
+
+std::vector<ObjectClass> MatchingClassifier::ClassifyAll(
+    const std::vector<ImageFeatures>& inputs) {
+  std::vector<ObjectClass> predictions;
+  predictions.reserve(inputs.size());
+  for (const auto& input : inputs) predictions.push_back(Classify(input));
+  return predictions;
+}
+
+ObjectClass MatchingClassifier::FallbackLabel() const {
+  return gallery_.front().label;
+}
+
+RandomBaselineClassifier::RandomBaselineClassifier(
+    std::vector<ImageFeatures> gallery, std::uint64_t seed)
+    : MatchingClassifier(std::move(gallery)), rng_(seed) {}
+
+ObjectClass RandomBaselineClassifier::Classify(
+    const ImageFeatures& /*input*/) {
+  return ClassFromIndex(static_cast<int>(rng_.Index(kNumClasses)));
+}
+
+ShapeOnlyClassifier::ShapeOnlyClassifier(std::vector<ImageFeatures> gallery,
+                                         ShapeMatchMethod method)
+    : MatchingClassifier(std::move(gallery)), method_(method) {}
+
+ObjectClass ShapeOnlyClassifier::Classify(const ImageFeatures& input) {
+  double best = kHuge;
+  ObjectClass best_label = FallbackLabel();
+  if (!input.valid) return best_label;
+  for (const auto& view : gallery()) {
+    if (!view.valid) continue;
+    const double d = MatchShapes(input.hu, view.hu, method_);
+    if (d < best) {
+      best = d;
+      best_label = view.label;
+    }
+  }
+  return best_label;
+}
+
+ColorOnlyClassifier::ColorOnlyClassifier(std::vector<ImageFeatures> gallery,
+                                         HistCompareMethod method)
+    : MatchingClassifier(std::move(gallery)), method_(method) {}
+
+ObjectClass ColorOnlyClassifier::Classify(const ImageFeatures& input) {
+  const bool maximize = IsSimilarityMetric(method_);
+  double best = maximize ? -kHuge : kHuge;
+  ObjectClass best_label = FallbackLabel();
+  if (!input.valid) return best_label;
+  for (const auto& view : gallery()) {
+    if (!view.valid) continue;
+    const double c =
+        CompareHistograms(input.histogram, view.histogram, method_);
+    const bool better = maximize ? c > best : c < best;
+    if (better) {
+      best = c;
+      best_label = view.label;
+    }
+  }
+  return best_label;
+}
+
+HybridClassifier::HybridClassifier(std::vector<ImageFeatures> gallery,
+                                   ShapeMatchMethod shape_method,
+                                   HistCompareMethod color_method,
+                                   double alpha, double beta,
+                                   HybridStrategy strategy)
+    : MatchingClassifier(std::move(gallery)),
+      shape_method_(shape_method),
+      color_method_(color_method),
+      alpha_(alpha),
+      beta_(beta),
+      strategy_(strategy) {}
+
+std::vector<double> HybridClassifier::ViewScores(
+    const ImageFeatures& input) const {
+  std::vector<double> scores;
+  scores.reserve(gallery().size());
+  for (const auto& view : gallery()) {
+    if (!input.valid || !view.valid) {
+      scores.push_back(kHuge);
+      continue;
+    }
+    double s = MatchShapes(input.hu, view.hu, shape_method_);
+    if (s >= kHuge) {
+      scores.push_back(kHuge);
+      continue;
+    }
+    const double c =
+        ColorDistance(input.histogram, view.histogram, color_method_);
+    scores.push_back(alpha_ * s + beta_ * c);
+  }
+  return scores;
+}
+
+ObjectClass HybridClassifier::Classify(const ImageFeatures& input) {
+  const std::vector<double> theta = ViewScores(input);
+
+  switch (strategy_) {
+    case HybridStrategy::kWeightedSum: {
+      double best = kHuge;
+      ObjectClass best_label = FallbackLabel();
+      for (std::size_t i = 0; i < theta.size(); ++i) {
+        if (theta[i] < best) {
+          best = theta[i];
+          best_label = gallery()[i].label;
+        }
+      }
+      return best_label;
+    }
+    case HybridStrategy::kMicroAverage: {
+      // Average theta per model (class, model_id), argmin over models.
+      std::map<std::pair<int, int>, std::pair<double, int>> acc;
+      for (std::size_t i = 0; i < theta.size(); ++i) {
+        if (theta[i] >= kHuge) continue;
+        auto& entry = acc[{ClassIndex(gallery()[i].label),
+                           gallery()[i].model_id}];
+        entry.first += theta[i];
+        entry.second += 1;
+      }
+      double best = kHuge;
+      ObjectClass best_label = FallbackLabel();
+      for (const auto& [key, entry] : acc) {
+        const double mean = entry.first / entry.second;
+        if (mean < best) {
+          best = mean;
+          best_label = ClassFromIndex(key.first);
+        }
+      }
+      return best_label;
+    }
+    case HybridStrategy::kMacroAverage: {
+      std::array<double, kNumClasses> sums{};
+      std::array<int, kNumClasses> counts{};
+      for (std::size_t i = 0; i < theta.size(); ++i) {
+        if (theta[i] >= kHuge) continue;
+        const auto c = static_cast<std::size_t>(
+            ClassIndex(gallery()[i].label));
+        sums[c] += theta[i];
+        ++counts[c];
+      }
+      double best = kHuge;
+      ObjectClass best_label = FallbackLabel();
+      for (int c = 0; c < kNumClasses; ++c) {
+        if (counts[static_cast<std::size_t>(c)] == 0) continue;
+        const double mean = sums[static_cast<std::size_t>(c)] /
+                            counts[static_cast<std::size_t>(c)];
+        if (mean < best) {
+          best = mean;
+          best_label = ClassFromIndex(c);
+        }
+      }
+      return best_label;
+    }
+  }
+  return FallbackLabel();
+}
+
+}  // namespace snor

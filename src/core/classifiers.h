@@ -1,0 +1,115 @@
+#ifndef SNOR_CORE_CLASSIFIERS_H_
+#define SNOR_CORE_CLASSIFIERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/feature_cache.h"
+#include "features/histogram.h"
+#include "geometry/moments.h"
+#include "util/rng.h"
+
+namespace snor {
+
+/// \brief Argmin aggregation strategies for the hybrid pipeline (§3.2).
+enum class HybridStrategy {
+  /// argmin over every individual view score (the paper's Theta_T).
+  kWeightedSum,
+  /// argmin over per-model score averages (micro-average, Theta_Z).
+  kMicroAverage,
+  /// argmin over per-class score averages (macro-average, Theta_C).
+  kMacroAverage,
+};
+
+/// \brief Base class for gallery-matching classifiers: the predicted label
+/// comes from the reference view(s) optimising a similarity or distance
+/// function against the input.
+class MatchingClassifier {
+ public:
+  explicit MatchingClassifier(std::vector<ImageFeatures> gallery);
+  virtual ~MatchingClassifier() = default;
+
+  /// Predicts the class of one input's features.
+  virtual ObjectClass Classify(const ImageFeatures& input) = 0;
+
+  /// Predicts every input (convenience wrapper).
+  std::vector<ObjectClass> ClassifyAll(
+      const std::vector<ImageFeatures>& inputs);
+
+  const std::vector<ImageFeatures>& gallery() const { return gallery_; }
+
+ protected:
+  /// Deterministic fallback when no gallery view produces a usable score.
+  ObjectClass FallbackLabel() const;
+
+ private:
+  std::vector<ImageFeatures> gallery_;
+};
+
+/// \brief Uniform random label assignment (the paper's reference baseline).
+class RandomBaselineClassifier : public MatchingClassifier {
+ public:
+  RandomBaselineClassifier(std::vector<ImageFeatures> gallery,
+                           std::uint64_t seed);
+
+  ObjectClass Classify(const ImageFeatures& input) override;
+
+ private:
+  Rng rng_;
+};
+
+/// \brief Shape-only matching: Hu-moment `MatchShapes` distance, argmin
+/// over all gallery views (§3.2, "Shape only L1/L2/L3").
+class ShapeOnlyClassifier : public MatchingClassifier {
+ public:
+  ShapeOnlyClassifier(std::vector<ImageFeatures> gallery,
+                      ShapeMatchMethod method);
+
+  ObjectClass Classify(const ImageFeatures& input) override;
+
+ private:
+  ShapeMatchMethod method_;
+};
+
+/// \brief Colour-only matching: RGB-histogram comparison, arg-optimum over
+/// all gallery views (§3.2, "Color only ...").
+class ColorOnlyClassifier : public MatchingClassifier {
+ public:
+  ColorOnlyClassifier(std::vector<ImageFeatures> gallery,
+                      HistCompareMethod method);
+
+  ObjectClass Classify(const ImageFeatures& input) override;
+
+ private:
+  HistCompareMethod method_;
+};
+
+/// \brief Hybrid matching: theta = alpha * S + beta * C with the three
+/// argmin strategies of §3.2. For similarity-style colour metrics
+/// (Correlation, Intersection) the inverse of C enters theta, matching
+/// the paper.
+class HybridClassifier : public MatchingClassifier {
+ public:
+  HybridClassifier(std::vector<ImageFeatures> gallery,
+                   ShapeMatchMethod shape_method,
+                   HistCompareMethod color_method, double alpha, double beta,
+                   HybridStrategy strategy);
+
+  ObjectClass Classify(const ImageFeatures& input) override;
+
+  /// The per-view theta scores for one input (exposed for tests and
+  /// diagnostics); index-aligned with gallery().
+  std::vector<double> ViewScores(const ImageFeatures& input) const;
+
+ private:
+  ShapeMatchMethod shape_method_;
+  HistCompareMethod color_method_;
+  double alpha_;
+  double beta_;
+  HybridStrategy strategy_;
+};
+
+}  // namespace snor
+
+#endif  // SNOR_CORE_CLASSIFIERS_H_

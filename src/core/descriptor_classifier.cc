@@ -1,0 +1,155 @@
+#include "core/descriptor_classifier.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace snor {
+namespace {
+
+std::vector<FloatDescriptor> ExtractFloat(
+    const ImageU8& image, const DescriptorClassifierOptions& options) {
+  if (options.type == DescriptorType::kSift) {
+    return ExtractSift(image, options.sift).descriptors;
+  }
+  return ExtractSurf(image, options.surf).descriptors;
+}
+
+}  // namespace
+
+DescriptorClassifier::DescriptorClassifier(
+    const Dataset& gallery, const DescriptorClassifierOptions& options)
+    : options_(options) {
+  SNOR_CHECK(!gallery.items.empty());
+  labels_.reserve(gallery.size());
+  for (const auto& item : gallery.items) {
+    labels_.push_back(item.label);
+    if (options_.type == DescriptorType::kOrb) {
+      binary_gallery_.push_back(
+          ExtractOrb(item.image, options_.orb).descriptors);
+    } else {
+      float_gallery_.push_back(ExtractFloat(item.image, options_));
+      if (options_.use_kdtree) {
+        kdtrees_.push_back(
+            std::make_unique<KdTreeMatcher>(float_gallery_.back()));
+      }
+    }
+  }
+}
+
+std::size_t DescriptorClassifier::total_gallery_keypoints() const {
+  std::size_t total = 0;
+  for (const auto& v : float_gallery_) total += v.size();
+  for (const auto& v : binary_gallery_) total += v.size();
+  return total;
+}
+
+DescriptorClassifier::ViewMatchStats DescriptorClassifier::MatchAgainstView(
+    const std::vector<FloatDescriptor>& query, std::size_t view) const {
+  ViewMatchStats stats;
+  const auto& train = float_gallery_[view];
+  if (query.empty() || train.empty()) return stats;
+  std::vector<std::vector<DMatch>> knn;
+  if (options_.use_kdtree) {
+    knn = kdtrees_[view]->KnnMatch(query, 2);
+  } else {
+    knn = KnnMatchBruteForce(query, train, 2, FloatNorm::kL2);
+  }
+  const auto good = RatioTestFilter(knn, options_.ratio);
+  stats.good_matches = static_cast<int>(good.size());
+  double good_sum = 0.0;
+  for (const auto& m : good) good_sum += m.distance;
+  stats.mean_good_distance =
+      good.empty() ? std::numeric_limits<double>::max()
+                   : good_sum / static_cast<double>(good.size());
+  double first_sum = 0.0;
+  int first_count = 0;
+  for (const auto& list : knn) {
+    if (!list.empty()) {
+      first_sum += list.front().distance;
+      ++first_count;
+    }
+  }
+  stats.mean_first_distance =
+      first_count == 0 ? std::numeric_limits<double>::max()
+                       : first_sum / first_count;
+  return stats;
+}
+
+DescriptorClassifier::ViewMatchStats DescriptorClassifier::MatchAgainstView(
+    const std::vector<BinaryDescriptor>& query, std::size_t view) const {
+  ViewMatchStats stats;
+  const auto& train = binary_gallery_[view];
+  if (query.empty() || train.empty()) return stats;
+  const auto knn = KnnMatchBruteForce(query, train, 2);
+  const auto good = RatioTestFilter(knn, options_.ratio);
+  stats.good_matches = static_cast<int>(good.size());
+  double good_sum = 0.0;
+  for (const auto& m : good) good_sum += m.distance;
+  stats.mean_good_distance =
+      good.empty() ? std::numeric_limits<double>::max()
+                   : good_sum / static_cast<double>(good.size());
+  double first_sum = 0.0;
+  int first_count = 0;
+  for (const auto& list : knn) {
+    if (!list.empty()) {
+      first_sum += list.front().distance;
+      ++first_count;
+    }
+  }
+  stats.mean_first_distance =
+      first_count == 0 ? std::numeric_limits<double>::max()
+                       : first_sum / first_count;
+  return stats;
+}
+
+ObjectClass DescriptorClassifier::Classify(const ImageU8& image) const {
+  std::vector<ViewMatchStats> stats(labels_.size());
+  if (options_.type == DescriptorType::kOrb) {
+    const auto query = ExtractOrb(image, options_.orb).descriptors;
+    for (std::size_t v = 0; v < labels_.size(); ++v) {
+      stats[v] = MatchAgainstView(query, v);
+    }
+  } else {
+    const auto query = ExtractFloat(image, options_);
+    for (std::size_t v = 0; v < labels_.size(); ++v) {
+      stats[v] = MatchAgainstView(query, v);
+    }
+  }
+
+  // Primary criterion: most ratio-test survivors; ties by mean good-match
+  // distance.
+  std::size_t best = 0;
+  bool any_good = false;
+  for (std::size_t v = 0; v < stats.size(); ++v) {
+    if (stats[v].good_matches > stats[best].good_matches ||
+        (stats[v].good_matches == stats[best].good_matches &&
+         stats[v].mean_good_distance < stats[best].mean_good_distance)) {
+      best = v;
+    }
+    if (stats[v].good_matches > 0) any_good = true;
+  }
+  if (any_good) return labels_[best];
+
+  // Fallback: nearest mean first-neighbour distance.
+  std::size_t nearest = 0;
+  for (std::size_t v = 1; v < stats.size(); ++v) {
+    if (stats[v].mean_first_distance < stats[nearest].mean_first_distance) {
+      nearest = v;
+    }
+  }
+  return labels_[nearest];
+}
+
+std::vector<ObjectClass> DescriptorClassifier::ClassifyAll(
+    const Dataset& inputs) const {
+  std::vector<ObjectClass> predictions;
+  predictions.reserve(inputs.size());
+  for (const auto& item : inputs.items) {
+    predictions.push_back(Classify(item.image));
+  }
+  return predictions;
+}
+
+}  // namespace snor

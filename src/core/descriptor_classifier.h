@@ -1,0 +1,77 @@
+#ifndef SNOR_CORE_DESCRIPTOR_CLASSIFIER_H_
+#define SNOR_CORE_DESCRIPTOR_CLASSIFIER_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "features/kdtree.h"
+#include "features/matcher.h"
+#include "features/orb.h"
+#include "features/sift.h"
+#include "features/surf.h"
+
+namespace snor {
+
+/// \brief Which keypoint descriptor drives the pipeline (§3.3).
+enum class DescriptorType { kSift, kSurf, kOrb };
+
+/// \brief Options for the descriptor-matching pipeline.
+struct DescriptorClassifierOptions {
+  DescriptorType type = DescriptorType::kSift;
+  /// Lowe ratio-test threshold (the paper reports 0.5 and 0.75).
+  float ratio = 0.5f;
+  /// Use the k-d tree (FLANN stand-in) instead of brute force for float
+  /// descriptors. The paper found no accuracy gain; measured in
+  /// bench/ablation_sweeps.
+  bool use_kdtree = false;
+  SiftOptions sift;
+  SurfOptions surf;
+  OrbOptions orb;
+};
+
+/// \brief The feature-descriptor pipeline: each gallery view is described
+/// by its keypoint descriptors; an input is matched (kNN + ratio test)
+/// against every view and classified as the view with the most surviving
+/// "good" matches (ties broken by mean match distance; inputs with no
+/// good matches fall back to nearest mean first-neighbour distance).
+class DescriptorClassifier {
+ public:
+  DescriptorClassifier(const Dataset& gallery,
+                       const DescriptorClassifierOptions& options);
+
+  /// Predicts the class of one image.
+  ObjectClass Classify(const ImageU8& image) const;
+
+  /// Predicts every item of a dataset.
+  std::vector<ObjectClass> ClassifyAll(const Dataset& inputs) const;
+
+  std::size_t num_gallery_views() const { return labels_.size(); }
+
+  /// Total keypoints extracted across the gallery (diagnostics).
+  std::size_t total_gallery_keypoints() const;
+
+ private:
+  struct ViewMatchStats {
+    int good_matches = 0;
+    double mean_good_distance = 0.0;
+    double mean_first_distance = 0.0;
+  };
+
+  ViewMatchStats MatchAgainstView(const std::vector<FloatDescriptor>& query,
+                                  std::size_t view) const;
+  ViewMatchStats MatchAgainstView(const std::vector<BinaryDescriptor>& query,
+                                  std::size_t view) const;
+
+  DescriptorClassifierOptions options_;
+  std::vector<ObjectClass> labels_;
+  // Float pipelines (SIFT/SURF).
+  std::vector<std::vector<FloatDescriptor>> float_gallery_;
+  std::vector<std::unique_ptr<KdTreeMatcher>> kdtrees_;
+  // Binary pipeline (ORB).
+  std::vector<std::vector<BinaryDescriptor>> binary_gallery_;
+};
+
+}  // namespace snor
+
+#endif  // SNOR_CORE_DESCRIPTOR_CLASSIFIER_H_

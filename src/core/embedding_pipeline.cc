@@ -1,0 +1,145 @@
+#include "core/embedding_pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "img/resize.h"
+#include "nn/model.h"
+#include "nn/optimizer.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace snor {
+
+EmbeddingPipeline::EmbeddingPipeline(const EmbeddingPipelineConfig& config)
+    : config_(config),
+      model_(std::make_unique<EmbeddingModel>(config.model)) {}
+
+Tensor EmbeddingPipeline::ToInput(const ImageU8& image) const {
+  return ImageToTensor(Resize(image, config_.model.input_width,
+                              config_.model.input_height));
+}
+
+std::vector<TripletEpochStats> EmbeddingPipeline::Train(
+    const Dataset& train_set) {
+  SNOR_CHECK_GE(train_set.size(), 4u);
+
+  // Bucket item indices by class; keep classes with >= 2 examples.
+  std::vector<std::vector<int>> by_class(kNumClasses);
+  for (std::size_t i = 0; i < train_set.size(); ++i) {
+    by_class[static_cast<std::size_t>(
+                 ClassIndex(train_set.items[i].label))]
+        .push_back(static_cast<int>(i));
+  }
+  std::vector<int> usable;
+  for (int c = 0; c < kNumClasses; ++c) {
+    if (by_class[static_cast<std::size_t>(c)].size() >= 2) usable.push_back(c);
+  }
+  SNOR_CHECK_GE(usable.size(), 2u);
+
+  // Pre-resize all items once.
+  std::vector<Tensor> inputs;
+  inputs.reserve(train_set.size());
+  for (const auto& item : train_set.items) {
+    inputs.push_back(ToInput(item.image));
+  }
+
+  // Shared-weight branches for anchor / positive / negative.
+  auto anchor_net = model_->CloneShared();
+  auto positive_net = model_->CloneShared();
+  auto negative_net = model_->CloneShared();
+  const auto params = model_->Params();
+  Adam optimizer(config_.learning_rate);
+  Rng rng(config_.seed);
+
+  std::vector<TripletEpochStats> history;
+  for (int epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    double loss_sum = 0.0;
+    double active_sum = 0.0;
+    int batches = 0;
+    for (int start = 0; start < config_.triplets_per_epoch;
+         start += config_.batch_size) {
+      const int n = std::min(config_.batch_size,
+                             config_.triplets_per_epoch - start);
+      std::vector<const Tensor*> a_items, p_items, n_items;
+      for (int i = 0; i < n; ++i) {
+        const int cls = usable[rng.Index(usable.size())];
+        const auto& bucket = by_class[static_cast<std::size_t>(cls)];
+        const int ai = bucket[rng.Index(bucket.size())];
+        int pi = bucket[rng.Index(bucket.size())];
+        while (pi == ai) pi = bucket[rng.Index(bucket.size())];
+        int other = usable[rng.Index(usable.size())];
+        while (other == cls) other = usable[rng.Index(usable.size())];
+        const auto& neg_bucket = by_class[static_cast<std::size_t>(other)];
+        const int ni = neg_bucket[rng.Index(neg_bucket.size())];
+        a_items.push_back(&inputs[static_cast<std::size_t>(ai)]);
+        p_items.push_back(&inputs[static_cast<std::size_t>(pi)]);
+        n_items.push_back(&inputs[static_cast<std::size_t>(ni)]);
+      }
+
+      Optimizer::ZeroGrad(params);
+      const Tensor ea = anchor_net->Embed(StackBatch(a_items), true);
+      const Tensor ep = positive_net->Embed(StackBatch(p_items), true);
+      const Tensor en = negative_net->Embed(StackBatch(n_items), true);
+      const TripletLossResult result =
+          TripletLoss(ea, ep, en, config_.margin);
+      loss_sum += result.loss;
+      active_sum += result.active_fraction;
+      ++batches;
+      anchor_net->Backward(result.grad_anchor);
+      positive_net->Backward(result.grad_positive);
+      negative_net->Backward(result.grad_negative);
+      optimizer.Step(params);
+    }
+    TripletEpochStats stats;
+    stats.epoch = epoch;
+    stats.loss = loss_sum / batches;
+    stats.active_fraction = active_sum / batches;
+    history.push_back(stats);
+  }
+  return history;
+}
+
+void EmbeddingPipeline::BuildGallery(const Dataset& gallery) {
+  gallery_.clear();
+  for (const auto& item : gallery.items) {
+    const Tensor input = ToInput(item.image);
+    const Tensor e = model_->Embed(StackBatch({&input}), false);
+    GalleryEntry entry;
+    entry.embedding.assign(e.data(), e.data() + e.size());
+    entry.label = item.label;
+    gallery_.push_back(std::move(entry));
+  }
+}
+
+ObjectClass EmbeddingPipeline::Classify(const ImageU8& image) {
+  SNOR_CHECK(!gallery_.empty());
+  const Tensor input = ToInput(image);
+  const Tensor e = model_->Embed(StackBatch({&input}), false);
+  double best = 1e300;
+  ObjectClass best_label = gallery_.front().label;
+  for (const auto& entry : gallery_) {
+    double d = 0.0;
+    for (std::size_t j = 0; j < entry.embedding.size(); ++j) {
+      const double diff = static_cast<double>(e[j]) - entry.embedding[j];
+      d += diff * diff;
+    }
+    if (d < best) {
+      best = d;
+      best_label = entry.label;
+    }
+  }
+  return best_label;
+}
+
+EvalReport EmbeddingPipeline::EvaluateOn(const Dataset& inputs) {
+  std::vector<ObjectClass> truth;
+  std::vector<ObjectClass> predicted;
+  for (const auto& item : inputs.items) {
+    truth.push_back(item.label);
+    predicted.push_back(Classify(item.image));
+  }
+  return Evaluate(truth, predicted);
+}
+
+}  // namespace snor

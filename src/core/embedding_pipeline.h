@@ -1,0 +1,74 @@
+#ifndef SNOR_CORE_EMBEDDING_PIPELINE_H_
+#define SNOR_CORE_EMBEDDING_PIPELINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/evaluation.h"
+#include "data/dataset.h"
+#include "nn/embedding.h"
+
+namespace snor {
+
+/// \brief Configuration for the triplet-embedding pipeline — the paper's
+/// proposed future-work modification of the similarity architecture
+/// (conclusion: "modify the tested architecture ... to improve its
+/// flexibility", citing triplet networks).
+struct EmbeddingPipelineConfig {
+  EmbeddingModelConfig model;
+  int triplets_per_epoch = 256;
+  int batch_size = 16;
+  int max_epochs = 8;
+  double margin = 0.2;
+  double learning_rate = 1e-3;
+  std::uint64_t seed = 99;
+};
+
+/// \brief Per-epoch triplet-training statistics.
+struct TripletEpochStats {
+  int epoch = 0;
+  double loss = 0.0;
+  /// Fraction of sampled triplets violating the margin.
+  double active_fraction = 0.0;
+};
+
+/// \brief Trains an L2-normalized embedding with triplet loss and
+/// classifies by nearest gallery embedding.
+class EmbeddingPipeline {
+ public:
+  /// A stored gallery embedding.
+  struct GalleryEntry {
+    std::vector<float> embedding;
+    ObjectClass label = ObjectClass::kChair;
+  };
+
+  explicit EmbeddingPipeline(const EmbeddingPipelineConfig& config);
+
+  /// Fits the embedding on a labelled dataset (anchor/positive share a
+  /// class; negative differs). Returns per-epoch stats.
+  std::vector<TripletEpochStats> Train(const Dataset& train_set);
+
+  /// Embeds and stores a reference gallery.
+  void BuildGallery(const Dataset& gallery);
+
+  /// Nearest-gallery-embedding prediction for one image. The gallery
+  /// must have been built.
+  ObjectClass Classify(const ImageU8& image);
+
+  /// Classifies a whole dataset and evaluates it.
+  EvalReport EvaluateOn(const Dataset& inputs);
+
+  EmbeddingModel& model() { return *model_; }
+  const std::vector<GalleryEntry>& gallery() const { return gallery_; }
+
+ private:
+  Tensor ToInput(const ImageU8& image) const;
+
+  EmbeddingPipelineConfig config_;
+  std::unique_ptr<EmbeddingModel> model_;
+  std::vector<GalleryEntry> gallery_;
+};
+
+}  // namespace snor
+
+#endif  // SNOR_CORE_EMBEDDING_PIPELINE_H_

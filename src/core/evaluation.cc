@@ -1,0 +1,91 @@
+#include "core/evaluation.h"
+
+#include "util/check.h"
+
+namespace snor {
+namespace {
+
+double SafeDiv(double num, double den) { return den > 0 ? num / den : 0.0; }
+
+double F1(double precision, double recall) {
+  return precision + recall > 0
+             ? 2.0 * precision * recall / (precision + recall)
+             : 0.0;
+}
+
+}  // namespace
+
+EvalReport Evaluate(const std::vector<ObjectClass>& truth,
+                    const std::vector<ObjectClass>& predicted) {
+  SNOR_CHECK_EQ(truth.size(), predicted.size());
+  EvalReport report;
+  report.total = static_cast<int>(truth.size());
+
+  int correct = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const int t = ClassIndex(truth[i]);
+    const int p = ClassIndex(predicted[i]);
+    ++report.confusion[static_cast<std::size_t>(t)]
+                      [static_cast<std::size_t>(p)];
+    if (t == p) ++correct;
+  }
+  report.cumulative_accuracy = SafeDiv(correct, report.total);
+
+  for (int c = 0; c < kNumClasses; ++c) {
+    ClassMetrics& m = report.per_class[static_cast<std::size_t>(c)];
+    int support = 0;
+    int predicted_count = 0;
+    for (int other = 0; other < kNumClasses; ++other) {
+      support += report.confusion[static_cast<std::size_t>(c)]
+                                 [static_cast<std::size_t>(other)];
+      predicted_count += report.confusion[static_cast<std::size_t>(other)]
+                                         [static_cast<std::size_t>(c)];
+    }
+    m.support = support;
+    m.predicted_count = predicted_count;
+    m.true_positives = report.confusion[static_cast<std::size_t>(c)]
+                                       [static_cast<std::size_t>(c)];
+    m.recall = SafeDiv(m.true_positives, support);
+    m.precision_paper = SafeDiv(m.true_positives, report.total);
+    m.f1_paper = F1(m.precision_paper, m.recall);
+    m.precision_std = SafeDiv(m.true_positives, predicted_count);
+    m.f1_std = F1(m.precision_std, m.recall);
+  }
+  return report;
+}
+
+BinaryReport EvaluateBinary(const std::vector<int>& truth,
+                            const std::vector<int>& predicted) {
+  SNOR_CHECK_EQ(truth.size(), predicted.size());
+  int tp = 0, fp = 0, tn = 0, fn = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == 1) {
+      if (predicted[i] == 1) {
+        ++tp;
+      } else {
+        ++fn;
+      }
+    } else {
+      if (predicted[i] == 1) {
+        ++fp;
+      } else {
+        ++tn;
+      }
+    }
+  }
+  BinaryReport report;
+  report.similar.support = tp + fn;
+  report.similar.precision = SafeDiv(tp, tp + fp);
+  report.similar.recall = SafeDiv(tp, tp + fn);
+  report.similar.f1 = F1(report.similar.precision, report.similar.recall);
+  report.dissimilar.support = tn + fp;
+  report.dissimilar.precision = SafeDiv(tn, tn + fn);
+  report.dissimilar.recall = SafeDiv(tn, tn + fp);
+  report.dissimilar.f1 =
+      F1(report.dissimilar.precision, report.dissimilar.recall);
+  report.accuracy =
+      SafeDiv(tp + tn, static_cast<double>(truth.size()));
+  return report;
+}
+
+}  // namespace snor

@@ -1,0 +1,67 @@
+#ifndef SNOR_CORE_EVALUATION_H_
+#define SNOR_CORE_EVALUATION_H_
+
+#include <array>
+#include <vector>
+
+#include "data/object_class.h"
+
+namespace snor {
+
+/// \brief Per-class metrics matching the paper's reporting conventions.
+///
+/// The paper's appendix tables report, per class c:
+///  - "Accuracy" = recall of c (correct / support);
+///  - "Precision" = TP_c / N where N is the *total* number of evaluated
+///    samples (verifiable from their baseline rows: 0.156 recall over
+///    1000 chairs in 6,934 samples gives 0.0225 "precision" = 156/6934);
+///  - "F1" = harmonic mean of that precision and recall.
+/// We additionally expose the standard precision (TP / predicted-as-c)
+/// and its F1.
+struct ClassMetrics {
+  int support = 0;
+  int true_positives = 0;
+  int predicted_count = 0;
+  double recall = 0.0;            ///< == the paper's per-class "Accuracy".
+  double precision_paper = 0.0;   ///< TP / total samples (paper style).
+  double f1_paper = 0.0;
+  double precision_std = 0.0;     ///< TP / predicted count (standard).
+  double f1_std = 0.0;
+};
+
+/// \brief Full evaluation of a multi-class prediction run.
+struct EvalReport {
+  /// Cross-class cumulative accuracy (Table 2 / Table 3 metric).
+  double cumulative_accuracy = 0.0;
+  int total = 0;
+  std::array<ClassMetrics, kNumClasses> per_class{};
+  /// confusion[truth][predicted].
+  std::array<std::array<int, kNumClasses>, kNumClasses> confusion{};
+};
+
+/// Computes the report from parallel truth/prediction arrays.
+EvalReport Evaluate(const std::vector<ObjectClass>& truth,
+                    const std::vector<ObjectClass>& predicted);
+
+/// \brief Binary (pair similarity) metrics per class, as in Table 4.
+struct BinaryClassMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  int support = 0;
+};
+
+/// \brief Table-4-style evaluation of a similar/dissimilar pair run.
+struct BinaryReport {
+  BinaryClassMetrics similar;
+  BinaryClassMetrics dissimilar;
+  double accuracy = 0.0;
+};
+
+/// Computes binary metrics (label 1 = similar).
+BinaryReport EvaluateBinary(const std::vector<int>& truth,
+                            const std::vector<int>& predicted);
+
+}  // namespace snor
+
+#endif  // SNOR_CORE_EVALUATION_H_

@@ -1,0 +1,186 @@
+#include "core/experiment.h"
+
+#include "util/check.h"
+
+namespace snor {
+
+std::string ApproachSpec::DisplayName() const {
+  switch (kind) {
+    case Kind::kBaseline:
+      return "Baseline";
+    case Kind::kShape:
+      switch (shape) {
+        case ShapeMatchMethod::kI1:
+          return "Shape only L1";
+        case ShapeMatchMethod::kI2:
+          return "Shape only L2";
+        case ShapeMatchMethod::kI3:
+          return "Shape only L3";
+      }
+      break;
+    case Kind::kColor:
+      switch (color) {
+        case HistCompareMethod::kCorrelation:
+          return "Color only Correlation";
+        case HistCompareMethod::kChiSquare:
+          return "Color only Chi-square";
+        case HistCompareMethod::kIntersection:
+          return "Color only Intersection";
+        case HistCompareMethod::kHellinger:
+          return "Color only Hellinger";
+      }
+      break;
+    case Kind::kHybrid:
+      switch (strategy) {
+        case HybridStrategy::kWeightedSum:
+          return "Shape+Color (weighted sum)";
+        case HybridStrategy::kMicroAverage:
+          return "Shape+Color (micro-avg)";
+        case HybridStrategy::kMacroAverage:
+          return "Shape+Color (macro-avg)";
+      }
+      break;
+  }
+  return "Unknown";
+}
+
+std::vector<ApproachSpec> Table2Approaches(double alpha, double beta) {
+  std::vector<ApproachSpec> specs;
+  {
+    ApproachSpec s;
+    s.kind = ApproachSpec::Kind::kBaseline;
+    specs.push_back(s);
+  }
+  for (ShapeMatchMethod m : {ShapeMatchMethod::kI1, ShapeMatchMethod::kI2,
+                             ShapeMatchMethod::kI3}) {
+    ApproachSpec s;
+    s.kind = ApproachSpec::Kind::kShape;
+    s.shape = m;
+    specs.push_back(s);
+  }
+  for (HistCompareMethod m :
+       {HistCompareMethod::kCorrelation, HistCompareMethod::kChiSquare,
+        HistCompareMethod::kIntersection, HistCompareMethod::kHellinger}) {
+    ApproachSpec s;
+    s.kind = ApproachSpec::Kind::kColor;
+    s.color = m;
+    specs.push_back(s);
+  }
+  for (HybridStrategy strat :
+       {HybridStrategy::kWeightedSum, HybridStrategy::kMicroAverage,
+        HybridStrategy::kMacroAverage}) {
+    ApproachSpec s;
+    s.kind = ApproachSpec::Kind::kHybrid;
+    s.shape = ShapeMatchMethod::kI3;       // Paper's reported best combo.
+    s.color = HistCompareMethod::kHellinger;
+    s.strategy = strat;
+    s.alpha = alpha;
+    s.beta = beta;
+    specs.push_back(s);
+  }
+  return specs;
+}
+
+std::unique_ptr<MatchingClassifier> MakeClassifier(
+    const ApproachSpec& spec, std::vector<ImageFeatures> gallery,
+    std::uint64_t baseline_seed) {
+  switch (spec.kind) {
+    case ApproachSpec::Kind::kBaseline:
+      return std::make_unique<RandomBaselineClassifier>(std::move(gallery),
+                                                        baseline_seed);
+    case ApproachSpec::Kind::kShape:
+      return std::make_unique<ShapeOnlyClassifier>(std::move(gallery),
+                                                   spec.shape);
+    case ApproachSpec::Kind::kColor:
+      return std::make_unique<ColorOnlyClassifier>(std::move(gallery),
+                                                   spec.color);
+    case ApproachSpec::Kind::kHybrid:
+      return std::make_unique<HybridClassifier>(std::move(gallery),
+                                                spec.shape, spec.color,
+                                                spec.alpha, spec.beta,
+                                                spec.strategy);
+  }
+  SNOR_CHECK_MSG(false, "unknown approach kind");
+  return nullptr;
+}
+
+ExperimentContext::ExperimentContext(const ExperimentConfig& config)
+    : config_(config) {}
+
+FeatureOptions ExperimentContext::FeatureOptionsFor(
+    bool white_background) const {
+  FeatureOptions options;
+  options.preprocess.white_background = white_background;
+  options.hist_bins = config_.hist_bins;
+  return options;
+}
+
+const Dataset& ExperimentContext::Sns1() {
+  if (!sns1_) {
+    DatasetOptions opts;
+    opts.canvas_size = config_.canvas_size;
+    opts.seed = config_.seed;
+    sns1_ = MakeShapeNetSet1(opts);
+  }
+  return *sns1_;
+}
+
+const Dataset& ExperimentContext::Sns2() {
+  if (!sns2_) {
+    DatasetOptions opts;
+    opts.canvas_size = config_.canvas_size;
+    opts.seed = config_.seed + 1;
+    sns2_ = MakeShapeNetSet2(opts);
+  }
+  return *sns2_;
+}
+
+const Dataset& ExperimentContext::Nyu() {
+  if (!nyu_) {
+    DatasetOptions opts;
+    opts.canvas_size = config_.canvas_size;
+    opts.seed = config_.seed + 2;
+    opts.sample_fraction = config_.nyu_fraction;
+    nyu_ = MakeNyuSet(opts);
+  }
+  return *nyu_;
+}
+
+const std::vector<ImageFeatures>& ExperimentContext::Sns1Features() {
+  if (!sns1_features_) {
+    sns1_features_ = ComputeFeatures(Sns1(), FeatureOptionsFor(true));
+  }
+  return *sns1_features_;
+}
+
+const std::vector<ImageFeatures>& ExperimentContext::Sns2Features() {
+  if (!sns2_features_) {
+    sns2_features_ = ComputeFeatures(Sns2(), FeatureOptionsFor(true));
+  }
+  return *sns2_features_;
+}
+
+const std::vector<ImageFeatures>& ExperimentContext::NyuFeatures() {
+  if (!nyu_features_) {
+    nyu_features_ = ComputeFeatures(Nyu(), FeatureOptionsFor(false));
+  }
+  return *nyu_features_;
+}
+
+EvalReport ExperimentContext::RunApproach(
+    const ApproachSpec& spec, const std::vector<ImageFeatures>& inputs,
+    const std::vector<ImageFeatures>& gallery) {
+  auto classifier = MakeClassifier(spec, gallery, config_.seed);
+  const std::vector<ObjectClass> predictions = classifier->ClassifyAll(inputs);
+  return Evaluate(TruthLabels(inputs), predictions);
+}
+
+std::vector<ObjectClass> TruthLabels(
+    const std::vector<ImageFeatures>& items) {
+  std::vector<ObjectClass> labels;
+  labels.reserve(items.size());
+  for (const auto& f : items) labels.push_back(f.label);
+  return labels;
+}
+
+}  // namespace snor

@@ -1,0 +1,94 @@
+#ifndef SNOR_CORE_EXPERIMENT_H_
+#define SNOR_CORE_EXPERIMENT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/classifiers.h"
+#include "core/evaluation.h"
+#include "core/feature_cache.h"
+#include "data/dataset.h"
+
+namespace snor {
+
+/// \brief One named matching configuration from Table 2.
+struct ApproachSpec {
+  enum class Kind { kBaseline, kShape, kColor, kHybrid };
+
+  Kind kind = Kind::kBaseline;
+  ShapeMatchMethod shape = ShapeMatchMethod::kI3;
+  HistCompareMethod color = HistCompareMethod::kHellinger;
+  HybridStrategy strategy = HybridStrategy::kWeightedSum;
+  double alpha = 0.3;
+  double beta = 0.7;
+
+  /// The row label used in the paper's Table 2.
+  std::string DisplayName() const;
+};
+
+/// The 11 Table-2 rows: baseline; Hu L1/L2/L3; histogram Correlation /
+/// Chi-square / Intersection / Hellinger; hybrid weighted-sum /
+/// micro-average / macro-average (L3 + Hellinger, the reported best combo).
+std::vector<ApproachSpec> Table2Approaches(double alpha = 0.3,
+                                           double beta = 0.7);
+
+/// Builds the classifier described by `spec` over a gallery.
+std::unique_ptr<MatchingClassifier> MakeClassifier(
+    const ApproachSpec& spec, std::vector<ImageFeatures> gallery,
+    std::uint64_t baseline_seed = 2019);
+
+/// \brief Experiment-wide knobs shared by the bench harnesses.
+struct ExperimentConfig {
+  /// Canvas size of generated images.
+  int canvas_size = 96;
+  /// Fraction of the 6,934-item NYU set to generate (1.0 = paper scale).
+  double nyu_fraction = 1.0;
+  /// RGB histogram bins per channel.
+  int hist_bins = 8;
+  /// Hybrid weights (paper's reported best: 0.3 / 0.7).
+  double alpha = 0.3;
+  double beta = 0.7;
+  /// Master generation seed.
+  std::uint64_t seed = 2019;
+};
+
+/// \brief Lazily builds the three datasets and their feature caches so
+/// that multiple experiments share the work.
+class ExperimentContext {
+ public:
+  explicit ExperimentContext(const ExperimentConfig& config);
+
+  const ExperimentConfig& config() const { return config_; }
+
+  const Dataset& Sns1();
+  const Dataset& Sns2();
+  const Dataset& Nyu();
+
+  const std::vector<ImageFeatures>& Sns1Features();
+  const std::vector<ImageFeatures>& Sns2Features();
+  const std::vector<ImageFeatures>& NyuFeatures();
+
+  /// Runs one approach, matching `inputs` against `gallery`.
+  EvalReport RunApproach(const ApproachSpec& spec,
+                         const std::vector<ImageFeatures>& inputs,
+                         const std::vector<ImageFeatures>& gallery);
+
+ private:
+  FeatureOptions FeatureOptionsFor(bool white_background) const;
+
+  ExperimentConfig config_;
+  std::optional<Dataset> sns1_;
+  std::optional<Dataset> sns2_;
+  std::optional<Dataset> nyu_;
+  std::optional<std::vector<ImageFeatures>> sns1_features_;
+  std::optional<std::vector<ImageFeatures>> sns2_features_;
+  std::optional<std::vector<ImageFeatures>> nyu_features_;
+};
+
+/// Extracts the truth labels from a feature vector (index-aligned).
+std::vector<ObjectClass> TruthLabels(const std::vector<ImageFeatures>& items);
+
+}  // namespace snor
+
+#endif  // SNOR_CORE_EXPERIMENT_H_

@@ -1,0 +1,46 @@
+#ifndef SNOR_CORE_FEATURE_CACHE_H_
+#define SNOR_CORE_FEATURE_CACHE_H_
+
+#include <vector>
+
+#include "core/preprocess.h"
+#include "data/dataset.h"
+#include "features/histogram.h"
+
+namespace snor {
+
+/// \brief Feature-extraction options shared by the matching pipelines.
+struct FeatureOptions {
+  PreprocessOptions preprocess;
+  /// RGB histogram bins per channel.
+  int hist_bins = 8;
+  /// Mask the histogram to object pixels (non-background) inside the
+  /// crop. The paper computes histograms over the whole crop; masking is
+  /// the ablation in bench/ablation_sweeps.
+  bool mask_histogram = false;
+  /// Compute the histogram in HSV instead of RGB (illumination-robustness
+  /// ablation; the paper uses RGB).
+  bool use_hsv = false;
+};
+
+/// \brief Per-image cached features consumed by the classifiers.
+struct ImageFeatures {
+  ObjectClass label = ObjectClass::kChair;
+  int model_id = 0;
+  /// Hu moments of the dominant contour; valid only when preprocessing
+  /// found a component.
+  HuMoments hu{};
+  bool valid = false;
+  /// L1-normalized RGB histogram of the cropped object.
+  ColorHistogram histogram{8};
+};
+
+/// Preprocesses every item of a dataset and extracts its shape and colour
+/// features. Items whose preprocessing fails are marked invalid (they
+/// still occupy a slot so indices align with the dataset).
+std::vector<ImageFeatures> ComputeFeatures(const Dataset& dataset,
+                                           const FeatureOptions& options);
+
+}  // namespace snor
+
+#endif  // SNOR_CORE_FEATURE_CACHE_H_

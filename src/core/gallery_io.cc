@@ -1,0 +1,95 @@
+#include "core/gallery_io.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace snor {
+namespace {
+
+constexpr char kMagic[8] = {'S', 'N', 'O', 'R', 'G', '0', '0', '1'};
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status SaveFeatures(const std::vector<ImageFeatures>& features,
+                    const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, static_cast<std::uint32_t>(features.size()));
+  for (const auto& f : features) {
+    WritePod(out, static_cast<std::int32_t>(ClassIndex(f.label)));
+    WritePod(out, static_cast<std::int32_t>(f.model_id));
+    WritePod(out, static_cast<std::uint8_t>(f.valid ? 1 : 0));
+    for (double h : f.hu) WritePod(out, h);
+    WritePod(out, static_cast<std::int32_t>(f.histogram.bins_per_channel()));
+    const auto& bins = f.histogram.bins();
+    out.write(reinterpret_cast<const char*>(bins.data()),
+              static_cast<std::streamsize>(bins.size() * sizeof(double)));
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<ImageFeatures>> LoadFeatures(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IoError("bad gallery-file magic: " + path);
+  }
+  std::uint32_t count = 0;
+  if (!ReadPod(in, &count)) return Status::IoError("truncated header");
+  if (count > 10'000'000u) {
+    return Status::IoError("implausible gallery size");
+  }
+
+  std::vector<ImageFeatures> features;
+  features.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ImageFeatures f;
+    std::int32_t label = 0;
+    std::int32_t model_id = 0;
+    std::uint8_t valid = 0;
+    if (!ReadPod(in, &label) || !ReadPod(in, &model_id) ||
+        !ReadPod(in, &valid)) {
+      return Status::IoError("truncated gallery entry");
+    }
+    if (label < 0 || label >= kNumClasses) {
+      return Status::IoError(StrFormat("bad class index %d", label));
+    }
+    f.label = ClassFromIndex(label);
+    f.model_id = model_id;
+    f.valid = valid != 0;
+    for (double& h : f.hu) {
+      if (!ReadPod(in, &h)) return Status::IoError("truncated Hu moments");
+    }
+    std::int32_t bins_per_channel = 0;
+    if (!ReadPod(in, &bins_per_channel) || bins_per_channel <= 0 ||
+        bins_per_channel > 256) {
+      return Status::IoError("bad histogram bin count");
+    }
+    f.histogram = ColorHistogram(bins_per_channel);
+    auto& bins = f.histogram.bins();
+    in.read(reinterpret_cast<char*>(bins.data()),
+            static_cast<std::streamsize>(bins.size() * sizeof(double)));
+    if (!in) return Status::IoError("truncated histogram payload");
+    features.push_back(std::move(f));
+  }
+  return features;
+}
+
+}  // namespace snor

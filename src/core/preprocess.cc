@@ -1,0 +1,37 @@
+#include "core/preprocess.h"
+
+#include "img/color.h"
+#include "img/threshold.h"
+
+namespace snor {
+
+Result<PreprocessResult> Preprocess(const ImageU8& rgb,
+                                    const PreprocessOptions& options) {
+  if (rgb.empty()) return Status::InvalidArgument("empty input image");
+  const ImageU8 gray = rgb.channels() == 3 ? RgbToGray(rgb) : rgb;
+
+  // Global binary thresholding; inverse when the background is white so
+  // that the object becomes the foreground in both cases (§3.2).
+  const ThresholdMode mode = options.white_background
+                                 ? ThresholdMode::kBinaryInv
+                                 : ThresholdMode::kBinary;
+  const std::uint8_t thresh =
+      options.use_otsu ? OtsuThreshold(gray)
+                       : (options.white_background ? options.white_threshold
+                                                   : options.black_threshold);
+  const ImageU8 binary = Threshold(gray, thresh, 255, mode);
+
+  const auto contours = FindContours(binary, options.min_component_pixels);
+  if (contours.empty()) {
+    return Status::NotFound("no foreground component after thresholding");
+  }
+
+  PreprocessResult result;
+  result.contour = contours[0];  // Largest area first.
+  result.hu = ComputeHuMoments(ContourMoments(result.contour));
+  const Rect bb = BoundingRect(result.contour);
+  result.cropped_rgb = Crop(rgb, bb.x, bb.y, bb.width, bb.height);
+  return result;
+}
+
+}  // namespace snor

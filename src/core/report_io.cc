@@ -1,0 +1,46 @@
+#include "core/report_io.h"
+
+#include "util/string_util.h"
+
+namespace snor {
+
+TablePrinter ConfusionTable(const EvalReport& report) {
+  std::vector<std::string> header = {"Truth \\ Pred"};
+  for (ObjectClass cls : AllClasses()) {
+    header.emplace_back(ObjectClassName(cls));
+  }
+  TablePrinter table(std::move(header));
+  for (int t = 0; t < kNumClasses; ++t) {
+    std::vector<std::string> row = {
+        std::string(ObjectClassName(ClassFromIndex(t)))};
+    for (int p = 0; p < kNumClasses; ++p) {
+      row.push_back(StrFormat(
+          "%d", report.confusion[static_cast<std::size_t>(t)]
+                                [static_cast<std::size_t>(p)]));
+    }
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+CsvWriter ReportToCsv(const EvalReport& report) {
+  CsvWriter csv({"class", "support", "true_positives", "recall",
+                 "precision_paper", "f1_paper", "precision_std", "f1_std"});
+  for (int c = 0; c < kNumClasses; ++c) {
+    const ClassMetrics& m = report.per_class[static_cast<std::size_t>(c)];
+    csv.AddRow({std::string(ObjectClassName(ClassFromIndex(c))),
+                StrFormat("%d", m.support), StrFormat("%d", m.true_positives),
+                StrFormat("%.6f", m.recall),
+                StrFormat("%.6f", m.precision_paper),
+                StrFormat("%.6f", m.f1_paper),
+                StrFormat("%.6f", m.precision_std),
+                StrFormat("%.6f", m.f1_std)});
+  }
+  return csv;
+}
+
+Status WriteReportCsv(const EvalReport& report, const std::string& path) {
+  return ReportToCsv(report).WriteFile(path);
+}
+
+}  // namespace snor

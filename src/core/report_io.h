@@ -1,0 +1,25 @@
+#ifndef SNOR_CORE_REPORT_IO_H_
+#define SNOR_CORE_REPORT_IO_H_
+
+#include <string>
+
+#include "core/evaluation.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace snor {
+
+/// Renders the confusion matrix of a report as a fixed-width table
+/// (rows = truth, columns = predictions).
+TablePrinter ConfusionTable(const EvalReport& report);
+
+/// Converts a report's per-class metrics to CSV (one row per class),
+/// including both the paper-style and standard precision/F1.
+CsvWriter ReportToCsv(const EvalReport& report);
+
+/// Writes the per-class CSV to `path`.
+Status WriteReportCsv(const EvalReport& report, const std::string& path);
+
+}  // namespace snor
+
+#endif  // SNOR_CORE_REPORT_IO_H_

@@ -1,0 +1,43 @@
+#ifndef SNOR_CORE_SEGMENTATION_H_
+#define SNOR_CORE_SEGMENTATION_H_
+
+#include <vector>
+
+#include "geometry/contour.h"
+#include "img/image.h"
+
+namespace snor {
+
+/// \brief One segmented object region in a camera frame.
+struct SegmentedObject {
+  /// RGB crop of the region's bounding box.
+  ImageU8 crop;
+  /// Bounding box in frame coordinates.
+  Rect bbox;
+  /// Outer contour in frame coordinates.
+  Contour contour;
+};
+
+/// \brief Frame segmentation options.
+struct SegmentationOptions {
+  /// Intensity above which a pixel counts as foreground (dark-background
+  /// frames, as produced by depth-mask segmentation).
+  std::uint8_t threshold = 10;
+  /// Components smaller than this many boundary-enclosed pixels are
+  /// dropped (speckle rejection).
+  int min_pixels = 60;
+  /// Hard cap on returned regions (largest first); 0 = unlimited.
+  int max_objects = 0;
+};
+
+/// Segments a dark-background RGB frame into object regions: global
+/// threshold on the gray image, 8-connected components, Moore contours,
+/// bounding-box crops. Regions are returned largest-area first.
+/// This is the front end the examples' patrol loop and the robot
+/// integration use before per-region classification.
+std::vector<SegmentedObject> SegmentFrame(
+    const ImageU8& frame, const SegmentationOptions& options = {});
+
+}  // namespace snor
+
+#endif  // SNOR_CORE_SEGMENTATION_H_

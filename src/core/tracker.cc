@@ -1,0 +1,114 @@
+#include "core/tracker.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace snor {
+namespace {
+
+double CenterDistance(const Rect& a, const Rect& b) {
+  const double ax = a.x + a.width / 2.0;
+  const double ay = a.y + a.height / 2.0;
+  const double bx = b.x + b.width / 2.0;
+  const double by = b.y + b.height / 2.0;
+  return std::hypot(ax - bx, ay - by);
+}
+
+}  // namespace
+
+Tracker::Tracker(const TrackerOptions& options) : options_(options) {
+  SNOR_CHECK_GT(options.max_center_distance, 0.0);
+  SNOR_CHECK_GE(options.max_missed_frames, 0);
+}
+
+std::vector<int> Tracker::Update(
+    const std::vector<SegmentedObject>& regions) {
+  // Appearance of each incoming region. Background (black-mask) pixels
+  // are excluded so the model describes the object, not the mask.
+  std::vector<ColorHistogram> appearances;
+  appearances.reserve(regions.size());
+  for (const auto& region : regions) {
+    const ImageU8& crop = region.crop;
+    ImageU8 mask(crop.width(), crop.height(), 1, 0);
+    for (int y = 0; y < crop.height(); ++y) {
+      for (int x = 0; x < crop.width(); ++x) {
+        if (crop.at(y, x, 0) || crop.at(y, x, 1) || crop.at(y, x, 2)) {
+          mask.at(y, x) = 255;
+        }
+      }
+    }
+    ColorHistogram h =
+        ColorHistogram::Compute(crop, &mask, options_.hist_bins);
+    h.NormalizeL1();
+    appearances.push_back(std::move(h));
+  }
+
+  // Greedy best-first association: repeatedly take the highest-similarity
+  // (track, region) pair within the spatial gate.
+  std::vector<int> assigned(regions.size(), -1);
+  std::vector<bool> track_used(tracks_.size(), false);
+  for (;;) {
+    double best_sim = options_.min_appearance_similarity;
+    int best_track = -1;
+    int best_region = -1;
+    for (std::size_t t = 0; t < tracks_.size(); ++t) {
+      if (track_used[t]) continue;
+      for (std::size_t r = 0; r < regions.size(); ++r) {
+        if (assigned[r] != -1) continue;
+        if (CenterDistance(tracks_[t].bbox, regions[r].bbox) >
+            options_.max_center_distance) {
+          continue;
+        }
+        const double sim =
+            CompareHistograms(tracks_[t].appearance, appearances[r],
+                              HistCompareMethod::kIntersection);
+        if (sim >= best_sim) {
+          best_sim = sim;
+          best_track = static_cast<int>(t);
+          best_region = static_cast<int>(r);
+        }
+      }
+    }
+    if (best_track < 0) break;
+    Track& track = tracks_[static_cast<std::size_t>(best_track)];
+    track.bbox = regions[static_cast<std::size_t>(best_region)].bbox;
+    track.appearance = appearances[static_cast<std::size_t>(best_region)];
+    track.missed_frames = 0;
+    ++track.hits;
+    track_used[static_cast<std::size_t>(best_track)] = true;
+    assigned[static_cast<std::size_t>(best_region)] = track.id;
+  }
+
+  // Unmatched regions spawn tracks.
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    if (assigned[r] != -1) continue;
+    Track track;
+    track.id = next_id_++;
+    track.bbox = regions[r].bbox;
+    track.appearance = appearances[r];
+    track.hits = 1;
+    assigned[r] = track.id;
+    tracks_.push_back(std::move(track));
+  }
+
+  // Age out unmatched tracks.
+  for (std::size_t t = 0; t < tracks_.size(); ++t) {
+    if (t < track_used.size() && track_used[t]) continue;
+    // Newly created tracks (beyond track_used size) were just matched.
+    if (t >= track_used.size()) continue;
+    ++tracks_[t].missed_frames;
+  }
+  tracks_.erase(
+      std::remove_if(tracks_.begin(), tracks_.end(),
+                     [&](const Track& track) {
+                       return track.missed_frames >
+                              options_.max_missed_frames;
+                     }),
+      tracks_.end());
+
+  return assigned;
+}
+
+}  // namespace snor

@@ -1,0 +1,64 @@
+#ifndef SNOR_CORE_TRACKER_H_
+#define SNOR_CORE_TRACKER_H_
+
+#include <vector>
+
+#include "core/segmentation.h"
+#include "features/histogram.h"
+
+namespace snor {
+
+/// \brief One tracked object hypothesis maintained across frames.
+struct Track {
+  int id = 0;
+  /// Last known bounding box (frame coordinates).
+  Rect bbox;
+  /// Appearance model: L1-normalized RGB histogram of the last crop.
+  ColorHistogram appearance{8};
+  /// Frames since the track was last matched.
+  int missed_frames = 0;
+  /// Total frames the track was observed in.
+  int hits = 0;
+};
+
+/// \brief Tracker options.
+struct TrackerOptions {
+  /// Maximum centre distance (pixels) for a spatial match.
+  double max_center_distance = 60.0;
+  /// Minimum histogram intersection for an appearance match.
+  double min_appearance_similarity = 0.4;
+  /// Tracks unmatched for more than this many frames are dropped.
+  int max_missed_frames = 2;
+  /// Histogram bins per channel for the appearance model.
+  int hist_bins = 8;
+};
+
+/// \brief Frame-to-frame object re-identification, the task the paper's
+/// Normalized-X-Corr reference architecture was built for (Subramaniam et
+/// al.: person re-id "across successive frames"). Segmented regions are
+/// associated to existing tracks greedily by appearance similarity
+/// (histogram intersection) gated by spatial proximity; unmatched regions
+/// open new tracks, stale tracks expire.
+class Tracker {
+ public:
+  explicit Tracker(const TrackerOptions& options = {});
+
+  /// Consumes one frame's segmented regions; returns the track id
+  /// assigned to each region (index-aligned with `regions`).
+  std::vector<int> Update(const std::vector<SegmentedObject>& regions);
+
+  /// Currently alive tracks.
+  const std::vector<Track>& tracks() const { return tracks_; }
+
+  /// Total number of distinct track ids ever created.
+  int total_tracks_created() const { return next_id_ - 1; }
+
+ private:
+  TrackerOptions options_;
+  std::vector<Track> tracks_;
+  int next_id_ = 1;
+};
+
+}  // namespace snor
+
+#endif  // SNOR_CORE_TRACKER_H_

@@ -1,0 +1,29 @@
+#include "core/xcorr_pipeline.h"
+
+namespace snor {
+
+XCorrPipeline::XCorrPipeline(const XCorrPipelineConfig& config)
+    : config_(config), model_(config.model) {}
+
+std::vector<EpochStats> XCorrPipeline::Train(const Dataset& train_set) {
+  const auto pairs =
+      MakeBalancedPairSet(train_set, config_.train_pairs,
+                          config_.train_positive_fraction, config_.pair_seed);
+  const PairTensorDataset tensors =
+      PairsToTensors(pairs, train_set, train_set, config_.model.input_width,
+                     config_.model.input_height);
+  XCorrTrainer trainer(&model_, config_.train);
+  return trainer.Fit(tensors);
+}
+
+BinaryReport XCorrPipeline::EvaluatePairs(
+    const std::vector<PairExample>& pairs, const Dataset& query,
+    const Dataset& gallery) {
+  const PairTensorDataset tensors =
+      PairsToTensors(pairs, query, gallery, config_.model.input_width,
+                     config_.model.input_height);
+  const std::vector<int> predictions = PredictPairs(&model_, tensors);
+  return EvaluateBinary(tensors.labels, predictions);
+}
+
+}  // namespace snor

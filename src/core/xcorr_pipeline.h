@@ -1,0 +1,52 @@
+#ifndef SNOR_CORE_XCORR_PIPELINE_H_
+#define SNOR_CORE_XCORR_PIPELINE_H_
+
+#include <vector>
+
+#include "core/evaluation.h"
+#include "data/pairs.h"
+#include "nn/model.h"
+#include "nn/trainer.h"
+
+namespace snor {
+
+/// \brief End-to-end configuration of the paper's fifth pipeline (§3.4):
+/// train the Normalized-X-Corr pair classifier on SNS2-derived pairs, then
+/// evaluate it as a binary similar/dissimilar classifier on held-out pair
+/// sets. Defaults are CPU-scaled (see DESIGN.md substitution table); the
+/// paper's exact pair counts are used by bench/table4_xcorr.
+struct XCorrPipelineConfig {
+  XCorrModelConfig model;
+  XCorrTrainOptions train;
+  /// Number of training pairs sampled from the training dataset.
+  int train_pairs = 1500;
+  /// Fraction of "similar" training pairs (paper: 52%).
+  double train_positive_fraction = 0.52;
+  std::uint64_t pair_seed = 31;
+};
+
+/// \brief Trains and evaluates the Normalized-X-Corr pair classifier.
+class XCorrPipeline {
+ public:
+  explicit XCorrPipeline(const XCorrPipelineConfig& config);
+
+  /// Builds the training pair set from `train_set` (the paper uses SNS2)
+  /// and fits the model. Returns per-epoch stats.
+  std::vector<EpochStats> Train(const Dataset& train_set);
+
+  /// Evaluates the trained model on explicit pairs across two datasets
+  /// (`gallery` may equal `query`).
+  BinaryReport EvaluatePairs(const std::vector<PairExample>& pairs,
+                             const Dataset& query, const Dataset& gallery);
+
+  XCorrModel& model() { return model_; }
+  const XCorrPipelineConfig& config() const { return config_; }
+
+ private:
+  XCorrPipelineConfig config_;
+  XCorrModel model_;
+};
+
+}  // namespace snor
+
+#endif  // SNOR_CORE_XCORR_PIPELINE_H_

@@ -1,0 +1,71 @@
+#include "data/augment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "img/transform.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace snor {
+
+ImageU8 AugmentImage(const ImageU8& image, const AugmentOptions& options,
+                     Rng& rng) {
+  ImageU8 out = image;
+  const std::uint8_t bg = image.at(0, 0, 0);
+
+  if (options.allow_horizontal_flip && rng.Bernoulli(0.5)) {
+    out = FlipHorizontal(out);
+  }
+  if (options.max_rotation_deg > 0.0) {
+    const double angle =
+        rng.Uniform(-options.max_rotation_deg, options.max_rotation_deg);
+    out = Rotate(out, angle, bg);
+  }
+
+  const double illum =
+      1.0 + rng.Uniform(-options.illumination_jitter,
+                        options.illumination_jitter);
+  const double noise =
+      options.max_noise_stddev > 0
+          ? rng.Uniform(0.0, options.max_noise_stddev)
+          : 0.0;
+  if (illum != 1.0 || noise > 0.0) {
+    for (int y = 0; y < out.height(); ++y) {
+      for (int x = 0; x < out.width(); ++x) {
+        const bool is_bg = out.at(y, x, 0) == bg && out.at(y, x, 1) == bg &&
+                           out.at(y, x, 2) == bg;
+        if (is_bg) continue;
+        for (int c = 0; c < out.channels(); ++c) {
+          double v = out.at(y, x, c) * illum;
+          if (noise > 0.0) v += rng.Normal(0.0, noise);
+          out.at(y, x, c) =
+              static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Dataset AugmentDataset(const Dataset& dataset, int copies_per_item,
+                       const AugmentOptions& options) {
+  SNOR_CHECK_GE(copies_per_item, 0);
+  Dataset out;
+  out.name = dataset.name + "+aug";
+  out.items.reserve(dataset.size() * (1 + static_cast<std::size_t>(
+                                              copies_per_item)));
+  Rng rng(options.seed);
+  for (const auto& item : dataset.items) {
+    out.items.push_back(item);
+    for (int k = 0; k < copies_per_item; ++k) {
+      LabeledImage copy = item;
+      copy.image = AugmentImage(item.image, options, rng);
+      copy.view_id = item.view_id * 1000 + k + 1;
+      out.items.push_back(std::move(copy));
+    }
+  }
+  return out;
+}
+
+}  // namespace snor

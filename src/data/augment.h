@@ -1,0 +1,38 @@
+#ifndef SNOR_DATA_AUGMENT_H_
+#define SNOR_DATA_AUGMENT_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace snor {
+
+/// \brief Augmentation knobs: which transforms may be applied and how
+/// strongly. Supports the paper's future-work plan of "increasing the
+/// heterogeneity of our datasets ... by augmenting the cardinality of
+/// each class".
+struct AugmentOptions {
+  bool allow_horizontal_flip = true;
+  /// Max |rotation| in degrees.
+  double max_rotation_deg = 20.0;
+  /// Illumination multiplier range [1 - x, 1 + x].
+  double illumination_jitter = 0.25;
+  /// Additive Gaussian pixel noise upper bound.
+  double max_noise_stddev = 8.0;
+  std::uint64_t seed = 404;
+};
+
+/// Returns a dataset containing the originals plus `copies_per_item`
+/// randomly transformed variants of each item (labels preserved). The
+/// background colour for rotation fill is inferred from the corner pixel.
+Dataset AugmentDataset(const Dataset& dataset, int copies_per_item,
+                       const AugmentOptions& options = {});
+
+/// Applies one random augmentation to a single image (exposed for tests).
+ImageU8 AugmentImage(const ImageU8& image, const AugmentOptions& options,
+                     Rng& rng);
+
+}  // namespace snor
+
+#endif  // SNOR_DATA_AUGMENT_H_

@@ -1,0 +1,74 @@
+#ifndef SNOR_DATA_DATASET_H_
+#define SNOR_DATA_DATASET_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "data/object_class.h"
+#include "data/renderer.h"
+#include "img/image.h"
+
+namespace snor {
+
+/// \brief One dataset item: a rendered view/crop with its ground truth.
+struct LabeledImage {
+  ImageU8 image;
+  ObjectClass label = ObjectClass::kChair;
+  /// Which model archetype the item was rendered from.
+  int model_id = 0;
+  /// View index within the model (rotation/scale variant).
+  int view_id = 0;
+};
+
+/// \brief A named collection of labelled images.
+struct Dataset {
+  std::string name;
+  std::vector<LabeledImage> items;
+
+  std::size_t size() const { return items.size(); }
+
+  /// Number of items per class, Table-1 order.
+  std::array<int, kNumClasses> ClassCounts() const;
+};
+
+/// Per-class view counts of ShapeNetSet1 (Table 1): 82 views total across
+/// two models per class.
+const std::array<int, kNumClasses>& ShapeNetSet1Counts();
+
+/// Per-class view counts of ShapeNetSet2 (Table 1): 10 per class.
+const std::array<int, kNumClasses>& ShapeNetSet2Counts();
+
+/// Per-class instance counts of the NYUSet (Table 1): 6,934 total.
+const std::array<int, kNumClasses>& NyuSetCounts();
+
+/// Options shared by the dataset builders.
+struct DatasetOptions {
+  /// Canvas size of rendered images.
+  int canvas_size = 96;
+  /// Deterministic generation seed.
+  std::uint64_t seed = 2019;
+  /// Fraction of the nominal per-class cardinality to generate (the NYU
+  /// set is large; benches may subsample). Counts are rounded up to >= 1.
+  double sample_fraction = 1.0;
+};
+
+/// Builds the synthetic ShapeNetSet1: two models per class, white
+/// background, views at multiples of 90 degrees (per the paper, extra
+/// views are derived by rotating existing ones). Class cardinalities match
+/// Table 1 exactly at sample_fraction = 1.
+Dataset MakeShapeNetSet1(const DatasetOptions& options = {});
+
+/// Builds the synthetic ShapeNetSet2: ten views per class over two
+/// *different* models (ids 2 and 3), with denser angle/scale coverage.
+Dataset MakeShapeNetSet2(const DatasetOptions& options = {});
+
+/// Builds the synthetic NYUSet: black-background segmented crops with
+/// sensor noise, illumination changes, partial occlusion, and wide
+/// intra-class variation (many model ids). Class cardinalities match
+/// Table 1 at sample_fraction = 1 (6,934 items).
+Dataset MakeNyuSet(const DatasetOptions& options = {});
+
+}  // namespace snor
+
+#endif  // SNOR_DATA_DATASET_H_

@@ -1,0 +1,48 @@
+#include "data/object_class.h"
+
+#include "util/check.h"
+
+namespace snor {
+
+const std::array<ObjectClass, kNumClasses>& AllClasses() {
+  static constexpr std::array<ObjectClass, kNumClasses> kAll = {
+      ObjectClass::kChair, ObjectClass::kBottle, ObjectClass::kPaper,
+      ObjectClass::kBook,  ObjectClass::kTable,  ObjectClass::kBox,
+      ObjectClass::kWindow, ObjectClass::kDoor,  ObjectClass::kSofa,
+      ObjectClass::kLamp,
+  };
+  return kAll;
+}
+
+std::string_view ObjectClassName(ObjectClass cls) {
+  switch (cls) {
+    case ObjectClass::kChair:
+      return "Chair";
+    case ObjectClass::kBottle:
+      return "Bottle";
+    case ObjectClass::kPaper:
+      return "Paper";
+    case ObjectClass::kBook:
+      return "Book";
+    case ObjectClass::kTable:
+      return "Table";
+    case ObjectClass::kBox:
+      return "Box";
+    case ObjectClass::kWindow:
+      return "Window";
+    case ObjectClass::kDoor:
+      return "Door";
+    case ObjectClass::kSofa:
+      return "Sofa";
+    case ObjectClass::kLamp:
+      return "Lamp";
+  }
+  return "Unknown";
+}
+
+ObjectClass ClassFromIndex(int index) {
+  SNOR_CHECK(index >= 0 && index < kNumClasses);
+  return static_cast<ObjectClass>(index);
+}
+
+}  // namespace snor

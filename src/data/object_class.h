@@ -1,0 +1,40 @@
+#ifndef SNOR_DATA_OBJECT_CLASS_H_
+#define SNOR_DATA_OBJECT_CLASS_H_
+
+#include <array>
+#include <string_view>
+
+namespace snor {
+
+/// \brief The ten indoor object categories studied in the paper (Table 1).
+enum class ObjectClass {
+  kChair = 0,
+  kBottle,
+  kPaper,
+  kBook,
+  kTable,
+  kBox,
+  kWindow,
+  kDoor,
+  kSofa,
+  kLamp,
+};
+
+/// Number of object categories.
+inline constexpr int kNumClasses = 10;
+
+/// All classes in Table-1 order.
+const std::array<ObjectClass, kNumClasses>& AllClasses();
+
+/// Human-readable class name ("Chair", ...).
+std::string_view ObjectClassName(ObjectClass cls);
+
+/// Integer index of a class (0..9).
+inline int ClassIndex(ObjectClass cls) { return static_cast<int>(cls); }
+
+/// Class for an index in [0, kNumClasses).
+ObjectClass ClassFromIndex(int index);
+
+}  // namespace snor
+
+#endif  // SNOR_DATA_OBJECT_CLASS_H_

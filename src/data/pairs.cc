@@ -1,0 +1,159 @@
+#include "data/pairs.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "img/resize.h"
+#include "nn/model.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace snor {
+
+std::vector<PairExample> MakeAllUnorderedPairs(const Dataset& dataset) {
+  std::vector<PairExample> pairs;
+  const int n = static_cast<int>(dataset.size());
+  pairs.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      PairExample p;
+      p.index_a = i;
+      p.index_b = j;
+      p.label = dataset.items[static_cast<std::size_t>(i)].label ==
+                        dataset.items[static_cast<std::size_t>(j)].label
+                    ? 1
+                    : 0;
+      pairs.push_back(p);
+    }
+  }
+  return pairs;
+}
+
+std::vector<PairExample> MakeCrossProductPairs(const Dataset& query,
+                                               const Dataset& gallery) {
+  std::vector<PairExample> pairs;
+  pairs.reserve(query.size() * gallery.size());
+  for (std::size_t i = 0; i < query.size(); ++i) {
+    for (std::size_t j = 0; j < gallery.size(); ++j) {
+      PairExample p;
+      p.index_a = static_cast<int>(i);
+      p.index_b = static_cast<int>(j);
+      p.label = query.items[i].label == gallery.items[j].label ? 1 : 0;
+      pairs.push_back(p);
+    }
+  }
+  return pairs;
+}
+
+std::vector<PairExample> MakeBalancedPairSet(const Dataset& dataset,
+                                             int n_pairs,
+                                             double positive_fraction,
+                                             std::uint64_t seed) {
+  SNOR_CHECK_GT(n_pairs, 0);
+  SNOR_CHECK(positive_fraction >= 0.0 && positive_fraction <= 1.0);
+  SNOR_CHECK_GE(dataset.size(), 2u);
+
+  // Bucket item indices by class.
+  std::vector<std::vector<int>> by_class(kNumClasses);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    by_class[static_cast<std::size_t>(ClassIndex(dataset.items[i].label))]
+        .push_back(static_cast<int>(i));
+  }
+
+  Rng rng(seed);
+  const int n_pos = static_cast<int>(std::lround(n_pairs * positive_fraction));
+  std::vector<PairExample> pairs;
+  pairs.reserve(static_cast<std::size_t>(n_pairs));
+
+  // Positive pairs: two distinct items of a random non-singleton class.
+  std::vector<int> usable_classes;
+  for (int c = 0; c < kNumClasses; ++c) {
+    if (by_class[static_cast<std::size_t>(c)].size() >= 2) {
+      usable_classes.push_back(c);
+    }
+  }
+  SNOR_CHECK(!usable_classes.empty());
+  for (int i = 0; i < n_pos; ++i) {
+    const auto& bucket =
+        by_class[static_cast<std::size_t>(
+            usable_classes[rng.Index(usable_classes.size())])];
+    const int a = bucket[rng.Index(bucket.size())];
+    int b = bucket[rng.Index(bucket.size())];
+    while (b == a) b = bucket[rng.Index(bucket.size())];
+    pairs.push_back(PairExample{a, b, 1});
+  }
+  // Negative pairs: items of two different classes.
+  while (static_cast<int>(pairs.size()) < n_pairs) {
+    const int a = static_cast<int>(rng.Index(dataset.size()));
+    const int b = static_cast<int>(rng.Index(dataset.size()));
+    if (dataset.items[static_cast<std::size_t>(a)].label ==
+        dataset.items[static_cast<std::size_t>(b)].label) {
+      continue;
+    }
+    pairs.push_back(PairExample{a, b, 0});
+  }
+  rng.Shuffle(pairs);
+  return pairs;
+}
+
+std::vector<PairExample> ResamplePairs(const std::vector<PairExample>& pairs,
+                                       int n_pairs, double positive_fraction,
+                                       std::uint64_t seed) {
+  SNOR_CHECK_GT(n_pairs, 0);
+  std::vector<PairExample> positives;
+  std::vector<PairExample> negatives;
+  for (const auto& p : pairs) {
+    (p.label == 1 ? positives : negatives).push_back(p);
+  }
+  SNOR_CHECK(!positives.empty());
+  SNOR_CHECK(!negatives.empty());
+
+  Rng rng(seed);
+  const int n_pos = static_cast<int>(std::lround(n_pairs * positive_fraction));
+  std::vector<PairExample> out;
+  out.reserve(static_cast<std::size_t>(n_pairs));
+  for (int i = 0; i < n_pos; ++i) {
+    out.push_back(positives[rng.Index(positives.size())]);
+  }
+  for (int i = n_pos; i < n_pairs; ++i) {
+    out.push_back(negatives[rng.Index(negatives.size())]);
+  }
+  rng.Shuffle(out);
+  return out;
+}
+
+PairTensorDataset PairsToTensors(const std::vector<PairExample>& pairs,
+                                 const Dataset& query, const Dataset& gallery,
+                                 int width, int height) {
+  PairTensorDataset data;
+  data.a.reserve(pairs.size());
+  data.b.reserve(pairs.size());
+  data.labels.reserve(pairs.size());
+
+  // Resize each referenced image once (cache by index).
+  std::vector<Tensor> query_cache(query.size());
+  std::vector<bool> query_ready(query.size(), false);
+  std::vector<Tensor> gallery_cache(gallery.size());
+  std::vector<bool> gallery_ready(gallery.size(), false);
+
+  auto tensor_of = [&](const Dataset& ds, std::vector<Tensor>& cache,
+                       std::vector<bool>& ready, int idx) -> const Tensor& {
+    auto i = static_cast<std::size_t>(idx);
+    if (!ready[i]) {
+      cache[i] =
+          ImageToTensor(Resize(ds.items[i].image, width, height));
+      ready[i] = true;
+    }
+    return cache[i];
+  };
+
+  for (const auto& p : pairs) {
+    data.a.push_back(tensor_of(query, query_cache, query_ready, p.index_a));
+    data.b.push_back(
+        tensor_of(gallery, gallery_cache, gallery_ready, p.index_b));
+    data.labels.push_back(p.label);
+  }
+  return data;
+}
+
+}  // namespace snor

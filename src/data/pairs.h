@@ -1,0 +1,57 @@
+#ifndef SNOR_DATA_PAIRS_H_
+#define SNOR_DATA_PAIRS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/trainer.h"
+
+namespace snor {
+
+/// \brief An image-pair example referencing dataset indices.
+struct PairExample {
+  /// Index into the first (query) dataset.
+  int index_a = 0;
+  /// Index into the second (gallery) dataset (may be the same dataset).
+  int index_b = 0;
+  /// 1 when both items share the object class ("similar"), else 0.
+  int label = 0;
+};
+
+/// All unordered pairs {i, j}, i < j, within one dataset, labelled by
+/// class equality. For the 82-view SNS1 this yields exactly the paper's
+/// 3,321 test pairs (§3.4).
+std::vector<PairExample> MakeAllUnorderedPairs(const Dataset& dataset);
+
+/// Cartesian product pairs between a query and a gallery dataset,
+/// labelled by class equality (used for the NYU x SNS1 test set).
+std::vector<PairExample> MakeCrossProductPairs(const Dataset& query,
+                                               const Dataset& gallery);
+
+/// Samples `n_pairs` ordered pairs from `dataset` with the requested
+/// positive fraction (the paper's SNS2 training set: 9,450 pairs, 52%
+/// similar). Positives repeat when the dataset has too few same-class
+/// permutations; sampling is deterministic in `seed`.
+std::vector<PairExample> MakeBalancedPairSet(const Dataset& dataset,
+                                             int n_pairs,
+                                             double positive_fraction,
+                                             std::uint64_t seed);
+
+/// Subsamples `pairs` to `n_pairs` with the given positive fraction
+/// (used to mirror the paper's 8,200-pair NYU+SNS1 support split of
+/// 4,160 similar / 4,040 dissimilar).
+std::vector<PairExample> ResamplePairs(const std::vector<PairExample>& pairs,
+                                       int n_pairs, double positive_fraction,
+                                       std::uint64_t seed);
+
+/// Converts pair examples into the tensors consumed by `XCorrModel`:
+/// both images are resized to (width, height) and scaled to [0, 1].
+/// `gallery` may equal `query` for within-set pairs.
+PairTensorDataset PairsToTensors(const std::vector<PairExample>& pairs,
+                                 const Dataset& query, const Dataset& gallery,
+                                 int width, int height);
+
+}  // namespace snor
+
+#endif  // SNOR_DATA_PAIRS_H_

@@ -1,0 +1,798 @@
+#include "data/renderer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "img/color.h"
+#include "img/draw.h"
+#include "img/resize.h"
+#include "img/transform.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace snor {
+namespace {
+
+// Maps the 100x100 design box used by the archetype functions onto the
+// canvas (centred, ~75% coverage at scale 1).
+struct Frame {
+  double cx;
+  double cy;
+  double u;  // Canvas pixels per design unit.
+
+  double X(double x) const { return cx + (x - 50.0) * u; }
+  double Y(double y) const { return cy + (y - 50.0) * u; }
+  double L(double v) const { return v * u; }
+};
+
+// Deterministic per-model seed.
+std::uint64_t ModelSeed(ObjectClass cls, int model_id) {
+  return 0x5EEDULL * 2654435761ULL +
+         static_cast<std::uint64_t>(ClassIndex(cls)) * 1000003ULL +
+         static_cast<std::uint64_t>(model_id) * 7919ULL;
+}
+
+Rgb Jitter(Rng& rng, const Rgb& base, int amount) {
+  auto j = [&](int v) {
+    return static_cast<std::uint8_t>(std::clamp(
+        v + static_cast<int>(rng.UniformInt(-amount, amount)), 0, 255));
+  };
+  return Rgb{j(base.r), j(base.g), j(base.b)};
+}
+
+template <std::size_t N>
+Rgb PickColor(Rng& rng, const std::array<Rgb, N>& palette, int jitter = 18) {
+  return Jitter(rng, palette[rng.Index(N)], jitter);
+}
+
+// --------------------------------------------------------------- Chair --
+// Variants: 0 = dining chair, 1 = stool, 2 = office chair (pedestal).
+
+void DrawChair(ImageU8& img, const Frame& f, Rng& rng) {
+  static constexpr std::array<Rgb, 4> kPalette = {
+      Rgb{120, 72, 40}, Rgb{90, 50, 30}, Rgb{110, 30, 30}, Rgb{70, 70, 75}};
+  const Rgb wood = PickColor(rng, kPalette);
+  const Rgb seat_color = Jitter(rng, wood, 12);
+  const int variant = static_cast<int>(rng.UniformInt(0, 2));
+  const double seat_w = rng.Uniform(34, 54);
+  const double seat_h = rng.Uniform(6, 12);
+  const double left = 50 - seat_w / 2;
+
+  switch (variant) {
+    case 0: {  // Dining chair: backrest + seat + two legs.
+      const double seat_y = rng.Uniform(50, 60);
+      const double back_h = rng.Uniform(26, 42);
+      const double leg_w = rng.Uniform(3.5, 7);
+      const double leg_h = 92 - (seat_y + seat_h);
+      if (rng.Bernoulli(0.5)) {
+        // Slatted backrest.
+        FillRect(img, f.X(left), f.Y(seat_y - back_h), f.L(leg_w),
+                 f.L(back_h), wood);
+        FillRect(img, f.X(left + seat_w - leg_w), f.Y(seat_y - back_h),
+                 f.L(leg_w), f.L(back_h), wood);
+        const int slats = 2 + static_cast<int>(rng.UniformInt(0, 1));
+        for (int s = 0; s < slats; ++s) {
+          const double sy =
+              seat_y - back_h + (s + 0.5) * back_h / (slats + 0.5);
+          FillRect(img, f.X(left), f.Y(sy), f.L(seat_w), f.L(4.0), wood);
+        }
+      } else {
+        FillRect(img, f.X(left), f.Y(seat_y - back_h), f.L(seat_w),
+                 f.L(back_h), wood);
+      }
+      FillRect(img, f.X(left - 2), f.Y(seat_y), f.L(seat_w + 4),
+               f.L(seat_h), seat_color);
+      FillRect(img, f.X(left), f.Y(seat_y + seat_h), f.L(leg_w), f.L(leg_h),
+               wood);
+      FillRect(img, f.X(left + seat_w - leg_w), f.Y(seat_y + seat_h),
+               f.L(leg_w), f.L(leg_h), wood);
+      break;
+    }
+    case 1: {  // Stool: thick seat, splayed legs, no backrest.
+      const double seat_y = rng.Uniform(34, 46);
+      FillEllipse(img, f.X(50), f.Y(seat_y), f.L(seat_w / 2),
+                  f.L(seat_h * 0.8), seat_color);
+      const double leg_t = rng.Uniform(3, 5.5);
+      DrawLine(img, {f.X(50 - seat_w * 0.32), f.Y(seat_y + 2)},
+               {f.X(50 - seat_w * 0.45), f.Y(90)}, f.L(leg_t), wood);
+      DrawLine(img, {f.X(50 + seat_w * 0.32), f.Y(seat_y + 2)},
+               {f.X(50 + seat_w * 0.45), f.Y(90)}, f.L(leg_t), wood);
+      if (rng.Bernoulli(0.7)) {
+        // Foot ring.
+        DrawLine(img, {f.X(50 - seat_w * 0.4), f.Y(72)},
+                 {f.X(50 + seat_w * 0.4), f.Y(72)}, f.L(2.5), wood);
+      }
+      break;
+    }
+    default: {  // Office chair: backrest, seat, pedestal, base bar.
+      const double seat_y = rng.Uniform(48, 56);
+      const double back_h = rng.Uniform(28, 40);
+      FillRect(img, f.X(left + 4), f.Y(seat_y - back_h), f.L(seat_w - 8),
+               f.L(back_h), seat_color);
+      FillRect(img, f.X(left), f.Y(seat_y), f.L(seat_w), f.L(seat_h + 2),
+               seat_color);
+      FillRect(img, f.X(50 - 2.5), f.Y(seat_y + seat_h), f.L(5),
+               f.L(86 - seat_y - seat_h), wood);
+      FillRect(img, f.X(50 - seat_w * 0.45), f.Y(86), f.L(seat_w * 0.9),
+               f.L(4), wood);
+      FillCircle(img, f.X(50 - seat_w * 0.42), f.Y(91), f.L(2.6), wood);
+      FillCircle(img, f.X(50 + seat_w * 0.42), f.Y(91), f.L(2.6), wood);
+      break;
+    }
+  }
+}
+
+// -------------------------------------------------------------- Bottle --
+// Variants: 0 = wine bottle, 1 = jug, 2 = flask.
+
+void DrawBottle(ImageU8& img, const Frame& f, Rng& rng) {
+  static constexpr std::array<Rgb, 4> kPalette = {
+      Rgb{30, 110, 60}, Rgb{40, 80, 140}, Rgb{130, 90, 40},
+      Rgb{150, 150, 155}};
+  const Rgb glass = PickColor(rng, kPalette);
+  const Rgb cap = Jitter(rng, Rgb{60, 60, 60}, 20);
+  const int variant = static_cast<int>(rng.UniformInt(0, 2));
+
+  switch (variant) {
+    case 0: {  // Wine bottle: tall body, long neck.
+      const double body_w = rng.Uniform(16, 24);
+      const double body_top = rng.Uniform(38, 46);
+      const double neck_w = rng.Uniform(5, 8);
+      const double neck_top = rng.Uniform(12, 20);
+      FillRect(img, f.X(50 - body_w / 2), f.Y(body_top), f.L(body_w),
+               f.L(90 - body_top), glass);
+      FillEllipse(img, f.X(50), f.Y(body_top), f.L(body_w / 2), f.L(6),
+                  glass);
+      FillRect(img, f.X(50 - neck_w / 2), f.Y(neck_top), f.L(neck_w),
+               f.L(body_top - neck_top + 2), glass);
+      FillRect(img, f.X(50 - neck_w / 2 - 1), f.Y(neck_top - 5),
+               f.L(neck_w + 2), f.L(6), cap);
+      if (rng.Bernoulli(0.7)) {
+        FillRect(img, f.X(50 - body_w / 2), f.Y(body_top + 18), f.L(body_w),
+                 f.L(14), Jitter(rng, Rgb{225, 225, 215}, 15));
+      }
+      break;
+    }
+    case 1: {  // Jug: wide body, short neck, side handle.
+      const double body_w = rng.Uniform(30, 42);
+      const double body_top = rng.Uniform(38, 46);
+      FillEllipse(img, f.X(50), f.Y((body_top + 90) / 2), f.L(body_w / 2),
+                  f.L((90 - body_top) / 2), glass);
+      const double neck_w = rng.Uniform(10, 15);
+      FillRect(img, f.X(50 - neck_w / 2), f.Y(body_top - 12), f.L(neck_w),
+               f.L(16), glass);
+      FillRect(img, f.X(50 - neck_w / 2 - 1.5), f.Y(body_top - 16),
+               f.L(neck_w + 3), f.L(5), cap);
+      // Handle loop.
+      DrawLine(img, {f.X(50 + body_w / 2 - 2), f.Y(body_top + 4)},
+               {f.X(50 + body_w / 2 + 7), f.Y(body_top + 16)}, f.L(3),
+               glass);
+      DrawLine(img, {f.X(50 + body_w / 2 + 7), f.Y(body_top + 16)},
+               {f.X(50 + body_w / 2 - 2), f.Y(body_top + 28)}, f.L(3),
+               glass);
+      break;
+    }
+    default: {  // Flask: short wide body, tiny neck.
+      const double body_w = rng.Uniform(26, 36);
+      const double body_top = rng.Uniform(52, 60);
+      FillRect(img, f.X(50 - body_w / 2), f.Y(body_top), f.L(body_w),
+               f.L(88 - body_top), glass);
+      FillEllipse(img, f.X(50), f.Y(body_top), f.L(body_w / 2), f.L(5),
+                  glass);
+      const double neck_w = rng.Uniform(6, 9);
+      FillRect(img, f.X(50 - neck_w / 2), f.Y(body_top - 14), f.L(neck_w),
+               f.L(16), glass);
+      FillRect(img, f.X(50 - neck_w / 2 - 1), f.Y(body_top - 18),
+               f.L(neck_w + 2), f.L(5), cap);
+      break;
+    }
+  }
+}
+
+// --------------------------------------------------------------- Paper --
+// Variants: 0 = single sheet, 1 = sheet stack, 2 = curled sheet.
+
+void DrawPaper(ImageU8& img, const Frame& f, Rng& rng) {
+  const Rgb sheet = Jitter(rng, Rgb{240, 240, 232}, 8);
+  const Rgb line = Jitter(rng, Rgb{170, 170, 180}, 15);
+  const int variant = static_cast<int>(rng.UniformInt(0, 2));
+  auto jit = [&](double v, double a) { return v + rng.Uniform(-a, a); };
+
+  switch (variant) {
+    case 1: {  // Stack: three offset sheets.
+      for (int s = 2; s >= 0; --s) {
+        const double off = s * rng.Uniform(2.0, 4.0);
+        FillPolygon(img,
+                    {{f.X(26 + off), f.Y(16 + off)},
+                     {f.X(74 + off), f.Y(18 + off)},
+                     {f.X(72 + off), f.Y(84 + off)},
+                     {f.X(28 + off), f.Y(82 + off)}},
+                    ScaleRgb(sheet, 1.0 - 0.06 * s));
+      }
+      break;
+    }
+    case 2: {  // Curled: trapezoid with a folded corner.
+      FillPolygon(img,
+                  {{f.X(jit(28, 4)), f.Y(jit(20, 4))},
+                   {f.X(jit(76, 4)), f.Y(jit(14, 4))},
+                   {f.X(jit(70, 4)), f.Y(jit(86, 4))},
+                   {f.X(jit(24, 4)), f.Y(jit(80, 4))}},
+                  sheet);
+      FillPolygon(img,
+                  {{f.X(76), f.Y(14)},
+                   {f.X(66), f.Y(16)},
+                   {f.X(74), f.Y(26)}},
+                  ScaleRgb(sheet, 0.85));
+      break;
+    }
+    default: {  // Single lined sheet.
+      FillPolygon(img,
+                  {{f.X(jit(25, 3)), f.Y(jit(15, 3))},
+                   {f.X(jit(75, 3)), f.Y(jit(17, 3))},
+                   {f.X(jit(73, 3)), f.Y(jit(85, 3))},
+                   {f.X(jit(27, 3)), f.Y(jit(83, 3))}},
+                  sheet);
+      const int lines = 4 + static_cast<int>(rng.UniformInt(0, 3));
+      for (int i = 0; i < lines; ++i) {
+        const double y = 26 + i * 56.0 / lines;
+        FillRect(img, f.X(32), f.Y(y), f.L(36 + rng.Uniform(-6, 2)),
+                 f.L(1.6), line);
+      }
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------- Book --
+// Variants: 0 = front cover, 1 = open book, 2 = spine-on.
+
+void DrawBook(ImageU8& img, const Frame& f, Rng& rng) {
+  static constexpr std::array<Rgb, 5> kPalette = {
+      Rgb{150, 40, 40}, Rgb{40, 70, 140}, Rgb{30, 110, 70},
+      Rgb{140, 100, 30}, Rgb{90, 40, 110}};
+  const Rgb cover = PickColor(rng, kPalette);
+  const Rgb spine = ScaleRgb(cover, 0.6);
+  const Rgb pages = Jitter(rng, Rgb{235, 232, 220}, 8);
+  const int variant = static_cast<int>(rng.UniformInt(0, 2));
+
+  switch (variant) {
+    case 1: {  // Open book: two page quads meeting at a spine valley.
+      FillPolygon(img,
+                  {{f.X(50), f.Y(30)},
+                   {f.X(14), f.Y(24)},
+                   {f.X(16), f.Y(74)},
+                   {f.X(50), f.Y(82)}},
+                  pages);
+      FillPolygon(img,
+                  {{f.X(50), f.Y(30)},
+                   {f.X(86), f.Y(24)},
+                   {f.X(84), f.Y(74)},
+                   {f.X(50), f.Y(82)}},
+                  ScaleRgb(pages, 0.94));
+      FillRect(img, f.X(49), f.Y(30), f.L(2), f.L(52), spine);
+      const int lines = 3 + static_cast<int>(rng.UniformInt(0, 2));
+      for (int i = 0; i < lines; ++i) {
+        const double y = 36 + i * 34.0 / lines;
+        FillRect(img, f.X(22), f.Y(y), f.L(22), f.L(1.4),
+                 Jitter(rng, Rgb{180, 180, 185}, 10));
+        FillRect(img, f.X(56), f.Y(y), f.L(22), f.L(1.4),
+                 Jitter(rng, Rgb{180, 180, 185}, 10));
+      }
+      break;
+    }
+    case 2: {  // Spine-on: tall thin block with title bands.
+      const double w = rng.Uniform(12, 20);
+      const double h = rng.Uniform(56, 72);
+      FillRect(img, f.X(50 - w / 2), f.Y(50 - h / 2), f.L(w), f.L(h),
+               cover);
+      FillRect(img, f.X(50 - w / 2 + 1.5), f.Y(50 - h / 2 + 8),
+               f.L(w - 3), f.L(6), Jitter(rng, Rgb{220, 210, 190}, 12));
+      FillRect(img, f.X(50 - w / 2 + 1.5), f.Y(50 + h / 2 - 16),
+               f.L(w - 3), f.L(6), Jitter(rng, Rgb{220, 210, 190}, 12));
+      break;
+    }
+    default: {  // Front cover with spine and page block.
+      const double w = rng.Uniform(34, 50);
+      const double h = rng.Uniform(46, 66);
+      const double left = 50 - w / 2;
+      const double top = 50 - h / 2;
+      FillRect(img, f.X(left), f.Y(top), f.L(w), f.L(h), cover);
+      FillRect(img, f.X(left), f.Y(top), f.L(7), f.L(h), spine);
+      FillRect(img, f.X(left + w - 4), f.Y(top + 2), f.L(4), f.L(h - 4),
+               pages);
+      FillRect(img, f.X(left + 12), f.Y(top + h * 0.22), f.L(w - 20),
+               f.L(7), Jitter(rng, Rgb{220, 210, 190}, 12));
+      break;
+    }
+  }
+}
+
+// --------------------------------------------------------------- Table --
+// Variants: 0 = side view 2 legs, 1 = pedestal table, 2 = desk (4 legs).
+
+void DrawTable(ImageU8& img, const Frame& f, Rng& rng) {
+  static constexpr std::array<Rgb, 3> kPalette = {
+      Rgb{130, 85, 45}, Rgb{100, 65, 35}, Rgb{160, 130, 95}};
+  const Rgb wood = PickColor(rng, kPalette);
+  const Rgb leg_color = ScaleRgb(wood, 0.85);
+  const int variant = static_cast<int>(rng.UniformInt(0, 2));
+  const double top_w = rng.Uniform(56, 80);
+  const double top_h = rng.Uniform(5, 11);
+  const double top_y = rng.Uniform(34, 46);
+  const double left = 50 - top_w / 2;
+
+  FillRect(img, f.X(left), f.Y(top_y), f.L(top_w), f.L(top_h), wood);
+  switch (variant) {
+    case 1: {  // Pedestal: centre pole + foot.
+      FillRect(img, f.X(50 - 3), f.Y(top_y + top_h), f.L(6),
+               f.L(84 - top_y - top_h), leg_color);
+      FillEllipse(img, f.X(50), f.Y(86), f.L(top_w * 0.25), f.L(4),
+                  leg_color);
+      break;
+    }
+    case 2: {  // Desk: outer legs + two inner (far) legs.
+      const double leg_w = rng.Uniform(4, 6);
+      const double leg_h = 88 - top_y - top_h;
+      FillRect(img, f.X(left + 1), f.Y(top_y + top_h), f.L(leg_w),
+               f.L(leg_h), leg_color);
+      FillRect(img, f.X(left + top_w - leg_w - 1), f.Y(top_y + top_h),
+               f.L(leg_w), f.L(leg_h), leg_color);
+      FillRect(img, f.X(left + top_w * 0.28), f.Y(top_y + top_h),
+               f.L(leg_w * 0.7), f.L(leg_h * 0.8), ScaleRgb(leg_color, 0.8));
+      FillRect(img, f.X(left + top_w * 0.66), f.Y(top_y + top_h),
+               f.L(leg_w * 0.7), f.L(leg_h * 0.8), ScaleRgb(leg_color, 0.8));
+      break;
+    }
+    default: {  // Side view with two legs and optional brace.
+      const double leg_w = rng.Uniform(4.5, 7);
+      FillRect(img, f.X(left + 2), f.Y(top_y + top_h), f.L(leg_w),
+               f.L(88 - top_y - top_h), leg_color);
+      FillRect(img, f.X(left + top_w - leg_w - 2), f.Y(top_y + top_h),
+               f.L(leg_w), f.L(88 - top_y - top_h), leg_color);
+      if (rng.Bernoulli(0.5)) {
+        FillRect(img, f.X(left + leg_w + 2), f.Y(74),
+                 f.L(top_w - 2 * leg_w - 8), f.L(3.5), leg_color);
+      }
+      break;
+    }
+  }
+}
+
+// ----------------------------------------------------------------- Box --
+// Variants: 0 = taped carton, 1 = open box, 2 = oblique 3-D view.
+
+void DrawBox(ImageU8& img, const Frame& f, Rng& rng) {
+  const Rgb cardboard = Jitter(rng, Rgb{185, 145, 95}, 18);
+  const Rgb tape = ScaleRgb(cardboard, 0.75);
+  const int variant = static_cast<int>(rng.UniformInt(0, 2));
+  const double w = rng.Uniform(40, 62);
+  const double h = rng.Uniform(30, 52);
+  const double left = 50 - w / 2;
+  const double top = 50 - h / 2 + 6;
+
+  switch (variant) {
+    case 1: {  // Open box: body + upright flaps.
+      FillRect(img, f.X(left), f.Y(top), f.L(w), f.L(h), cardboard);
+      FillPolygon(img,
+                  {{f.X(left), f.Y(top)},
+                   {f.X(left - 8), f.Y(top - 14)},
+                   {f.X(left + w * 0.28), f.Y(top)}},
+                  ScaleRgb(cardboard, 0.9));
+      FillPolygon(img,
+                  {{f.X(left + w), f.Y(top)},
+                   {f.X(left + w + 8), f.Y(top - 14)},
+                   {f.X(left + w * 0.72), f.Y(top)}},
+                  ScaleRgb(cardboard, 0.85));
+      FillRect(img, f.X(left + w * 0.3), f.Y(top - 2), f.L(w * 0.4),
+               f.L(4), ScaleRgb(cardboard, 0.6));
+      break;
+    }
+    case 2: {  // Oblique: front face + skewed top and side faces.
+      const double depth = rng.Uniform(8, 16);
+      FillRect(img, f.X(left), f.Y(top), f.L(w * 0.8), f.L(h), cardboard);
+      FillPolygon(img,
+                  {{f.X(left), f.Y(top)},
+                   {f.X(left + depth), f.Y(top - depth)},
+                   {f.X(left + w * 0.8 + depth), f.Y(top - depth)},
+                   {f.X(left + w * 0.8), f.Y(top)}},
+                  ScaleRgb(cardboard, 1.12));
+      FillPolygon(img,
+                  {{f.X(left + w * 0.8), f.Y(top)},
+                   {f.X(left + w * 0.8 + depth), f.Y(top - depth)},
+                   {f.X(left + w * 0.8 + depth), f.Y(top + h - depth)},
+                   {f.X(left + w * 0.8), f.Y(top + h)}},
+                  ScaleRgb(cardboard, 0.8));
+      break;
+    }
+    default: {  // Closed carton with tape and flap creases.
+      FillRect(img, f.X(left), f.Y(top), f.L(w), f.L(h), cardboard);
+      FillPolygon(img,
+                  {{f.X(left), f.Y(top)},
+                   {f.X(left + w / 2), f.Y(top)},
+                   {f.X(left + 4), f.Y(top - 10)}},
+                  ScaleRgb(cardboard, 0.9));
+      FillPolygon(img,
+                  {{f.X(left + w / 2), f.Y(top)},
+                   {f.X(left + w), f.Y(top)},
+                   {f.X(left + w - 4), f.Y(top - 10)}},
+                  ScaleRgb(cardboard, 0.85));
+      FillRect(img, f.X(50 - 3), f.Y(top), f.L(6), f.L(h), tape);
+      break;
+    }
+  }
+}
+
+// -------------------------------------------------------------- Window --
+// Variants: 0 = cross mullion, 1 = two-pane slider, 2 = arched window.
+
+void DrawWindow(ImageU8& img, const Frame& f, Rng& rng) {
+  const Rgb frame = Jitter(rng, Rgb{235, 235, 235}, 10);
+  const Rgb pane = Jitter(rng, Rgb{160, 200, 230}, 14);
+  const int variant = static_cast<int>(rng.UniformInt(0, 2));
+  const double w = rng.Uniform(46, 66);
+  const double h = rng.Uniform(52, 76);
+  const double t = rng.Uniform(3.5, 6.5);
+  const double left = 50 - w / 2;
+  const double top = 50 - h / 2;
+
+  switch (variant) {
+    case 1: {  // Horizontal slider: single vertical divider.
+      FillRect(img, f.X(left), f.Y(top), f.L(w), f.L(h), frame);
+      FillRect(img, f.X(left + t), f.Y(top + t), f.L(w - 2 * t),
+               f.L(h - 2 * t), pane);
+      FillRect(img, f.X(50 - t / 2), f.Y(top), f.L(t), f.L(h), frame);
+      break;
+    }
+    case 2: {  // Arched top.
+      FillEllipse(img, f.X(50), f.Y(top + h * 0.3), f.L(w / 2),
+                  f.L(h * 0.3), frame);
+      FillRect(img, f.X(left), f.Y(top + h * 0.3), f.L(w), f.L(h * 0.7),
+               frame);
+      FillEllipse(img, f.X(50), f.Y(top + h * 0.3), f.L(w / 2 - t),
+                  f.L(h * 0.3 - t), pane);
+      FillRect(img, f.X(left + t), f.Y(top + h * 0.3), f.L(w - 2 * t),
+               f.L(h * 0.7 - t), pane);
+      FillRect(img, f.X(50 - t / 2), f.Y(top), f.L(t), f.L(h), frame);
+      break;
+    }
+    default: {  // Cross mullion.
+      FillRect(img, f.X(left), f.Y(top), f.L(w), f.L(h), frame);
+      FillRect(img, f.X(left + t), f.Y(top + t), f.L(w - 2 * t),
+               f.L(h - 2 * t), pane);
+      FillRect(img, f.X(50 - t / 2), f.Y(top), f.L(t), f.L(h), frame);
+      FillRect(img, f.X(left), f.Y(50 - t / 2), f.L(w), f.L(t), frame);
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------- Door --
+// Variants: 0 = panel door, 1 = glazed door, 2 = flat door w/ push bar.
+
+void DrawDoor(ImageU8& img, const Frame& f, Rng& rng) {
+  static constexpr std::array<Rgb, 3> kPalette = {
+      Rgb{140, 95, 55}, Rgb{225, 222, 215}, Rgb{95, 60, 35}};
+  const Rgb door = PickColor(rng, kPalette);
+  const Rgb panel = ScaleRgb(door, 0.8);
+  const Rgb knob = Jitter(rng, Rgb{200, 180, 90}, 20);
+  const int variant = static_cast<int>(rng.UniformInt(0, 2));
+  const double w = rng.Uniform(28, 44);
+  const double h = rng.Uniform(64, 84);
+  const double left = 50 - w / 2;
+  const double top = 50 - h / 2;
+
+  FillRect(img, f.X(left), f.Y(top), f.L(w), f.L(h), door);
+  switch (variant) {
+    case 1: {  // Glazed: top half window.
+      FillRect(img, f.X(left + 5), f.Y(top + 6), f.L(w - 10),
+               f.L(h * 0.38), Jitter(rng, Rgb{165, 200, 225}, 12));
+      FillRect(img, f.X(left + 6), f.Y(top + h * 0.58), f.L(w - 12),
+               f.L(h * 0.3), panel);
+      FillCircle(img, f.X(left + w - 5), f.Y(top + h * 0.52), f.L(2.2),
+                 knob);
+      break;
+    }
+    case 2: {  // Flat with horizontal push bar.
+      FillRect(img, f.X(left + 4), f.Y(top + h * 0.48), f.L(w - 8),
+               f.L(3.5), knob);
+      break;
+    }
+    default: {  // Two inset panels + knob.
+      FillRect(img, f.X(left + 6), f.Y(top + 8), f.L(w - 12),
+               f.L(h * 0.32), panel);
+      FillRect(img, f.X(left + 6), f.Y(top + h * 0.52), f.L(w - 12),
+               f.L(h * 0.36), panel);
+      FillCircle(img, f.X(left + w - 5), f.Y(top + h * 0.5), f.L(2.4),
+                 knob);
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------- Sofa --
+// Variants: 0 = standard 2-seater, 1 = L-sectional, 2 = high-back loveseat.
+
+void DrawSofa(ImageU8& img, const Frame& f, Rng& rng) {
+  static constexpr std::array<Rgb, 4> kPalette = {
+      Rgb{150, 50, 50}, Rgb{80, 85, 95}, Rgb{60, 90, 130}, Rgb{120, 100, 70}};
+  const Rgb fabric = PickColor(rng, kPalette);
+  const Rgb cushion = ScaleRgb(fabric, 1.15);
+  const int variant = static_cast<int>(rng.UniformInt(0, 2));
+  const double w = rng.Uniform(58, 80);
+  const double body_h = rng.Uniform(20, 30);
+  const double arm_w = rng.Uniform(7, 12);
+  const double left = 50 - w / 2;
+  const double body_top = 78 - body_h;
+
+  switch (variant) {
+    case 1: {  // L-sectional: low chaise extending right.
+      const double back_h = rng.Uniform(14, 20);
+      FillRect(img, f.X(left + arm_w - 2), f.Y(body_top - back_h),
+               f.L(w * 0.6), f.L(back_h + 4), fabric);
+      FillRect(img, f.X(left), f.Y(body_top), f.L(w), f.L(body_h), fabric);
+      FillRect(img, f.X(left + w * 0.62), f.Y(body_top - 4), f.L(w * 0.38),
+               f.L(body_h + 4), ScaleRgb(fabric, 0.92));
+      FillRect(img, f.X(left), f.Y(body_top - 8), f.L(arm_w),
+               f.L(body_h + 8), fabric);
+      FillRect(img, f.X(left + arm_w + 1), f.Y(body_top + 2),
+               f.L(w * 0.5 - arm_w), f.L(8), cushion);
+      break;
+    }
+    case 2: {  // Loveseat with rounded high back.
+      const double back_h = rng.Uniform(22, 30);
+      FillEllipse(img, f.X(50), f.Y(body_top - back_h * 0.3), f.L(w * 0.45),
+                  f.L(back_h), fabric);
+      FillRect(img, f.X(left), f.Y(body_top), f.L(w), f.L(body_h), fabric);
+      FillCircle(img, f.X(left + arm_w / 2 + 1), f.Y(body_top), f.L(arm_w * 0.7),
+                 fabric);
+      FillCircle(img, f.X(left + w - arm_w / 2 - 1), f.Y(body_top),
+                 f.L(arm_w * 0.7), fabric);
+      FillRect(img, f.X(left + arm_w + 1), f.Y(body_top + 2),
+               f.L(w - 2 * arm_w - 2), f.L(8), cushion);
+      break;
+    }
+    default: {  // Standard: backrest, body, armrests, two cushions.
+      const double back_h = rng.Uniform(16, 22);
+      FillRect(img, f.X(left + arm_w - 2), f.Y(body_top - back_h),
+               f.L(w - 2 * arm_w + 4), f.L(back_h + 4), fabric);
+      FillRect(img, f.X(left), f.Y(body_top), f.L(w), f.L(body_h), fabric);
+      FillRect(img, f.X(left), f.Y(body_top - 8), f.L(arm_w),
+               f.L(body_h + 8), fabric);
+      FillRect(img, f.X(left + w - arm_w), f.Y(body_top - 8), f.L(arm_w),
+               f.L(body_h + 8), fabric);
+      FillCircle(img, f.X(left + arm_w / 2), f.Y(body_top - 8),
+                 f.L(arm_w / 2), fabric);
+      FillCircle(img, f.X(left + w - arm_w / 2), f.Y(body_top - 8),
+                 f.L(arm_w / 2), fabric);
+      FillRect(img, f.X(left + arm_w + 1), f.Y(body_top + 2),
+               f.L((w - 2 * arm_w) / 2 - 2), f.L(8), cushion);
+      FillRect(img, f.X(50 + 1), f.Y(body_top + 2),
+               f.L((w - 2 * arm_w) / 2 - 2), f.L(8), cushion);
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------- Lamp --
+// Variants: 0 = floor lamp, 1 = desk lamp, 2 = table lamp.
+
+void DrawLamp(ImageU8& img, const Frame& f, Rng& rng) {
+  static constexpr std::array<Rgb, 3> kShade = {
+      Rgb{230, 215, 170}, Rgb{220, 190, 150}, Rgb{200, 200, 205}};
+  const Rgb shade = PickColor(rng, kShade);
+  const Rgb metal = Jitter(rng, Rgb{70, 70, 75}, 15);
+  const int variant = static_cast<int>(rng.UniformInt(0, 2));
+
+  switch (variant) {
+    case 1: {  // Desk lamp: jointed arm + tilted head.
+      FillEllipse(img, f.X(42), f.Y(86), f.L(13), f.L(4), metal);
+      DrawLine(img, {f.X(42), f.Y(84)}, {f.X(34), f.Y(52)}, f.L(3), metal);
+      DrawLine(img, {f.X(34), f.Y(52)}, {f.X(58), f.Y(30)}, f.L(3), metal);
+      FillPolygon(img,
+                  {{f.X(52), f.Y(22)},
+                   {f.X(70), f.Y(30)},
+                   {f.X(60), f.Y(44)},
+                   {f.X(46), f.Y(33)}},
+                  shade);
+      break;
+    }
+    case 2: {  // Table lamp: wide shade, squat body.
+      const double shade_w = rng.Uniform(30, 40);
+      FillPolygon(img,
+                  {{f.X(50 - shade_w * 0.32), f.Y(28)},
+                   {f.X(50 + shade_w * 0.32), f.Y(28)},
+                   {f.X(50 + shade_w / 2), f.Y(52)},
+                   {f.X(50 - shade_w / 2), f.Y(52)}},
+                  shade);
+      FillEllipse(img, f.X(50), f.Y(66), f.L(9), f.L(12), metal);
+      FillEllipse(img, f.X(50), f.Y(82), f.L(13), f.L(4), metal);
+      break;
+    }
+    default: {  // Floor lamp: tall pole, trapezoid shade, base.
+      const double shade_top_w = rng.Uniform(12, 22);
+      const double shade_bot_w = rng.Uniform(26, 40);
+      const double shade_h = rng.Uniform(16, 26);
+      const double shade_top = rng.Uniform(14, 24);
+      FillPolygon(img,
+                  {{f.X(50 - shade_top_w / 2), f.Y(shade_top)},
+                   {f.X(50 + shade_top_w / 2), f.Y(shade_top)},
+                   {f.X(50 + shade_bot_w / 2), f.Y(shade_top + shade_h)},
+                   {f.X(50 - shade_bot_w / 2), f.Y(shade_top + shade_h)}},
+                  shade);
+      FillRect(img, f.X(50 - 1.8), f.Y(shade_top + shade_h), f.L(3.6),
+               f.L(82 - shade_top - shade_h), metal);
+      FillEllipse(img, f.X(50), f.Y(84), f.L(rng.Uniform(12, 17)), f.L(4.5),
+                  metal);
+      break;
+    }
+  }
+}
+
+void DrawArchetype(ObjectClass cls, ImageU8& img, const Frame& f, Rng& rng) {
+  switch (cls) {
+    case ObjectClass::kChair:
+      DrawChair(img, f, rng);
+      return;
+    case ObjectClass::kBottle:
+      DrawBottle(img, f, rng);
+      return;
+    case ObjectClass::kPaper:
+      DrawPaper(img, f, rng);
+      return;
+    case ObjectClass::kBook:
+      DrawBook(img, f, rng);
+      return;
+    case ObjectClass::kTable:
+      DrawTable(img, f, rng);
+      return;
+    case ObjectClass::kBox:
+      DrawBox(img, f, rng);
+      return;
+    case ObjectClass::kWindow:
+      DrawWindow(img, f, rng);
+      return;
+    case ObjectClass::kDoor:
+      DrawDoor(img, f, rng);
+      return;
+    case ObjectClass::kSofa:
+      DrawSofa(img, f, rng);
+      return;
+    case ObjectClass::kLamp:
+      DrawLamp(img, f, rng);
+      return;
+  }
+  SNOR_CHECK_MSG(false, "unknown class");
+}
+
+// Anisotropically rescales the canvas content about its centre (background
+// uniform), standing in for out-of-plane viewpoint change.
+ImageU8 ApplyAspect(const ImageU8& img, double aspect, std::uint8_t bg) {
+  const int s = img.height();
+  const int new_h = std::clamp(static_cast<int>(std::lround(s * aspect)),
+                               8, 2 * s);
+  ImageU8 squashed = Resize(img, img.width(), new_h, Interp::kBilinear);
+  ImageU8 out(img.width(), s, 3, bg);
+  const int off = (s - new_h) / 2;
+  for (int y = 0; y < new_h; ++y) {
+    const int oy = y + off;
+    if (oy < 0 || oy >= s) continue;
+    for (int x = 0; x < img.width(); ++x) {
+      for (int c = 0; c < 3; ++c) {
+        out.at(oy, x, c) = squashed.at(y, x, c);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ImageU8 RenderObjectView(ObjectClass cls, int model_id,
+                         const RenderOptions& options) {
+  SNOR_CHECK_GE(options.canvas_size, 16);
+  SNOR_CHECK_GE(options.scale, 0.1);
+  const std::uint8_t bg = options.white_background ? 255 : 0;
+  const int s = options.canvas_size;
+  ImageU8 img(s, s, 3, bg);
+
+  Frame frame;
+  frame.cx = (s - 1) / 2.0;
+  frame.cy = (s - 1) / 2.0;
+  frame.u = s / 100.0 * 0.75 * options.scale;
+
+  Rng model_rng(ModelSeed(cls, model_id));
+  DrawArchetype(cls, img, frame, model_rng);
+
+  // Per-model surface texture: a low-amplitude oriented sinusoidal
+  // modulation of the object pixels. Real ShapeNet renders are textured,
+  // which makes local keypoint descriptors model-specific rather than
+  // class-generic; this reproduces that property for the SIFT/SURF/ORB
+  // pipelines without materially moving the colour histograms.
+  {
+    const double amplitude = model_rng.Uniform(0.10, 0.22);
+    const double freq = model_rng.Uniform(0.15, 0.55);
+    const double ori = model_rng.Uniform(0.0, 3.14159);
+    const double phase = model_rng.Uniform(0.0, 6.28318);
+    const double fx = freq * std::cos(ori);
+    const double fy = freq * std::sin(ori);
+    for (int y = 0; y < s; ++y) {
+      for (int x = 0; x < s; ++x) {
+        const bool is_bg = img.at(y, x, 0) == bg &&
+                           img.at(y, x, 1) == bg && img.at(y, x, 2) == bg;
+        if (is_bg) continue;
+        const double m =
+            1.0 + amplitude * std::sin(fx * x + fy * y + phase);
+        for (int c = 0; c < 3; ++c) {
+          img.at(y, x, c) = static_cast<std::uint8_t>(
+              std::clamp(img.at(y, x, c) * m, 0.0, 254.0));
+        }
+      }
+    }
+  }
+
+  if (options.aspect != 1.0) {
+    img = ApplyAspect(img, options.aspect, bg);
+  }
+  if (options.view_angle_deg != 0.0) {
+    img = Rotate(img, options.view_angle_deg, bg);
+  }
+
+  const bool needs_nuisance = options.illumination != 1.0 ||
+                              options.noise_stddev > 0.0 ||
+                              options.occlusion_fraction > 0.0;
+  if (!needs_nuisance) return img;
+
+  Rng nuisance_rng(options.nuisance_seed ^ ModelSeed(cls, model_id));
+
+  // Object mask: pixels that differ from the background.
+  auto is_object = [&](int y, int x) {
+    return img.at(y, x, 0) != bg || img.at(y, x, 1) != bg ||
+           img.at(y, x, 2) != bg;
+  };
+
+  // Occluder: paint a background-coloured rotated bar across the object.
+  // If the bar would erase (almost) the whole object the un-occluded
+  // render is kept — a real segmented crop always contains some object.
+  if (options.occlusion_fraction > 0.0) {
+    auto count_object = [&](const ImageU8& im) {
+      int count = 0;
+      for (int y = 0; y < s; ++y) {
+        for (int x = 0; x < s; ++x) {
+          if (im.at(y, x, 0) != bg || im.at(y, x, 1) != bg ||
+              im.at(y, x, 2) != bg) {
+            ++count;
+          }
+        }
+      }
+      return count;
+    };
+    const int before = count_object(img);
+    ImageU8 occluded = img;
+    const double fraction = std::min(options.occlusion_fraction, 0.5);
+    const double bar_w = s * std::sqrt(fraction);
+    const double angle = nuisance_rng.Uniform(0, 3.14159);
+    const double off = nuisance_rng.Uniform(-s / 4.0, s / 4.0);
+    FillRotatedRect(occluded, frame.cx + off, frame.cy + off / 2, bar_w,
+                    s * 1.5, angle, Rgb{bg, bg, bg});
+    if (count_object(occluded) >= std::max(25, before / 5)) {
+      img = std::move(occluded);
+    }
+  }
+
+  for (int y = 0; y < s; ++y) {
+    for (int x = 0; x < s; ++x) {
+      if (!is_object(y, x)) continue;
+      for (int c = 0; c < 3; ++c) {
+        double v = img.at(y, x, c) * options.illumination;
+        if (options.noise_stddev > 0.0) {
+          v += nuisance_rng.Normal(0.0, options.noise_stddev);
+        }
+        img.at(y, x, c) =
+            static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+      }
+    }
+  }
+  return img;
+}
+
+}  // namespace snor

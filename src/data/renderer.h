@@ -1,0 +1,52 @@
+#ifndef SNOR_DATA_RENDERER_H_
+#define SNOR_DATA_RENDERER_H_
+
+#include <cstdint>
+
+#include "data/object_class.h"
+#include "img/image.h"
+
+namespace snor {
+
+/// \brief Controls how one synthetic object view is rendered.
+///
+/// The renderer is the repository's stand-in for ShapeNet 2D model views
+/// and NYU Depth V2 segmented crops (see DESIGN.md §2). A *model* is a
+/// deterministic parametrization of a class archetype (`model_id` seeds the
+/// geometry/colour parameters), so two views of the same model look like
+/// the same object from different viewpoints.
+struct RenderOptions {
+  /// Output canvas is canvas_size x canvas_size RGB.
+  int canvas_size = 96;
+  /// true: white background (ShapeNet-style 2D views);
+  /// false: black background (NYU-style segmented crops).
+  bool white_background = true;
+  /// In-plane view rotation in degrees (the paper derives extra views by
+  /// rotating existing ones).
+  double view_angle_deg = 0.0;
+  /// Object scale relative to the canvas (1.0 fills ~75%).
+  double scale = 1.0;
+  /// Std-dev of additive per-pixel Gaussian RGB noise (sensor noise).
+  double noise_stddev = 0.0;
+  /// Brightness multiplier (illumination variation), 1.0 = neutral.
+  double illumination = 1.0;
+  /// Fraction [0, 0.5] of the object hidden by a background-coloured
+  /// occluder (NYU segmentation imperfections).
+  double occlusion_fraction = 0.0;
+  /// Vertical/horizontal aspect multiplier (!= 1 squashes or stretches
+  /// the silhouette, standing in for out-of-plane 3-D viewpoint change,
+  /// to which Hu moments are *not* invariant).
+  double aspect = 1.0;
+  /// Seed for pixel-level nuisance (noise/occluder placement).
+  std::uint64_t nuisance_seed = 0;
+};
+
+/// Renders one view of the `model_id`-th model of class `cls`.
+/// Deterministic: same (cls, model_id, options) always yields the same
+/// image.
+ImageU8 RenderObjectView(ObjectClass cls, int model_id,
+                         const RenderOptions& options);
+
+}  // namespace snor
+
+#endif  // SNOR_DATA_RENDERER_H_

@@ -1,0 +1,93 @@
+#include "data/scene.h"
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace snor {
+
+ObjectClass Scene::TruthAt(const Point& p) const {
+  for (const auto& obj : objects) {
+    const Rect canvas{obj.x, obj.y, obj.render.canvas_size,
+                      obj.render.canvas_size};
+    if (canvas.Contains(p)) return obj.cls;
+  }
+  return ObjectClass::kChair;
+}
+
+bool Scene::Covers(const Point& p) const {
+  for (const auto& obj : objects) {
+    const Rect canvas{obj.x, obj.y, obj.render.canvas_size,
+                      obj.render.canvas_size};
+    if (canvas.Contains(p)) return true;
+  }
+  return false;
+}
+
+Scene ComposeScene(const std::vector<ScenePlacement>& placements,
+                   int frame_width, int frame_height) {
+  SNOR_CHECK_GT(frame_width, 0);
+  SNOR_CHECK_GT(frame_height, 0);
+  Scene scene;
+  scene.frame = ImageU8(frame_width, frame_height, 3, 0);
+  scene.objects = placements;
+
+  for (const auto& placement : placements) {
+    RenderOptions render = placement.render;
+    render.white_background = false;  // Composition needs black masks.
+    const ImageU8 crop =
+        RenderObjectView(placement.cls, placement.model_id, render);
+    for (int y = 0; y < crop.height(); ++y) {
+      const int fy = placement.y + y;
+      if (fy < 0 || fy >= frame_height) continue;
+      for (int x = 0; x < crop.width(); ++x) {
+        const int fx = placement.x + x;
+        if (fx < 0 || fx >= frame_width) continue;
+        if (crop.at(y, x, 0) || crop.at(y, x, 1) || crop.at(y, x, 2)) {
+          for (int c = 0; c < 3; ++c) {
+            scene.frame.at(fy, fx, c) = crop.at(y, x, c);
+          }
+        }
+      }
+    }
+  }
+  return scene;
+}
+
+Scene RandomScene(const SceneOptions& options) {
+  SNOR_CHECK_GT(options.objects_per_frame, 0);
+  Rng rng(options.seed);
+  std::vector<ScenePlacement> placements;
+  // Horizontal slots keep objects disjoint.
+  const int slot_width = options.frame_width / options.objects_per_frame;
+  for (int s = 0; s < options.objects_per_frame; ++s) {
+    ScenePlacement placement;
+    placement.cls =
+        ClassFromIndex(static_cast<int>(rng.Index(kNumClasses)));
+    placement.model_id = 4 + static_cast<int>(rng.Index(16));
+    placement.render.canvas_size = options.object_canvas;
+    placement.render.white_background = false;
+    placement.render.view_angle_deg = rng.Uniform(-20, 20);
+    placement.render.scale = rng.Uniform(0.75, 1.0);
+    placement.render.noise_stddev = options.noise_stddev;
+    placement.render.illumination = rng.Uniform(0.7, 1.05);
+    placement.render.nuisance_seed = rng.NextU64();
+    const int margin_x =
+        std::max(0, slot_width - options.object_canvas - 4);
+    const int margin_y =
+        std::max(0, options.frame_height - options.object_canvas - 4);
+    placement.x = s * slot_width + 2 +
+                  static_cast<int>(margin_x > 0 ? rng.Index(
+                                                      static_cast<std::size_t>(
+                                                          margin_x))
+                                                : 0);
+    placement.y = 2 + static_cast<int>(
+                          margin_y > 0
+                              ? rng.Index(static_cast<std::size_t>(margin_y))
+                              : 0);
+    placements.push_back(std::move(placement));
+  }
+  return ComposeScene(placements, options.frame_width,
+                      options.frame_height);
+}
+
+}  // namespace snor

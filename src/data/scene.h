@@ -1,0 +1,58 @@
+#ifndef SNOR_DATA_SCENE_H_
+#define SNOR_DATA_SCENE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/renderer.h"
+#include "geometry/types.h"
+
+namespace snor {
+
+/// \brief One object placed in a composed camera frame.
+struct ScenePlacement {
+  ObjectClass cls = ObjectClass::kChair;
+  int model_id = 0;
+  /// Top-left corner of the object's canvas inside the frame.
+  int x = 0;
+  int y = 0;
+  RenderOptions render;
+};
+
+/// \brief A composed frame plus its ground truth.
+struct Scene {
+  ImageU8 frame;
+  std::vector<ScenePlacement> objects;
+
+  /// Ground-truth class of the placement whose canvas contains `p`
+  /// (first match); kChair when none does — callers should check
+  /// `Covers` first.
+  ObjectClass TruthAt(const Point& p) const;
+  bool Covers(const Point& p) const;
+};
+
+/// \brief Options for the random scene generator.
+struct SceneOptions {
+  int frame_width = 420;
+  int frame_height = 140;
+  int objects_per_frame = 3;
+  /// Canvas size of each placed object.
+  int object_canvas = 110;
+  /// NYU-style nuisance strength.
+  double noise_stddev = 7.0;
+  std::uint64_t seed = 1;
+};
+
+/// Composes a frame from explicit placements: objects are rendered on
+/// black background and alpha-composited (non-black pixels win) onto a
+/// black frame, mimicking a segmented RGB capture.
+Scene ComposeScene(const std::vector<ScenePlacement>& placements,
+                   int frame_width, int frame_height);
+
+/// Generates a random patrol frame with `objects_per_frame` objects at
+/// non-overlapping slots; deterministic in `options.seed`.
+Scene RandomScene(const SceneOptions& options);
+
+}  // namespace snor
+
+#endif  // SNOR_DATA_SCENE_H_

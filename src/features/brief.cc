@@ -1,0 +1,96 @@
+#include "features/brief.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.h"
+
+namespace snor {
+namespace {
+
+constexpr double kPatchSigma = 31.0 / 5.0;
+constexpr double kMaxRadius = 13.0;
+
+std::array<BriefPair, 256> GeneratePattern() {
+  // Fixed seed: the pattern is part of the descriptor definition.
+  Rng rng(0x0B51EFULL);
+  std::array<BriefPair, 256> pattern;
+  for (auto& p : pattern) {
+    auto draw = [&](float& ox, float& oy) {
+      for (;;) {
+        const double x = rng.Normal(0.0, kPatchSigma);
+        const double y = rng.Normal(0.0, kPatchSigma);
+        if (x * x + y * y <= kMaxRadius * kMaxRadius) {
+          ox = static_cast<float>(x);
+          oy = static_cast<float>(y);
+          return;
+        }
+      }
+    };
+    draw(p.x1, p.y1);
+    draw(p.x2, p.y2);
+  }
+  return pattern;
+}
+
+std::uint8_t SampleSmoothed(const ImageU8& img, double x, double y) {
+  return img.AtClamped(static_cast<int>(std::lround(y)),
+                       static_cast<int>(std::lround(x)));
+}
+
+BinaryDescriptor ComputeWithRotation(const ImageU8& smoothed,
+                                     const Keypoint& kp, double radians) {
+  const auto& pattern = BriefPattern();
+  const double c = std::cos(radians);
+  const double s = std::sin(radians);
+  BinaryDescriptor desc{};
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    const BriefPair& p = pattern[i];
+    const double x1 = kp.x + c * p.x1 - s * p.y1;
+    const double y1 = kp.y + s * p.x1 + c * p.y1;
+    const double x2 = kp.x + c * p.x2 - s * p.y2;
+    const double y2 = kp.y + s * p.x2 + c * p.y2;
+    if (SampleSmoothed(smoothed, x1, y1) < SampleSmoothed(smoothed, x2, y2)) {
+      desc[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+    }
+  }
+  return desc;
+}
+
+}  // namespace
+
+const std::array<BriefPair, 256>& BriefPattern() {
+  static const std::array<BriefPair, 256>& pattern =
+      *new std::array<BriefPair, 256>(GeneratePattern());
+  return pattern;
+}
+
+BinaryDescriptor ComputeBriefDescriptor(const ImageU8& smoothed,
+                                        const Keypoint& kp) {
+  return ComputeWithRotation(smoothed, kp, 0.0);
+}
+
+BinaryDescriptor ComputeSteeredBriefDescriptor(const ImageU8& smoothed,
+                                               const Keypoint& kp) {
+  const double radians =
+      kp.angle < 0 ? 0.0 : kp.angle * std::numbers::pi / 180.0;
+  return ComputeWithRotation(smoothed, kp, radians);
+}
+
+float IntensityCentroidAngle(const ImageU8& gray, int x, int y, int radius) {
+  double m01 = 0.0;
+  double m10 = 0.0;
+  for (int dy = -radius; dy <= radius; ++dy) {
+    for (int dx = -radius; dx <= radius; ++dx) {
+      if (dx * dx + dy * dy > radius * radius) continue;
+      const double v = gray.AtClamped(y + dy, x + dx);
+      m10 += dx * v;
+      m01 += dy * v;
+    }
+  }
+  double angle = std::atan2(m01, m10) * 180.0 / std::numbers::pi;
+  if (angle < 0) angle += 360.0;
+  return static_cast<float>(angle);
+}
+
+}  // namespace snor

@@ -1,0 +1,44 @@
+#ifndef SNOR_FEATURES_BRIEF_H_
+#define SNOR_FEATURES_BRIEF_H_
+
+#include <array>
+#include <vector>
+
+#include "features/keypoint.h"
+#include "img/image.h"
+
+namespace snor {
+
+/// \brief One BRIEF intensity-comparison pair (offsets from the keypoint).
+struct BriefPair {
+  float x1 = 0.0f;
+  float y1 = 0.0f;
+  float x2 = 0.0f;
+  float y2 = 0.0f;
+};
+
+/// The 256-pair sampling pattern shared by BRIEF and ORB. Offsets are
+/// drawn from an isotropic Gaussian (sigma = patch/5) clipped to a disc so
+/// that any rotation stays inside the 31x31 patch. Deterministic: the same
+/// pattern is produced on every call (seeded internally), standing in for
+/// OpenCV's learned ORB pattern.
+const std::array<BriefPair, 256>& BriefPattern();
+
+/// Computes the (unsteered) 256-bit BRIEF descriptor at a keypoint over a
+/// pre-smoothed image. `smoothed` must be single-channel.
+BinaryDescriptor ComputeBriefDescriptor(const ImageU8& smoothed,
+                                        const Keypoint& kp);
+
+/// Computes the steered (rotation-compensated) BRIEF descriptor used by
+/// ORB: the sampling pattern is rotated by `kp.angle` degrees first.
+BinaryDescriptor ComputeSteeredBriefDescriptor(const ImageU8& smoothed,
+                                               const Keypoint& kp);
+
+/// Intensity-centroid orientation (degrees in [0, 360)) of the patch of
+/// the given radius centred on (x, y), as used by ORB.
+float IntensityCentroidAngle(const ImageU8& gray, int x, int y,
+                             int radius = 15);
+
+}  // namespace snor
+
+#endif  // SNOR_FEATURES_BRIEF_H_

@@ -1,0 +1,132 @@
+#include "features/fast.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace snor {
+namespace {
+
+// Radius-3 Bresenham circle, clockwise from 12 o'clock (OpenCV order).
+constexpr int kCircleDx[16] = {0, 1, 2, 3, 3, 3, 2, 1, 0, -1, -2, -3, -3, -3, -2, -1};
+constexpr int kCircleDy[16] = {-3, -3, -2, -1, 0, 1, 2, 3, 3, 3, 2, 1, 0, -1, -2, -3};
+
+constexpr int kArc = 9;  // FAST-9.
+
+// Returns the corner score (0 when not a corner): the sum of |p_i - c| - t
+// over the best qualifying contiguous arc.
+int FastScore(const ImageU8& gray, int x, int y, int threshold) {
+  const int c = gray.at(y, x);
+  int state[16];  // +1 brighter, -1 darker, 0 similar.
+  int diff[16];
+  for (int i = 0; i < 16; ++i) {
+    const int p = gray.at(y + kCircleDy[i], x + kCircleDx[i]);
+    diff[i] = p - c;
+    if (diff[i] > threshold) {
+      state[i] = 1;
+    } else if (diff[i] < -threshold) {
+      state[i] = -1;
+    } else {
+      state[i] = 0;
+    }
+  }
+
+  int best_score = 0;
+  for (int sign : {1, -1}) {
+    // Longest run of `sign` on the circular buffer, tracking arc sums.
+    int run = 0;
+    int run_sum = 0;
+    for (int i = 0; i < 16 + kArc; ++i) {
+      const int idx = i % 16;
+      if (state[idx] == sign) {
+        ++run;
+        run_sum += std::abs(diff[idx]) - threshold;
+        if (run >= kArc) {
+          best_score = std::max(best_score, run_sum);
+        }
+        if (run > 16) break;  // Full circle.
+      } else {
+        run = 0;
+        run_sum = 0;
+      }
+    }
+  }
+  return best_score;
+}
+
+}  // namespace
+
+std::vector<Keypoint> DetectFast(const ImageU8& gray,
+                                 const FastOptions& options) {
+  SNOR_CHECK_EQ(gray.channels(), 1);
+  const int margin = 3;
+  const int w = gray.width();
+  const int h = gray.height();
+  if (w <= 2 * margin || h <= 2 * margin) return {};
+
+  Image<int> score_map(w, h, 1, 0);
+  for (int y = margin; y < h - margin; ++y) {
+    for (int x = margin; x < w - margin; ++x) {
+      score_map.at(y, x) = FastScore(gray, x, y, options.threshold);
+    }
+  }
+
+  std::vector<Keypoint> corners;
+  for (int y = margin; y < h - margin; ++y) {
+    for (int x = margin; x < w - margin; ++x) {
+      const int s = score_map.at(y, x);
+      if (s <= 0) continue;
+      if (options.nonmax_suppression) {
+        bool is_max = true;
+        for (int dy = -1; dy <= 1 && is_max; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            if (dx == 0 && dy == 0) continue;
+            const int ns = score_map.at(y + dy, x + dx);
+            // Strict on one side to break ties deterministically.
+            if (ns > s || (ns == s && (dy < 0 || (dy == 0 && dx < 0)))) {
+              is_max = false;
+              break;
+            }
+          }
+        }
+        if (!is_max) continue;
+      }
+      Keypoint kp;
+      kp.x = static_cast<float>(x);
+      kp.y = static_cast<float>(y);
+      kp.response = static_cast<float>(s);
+      corners.push_back(kp);
+    }
+  }
+  return corners;
+}
+
+float HarrisResponse(const ImageU8& gray, int x, int y, int block_size,
+                     float k) {
+  const int r = block_size / 2;
+  double sxx = 0.0, syy = 0.0, sxy = 0.0;
+  for (int dy = -r; dy <= r; ++dy) {
+    for (int dx = -r; dx <= r; ++dx) {
+      const int cx = x + dx;
+      const int cy = y + dy;
+      // Central differences with clamped reads.
+      const double gx =
+          (static_cast<double>(gray.AtClamped(cy, cx + 1)) -
+           gray.AtClamped(cy, cx - 1)) /
+          2.0;
+      const double gy =
+          (static_cast<double>(gray.AtClamped(cy + 1, cx)) -
+           gray.AtClamped(cy - 1, cx)) /
+          2.0;
+      sxx += gx * gx;
+      syy += gy * gy;
+      sxy += gx * gy;
+    }
+  }
+  const double det = sxx * syy - sxy * sxy;
+  const double trace = sxx + syy;
+  return static_cast<float>(det - k * trace * trace);
+}
+
+}  // namespace snor

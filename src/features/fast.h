@@ -1,0 +1,34 @@
+#ifndef SNOR_FEATURES_FAST_H_
+#define SNOR_FEATURES_FAST_H_
+
+#include <vector>
+
+#include "features/keypoint.h"
+#include "img/image.h"
+
+namespace snor {
+
+/// \brief FAST-9 corner detection options.
+struct FastOptions {
+  /// Minimum absolute intensity difference for a circle pixel to count as
+  /// brighter/darker than the centre.
+  int threshold = 20;
+  /// Apply 3x3 non-maximum suppression on the corner score.
+  bool nonmax_suppression = true;
+};
+
+/// Detects FAST-9 corners (Rosten & Drummond): a pixel is a corner when at
+/// least 9 contiguous pixels on its radius-3 Bresenham circle are all
+/// brighter than centre+threshold or all darker than centre-threshold.
+/// The score is the sum of absolute differences over the qualifying arc.
+std::vector<Keypoint> DetectFast(const ImageU8& gray,
+                                 const FastOptions& options = {});
+
+/// Harris corner response at (x, y) computed over a `block_size` window of
+/// Sobel derivatives (used by ORB to rank FAST corners).
+float HarrisResponse(const ImageU8& gray, int x, int y, int block_size = 7,
+                     float k = 0.04f);
+
+}  // namespace snor
+
+#endif  // SNOR_FEATURES_FAST_H_

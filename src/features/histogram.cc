@@ -1,0 +1,143 @@
+#include "features/histogram.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace snor {
+
+bool IsSimilarityMetric(HistCompareMethod method) {
+  return method == HistCompareMethod::kCorrelation ||
+         method == HistCompareMethod::kIntersection;
+}
+
+ColorHistogram::ColorHistogram(int bins_per_channel)
+    : bins_per_channel_(bins_per_channel) {
+  SNOR_CHECK_GT(bins_per_channel, 0);
+  SNOR_CHECK_LE(bins_per_channel, 256);
+  const std::size_t n = static_cast<std::size_t>(bins_per_channel) *
+                        bins_per_channel * bins_per_channel;
+  bins_.assign(n, 0.0);
+}
+
+ColorHistogram ColorHistogram::Compute(const ImageU8& rgb,
+                                       const ImageU8* mask,
+                                       int bins_per_channel) {
+  SNOR_CHECK_EQ(rgb.channels(), 3);
+  if (mask != nullptr) {
+    SNOR_CHECK_EQ(mask->channels(), 1);
+    SNOR_CHECK_EQ(mask->width(), rgb.width());
+    SNOR_CHECK_EQ(mask->height(), rgb.height());
+  }
+  ColorHistogram hist(bins_per_channel);
+  const int shift_divisor = 256 / bins_per_channel;
+  const bool power_of_two = (256 % bins_per_channel) == 0;
+  for (int y = 0; y < rgb.height(); ++y) {
+    const std::uint8_t* row = rgb.Row(y);
+    for (int x = 0; x < rgb.width(); ++x) {
+      if (mask != nullptr && mask->at(y, x) == 0) continue;
+      int rb, gb, bb;
+      if (power_of_two) {
+        rb = row[3 * x + 0] / shift_divisor;
+        gb = row[3 * x + 1] / shift_divisor;
+        bb = row[3 * x + 2] / shift_divisor;
+      } else {
+        rb = row[3 * x + 0] * bins_per_channel / 256;
+        gb = row[3 * x + 1] * bins_per_channel / 256;
+        bb = row[3 * x + 2] * bins_per_channel / 256;
+      }
+      hist.At(rb, gb, bb) += 1.0;
+    }
+  }
+  return hist;
+}
+
+double& ColorHistogram::At(int r_bin, int g_bin, int b_bin) {
+  SNOR_DCHECK(r_bin >= 0 && r_bin < bins_per_channel_);
+  SNOR_DCHECK(g_bin >= 0 && g_bin < bins_per_channel_);
+  SNOR_DCHECK(b_bin >= 0 && b_bin < bins_per_channel_);
+  return bins_[(static_cast<std::size_t>(r_bin) * bins_per_channel_ + g_bin) *
+                   bins_per_channel_ +
+               b_bin];
+}
+
+double ColorHistogram::At(int r_bin, int g_bin, int b_bin) const {
+  return const_cast<ColorHistogram*>(this)->At(r_bin, g_bin, b_bin);
+}
+
+double ColorHistogram::TotalMass() const {
+  double total = 0.0;
+  for (double v : bins_) total += v;
+  return total;
+}
+
+void ColorHistogram::NormalizeL1() {
+  const double total = TotalMass();
+  if (total <= 0.0) return;
+  for (double& v : bins_) v /= total;
+}
+
+double CompareHistograms(const ColorHistogram& a, const ColorHistogram& b,
+                         HistCompareMethod method) {
+  SNOR_CHECK_EQ(a.num_bins(), b.num_bins());
+  const std::vector<double>& ha = a.bins();
+  const std::vector<double>& hb = b.bins();
+  const std::size_t n = ha.size();
+
+  switch (method) {
+    case HistCompareMethod::kCorrelation: {
+      double sum_a = 0, sum_b = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        sum_a += ha[i];
+        sum_b += hb[i];
+      }
+      const double mean_a = sum_a / static_cast<double>(n);
+      const double mean_b = sum_b / static_cast<double>(n);
+      double num = 0, den_a = 0, den_b = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double da = ha[i] - mean_a;
+        const double db = hb[i] - mean_b;
+        num += da * db;
+        den_a += da * da;
+        den_b += db * db;
+      }
+      const double den = std::sqrt(den_a * den_b);
+      if (den < 1e-300) return 1.0;  // Both flat: perfectly correlated.
+      return num / den;
+    }
+    case HistCompareMethod::kChiSquare: {
+      double acc = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (ha[i] > 0) {
+          const double d = ha[i] - hb[i];
+          acc += d * d / ha[i];
+        }
+      }
+      return acc;
+    }
+    case HistCompareMethod::kIntersection: {
+      double acc = 0;
+      for (std::size_t i = 0; i < n; ++i) acc += std::min(ha[i], hb[i]);
+      return acc;
+    }
+    case HistCompareMethod::kHellinger: {
+      double sum_a = 0, sum_b = 0, sum_sqrt = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        sum_a += ha[i];
+        sum_b += hb[i];
+        sum_sqrt += std::sqrt(ha[i] * hb[i]);
+      }
+      const double mean_a = sum_a / static_cast<double>(n);
+      const double mean_b = sum_b / static_cast<double>(n);
+      const double denom =
+          std::sqrt(mean_a * mean_b) * static_cast<double>(n);
+      if (denom < 1e-300) return 0.0;  // Both empty: identical.
+      const double bc = sum_sqrt / denom;  // Bhattacharyya coefficient.
+      return std::sqrt(std::max(0.0, 1.0 - bc));
+    }
+  }
+  SNOR_CHECK_MSG(false, "unreachable");
+  return 0.0;
+}
+
+}  // namespace snor

@@ -1,0 +1,103 @@
+#include "features/hog.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "img/color.h"
+#include "img/resize.h"
+#include "util/check.h"
+
+namespace snor {
+
+std::size_t HogDescriptorLength(const HogOptions& options) {
+  const int cells = options.window / options.cell;
+  const int blocks = cells - options.block + 1;
+  return static_cast<std::size_t>(blocks) * blocks * options.block *
+         options.block * options.bins;
+}
+
+std::vector<float> ComputeHog(const ImageU8& image,
+                              const HogOptions& options) {
+  SNOR_CHECK_GT(options.window, 0);
+  SNOR_CHECK_GT(options.cell, 0);
+  SNOR_CHECK_EQ(options.window % options.cell, 0);
+  SNOR_CHECK_GE(options.block, 1);
+
+  const ImageU8 gray_u8 =
+      image.channels() == 3 ? RgbToGray(image) : image;
+  const ImageU8 resized =
+      Resize(gray_u8, options.window, options.window, Interp::kBilinear);
+
+  const int cells = options.window / options.cell;
+  std::vector<double> cell_hist(
+      static_cast<std::size_t>(cells) * cells * options.bins, 0.0);
+  auto hist_at = [&](int cy, int cx, int b) -> double& {
+    return cell_hist[(static_cast<std::size_t>(cy) * cells + cx) *
+                         options.bins +
+                     b];
+  };
+
+  const double bin_width = 180.0 / options.bins;
+  for (int y = 0; y < options.window; ++y) {
+    for (int x = 0; x < options.window; ++x) {
+      const double gx = static_cast<double>(resized.AtClamped(y, x + 1)) -
+                        resized.AtClamped(y, x - 1);
+      const double gy = static_cast<double>(resized.AtClamped(y + 1, x)) -
+                        resized.AtClamped(y - 1, x);
+      const double mag = std::hypot(gx, gy);
+      if (mag < 1e-9) continue;
+      double angle = std::atan2(gy, gx) * 180.0 / std::numbers::pi;
+      if (angle < 0) angle += 180.0;
+      if (angle >= 180.0) angle -= 180.0;
+
+      // Bilinear orientation binning.
+      const double pos = angle / bin_width - 0.5;
+      int b0 = static_cast<int>(std::floor(pos));
+      const double frac = pos - b0;
+      int b1 = b0 + 1;
+      if (b0 < 0) b0 += options.bins;
+      if (b1 >= options.bins) b1 -= options.bins;
+
+      const int cy = std::min(y / options.cell, cells - 1);
+      const int cx = std::min(x / options.cell, cells - 1);
+      hist_at(cy, cx, b0) += mag * (1.0 - frac);
+      hist_at(cy, cx, b1) += mag * frac;
+    }
+  }
+
+  // Sliding-block L2-hys normalization.
+  const int blocks = cells - options.block + 1;
+  std::vector<float> descriptor;
+  descriptor.reserve(HogDescriptorLength(options));
+  std::vector<double> block_vec(
+      static_cast<std::size_t>(options.block) * options.block *
+      options.bins);
+  for (int by = 0; by < blocks; ++by) {
+    for (int bx = 0; bx < blocks; ++bx) {
+      std::size_t idx = 0;
+      for (int cy = by; cy < by + options.block; ++cy) {
+        for (int cx = bx; cx < bx + options.block; ++cx) {
+          for (int b = 0; b < options.bins; ++b) {
+            block_vec[idx++] = hist_at(cy, cx, b);
+          }
+        }
+      }
+      // L2 normalize, clip at 0.2, renormalize (L2-hys).
+      auto l2 = [&] {
+        double acc = 0.0;
+        for (double v : block_vec) acc += v * v;
+        return std::sqrt(acc) + 1e-9;
+      };
+      double norm = l2();
+      for (double& v : block_vec) v = std::min(v / norm, 0.2);
+      norm = l2();
+      for (double v : block_vec) {
+        descriptor.push_back(static_cast<float>(v / norm));
+      }
+    }
+  }
+  return descriptor;
+}
+
+}  // namespace snor

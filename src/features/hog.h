@@ -1,0 +1,35 @@
+#ifndef SNOR_FEATURES_HOG_H_
+#define SNOR_FEATURES_HOG_H_
+
+#include <vector>
+
+#include "img/image.h"
+
+namespace snor {
+
+/// \brief Histogram-of-oriented-gradients options (Dalal & Triggs).
+struct HogOptions {
+  /// The input is resized to this square before gradient computation.
+  int window = 64;
+  /// Cell side in pixels.
+  int cell = 8;
+  /// Orientation bins over [0, 180) (unsigned gradients).
+  int bins = 9;
+  /// Block side in cells for contrast normalization.
+  int block = 2;
+};
+
+/// Computes the HOG descriptor of an image (gray or RGB): gradient
+/// orientation histograms per cell with bilinear orientation binning,
+/// L2-hys block normalization over sliding blocks. A dense global shape
+/// representation ablated against Hu moments and Fourier descriptors in
+/// `bench/ablation_representations`.
+std::vector<float> ComputeHog(const ImageU8& image,
+                              const HogOptions& options = {});
+
+/// Expected descriptor length for the given options.
+std::size_t HogDescriptorLength(const HogOptions& options);
+
+}  // namespace snor
+
+#endif  // SNOR_FEATURES_HOG_H_

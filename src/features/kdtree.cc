@@ -1,0 +1,164 @@
+#include "features/kdtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace snor {
+
+namespace {
+constexpr int kLeafSize = 8;
+}  // namespace
+
+struct KdTreeMatcher::Node {
+  // Interior node fields.
+  int split_dim = -1;
+  float split_value = 0.0f;
+  int left = -1;
+  int right = -1;
+  // Leaf: indices into train_ (empty for interior nodes).
+  std::vector<int> points;
+};
+
+KdTreeMatcher::KdTreeMatcher(std::vector<FloatDescriptor> train,
+                             int max_leaf_checks)
+    : train_(std::move(train)), max_leaf_checks_(max_leaf_checks) {
+  SNOR_CHECK_GT(max_leaf_checks_, 0);
+  if (train_.empty()) return;
+  std::vector<int> indices(train_.size());
+  for (std::size_t i = 0; i < train_.size(); ++i) {
+    indices[i] = static_cast<int>(i);
+  }
+  root_ = BuildNode(indices, 0, static_cast<int>(indices.size()));
+}
+
+KdTreeMatcher::~KdTreeMatcher() = default;
+KdTreeMatcher::KdTreeMatcher(KdTreeMatcher&&) noexcept = default;
+KdTreeMatcher& KdTreeMatcher::operator=(KdTreeMatcher&&) noexcept = default;
+
+int KdTreeMatcher::BuildNode(std::vector<int>& indices, int begin, int end) {
+  Node node;
+  if (end - begin <= kLeafSize) {
+    node.points.assign(indices.begin() + begin, indices.begin() + end);
+    nodes_.push_back(std::move(node));
+    return static_cast<int>(nodes_.size()) - 1;
+  }
+
+  // Split on the dimension with the largest variance over this subset.
+  const std::size_t dim = train_[static_cast<std::size_t>(indices[
+      static_cast<std::size_t>(begin)])].size();
+  int best_dim = 0;
+  double best_var = -1.0;
+  for (std::size_t d = 0; d < dim; ++d) {
+    double mean = 0.0;
+    for (int i = begin; i < end; ++i) {
+      mean += train_[static_cast<std::size_t>(
+          indices[static_cast<std::size_t>(i)])][d];
+    }
+    mean /= (end - begin);
+    double var = 0.0;
+    for (int i = begin; i < end; ++i) {
+      const double diff =
+          train_[static_cast<std::size_t>(
+              indices[static_cast<std::size_t>(i)])][d] -
+          mean;
+      var += diff * diff;
+    }
+    if (var > best_var) {
+      best_var = var;
+      best_dim = static_cast<int>(d);
+    }
+  }
+  if (best_var <= 0.0) {
+    // All points identical along every axis: make a leaf.
+    node.points.assign(indices.begin() + begin, indices.begin() + end);
+    nodes_.push_back(std::move(node));
+    return static_cast<int>(nodes_.size()) - 1;
+  }
+
+  const int mid = (begin + end) / 2;
+  std::nth_element(indices.begin() + begin, indices.begin() + mid,
+                   indices.begin() + end, [&](int a, int b) {
+                     return train_[static_cast<std::size_t>(a)]
+                                  [static_cast<std::size_t>(best_dim)] <
+                            train_[static_cast<std::size_t>(b)]
+                                  [static_cast<std::size_t>(best_dim)];
+                   });
+  node.split_dim = best_dim;
+  node.split_value = train_[static_cast<std::size_t>(
+      indices[static_cast<std::size_t>(mid)])][static_cast<std::size_t>(
+      best_dim)];
+
+  const int self = static_cast<int>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  const int left = BuildNode(indices, begin, mid);
+  const int right = BuildNode(indices, mid, end);
+  nodes_[static_cast<std::size_t>(self)].left = left;
+  nodes_[static_cast<std::size_t>(self)].right = right;
+  return self;
+}
+
+namespace {
+
+// Max-heap ordered by distance so the worst of the current k is on top.
+bool HeapCmp(const DMatch& a, const DMatch& b) {
+  return a.distance < b.distance;
+}
+
+}  // namespace
+
+void KdTreeMatcher::Search(int node_idx, const FloatDescriptor& q, int k,
+                           std::vector<DMatch>& heap, int& checks) const {
+  if (node_idx < 0 || checks >= max_leaf_checks_) return;
+  const Node& node = nodes_[static_cast<std::size_t>(node_idx)];
+
+  if (node.split_dim < 0) {  // Leaf.
+    for (int idx : node.points) {
+      if (checks >= max_leaf_checks_) return;
+      ++checks;
+      const float d =
+          FloatDistance(q, train_[static_cast<std::size_t>(idx)],
+                        FloatNorm::kL2);
+      if (static_cast<int>(heap.size()) < k) {
+        heap.push_back(DMatch{-1, idx, d});
+        std::push_heap(heap.begin(), heap.end(), HeapCmp);
+      } else if (d < heap.front().distance) {
+        std::pop_heap(heap.begin(), heap.end(), HeapCmp);
+        heap.back() = DMatch{-1, idx, d};
+        std::push_heap(heap.begin(), heap.end(), HeapCmp);
+      }
+    }
+    return;
+  }
+
+  const float qv = q[static_cast<std::size_t>(node.split_dim)];
+  const int near = qv <= node.split_value ? node.left : node.right;
+  const int far = qv <= node.split_value ? node.right : node.left;
+  Search(near, q, k, heap, checks);
+  // Visit the far side only if the splitting plane could hide a closer
+  // point (or we still need more neighbours).
+  const float plane_dist = std::abs(qv - node.split_value);
+  if (static_cast<int>(heap.size()) < k ||
+      plane_dist < heap.front().distance) {
+    Search(far, q, k, heap, checks);
+  }
+}
+
+std::vector<std::vector<DMatch>> KdTreeMatcher::KnnMatch(
+    const std::vector<FloatDescriptor>& query, int k) const {
+  SNOR_CHECK_GE(k, 1);
+  std::vector<std::vector<DMatch>> all(query.size());
+  if (train_.empty()) return all;
+  for (std::size_t qi = 0; qi < query.size(); ++qi) {
+    std::vector<DMatch> heap;
+    int checks = 0;
+    Search(root_, query[qi], k, heap, checks);
+    std::sort(heap.begin(), heap.end(), HeapCmp);
+    for (auto& m : heap) m.query_idx = static_cast<int>(qi);
+    all[qi] = std::move(heap);
+  }
+  return all;
+}
+
+}  // namespace snor

@@ -1,0 +1,52 @@
+#ifndef SNOR_FEATURES_KDTREE_H_
+#define SNOR_FEATURES_KDTREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "features/matcher.h"
+
+namespace snor {
+
+/// \brief Approximate nearest-neighbour matcher over float descriptors
+/// (k-d tree with best-bin-first search), our stand-in for FLANN.
+///
+/// The paper reports that FLANN gave no accuracy gain over brute force at
+/// gallery sizes of ~100 descriptors sets; `bench/ablation_sweeps` measures
+/// the same trade-off here.
+class KdTreeMatcher {
+ public:
+  /// Builds the index. `max_leaf_checks` bounds the number of points
+  /// examined per query during backtracking (higher = more exact).
+  explicit KdTreeMatcher(std::vector<FloatDescriptor> train,
+                         int max_leaf_checks = 128);
+  ~KdTreeMatcher();
+
+  KdTreeMatcher(KdTreeMatcher&&) noexcept;
+  KdTreeMatcher& operator=(KdTreeMatcher&&) noexcept;
+  KdTreeMatcher(const KdTreeMatcher&) = delete;
+  KdTreeMatcher& operator=(const KdTreeMatcher&) = delete;
+
+  /// k-nearest neighbours (L2) for each query descriptor; inner lists are
+  /// sorted by ascending distance.
+  std::vector<std::vector<DMatch>> KnnMatch(
+      const std::vector<FloatDescriptor>& query, int k) const;
+
+  std::size_t size() const { return train_.size(); }
+
+ private:
+  struct Node;
+
+  int BuildNode(std::vector<int>& indices, int begin, int end);
+  void Search(int node_idx, const FloatDescriptor& q, int k,
+              std::vector<DMatch>& heap, int& checks) const;
+
+  std::vector<FloatDescriptor> train_;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  int max_leaf_checks_;
+};
+
+}  // namespace snor
+
+#endif  // SNOR_FEATURES_KDTREE_H_

@@ -1,0 +1,44 @@
+#ifndef SNOR_FEATURES_KEYPOINT_H_
+#define SNOR_FEATURES_KEYPOINT_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace snor {
+
+/// \brief A detected interest point in base-image coordinates.
+struct Keypoint {
+  float x = 0.0f;
+  float y = 0.0f;
+  /// Detector response (higher = stronger).
+  float response = 0.0f;
+  /// Dominant orientation in degrees, [0, 360); -1 when not assigned.
+  float angle = -1.0f;
+  /// Characteristic scale (diameter in base-image pixels).
+  float size = 7.0f;
+  /// Pyramid level / octave the point was detected on.
+  int octave = 0;
+};
+
+/// 256-bit binary descriptor (ORB/BRIEF), packed to 32 bytes.
+using BinaryDescriptor = std::array<std::uint8_t, 32>;
+
+/// Variable-length float descriptor (SIFT: 128 dims, SURF: 64 dims).
+using FloatDescriptor = std::vector<float>;
+
+/// Detected keypoints plus their binary descriptors (parallel arrays).
+struct BinaryFeatures {
+  std::vector<Keypoint> keypoints;
+  std::vector<BinaryDescriptor> descriptors;
+};
+
+/// Detected keypoints plus their float descriptors (parallel arrays).
+struct FloatFeatures {
+  std::vector<Keypoint> keypoints;
+  std::vector<FloatDescriptor> descriptors;
+};
+
+}  // namespace snor
+
+#endif  // SNOR_FEATURES_KEYPOINT_H_

@@ -1,0 +1,132 @@
+#include "features/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "features/matcher.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace snor {
+namespace {
+
+double SquaredL2(const FloatDescriptor& a, const FloatDescriptor& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace
+
+int NearestCentroid(const std::vector<FloatDescriptor>& centroids,
+                    const FloatDescriptor& point) {
+  if (centroids.empty()) return -1;
+  int best = 0;
+  double best_dist = SquaredL2(centroids[0], point);
+  for (std::size_t c = 1; c < centroids.size(); ++c) {
+    const double d = SquaredL2(centroids[c], point);
+    if (d < best_dist) {
+      best_dist = d;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+KMeansResult KMeansCluster(const std::vector<FloatDescriptor>& points,
+                           const KMeansOptions& options) {
+  SNOR_CHECK_GT(options.k, 0);
+  KMeansResult result;
+  if (points.empty()) return result;
+  const int k = std::min<int>(options.k, static_cast<int>(points.size()));
+  const std::size_t dim = points[0].size();
+  for (const auto& p : points) SNOR_CHECK_EQ(p.size(), dim);
+
+  Rng rng(options.seed);
+
+  // k-means++ seeding.
+  result.centroids.push_back(points[rng.Index(points.size())]);
+  std::vector<double> min_dist(points.size(),
+                               std::numeric_limits<double>::max());
+  while (static_cast<int>(result.centroids.size()) < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      min_dist[i] = std::min(
+          min_dist[i], SquaredL2(points[i], result.centroids.back()));
+      total += min_dist[i];
+    }
+    if (total <= 0.0) break;  // All remaining points coincide with centres.
+    double target = rng.UniformDouble() * total;
+    std::size_t chosen = points.size() - 1;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      target -= min_dist[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    result.centroids.push_back(points[chosen]);
+  }
+
+  // Lloyd iterations.
+  result.assignments.assign(points.size(), -1);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+    bool changed = false;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const int nearest = NearestCentroid(result.centroids, points[i]);
+      if (nearest != result.assignments[i]) {
+        result.assignments[i] = nearest;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+
+    // Recompute centres.
+    std::vector<FloatDescriptor> sums(
+        result.centroids.size(), FloatDescriptor(dim, 0.0f));
+    std::vector<int> counts(result.centroids.size(), 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto c = static_cast<std::size_t>(result.assignments[i]);
+      for (std::size_t j = 0; j < dim; ++j) sums[c][j] += points[i][j];
+      ++counts[c];
+    }
+    for (std::size_t c = 0; c < result.centroids.size(); ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster from the point farthest from its
+        // centroid.
+        std::size_t farthest = 0;
+        double far_dist = -1.0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+          const double d = SquaredL2(
+              points[i], result.centroids[static_cast<std::size_t>(
+                             result.assignments[i])]);
+          if (d > far_dist) {
+            far_dist = d;
+            farthest = i;
+          }
+        }
+        result.centroids[c] = points[farthest];
+        continue;
+      }
+      for (std::size_t j = 0; j < dim; ++j) {
+        result.centroids[c][j] =
+            sums[c][j] / static_cast<float>(counts[c]);
+      }
+    }
+  }
+
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    result.inertia += SquaredL2(
+        points[i],
+        result.centroids[static_cast<std::size_t>(result.assignments[i])]);
+  }
+  return result;
+}
+
+}  // namespace snor

@@ -1,0 +1,42 @@
+#ifndef SNOR_FEATURES_KMEANS_H_
+#define SNOR_FEATURES_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "features/keypoint.h"
+
+namespace snor {
+
+/// \brief k-means clustering options.
+struct KMeansOptions {
+  int k = 64;
+  int max_iterations = 25;
+  /// Stop when no assignment changes between iterations.
+  std::uint64_t seed = 1337;
+};
+
+/// \brief Result of a k-means run over float descriptors.
+struct KMeansResult {
+  /// Cluster centres, `k` rows (fewer when there were fewer points).
+  std::vector<FloatDescriptor> centroids;
+  /// Index of the assigned centroid per input point.
+  std::vector<int> assignments;
+  /// Final total within-cluster squared distance.
+  double inertia = 0.0;
+  int iterations = 0;
+};
+
+/// Lloyd's k-means with k-means++ seeding over L2 distance. Deterministic
+/// in `options.seed`. Empty clusters are re-seeded from the farthest point.
+KMeansResult KMeansCluster(const std::vector<FloatDescriptor>& points,
+                           const KMeansOptions& options);
+
+/// Index of the nearest centroid (L2) for a query point; -1 when the
+/// vocabulary is empty.
+int NearestCentroid(const std::vector<FloatDescriptor>& centroids,
+                    const FloatDescriptor& point);
+
+}  // namespace snor
+
+#endif  // SNOR_FEATURES_KMEANS_H_

@@ -1,0 +1,138 @@
+#include "features/matcher.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace snor {
+
+int HammingDistance(const BinaryDescriptor& a, const BinaryDescriptor& b) {
+  int dist = 0;
+  for (std::size_t i = 0; i < a.size(); i += 8) {
+    std::uint64_t wa, wb;
+    std::memcpy(&wa, a.data() + i, 8);
+    std::memcpy(&wb, b.data() + i, 8);
+    dist += std::popcount(wa ^ wb);
+  }
+  return dist;
+}
+
+float FloatDistance(const FloatDescriptor& a, const FloatDescriptor& b,
+                    FloatNorm norm) {
+  SNOR_CHECK_EQ(a.size(), b.size());
+  double acc = 0.0;
+  if (norm == FloatNorm::kL1) {
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      acc += std::abs(static_cast<double>(a[i]) - b[i]);
+    }
+    return static_cast<float>(acc);
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return static_cast<float>(std::sqrt(acc));
+}
+
+namespace {
+
+// Shared kNN implementation over an opaque distance functor.
+template <typename DistFn>
+std::vector<std::vector<DMatch>> KnnImpl(std::size_t n_query,
+                                         std::size_t n_train, int k,
+                                         DistFn&& dist) {
+  SNOR_CHECK_GE(k, 1);
+  std::vector<std::vector<DMatch>> all(n_query);
+  const std::size_t keep = std::min<std::size_t>(static_cast<std::size_t>(k),
+                                                 n_train);
+  std::vector<DMatch> row;
+  for (std::size_t q = 0; q < n_query; ++q) {
+    row.clear();
+    row.reserve(n_train);
+    for (std::size_t t = 0; t < n_train; ++t) {
+      row.push_back(DMatch{static_cast<int>(q), static_cast<int>(t),
+                           dist(q, t)});
+    }
+    std::partial_sort(row.begin(), row.begin() + static_cast<long>(keep),
+                      row.end(), [](const DMatch& a, const DMatch& b) {
+                        return a.distance < b.distance;
+                      });
+    all[q].assign(row.begin(), row.begin() + static_cast<long>(keep));
+  }
+  return all;
+}
+
+template <typename Knn>
+std::vector<DMatch> BestOf(Knn&& knn) {
+  std::vector<DMatch> best;
+  for (const auto& list : knn) {
+    if (!list.empty()) best.push_back(list.front());
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<std::vector<DMatch>> KnnMatchBruteForce(
+    const std::vector<FloatDescriptor>& query,
+    const std::vector<FloatDescriptor>& train, int k, FloatNorm norm) {
+  return KnnImpl(query.size(), train.size(), k,
+                 [&](std::size_t q, std::size_t t) {
+                   return FloatDistance(query[q], train[t], norm);
+                 });
+}
+
+std::vector<std::vector<DMatch>> KnnMatchBruteForce(
+    const std::vector<BinaryDescriptor>& query,
+    const std::vector<BinaryDescriptor>& train, int k) {
+  return KnnImpl(query.size(), train.size(), k,
+                 [&](std::size_t q, std::size_t t) {
+                   return static_cast<float>(
+                       HammingDistance(query[q], train[t]));
+                 });
+}
+
+std::vector<DMatch> MatchBruteForce(const std::vector<FloatDescriptor>& query,
+                                    const std::vector<FloatDescriptor>& train,
+                                    FloatNorm norm) {
+  if (train.empty()) return {};
+  return BestOf(KnnMatchBruteForce(query, train, 1, norm));
+}
+
+std::vector<DMatch> MatchBruteForce(
+    const std::vector<BinaryDescriptor>& query,
+    const std::vector<BinaryDescriptor>& train) {
+  if (train.empty()) return {};
+  return BestOf(KnnMatchBruteForce(query, train, 1));
+}
+
+std::vector<DMatch> RatioTestFilter(
+    const std::vector<std::vector<DMatch>>& knn_matches, float ratio) {
+  std::vector<DMatch> good;
+  for (const auto& list : knn_matches) {
+    if (list.size() < 2) continue;
+    if (list[0].distance < ratio * list[1].distance) {
+      good.push_back(list[0]);
+    }
+  }
+  return good;
+}
+
+std::vector<DMatch> CrossCheckFilter(const std::vector<DMatch>& forward,
+                                     const std::vector<DMatch>& backward) {
+  std::vector<DMatch> kept;
+  for (const DMatch& f : forward) {
+    for (const DMatch& b : backward) {
+      if (b.query_idx == f.train_idx && b.train_idx == f.query_idx) {
+        kept.push_back(f);
+        break;
+      }
+    }
+  }
+  return kept;
+}
+
+}  // namespace snor

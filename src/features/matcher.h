@@ -1,0 +1,61 @@
+#ifndef SNOR_FEATURES_MATCHER_H_
+#define SNOR_FEATURES_MATCHER_H_
+
+#include <vector>
+
+#include "features/keypoint.h"
+
+namespace snor {
+
+/// \brief A correspondence between a query descriptor and a train
+/// descriptor, mirroring `cv::DMatch`.
+struct DMatch {
+  int query_idx = -1;
+  int train_idx = -1;
+  float distance = 0.0f;
+};
+
+/// Distance used for float descriptors.
+enum class FloatNorm { kL1, kL2 };
+
+/// Number of set bits in a XOR of two 256-bit descriptors.
+int HammingDistance(const BinaryDescriptor& a, const BinaryDescriptor& b);
+
+/// L1 / L2 distance between equal-length float descriptors.
+float FloatDistance(const FloatDescriptor& a, const FloatDescriptor& b,
+                    FloatNorm norm);
+
+/// Brute-force best match per query descriptor (empty train set yields an
+/// empty result).
+std::vector<DMatch> MatchBruteForce(
+    const std::vector<FloatDescriptor>& query,
+    const std::vector<FloatDescriptor>& train,
+    FloatNorm norm = FloatNorm::kL2);
+std::vector<DMatch> MatchBruteForce(
+    const std::vector<BinaryDescriptor>& query,
+    const std::vector<BinaryDescriptor>& train);
+
+/// Brute-force k-nearest-neighbour matching; inner vectors are sorted by
+/// ascending distance and contain min(k, train size) entries.
+std::vector<std::vector<DMatch>> KnnMatchBruteForce(
+    const std::vector<FloatDescriptor>& query,
+    const std::vector<FloatDescriptor>& train, int k,
+    FloatNorm norm = FloatNorm::kL2);
+std::vector<std::vector<DMatch>> KnnMatchBruteForce(
+    const std::vector<BinaryDescriptor>& query,
+    const std::vector<BinaryDescriptor>& train, int k);
+
+/// Lowe's ratio test: keeps the best match of each kNN list when
+/// best.distance < ratio * second_best.distance (lists with fewer than two
+/// entries are dropped). Used with thresholds 0.75 and 0.5 in the paper.
+std::vector<DMatch> RatioTestFilter(
+    const std::vector<std::vector<DMatch>>& knn_matches, float ratio);
+
+/// Symmetric cross-check filter: keeps query->train matches whose train
+/// descriptor's best match points back at the query.
+std::vector<DMatch> CrossCheckFilter(const std::vector<DMatch>& forward,
+                                     const std::vector<DMatch>& backward);
+
+}  // namespace snor
+
+#endif  // SNOR_FEATURES_MATCHER_H_

@@ -1,0 +1,91 @@
+#include "features/orb.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "features/brief.h"
+#include "features/fast.h"
+#include "img/color.h"
+#include "img/filter.h"
+#include "img/pyramid.h"
+
+namespace snor {
+
+BinaryFeatures ExtractOrb(const ImageU8& image, const OrbOptions& options) {
+  const ImageU8 gray = image.channels() == 3 ? RgbToGray(image) : image;
+
+  struct Candidate {
+    Keypoint kp;          // In base-image coordinates.
+    Keypoint level_kp;    // In level coordinates (for descriptor sampling).
+    int level = 0;
+    float harris = 0.0f;
+  };
+
+  const auto pyramid = BuildPyramid(gray, options.n_levels,
+                                    options.scale_factor, /*min_size=*/32);
+
+  std::vector<Candidate> candidates;
+  FastOptions fast_opts;
+  fast_opts.threshold = options.fast_threshold;
+  fast_opts.nonmax_suppression = true;
+
+  // Keep keypoints whose descriptor patch fits (the steered pattern needs
+  // ~13px on the pyramid level; orientation patch needs 15px).
+  constexpr int kEdge = 16;
+
+  for (std::size_t level = 0; level < pyramid.size(); ++level) {
+    const ImageU8& lvl_img = pyramid[level].image;
+    const double scale = pyramid[level].scale;
+    for (const Keypoint& kp : DetectFast(lvl_img, fast_opts)) {
+      const int x = static_cast<int>(kp.x);
+      const int y = static_cast<int>(kp.y);
+      if (x < kEdge || y < kEdge || x >= lvl_img.width() - kEdge ||
+          y >= lvl_img.height() - kEdge) {
+        continue;
+      }
+      Candidate cand;
+      cand.level = static_cast<int>(level);
+      cand.level_kp = kp;
+      cand.level_kp.angle = IntensityCentroidAngle(lvl_img, x, y);
+      cand.kp = kp;
+      cand.kp.x = static_cast<float>(kp.x * scale);
+      cand.kp.y = static_cast<float>(kp.y * scale);
+      cand.kp.angle = cand.level_kp.angle;
+      cand.kp.octave = static_cast<int>(level);
+      cand.kp.size = static_cast<float>(31.0 * scale);
+      cand.harris = HarrisResponse(lvl_img, x, y);
+      candidates.push_back(std::move(cand));
+    }
+  }
+
+  // Rank by Harris response and keep the strongest n_features.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.harris > b.harris;
+            });
+  if (static_cast<int>(candidates.size()) > options.n_features) {
+    candidates.resize(static_cast<std::size_t>(options.n_features));
+  }
+
+  // Smooth each used level once for BRIEF sampling.
+  std::vector<ImageU8> smoothed(pyramid.size());
+  std::vector<bool> smoothed_ready(pyramid.size(), false);
+
+  BinaryFeatures out;
+  out.keypoints.reserve(candidates.size());
+  out.descriptors.reserve(candidates.size());
+  for (const Candidate& cand : candidates) {
+    const auto level = static_cast<std::size_t>(cand.level);
+    if (!smoothed_ready[level]) {
+      smoothed[level] = GaussianBlur(pyramid[level].image, options.blur_sigma);
+      smoothed_ready[level] = true;
+    }
+    Keypoint sample_kp = cand.level_kp;
+    out.keypoints.push_back(cand.kp);
+    out.descriptors.push_back(
+        ComputeSteeredBriefDescriptor(smoothed[level], sample_kp));
+  }
+  return out;
+}
+
+}  // namespace snor

@@ -1,0 +1,31 @@
+#ifndef SNOR_FEATURES_ORB_H_
+#define SNOR_FEATURES_ORB_H_
+
+#include "features/keypoint.h"
+#include "img/image.h"
+
+namespace snor {
+
+/// \brief ORB extraction parameters (defaults follow OpenCV).
+struct OrbOptions {
+  /// Maximum number of keypoints retained (ranked by Harris response).
+  int n_features = 500;
+  /// Pyramid scale step between levels.
+  double scale_factor = 1.2;
+  /// Number of pyramid levels.
+  int n_levels = 8;
+  /// FAST threshold used on every level.
+  int fast_threshold = 20;
+  /// Gaussian smoothing applied before BRIEF sampling.
+  double blur_sigma = 2.0;
+};
+
+/// Extracts ORB features (Rublee et al.): multi-scale FAST-9 keypoints
+/// ranked by Harris response, intensity-centroid orientation, and steered
+/// 256-bit BRIEF descriptors. Keypoint coordinates are reported in
+/// base-image pixels. Input may be RGB (converted to gray) or gray.
+BinaryFeatures ExtractOrb(const ImageU8& image, const OrbOptions& options = {});
+
+}  // namespace snor
+
+#endif  // SNOR_FEATURES_ORB_H_

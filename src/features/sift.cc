@@ -1,0 +1,470 @@
+#include "features/sift.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "img/color.h"
+#include "img/filter.h"
+#include "util/check.h"
+
+namespace snor {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+constexpr int kOriHistBins = 36;
+constexpr double kOriSigmaFactor = 1.5;
+constexpr double kOriRadiusFactor = 3.0 * kOriSigmaFactor;
+constexpr double kOriPeakRatio = 0.8;
+constexpr int kDescWidth = 4;       // 4x4 spatial cells.
+constexpr int kDescOriBins = 8;     // Orientation bins per cell.
+constexpr double kDescSclFactor = 3.0;
+constexpr double kDescMagThreshold = 0.2;
+
+// Downsamples by taking every other pixel.
+ImageF HalfSample(const ImageF& src) {
+  const int w = std::max(1, src.width() / 2);
+  const int h = std::max(1, src.height() / 2);
+  ImageF dst(w, h, 1);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      dst.at(y, x) = src.at(2 * y, 2 * x);
+    }
+  }
+  return dst;
+}
+
+struct ScaleSpace {
+  // gaussians[o][i]: octave o, blur level i (n_scales + 3 per octave).
+  std::vector<std::vector<ImageF>> gaussians;
+  // dogs[o][i] = gaussians[o][i+1] - gaussians[o][i] (n_scales + 2).
+  std::vector<std::vector<ImageF>> dogs;
+};
+
+ScaleSpace BuildScaleSpace(const ImageF& base, int n_octaves, int n_scales,
+                           double sigma) {
+  ScaleSpace ss;
+  const int levels = n_scales + 3;
+  const double k = std::pow(2.0, 1.0 / n_scales);
+
+  // Per-level incremental blur amounts.
+  std::vector<double> inc_sigma(static_cast<std::size_t>(levels));
+  inc_sigma[0] = sigma;
+  double prev_total = sigma;
+  for (int i = 1; i < levels; ++i) {
+    const double total = sigma * std::pow(k, i);
+    inc_sigma[static_cast<std::size_t>(i)] =
+        std::sqrt(total * total - prev_total * prev_total);
+    prev_total = total;
+  }
+
+  ss.gaussians.resize(static_cast<std::size_t>(n_octaves));
+  ss.dogs.resize(static_cast<std::size_t>(n_octaves));
+  for (int o = 0; o < n_octaves; ++o) {
+    auto& gauss = ss.gaussians[static_cast<std::size_t>(o)];
+    gauss.reserve(static_cast<std::size_t>(levels));
+    if (o == 0) {
+      // Assume the input has sigma_init = 0.5; lift it to `sigma`.
+      const double add =
+          std::sqrt(std::max(sigma * sigma - 0.5 * 0.5, 0.01));
+      gauss.push_back(GaussianBlur(base, add));
+    } else {
+      // Seed with the (s)-th gaussian of the previous octave, halved.
+      gauss.push_back(HalfSample(
+          ss.gaussians[static_cast<std::size_t>(o - 1)]
+                      [static_cast<std::size_t>(n_scales)]));
+    }
+    for (int i = 1; i < levels; ++i) {
+      gauss.push_back(
+          GaussianBlur(gauss.back(), inc_sigma[static_cast<std::size_t>(i)]));
+    }
+
+    auto& dog = ss.dogs[static_cast<std::size_t>(o)];
+    dog.reserve(static_cast<std::size_t>(levels - 1));
+    for (int i = 0; i + 1 < levels; ++i) {
+      const ImageF& a = gauss[static_cast<std::size_t>(i)];
+      const ImageF& b = gauss[static_cast<std::size_t>(i + 1)];
+      ImageF d(a.width(), a.height(), 1);
+      for (int y = 0; y < a.height(); ++y) {
+        for (int x = 0; x < a.width(); ++x) {
+          d.at(y, x) = b.at(y, x) - a.at(y, x);
+        }
+      }
+      dog.push_back(std::move(d));
+    }
+  }
+  return ss;
+}
+
+// 3-D quadratic refinement; returns false when the candidate is rejected.
+bool RefineExtremum(const std::vector<ImageF>& dog, int n_scales,
+                    double contrast_threshold, double edge_threshold, int& x,
+                    int& y, int& layer, double& off_x, double& off_y,
+                    double& off_s, double& contrast) {
+  constexpr int kMaxIter = 5;
+  for (int iter = 0; iter < kMaxIter; ++iter) {
+    const ImageF& cur = dog[static_cast<std::size_t>(layer)];
+    const ImageF& prev = dog[static_cast<std::size_t>(layer - 1)];
+    const ImageF& next = dog[static_cast<std::size_t>(layer + 1)];
+
+    const double dx = (cur.at(y, x + 1) - cur.at(y, x - 1)) * 0.5;
+    const double dy = (cur.at(y + 1, x) - cur.at(y - 1, x)) * 0.5;
+    const double ds = (next.at(y, x) - prev.at(y, x)) * 0.5;
+
+    const double v2 = cur.at(y, x) * 2.0;
+    const double dxx = cur.at(y, x + 1) + cur.at(y, x - 1) - v2;
+    const double dyy = cur.at(y + 1, x) + cur.at(y - 1, x) - v2;
+    const double dss = next.at(y, x) + prev.at(y, x) - v2;
+    const double dxy = (cur.at(y + 1, x + 1) - cur.at(y + 1, x - 1) -
+                        cur.at(y - 1, x + 1) + cur.at(y - 1, x - 1)) *
+                       0.25;
+    const double dxs = (next.at(y, x + 1) - next.at(y, x - 1) -
+                        prev.at(y, x + 1) + prev.at(y, x - 1)) *
+                       0.25;
+    const double dys = (next.at(y + 1, x) - next.at(y - 1, x) -
+                        prev.at(y + 1, x) + prev.at(y - 1, x)) *
+                       0.25;
+
+    // Solve H * offset = -g (3x3 via Cramer's rule).
+    const double det = dxx * (dyy * dss - dys * dys) -
+                       dxy * (dxy * dss - dys * dxs) +
+                       dxs * (dxy * dys - dyy * dxs);
+    if (std::abs(det) < 1e-30) return false;
+    const double inv = 1.0 / det;
+    off_x = -inv * (dx * (dyy * dss - dys * dys) -
+                    dxy * (dy * dss - dys * ds) +
+                    dxs * (dy * dys - dyy * ds));
+    off_y = -inv * (dxx * (dy * dss - dys * ds) -
+                    dx * (dxy * dss - dys * dxs) +
+                    dxs * (dxy * ds - dy * dxs));
+    off_s = -inv * (dxx * (dyy * ds - dy * dys) -
+                    dxy * (dxy * ds - dy * dxs) +
+                    dx * (dxy * dys - dyy * dxs));
+
+    if (std::abs(off_x) < 0.5 && std::abs(off_y) < 0.5 &&
+        std::abs(off_s) < 0.5) {
+      contrast = cur.at(y, x) +
+                 0.5 * (dx * off_x + dy * off_y + ds * off_s);
+      // Contrast rejection (OpenCV convention).
+      if (std::abs(contrast) * n_scales < contrast_threshold) return false;
+      // Edge rejection on the 2x2 spatial Hessian.
+      const double tr = dxx + dyy;
+      const double det2 = dxx * dyy - dxy * dxy;
+      const double r = edge_threshold;
+      if (det2 <= 0 || tr * tr * r >= (r + 1) * (r + 1) * det2) return false;
+      return true;
+    }
+
+    x += static_cast<int>(std::lround(off_x));
+    y += static_cast<int>(std::lround(off_y));
+    layer += static_cast<int>(std::lround(off_s));
+    const int border = 5;
+    if (layer < 1 || layer > n_scales ||
+        x < border || x >= cur.width() - border || y < border ||
+        y >= cur.height() - border) {
+      return false;
+    }
+  }
+  return false;
+}
+
+// Gradient orientation histogram around (x, y) on a Gaussian image;
+// returns the histogram max.
+double OrientationHistogram(const ImageF& img, int x, int y, double sigma,
+                            int radius, double* hist) {
+  for (int i = 0; i < kOriHistBins; ++i) hist[i] = 0.0;
+  const double weight_factor = -1.0 / (2.0 * sigma * sigma);
+  double raw[kOriHistBins + 4] = {};
+  double* raw_hist = raw + 2;
+
+  for (int dy = -radius; dy <= radius; ++dy) {
+    const int py = y + dy;
+    if (py <= 0 || py >= img.height() - 1) continue;
+    for (int dx = -radius; dx <= radius; ++dx) {
+      const int px = x + dx;
+      if (px <= 0 || px >= img.width() - 1) continue;
+      const double gx = img.at(py, px + 1) - img.at(py, px - 1);
+      const double gy = img.at(py + 1, px) - img.at(py - 1, px);
+      const double mag = std::sqrt(gx * gx + gy * gy);
+      double ori = std::atan2(gy, gx);  // [-pi, pi]
+      if (ori < 0) ori += 2 * kPi;
+      const double w = std::exp((dx * dx + dy * dy) * weight_factor);
+      int bin = static_cast<int>(std::lround(kOriHistBins * ori / (2 * kPi)));
+      if (bin >= kOriHistBins) bin -= kOriHistBins;
+      raw_hist[bin] += w * mag;
+    }
+  }
+
+  // Circular smoothing (as in OpenCV).
+  raw_hist[-2] = raw_hist[kOriHistBins - 2];
+  raw_hist[-1] = raw_hist[kOriHistBins - 1];
+  raw_hist[kOriHistBins] = raw_hist[0];
+  raw_hist[kOriHistBins + 1] = raw_hist[1];
+  double max_val = 0.0;
+  for (int i = 0; i < kOriHistBins; ++i) {
+    hist[i] = (raw_hist[i - 2] + raw_hist[i + 2]) * (1.0 / 16) +
+              (raw_hist[i - 1] + raw_hist[i + 1]) * (4.0 / 16) +
+              raw_hist[i] * (6.0 / 16);
+    max_val = std::max(max_val, hist[i]);
+  }
+  return max_val;
+}
+
+// Computes the 128-dim descriptor for a keypoint on its Gaussian image.
+FloatDescriptor ComputeDescriptor(const ImageF& img, double x, double y,
+                                  double angle_deg, double scale) {
+  const double angle = angle_deg * kPi / 180.0;
+  const double cos_t = std::cos(angle);
+  const double sin_t = std::sin(angle);
+  const double bins_per_rad = kDescOriBins / (2 * kPi);
+  const double hist_width = kDescSclFactor * scale;
+  const double exp_scale =
+      -1.0 / (kDescWidth * kDescWidth * 0.5);
+  int radius = static_cast<int>(std::lround(
+      hist_width * std::sqrt(2.0) * (kDescWidth + 1) * 0.5));
+  radius = std::min(radius,
+                    static_cast<int>(std::sqrt(
+                        static_cast<double>(img.width()) * img.width() +
+                        static_cast<double>(img.height()) * img.height())));
+
+  // (d+2) x (d+2) x (n+2) accumulation grid for trilinear interpolation.
+  const int d = kDescWidth;
+  const int n = kDescOriBins;
+  std::vector<double> grid(static_cast<std::size_t>((d + 2) * (d + 2) *
+                                                    (n + 2)),
+                           0.0);
+  auto grid_at = [&](int r, int c, int o) -> double& {
+    return grid[(static_cast<std::size_t>(r) * (d + 2) + c) * (n + 2) + o];
+  };
+
+  const int cx = static_cast<int>(std::lround(x));
+  const int cy = static_cast<int>(std::lround(y));
+  for (int dy = -radius; dy <= radius; ++dy) {
+    for (int dx = -radius; dx <= radius; ++dx) {
+      // Rotate offsets into the keypoint frame.
+      const double rx = (cos_t * dx + sin_t * dy) / hist_width;
+      const double ry = (-sin_t * dx + cos_t * dy) / hist_width;
+      const double rbin = ry + d / 2.0 - 0.5;
+      const double cbin = rx + d / 2.0 - 0.5;
+      if (rbin <= -1 || rbin >= d || cbin <= -1 || cbin >= d) continue;
+      const int px = cx + dx;
+      const int py = cy + dy;
+      if (px <= 0 || px >= img.width() - 1 || py <= 0 ||
+          py >= img.height() - 1) {
+        continue;
+      }
+      const double gx = img.at(py, px + 1) - img.at(py, px - 1);
+      const double gy = img.at(py + 1, px) - img.at(py - 1, px);
+      double ori = std::atan2(gy, gx);
+      if (ori < 0) ori += 2 * kPi;
+      const double mag = std::sqrt(gx * gx + gy * gy);
+      const double w = std::exp((rx * rx + ry * ry) * exp_scale);
+
+      double obin = (ori - angle) * bins_per_rad;
+      while (obin < 0) obin += n;
+      while (obin >= n) obin -= n;
+
+      const int r0 = static_cast<int>(std::floor(rbin));
+      const int c0 = static_cast<int>(std::floor(cbin));
+      const int o0 = static_cast<int>(std::floor(obin));
+      const double fr = rbin - r0;
+      const double fc = cbin - c0;
+      const double fo = obin - o0;
+      const double v = w * mag;
+
+      // Trilinear distribution over the 8 surrounding grid cells.
+      for (int ir = 0; ir <= 1; ++ir) {
+        const int rr = r0 + ir + 1;
+        if (rr < 0 || rr >= d + 2) continue;
+        const double vr = v * (ir == 0 ? 1 - fr : fr);
+        for (int ic = 0; ic <= 1; ++ic) {
+          const int cc = c0 + ic + 1;
+          if (cc < 0 || cc >= d + 2) continue;
+          const double vc = vr * (ic == 0 ? 1 - fc : fc);
+          for (int io = 0; io <= 1; ++io) {
+            const int oo = (o0 + io) % n;
+            grid_at(rr, cc, oo) += vc * (io == 0 ? 1 - fo : fo);
+          }
+        }
+      }
+    }
+  }
+
+  // Collect interior cells into the final 128-dim vector.
+  FloatDescriptor desc;
+  desc.reserve(static_cast<std::size_t>(d * d * n));
+  for (int r = 1; r <= d; ++r) {
+    for (int c = 1; c <= d; ++c) {
+      for (int o = 0; o < n; ++o) {
+        desc.push_back(static_cast<float>(grid_at(r, c, o)));
+      }
+    }
+  }
+
+  // Normalize, clip, renormalize.
+  auto l2 = [&] {
+    double acc = 0;
+    for (float v : desc) acc += static_cast<double>(v) * v;
+    return std::sqrt(acc);
+  };
+  double norm = l2();
+  if (norm < 1e-12) return desc;
+  const float clip = static_cast<float>(kDescMagThreshold * norm);
+  for (float& v : desc) v = std::min(v, clip);
+  norm = l2();
+  if (norm < 1e-12) return desc;
+  for (float& v : desc) v = static_cast<float>(v / norm);
+  return desc;
+}
+
+}  // namespace
+
+FloatFeatures ExtractSift(const ImageU8& image, const SiftOptions& options) {
+  SNOR_CHECK_GE(options.n_scales, 2);
+  const ImageU8 gray_u8 = image.channels() == 3 ? RgbToGray(image) : image;
+  ImageF base(gray_u8.width(), gray_u8.height(), 1);
+  for (int y = 0; y < base.height(); ++y) {
+    for (int x = 0; x < base.width(); ++x) {
+      base.at(y, x) = gray_u8.at(y, x) / 255.0f;
+    }
+  }
+
+  const int min_dim = std::min(base.width(), base.height());
+  if (min_dim < 16) return {};
+  const int n_octaves = std::max(
+      1, static_cast<int>(std::log2(static_cast<double>(min_dim) / 8.0)));
+
+  const ScaleSpace ss =
+      BuildScaleSpace(base, n_octaves, options.n_scales, options.sigma);
+
+  struct Raw {
+    Keypoint kp;
+    int octave;
+    int layer;
+    double scale_octave;  // Scale relative to the octave.
+    double x_oct, y_oct;  // Coordinates on the octave grid.
+  };
+  std::vector<Raw> raws;
+
+  const double prelim_threshold =
+      0.5 * options.contrast_threshold / options.n_scales;
+  const int border = 5;
+
+  for (int o = 0; o < n_octaves; ++o) {
+    const auto& dog = ss.dogs[static_cast<std::size_t>(o)];
+    const int w = dog[0].width();
+    const int h = dog[0].height();
+    for (int layer = 1; layer <= options.n_scales; ++layer) {
+      const ImageF& cur = dog[static_cast<std::size_t>(layer)];
+      const ImageF& prev = dog[static_cast<std::size_t>(layer - 1)];
+      const ImageF& next = dog[static_cast<std::size_t>(layer + 1)];
+      for (int y = border; y < h - border; ++y) {
+        for (int x = border; x < w - border; ++x) {
+          const float v = cur.at(y, x);
+          if (std::abs(v) <= prelim_threshold) continue;
+
+          // 26-neighbour extremum test.
+          bool is_max = true;
+          bool is_min = true;
+          for (int dy = -1; dy <= 1 && (is_max || is_min); ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+              for (const ImageF* im : {&prev, &cur, &next}) {
+                if (im == &cur && dx == 0 && dy == 0) continue;
+                const float nv = im->at(y + dy, x + dx);
+                if (nv >= v) is_max = false;
+                if (nv <= v) is_min = false;
+              }
+            }
+          }
+          if (!is_max && !is_min) continue;
+
+          int rx = x;
+          int ry = y;
+          int rlayer = layer;
+          double off_x = 0, off_y = 0, off_s = 0, contrast = 0;
+          if (!RefineExtremum(dog, options.n_scales,
+                              options.contrast_threshold,
+                              options.edge_threshold, rx, ry, rlayer, off_x,
+                              off_y, off_s, contrast)) {
+            continue;
+          }
+
+          Raw raw;
+          raw.octave = o;
+          raw.layer = rlayer;
+          raw.x_oct = rx + off_x;
+          raw.y_oct = ry + off_y;
+          raw.scale_octave =
+              options.sigma *
+              std::pow(2.0, (rlayer + off_s) / options.n_scales);
+          raw.kp.x = static_cast<float>(raw.x_oct * (1 << o));
+          raw.kp.y = static_cast<float>(raw.y_oct * (1 << o));
+          raw.kp.response = static_cast<float>(std::abs(contrast));
+          raw.kp.size = static_cast<float>(raw.scale_octave * (1 << o) * 2);
+          raw.kp.octave = o;
+          raws.push_back(std::move(raw));
+        }
+      }
+    }
+  }
+
+  // Orientation assignment (may split keypoints) + descriptors.
+  FloatFeatures out;
+  for (const Raw& raw : raws) {
+    const ImageF& gauss =
+        ss.gaussians[static_cast<std::size_t>(raw.octave)]
+                    [static_cast<std::size_t>(raw.layer)];
+    const double sigma_ori = kOriSigmaFactor * raw.scale_octave;
+    const int radius =
+        static_cast<int>(std::lround(kOriRadiusFactor * raw.scale_octave));
+    double hist[kOriHistBins];
+    const double max_val = OrientationHistogram(
+        gauss, static_cast<int>(std::lround(raw.x_oct)),
+        static_cast<int>(std::lround(raw.y_oct)), sigma_ori, radius, hist);
+    if (max_val <= 0) continue;
+
+    const double threshold = kOriPeakRatio * max_val;
+    for (int bin = 0; bin < kOriHistBins; ++bin) {
+      const int left = (bin + kOriHistBins - 1) % kOriHistBins;
+      const int right = (bin + 1) % kOriHistBins;
+      if (hist[bin] < threshold || hist[bin] <= hist[left] ||
+          hist[bin] <= hist[right]) {
+        continue;
+      }
+      // Parabolic peak interpolation.
+      double interp =
+          bin + 0.5 * (hist[left] - hist[right]) /
+                    (hist[left] - 2 * hist[bin] + hist[right]);
+      if (interp < 0) interp += kOriHistBins;
+      if (interp >= kOriHistBins) interp -= kOriHistBins;
+      const double angle = 360.0 * interp / kOriHistBins;
+
+      Keypoint kp = raw.kp;
+      kp.angle = static_cast<float>(angle);
+      FloatDescriptor desc = ComputeDescriptor(
+          gauss, raw.x_oct, raw.y_oct, angle, raw.scale_octave);
+      out.keypoints.push_back(kp);
+      out.descriptors.push_back(std::move(desc));
+    }
+  }
+
+  if (options.max_features > 0 &&
+      static_cast<int>(out.keypoints.size()) > options.max_features) {
+    // Keep the strongest responses.
+    std::vector<std::size_t> order(out.keypoints.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return out.keypoints[a].response > out.keypoints[b].response;
+    });
+    FloatFeatures trimmed;
+    for (int i = 0; i < options.max_features; ++i) {
+      trimmed.keypoints.push_back(out.keypoints[order[static_cast<std::size_t>(i)]]);
+      trimmed.descriptors.push_back(
+          out.descriptors[order[static_cast<std::size_t>(i)]]);
+    }
+    out = std::move(trimmed);
+  }
+  return out;
+}
+
+}  // namespace snor

@@ -1,0 +1,33 @@
+#ifndef SNOR_FEATURES_SIFT_H_
+#define SNOR_FEATURES_SIFT_H_
+
+#include "features/keypoint.h"
+#include "img/image.h"
+
+namespace snor {
+
+/// \brief SIFT extraction parameters (defaults follow Lowe / OpenCV).
+struct SiftOptions {
+  /// Scale samples per octave.
+  int n_scales = 3;
+  /// Base blur of the first octave.
+  double sigma = 1.6;
+  /// DoG contrast threshold (applied as in OpenCV: |D| * n_scales).
+  double contrast_threshold = 0.04;
+  /// Principal-curvature ratio threshold for edge rejection.
+  double edge_threshold = 10.0;
+  /// Maximum keypoints kept (strongest first); 0 = unlimited.
+  int max_features = 0;
+};
+
+/// Extracts SIFT features (Lowe 2004): Gaussian scale space, DoG extrema
+/// with quadratic subpixel refinement and edge rejection, gradient
+/// orientation assignment, and the 4x4x8 gradient-histogram descriptor
+/// (normalized, clipped at 0.2, renormalized; 128 dims). Input may be RGB
+/// or grayscale; coordinates are reported in input-image pixels.
+FloatFeatures ExtractSift(const ImageU8& image,
+                          const SiftOptions& options = {});
+
+}  // namespace snor
+
+#endif  // SNOR_FEATURES_SIFT_H_

@@ -1,0 +1,275 @@
+#include "features/surf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "img/color.h"
+#include "img/integral.h"
+#include "util/check.h"
+
+namespace snor {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+// Sum over a rows x cols rectangle whose top-left pixel is (row, col).
+double Box(const IntegralImage& ii, int row, int col, int rows, int cols) {
+  return ii.Sum(col, row, cols, rows);
+}
+
+// One determinant-of-Hessian response map at a fixed box-filter size.
+struct ResponseMap {
+  int width = 0;
+  int height = 0;
+  int step = 1;        // Sampling step in image pixels.
+  int filter_size = 0;
+  std::vector<float> responses;
+  std::vector<std::uint8_t> laplacian;
+
+  float At(int ry, int rx) const {
+    return responses[static_cast<std::size_t>(ry) * width + rx];
+  }
+};
+
+ResponseMap BuildResponseMap(const IntegralImage& ii, int step,
+                             int filter_size) {
+  ResponseMap map;
+  map.step = step;
+  map.filter_size = filter_size;
+  map.width = ii.width() / step;
+  map.height = ii.height() / step;
+  map.responses.assign(
+      static_cast<std::size_t>(map.width) * map.height, 0.0f);
+  map.laplacian.assign(
+      static_cast<std::size_t>(map.width) * map.height, 0);
+
+  const int b = (filter_size - 1) / 2;  // Border.
+  const int l = filter_size / 3;        // Lobe.
+  const int w = filter_size;
+  const double inv_area = 1.0 / (w * w);
+
+  for (int ry = 0; ry < map.height; ++ry) {
+    for (int rx = 0; rx < map.width; ++rx) {
+      const int r = ry * step;
+      const int c = rx * step;
+
+      double dxx = Box(ii, r - l + 1, c - b, 2 * l - 1, w) -
+                   3.0 * Box(ii, r - l + 1, c - l / 2, 2 * l - 1, l);
+      double dyy = Box(ii, r - b, c - l + 1, w, 2 * l - 1) -
+                   3.0 * Box(ii, r - l / 2, c - l + 1, l, 2 * l - 1);
+      double dxy = Box(ii, r - l, c + 1, l, l) +
+                   Box(ii, r + 1, c - l, l, l) -
+                   Box(ii, r - l, c - l, l, l) -
+                   Box(ii, r + 1, c + 1, l, l);
+      dxx *= inv_area;
+      dyy *= inv_area;
+      dxy *= inv_area;
+
+      const double det = dxx * dyy - 0.81 * dxy * dxy;
+      map.responses[static_cast<std::size_t>(ry) * map.width + rx] =
+          static_cast<float>(det);
+      map.laplacian[static_cast<std::size_t>(ry) * map.width + rx] =
+          (dxx + dyy) >= 0 ? 1 : 0;
+    }
+  }
+  return map;
+}
+
+double HaarX(const IntegralImage& ii, int row, int col, int s) {
+  return Box(ii, row - s / 2, col, s, s / 2) -
+         Box(ii, row - s / 2, col - s / 2, s, s / 2);
+}
+
+double HaarY(const IntegralImage& ii, int row, int col, int s) {
+  return Box(ii, row, col - s / 2, s / 2, s) -
+         Box(ii, row - s / 2, col - s / 2, s / 2, s);
+}
+
+double Gaussian(double x, double y, double sigma) {
+  return std::exp(-(x * x + y * y) / (2.0 * sigma * sigma));
+}
+
+// Dominant Haar-wavelet orientation (radians) at scale `s`.
+double DominantOrientation(const IntegralImage& ii, int x, int y, int s) {
+  struct Sample {
+    double angle;
+    double dx;
+    double dy;
+  };
+  std::vector<Sample> samples;
+  for (int j = -6; j <= 6; ++j) {
+    for (int i = -6; i <= 6; ++i) {
+      if (i * i + j * j >= 36) continue;
+      const double g = Gaussian(i, j, 2.5);
+      const double dx = g * HaarX(ii, y + j * s, x + i * s, 4 * s);
+      const double dy = g * HaarY(ii, y + j * s, x + i * s, 4 * s);
+      double a = std::atan2(dy, dx);
+      if (a < 0) a += 2 * kPi;
+      samples.push_back({a, dx, dy});
+    }
+  }
+
+  double best_mag = 0.0;
+  double best_angle = 0.0;
+  for (double window = 0.0; window < 2 * kPi; window += 0.15) {
+    double sum_dx = 0.0;
+    double sum_dy = 0.0;
+    const double w_end = window + kPi / 3.0;
+    for (const Sample& sm : samples) {
+      const bool inside =
+          (sm.angle >= window && sm.angle < w_end) ||
+          (w_end > 2 * kPi && sm.angle < w_end - 2 * kPi);
+      if (!inside) continue;
+      sum_dx += sm.dx;
+      sum_dy += sm.dy;
+    }
+    const double mag = sum_dx * sum_dx + sum_dy * sum_dy;
+    if (mag > best_mag) {
+      best_mag = mag;
+      best_angle = std::atan2(sum_dy, sum_dx);
+    }
+  }
+  if (best_angle < 0) best_angle += 2 * kPi;
+  return best_angle;
+}
+
+// 64-dim SURF descriptor in the rotated frame.
+FloatDescriptor ComputeSurfDescriptor(const IntegralImage& ii, int x, int y,
+                                      int s, double angle) {
+  const double co = std::cos(angle);
+  const double si = std::sin(angle);
+  FloatDescriptor desc;
+  desc.reserve(64);
+
+  // 4x4 subregions, each spanning 5s x 5s, window 20s total.
+  for (int sub_y = -2; sub_y < 2; ++sub_y) {
+    for (int sub_x = -2; sub_x < 2; ++sub_x) {
+      double sum_dx = 0, sum_dy = 0, sum_adx = 0, sum_ady = 0;
+      for (int sj = 0; sj < 5; ++sj) {
+        for (int si_ = 0; si_ < 5; ++si_) {
+          // Sample position in keypoint frame (units of s).
+          const double u = (sub_x * 5 + si_ + 0.5);
+          const double v = (sub_y * 5 + sj + 0.5);
+          // Rotate into image frame.
+          const int px =
+              static_cast<int>(std::lround(x + (co * u - si * v) * s));
+          const int py =
+              static_cast<int>(std::lround(y + (si * u + co * v) * s));
+          const double g = Gaussian(u, v, 3.3);
+          const double rdx = g * HaarX(ii, py, px, 2 * s);
+          const double rdy = g * HaarY(ii, py, px, 2 * s);
+          // Rotate responses into the keypoint frame.
+          const double tdx = co * rdx + si * rdy;
+          const double tdy = -si * rdx + co * rdy;
+          sum_dx += tdx;
+          sum_dy += tdy;
+          sum_adx += std::abs(tdx);
+          sum_ady += std::abs(tdy);
+        }
+      }
+      desc.push_back(static_cast<float>(sum_dx));
+      desc.push_back(static_cast<float>(sum_dy));
+      desc.push_back(static_cast<float>(sum_adx));
+      desc.push_back(static_cast<float>(sum_ady));
+    }
+  }
+
+  double norm = 0;
+  for (float v : desc) norm += static_cast<double>(v) * v;
+  norm = std::sqrt(norm);
+  if (norm > 1e-12) {
+    for (float& v : desc) v = static_cast<float>(v / norm);
+  }
+  return desc;
+}
+
+}  // namespace
+
+FloatFeatures ExtractSurf(const ImageU8& image, const SurfOptions& options) {
+  SNOR_CHECK_GE(options.n_octaves, 1);
+  SNOR_CHECK_GE(options.n_intervals, 3);
+  const ImageU8 gray = image.channels() == 3 ? RgbToGray(image) : image;
+  if (gray.width() < 32 || gray.height() < 32) return {};
+  const IntegralImage ii(gray);
+
+  FloatFeatures out;
+  struct Candidate {
+    Keypoint kp;
+    int scale;  // s = round(filter_size * 1.2 / 9).
+    double angle;
+  };
+  std::vector<Candidate> candidates;
+
+  for (int o = 0; o < options.n_octaves; ++o) {
+    const int step = 1 << o;
+    std::vector<ResponseMap> maps;
+    maps.reserve(static_cast<std::size_t>(options.n_intervals));
+    for (int i = 0; i < options.n_intervals; ++i) {
+      const int filter_size = 3 * ((1 << (o + 1)) * (i + 1) + 1);
+      if (filter_size >= std::min(gray.width(), gray.height())) break;
+      maps.push_back(BuildResponseMap(ii, step, filter_size));
+    }
+    if (maps.size() < 3) continue;
+
+    for (std::size_t m = 1; m + 1 < maps.size(); ++m) {
+      const ResponseMap& bottom = maps[m - 1];
+      const ResponseMap& middle = maps[m];
+      const ResponseMap& top = maps[m + 1];
+      // Stay clear of the largest filter's border.
+      const int border = (top.filter_size / 2) / step + 2;
+      for (int ry = border; ry < middle.height - border; ++ry) {
+        for (int rx = border; rx < middle.width - border; ++rx) {
+          const float v = middle.At(ry, rx);
+          if (v < options.hessian_threshold) continue;
+          bool is_max = true;
+          for (int dy = -1; dy <= 1 && is_max; ++dy) {
+            for (int dx = -1; dx <= 1 && is_max; ++dx) {
+              if (bottom.At(ry + dy, rx + dx) >= v ||
+                  top.At(ry + dy, rx + dx) >= v) {
+                is_max = false;
+              }
+              if ((dx != 0 || dy != 0) && middle.At(ry + dy, rx + dx) >= v) {
+                is_max = false;
+              }
+            }
+          }
+          if (!is_max) continue;
+
+          Candidate cand;
+          cand.kp.x = static_cast<float>(rx * step);
+          cand.kp.y = static_cast<float>(ry * step);
+          cand.kp.response = v;
+          cand.kp.octave = o;
+          const double sigma = 1.2 * middle.filter_size / 9.0;
+          cand.kp.size = static_cast<float>(2.0 * sigma);
+          cand.scale = std::max(
+              1, static_cast<int>(std::lround(sigma)));
+          candidates.push_back(std::move(cand));
+        }
+      }
+    }
+  }
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.kp.response > b.kp.response;
+            });
+  if (options.max_features > 0 &&
+      static_cast<int>(candidates.size()) > options.max_features) {
+    candidates.resize(static_cast<std::size_t>(options.max_features));
+  }
+
+  for (Candidate& cand : candidates) {
+    const int x = static_cast<int>(cand.kp.x);
+    const int y = static_cast<int>(cand.kp.y);
+    cand.angle = DominantOrientation(ii, x, y, cand.scale);
+    cand.kp.angle = static_cast<float>(cand.angle * 180.0 / kPi);
+    out.keypoints.push_back(cand.kp);
+    out.descriptors.push_back(
+        ComputeSurfDescriptor(ii, x, y, cand.scale, cand.angle));
+  }
+  return out;
+}
+
+}  // namespace snor

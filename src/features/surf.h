@@ -1,0 +1,32 @@
+#ifndef SNOR_FEATURES_SURF_H_
+#define SNOR_FEATURES_SURF_H_
+
+#include "features/keypoint.h"
+#include "img/image.h"
+
+namespace snor {
+
+/// \brief SURF extraction parameters.
+struct SurfOptions {
+  /// Minimum determinant-of-Hessian response (the paper uses 400 with
+  /// OpenCV's normalization; ours matches the classic OpenSURF scaling).
+  double hessian_threshold = 400.0;
+  /// Number of octaves of box-filter sizes.
+  int n_octaves = 3;
+  /// Filter-size intervals per octave.
+  int n_intervals = 4;
+  /// Maximum keypoints kept (strongest first); 0 = unlimited.
+  int max_features = 0;
+};
+
+/// Extracts SURF features (Bay et al.): integral-image box-filter
+/// approximation of the Hessian determinant (weight 0.9 on Dxy), 3x3x3
+/// non-maximum suppression across scales, Haar-wavelet dominant
+/// orientation, and the 64-dim (sum dx, sum dy, sum |dx|, sum |dy|) x 4x4
+/// descriptor. Input may be RGB or grayscale.
+FloatFeatures ExtractSurf(const ImageU8& image,
+                          const SurfOptions& options = {});
+
+}  // namespace snor
+
+#endif  // SNOR_FEATURES_SURF_H_

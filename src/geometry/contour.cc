@@ -1,0 +1,174 @@
+#include "geometry/contour.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace snor {
+namespace {
+
+// 8-neighbourhood directions, clockwise starting East (image coordinates,
+// y grows downward).
+constexpr int kDx[8] = {1, 1, 0, -1, -1, -1, 0, 1};
+constexpr int kDy[8] = {0, 1, 1, 1, 0, -1, -1, -1};
+
+// Direction index for a king-move delta; aborts on non-adjacent deltas.
+int DeltaToDir(int dx, int dy) {
+  for (int d = 0; d < 8; ++d) {
+    if (kDx[d] == dx && kDy[d] == dy) return d;
+  }
+  SNOR_CHECK_MSG(false, "non-adjacent delta");
+  return -1;
+}
+
+// Moore-neighbour tracing of the outer boundary of the component with the
+// given label, starting from its topmost-leftmost pixel.
+Contour TraceBoundary(const Image<int>& labels, int label, Point start) {
+  auto is_fg = [&](int x, int y) {
+    return labels.InBounds(x, y) && labels.at(y, x) == label;
+  };
+
+  Contour contour;
+  contour.push_back(start);
+
+  // The pixel west of the topmost-leftmost pixel is guaranteed background.
+  int backtrack_dir = 4;  // Direction from current pixel toward B.
+  Point cur = start;
+  const int initial_backtrack = backtrack_dir;
+
+  // Bounded by 4x the component boundary length in practice; use a generous
+  // cap as a safety net against pathological masks.
+  const long cap =
+      4L * (static_cast<long>(labels.width()) + labels.height() + 4) * 8;
+  for (long iter = 0; iter < cap; ++iter) {
+    int found_dir = -1;
+    int prev_checked = backtrack_dir;
+    for (int k = 1; k <= 8; ++k) {
+      const int d = (backtrack_dir + k) % 8;
+      const int nx = cur.x + kDx[d];
+      const int ny = cur.y + kDy[d];
+      if (is_fg(nx, ny)) {
+        found_dir = d;
+        break;
+      }
+      prev_checked = d;
+    }
+    if (found_dir < 0) {
+      // Isolated pixel.
+      return contour;
+    }
+    // New backtrack point: the (background) neighbour examined just before
+    // the foreground pixel was found.
+    const Point b{cur.x + kDx[prev_checked], cur.y + kDy[prev_checked]};
+    cur = Point{cur.x + kDx[found_dir], cur.y + kDy[found_dir]};
+    backtrack_dir = DeltaToDir(b.x - cur.x, b.y - cur.y);
+
+    // Jacob's stopping criterion: back at the start entered the same way.
+    if (cur == start && backtrack_dir == initial_backtrack) break;
+    contour.push_back(cur);
+  }
+  return contour;
+}
+
+}  // namespace
+
+Image<int> LabelComponents(const ImageU8& binary, int* num_components) {
+  SNOR_CHECK_EQ(binary.channels(), 1);
+  Image<int> labels(binary.width(), binary.height(), 1, 0);
+  int next_label = 0;
+  std::queue<Point> frontier;
+  for (int y = 0; y < binary.height(); ++y) {
+    for (int x = 0; x < binary.width(); ++x) {
+      if (binary.at(y, x) == 0 || labels.at(y, x) != 0) continue;
+      ++next_label;
+      labels.at(y, x) = next_label;
+      frontier.push({x, y});
+      while (!frontier.empty()) {
+        const Point p = frontier.front();
+        frontier.pop();
+        for (int d = 0; d < 8; ++d) {
+          const int nx = p.x + kDx[d];
+          const int ny = p.y + kDy[d];
+          if (!binary.InBounds(nx, ny)) continue;
+          if (binary.at(ny, nx) == 0 || labels.at(ny, nx) != 0) continue;
+          labels.at(ny, nx) = next_label;
+          frontier.push({nx, ny});
+        }
+      }
+    }
+  }
+  if (num_components != nullptr) *num_components = next_label;
+  return labels;
+}
+
+std::vector<Contour> FindContours(const ImageU8& binary, int min_pixels) {
+  int num_components = 0;
+  const Image<int> labels = LabelComponents(binary, &num_components);
+
+  std::vector<int> pixel_count(static_cast<std::size_t>(num_components) + 1,
+                               0);
+  std::vector<Point> first_pixel(static_cast<std::size_t>(num_components) + 1,
+                                 Point{-1, -1});
+  for (int y = 0; y < labels.height(); ++y) {
+    for (int x = 0; x < labels.width(); ++x) {
+      const int l = labels.at(y, x);
+      if (l == 0) continue;
+      if (first_pixel[static_cast<std::size_t>(l)].x < 0) {
+        first_pixel[static_cast<std::size_t>(l)] = Point{x, y};
+      }
+      ++pixel_count[static_cast<std::size_t>(l)];
+    }
+  }
+
+  std::vector<Contour> contours;
+  for (int l = 1; l <= num_components; ++l) {
+    if (pixel_count[static_cast<std::size_t>(l)] < min_pixels) continue;
+    contours.push_back(
+        TraceBoundary(labels, l, first_pixel[static_cast<std::size_t>(l)]));
+  }
+  std::sort(contours.begin(), contours.end(),
+            [](const Contour& a, const Contour& b) {
+              return ContourArea(a) > ContourArea(b);
+            });
+  return contours;
+}
+
+double ContourArea(const Contour& contour) {
+  if (contour.size() < 3) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < contour.size(); ++i) {
+    const Point& a = contour[i];
+    const Point& b = contour[(i + 1) % contour.size()];
+    acc += static_cast<double>(a.x) * b.y - static_cast<double>(b.x) * a.y;
+  }
+  return std::abs(acc) / 2.0;
+}
+
+double ContourPerimeter(const Contour& contour) {
+  if (contour.size() < 2) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < contour.size(); ++i) {
+    const Point& a = contour[i];
+    const Point& b = contour[(i + 1) % contour.size()];
+    acc += std::hypot(static_cast<double>(b.x - a.x),
+                      static_cast<double>(b.y - a.y));
+  }
+  return acc;
+}
+
+Rect BoundingRect(const Contour& contour) {
+  if (contour.empty()) return Rect{};
+  int min_x = contour[0].x;
+  int max_x = contour[0].x;
+  int min_y = contour[0].y;
+  int max_y = contour[0].y;
+  for (const Point& p : contour) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  return Rect{min_x, min_y, max_x - min_x + 1, max_y - min_y + 1};
+}
+
+}  // namespace snor

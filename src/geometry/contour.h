@@ -1,0 +1,33 @@
+#ifndef SNOR_GEOMETRY_CONTOUR_H_
+#define SNOR_GEOMETRY_CONTOUR_H_
+
+#include <vector>
+
+#include "geometry/types.h"
+#include "img/image.h"
+
+namespace snor {
+
+/// Finds the outer contours of all 8-connected foreground (non-zero)
+/// components in a binary single-channel image, via Moore-neighbour
+/// boundary tracing. Contours are returned sorted by enclosed area
+/// (descending); components smaller than `min_pixels` are skipped.
+std::vector<Contour> FindContours(const ImageU8& binary, int min_pixels = 1);
+
+/// Enclosed area of a closed contour by the shoelace formula (matches
+/// OpenCV `contourArea` up to orientation sign, which we absorb with abs).
+double ContourArea(const Contour& contour);
+
+/// Perimeter (arc length) of the closed contour.
+double ContourPerimeter(const Contour& contour);
+
+/// Tight axis-aligned bounding rectangle of the contour points.
+Rect BoundingRect(const Contour& contour);
+
+/// Labels 8-connected foreground components; returns the label image
+/// (0 = background, 1..n = components) and sets `num_components`.
+Image<int> LabelComponents(const ImageU8& binary, int* num_components);
+
+}  // namespace snor
+
+#endif  // SNOR_GEOMETRY_CONTOUR_H_

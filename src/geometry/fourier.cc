@@ -1,0 +1,70 @@
+#include "geometry/fourier.h"
+
+#include <cmath>
+#include <complex>
+#include <limits>
+#include <numbers>
+
+#include "util/check.h"
+
+namespace snor {
+
+std::vector<double> FourierDescriptors(const Contour& contour,
+                                       int n_coefficients) {
+  SNOR_CHECK_GT(n_coefficients, 0);
+  const std::size_t n = contour.size();
+  if (n < 4) return {};
+
+  // Naive DFT of the complex boundary signal at frequencies 1..K and
+  // -1..-K (negative frequencies carry reflection-sensitive detail).
+  // We interleave |c_1|, |c_-1|, |c_2|, |c_-2|, ... and normalize by
+  // |c_1|.
+  const int k_max = n_coefficients / 2 + 1;
+  std::vector<std::complex<double>> coeffs;
+  coeffs.reserve(static_cast<std::size_t>(2 * k_max));
+  const double step = 2.0 * std::numbers::pi / static_cast<double>(n);
+  for (int k = 1; k <= k_max; ++k) {
+    std::complex<double> pos(0.0, 0.0);
+    std::complex<double> neg(0.0, 0.0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const std::complex<double> z(contour[t].x, contour[t].y);
+      const double angle = step * static_cast<double>(k) *
+                           static_cast<double>(t);
+      pos += z * std::complex<double>(std::cos(angle), -std::sin(angle));
+      neg += z * std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    coeffs.push_back(pos / static_cast<double>(n));
+    coeffs.push_back(neg / static_cast<double>(n));
+  }
+
+  const double scale = std::abs(coeffs[0]);
+  if (scale < 1e-12) return {};
+  std::vector<double> descriptor;
+  descriptor.reserve(static_cast<std::size_t>(n_coefficients));
+  // Skip |c_1| itself (it is 1 after normalization and carries no
+  // information); emit the next n_coefficients magnitudes.
+  for (std::size_t i = 1;
+       i < coeffs.size() &&
+       descriptor.size() < static_cast<std::size_t>(n_coefficients);
+       ++i) {
+    descriptor.push_back(std::abs(coeffs[i]) / scale);
+  }
+  return descriptor;
+}
+
+double FourierDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  if (a.empty() != b.empty()) {
+    return std::numeric_limits<double>::max();
+  }
+  const std::size_t n = std::max(a.size(), b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double va = i < a.size() ? a[i] : 0.0;
+    const double vb = i < b.size() ? b[i] : 0.0;
+    acc += (va - vb) * (va - vb);
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace snor

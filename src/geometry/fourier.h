@@ -1,0 +1,31 @@
+#ifndef SNOR_GEOMETRY_FOURIER_H_
+#define SNOR_GEOMETRY_FOURIER_H_
+
+#include <vector>
+
+#include "geometry/types.h"
+
+namespace snor {
+
+/// Computes `n_coefficients` Fourier shape descriptors of a closed
+/// contour: the boundary is treated as the complex signal z_t = x_t + i
+/// y_t; the descriptor consists of the magnitudes of the low-frequency
+/// DFT coefficients, with the DC term dropped (translation invariance)
+/// and the remaining magnitudes divided by |c_1| (scale invariance).
+/// Taking magnitudes discards phase, giving rotation and start-point
+/// invariance — an alternative to Hu moments for the paper's shape-only
+/// question, ablated in `bench/ablation_representations`.
+///
+/// Returns an empty vector for contours with fewer than 4 points.
+std::vector<double> FourierDescriptors(const Contour& contour,
+                                       int n_coefficients = 16);
+
+/// L2 distance between two descriptor vectors; vectors of unequal length
+/// are compared over the common prefix, with missing tail entries
+/// counted as zeros. Empty-vs-nonempty yields a huge distance.
+double FourierDistance(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+}  // namespace snor
+
+#endif  // SNOR_GEOMETRY_FOURIER_H_

@@ -1,0 +1,200 @@
+#include "geometry/moments.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace snor {
+namespace {
+
+// Fills central and normalized moments from the spatial ones.
+void CompleteMoments(Moments& m) {
+  if (std::abs(m.m00) < std::numeric_limits<double>::epsilon()) return;
+  const double inv_m00 = 1.0 / m.m00;
+  const double cx = m.m10 * inv_m00;
+  const double cy = m.m01 * inv_m00;
+
+  m.mu20 = m.m20 - m.m10 * cx;
+  m.mu11 = m.m11 - m.m10 * cy;
+  m.mu02 = m.m02 - m.m01 * cy;
+  m.mu30 = m.m30 - cx * (3 * m.mu20 + cx * m.m10);
+  m.mu21 = m.m21 - cx * (2 * m.mu11 + cx * m.m01) - cy * m.mu20;
+  m.mu12 = m.m12 - cy * (2 * m.mu11 + cy * m.m10) - cx * m.mu02;
+  m.mu03 = m.m03 - cy * (3 * m.mu02 + cy * m.m01);
+
+  const double inv_sqrt_m00 = 1.0 / std::sqrt(std::abs(m.m00));
+  const double s2 = inv_m00 * inv_sqrt_m00 * inv_sqrt_m00;  // m00^-2
+  const double s3 = s2 * inv_sqrt_m00;                      // m00^-2.5
+  m.nu20 = m.mu20 * s2;
+  m.nu11 = m.mu11 * s2;
+  m.nu02 = m.mu02 * s2;
+  m.nu30 = m.mu30 * s3;
+  m.nu21 = m.mu21 * s3;
+  m.nu12 = m.mu12 * s3;
+  m.nu03 = m.mu03 * s3;
+}
+
+}  // namespace
+
+Moments ContourMoments(const Contour& contour) {
+  Moments m;
+  const std::size_t n = contour.size();
+  if (n == 0) return m;
+
+  double a00 = 0, a10 = 0, a01 = 0, a20 = 0, a11 = 0, a02 = 0;
+  double a30 = 0, a21 = 0, a12 = 0, a03 = 0;
+
+  double xi_1 = contour[n - 1].x;
+  double yi_1 = contour[n - 1].y;
+  double xi_12 = xi_1 * xi_1;
+  double yi_12 = yi_1 * yi_1;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double xi = contour[i].x;
+    const double yi = contour[i].y;
+    const double xi2 = xi * xi;
+    const double yi2 = yi * yi;
+    const double dxy = xi_1 * yi - xi * yi_1;
+    const double xii_1 = xi_1 + xi;
+    const double yii_1 = yi_1 + yi;
+
+    a00 += dxy;
+    a10 += dxy * xii_1;
+    a01 += dxy * yii_1;
+    a20 += dxy * (xi_1 * xii_1 + xi2);
+    a11 += dxy * (xi_1 * (yii_1 + yi_1) + xi * (yii_1 + yi));
+    a02 += dxy * (yi_1 * yii_1 + yi2);
+    a30 += dxy * xii_1 * (xi_12 + xi2);
+    a03 += dxy * yii_1 * (yi_12 + yi2);
+    a21 += dxy * (xi_12 * (3 * yi_1 + yi) + 2 * xi * xi_1 * yii_1 +
+                  xi2 * (yi_1 + 3 * yi));
+    a12 += dxy * (yi_12 * (3 * xi_1 + xi) + 2 * yi * yi_1 * xii_1 +
+                  yi2 * (xi_1 + 3 * xi));
+    xi_1 = xi;
+    yi_1 = yi;
+    xi_12 = xi2;
+    yi_12 = yi2;
+  }
+
+  if (std::abs(a00) > std::numeric_limits<double>::epsilon()) {
+    double db1_2 = 0.5, db1_6 = 1.0 / 6, db1_12 = 1.0 / 12,
+           db1_24 = 1.0 / 24, db1_20 = 1.0 / 20, db1_60 = 1.0 / 60;
+    if (a00 < 0) {
+      db1_2 = -db1_2;
+      db1_6 = -db1_6;
+      db1_12 = -db1_12;
+      db1_24 = -db1_24;
+      db1_20 = -db1_20;
+      db1_60 = -db1_60;
+    }
+    m.m00 = a00 * db1_2;
+    m.m10 = a10 * db1_6;
+    m.m01 = a01 * db1_6;
+    m.m20 = a20 * db1_12;
+    m.m11 = a11 * db1_24;
+    m.m02 = a02 * db1_12;
+    m.m30 = a30 * db1_20;
+    m.m21 = a21 * db1_60;
+    m.m12 = a12 * db1_60;
+    m.m03 = a03 * db1_20;
+  }
+
+  CompleteMoments(m);
+  return m;
+}
+
+Moments RegionMoments(const ImageU8& binary) {
+  SNOR_CHECK_EQ(binary.channels(), 1);
+  Moments m;
+  for (int y = 0; y < binary.height(); ++y) {
+    const std::uint8_t* row = binary.Row(y);
+    for (int x = 0; x < binary.width(); ++x) {
+      if (row[x] == 0) continue;
+      const double xd = x;
+      const double yd = y;
+      m.m00 += 1;
+      m.m10 += xd;
+      m.m01 += yd;
+      m.m20 += xd * xd;
+      m.m11 += xd * yd;
+      m.m02 += yd * yd;
+      m.m30 += xd * xd * xd;
+      m.m21 += xd * xd * yd;
+      m.m12 += xd * yd * yd;
+      m.m03 += yd * yd * yd;
+    }
+  }
+  CompleteMoments(m);
+  return m;
+}
+
+HuMoments ComputeHuMoments(const Moments& m) {
+  const double t0 = m.nu30 + m.nu12;
+  const double t1 = m.nu21 + m.nu03;
+  const double q0 = t0 * t0;
+  const double q1 = t1 * t1;
+  const double n4 = 4 * m.nu11;
+  const double s = m.nu20 + m.nu02;
+  const double d = m.nu20 - m.nu02;
+
+  HuMoments hu;
+  hu[0] = s;
+  hu[1] = d * d + n4 * m.nu11;
+  hu[3] = q0 + q1;
+  hu[5] = d * (q0 - q1) + n4 * t0 * t1;
+
+  const double t2 = m.nu30 - 3 * m.nu12;
+  const double t3 = 3 * m.nu21 - m.nu03;
+  hu[2] = t2 * t2 + t3 * t3;
+  hu[4] = t2 * t0 * (q0 - 3 * q1) + t3 * t1 * (3 * q0 - q1);
+  hu[6] = t3 * t0 * (q0 - 3 * q1) - t2 * t1 * (3 * q0 - q1);
+  return hu;
+}
+
+double MatchShapes(const HuMoments& ha, const HuMoments& hb,
+                   ShapeMatchMethod method) {
+  constexpr double kEps = 1e-5;
+  bool any_a = false;
+  bool any_b = false;
+  double result = 0.0;
+
+  for (int i = 0; i < 7; ++i) {
+    const double ama = std::abs(ha[static_cast<std::size_t>(i)]);
+    const double amb = std::abs(hb[static_cast<std::size_t>(i)]);
+    if (ama > 0) any_a = true;
+    if (amb > 0) any_b = true;
+    if (ama <= kEps || amb <= kEps) continue;
+
+    const double sma = ha[static_cast<std::size_t>(i)] > 0 ? 1.0 : -1.0;
+    const double smb = hb[static_cast<std::size_t>(i)] > 0 ? 1.0 : -1.0;
+    const double la = sma * std::log10(ama);
+    const double lb = smb * std::log10(amb);
+
+    switch (method) {
+      case ShapeMatchMethod::kI1:
+        result += std::abs(-1.0 / la + 1.0 / lb);
+        break;
+      case ShapeMatchMethod::kI2:
+        result += std::abs(-la + lb);
+        break;
+      case ShapeMatchMethod::kI3: {
+        const double mmm = std::abs((la - lb) / la);
+        result = std::max(result, mmm);
+        break;
+      }
+    }
+  }
+
+  // One shape degenerate, the other not: maximal dissimilarity.
+  if (any_a != any_b) return std::numeric_limits<double>::max();
+  return result;
+}
+
+double MatchShapes(const Contour& a, const Contour& b,
+                   ShapeMatchMethod method) {
+  return MatchShapes(ComputeHuMoments(ContourMoments(a)),
+                     ComputeHuMoments(ContourMoments(b)), method);
+}
+
+}  // namespace snor

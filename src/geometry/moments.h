@@ -1,0 +1,60 @@
+#ifndef SNOR_GEOMETRY_MOMENTS_H_
+#define SNOR_GEOMETRY_MOMENTS_H_
+
+#include <array>
+
+#include "geometry/types.h"
+#include "img/image.h"
+
+namespace snor {
+
+/// \brief Spatial, central, and normalized central moments up to order 3,
+/// with the same member naming as `cv::Moments`.
+struct Moments {
+  // Spatial moments.
+  double m00 = 0, m10 = 0, m01 = 0, m20 = 0, m11 = 0, m02 = 0;
+  double m30 = 0, m21 = 0, m12 = 0, m03 = 0;
+  // Central moments.
+  double mu20 = 0, mu11 = 0, mu02 = 0, mu30 = 0, mu21 = 0, mu12 = 0,
+         mu03 = 0;
+  // Normalized central moments.
+  double nu20 = 0, nu11 = 0, nu02 = 0, nu30 = 0, nu21 = 0, nu12 = 0,
+         nu03 = 0;
+};
+
+/// Seven Hu invariant moments.
+using HuMoments = std::array<double, 7>;
+
+/// Moments of a closed polygonal contour via Green's theorem (matches
+/// OpenCV's `moments(contour)`).
+Moments ContourMoments(const Contour& contour);
+
+/// Moments of a binary raster region: every non-zero pixel contributes with
+/// unit mass (matches OpenCV's `moments(image, binaryImage=true)`).
+Moments RegionMoments(const ImageU8& binary);
+
+/// Derives the 7 Hu rotation/scale/translation-invariant moments.
+HuMoments ComputeHuMoments(const Moments& m);
+
+/// \brief Hu-moment distance used by `MatchShapes` (OpenCV
+/// CONTOURS_MATCH_I1/I2/I3; the paper calls these "L1/L2/L3 norms").
+enum class ShapeMatchMethod {
+  kI1,  ///< sum |1/m_A - 1/m_B|
+  kI2,  ///< sum |m_A - m_B|
+  kI3,  ///< max |m_A - m_B| / |m_A|
+};
+
+/// Computes the shape dissimilarity between two sets of Hu moments, where
+/// m_i = sign(h_i) * log10|h_i| as in OpenCV. Smaller is more similar.
+/// Returns a huge value when one shape has usable moments and the other
+/// does not.
+double MatchShapes(const HuMoments& a, const HuMoments& b,
+                   ShapeMatchMethod method);
+
+/// Convenience overload on contours.
+double MatchShapes(const Contour& a, const Contour& b,
+                   ShapeMatchMethod method);
+
+}  // namespace snor
+
+#endif  // SNOR_GEOMETRY_MOMENTS_H_

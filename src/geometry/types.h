@@ -1,0 +1,37 @@
+#ifndef SNOR_GEOMETRY_TYPES_H_
+#define SNOR_GEOMETRY_TYPES_H_
+
+#include <vector>
+
+namespace snor {
+
+/// \brief Integer pixel coordinate.
+struct Point {
+  int x = 0;
+  int y = 0;
+
+  bool operator==(const Point&) const = default;
+};
+
+/// \brief Axis-aligned integer rectangle: [x, x+width) x [y, y+height).
+struct Rect {
+  int x = 0;
+  int y = 0;
+  int width = 0;
+  int height = 0;
+
+  bool operator==(const Rect&) const = default;
+
+  int Area() const { return width * height; }
+  bool Contains(const Point& p) const {
+    return p.x >= x && p.x < x + width && p.y >= y && p.y < y + height;
+  }
+};
+
+/// \brief An ordered closed boundary (outer border of a connected
+/// component), clockwise in image coordinates.
+using Contour = std::vector<Point>;
+
+}  // namespace snor
+
+#endif  // SNOR_GEOMETRY_TYPES_H_

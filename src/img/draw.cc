@@ -1,0 +1,141 @@
+#include "img/draw.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace snor {
+namespace {
+
+void PutPixel(ImageU8& img, int x, int y, const Rgb& color) {
+  if (!img.InBounds(x, y)) return;
+  if (img.channels() == 3) {
+    img.at(y, x, 0) = color.r;
+    img.at(y, x, 1) = color.g;
+    img.at(y, x, 2) = color.b;
+  } else {
+    // Single channel: write luma.
+    img.at(y, x, 0) = static_cast<std::uint8_t>(
+        std::lround(0.299 * color.r + 0.587 * color.g + 0.114 * color.b));
+  }
+}
+
+}  // namespace
+
+Point2d RotatePoint(const Point2d& p, const Point2d& center, double radians) {
+  const double c = std::cos(radians);
+  const double s = std::sin(radians);
+  const double dx = p.x - center.x;
+  const double dy = p.y - center.y;
+  return Point2d{center.x + c * dx - s * dy, center.y + s * dx + c * dy};
+}
+
+void FillPolygon(ImageU8& img, const std::vector<Point2d>& vertices,
+                 const Rgb& color) {
+  if (vertices.size() < 3) return;
+  double min_y = vertices[0].y;
+  double max_y = vertices[0].y;
+  for (const auto& v : vertices) {
+    min_y = std::min(min_y, v.y);
+    max_y = std::max(max_y, v.y);
+  }
+  // Half-open fill rule: pixel row y is covered when min_y <= y < max_y,
+  // so shapes with integer extents cover exactly their nominal area.
+  const int y_begin = std::max(0, static_cast<int>(std::ceil(min_y)));
+  const int y_end =
+      std::min(img.height() - 1, static_cast<int>(std::ceil(max_y)) - 1);
+
+  std::vector<double> crossings;
+  for (int y = y_begin; y <= y_end; ++y) {
+    const double sample_y = y + 0.0;  // Sample at pixel centre row.
+    crossings.clear();
+    const std::size_t n = vertices.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const Point2d& a = vertices[i];
+      const Point2d& b = vertices[(i + 1) % n];
+      // Half-open rule avoids double counting shared vertices.
+      if ((a.y <= sample_y && b.y > sample_y) ||
+          (b.y <= sample_y && a.y > sample_y)) {
+        const double t = (sample_y - a.y) / (b.y - a.y);
+        crossings.push_back(a.x + t * (b.x - a.x));
+      }
+    }
+    std::sort(crossings.begin(), crossings.end());
+    for (std::size_t i = 0; i + 1 < crossings.size(); i += 2) {
+      const int x_begin =
+          std::max(0, static_cast<int>(std::ceil(crossings[i])));
+      const int x_end = std::min(
+          img.width() - 1, static_cast<int>(std::ceil(crossings[i + 1])) - 1);
+      for (int x = x_begin; x <= x_end; ++x) PutPixel(img, x, y, color);
+    }
+  }
+}
+
+void FillRect(ImageU8& img, double x, double y, double w, double h,
+              const Rgb& color) {
+  FillPolygon(img,
+              {{x, y}, {x + w, y}, {x + w, y + h}, {x, y + h}},
+              color);
+}
+
+void FillRotatedRect(ImageU8& img, double cx, double cy, double w, double h,
+                     double radians, const Rgb& color) {
+  const Point2d center{cx, cy};
+  std::vector<Point2d> corners = {
+      {cx - w / 2, cy - h / 2},
+      {cx + w / 2, cy - h / 2},
+      {cx + w / 2, cy + h / 2},
+      {cx - w / 2, cy + h / 2},
+  };
+  for (auto& p : corners) p = RotatePoint(p, center, radians);
+  FillPolygon(img, corners, color);
+}
+
+void FillCircle(ImageU8& img, double cx, double cy, double radius,
+                const Rgb& color) {
+  FillEllipse(img, cx, cy, radius, radius, color);
+}
+
+void FillEllipse(ImageU8& img, double cx, double cy, double rx, double ry,
+                 const Rgb& color) {
+  if (rx <= 0 || ry <= 0) return;
+  const int y_begin = std::max(0, static_cast<int>(std::ceil(cy - ry)));
+  const int y_end =
+      std::min(img.height() - 1, static_cast<int>(std::ceil(cy + ry)) - 1);
+  for (int y = y_begin; y <= y_end; ++y) {
+    const double dy = (y - cy) / ry;
+    const double inside = 1.0 - dy * dy;
+    if (inside < 0) continue;
+    const double half = rx * std::sqrt(inside);
+    const int x_begin = std::max(0, static_cast<int>(std::ceil(cx - half)));
+    const int x_end =
+        std::min(img.width() - 1, static_cast<int>(std::ceil(cx + half)) - 1);
+    for (int x = x_begin; x <= x_end; ++x) PutPixel(img, x, y, color);
+  }
+}
+
+void DrawLine(ImageU8& img, Point2d a, Point2d b, double thickness,
+              const Rgb& color) {
+  const double dx = b.x - a.x;
+  const double dy = b.y - a.y;
+  const double len = std::hypot(dx, dy);
+  if (len < 1e-9) {
+    FillCircle(img, a.x, a.y, thickness / 2, color);
+    return;
+  }
+  const double angle = std::atan2(dy, dx);
+  FillRotatedRect(img, (a.x + b.x) / 2, (a.y + b.y) / 2, len, thickness,
+                  angle, color);
+  // Rounded caps keep joints of poly-lines solid.
+  FillCircle(img, a.x, a.y, thickness / 2, color);
+  FillCircle(img, b.x, b.y, thickness / 2, color);
+}
+
+void DrawPolygonOutline(ImageU8& img, const std::vector<Point2d>& vertices,
+                        double thickness, const Rgb& color) {
+  const std::size_t n = vertices.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    DrawLine(img, vertices[i], vertices[(i + 1) % n], thickness, color);
+  }
+}
+
+}  // namespace snor

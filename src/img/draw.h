@@ -1,0 +1,53 @@
+#ifndef SNOR_IMG_DRAW_H_
+#define SNOR_IMG_DRAW_H_
+
+#include <vector>
+
+#include "img/color.h"
+#include "img/image.h"
+
+namespace snor {
+
+/// \brief 2-D point with double coordinates used by the rasterizer.
+struct Point2d {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Rotates `p` about `center` by `radians` (counter-clockwise, y-down image
+/// coordinates rotate clockwise on screen).
+Point2d RotatePoint(const Point2d& p, const Point2d& center, double radians);
+
+/// Fills a simple polygon (vertices in order, implicit closing edge) using
+/// scanline even-odd filling. Pixels outside the image are clipped.
+void FillPolygon(ImageU8& img, const std::vector<Point2d>& vertices,
+                 const Rgb& color);
+
+/// Fills an axis-aligned rectangle [x, x+w) x [y, y+h), clipped.
+void FillRect(ImageU8& img, double x, double y, double w, double h,
+              const Rgb& color);
+
+/// Fills a rectangle rotated by `radians` about its own centre.
+void FillRotatedRect(ImageU8& img, double cx, double cy, double w, double h,
+                     double radians, const Rgb& color);
+
+/// Fills a disc of the given radius.
+void FillCircle(ImageU8& img, double cx, double cy, double radius,
+                const Rgb& color);
+
+/// Fills an axis-aligned ellipse with semi-axes (rx, ry).
+void FillEllipse(ImageU8& img, double cx, double cy, double rx, double ry,
+                 const Rgb& color);
+
+/// Draws a line segment of the given thickness (rasterized as a filled
+/// rotated rectangle with rounded caps).
+void DrawLine(ImageU8& img, Point2d a, Point2d b, double thickness,
+              const Rgb& color);
+
+/// Draws the polygon outline with the given stroke thickness.
+void DrawPolygonOutline(ImageU8& img, const std::vector<Point2d>& vertices,
+                        double thickness, const Rgb& color);
+
+}  // namespace snor
+
+#endif  // SNOR_IMG_DRAW_H_

@@ -1,0 +1,106 @@
+#include "img/filter.h"
+
+#include <cmath>
+
+namespace snor {
+
+std::vector<float> GaussianKernel1D(double sigma, int radius) {
+  SNOR_CHECK_GT(sigma, 0.0);
+  if (radius <= 0) radius = static_cast<int>(std::ceil(3.0 * sigma));
+  std::vector<float> kernel(static_cast<std::size_t>(2 * radius + 1));
+  double sum = 0.0;
+  for (int i = -radius; i <= radius; ++i) {
+    const double v = std::exp(-(i * i) / (2.0 * sigma * sigma));
+    kernel[static_cast<std::size_t>(i + radius)] = static_cast<float>(v);
+    sum += v;
+  }
+  for (auto& k : kernel) k = static_cast<float>(k / sum);
+  return kernel;
+}
+
+namespace {
+
+ImageF Convolve1D(const ImageF& src, const std::vector<float>& kernel,
+                  bool horizontal) {
+  const int radius = static_cast<int>(kernel.size() / 2);
+  ImageF dst(src.width(), src.height(), src.channels());
+  for (int y = 0; y < src.height(); ++y) {
+    for (int x = 0; x < src.width(); ++x) {
+      for (int c = 0; c < src.channels(); ++c) {
+        double acc = 0.0;
+        for (int k = -radius; k <= radius; ++k) {
+          const float w = kernel[static_cast<std::size_t>(k + radius)];
+          const float v = horizontal ? src.AtClamped(y, x + k, c)
+                                     : src.AtClamped(y + k, x, c);
+          acc += static_cast<double>(w) * v;
+        }
+        dst.at(y, x, c) = static_cast<float>(acc);
+      }
+    }
+  }
+  return dst;
+}
+
+}  // namespace
+
+ImageF GaussianBlur(const ImageF& src, double sigma) {
+  const auto kernel = GaussianKernel1D(sigma);
+  return Convolve1D(Convolve1D(src, kernel, /*horizontal=*/true), kernel,
+                    /*horizontal=*/false);
+}
+
+ImageU8 GaussianBlur(const ImageU8& src, double sigma) {
+  return ToU8Clamped(GaussianBlur(ConvertImage<float>(src), sigma));
+}
+
+ImageF Sobel(const ImageF& src, int dx, int dy) {
+  SNOR_CHECK_EQ(src.channels(), 1);
+  SNOR_CHECK((dx == 1 && dy == 0) || (dx == 0 && dy == 1));
+  ImageF dst(src.width(), src.height(), 1);
+  // 3x3 Sobel kernels expressed as separable [1 2 1] (smooth) x [-1 0 1]
+  // (derivative).
+  for (int y = 0; y < src.height(); ++y) {
+    for (int x = 0; x < src.width(); ++x) {
+      double acc = 0.0;
+      for (int ky = -1; ky <= 1; ++ky) {
+        for (int kx = -1; kx <= 1; ++kx) {
+          const float v = src.AtClamped(y + ky, x + kx);
+          double w = 0.0;
+          if (dx == 1) {
+            const int smooth = ky == 0 ? 2 : 1;
+            w = static_cast<double>(kx) * smooth;
+          } else {
+            const int smooth = kx == 0 ? 2 : 1;
+            w = static_cast<double>(ky) * smooth;
+          }
+          acc += w * v;
+        }
+      }
+      dst.at(y, x) = static_cast<float>(acc);
+    }
+  }
+  return dst;
+}
+
+ImageF SobelMagnitude(const ImageF& src) {
+  const ImageF gx = Sobel(src, 1, 0);
+  const ImageF gy = Sobel(src, 0, 1);
+  ImageF mag(src.width(), src.height(), 1);
+  for (int y = 0; y < src.height(); ++y) {
+    for (int x = 0; x < src.width(); ++x) {
+      mag.at(y, x) = std::hypot(gx.at(y, x), gy.at(y, x));
+    }
+  }
+  return mag;
+}
+
+ImageF BoxFilter(const ImageF& src, int radius) {
+  SNOR_CHECK_GE(radius, 1);
+  const int n = 2 * radius + 1;
+  std::vector<float> kernel(static_cast<std::size_t>(n),
+                            1.0f / static_cast<float>(n));
+  return Convolve1D(Convolve1D(src, kernel, /*horizontal=*/true), kernel,
+                    /*horizontal=*/false);
+}
+
+}  // namespace snor

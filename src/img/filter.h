@@ -1,0 +1,32 @@
+#ifndef SNOR_IMG_FILTER_H_
+#define SNOR_IMG_FILTER_H_
+
+#include <vector>
+
+#include "img/image.h"
+
+namespace snor {
+
+/// Builds a normalized 1-D Gaussian kernel. If `radius` <= 0 it is derived
+/// from sigma as ceil(3 sigma).
+std::vector<float> GaussianKernel1D(double sigma, int radius = 0);
+
+/// Separable Gaussian blur with replicate borders (float image).
+ImageF GaussianBlur(const ImageF& src, double sigma);
+
+/// Separable Gaussian blur with replicate borders (8-bit image).
+ImageU8 GaussianBlur(const ImageU8& src, double sigma);
+
+/// Sobel derivative of a single-channel float image.
+/// `dx`/`dy` select the x- or y-derivative (exactly one must be 1).
+ImageF Sobel(const ImageF& src, int dx, int dy);
+
+/// Gradient magnitude via Sobel on a single-channel float image.
+ImageF SobelMagnitude(const ImageF& src);
+
+/// Normalized box (mean) filter with replicate borders; `radius` >= 1.
+ImageF BoxFilter(const ImageF& src, int radius);
+
+}  // namespace snor
+
+#endif  // SNOR_IMG_FILTER_H_

@@ -1,0 +1,142 @@
+#ifndef SNOR_IMG_IMAGE_H_
+#define SNOR_IMG_IMAGE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace snor {
+
+/// \brief Dense 2-D image with interleaved channels (row-major, HxWxC).
+///
+/// The canonical pixel types are `std::uint8_t` (storage) and `float`
+/// (processing); see the `ImageU8` / `ImageF` aliases. Copy is deep;
+/// moves are cheap.
+template <typename T>
+class Image {
+ public:
+  Image() = default;
+
+  /// Allocates a width x height x channels image filled with `fill`.
+  Image(int width, int height, int channels, T fill = T{})
+      : width_(width), height_(height), channels_(channels) {
+    SNOR_CHECK_GE(width, 0);
+    SNOR_CHECK_GE(height, 0);
+    SNOR_CHECK_GT(channels, 0);
+    data_.assign(
+        static_cast<std::size_t>(width) * static_cast<std::size_t>(height) *
+            static_cast<std::size_t>(channels),
+        fill);
+  }
+
+  Image(const Image&) = default;
+  Image& operator=(const Image&) = default;
+  Image(Image&&) noexcept = default;
+  Image& operator=(Image&&) noexcept = default;
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int channels() const { return channels_; }
+  bool empty() const { return data_.empty(); }
+  std::size_t size() const { return data_.size(); }
+
+  /// True when (x, y) addresses a pixel inside the image.
+  bool InBounds(int x, int y) const {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+
+  /// Mutable access to channel `c` of pixel (x, y). Bounds-checked in
+  /// debug builds.
+  T& at(int y, int x, int c = 0) {
+    SNOR_DCHECK(InBounds(x, y));
+    SNOR_DCHECK(c >= 0 && c < channels_);
+    return data_[(static_cast<std::size_t>(y) * width_ + x) * channels_ + c];
+  }
+  const T& at(int y, int x, int c = 0) const {
+    SNOR_DCHECK(InBounds(x, y));
+    SNOR_DCHECK(c >= 0 && c < channels_);
+    return data_[(static_cast<std::size_t>(y) * width_ + x) * channels_ + c];
+  }
+
+  /// Clamped read: coordinates outside the image are clamped to the border
+  /// (replicate padding), handy for filters.
+  T AtClamped(int y, int x, int c = 0) const {
+    x = std::clamp(x, 0, width_ - 1);
+    y = std::clamp(y, 0, height_ - 1);
+    return at(y, x, c);
+  }
+
+  /// Pointer to the first channel of row `y`.
+  T* Row(int y) {
+    SNOR_DCHECK(y >= 0 && y < height_);
+    return data_.data() + static_cast<std::size_t>(y) * width_ * channels_;
+  }
+  const T* Row(int y) const {
+    SNOR_DCHECK(y >= 0 && y < height_);
+    return data_.data() + static_cast<std::size_t>(y) * width_ * channels_;
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  /// Sets every sample to `value`.
+  void Fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// Sets pixel (x, y) to the given per-channel values (size must match
+  /// channel count).
+  void SetPixel(int y, int x, std::initializer_list<T> values) {
+    SNOR_DCHECK(static_cast<int>(values.size()) == channels_);
+    int c = 0;
+    for (T v : values) at(y, x, c++) = v;
+  }
+
+  bool operator==(const Image& other) const {
+    return width_ == other.width_ && height_ == other.height_ &&
+           channels_ == other.channels_ && data_ == other.data_;
+  }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  int channels_ = 1;
+  std::vector<T> data_;
+};
+
+using ImageU8 = Image<std::uint8_t>;
+using ImageF = Image<float>;
+
+/// Converts sample type (no scaling): each sample is cast to `Dst`.
+template <typename Dst, typename Src>
+Image<Dst> ConvertImage(const Image<Src>& src) {
+  Image<Dst> dst(src.width(), src.height(), src.channels());
+  const Src* in = src.data();
+  Dst* out = dst.data();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    out[i] = static_cast<Dst>(in[i]);
+  }
+  return dst;
+}
+
+/// Converts a float image to uint8 with clamping to [0, 255] and rounding.
+ImageU8 ToU8Clamped(const ImageF& src);
+
+/// Crops the rectangle [x, x+w) x [y, y+h); the rectangle must lie fully
+/// inside the image.
+template <typename T>
+Image<T> Crop(const Image<T>& src, int x, int y, int w, int h) {
+  SNOR_CHECK(x >= 0 && y >= 0 && w >= 0 && h >= 0);
+  SNOR_CHECK(x + w <= src.width() && y + h <= src.height());
+  Image<T> dst(w, h, src.channels());
+  for (int row = 0; row < h; ++row) {
+    const T* in = src.Row(y + row) + static_cast<std::size_t>(x) * src.channels();
+    std::copy(in, in + static_cast<std::size_t>(w) * src.channels(),
+              dst.Row(row));
+  }
+  return dst;
+}
+
+}  // namespace snor
+
+#endif  // SNOR_IMG_IMAGE_H_

@@ -1,0 +1,37 @@
+#include "img/integral.h"
+
+#include <algorithm>
+
+namespace snor {
+
+template <typename T>
+void IntegralImage::Build(const Image<T>& src) {
+  SNOR_CHECK_EQ(src.channels(), 1);
+  width_ = src.width();
+  height_ = src.height();
+  table_.assign(static_cast<std::size_t>(width_ + 1) * (height_ + 1), 0.0);
+  for (int y = 0; y < height_; ++y) {
+    double row_sum = 0.0;
+    const T* in = src.Row(y);
+    for (int x = 0; x < width_; ++x) {
+      row_sum += static_cast<double>(in[x]);
+      table_[static_cast<std::size_t>(y + 1) * (width_ + 1) + (x + 1)] =
+          TableAt(x + 1, y) + row_sum;
+    }
+  }
+}
+
+IntegralImage::IntegralImage(const ImageU8& src) { Build(src); }
+IntegralImage::IntegralImage(const ImageF& src) { Build(src); }
+
+double IntegralImage::Sum(int x, int y, int w, int h) const {
+  int x0 = std::clamp(x, 0, width_);
+  int y0 = std::clamp(y, 0, height_);
+  int x1 = std::clamp(x + w, 0, width_);
+  int y1 = std::clamp(y + h, 0, height_);
+  if (x1 <= x0 || y1 <= y0) return 0.0;
+  return TableAt(x1, y1) - TableAt(x0, y1) - TableAt(x1, y0) +
+         TableAt(x0, y0);
+}
+
+}  // namespace snor

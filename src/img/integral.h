@@ -1,0 +1,47 @@
+#ifndef SNOR_IMG_INTEGRAL_H_
+#define SNOR_IMG_INTEGRAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "img/image.h"
+
+namespace snor {
+
+/// \brief Summed-area table over a single-channel image.
+///
+/// `Sum(x, y, w, h)` returns the sum of pixel values in the rectangle
+/// [x, x+w) x [y, y+h) in O(1). Rectangles are clipped to the image.
+/// Used by the SURF box-filter Hessian.
+class IntegralImage {
+ public:
+  /// Builds the table from an 8-bit single-channel image.
+  explicit IntegralImage(const ImageU8& src);
+
+  /// Builds the table from a float single-channel image.
+  explicit IntegralImage(const ImageF& src);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  /// Sum over the clipped rectangle [x, x+w) x [y, y+h).
+  double Sum(int x, int y, int w, int h) const;
+
+ private:
+  // table_ has (width_+1) x (height_+1) entries; entry (i, j) holds the sum
+  // of all pixels above and left of (i, j) exclusive.
+  double TableAt(int i, int j) const {
+    return table_[static_cast<std::size_t>(j) * (width_ + 1) + i];
+  }
+
+  template <typename T>
+  void Build(const Image<T>& src);
+
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<double> table_;
+};
+
+}  // namespace snor
+
+#endif  // SNOR_IMG_INTEGRAL_H_

@@ -1,0 +1,94 @@
+#include "img/io_ppm.h"
+
+#include <cctype>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace snor {
+
+Status WritePnm(const ImageU8& img, const std::string& path) {
+  if (img.empty()) return Status::InvalidArgument("empty image");
+  if (img.channels() != 1 && img.channels() != 3) {
+    return Status::InvalidArgument(
+        StrFormat("PNM supports 1 or 3 channels, got %d", img.channels()));
+  }
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return Status::IoError("cannot open for writing: " + path);
+  const char* magic = img.channels() == 3 ? "P6" : "P5";
+  file << magic << "\n" << img.width() << " " << img.height() << "\n255\n";
+  file.write(reinterpret_cast<const char*>(img.data()),
+             static_cast<std::streamsize>(img.size()));
+  if (!file) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+namespace {
+
+// Reads the next whitespace/comment-delimited token from a PNM header.
+Result<std::string> NextToken(std::istream& in) {
+  std::string token;
+  int c = in.get();
+  // Skip whitespace and comments.
+  while (c != EOF) {
+    if (c == '#') {
+      while (c != EOF && c != '\n') c = in.get();
+    } else if (std::isspace(c)) {
+      c = in.get();
+    } else {
+      break;
+    }
+  }
+  if (c == EOF) return Status::IoError("unexpected EOF in PNM header");
+  while (c != EOF && !std::isspace(c) && c != '#') {
+    token += static_cast<char>(c);
+    c = in.get();
+  }
+  if (c == '#') in.unget();
+  return token;
+}
+
+Result<int> NextInt(std::istream& in) {
+  SNOR_ASSIGN_OR_RETURN(std::string token, NextToken(in));
+  char* end = nullptr;
+  const long v = std::strtol(token.c_str(), &end, 10);
+  if (end == token.c_str() || *end != '\0') {
+    return Status::IoError("bad integer in PNM header: " + token);
+  }
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+Result<ImageU8> ReadPnm(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IoError("cannot open for reading: " + path);
+  SNOR_ASSIGN_OR_RETURN(std::string magic, NextToken(file));
+  int channels = 0;
+  if (magic == "P6") {
+    channels = 3;
+  } else if (magic == "P5") {
+    channels = 1;
+  } else {
+    return Status::IoError("unsupported PNM magic: " + magic);
+  }
+  SNOR_ASSIGN_OR_RETURN(int width, NextInt(file));
+  SNOR_ASSIGN_OR_RETURN(int height, NextInt(file));
+  SNOR_ASSIGN_OR_RETURN(int maxval, NextInt(file));
+  if (width <= 0 || height <= 0) {
+    return Status::IoError("bad PNM dimensions");
+  }
+  if (maxval != 255) {
+    return Status::NotImplemented("only maxval=255 PNM files are supported");
+  }
+  // NextToken already consumed the single whitespace byte after maxval.
+  ImageU8 img(width, height, channels);
+  file.read(reinterpret_cast<char*>(img.data()),
+            static_cast<std::streamsize>(img.size()));
+  if (file.gcount() != static_cast<std::streamsize>(img.size())) {
+    return Status::IoError("truncated PNM payload: " + path);
+  }
+  return img;
+}
+
+}  // namespace snor

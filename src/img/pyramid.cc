@@ -1,0 +1,25 @@
+#include "img/pyramid.h"
+
+#include <cmath>
+
+#include "img/resize.h"
+
+namespace snor {
+
+std::vector<PyramidLevel> BuildPyramid(const ImageU8& base, int n_levels,
+                                       double scale_factor, int min_size) {
+  SNOR_CHECK_GT(n_levels, 0);
+  SNOR_CHECK_GT(scale_factor, 1.0);
+  std::vector<PyramidLevel> levels;
+  levels.push_back({base, 1.0});
+  for (int i = 1; i < n_levels; ++i) {
+    const double scale = std::pow(scale_factor, i);
+    const int w = static_cast<int>(std::lround(base.width() / scale));
+    const int h = static_cast<int>(std::lround(base.height() / scale));
+    if (w < min_size || h < min_size) break;
+    levels.push_back({Resize(base, w, h, Interp::kBilinear), scale});
+  }
+  return levels;
+}
+
+}  // namespace snor

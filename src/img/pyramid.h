@@ -1,0 +1,27 @@
+#ifndef SNOR_IMG_PYRAMID_H_
+#define SNOR_IMG_PYRAMID_H_
+
+#include <vector>
+
+#include "img/image.h"
+
+namespace snor {
+
+/// \brief One level of a scale pyramid.
+struct PyramidLevel {
+  ImageU8 image;
+  /// Factor mapping this level's coordinates back to the base image
+  /// (base = level * scale).
+  double scale = 1.0;
+};
+
+/// Builds an `n_levels`-level scale pyramid, each level smaller by
+/// `scale_factor` (> 1), stopping early if a level would drop below
+/// `min_size` pixels on either side. Level 0 is the input image.
+std::vector<PyramidLevel> BuildPyramid(const ImageU8& base, int n_levels,
+                                       double scale_factor,
+                                       int min_size = 16);
+
+}  // namespace snor
+
+#endif  // SNOR_IMG_PYRAMID_H_

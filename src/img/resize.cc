@@ -1,0 +1,75 @@
+#include "img/resize.h"
+
+#include <cmath>
+
+namespace snor {
+namespace {
+
+// Shared implementation; `Round` decides whether to round (u8) or not (f32).
+template <typename T>
+Image<T> ResizeImpl(const Image<T>& src, int new_width, int new_height,
+                    Interp interp) {
+  SNOR_CHECK_GT(new_width, 0);
+  SNOR_CHECK_GT(new_height, 0);
+  SNOR_CHECK(!src.empty());
+  Image<T> dst(new_width, new_height, src.channels());
+  const double sx = static_cast<double>(src.width()) / new_width;
+  const double sy = static_cast<double>(src.height()) / new_height;
+  const int channels = src.channels();
+
+  if (interp == Interp::kNearest) {
+    for (int y = 0; y < new_height; ++y) {
+      const int src_y = std::min(static_cast<int>((y + 0.5) * sy),
+                                 src.height() - 1);
+      for (int x = 0; x < new_width; ++x) {
+        const int src_x =
+            std::min(static_cast<int>((x + 0.5) * sx), src.width() - 1);
+        for (int c = 0; c < channels; ++c) {
+          dst.at(y, x, c) = src.at(src_y, src_x, c);
+        }
+      }
+    }
+    return dst;
+  }
+
+  // Bilinear with half-pixel centers (OpenCV convention).
+  for (int y = 0; y < new_height; ++y) {
+    const double fy = (y + 0.5) * sy - 0.5;
+    const int y0 = static_cast<int>(std::floor(fy));
+    const double wy = fy - y0;
+    for (int x = 0; x < new_width; ++x) {
+      const double fx = (x + 0.5) * sx - 0.5;
+      const int x0 = static_cast<int>(std::floor(fx));
+      const double wx = fx - x0;
+      for (int c = 0; c < channels; ++c) {
+        const double v00 = src.AtClamped(y0, x0, c);
+        const double v01 = src.AtClamped(y0, x0 + 1, c);
+        const double v10 = src.AtClamped(y0 + 1, x0, c);
+        const double v11 = src.AtClamped(y0 + 1, x0 + 1, c);
+        const double top = v00 + (v01 - v00) * wx;
+        const double bot = v10 + (v11 - v10) * wx;
+        const double v = top + (bot - top) * wy;
+        if constexpr (std::is_integral_v<T>) {
+          dst.at(y, x, c) = static_cast<T>(std::lround(v));
+        } else {
+          dst.at(y, x, c) = static_cast<T>(v);
+        }
+      }
+    }
+  }
+  return dst;
+}
+
+}  // namespace
+
+ImageU8 Resize(const ImageU8& src, int new_width, int new_height,
+               Interp interp) {
+  return ResizeImpl(src, new_width, new_height, interp);
+}
+
+ImageF Resize(const ImageF& src, int new_width, int new_height,
+              Interp interp) {
+  return ResizeImpl(src, new_width, new_height, interp);
+}
+
+}  // namespace snor

@@ -1,0 +1,24 @@
+#ifndef SNOR_IMG_RESIZE_H_
+#define SNOR_IMG_RESIZE_H_
+
+#include "img/image.h"
+
+namespace snor {
+
+/// \brief Interpolation kernels supported by Resize().
+enum class Interp {
+  kNearest,
+  kBilinear,
+};
+
+/// Resizes an 8-bit image to (new_width, new_height).
+ImageU8 Resize(const ImageU8& src, int new_width, int new_height,
+               Interp interp = Interp::kBilinear);
+
+/// Resizes a float image to (new_width, new_height).
+ImageF Resize(const ImageF& src, int new_width, int new_height,
+              Interp interp = Interp::kBilinear);
+
+}  // namespace snor
+
+#endif  // SNOR_IMG_RESIZE_H_

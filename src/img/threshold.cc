@@ -1,0 +1,61 @@
+#include "img/threshold.h"
+
+#include <array>
+
+namespace snor {
+
+ImageU8 Threshold(const ImageU8& gray, std::uint8_t thresh,
+                  std::uint8_t maxval, ThresholdMode mode) {
+  SNOR_CHECK_EQ(gray.channels(), 1);
+  ImageU8 out(gray.width(), gray.height(), 1);
+  const std::uint8_t above =
+      mode == ThresholdMode::kBinary ? maxval : std::uint8_t{0};
+  const std::uint8_t below =
+      mode == ThresholdMode::kBinary ? std::uint8_t{0} : maxval;
+  const std::uint8_t* in = gray.data();
+  std::uint8_t* dst = out.data();
+  for (std::size_t i = 0; i < gray.size(); ++i) {
+    dst[i] = in[i] > thresh ? above : below;
+  }
+  return out;
+}
+
+std::uint8_t OtsuThreshold(const ImageU8& gray) {
+  SNOR_CHECK_EQ(gray.channels(), 1);
+  SNOR_CHECK_GT(gray.size(), 0u);
+  std::array<std::size_t, 256> hist{};
+  const std::uint8_t* in = gray.data();
+  for (std::size_t i = 0; i < gray.size(); ++i) ++hist[in[i]];
+
+  const double total = static_cast<double>(gray.size());
+  double sum_all = 0.0;
+  for (int v = 0; v < 256; ++v) sum_all += v * static_cast<double>(hist[v]);
+
+  double sum_bg = 0.0;
+  double weight_bg = 0.0;
+  double best_var = -1.0;
+  int best_thresh = 0;
+  for (int t = 0; t < 256; ++t) {
+    weight_bg += static_cast<double>(hist[t]);
+    if (weight_bg == 0) continue;
+    const double weight_fg = total - weight_bg;
+    if (weight_fg == 0) break;
+    sum_bg += t * static_cast<double>(hist[t]);
+    const double mean_bg = sum_bg / weight_bg;
+    const double mean_fg = (sum_all - sum_bg) / weight_fg;
+    const double between =
+        weight_bg * weight_fg * (mean_bg - mean_fg) * (mean_bg - mean_fg);
+    if (between > best_var) {
+      best_var = between;
+      best_thresh = t;
+    }
+  }
+  return static_cast<std::uint8_t>(best_thresh);
+}
+
+ImageU8 ThresholdOtsu(const ImageU8& gray, ThresholdMode mode,
+                      std::uint8_t maxval) {
+  return Threshold(gray, OtsuThreshold(gray), maxval, mode);
+}
+
+}  // namespace snor

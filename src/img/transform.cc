@@ -1,0 +1,121 @@
+#include "img/transform.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace snor {
+
+ImageU8 Rotate(const ImageU8& src, double degrees, std::uint8_t fill) {
+  SNOR_CHECK(!src.empty());
+  const double rad = degrees * std::numbers::pi / 180.0;
+  const double c = std::cos(rad);
+  const double s = std::sin(rad);
+  const double cx = (src.width() - 1) / 2.0;
+  const double cy = (src.height() - 1) / 2.0;
+  ImageU8 dst(src.width(), src.height(), src.channels(), fill);
+  for (int y = 0; y < dst.height(); ++y) {
+    for (int x = 0; x < dst.width(); ++x) {
+      // Inverse mapping: rotate destination coordinates by -angle.
+      const double dx = x - cx;
+      const double dy = y - cy;
+      const double sxf = c * dx + s * dy + cx;
+      const double syf = -s * dx + c * dy + cy;
+      const int x0 = static_cast<int>(std::floor(sxf));
+      const int y0 = static_cast<int>(std::floor(syf));
+      if (x0 < -1 || x0 >= src.width() || y0 < -1 || y0 >= src.height()) {
+        continue;
+      }
+      const double wx = sxf - x0;
+      const double wy = syf - y0;
+      for (int ch = 0; ch < src.channels(); ++ch) {
+        auto sample = [&](int yy, int xx) -> double {
+          if (!src.InBounds(xx, yy)) return fill;
+          return src.at(yy, xx, ch);
+        };
+        const double v00 = sample(y0, x0);
+        const double v01 = sample(y0, x0 + 1);
+        const double v10 = sample(y0 + 1, x0);
+        const double v11 = sample(y0 + 1, x0 + 1);
+        const double top = v00 + (v01 - v00) * wx;
+        const double bot = v10 + (v11 - v10) * wx;
+        dst.at(y, x, ch) =
+            static_cast<std::uint8_t>(std::lround(top + (bot - top) * wy));
+      }
+    }
+  }
+  return dst;
+}
+
+ImageU8 Rotate90(const ImageU8& src, int quarter_turns) {
+  int q = ((quarter_turns % 4) + 4) % 4;
+  if (q == 0) return src;
+  const int w = src.width();
+  const int h = src.height();
+  const int ch = src.channels();
+  ImageU8 dst(q == 2 ? w : h, q == 2 ? h : w, ch);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      int nx = 0;
+      int ny = 0;
+      switch (q) {
+        case 1:  // CCW: (x, y) -> (y, w-1-x)
+          nx = y;
+          ny = w - 1 - x;
+          break;
+        case 2:
+          nx = w - 1 - x;
+          ny = h - 1 - y;
+          break;
+        case 3:  // CW: (x, y) -> (h-1-y, x)
+          nx = h - 1 - y;
+          ny = x;
+          break;
+        default:
+          break;
+      }
+      for (int c = 0; c < ch; ++c) dst.at(ny, nx, c) = src.at(y, x, c);
+    }
+  }
+  return dst;
+}
+
+ImageU8 FlipHorizontal(const ImageU8& src) {
+  ImageU8 dst(src.width(), src.height(), src.channels());
+  for (int y = 0; y < src.height(); ++y) {
+    for (int x = 0; x < src.width(); ++x) {
+      for (int c = 0; c < src.channels(); ++c) {
+        dst.at(y, src.width() - 1 - x, c) = src.at(y, x, c);
+      }
+    }
+  }
+  return dst;
+}
+
+ImageU8 FlipVertical(const ImageU8& src) {
+  ImageU8 dst(src.width(), src.height(), src.channels());
+  for (int y = 0; y < src.height(); ++y) {
+    for (int x = 0; x < src.width(); ++x) {
+      for (int c = 0; c < src.channels(); ++c) {
+        dst.at(src.height() - 1 - y, x, c) = src.at(y, x, c);
+      }
+    }
+  }
+  return dst;
+}
+
+ImageU8 PadConstant(const ImageU8& src, int top, int bottom, int left,
+                    int right, std::uint8_t value) {
+  SNOR_CHECK(top >= 0 && bottom >= 0 && left >= 0 && right >= 0);
+  ImageU8 dst(src.width() + left + right, src.height() + top + bottom,
+              src.channels(), value);
+  for (int y = 0; y < src.height(); ++y) {
+    const std::uint8_t* in = src.Row(y);
+    std::uint8_t* out =
+        dst.Row(y + top) + static_cast<std::size_t>(left) * src.channels();
+    std::copy(in, in + static_cast<std::size_t>(src.width()) * src.channels(),
+              out);
+  }
+  return dst;
+}
+
+}  // namespace snor

@@ -1,0 +1,29 @@
+#ifndef SNOR_IMG_TRANSFORM_H_
+#define SNOR_IMG_TRANSFORM_H_
+
+#include "img/image.h"
+
+namespace snor {
+
+/// Rotates the image by `degrees` counter-clockwise about its centre,
+/// keeping the original canvas size; uncovered pixels are set to `fill`.
+/// Bilinear sampling.
+ImageU8 Rotate(const ImageU8& src, double degrees, std::uint8_t fill = 0);
+
+/// Rotates by an exact multiple of 90 degrees (lossless, resizes canvas for
+/// 90/270). `quarter_turns` is taken modulo 4; positive is counter-clockwise.
+ImageU8 Rotate90(const ImageU8& src, int quarter_turns);
+
+/// Horizontal mirror (left-right flip).
+ImageU8 FlipHorizontal(const ImageU8& src);
+
+/// Vertical mirror (top-bottom flip).
+ImageU8 FlipVertical(const ImageU8& src);
+
+/// Pads the image with a constant border of the given widths.
+ImageU8 PadConstant(const ImageU8& src, int top, int bottom, int left,
+                    int right, std::uint8_t value);
+
+}  // namespace snor
+
+#endif  // SNOR_IMG_TRANSFORM_H_

@@ -1,0 +1,100 @@
+#include "knowledge/semantic_map.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace snor {
+
+ObjectClass MapObject::Label() const {
+  int best = 0;
+  for (int c = 1; c < kNumClasses; ++c) {
+    if (votes[static_cast<std::size_t>(c)] >
+        votes[static_cast<std::size_t>(best)]) {
+      best = c;
+    }
+  }
+  return ClassFromIndex(best);
+}
+
+double MapObject::Confidence() const {
+  if (total_observations == 0) return 0.0;
+  return static_cast<double>(
+             votes[static_cast<std::size_t>(ClassIndex(Label()))]) /
+         total_observations;
+}
+
+SemanticMap::SemanticMap(double merge_radius)
+    : merge_radius_(merge_radius) {
+  SNOR_CHECK_GT(merge_radius, 0.0);
+}
+
+int SemanticMap::AddObservation(double x, double y, ObjectClass label) {
+  // Merge into the nearest instance within the radius, if any.
+  MapObject* nearest = nullptr;
+  double nearest_dist = merge_radius_;
+  for (auto& obj : objects_) {
+    const double d = std::hypot(obj.x - x, obj.y - y);
+    if (d <= nearest_dist) {
+      nearest_dist = d;
+      nearest = &obj;
+    }
+  }
+  if (nearest != nullptr) {
+    // Running-average position, evidence vote.
+    const double n = nearest->total_observations;
+    nearest->x = (nearest->x * n + x) / (n + 1);
+    nearest->y = (nearest->y * n + y) / (n + 1);
+    ++nearest->votes[static_cast<std::size_t>(ClassIndex(label))];
+    ++nearest->total_observations;
+    return nearest->id;
+  }
+  MapObject obj;
+  obj.id = next_id_++;
+  obj.x = x;
+  obj.y = y;
+  obj.votes[static_cast<std::size_t>(ClassIndex(label))] = 1;
+  obj.total_observations = 1;
+  objects_.push_back(obj);
+  return obj.id;
+}
+
+std::vector<const MapObject*> SemanticMap::FindByClass(
+    ObjectClass cls) const {
+  std::vector<const MapObject*> found;
+  for (const auto& obj : objects_) {
+    if (obj.Label() == cls) found.push_back(&obj);
+  }
+  return found;
+}
+
+std::vector<const MapObject*> SemanticMap::FindByConcept(
+    std::string_view concept_name) const {
+  const auto classes = ClassesWithConcept(concept_name);
+  std::vector<const MapObject*> found;
+  for (const auto& obj : objects_) {
+    const ObjectClass label = obj.Label();
+    if (std::find(classes.begin(), classes.end(), label) != classes.end()) {
+      found.push_back(&obj);
+    }
+  }
+  return found;
+}
+
+std::vector<const MapObject*> SemanticMap::FindByLemma(
+    std::string_view lemma) const {
+  const auto cls = ClassFromLemma(lemma);
+  if (!cls.ok()) return {};
+  return FindByClass(cls.value());
+}
+
+std::array<int, kNumClasses> SemanticMap::Inventory() const {
+  std::array<int, kNumClasses> counts{};
+  for (const auto& obj : objects_) {
+    ++counts[static_cast<std::size_t>(ClassIndex(obj.Label()))];
+  }
+  return counts;
+}
+
+}  // namespace snor

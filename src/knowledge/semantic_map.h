@@ -1,0 +1,69 @@
+#ifndef SNOR_KNOWLEDGE_SEMANTIC_MAP_H_
+#define SNOR_KNOWLEDGE_SEMANTIC_MAP_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "data/object_class.h"
+#include "knowledge/synsets.h"
+
+namespace snor {
+
+/// \brief One recognised object instance accumulated in the map.
+struct MapObject {
+  int id = 0;
+  /// World position (metres, robot odometry frame).
+  double x = 0.0;
+  double y = 0.0;
+  /// Per-class observation counts (evidence).
+  std::array<int, kNumClasses> votes{};
+  int total_observations = 0;
+
+  /// Majority-vote class.
+  ObjectClass Label() const;
+  /// Fraction of observations agreeing with the majority label.
+  double Confidence() const;
+};
+
+/// \brief Task-agnostic semantic map (Nüchter & Hertzberg style): the
+/// robot streams classified detections with world coordinates; detections
+/// within `merge_radius` of an existing instance are fused by voting,
+/// others spawn new instances. Queries go through the synset layer, so a
+/// task ("find something to sit on") resolves by concept, not by class —
+/// the knowledge-grounding use case the paper targets.
+class SemanticMap {
+ public:
+  explicit SemanticMap(double merge_radius = 0.75);
+
+  /// Records one classified detection at world position (x, y).
+  /// Returns the id of the (new or merged) map object.
+  int AddObservation(double x, double y, ObjectClass label);
+
+  /// All current object instances.
+  const std::vector<MapObject>& objects() const { return objects_; }
+
+  /// Objects whose majority label is `cls`.
+  std::vector<const MapObject*> FindByClass(ObjectClass cls) const;
+
+  /// Objects whose majority label's synset carries `concept_name` as a
+  /// hypernym or related concept ("furniture", "openable", "sit", ...).
+  std::vector<const MapObject*> FindByConcept(
+      std::string_view concept_name) const;
+
+  /// Objects whose synset lemmas match a natural-language noun
+  /// ("couch" finds sofas).
+  std::vector<const MapObject*> FindByLemma(std::string_view lemma) const;
+
+  /// Class histogram over all map objects (inventory summary).
+  std::array<int, kNumClasses> Inventory() const;
+
+ private:
+  double merge_radius_;
+  int next_id_ = 1;
+  std::vector<MapObject> objects_;
+};
+
+}  // namespace snor
+
+#endif  // SNOR_KNOWLEDGE_SEMANTIC_MAP_H_

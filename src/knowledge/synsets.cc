@@ -1,0 +1,108 @@
+#include "knowledge/synsets.h"
+
+#include <array>
+
+#include "util/string_util.h"
+
+namespace snor {
+namespace {
+
+// Offline snapshot of WordNet 3.0 noun synsets for the ten classes, with
+// ConceptNet-style related concepts for downstream task selection.
+const std::array<SynsetEntry, kNumClasses>& Table() {
+  static const std::array<SynsetEntry, kNumClasses>& kTable =
+      *new std::array<SynsetEntry, kNumClasses>{{
+          // Chair.
+          {"n03001627",
+           {"chair"},
+           {"seat", "furniture", "furnishing", "artifact"},
+           {"sit", "movable", "graspable-by-two", "obstacle"}},
+          // Bottle.
+          {"n02876657",
+           {"bottle"},
+           {"vessel", "container", "instrumentality", "artifact"},
+           {"drink", "pour", "graspable", "recyclable", "glass"}},
+          // Paper.
+          {"n14974264",
+           {"paper"},
+           {"material", "substance", "matter"},
+           {"write", "recyclable", "lightweight", "flammable"}},
+          // Book.
+          {"n02870092",
+           {"book", "volume"},
+           {"publication", "work", "artifact"},
+           {"read", "graspable", "shelvable", "lightweight"}},
+          // Table.
+          {"n04379243",
+           {"table"},
+           {"furniture", "furnishing", "artifact"},
+           {"put-on", "work-surface", "obstacle", "heavy"}},
+          // Box.
+          {"n02883344",
+           {"box"},
+           {"container", "instrumentality", "artifact"},
+           {"store", "carry", "openable", "stackable", "recyclable"}},
+          // Window.
+          {"n04587648",
+           {"window"},
+           {"framework", "supporting structure", "structure", "artifact"},
+           {"openable", "transparent", "fixed", "ventilation",
+            "escape-route"}},
+          // Door.
+          {"n03221720",
+           {"door"},
+           {"movable barrier", "barrier", "structure", "artifact"},
+           {"openable", "passage", "fixed", "escape-route"}},
+          // Sofa.
+          {"n04256520",
+           {"sofa", "couch", "lounge"},
+           {"seat", "furniture", "furnishing", "artifact"},
+           {"sit", "lie-on", "heavy", "obstacle"}},
+          // Lamp.
+          {"n03636248",
+           {"lamp"},
+           {"source of illumination", "artifact"},
+           {"light", "electrical", "fragile", "switchable"}},
+      }};
+  return kTable;
+}
+
+bool ContainsToken(const std::vector<std::string>& list,
+                   const std::string& lowered) {
+  for (const auto& item : list) {
+    if (AsciiToLower(item) == lowered) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const SynsetEntry& SynsetFor(ObjectClass cls) {
+  return Table()[static_cast<std::size_t>(ClassIndex(cls))];
+}
+
+Result<ObjectClass> ClassFromLemma(std::string_view lemma) {
+  const std::string lowered = AsciiToLower(lemma);
+  for (int c = 0; c < kNumClasses; ++c) {
+    if (ContainsToken(Table()[static_cast<std::size_t>(c)].lemmas,
+                      lowered)) {
+      return ClassFromIndex(c);
+    }
+  }
+  return Status::NotFound("no class with lemma: " + std::string(lemma));
+}
+
+std::vector<ObjectClass> ClassesWithConcept(std::string_view concept_name) {
+  const std::string lowered = AsciiToLower(concept_name);
+  std::vector<ObjectClass> matches;
+  for (int c = 0; c < kNumClasses; ++c) {
+    const SynsetEntry& entry = Table()[static_cast<std::size_t>(c)];
+    if (ContainsToken(entry.hypernyms, lowered) ||
+        ContainsToken(entry.related_concepts, lowered)) {
+      matches.push_back(ClassFromIndex(c));
+    }
+  }
+  return matches;
+}
+
+}  // namespace snor

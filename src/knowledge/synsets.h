@@ -1,0 +1,46 @@
+#ifndef SNOR_KNOWLEDGE_SYNSETS_H_
+#define SNOR_KNOWLEDGE_SYNSETS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/object_class.h"
+#include "util/status.h"
+
+namespace snor {
+
+/// \brief A WordNet-style synset entry linking a recognised object class
+/// to lexical concepts — the "task-agnostic knowledge acquisition" hook
+/// the paper motivates ShapeNet with (§1-2: ShapeNet annotation is based
+/// on WordNet synsets and linked to ImageNet).
+///
+/// The table is a self-contained offline snapshot of the relevant WordNet
+/// 3.0 noun entries for the ten studied classes.
+struct SynsetEntry {
+  /// WordNet 3.0 noun offset identifier (e.g. "n03001627" for chair).
+  std::string synset_id;
+  /// Lemmas (synonyms) of the synset.
+  std::vector<std::string> lemmas;
+  /// Direct hypernym chain, most specific first ("seat", "furniture", ...).
+  std::vector<std::string> hypernyms;
+  /// Typical affordances / related concepts (ConceptNet-style edges),
+  /// usable by downstream task planners.
+  std::vector<std::string> related_concepts;
+};
+
+/// Returns the synset entry for an object class.
+const SynsetEntry& SynsetFor(ObjectClass cls);
+
+/// Resolves a lemma ("couch", "sofa", "settee", ...) to an object class;
+/// matching is case-insensitive. NotFound when no class carries the lemma.
+Result<ObjectClass> ClassFromLemma(std::string_view lemma);
+
+/// All classes whose synset lists `concept` among its hypernyms or
+/// related concepts (case-insensitive). E.g. "furniture" covers chair,
+/// table, sofa; "openable" covers window, door, bottle, box.
+std::vector<ObjectClass> ClassesWithConcept(std::string_view concept_name);
+
+}  // namespace snor
+
+#endif  // SNOR_KNOWLEDGE_SYNSETS_H_

@@ -1,0 +1,83 @@
+#include "nn/cosine_merge.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace snor {
+namespace {
+constexpr double kEps = 1e-8;
+}  // namespace
+
+Tensor CosineMergeLayer::Forward(const Tensor& a, const Tensor& b) {
+  SNOR_CHECK_EQ(a.rank(), 4);
+  SNOR_CHECK(a.SameShape(b));
+  a_cache_ = a;
+  b_cache_ = b;
+  const int n = a.dim(0);
+  const int c = a.dim(1);
+  const int h = a.dim(2);
+  const int w = a.dim(3);
+  Tensor out({n, 1, h, w});
+  for (int ni = 0; ni < n; ++ni) {
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        double dot = 0.0, na = 0.0, nb = 0.0;
+        for (int ci = 0; ci < c; ++ci) {
+          const double av = a.At4(ni, ci, y, x);
+          const double bv = b.At4(ni, ci, y, x);
+          dot += av * bv;
+          na += av * av;
+          nb += bv * bv;
+        }
+        out.At4(ni, 0, y, x) = static_cast<float>(
+            dot / (std::sqrt(na + kEps) * std::sqrt(nb + kEps)));
+      }
+    }
+  }
+  return out;
+}
+
+void CosineMergeLayer::Backward(const Tensor& grad_output, Tensor* grad_a,
+                                Tensor* grad_b) {
+  SNOR_CHECK(grad_a != nullptr && grad_b != nullptr);
+  SNOR_CHECK(!a_cache_.empty());
+  const Tensor& a = a_cache_;
+  const Tensor& b = b_cache_;
+  const int n = a.dim(0);
+  const int c = a.dim(1);
+  const int h = a.dim(2);
+  const int w = a.dim(3);
+  *grad_a = Tensor(a.shape());
+  *grad_b = Tensor(b.shape());
+
+  for (int ni = 0; ni < n; ++ni) {
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        const float g = grad_output.At4(ni, 0, y, x);
+        if (g == 0.0f) continue;
+        double dot = 0.0, na = 0.0, nb = 0.0;
+        for (int ci = 0; ci < c; ++ci) {
+          const double av = a.At4(ni, ci, y, x);
+          const double bv = b.At4(ni, ci, y, x);
+          dot += av * bv;
+          na += av * av;
+          nb += bv * bv;
+        }
+        const double sa = std::sqrt(na + kEps);
+        const double sb = std::sqrt(nb + kEps);
+        const double cosv = dot / (sa * sb);
+        for (int ci = 0; ci < c; ++ci) {
+          const double av = a.At4(ni, ci, y, x);
+          const double bv = b.At4(ni, ci, y, x);
+          grad_a->At4(ni, ci, y, x) += static_cast<float>(
+              g * (bv / (sa * sb) - cosv * av / (sa * sa)));
+          grad_b->At4(ni, ci, y, x) += static_cast<float>(
+              g * (av / (sa * sb) - cosv * bv / (sb * sb)));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace snor

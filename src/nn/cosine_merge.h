@@ -1,0 +1,29 @@
+#ifndef SNOR_NN_COSINE_MERGE_H_
+#define SNOR_NN_COSINE_MERGE_H_
+
+#include "nn/tensor.h"
+
+namespace snor {
+
+/// \brief Classic "exact matching" Siamese merge (Bromley et al., cited by
+/// the paper as the traditional alternative to Normalized-X-Corr): at
+/// every spatial location the feature vectors of the two branches are
+/// compared by cosine similarity, producing a single-channel map.
+///
+/// Input: two (N, C, H, W) tensors. Output: (N, 1, H, W).
+class CosineMergeLayer {
+ public:
+  /// Computes the cosine map; caches inputs for Backward.
+  Tensor Forward(const Tensor& a, const Tensor& b);
+
+  /// Backpropagates through the last Forward call.
+  void Backward(const Tensor& grad_output, Tensor* grad_a, Tensor* grad_b);
+
+ private:
+  Tensor a_cache_;
+  Tensor b_cache_;
+};
+
+}  // namespace snor
+
+#endif  // SNOR_NN_COSINE_MERGE_H_

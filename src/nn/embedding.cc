@@ -1,0 +1,148 @@
+#include "nn/embedding.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace snor {
+
+EmbeddingModel::EmbeddingModel(const EmbeddingModelConfig& config)
+    : config_(config) {
+  Rng rng(config.seed);
+  layers_.push_back(std::make_unique<Conv2D>(config.input_channels,
+                                             config.conv1_channels, 5, 1, 2,
+                                             rng));
+  layers_.push_back(std::make_unique<ReLU>());
+  layers_.push_back(std::make_unique<MaxPool2D>(2));
+  layers_.push_back(std::make_unique<Conv2D>(
+      config.conv1_channels, config.conv2_channels, 3, 1, 1, rng));
+  layers_.push_back(std::make_unique<ReLU>());
+  layers_.push_back(std::make_unique<MaxPool2D>(2));
+  layers_.push_back(std::make_unique<Flatten>());
+  const int spatial = (config.input_height / 4) * (config.input_width / 4);
+  layers_.push_back(std::make_unique<Dense>(config.conv2_channels * spatial,
+                                            config.embedding_dim, rng));
+}
+
+Tensor EmbeddingModel::Embed(const Tensor& batch, bool training) {
+  Tensor x = batch;
+  for (auto& layer : layers_) x = layer->Forward(x, training);
+  SNOR_CHECK_EQ(x.rank(), 2);
+  pre_norm_ = x;
+
+  // Row-wise L2 normalization.
+  const int n = x.dim(0);
+  const int d = x.dim(1);
+  inv_norms_.assign(static_cast<std::size_t>(n), 0.0f);
+  for (int i = 0; i < n; ++i) {
+    double sq = 0.0;
+    for (int j = 0; j < d; ++j) {
+      const double v = x.At2(i, j);
+      sq += v * v;
+    }
+    const float inv = static_cast<float>(1.0 / std::sqrt(sq + 1e-12));
+    inv_norms_[static_cast<std::size_t>(i)] = inv;
+    for (int j = 0; j < d; ++j) x.At2(i, j) *= inv;
+  }
+  post_norm_ = x;
+  return x;
+}
+
+void EmbeddingModel::Backward(const Tensor& grad_embedding) {
+  SNOR_CHECK(!pre_norm_.empty());
+  SNOR_CHECK(grad_embedding.SameShape(post_norm_));
+  const int n = post_norm_.dim(0);
+  const int d = post_norm_.dim(1);
+
+  // y = x / |x|  =>  dL/dx = (g - y * (y . g)) / |x|.
+  Tensor grad(pre_norm_.shape());
+  for (int i = 0; i < n; ++i) {
+    double dot = 0.0;
+    for (int j = 0; j < d; ++j) {
+      dot += static_cast<double>(post_norm_.At2(i, j)) *
+             grad_embedding.At2(i, j);
+    }
+    const float inv = inv_norms_[static_cast<std::size_t>(i)];
+    for (int j = 0; j < d; ++j) {
+      grad.At2(i, j) = static_cast<float>(
+          (grad_embedding.At2(i, j) -
+           post_norm_.At2(i, j) * static_cast<float>(dot)) *
+          inv);
+    }
+  }
+
+  Tensor g = grad;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+}
+
+std::unique_ptr<EmbeddingModel> EmbeddingModel::CloneShared() const {
+  auto clone = std::unique_ptr<EmbeddingModel>(new EmbeddingModel());
+  clone->config_ = config_;
+  for (const auto& layer : layers_) {
+    clone->layers_.push_back(layer->CloneShared());
+  }
+  return clone;
+}
+
+std::vector<std::shared_ptr<Parameter>> EmbeddingModel::Params() {
+  std::vector<std::shared_ptr<Parameter>> params;
+  for (auto& layer : layers_) {
+    for (auto& p : layer->Params()) params.push_back(p);
+  }
+  return params;
+}
+
+std::size_t EmbeddingModel::NumParameters() {
+  std::size_t total = 0;
+  for (const auto& p : Params()) total += p->value.size();
+  return total;
+}
+
+TripletLossResult TripletLoss(const Tensor& anchor, const Tensor& positive,
+                              const Tensor& negative, double margin) {
+  SNOR_CHECK(anchor.SameShape(positive));
+  SNOR_CHECK(anchor.SameShape(negative));
+  SNOR_CHECK_EQ(anchor.rank(), 2);
+  const int n = anchor.dim(0);
+  const int d = anchor.dim(1);
+
+  TripletLossResult result;
+  result.grad_anchor = Tensor(anchor.shape());
+  result.grad_positive = Tensor(anchor.shape());
+  result.grad_negative = Tensor(anchor.shape());
+
+  int active = 0;
+  double loss = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double dap = 0.0;
+    double dan = 0.0;
+    for (int j = 0; j < d; ++j) {
+      const double ap = static_cast<double>(anchor.At2(i, j)) -
+                        positive.At2(i, j);
+      const double an = static_cast<double>(anchor.At2(i, j)) -
+                        negative.At2(i, j);
+      dap += ap * ap;
+      dan += an * an;
+    }
+    const double violation = dap - dan + margin;
+    if (violation <= 0) continue;
+    ++active;
+    loss += violation;
+    const float scale = 2.0f / static_cast<float>(n);
+    for (int j = 0; j < d; ++j) {
+      const float a = anchor.At2(i, j);
+      const float p = positive.At2(i, j);
+      const float nn = negative.At2(i, j);
+      result.grad_anchor.At2(i, j) += scale * (nn - p);
+      result.grad_positive.At2(i, j) += scale * (p - a);
+      result.grad_negative.At2(i, j) += scale * (a - nn);
+    }
+  }
+  result.loss = loss / n;
+  result.active_fraction = static_cast<double>(active) / n;
+  return result;
+}
+
+}  // namespace snor

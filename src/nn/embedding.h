@@ -1,0 +1,79 @@
+#ifndef SNOR_NN_EMBEDDING_H_
+#define SNOR_NN_EMBEDDING_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.h"
+#include "nn/layers.h"
+
+namespace snor {
+
+/// \brief Architecture of the metric-learning embedding network — the
+/// paper's proposed future-work remedy for the Normalized-X-Corr failure
+/// (conclusion; triplet networks after Hoffer & Ailon, cited as [14]).
+struct EmbeddingModelConfig {
+  int input_height = 32;
+  int input_width = 32;
+  int input_channels = 3;
+  int conv1_channels = 8;
+  int conv2_channels = 12;
+  int embedding_dim = 32;
+  std::uint64_t seed = 7;
+};
+
+/// \brief A conv trunk + dense head producing L2-normalized embeddings.
+///
+/// Instances created by `CloneShared` share all parameters but keep their
+/// own activation caches, so anchor/positive/negative branches of a
+/// triplet can backpropagate independently while accumulating gradients
+/// into the same weights.
+class EmbeddingModel {
+ public:
+  explicit EmbeddingModel(const EmbeddingModelConfig& config);
+
+  /// Embeds a batch (N, C, H, W) -> (N, D), rows L2-normalized.
+  Tensor Embed(const Tensor& batch, bool training);
+
+  /// Backpropagates d loss / d embedding through the normalization and
+  /// the network, accumulating parameter gradients.
+  void Backward(const Tensor& grad_embedding);
+
+  /// Shared-parameter clone with an independent cache.
+  std::unique_ptr<EmbeddingModel> CloneShared() const;
+
+  std::vector<std::shared_ptr<Parameter>> Params();
+  std::size_t NumParameters();
+
+  const EmbeddingModelConfig& config() const { return config_; }
+
+ private:
+  EmbeddingModel() = default;
+
+  EmbeddingModelConfig config_;
+  std::vector<std::unique_ptr<Layer>> layers_;
+  // Caches of the last Embed call (for the normalization backward).
+  Tensor pre_norm_;
+  Tensor post_norm_;
+  std::vector<float> inv_norms_;
+};
+
+/// \brief Result of a triplet-loss evaluation over a batch.
+struct TripletLossResult {
+  double loss = 0.0;
+  /// Fraction of triplets with positive margin violation (still "active").
+  double active_fraction = 0.0;
+  Tensor grad_anchor;
+  Tensor grad_positive;
+  Tensor grad_negative;
+};
+
+/// Triplet margin loss with squared Euclidean distances:
+///   L = mean_i max(0, |a_i - p_i|^2 - |a_i - n_i|^2 + margin).
+/// Gradients are with respect to the three embedding batches.
+TripletLossResult TripletLoss(const Tensor& anchor, const Tensor& positive,
+                              const Tensor& negative, double margin);
+
+}  // namespace snor
+
+#endif  // SNOR_NN_EMBEDDING_H_

@@ -1,0 +1,57 @@
+#ifndef SNOR_NN_LAYER_H_
+#define SNOR_NN_LAYER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace snor {
+
+/// \brief A trainable weight with its gradient accumulator.
+///
+/// Parameters are held via `std::shared_ptr` so that layer instances can
+/// share weights (Siamese branches): each branch keeps its own activation
+/// cache but accumulates gradients into the same `grad` tensor.
+struct Parameter {
+  Tensor value;
+  Tensor grad;
+
+  explicit Parameter(Tensor v) : value(std::move(v)), grad(value.shape()) {}
+};
+
+/// \brief Base class for differentiable layers.
+///
+/// The training contract is: `Forward` caches whatever it needs, a single
+/// subsequent `Backward(grad_out)` consumes the cache, *accumulates* into
+/// parameter gradients, and returns the gradient w.r.t. the layer input.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Runs the layer. `training` enables stochastic behaviour (dropout).
+  virtual Tensor Forward(const Tensor& input, bool training) = 0;
+
+  /// Backpropagates through the most recent Forward call.
+  virtual Tensor Backward(const Tensor& grad_output) = 0;
+
+  /// Trainable parameters (empty for stateless layers).
+  virtual std::vector<std::shared_ptr<Parameter>> Params() { return {}; }
+
+  /// Creates a new instance sharing this layer's parameters but owning a
+  /// fresh activation cache (used for the second Siamese branch).
+  virtual std::unique_ptr<Layer> CloneShared() const = 0;
+
+  /// Human-readable layer name for summaries.
+  virtual std::string name() const = 0;
+};
+
+/// Glorot/Xavier uniform initialization: U(-limit, limit) with
+/// limit = sqrt(6 / (fan_in + fan_out)).
+void GlorotInit(Tensor& t, int fan_in, int fan_out, Rng& rng);
+
+}  // namespace snor
+
+#endif  // SNOR_NN_LAYER_H_

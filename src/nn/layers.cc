@@ -1,0 +1,417 @@
+#include "nn/layers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace snor {
+
+void GlorotInit(Tensor& t, int fan_in, int fan_out, Rng& rng) {
+  const double limit = std::sqrt(6.0 / (fan_in + fan_out));
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.Uniform(-limit, limit));
+  }
+}
+
+// ------------------------------------------------------------- Conv2D --
+
+Conv2D::Conv2D(int in_channels, int out_channels, int kernel, int stride,
+               int padding, Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding) {
+  SNOR_CHECK_GT(in_channels, 0);
+  SNOR_CHECK_GT(out_channels, 0);
+  SNOR_CHECK_GT(kernel, 0);
+  SNOR_CHECK_GT(stride, 0);
+  SNOR_CHECK_GE(padding, 0);
+  Tensor w({out_channels, in_channels, kernel, kernel});
+  GlorotInit(w, in_channels * kernel * kernel, out_channels * kernel * kernel,
+             rng);
+  weight_ = std::make_shared<Parameter>(std::move(w));
+  bias_ = std::make_shared<Parameter>(Tensor({out_channels}));
+}
+
+Tensor Conv2D::Forward(const Tensor& input, bool /*training*/) {
+  SNOR_CHECK_EQ(input.rank(), 4);
+  SNOR_CHECK_EQ(input.dim(1), in_channels_);
+  const int n = input.dim(0);
+  const int h = input.dim(2);
+  const int w = input.dim(3);
+  const int oh = (h + 2 * padding_ - kernel_) / stride_ + 1;
+  const int ow = (w + 2 * padding_ - kernel_) / stride_ + 1;
+  SNOR_CHECK_GT(oh, 0);
+  SNOR_CHECK_GT(ow, 0);
+  const int k2 = kernel_ * kernel_;
+  const int col_rows = in_channels_ * k2;
+  const int col_cols = oh * ow;
+
+  input_shape_ = input.shape();
+  cols_ = Tensor({n, col_rows, col_cols});
+
+  // im2col.
+  for (int ni = 0; ni < n; ++ni) {
+    float* col_base =
+        cols_.data() + static_cast<std::size_t>(ni) * col_rows * col_cols;
+    for (int c = 0; c < in_channels_; ++c) {
+      for (int ky = 0; ky < kernel_; ++ky) {
+        for (int kx = 0; kx < kernel_; ++kx) {
+          const int row = (c * kernel_ + ky) * kernel_ + kx;
+          float* dst = col_base + static_cast<std::size_t>(row) * col_cols;
+          for (int oy = 0; oy < oh; ++oy) {
+            const int iy = oy * stride_ + ky - padding_;
+            for (int ox = 0; ox < ow; ++ox) {
+              const int ix = ox * stride_ + kx - padding_;
+              dst[oy * ow + ox] =
+                  (iy >= 0 && iy < h && ix >= 0 && ix < w)
+                      ? input.At4(ni, c, iy, ix)
+                      : 0.0f;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  Tensor out({n, out_channels_, oh, ow});
+  const float* wdata = weight_->value.data();
+  for (int ni = 0; ni < n; ++ni) {
+    const float* col_base =
+        cols_.data() + static_cast<std::size_t>(ni) * col_rows * col_cols;
+    for (int oc = 0; oc < out_channels_; ++oc) {
+      const float* wrow =
+          wdata + static_cast<std::size_t>(oc) * col_rows;
+      const float b = bias_->value[static_cast<std::size_t>(oc)];
+      float* orow = out.data() + ((static_cast<std::size_t>(ni) *
+                                       out_channels_ +
+                                   oc) *
+                                  static_cast<std::size_t>(col_cols));
+      for (int p = 0; p < col_cols; ++p) orow[p] = b;
+      for (int r = 0; r < col_rows; ++r) {
+        const float wv = wrow[r];
+        if (wv == 0.0f) continue;
+        const float* crow = col_base + static_cast<std::size_t>(r) * col_cols;
+        for (int p = 0; p < col_cols; ++p) orow[p] += wv * crow[p];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2D::Backward(const Tensor& grad_output) {
+  SNOR_CHECK(!input_shape_.empty());
+  const int n = input_shape_[0];
+  const int h = input_shape_[2];
+  const int w = input_shape_[3];
+  const int oh = grad_output.dim(2);
+  const int ow = grad_output.dim(3);
+  const int k2 = kernel_ * kernel_;
+  const int col_rows = in_channels_ * k2;
+  const int col_cols = oh * ow;
+
+  float* dw = weight_->grad.data();
+  float* db = bias_->grad.data();
+  Tensor grad_input(input_shape_);
+
+  std::vector<float> dcol(static_cast<std::size_t>(col_rows) * col_cols);
+  for (int ni = 0; ni < n; ++ni) {
+    const float* col_base =
+        cols_.data() + static_cast<std::size_t>(ni) * col_rows * col_cols;
+    // dW and db.
+    for (int oc = 0; oc < out_channels_; ++oc) {
+      const float* grow =
+          grad_output.data() +
+          ((static_cast<std::size_t>(ni) * out_channels_ + oc) *
+           static_cast<std::size_t>(col_cols));
+      double bias_acc = 0.0;
+      for (int p = 0; p < col_cols; ++p) bias_acc += grow[p];
+      db[oc] += static_cast<float>(bias_acc);
+      float* dwrow = dw + static_cast<std::size_t>(oc) * col_rows;
+      for (int r = 0; r < col_rows; ++r) {
+        const float* crow = col_base + static_cast<std::size_t>(r) * col_cols;
+        double acc = 0.0;
+        for (int p = 0; p < col_cols; ++p) acc += grow[p] * crow[p];
+        dwrow[r] += static_cast<float>(acc);
+      }
+    }
+    // dcol = W^T * grad.
+    std::fill(dcol.begin(), dcol.end(), 0.0f);
+    const float* wdata = weight_->value.data();
+    for (int oc = 0; oc < out_channels_; ++oc) {
+      const float* grow =
+          grad_output.data() +
+          ((static_cast<std::size_t>(ni) * out_channels_ + oc) *
+           static_cast<std::size_t>(col_cols));
+      const float* wrow = wdata + static_cast<std::size_t>(oc) * col_rows;
+      for (int r = 0; r < col_rows; ++r) {
+        const float wv = wrow[r];
+        if (wv == 0.0f) continue;
+        float* drow = dcol.data() + static_cast<std::size_t>(r) * col_cols;
+        for (int p = 0; p < col_cols; ++p) drow[p] += wv * grow[p];
+      }
+    }
+    // col2im.
+    for (int c = 0; c < in_channels_; ++c) {
+      for (int ky = 0; ky < kernel_; ++ky) {
+        for (int kx = 0; kx < kernel_; ++kx) {
+          const int row = (c * kernel_ + ky) * kernel_ + kx;
+          const float* drow =
+              dcol.data() + static_cast<std::size_t>(row) * col_cols;
+          for (int oy = 0; oy < oh; ++oy) {
+            const int iy = oy * stride_ + ky - padding_;
+            if (iy < 0 || iy >= h) continue;
+            for (int ox = 0; ox < ow; ++ox) {
+              const int ix = ox * stride_ + kx - padding_;
+              if (ix < 0 || ix >= w) continue;
+              grad_input.At4(ni, c, iy, ix) += drow[oy * ow + ox];
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<std::shared_ptr<Parameter>> Conv2D::Params() {
+  return {weight_, bias_};
+}
+
+std::unique_ptr<Layer> Conv2D::CloneShared() const {
+  auto clone = std::unique_ptr<Conv2D>(new Conv2D());
+  clone->in_channels_ = in_channels_;
+  clone->out_channels_ = out_channels_;
+  clone->kernel_ = kernel_;
+  clone->stride_ = stride_;
+  clone->padding_ = padding_;
+  clone->weight_ = weight_;
+  clone->bias_ = bias_;
+  return clone;
+}
+
+// ---------------------------------------------------------- MaxPool2D --
+
+MaxPool2D::MaxPool2D(int kernel, int stride)
+    : kernel_(kernel), stride_(stride == 0 ? kernel : stride) {
+  SNOR_CHECK_GT(kernel_, 0);
+  SNOR_CHECK_GT(stride_, 0);
+}
+
+Tensor MaxPool2D::Forward(const Tensor& input, bool /*training*/) {
+  SNOR_CHECK_EQ(input.rank(), 4);
+  const int n = input.dim(0);
+  const int c = input.dim(1);
+  const int h = input.dim(2);
+  const int w = input.dim(3);
+  const int oh = (h - kernel_) / stride_ + 1;
+  const int ow = (w - kernel_) / stride_ + 1;
+  SNOR_CHECK_GT(oh, 0);
+  SNOR_CHECK_GT(ow, 0);
+
+  input_shape_ = input.shape();
+  Tensor out({n, c, oh, ow});
+  argmax_.assign(out.size(), 0);
+
+  std::size_t out_idx = 0;
+  for (int ni = 0; ni < n; ++ni) {
+    for (int ci = 0; ci < c; ++ci) {
+      for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox, ++out_idx) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (int ky = 0; ky < kernel_; ++ky) {
+            const int iy = oy * stride_ + ky;
+            for (int kx = 0; kx < kernel_; ++kx) {
+              const int ix = ox * stride_ + kx;
+              const std::size_t idx =
+                  ((static_cast<std::size_t>(ni) * c + ci) * h + iy) * w + ix;
+              const float v = input[idx];
+              if (v > best) {
+                best = v;
+                best_idx = idx;
+              }
+            }
+          }
+          out[out_idx] = best;
+          argmax_[out_idx] = best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2D::Backward(const Tensor& grad_output) {
+  SNOR_CHECK(!input_shape_.empty());
+  SNOR_CHECK_EQ(grad_output.size(), argmax_.size());
+  Tensor grad_input(input_shape_);
+  for (std::size_t i = 0; i < argmax_.size(); ++i) {
+    grad_input[argmax_[i]] += grad_output[i];
+  }
+  return grad_input;
+}
+
+std::unique_ptr<Layer> MaxPool2D::CloneShared() const {
+  return std::make_unique<MaxPool2D>(kernel_, stride_);
+}
+
+// --------------------------------------------------------------- ReLU --
+
+Tensor ReLU::Forward(const Tensor& input, bool /*training*/) {
+  Tensor out = input;
+  mask_.assign(input.size(), false);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out[i] > 0.0f) {
+      mask_[i] = true;
+    } else {
+      out[i] = 0.0f;
+    }
+  }
+  return out;
+}
+
+Tensor ReLU::Backward(const Tensor& grad_output) {
+  SNOR_CHECK_EQ(grad_output.size(), mask_.size());
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    if (!mask_[i]) grad[i] = 0.0f;
+  }
+  return grad;
+}
+
+std::unique_ptr<Layer> ReLU::CloneShared() const {
+  return std::make_unique<ReLU>();
+}
+
+// -------------------------------------------------------------- Dense --
+
+Dense::Dense(int in_features, int out_features, Rng& rng)
+    : in_features_(in_features), out_features_(out_features) {
+  SNOR_CHECK_GT(in_features, 0);
+  SNOR_CHECK_GT(out_features, 0);
+  Tensor w({out_features, in_features});
+  GlorotInit(w, in_features, out_features, rng);
+  weight_ = std::make_shared<Parameter>(std::move(w));
+  bias_ = std::make_shared<Parameter>(Tensor({out_features}));
+}
+
+Tensor Dense::Forward(const Tensor& input, bool /*training*/) {
+  SNOR_CHECK_EQ(input.rank(), 2);
+  SNOR_CHECK_EQ(input.dim(1), in_features_);
+  input_cache_ = input;
+  const int n = input.dim(0);
+  Tensor out({n, out_features_});
+  for (int ni = 0; ni < n; ++ni) {
+    for (int o = 0; o < out_features_; ++o) {
+      double acc = bias_->value[static_cast<std::size_t>(o)];
+      const float* wrow =
+          weight_->value.data() + static_cast<std::size_t>(o) * in_features_;
+      const float* irow =
+          input.data() + static_cast<std::size_t>(ni) * in_features_;
+      for (int i = 0; i < in_features_; ++i) acc += wrow[i] * irow[i];
+      out.At2(ni, o) = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+Tensor Dense::Backward(const Tensor& grad_output) {
+  SNOR_CHECK_EQ(grad_output.rank(), 2);
+  const int n = grad_output.dim(0);
+  Tensor grad_input({n, in_features_});
+  float* dw = weight_->grad.data();
+  float* db = bias_->grad.data();
+  for (int ni = 0; ni < n; ++ni) {
+    const float* grow =
+        grad_output.data() + static_cast<std::size_t>(ni) * out_features_;
+    const float* irow =
+        input_cache_.data() + static_cast<std::size_t>(ni) * in_features_;
+    float* girow =
+        grad_input.data() + static_cast<std::size_t>(ni) * in_features_;
+    for (int o = 0; o < out_features_; ++o) {
+      const float g = grow[o];
+      db[o] += g;
+      float* dwrow = dw + static_cast<std::size_t>(o) * in_features_;
+      const float* wrow =
+          weight_->value.data() + static_cast<std::size_t>(o) * in_features_;
+      for (int i = 0; i < in_features_; ++i) {
+        dwrow[i] += g * irow[i];
+        girow[i] += g * wrow[i];
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<std::shared_ptr<Parameter>> Dense::Params() {
+  return {weight_, bias_};
+}
+
+std::unique_ptr<Layer> Dense::CloneShared() const {
+  auto clone = std::unique_ptr<Dense>(new Dense());
+  clone->in_features_ = in_features_;
+  clone->out_features_ = out_features_;
+  clone->weight_ = weight_;
+  clone->bias_ = bias_;
+  return clone;
+}
+
+// ------------------------------------------------------------ Flatten --
+
+Tensor Flatten::Forward(const Tensor& input, bool /*training*/) {
+  SNOR_CHECK_GE(input.rank(), 2);
+  input_shape_ = input.shape();
+  int features = 1;
+  for (int i = 1; i < input.rank(); ++i) features *= input.dim(i);
+  return input.Reshaped({input.dim(0), features});
+}
+
+Tensor Flatten::Backward(const Tensor& grad_output) {
+  SNOR_CHECK(!input_shape_.empty());
+  return grad_output.Reshaped(input_shape_);
+}
+
+std::unique_ptr<Layer> Flatten::CloneShared() const {
+  return std::make_unique<Flatten>();
+}
+
+// ------------------------------------------------------------ Dropout --
+
+Dropout::Dropout(double p, std::uint64_t seed) : p_(p), rng_(seed) {
+  SNOR_CHECK(p >= 0.0 && p < 1.0);
+}
+
+Tensor Dropout::Forward(const Tensor& input, bool training) {
+  if (!training || p_ == 0.0) {
+    mask_.assign(input.size(), 1.0f);
+    return input;
+  }
+  Tensor out = input;
+  mask_.resize(input.size());
+  const float scale = static_cast<float>(1.0 / (1.0 - p_));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (rng_.Bernoulli(p_)) {
+      mask_[i] = 0.0f;
+      out[i] = 0.0f;
+    } else {
+      mask_[i] = scale;
+      out[i] *= scale;
+    }
+  }
+  return out;
+}
+
+Tensor Dropout::Backward(const Tensor& grad_output) {
+  SNOR_CHECK_EQ(grad_output.size(), mask_.size());
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) grad[i] *= mask_[i];
+  return grad;
+}
+
+std::unique_ptr<Layer> Dropout::CloneShared() const {
+  return std::make_unique<Dropout>(p_, rng_.NextU64());
+}
+
+}  // namespace snor

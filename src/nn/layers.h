@@ -1,0 +1,124 @@
+#ifndef SNOR_NN_LAYERS_H_
+#define SNOR_NN_LAYERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace snor {
+
+/// \brief 2-D convolution over NCHW tensors (im2col implementation).
+class Conv2D : public Layer {
+ public:
+  /// Creates the layer with Glorot-initialized weights.
+  Conv2D(int in_channels, int out_channels, int kernel, int stride,
+         int padding, Rng& rng);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<std::shared_ptr<Parameter>> Params() override;
+  std::unique_ptr<Layer> CloneShared() const override;
+  std::string name() const override { return "Conv2D"; }
+
+  int out_channels() const { return out_channels_; }
+
+ private:
+  Conv2D() = default;
+
+  int in_channels_ = 0;
+  int out_channels_ = 0;
+  int kernel_ = 0;
+  int stride_ = 1;
+  int padding_ = 0;
+  std::shared_ptr<Parameter> weight_;  // (out, in, k, k)
+  std::shared_ptr<Parameter> bias_;    // (out)
+
+  // Forward cache.
+  Tensor cols_;  // (N, in*k*k, oh*ow)
+  std::vector<int> input_shape_;
+};
+
+/// \brief Max pooling over NCHW tensors.
+class MaxPool2D : public Layer {
+ public:
+  explicit MaxPool2D(int kernel, int stride = 0);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::unique_ptr<Layer> CloneShared() const override;
+  std::string name() const override { return "MaxPool2D"; }
+
+ private:
+  int kernel_;
+  int stride_;
+  std::vector<int> input_shape_;
+  std::vector<std::size_t> argmax_;  // Flat input index per output element.
+};
+
+/// \brief Element-wise rectified linear unit.
+class ReLU : public Layer {
+ public:
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::unique_ptr<Layer> CloneShared() const override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  std::vector<bool> mask_;
+};
+
+/// \brief Fully connected layer over (N, features) tensors.
+class Dense : public Layer {
+ public:
+  Dense(int in_features, int out_features, Rng& rng);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<std::shared_ptr<Parameter>> Params() override;
+  std::unique_ptr<Layer> CloneShared() const override;
+  std::string name() const override { return "Dense"; }
+
+ private:
+  Dense() = default;
+
+  int in_features_ = 0;
+  int out_features_ = 0;
+  std::shared_ptr<Parameter> weight_;  // (out, in)
+  std::shared_ptr<Parameter> bias_;    // (out)
+  Tensor input_cache_;
+};
+
+/// \brief Collapses all non-batch dimensions: (N, ...) -> (N, prod).
+class Flatten : public Layer {
+ public:
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::unique_ptr<Layer> CloneShared() const override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  std::vector<int> input_shape_;
+};
+
+/// \brief Inverted dropout: at train time zeroes activations with
+/// probability p and scales survivors by 1/(1-p); identity at eval time.
+class Dropout : public Layer {
+ public:
+  explicit Dropout(double p, std::uint64_t seed = 0xD20);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::unique_ptr<Layer> CloneShared() const override;
+  std::string name() const override { return "Dropout"; }
+
+ private:
+  double p_;
+  mutable Rng rng_;  // Mutable so CloneShared (const) can derive a seed.
+  std::vector<float> mask_;
+};
+
+}  // namespace snor
+
+#endif  // SNOR_NN_LAYERS_H_

@@ -1,0 +1,59 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace snor {
+
+Tensor Softmax(const Tensor& logits) {
+  SNOR_CHECK_EQ(logits.rank(), 2);
+  const int n = logits.dim(0);
+  const int k = logits.dim(1);
+  Tensor probs({n, k});
+  for (int i = 0; i < n; ++i) {
+    float max_v = logits.At2(i, 0);
+    for (int j = 1; j < k; ++j) max_v = std::max(max_v, logits.At2(i, j));
+    double sum = 0.0;
+    for (int j = 0; j < k; ++j) {
+      const double e = std::exp(static_cast<double>(logits.At2(i, j)) - max_v);
+      probs.At2(i, j) = static_cast<float>(e);
+      sum += e;
+    }
+    for (int j = 0; j < k; ++j) {
+      probs.At2(i, j) = static_cast<float>(probs.At2(i, j) / sum);
+    }
+  }
+  return probs;
+}
+
+double SoftmaxCrossEntropy::Forward(const Tensor& logits,
+                                    const std::vector<int>& targets) {
+  SNOR_CHECK_EQ(logits.rank(), 2);
+  SNOR_CHECK_EQ(static_cast<std::size_t>(logits.dim(0)), targets.size());
+  probs_ = Softmax(logits);
+  targets_ = targets;
+  const int n = logits.dim(0);
+  double loss = 0.0;
+  // Note: class validity is checked against logits.dim(1) below.
+  for (int i = 0; i < n; ++i) {
+    const int t = targets[static_cast<std::size_t>(i)];
+    SNOR_CHECK(t >= 0 && t < logits.dim(1));
+    loss -= std::log(std::max(1e-12, static_cast<double>(probs_.At2(i, t))));
+  }
+  return loss / n;
+}
+
+Tensor SoftmaxCrossEntropy::Backward() const {
+  SNOR_CHECK(!probs_.empty());
+  const int n = probs_.dim(0);
+  Tensor grad = probs_;
+  for (int i = 0; i < n; ++i) {
+    grad.At2(i, targets_[static_cast<std::size_t>(i)]) -= 1.0f;
+  }
+  grad.Scale(1.0f / static_cast<float>(n));
+  return grad;
+}
+
+}  // namespace snor

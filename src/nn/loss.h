@@ -1,0 +1,37 @@
+#ifndef SNOR_NN_LOSS_H_
+#define SNOR_NN_LOSS_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace snor {
+
+/// \brief Fused softmax + categorical cross-entropy.
+///
+/// `Forward` takes raw logits of shape (N, classes) and integer targets;
+/// it returns the mean loss and stores the probabilities. `Backward`
+/// returns d loss / d logits (already divided by N).
+class SoftmaxCrossEntropy {
+ public:
+  /// Computes softmax probabilities and mean cross-entropy loss.
+  double Forward(const Tensor& logits, const std::vector<int>& targets);
+
+  /// Gradient w.r.t. the logits of the last Forward call.
+  Tensor Backward() const;
+
+  /// Probabilities from the last Forward call, shape (N, classes).
+  const Tensor& probabilities() const { return probs_; }
+
+ private:
+  Tensor probs_;
+  std::vector<int> targets_;
+};
+
+/// Softmax over the last dimension of a (N, classes) tensor (inference
+/// convenience).
+Tensor Softmax(const Tensor& logits);
+
+}  // namespace snor
+
+#endif  // SNOR_NN_LOSS_H_

@@ -1,0 +1,207 @@
+#include "nn/model.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace snor {
+namespace {
+
+Tensor RunLayers(std::vector<std::unique_ptr<Layer>>& layers,
+                 const Tensor& input, bool training) {
+  Tensor x = input;
+  for (auto& layer : layers) x = layer->Forward(x, training);
+  return x;
+}
+
+Tensor BackpropLayers(std::vector<std::unique_ptr<Layer>>& layers,
+                      const Tensor& grad) {
+  Tensor g = grad;
+  for (auto it = layers.rbegin(); it != layers.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+  return g;
+}
+
+}  // namespace
+
+XCorrModel::XCorrModel(const XCorrModelConfig& config)
+    : config_(config),
+      xcorr_(config.xcorr_patch, config.xcorr_search_y,
+             config.xcorr_search_x) {
+  Rng rng(config.seed);
+
+  // Shared trunk: conv5-pool2, conv5-pool2 (ReLU activations).
+  trunk_a_.push_back(std::make_unique<Conv2D>(
+      config.input_channels, config.trunk_conv1_channels, 5, 1, 2, rng));
+  trunk_a_.push_back(std::make_unique<ReLU>());
+  trunk_a_.push_back(std::make_unique<MaxPool2D>(2));
+  trunk_a_.push_back(std::make_unique<Conv2D>(config.trunk_conv1_channels,
+                                              config.trunk_conv2_channels, 5,
+                                              1, 2, rng));
+  trunk_a_.push_back(std::make_unique<ReLU>());
+  trunk_a_.push_back(std::make_unique<MaxPool2D>(2));
+  for (const auto& layer : trunk_a_) {
+    trunk_b_.push_back(layer->CloneShared());
+  }
+
+  const int merge_channels = config.merge == MergeKind::kNormXCorr
+                                 ? xcorr_.num_displacements()
+                                 : 1;
+  head_.push_back(std::make_unique<Conv2D>(
+      merge_channels, config.head_conv_channels, 3, 1, 1, rng));
+  head_.push_back(std::make_unique<ReLU>());
+  head_.push_back(std::make_unique<MaxPool2D>(2));
+
+  // Determine the flattened feature size with a dry run.
+  Tensor probe({1, config.input_channels, config.input_height,
+                config.input_width});
+  Tensor feat = RunLayers(trunk_a_, probe, /*training=*/false);
+  Tensor merged = MergeForward(feat, feat);
+  Tensor head_out = RunLayers(head_, merged, /*training=*/false);
+  int flat = 1;
+  for (int i = 1; i < head_out.rank(); ++i) flat *= head_out.dim(i);
+
+  head_.push_back(std::make_unique<Flatten>());
+  head_.push_back(std::make_unique<Dense>(flat, config.dense_units, rng));
+  head_.push_back(std::make_unique<ReLU>());
+  head_.push_back(std::make_unique<Dense>(config.dense_units, 2, rng));
+}
+
+Tensor XCorrModel::MergeForward(const Tensor& feat_a, const Tensor& feat_b) {
+  if (config_.merge == MergeKind::kNormXCorr) {
+    return xcorr_.Forward(feat_a, feat_b);
+  }
+  return cosine_.Forward(feat_a, feat_b);
+}
+
+Tensor XCorrModel::Forward(const Tensor& a, const Tensor& b, bool training) {
+  SNOR_CHECK_EQ(a.rank(), 4);
+  SNOR_CHECK(a.SameShape(b));
+  const Tensor feat_a = RunLayers(trunk_a_, a, training);
+  const Tensor feat_b = RunLayers(trunk_b_, b, training);
+  const Tensor merged = MergeForward(feat_a, feat_b);
+  return RunLayers(head_, merged, training);
+}
+
+void XCorrModel::Backward(const Tensor& grad_logits) {
+  const Tensor grad_merged = BackpropLayers(head_, grad_logits);
+  Tensor grad_a;
+  Tensor grad_b;
+  if (config_.merge == MergeKind::kNormXCorr) {
+    xcorr_.Backward(grad_merged, &grad_a, &grad_b);
+  } else {
+    cosine_.Backward(grad_merged, &grad_a, &grad_b);
+  }
+  BackpropLayers(trunk_a_, grad_a);
+  BackpropLayers(trunk_b_, grad_b);
+}
+
+std::vector<std::shared_ptr<Parameter>> XCorrModel::Params() {
+  std::vector<std::shared_ptr<Parameter>> params;
+  for (auto& layer : trunk_a_) {  // trunk_b_ shares these.
+    for (auto& p : layer->Params()) params.push_back(p);
+  }
+  for (auto& layer : head_) {
+    for (auto& p : layer->Params()) params.push_back(p);
+  }
+  return params;
+}
+
+std::size_t XCorrModel::NumParameters() {
+  std::size_t total = 0;
+  for (const auto& p : Params()) total += p->value.size();
+  return total;
+}
+
+namespace {
+constexpr char kMagic[8] = {'S', 'N', 'O', 'R', 'W', '0', '0', '1'};
+}  // namespace
+
+Status XCorrModel::Save(const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return Status::IoError("cannot open for writing: " + path);
+  file.write(kMagic, sizeof(kMagic));
+  const auto params = Params();
+  const std::uint32_t count = static_cast<std::uint32_t>(params.size());
+  file.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& p : params) {
+    const std::uint32_t rank = static_cast<std::uint32_t>(p->value.rank());
+    file.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+    for (int d = 0; d < p->value.rank(); ++d) {
+      const std::int32_t dim = p->value.dim(d);
+      file.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+    }
+    file.write(reinterpret_cast<const char*>(p->value.data()),
+               static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+  }
+  if (!file) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Status XCorrModel::Load(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IoError("cannot open for reading: " + path);
+  char magic[8];
+  file.read(magic, sizeof(magic));
+  if (!file || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IoError("bad weight-file magic: " + path);
+  }
+  std::uint32_t count = 0;
+  file.read(reinterpret_cast<char*>(&count), sizeof(count));
+  const auto params = Params();
+  if (count != params.size()) {
+    return Status::InvalidArgument(
+        StrFormat("weight count mismatch: file has %u, model has %zu",
+                  count, params.size()));
+  }
+  for (const auto& p : params) {
+    std::uint32_t rank = 0;
+    file.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+    if (rank != static_cast<std::uint32_t>(p->value.rank())) {
+      return Status::InvalidArgument("weight rank mismatch");
+    }
+    for (int d = 0; d < p->value.rank(); ++d) {
+      std::int32_t dim = 0;
+      file.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+      if (dim != p->value.dim(d)) {
+        return Status::InvalidArgument("weight shape mismatch");
+      }
+    }
+    file.read(reinterpret_cast<char*>(p->value.data()),
+              static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+    if (!file) return Status::IoError("truncated weight file: " + path);
+  }
+  return Status::OK();
+}
+
+Tensor ImageToTensor(const ImageU8& image) {
+  Tensor t({image.channels(), image.height(), image.width()});
+  float* out = t.data();
+  for (int c = 0; c < image.channels(); ++c) {
+    for (int y = 0; y < image.height(); ++y) {
+      for (int x = 0; x < image.width(); ++x) {
+        *out++ = image.at(y, x, c) / 255.0f;
+      }
+    }
+  }
+  return t;
+}
+
+Tensor StackBatch(const std::vector<const Tensor*>& items) {
+  SNOR_CHECK(!items.empty());
+  const Tensor& first = *items[0];
+  SNOR_CHECK_EQ(first.rank(), 3);
+  Tensor batch({static_cast<int>(items.size()), first.dim(0), first.dim(1),
+                first.dim(2)});
+  float* dst = batch.data();
+  for (const Tensor* item : items) {
+    SNOR_CHECK(item->SameShape(first));
+    std::memcpy(dst, item->data(), item->size() * sizeof(float));
+    dst += item->size();
+  }
+  return batch;
+}
+
+}  // namespace snor

@@ -1,0 +1,67 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace snor {
+
+void Optimizer::ZeroGrad(
+    const std::vector<std::shared_ptr<Parameter>>& params) {
+  for (const auto& p : params) p->grad.Fill(0.0f);
+}
+
+Sgd::Sgd(double lr, double momentum) : lr_(lr), momentum_(momentum) {
+  SNOR_CHECK_GT(lr, 0.0);
+  SNOR_CHECK_GE(momentum, 0.0);
+}
+
+void Sgd::Step(const std::vector<std::shared_ptr<Parameter>>& params) {
+  if (velocity_.size() != params.size()) {
+    velocity_.clear();
+    for (const auto& p : params) velocity_.emplace_back(p->value.shape());
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Parameter& p = *params[i];
+    Tensor& vel = velocity_[i];
+    for (std::size_t j = 0; j < p.value.size(); ++j) {
+      vel[j] = static_cast<float>(momentum_ * vel[j] - lr_ * p.grad[j]);
+      p.value[j] += vel[j];
+    }
+  }
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double eps, double decay)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps), decay_(decay) {
+  SNOR_CHECK_GT(lr, 0.0);
+}
+
+void Adam::Step(const std::vector<std::shared_ptr<Parameter>>& params) {
+  if (m_.size() != params.size()) {
+    m_.clear();
+    v_.clear();
+    for (const auto& p : params) {
+      m_.emplace_back(p->value.shape());
+      v_.emplace_back(p->value.shape());
+    }
+  }
+  ++t_;
+  const double lr_t = lr_ / (1.0 + decay_ * static_cast<double>(t_ - 1));
+  const double bc1 = 1.0 - std::pow(beta1_, t_);
+  const double bc2 = 1.0 - std::pow(beta2_, t_);
+
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Parameter& p = *params[i];
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (std::size_t j = 0; j < p.value.size(); ++j) {
+      const double g = p.grad[j];
+      m[j] = static_cast<float>(beta1_ * m[j] + (1.0 - beta1_) * g);
+      v[j] = static_cast<float>(beta2_ * v[j] + (1.0 - beta2_) * g * g);
+      const double m_hat = m[j] / bc1;
+      const double v_hat = v[j] / bc2;
+      p.value[j] -= static_cast<float>(lr_t * m_hat /
+                                       (std::sqrt(v_hat) + eps_));
+    }
+  }
+}
+
+}  // namespace snor

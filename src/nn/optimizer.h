@@ -1,0 +1,62 @@
+#ifndef SNOR_NN_OPTIMIZER_H_
+#define SNOR_NN_OPTIMIZER_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace snor {
+
+/// \brief Base interface for gradient-descent optimizers.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the accumulated gradients, then the caller
+  /// is expected to call ZeroGrad before the next accumulation.
+  virtual void Step(const std::vector<std::shared_ptr<Parameter>>& params) = 0;
+
+  /// Clears all gradient accumulators.
+  static void ZeroGrad(const std::vector<std::shared_ptr<Parameter>>& params);
+};
+
+/// \brief Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.0);
+
+  void Step(const std::vector<std::shared_ptr<Parameter>>& params) override;
+
+ private:
+  double lr_;
+  double momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// \brief Adam (Kingma & Ba) with Keras-style inverse-time learning-rate
+/// decay: lr_t = lr / (1 + decay * t). The paper trains with
+/// lr = 1e-4, decay = 1e-7.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double lr = 1e-4, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-7, double decay = 0.0);
+
+  void Step(const std::vector<std::shared_ptr<Parameter>>& params) override;
+
+  long step_count() const { return t_; }
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  double decay_;
+  long t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace snor
+
+#endif  // SNOR_NN_OPTIMIZER_H_

@@ -1,0 +1,68 @@
+#include "nn/tensor.h"
+
+#include <numeric>
+
+#include "util/string_util.h"
+
+namespace snor {
+namespace {
+
+std::size_t ShapeSize(const std::vector<int>& shape) {
+  std::size_t total = 1;
+  for (int d : shape) {
+    SNOR_CHECK_GT(d, 0);
+    total *= static_cast<std::size_t>(d);
+  }
+  return shape.empty() ? 0 : total;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<int> shape) : shape_(std::move(shape)) {
+  data_.assign(ShapeSize(shape_), 0.0f);
+}
+
+Tensor::Tensor(std::vector<int> shape, float fill) : shape_(std::move(shape)) {
+  data_.assign(ShapeSize(shape_), fill);
+}
+
+Tensor Tensor::FromVector(const std::vector<float>& values) {
+  Tensor t({static_cast<int>(values.size())});
+  std::copy(values.begin(), values.end(), t.data_.begin());
+  return t;
+}
+
+Tensor Tensor::Reshaped(std::vector<int> new_shape) const {
+  SNOR_CHECK_EQ(ShapeSize(new_shape), data_.size());
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Tensor::Add(const Tensor& other) {
+  SNOR_CHECK(SameShape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::Scale(float s) {
+  for (float& v : data_) v *= s;
+}
+
+double Tensor::Sum() const {
+  return std::accumulate(data_.begin(), data_.end(), 0.0);
+}
+
+std::string Tensor::ShapeToString() const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += StrFormat("%d", shape_[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace snor

@@ -1,0 +1,100 @@
+#ifndef SNOR_NN_TENSOR_H_
+#define SNOR_NN_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace snor {
+
+/// \brief Dense float32 tensor with row-major layout.
+///
+/// Convolutional activations use NCHW order: (batch, channels, height,
+/// width). The class is a plain value type; copies are deep.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Allocates a zero-filled tensor of the given shape.
+  explicit Tensor(std::vector<int> shape);
+
+  /// Allocates and fills with `fill`.
+  Tensor(std::vector<int> shape, float fill);
+
+  static Tensor Zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+
+  /// Builds a 1-D tensor from explicit values.
+  static Tensor FromVector(const std::vector<float>& values);
+
+  const std::vector<int>& shape() const { return shape_; }
+  int dim(int i) const {
+    SNOR_DCHECK(i >= 0 && i < static_cast<int>(shape_.size()));
+    return shape_[static_cast<std::size_t>(i)];
+  }
+  int rank() const { return static_cast<int>(shape_.size()); }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](std::size_t i) {
+    SNOR_DCHECK(i < data_.size());
+    return data_[i];
+  }
+  float operator[](std::size_t i) const {
+    SNOR_DCHECK(i < data_.size());
+    return data_[i];
+  }
+
+  /// 4-D (NCHW) accessor.
+  float& At4(int n, int c, int h, int w) {
+    SNOR_DCHECK(rank() == 4);
+    return data_[((static_cast<std::size_t>(n) * shape_[1] + c) * shape_[2] +
+                  h) *
+                     shape_[3] +
+                 w];
+  }
+  float At4(int n, int c, int h, int w) const {
+    return const_cast<Tensor*>(this)->At4(n, c, h, w);
+  }
+
+  /// 2-D accessor (rows, cols).
+  float& At2(int r, int c) {
+    SNOR_DCHECK(rank() == 2);
+    return data_[static_cast<std::size_t>(r) * shape_[1] + c];
+  }
+  float At2(int r, int c) const {
+    return const_cast<Tensor*>(this)->At2(r, c);
+  }
+
+  /// Reinterprets the data with a new shape of equal element count.
+  Tensor Reshaped(std::vector<int> new_shape) const;
+
+  /// Sets every element to `v`.
+  void Fill(float v);
+
+  /// Element-wise in-place addition; shapes must match.
+  void Add(const Tensor& other);
+
+  /// Multiplies every element by `s`.
+  void Scale(float s);
+
+  /// Sum of all elements.
+  double Sum() const;
+
+  /// "(2, 3, 4)" style shape string for diagnostics.
+  std::string ShapeToString() const;
+
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+ private:
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace snor
+
+#endif  // SNOR_NN_TENSOR_H_

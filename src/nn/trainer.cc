@@ -1,0 +1,119 @@
+#include "nn/trainer.h"
+
+#include <algorithm>
+
+#include "nn/loss.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace snor {
+
+XCorrTrainer::XCorrTrainer(XCorrModel* model, XCorrTrainOptions options)
+    : model_(model), options_(options) {
+  SNOR_CHECK(model != nullptr);
+  SNOR_CHECK_GT(options.batch_size, 0);
+  SNOR_CHECK_GT(options.max_epochs, 0);
+}
+
+std::vector<EpochStats> XCorrTrainer::Fit(const PairTensorDataset& data) {
+  SNOR_CHECK_GT(data.size(), 0u);
+  SNOR_CHECK_EQ(data.a.size(), data.labels.size());
+  SNOR_CHECK_EQ(data.b.size(), data.labels.size());
+
+  Adam optimizer(options_.learning_rate, 0.9, 0.999, 1e-7,
+                 options_.lr_decay);
+  const auto params = model_->Params();
+  SoftmaxCrossEntropy loss;
+  Rng rng(options_.shuffle_seed);
+
+  std::vector<std::size_t> order(data.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  std::vector<EpochStats> history;
+  double prev_loss = 0.0;
+  int stall_epochs = 0;
+
+  for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
+    rng.Shuffle(order);
+    double loss_sum = 0.0;
+    std::size_t correct = 0;
+    std::size_t batches = 0;
+
+    for (std::size_t begin = 0; begin < order.size();
+         begin += static_cast<std::size_t>(options_.batch_size)) {
+      const std::size_t end = std::min(
+          order.size(), begin + static_cast<std::size_t>(options_.batch_size));
+      std::vector<const Tensor*> batch_a;
+      std::vector<const Tensor*> batch_b;
+      std::vector<int> targets;
+      for (std::size_t i = begin; i < end; ++i) {
+        batch_a.push_back(&data.a[order[i]]);
+        batch_b.push_back(&data.b[order[i]]);
+        targets.push_back(data.labels[order[i]]);
+      }
+
+      Optimizer::ZeroGrad(params);
+      const Tensor logits = model_->Forward(StackBatch(batch_a),
+                                            StackBatch(batch_b),
+                                            /*training=*/true);
+      loss_sum += loss.Forward(logits, targets);
+      ++batches;
+      for (int i = 0; i < logits.dim(0); ++i) {
+        const int pred = logits.At2(i, 1) > logits.At2(i, 0) ? 1 : 0;
+        if (pred == targets[static_cast<std::size_t>(i)]) ++correct;
+      }
+      model_->Backward(loss.Backward());
+      optimizer.Step(params);
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.loss = loss_sum / static_cast<double>(batches);
+    stats.accuracy =
+        static_cast<double>(correct) / static_cast<double>(data.size());
+    history.push_back(stats);
+    if (options_.verbose) {
+      SNOR_LOG(Info) << "epoch " << epoch << " loss " << stats.loss
+                     << " acc " << stats.accuracy;
+    }
+
+    // Early stopping: loss decrease below epsilon for > patience epochs.
+    if (epoch > 0 && prev_loss - stats.loss < options_.early_stop_epsilon) {
+      ++stall_epochs;
+      if (stall_epochs > options_.early_stop_patience) break;
+    } else {
+      stall_epochs = 0;
+    }
+    prev_loss = stats.loss;
+  }
+  return history;
+}
+
+std::vector<int> PredictPairs(XCorrModel* model,
+                              const PairTensorDataset& data,
+                              int batch_size) {
+  SNOR_CHECK(model != nullptr);
+  SNOR_CHECK_GT(batch_size, 0);
+  std::vector<int> predictions;
+  predictions.reserve(data.size());
+  for (std::size_t begin = 0; begin < data.size();
+       begin += static_cast<std::size_t>(batch_size)) {
+    const std::size_t end =
+        std::min(data.size(), begin + static_cast<std::size_t>(batch_size));
+    std::vector<const Tensor*> batch_a;
+    std::vector<const Tensor*> batch_b;
+    for (std::size_t i = begin; i < end; ++i) {
+      batch_a.push_back(&data.a[i]);
+      batch_b.push_back(&data.b[i]);
+    }
+    const Tensor logits = model->Forward(StackBatch(batch_a),
+                                         StackBatch(batch_b),
+                                         /*training=*/false);
+    for (int i = 0; i < logits.dim(0); ++i) {
+      predictions.push_back(logits.At2(i, 1) > logits.At2(i, 0) ? 1 : 0);
+    }
+  }
+  return predictions;
+}
+
+}  // namespace snor

@@ -1,0 +1,64 @@
+#ifndef SNOR_NN_TRAINER_H_
+#define SNOR_NN_TRAINER_H_
+
+#include <vector>
+
+#include "nn/model.h"
+#include "nn/optimizer.h"
+
+namespace snor {
+
+/// \brief An image-pair dataset for the binary similar/dissimilar task.
+/// Parallel arrays; tensors are (C, H, W).
+struct PairTensorDataset {
+  std::vector<Tensor> a;
+  std::vector<Tensor> b;
+  std::vector<int> labels;  // 1 = similar, 0 = dissimilar.
+
+  std::size_t size() const { return labels.size(); }
+};
+
+/// \brief Training hyper-parameters for the Normalized-X-Corr model.
+/// Defaults mirror the paper's §3.4 (Adam lr 1e-4, decay 1e-7, batch 16,
+/// up to 100 epochs, early stop when the loss decrease stays below 1e-6
+/// for more than 10 consecutive epochs).
+struct XCorrTrainOptions {
+  int batch_size = 16;
+  int max_epochs = 100;
+  double learning_rate = 1e-4;
+  double lr_decay = 1e-7;
+  double early_stop_epsilon = 1e-6;
+  int early_stop_patience = 10;
+  std::uint64_t shuffle_seed = 1234;
+  bool verbose = false;
+};
+
+/// Per-epoch training statistics.
+struct EpochStats {
+  int epoch = 0;
+  double loss = 0.0;
+  double accuracy = 0.0;
+};
+
+/// \brief Mini-batch trainer with shuffling and early stopping.
+class XCorrTrainer {
+ public:
+  XCorrTrainer(XCorrModel* model, XCorrTrainOptions options);
+
+  /// Trains until max_epochs or early stopping; returns per-epoch stats.
+  std::vector<EpochStats> Fit(const PairTensorDataset& data);
+
+ private:
+  XCorrModel* model_;
+  XCorrTrainOptions options_;
+};
+
+/// Runs inference over a pair dataset; returns the predicted class
+/// (1 = similar) per pair, batched for efficiency.
+std::vector<int> PredictPairs(XCorrModel* model,
+                              const PairTensorDataset& data,
+                              int batch_size = 32);
+
+}  // namespace snor
+
+#endif  // SNOR_NN_TRAINER_H_

@@ -1,0 +1,214 @@
+#include "nn/xcorr.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace snor {
+namespace {
+
+constexpr float kEps = 1e-8f;
+
+}  // namespace
+
+NormXCorrLayer::NormXCorrLayer(int patch, int search_y, int search_x)
+    : patch_(patch), search_y_(search_y), search_x_(search_x) {
+  SNOR_CHECK_GT(patch, 0);
+  SNOR_CHECK_EQ(patch % 2, 1);
+  SNOR_CHECK_GE(search_y, 0);
+  SNOR_CHECK_GE(search_x, 0);
+}
+
+NormXCorrLayer::PatchStats NormXCorrLayer::ComputeStats(const Tensor& t,
+                                                        int n, int cy,
+                                                        int cx) const {
+  const int c = t.dim(1);
+  const int h = t.dim(2);
+  const int w = t.dim(3);
+  const int r = patch_ / 2;
+  const int len = c * patch_ * patch_;
+
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int ci = 0; ci < c; ++ci) {
+    for (int dy = -r; dy <= r; ++dy) {
+      const int y = cy + dy;
+      if (y < 0 || y >= h) continue;  // Zero contributes nothing.
+      for (int dx = -r; dx <= r; ++dx) {
+        const int x = cx + dx;
+        if (x < 0 || x >= w) continue;
+        const double v = t.At4(n, ci, y, x);
+        sum += v;
+        sum_sq += v * v;
+      }
+    }
+  }
+  const double mean = sum / len;
+  const double var = sum_sq / len - mean * mean;
+  PatchStats stats;
+  stats.mean = static_cast<float>(mean);
+  stats.inv_std = static_cast<float>(1.0 / std::sqrt(std::max(var, 0.0) +
+                                                     kEps));
+  return stats;
+}
+
+Tensor NormXCorrLayer::Forward(const Tensor& a, const Tensor& b) {
+  SNOR_CHECK_EQ(a.rank(), 4);
+  SNOR_CHECK(a.SameShape(b));
+  a_cache_ = a;
+  b_cache_ = b;
+
+  const int n = a.dim(0);
+  const int c = a.dim(1);
+  const int h = a.dim(2);
+  const int w = a.dim(3);
+  const int r = patch_ / 2;
+  const int len = c * patch_ * patch_;
+  const float inv_len = 1.0f / static_cast<float>(len);
+
+  Tensor out({n, num_displacements(), h, w});
+
+  for (int ni = 0; ni < n; ++ni) {
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        const PatchStats sa = ComputeStats(a, ni, y, x);
+        int d = 0;
+        for (int sy = -search_y_; sy <= search_y_; ++sy) {
+          for (int sx = -search_x_; sx <= search_x_; ++sx, ++d) {
+            const int by = y + sy;
+            const int bx = x + sx;
+            const PatchStats sb = ComputeStats(b, ni, by, bx);
+            // Correlate normalized patches (zeros outside the image).
+            double acc = 0.0;
+            for (int ci = 0; ci < c; ++ci) {
+              for (int py = -r; py <= r; ++py) {
+                for (int px = -r; px <= r; ++px) {
+                  const int ay = y + py;
+                  const int ax = x + px;
+                  const float av =
+                      (ay >= 0 && ay < h && ax >= 0 && ax < w)
+                          ? a.At4(ni, ci, ay, ax)
+                          : 0.0f;
+                  const int byy = by + py;
+                  const int bxx = bx + px;
+                  const float bv =
+                      (byy >= 0 && byy < h && bxx >= 0 && bxx < w)
+                          ? b.At4(ni, ci, byy, bxx)
+                          : 0.0f;
+                  acc += static_cast<double>((av - sa.mean) * sa.inv_std) *
+                         ((bv - sb.mean) * sb.inv_std);
+                }
+              }
+            }
+            out.At4(ni, d, y, x) = static_cast<float>(acc) * inv_len;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void NormXCorrLayer::Backward(const Tensor& grad_output, Tensor* grad_a,
+                              Tensor* grad_b) {
+  SNOR_CHECK(grad_a != nullptr && grad_b != nullptr);
+  SNOR_CHECK(!a_cache_.empty());
+  const Tensor& a = a_cache_;
+  const Tensor& b = b_cache_;
+  const int n = a.dim(0);
+  const int c = a.dim(1);
+  const int h = a.dim(2);
+  const int w = a.dim(3);
+  const int r = patch_ / 2;
+  const int len = c * patch_ * patch_;
+  const float inv_len = 1.0f / static_cast<float>(len);
+
+  *grad_a = Tensor(a.shape());
+  *grad_b = Tensor(b.shape());
+
+  // Scratch buffers for one patch pair.
+  std::vector<float> ahat(static_cast<std::size_t>(len));
+  std::vector<float> bhat(static_cast<std::size_t>(len));
+
+  for (int ni = 0; ni < n; ++ni) {
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        const PatchStats sa = ComputeStats(a, ni, y, x);
+        int d = 0;
+        for (int sy = -search_y_; sy <= search_y_; ++sy) {
+          for (int sx = -search_x_; sx <= search_x_; ++sx, ++d) {
+            const float g = grad_output.At4(ni, d, y, x);
+            if (g == 0.0f) continue;
+            const int by = y + sy;
+            const int bx = x + sx;
+            const PatchStats sb = ComputeStats(b, ni, by, bx);
+
+            // Gather normalized patches and the correlation value.
+            double acc = 0.0;
+            double sum_ahat = 0.0;
+            double sum_bhat = 0.0;
+            int idx = 0;
+            for (int ci = 0; ci < c; ++ci) {
+              for (int py = -r; py <= r; ++py) {
+                for (int px = -r; px <= r; ++px, ++idx) {
+                  const int ay = y + py;
+                  const int ax = x + px;
+                  const float av =
+                      (ay >= 0 && ay < h && ax >= 0 && ax < w)
+                          ? a.At4(ni, ci, ay, ax)
+                          : 0.0f;
+                  const int byy = by + py;
+                  const int bxx = bx + px;
+                  const float bv =
+                      (byy >= 0 && byy < h && bxx >= 0 && bxx < w)
+                          ? b.At4(ni, ci, byy, bxx)
+                          : 0.0f;
+                  const float ah = (av - sa.mean) * sa.inv_std;
+                  const float bh = (bv - sb.mean) * sb.inv_std;
+                  ahat[static_cast<std::size_t>(idx)] = ah;
+                  bhat[static_cast<std::size_t>(idx)] = bh;
+                  acc += static_cast<double>(ah) * bh;
+                  sum_ahat += ah;
+                  sum_bhat += bh;
+                }
+              }
+            }
+            const float out_val = static_cast<float>(acc) * inv_len;
+            const float mean_bhat =
+                static_cast<float>(sum_bhat) * inv_len;
+            const float mean_ahat =
+                static_cast<float>(sum_ahat) * inv_len;
+
+            // d out / d a_j = (1/(L*sigma_a)) (bhat_j - mean(bhat)
+            //                                   - out * ahat_j); same for b.
+            const float ka = g * inv_len * sa.inv_std;
+            const float kb = g * inv_len * sb.inv_std;
+            idx = 0;
+            for (int ci = 0; ci < c; ++ci) {
+              for (int py = -r; py <= r; ++py) {
+                for (int px = -r; px <= r; ++px, ++idx) {
+                  const float ah = ahat[static_cast<std::size_t>(idx)];
+                  const float bh = bhat[static_cast<std::size_t>(idx)];
+                  const int ay = y + py;
+                  const int ax = x + px;
+                  if (ay >= 0 && ay < h && ax >= 0 && ax < w) {
+                    grad_a->At4(ni, ci, ay, ax) +=
+                        ka * (bh - mean_bhat - out_val * ah);
+                  }
+                  const int byy = by + py;
+                  const int bxx = bx + px;
+                  if (byy >= 0 && byy < h && bxx >= 0 && bxx < w) {
+                    grad_b->At4(ni, ci, byy, bxx) +=
+                        kb * (ah - mean_ahat - out_val * bh);
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace snor

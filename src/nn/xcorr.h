@@ -1,0 +1,60 @@
+#ifndef SNOR_NN_XCORR_H_
+#define SNOR_NN_XCORR_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace snor {
+
+/// \brief Normalized cross-correlation merge layer (Subramaniam et al.,
+/// NeurIPS 2016), the inexact-matching core of the paper's fifth pipeline.
+///
+/// Given two feature maps A and B of shape (N, C, H, W), for every spatial
+/// location (y, x) and every displacement (dy, dx) in the search window it
+/// correlates the mean/std-normalized patch of A centred at (y, x) with the
+/// normalized patch of B centred at (y+dy, x+dx):
+///
+///   out(n, d, y, x) = (1/L) * sum_i  hat(a)_i * hat(b)_i,
+///   hat(v)_i = (v_i - mean(v)) / sqrt(var(v) + eps),   L = C*patch^2.
+///
+/// Output shape: (N, D, H, W) with D = (2*search_y+1) * (2*search_x+1).
+/// Unlike plain correlation, the normalization makes the response robust
+/// to illumination/viewpoint changes — the property the paper relies on.
+/// Patches are zero-padded at the borders.
+class NormXCorrLayer {
+ public:
+  /// `patch` must be odd; `search_y`/`search_x` are displacement radii.
+  NormXCorrLayer(int patch, int search_y, int search_x);
+
+  /// Number of displacement channels D.
+  int num_displacements() const {
+    return (2 * search_y_ + 1) * (2 * search_x_ + 1);
+  }
+
+  /// Computes the correlation volume; caches inputs for Backward.
+  Tensor Forward(const Tensor& a, const Tensor& b);
+
+  /// Backpropagates through the last Forward; returns gradients w.r.t.
+  /// both inputs.
+  void Backward(const Tensor& grad_output, Tensor* grad_a, Tensor* grad_b);
+
+ private:
+  struct PatchStats {
+    float mean = 0.0f;
+    float inv_std = 1.0f;  // 1 / sqrt(var + eps)
+  };
+
+  PatchStats ComputeStats(const Tensor& t, int n, int cy, int cx) const;
+
+  int patch_;
+  int search_y_;
+  int search_x_;
+
+  Tensor a_cache_;
+  Tensor b_cache_;
+};
+
+}  // namespace snor
+
+#endif  // SNOR_NN_XCORR_H_

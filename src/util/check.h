@@ -1,0 +1,45 @@
+#ifndef SNOR_UTIL_CHECK_H_
+#define SNOR_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Invariant-checking macros. `SNOR_CHECK` fires in all build modes and is
+/// reserved for programming errors (broken invariants), never for
+/// recoverable conditions — those return `snor::Status` instead.
+
+#define SNOR_CHECK(cond)                                                  \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "FATAL %s:%d: check failed: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#define SNOR_CHECK_MSG(cond, msg)                                         \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "FATAL %s:%d: check failed: %s (%s)\n",        \
+                   __FILE__, __LINE__, #cond, (msg));                     \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#define SNOR_CHECK_EQ(a, b) SNOR_CHECK((a) == (b))
+#define SNOR_CHECK_NE(a, b) SNOR_CHECK((a) != (b))
+#define SNOR_CHECK_LT(a, b) SNOR_CHECK((a) < (b))
+#define SNOR_CHECK_LE(a, b) SNOR_CHECK((a) <= (b))
+#define SNOR_CHECK_GT(a, b) SNOR_CHECK((a) > (b))
+#define SNOR_CHECK_GE(a, b) SNOR_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define SNOR_DCHECK(cond) \
+  do {                    \
+  } while (false)
+#else
+#define SNOR_DCHECK(cond) SNOR_CHECK(cond)
+#endif
+
+#endif  // SNOR_UTIL_CHECK_H_

@@ -1,0 +1,59 @@
+#include "util/csv.h"
+
+#include <fstream>
+
+#include "util/check.h"
+
+namespace snor {
+namespace {
+
+std::string EscapeField(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void AppendRow(const std::vector<std::string>& cells, std::string& out) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out += ',';
+    out += EscapeField(cells[i]);
+  }
+  out += '\n';
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  SNOR_CHECK(!header_.empty());
+}
+
+void CsvWriter::AddRow(std::vector<std::string> cells) {
+  SNOR_CHECK_EQ(cells.size(), header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  AppendRow(header_, out);
+  for (const auto& row : rows_) AppendRow(row, out);
+  return out;
+}
+
+Status CsvWriter::WriteFile(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return Status::IoError("cannot open for writing: " + path);
+  const std::string text = ToString();
+  file.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!file) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace snor

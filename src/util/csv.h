@@ -1,0 +1,36 @@
+#ifndef SNOR_UTIL_CSV_H_
+#define SNOR_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace snor {
+
+/// \brief Minimal CSV writer for exporting experiment results.
+///
+/// Fields containing commas, quotes, or newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Serializes header + rows to CSV text.
+  std::string ToString() const;
+
+  /// Writes the CSV to `path`.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace snor
+
+#endif  // SNOR_UTIL_CSV_H_

@@ -1,0 +1,49 @@
+#ifndef SNOR_UTIL_LOGGING_H_
+#define SNOR_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace snor {
+
+/// \brief Severity of a log record; records below the global threshold are
+/// discarded.
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError };
+
+/// Sets the global logging threshold (default: kInfo).
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global logging threshold.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log record; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace snor
+
+#define SNOR_LOG(level)                                              \
+  ::snor::internal::LogMessage(::snor::LogLevel::k##level, __FILE__, \
+                               __LINE__)
+
+#endif  // SNOR_UTIL_LOGGING_H_

@@ -1,0 +1,39 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+
+namespace snor {
+
+int DefaultThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
+                 int n_threads) {
+  if (n == 0) return;
+  if (n_threads <= 0) n_threads = DefaultThreadCount();
+  n_threads = std::min<int>(n_threads, static_cast<int>(n));
+
+  // Small batches or single-threaded: run inline (identical semantics).
+  if (n_threads <= 1 || n < 16) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(n_threads));
+  for (int t = 0; t < n_threads; ++t) {
+    workers.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        fn(i);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace snor

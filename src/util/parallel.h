@@ -1,0 +1,26 @@
+#ifndef SNOR_UTIL_PARALLEL_H_
+#define SNOR_UTIL_PARALLEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace snor {
+
+/// Number of worker threads to use by default (hardware concurrency,
+/// at least 1).
+int DefaultThreadCount();
+
+/// Runs `fn(i)` for every i in [0, n) across `n_threads` workers using
+/// dynamic (atomic-counter) scheduling. `fn` must be safe to call
+/// concurrently for distinct indices; results must be written to
+/// per-index slots. Runs inline when n_threads <= 1 or n is small, so
+/// output is bit-identical regardless of thread count.
+void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
+                 int n_threads = 0);
+
+}  // namespace snor
+
+#endif  // SNOR_UTIL_PARALLEL_H_

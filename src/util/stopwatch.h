@@ -1,0 +1,31 @@
+#ifndef SNOR_UTIL_STOPWATCH_H_
+#define SNOR_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace snor {
+
+/// \brief Monotonic wall-clock timer for coarse experiment timing.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the timer.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace snor
+
+#endif  // SNOR_UTIL_STOPWATCH_H_

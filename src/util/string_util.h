@@ -1,0 +1,33 @@
+#ifndef SNOR_UTIL_STRING_UTIL_H_
+#define SNOR_UTIL_STRING_UTIL_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace snor {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Splits `text` on `delim`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view text, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string StrTrim(std::string_view text);
+
+/// True when `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Lower-cases ASCII letters.
+std::string AsciiToLower(std::string_view text);
+
+}  // namespace snor
+
+#endif  // SNOR_UTIL_STRING_UTIL_H_

@@ -1,0 +1,47 @@
+#ifndef SNOR_UTIL_TABLE_H_
+#define SNOR_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace snor {
+
+/// \brief Fixed-width plain-text table, used by the bench harnesses to print
+/// paper-style result tables.
+///
+/// Usage:
+/// \code
+///   TablePrinter t({"Approach", "Accuracy"});
+///   t.AddRow({"Baseline", "0.10"});
+///   t.Print(std::cout);
+/// \endcode
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Optional caption printed above the table.
+  void SetTitle(std::string title) { title_ = std::move(title); }
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 5);
+
+  /// Renders the table with column-aligned cells and rules.
+  void Print(std::ostream& os) const;
+
+  /// Renders to a string (used in tests).
+  std::string ToString() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace snor
+
+#endif  // SNOR_UTIL_TABLE_H_

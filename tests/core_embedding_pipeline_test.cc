@@ -1,0 +1,84 @@
+#include "core/embedding_pipeline.h"
+
+#include <gtest/gtest.h>
+
+namespace snor {
+namespace {
+
+EmbeddingPipelineConfig TinyConfig() {
+  EmbeddingPipelineConfig config;
+  config.model.input_height = 16;
+  config.model.input_width = 16;
+  config.model.conv1_channels = 4;
+  config.model.conv2_channels = 6;
+  config.model.embedding_dim = 16;
+  config.triplets_per_epoch = 64;
+  config.max_epochs = 3;
+  return config;
+}
+
+DatasetOptions SmallData() {
+  DatasetOptions opts;
+  opts.canvas_size = 48;
+  return opts;
+}
+
+TEST(EmbeddingPipelineTest, TrainingReducesActiveTriplets) {
+  EmbeddingPipeline pipeline(TinyConfig());
+  const Dataset sns2 = MakeShapeNetSet2(SmallData());
+  const auto history = pipeline.Train(sns2);
+  ASSERT_EQ(history.size(), 3u);
+  // The loss decreases (or at least does not explode) over training.
+  EXPECT_LE(history.back().loss, history.front().loss + 0.05);
+  for (const auto& epoch : history) {
+    EXPECT_GE(epoch.active_fraction, 0.0);
+    EXPECT_LE(epoch.active_fraction, 1.0);
+  }
+}
+
+TEST(EmbeddingPipelineTest, GalleryClassification) {
+  EmbeddingPipeline pipeline(TinyConfig());
+  const Dataset sns2 = MakeShapeNetSet2(SmallData());
+  pipeline.Train(sns2);
+  const Dataset sns1 = MakeShapeNetSet1(SmallData());
+  pipeline.BuildGallery(sns1);
+  EXPECT_EQ(pipeline.gallery().size(), 82u);
+
+  // Classifying gallery items against themselves is perfect (distance 0).
+  int correct = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (pipeline.Classify(sns1.items[static_cast<std::size_t>(i)].image) ==
+        sns1.items[static_cast<std::size_t>(i)].label) {
+      ++correct;
+    }
+  }
+  EXPECT_EQ(correct, 20);
+}
+
+TEST(EmbeddingPipelineTest, CrossSetEvaluationBeatsChance) {
+  EmbeddingPipelineConfig config = TinyConfig();
+  config.max_epochs = 6;
+  config.triplets_per_epoch = 128;
+  EmbeddingPipeline pipeline(config);
+  const Dataset sns2 = MakeShapeNetSet2(SmallData());
+  pipeline.Train(sns2);
+  pipeline.BuildGallery(sns2);
+  const Dataset sns1 = MakeShapeNetSet1(SmallData());
+  const EvalReport report = pipeline.EvaluateOn(sns1);
+  EXPECT_GT(report.cumulative_accuracy, 0.12);
+  EXPECT_EQ(report.total, 82);
+}
+
+TEST(EmbeddingPipelineTest, EmbeddingsAreUnitNorm) {
+  EmbeddingPipeline pipeline(TinyConfig());
+  const Dataset sns1 = MakeShapeNetSet1(SmallData());
+  pipeline.BuildGallery(sns1);
+  for (const auto& entry : pipeline.gallery()) {
+    double norm = 0;
+    for (float v : entry.embedding) norm += static_cast<double>(v) * v;
+    EXPECT_NEAR(norm, 1.0, 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace snor

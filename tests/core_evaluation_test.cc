@@ -1,0 +1,122 @@
+#include "core/evaluation.h"
+
+#include <gtest/gtest.h>
+
+namespace snor {
+namespace {
+
+ObjectClass C(int i) { return ClassFromIndex(i); }
+
+TEST(EvaluateTest, PerfectPredictions) {
+  const std::vector<ObjectClass> truth = {C(0), C(1), C(2), C(0)};
+  const EvalReport report = Evaluate(truth, truth);
+  EXPECT_DOUBLE_EQ(report.cumulative_accuracy, 1.0);
+  EXPECT_EQ(report.total, 4);
+  EXPECT_DOUBLE_EQ(report.per_class[0].recall, 1.0);
+  EXPECT_EQ(report.per_class[0].support, 2);
+  EXPECT_EQ(report.per_class[0].true_positives, 2);
+}
+
+TEST(EvaluateTest, AllWrong) {
+  const std::vector<ObjectClass> truth = {C(0), C(0)};
+  const std::vector<ObjectClass> pred = {C(1), C(2)};
+  const EvalReport report = Evaluate(truth, pred);
+  EXPECT_DOUBLE_EQ(report.cumulative_accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(report.per_class[0].recall, 0.0);
+  EXPECT_DOUBLE_EQ(report.per_class[0].f1_paper, 0.0);
+}
+
+TEST(EvaluateTest, ConfusionMatrixEntries) {
+  const std::vector<ObjectClass> truth = {C(0), C(0), C(1)};
+  const std::vector<ObjectClass> pred = {C(0), C(1), C(1)};
+  const EvalReport report = Evaluate(truth, pred);
+  EXPECT_EQ(report.confusion[0][0], 1);
+  EXPECT_EQ(report.confusion[0][1], 1);
+  EXPECT_EQ(report.confusion[1][1], 1);
+  EXPECT_EQ(report.confusion[1][0], 0);
+}
+
+TEST(EvaluateTest, PaperStylePrecisionUsesTotal) {
+  // 10 samples, class 0 has 4, of which 3 correctly recalled.
+  std::vector<ObjectClass> truth;
+  std::vector<ObjectClass> pred;
+  for (int i = 0; i < 4; ++i) truth.push_back(C(0));
+  for (int i = 0; i < 6; ++i) truth.push_back(C(1));
+  pred = truth;
+  pred[0] = C(1);  // One chair misclassified.
+  const EvalReport report = Evaluate(truth, pred);
+  EXPECT_DOUBLE_EQ(report.per_class[0].recall, 3.0 / 4.0);
+  EXPECT_DOUBLE_EQ(report.per_class[0].precision_paper, 3.0 / 10.0);
+  EXPECT_DOUBLE_EQ(report.per_class[0].precision_std, 1.0);  // 3 of 3.
+  // Paper F1 = harmonic mean of 0.3 and 0.75.
+  EXPECT_NEAR(report.per_class[0].f1_paper,
+              2 * 0.3 * 0.75 / (0.3 + 0.75), 1e-12);
+}
+
+TEST(EvaluateTest, MatchesPaperBaselineArithmetic) {
+  // Reconstructs the paper's Table-5 baseline convention: with recall
+  // 156/1000 on chairs out of 6,934 samples, "precision" is 156/6934.
+  std::vector<ObjectClass> truth;
+  std::vector<ObjectClass> pred;
+  // 1000 chairs, 156 recalled; everything else of class 1 and never
+  // predicted as chair by others (prediction value for non-chair truth
+  // doesn't matter for chair's paper-precision).
+  for (int i = 0; i < 1000; ++i) {
+    truth.push_back(C(0));
+    pred.push_back(i < 156 ? C(0) : C(2));
+  }
+  for (int i = 0; i < 5934; ++i) {
+    truth.push_back(C(1));
+    pred.push_back(C(1));
+  }
+  const EvalReport report = Evaluate(truth, pred);
+  EXPECT_NEAR(report.per_class[0].recall, 0.156, 1e-9);
+  EXPECT_NEAR(report.per_class[0].precision_paper, 156.0 / 6934.0, 1e-9);
+}
+
+TEST(EvaluateTest, EmptyInput) {
+  const EvalReport report = Evaluate({}, {});
+  EXPECT_EQ(report.total, 0);
+  EXPECT_DOUBLE_EQ(report.cumulative_accuracy, 0.0);
+}
+
+TEST(EvaluateBinaryTest, PerfectSplit) {
+  const std::vector<int> truth = {1, 1, 0, 0};
+  const BinaryReport report = EvaluateBinary(truth, truth);
+  EXPECT_DOUBLE_EQ(report.similar.precision, 1.0);
+  EXPECT_DOUBLE_EQ(report.similar.recall, 1.0);
+  EXPECT_DOUBLE_EQ(report.dissimilar.f1, 1.0);
+  EXPECT_DOUBLE_EQ(report.accuracy, 1.0);
+  EXPECT_EQ(report.similar.support, 2);
+  EXPECT_EQ(report.dissimilar.support, 2);
+}
+
+TEST(EvaluateBinaryTest, DegenerateAllSimilarPredictor) {
+  // The paper's observed failure mode: every pair predicted "similar".
+  // Precision of "similar" collapses to the positive rate; recall is 1;
+  // the "dissimilar" row is all zeros (Table 4).
+  std::vector<int> truth(100, 0);
+  for (int i = 0; i < 9; ++i) truth[static_cast<std::size_t>(i)] = 1;
+  const std::vector<int> pred(100, 1);
+  const BinaryReport report = EvaluateBinary(truth, pred);
+  EXPECT_NEAR(report.similar.precision, 0.09, 1e-9);
+  EXPECT_DOUBLE_EQ(report.similar.recall, 1.0);
+  EXPECT_DOUBLE_EQ(report.dissimilar.precision, 0.0);
+  EXPECT_DOUBLE_EQ(report.dissimilar.recall, 0.0);
+  EXPECT_DOUBLE_EQ(report.dissimilar.f1, 0.0);
+  EXPECT_EQ(report.similar.support, 9);
+  EXPECT_EQ(report.dissimilar.support, 91);
+}
+
+TEST(EvaluateBinaryTest, MixedPredictions) {
+  const std::vector<int> truth = {1, 1, 1, 0, 0, 0};
+  const std::vector<int> pred = {1, 0, 1, 0, 1, 0};
+  const BinaryReport report = EvaluateBinary(truth, pred);
+  EXPECT_NEAR(report.similar.precision, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(report.similar.recall, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(report.dissimilar.recall, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(report.accuracy, 4.0 / 6.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace snor

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "core/descriptor_classifier.h"
+#include "core/xcorr_pipeline.h"
+
+namespace snor {
+namespace {
+
+DatasetOptions SmallData() {
+  DatasetOptions opts;
+  opts.canvas_size = 64;
+  return opts;
+}
+
+TEST(DescriptorClassifierTest, SiftSelfGalleryIsNearPerfect) {
+  const Dataset sns1 = MakeShapeNetSet1(SmallData());
+  DescriptorClassifierOptions opts;
+  opts.type = DescriptorType::kSift;
+  opts.ratio = 0.75f;
+  DescriptorClassifier classifier(sns1, opts);
+  EXPECT_EQ(classifier.num_gallery_views(), 82u);
+  // Classifying gallery items against the gallery itself: descriptors
+  // match exactly, so accuracy should be near-perfect.
+  int correct = 0;
+  for (std::size_t i = 0; i < 20; ++i) {  // Subset for speed.
+    if (classifier.Classify(sns1.items[i].image) == sns1.items[i].label) {
+      ++correct;
+    }
+  }
+  EXPECT_GE(correct, 18);
+}
+
+class DescriptorTypeTest
+    : public ::testing::TestWithParam<DescriptorType> {};
+
+TEST_P(DescriptorTypeTest, CrossSetBeatsChance) {
+  const Dataset sns1 = MakeShapeNetSet1(SmallData());
+  DatasetOptions sns2_opts = SmallData();
+  sns2_opts.seed = 2020;
+  const Dataset sns2 = MakeShapeNetSet2(sns2_opts);
+
+  DescriptorClassifierOptions opts;
+  opts.type = GetParam();
+  opts.ratio = 0.5f;
+  opts.surf.hessian_threshold = 100.0;
+  DescriptorClassifier classifier(sns2, opts);
+  EXPECT_GT(classifier.total_gallery_keypoints(), 50u);
+
+  // Match SNS1 views (82) against the SNS2 gallery (paper Table 3 setup).
+  const auto preds = classifier.ClassifyAll(sns1);
+  std::vector<ObjectClass> truth;
+  for (const auto& item : sns1.items) truth.push_back(item.label);
+  const auto report = Evaluate(truth, preds);
+  EXPECT_GT(report.cumulative_accuracy, 0.12);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDescriptors, DescriptorTypeTest,
+                         ::testing::Values(DescriptorType::kSift,
+                                           DescriptorType::kSurf,
+                                           DescriptorType::kOrb));
+
+TEST(DescriptorClassifierTest, KdTreeModeAgreesWithBruteForceMostly) {
+  const Dataset sns1 = MakeShapeNetSet1(SmallData());
+  DescriptorClassifierOptions bf;
+  bf.type = DescriptorType::kSift;
+  DescriptorClassifierOptions kd = bf;
+  kd.use_kdtree = true;
+  DescriptorClassifier c_bf(sns1, bf);
+  DescriptorClassifier c_kd(sns1, kd);
+  int agree = 0;
+  const int n = 15;
+  for (int i = 0; i < n; ++i) {
+    if (c_bf.Classify(sns1.items[static_cast<std::size_t>(i)].image) ==
+        c_kd.Classify(sns1.items[static_cast<std::size_t>(i)].image)) {
+      ++agree;
+    }
+  }
+  EXPECT_GE(agree, n * 2 / 3);
+}
+
+XCorrPipelineConfig TinyPipelineConfig() {
+  XCorrPipelineConfig config;
+  config.model.input_height = 16;
+  config.model.input_width = 16;
+  config.model.trunk_conv1_channels = 4;
+  config.model.trunk_conv2_channels = 6;
+  config.model.xcorr_search_y = 1;
+  config.model.xcorr_search_x = 1;
+  config.model.head_conv_channels = 8;
+  config.model.dense_units = 16;
+  config.train_pairs = 60;
+  config.train.batch_size = 12;
+  config.train.max_epochs = 2;
+  return config;
+}
+
+TEST(XCorrPipelineTest, TrainsAndEvaluates) {
+  XCorrPipeline pipeline(TinyPipelineConfig());
+  DatasetOptions data_opts;
+  data_opts.canvas_size = 32;
+  const Dataset sns2 = MakeShapeNetSet2(data_opts);
+  const auto history = pipeline.Train(sns2);
+  ASSERT_FALSE(history.empty());
+  EXPECT_GT(history.front().loss, 0.0);
+
+  const Dataset sns1 = MakeShapeNetSet1(data_opts);
+  auto pairs = MakeAllUnorderedPairs(sns1);
+  pairs.resize(200);  // Subset for speed.
+  const BinaryReport report = pipeline.EvaluatePairs(pairs, sns1, sns1);
+  EXPECT_EQ(report.similar.support + report.dissimilar.support, 200);
+}
+
+TEST(XCorrPipelineTest, ConfigRoundTrip) {
+  const XCorrPipelineConfig config = TinyPipelineConfig();
+  XCorrPipeline pipeline(config);
+  EXPECT_EQ(pipeline.config().train_pairs, 60);
+  EXPECT_EQ(pipeline.model().config().input_height, 16);
+}
+
+}  // namespace
+}  // namespace snor

@@ -1,0 +1,172 @@
+// Cross-module property and integration tests: classifier equivalences,
+// determinism of full experiment runs, and analytic identities.
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "core/classifiers.h"
+#include "core/experiment.h"
+#include "geometry/contour.h"
+#include "geometry/moments.h"
+#include "img/draw.h"
+
+namespace snor {
+namespace {
+
+ExperimentContext& Ctx() {
+  static ExperimentContext& ctx = *new ExperimentContext([] {
+    ExperimentConfig config;
+    config.canvas_size = 64;
+    config.nyu_fraction = 0.01;
+    return config;
+  }());
+  return ctx;
+}
+
+TEST(AnalyticMomentsTest, CircleNormalizedMoment) {
+  // For a disc: mu20 = mu02 = pi r^4 / 4, m00 = pi r^2,
+  // so nu20 = mu20 / m00^2 = 1 / (4 pi).
+  ImageU8 img(220, 220, 1, 0);
+  FillCircle(img, 110, 110, 80, Rgb{255, 255, 255});
+  const auto contours = FindContours(img);
+  ASSERT_EQ(contours.size(), 1u);
+  const Moments m = ContourMoments(contours[0]);
+  EXPECT_NEAR(m.nu20, 1.0 / (4.0 * std::numbers::pi), 2e-3);
+  EXPECT_NEAR(m.nu02, 1.0 / (4.0 * std::numbers::pi), 2e-3);
+  EXPECT_NEAR(m.nu11, 0.0, 1e-4);
+  // Third-order moments vanish by symmetry.
+  EXPECT_NEAR(m.nu30, 0.0, 1e-4);
+  EXPECT_NEAR(m.nu03, 0.0, 1e-4);
+}
+
+TEST(AnalyticMomentsTest, RectangleNormalizedMoment) {
+  // For a w x h rectangle: nu20 = w^2 / (12 w h) = w / (12 h).
+  ImageU8 img(200, 200, 1, 0);
+  for (int y = 50; y < 110; ++y)
+    for (int x = 40; x < 160; ++x) img.at(y, x) = 255;
+  const auto contours = FindContours(img);
+  ASSERT_EQ(contours.size(), 1u);
+  const Moments m = ContourMoments(contours[0]);
+  const double w = 119, h = 59;  // Traced boundary spans w-1, h-1.
+  EXPECT_NEAR(m.nu20, w / (12.0 * h), 3e-3);
+  EXPECT_NEAR(m.nu02, h / (12.0 * w), 2e-3);
+}
+
+TEST(ClassifierEquivalenceTest, HybridShapeOnlyWeightsMatchShapeClassifier) {
+  // alpha = 1, beta = 0 makes the weighted-sum hybrid rank views exactly
+  // like the shape-only classifier.
+  auto& ctx = Ctx();
+  ShapeOnlyClassifier shape(ctx.Sns1Features(), ShapeMatchMethod::kI3);
+  HybridClassifier hybrid(ctx.Sns1Features(), ShapeMatchMethod::kI3,
+                          HistCompareMethod::kHellinger, 1.0, 0.0,
+                          HybridStrategy::kWeightedSum);
+  const auto shape_preds = shape.ClassifyAll(ctx.Sns2Features());
+  const auto hybrid_preds = hybrid.ClassifyAll(ctx.Sns2Features());
+  int agree = 0;
+  for (std::size_t i = 0; i < shape_preds.size(); ++i) {
+    if (shape_preds[i] == hybrid_preds[i]) ++agree;
+  }
+  // Ties may break differently; near-total agreement is required.
+  EXPECT_GE(agree, static_cast<int>(shape_preds.size()) - 2);
+}
+
+TEST(ClassifierEquivalenceTest, HybridColorOnlyWeightsTrackColorClassifier) {
+  // alpha = 0, beta = 1 with Hellinger reproduces colour-only ranking
+  // (Hellinger is a distance, so no inversion is involved).
+  auto& ctx = Ctx();
+  ColorOnlyClassifier color(ctx.Sns1Features(),
+                            HistCompareMethod::kHellinger);
+  HybridClassifier hybrid(ctx.Sns1Features(), ShapeMatchMethod::kI3,
+                          HistCompareMethod::kHellinger, 0.0, 1.0,
+                          HybridStrategy::kWeightedSum);
+  const auto color_preds = color.ClassifyAll(ctx.Sns2Features());
+  const auto hybrid_preds = hybrid.ClassifyAll(ctx.Sns2Features());
+  int agree = 0;
+  for (std::size_t i = 0; i < color_preds.size(); ++i) {
+    if (color_preds[i] == hybrid_preds[i]) ++agree;
+  }
+  EXPECT_GE(agree, static_cast<int>(color_preds.size()) - 2);
+}
+
+TEST(DeterminismTest, RepeatedExperimentRunsAreIdentical) {
+  ExperimentConfig config;
+  config.canvas_size = 48;
+  config.nyu_fraction = 0.005;
+  ExperimentContext ctx1(config);
+  ExperimentContext ctx2(config);
+  ApproachSpec spec;
+  spec.kind = ApproachSpec::Kind::kHybrid;
+  const EvalReport r1 =
+      ctx1.RunApproach(spec, ctx1.NyuFeatures(), ctx1.Sns1Features());
+  const EvalReport r2 =
+      ctx2.RunApproach(spec, ctx2.NyuFeatures(), ctx2.Sns1Features());
+  EXPECT_DOUBLE_EQ(r1.cumulative_accuracy, r2.cumulative_accuracy);
+  for (int c = 0; c < kNumClasses; ++c) {
+    EXPECT_EQ(r1.per_class[static_cast<std::size_t>(c)].true_positives,
+              r2.per_class[static_cast<std::size_t>(c)].true_positives);
+  }
+}
+
+TEST(DeterminismTest, BaselineIsSeededDeterministic) {
+  auto& ctx = Ctx();
+  ApproachSpec spec;  // Baseline by default.
+  const EvalReport r1 =
+      ctx.RunApproach(spec, ctx.Sns2Features(), ctx.Sns1Features());
+  const EvalReport r2 =
+      ctx.RunApproach(spec, ctx.Sns2Features(), ctx.Sns1Features());
+  EXPECT_DOUBLE_EQ(r1.cumulative_accuracy, r2.cumulative_accuracy);
+}
+
+TEST(EvalConsistencyTest, ConfusionRowsSumToSupport) {
+  auto& ctx = Ctx();
+  ApproachSpec spec;
+  spec.kind = ApproachSpec::Kind::kColor;
+  spec.color = HistCompareMethod::kIntersection;
+  const EvalReport report =
+      ctx.RunApproach(spec, ctx.Sns2Features(), ctx.Sns1Features());
+  int grand_total = 0;
+  for (int t = 0; t < kNumClasses; ++t) {
+    int row_sum = 0;
+    for (int p = 0; p < kNumClasses; ++p) {
+      row_sum += report.confusion[static_cast<std::size_t>(t)]
+                                 [static_cast<std::size_t>(p)];
+    }
+    EXPECT_EQ(row_sum,
+              report.per_class[static_cast<std::size_t>(t)].support);
+    grand_total += row_sum;
+  }
+  EXPECT_EQ(grand_total, report.total);
+}
+
+TEST(EvalConsistencyTest, CumulativeAccuracyIsWeightedRecall) {
+  auto& ctx = Ctx();
+  ApproachSpec spec;
+  spec.kind = ApproachSpec::Kind::kShape;
+  spec.shape = ShapeMatchMethod::kI1;
+  const EvalReport report =
+      ctx.RunApproach(spec, ctx.Sns2Features(), ctx.Sns1Features());
+  double weighted = 0.0;
+  for (int c = 0; c < kNumClasses; ++c) {
+    const auto& m = report.per_class[static_cast<std::size_t>(c)];
+    weighted += m.recall * m.support;
+  }
+  EXPECT_NEAR(weighted / report.total, report.cumulative_accuracy, 1e-12);
+}
+
+TEST(EvalConsistencyTest, PaperPrecisionSumsToCumulativeAccuracy) {
+  // Sum over classes of TP/total is exactly the cumulative accuracy —
+  // a structural identity of the paper's metric convention.
+  auto& ctx = Ctx();
+  ApproachSpec spec;
+  spec.kind = ApproachSpec::Kind::kHybrid;
+  const EvalReport report =
+      ctx.RunApproach(spec, ctx.Sns2Features(), ctx.Sns1Features());
+  double acc = 0.0;
+  for (const auto& m : report.per_class) acc += m.precision_paper;
+  EXPECT_NEAR(acc, report.cumulative_accuracy, 1e-12);
+}
+
+}  // namespace
+}  // namespace snor

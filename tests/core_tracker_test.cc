@@ -1,0 +1,124 @@
+#include "core/tracker.h"
+
+#include <gtest/gtest.h>
+
+#include "data/scene.h"
+
+namespace snor {
+namespace {
+
+// A segmented region holding a rendered object at a given position.
+SegmentedObject RegionAt(ObjectClass cls, int model_id, int x, int y,
+                         std::uint64_t nuisance = 0) {
+  RenderOptions ro;
+  ro.canvas_size = 64;
+  ro.white_background = false;
+  ro.noise_stddev = nuisance == 0 ? 0.0 : 5.0;
+  ro.nuisance_seed = nuisance;
+  SegmentedObject region;
+  region.crop = RenderObjectView(cls, model_id, ro);
+  region.bbox = Rect{x, y, 64, 64};
+  return region;
+}
+
+TEST(TrackerTest, FirstFrameOpensTracks) {
+  Tracker tracker;
+  const auto ids = tracker.Update({RegionAt(ObjectClass::kChair, 4, 0, 0),
+                                   RegionAt(ObjectClass::kLamp, 5, 200, 0)});
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_NE(ids[0], ids[1]);
+  EXPECT_EQ(tracker.tracks().size(), 2u);
+}
+
+TEST(TrackerTest, ReidentifiesAcrossFrames) {
+  Tracker tracker;
+  const auto first =
+      tracker.Update({RegionAt(ObjectClass::kChair, 4, 100, 20)});
+  // Same object moved 25 px with fresh sensor noise.
+  const auto second =
+      tracker.Update({RegionAt(ObjectClass::kChair, 4, 125, 22, 9)});
+  EXPECT_EQ(first[0], second[0]);
+  EXPECT_EQ(tracker.tracks().size(), 1u);
+  EXPECT_EQ(tracker.tracks()[0].hits, 2);
+}
+
+TEST(TrackerTest, DistantObjectOpensNewTrack) {
+  Tracker tracker;
+  const auto first =
+      tracker.Update({RegionAt(ObjectClass::kChair, 4, 0, 0)});
+  // Identical appearance but far outside the spatial gate.
+  const auto second =
+      tracker.Update({RegionAt(ObjectClass::kChair, 4, 300, 0)});
+  EXPECT_NE(first[0], second[0]);
+}
+
+TEST(TrackerTest, DifferentAppearanceOpensNewTrack) {
+  Tracker tracker;
+  const auto first =
+      tracker.Update({RegionAt(ObjectClass::kChair, 4, 100, 0)});
+  // Nearby but a differently-coloured object class.
+  const auto second =
+      tracker.Update({RegionAt(ObjectClass::kWindow, 4, 110, 0)});
+  EXPECT_NE(first[0], second[0]);
+}
+
+TEST(TrackerTest, StaleTracksExpire) {
+  TrackerOptions opts;
+  opts.max_missed_frames = 1;
+  Tracker tracker(opts);
+  tracker.Update({RegionAt(ObjectClass::kSofa, 6, 0, 0)});
+  EXPECT_EQ(tracker.tracks().size(), 1u);
+  tracker.Update({});  // missed 1 -> still alive.
+  EXPECT_EQ(tracker.tracks().size(), 1u);
+  tracker.Update({});  // missed 2 -> dropped.
+  EXPECT_TRUE(tracker.tracks().empty());
+}
+
+TEST(TrackerTest, ReturnedTrackAliveAfterRematch) {
+  TrackerOptions opts;
+  opts.max_missed_frames = 2;
+  Tracker tracker(opts);
+  const auto a = tracker.Update({RegionAt(ObjectClass::kBox, 7, 50, 10)});
+  tracker.Update({});  // One missed frame.
+  const auto b =
+      tracker.Update({RegionAt(ObjectClass::kBox, 7, 60, 12, 3)});
+  EXPECT_EQ(a[0], b[0]);
+  EXPECT_EQ(tracker.tracks()[0].missed_frames, 0);
+}
+
+TEST(TrackerTest, TwoObjectsKeepDistinctIdentities) {
+  Tracker tracker;
+  const auto f1 =
+      tracker.Update({RegionAt(ObjectClass::kChair, 4, 0, 0),
+                      RegionAt(ObjectClass::kBottle, 5, 150, 0)});
+  // Both move right by 20.
+  const auto f2 =
+      tracker.Update({RegionAt(ObjectClass::kChair, 4, 20, 0, 2),
+                      RegionAt(ObjectClass::kBottle, 5, 170, 0, 2)});
+  EXPECT_EQ(f1[0], f2[0]);
+  EXPECT_EQ(f1[1], f2[1]);
+  EXPECT_EQ(tracker.total_tracks_created(), 2);
+}
+
+TEST(TrackerTest, PatrolSequenceIsStable) {
+  // A moving camera: the same scene content shifts horizontally.
+  TrackerOptions opts;
+  opts.max_center_distance = 80.0;
+  Tracker tracker(opts);
+  int reused = 0;
+  std::vector<int> prev_ids;
+  for (int frame = 0; frame < 5; ++frame) {
+    std::vector<SegmentedObject> regions = {
+        RegionAt(ObjectClass::kTable, 8, 40 + frame * 30, 10, 100 + frame),
+        RegionAt(ObjectClass::kLamp, 9, 260 + frame * 30, 15, 200 + frame),
+    };
+    const auto ids = tracker.Update(regions);
+    if (!prev_ids.empty() && ids == prev_ids) ++reused;
+    prev_ids = ids;
+  }
+  EXPECT_GE(reused, 3);  // Identities persist across most transitions.
+  EXPECT_LE(tracker.total_tracks_created(), 4);
+}
+
+}  // namespace
+}  // namespace snor

@@ -1,0 +1,97 @@
+#include "data/augment.h"
+
+#include <gtest/gtest.h>
+
+#include "img/transform.h"
+
+namespace snor {
+namespace {
+
+Dataset SmallSet() {
+  DatasetOptions opts;
+  opts.canvas_size = 48;
+  return MakeShapeNetSet2(opts);
+}
+
+TEST(AugmentTest, DatasetGrowsByFactor) {
+  const Dataset base = SmallSet();
+  const Dataset aug = AugmentDataset(base, 2);
+  EXPECT_EQ(aug.size(), base.size() * 3);
+  EXPECT_EQ(aug.name, base.name + "+aug");
+}
+
+TEST(AugmentTest, ZeroCopiesKeepsOriginals) {
+  const Dataset base = SmallSet();
+  const Dataset aug = AugmentDataset(base, 0);
+  ASSERT_EQ(aug.size(), base.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(aug.items[i].image, base.items[i].image);
+  }
+}
+
+TEST(AugmentTest, LabelsPreserved) {
+  const Dataset base = SmallSet();
+  const Dataset aug = AugmentDataset(base, 1);
+  const auto base_counts = base.ClassCounts();
+  const auto aug_counts = aug.ClassCounts();
+  for (int c = 0; c < kNumClasses; ++c) {
+    EXPECT_EQ(aug_counts[static_cast<std::size_t>(c)],
+              2 * base_counts[static_cast<std::size_t>(c)]);
+  }
+}
+
+TEST(AugmentTest, CopiesDifferFromOriginals) {
+  const Dataset base = SmallSet();
+  const Dataset aug = AugmentDataset(base, 1);
+  int changed = 0;
+  // Layout: original, copy, original, copy, ...
+  for (std::size_t i = 0; i + 1 < aug.size(); i += 2) {
+    if (!(aug.items[i].image == aug.items[i + 1].image)) ++changed;
+  }
+  EXPECT_GT(changed, static_cast<int>(base.size()) * 9 / 10);
+}
+
+TEST(AugmentTest, DeterministicForFixedSeed) {
+  const Dataset base = SmallSet();
+  AugmentOptions opts;
+  opts.seed = 77;
+  const Dataset a = AugmentDataset(base, 1, opts);
+  const Dataset b = AugmentDataset(base, 1, opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.items[i].image, b.items[i].image);
+  }
+}
+
+TEST(AugmentTest, FlipOnlyIsExactFlip) {
+  const Dataset base = SmallSet();
+  AugmentOptions opts;
+  opts.allow_horizontal_flip = true;
+  opts.max_rotation_deg = 0.0;
+  opts.illumination_jitter = 0.0;
+  opts.max_noise_stddev = 0.0;
+  Rng rng(1);
+  const ImageU8& original = base.items[0].image;
+  bool saw_flip = false;
+  bool saw_identity = false;
+  for (int i = 0; i < 16; ++i) {
+    const ImageU8 out = AugmentImage(original, opts, rng);
+    if (out == original) saw_identity = true;
+    if (out == FlipHorizontal(original)) saw_flip = true;
+  }
+  EXPECT_TRUE(saw_flip);
+  EXPECT_TRUE(saw_identity);
+}
+
+TEST(AugmentTest, PreservesDimensions) {
+  const Dataset base = SmallSet();
+  Rng rng(3);
+  const ImageU8 out = AugmentImage(base.items[5].image, AugmentOptions{},
+                                   rng);
+  EXPECT_EQ(out.width(), base.items[5].image.width());
+  EXPECT_EQ(out.height(), base.items[5].image.height());
+  EXPECT_EQ(out.channels(), 3);
+}
+
+}  // namespace
+}  // namespace snor

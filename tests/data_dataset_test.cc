@@ -1,0 +1,193 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "data/pairs.h"
+
+namespace snor {
+namespace {
+
+DatasetOptions SmallOptions() {
+  DatasetOptions opts;
+  opts.canvas_size = 48;
+  return opts;
+}
+
+TEST(DatasetTest, ShapeNetSet1MatchesTable1) {
+  const Dataset ds = MakeShapeNetSet1(SmallOptions());
+  EXPECT_EQ(ds.size(), 82u);
+  const auto counts = ds.ClassCounts();
+  const auto& expected = ShapeNetSet1Counts();
+  for (int c = 0; c < kNumClasses; ++c) {
+    EXPECT_EQ(counts[static_cast<std::size_t>(c)],
+              expected[static_cast<std::size_t>(c)])
+        << ObjectClassName(ClassFromIndex(c));
+  }
+}
+
+TEST(DatasetTest, ShapeNetSet2MatchesTable1) {
+  const Dataset ds = MakeShapeNetSet2(SmallOptions());
+  EXPECT_EQ(ds.size(), 100u);
+  for (int count : ds.ClassCounts()) {
+    EXPECT_EQ(count, 10);
+  }
+}
+
+TEST(DatasetTest, NyuSetFullCardinality) {
+  DatasetOptions opts;
+  opts.canvas_size = 32;  // Keep the full-count test fast.
+  const Dataset ds = MakeNyuSet(opts);
+  EXPECT_EQ(ds.size(), 6934u);
+  const auto counts = ds.ClassCounts();
+  const auto& expected = NyuSetCounts();
+  for (int c = 0; c < kNumClasses; ++c) {
+    EXPECT_EQ(counts[static_cast<std::size_t>(c)],
+              expected[static_cast<std::size_t>(c)]);
+  }
+}
+
+TEST(DatasetTest, SampleFractionScalesCounts) {
+  DatasetOptions opts = SmallOptions();
+  opts.sample_fraction = 0.1;
+  const Dataset ds = MakeNyuSet(opts);
+  EXPECT_EQ(ds.size(), 695u);  // round(count * 0.1) per class, summed.
+}
+
+TEST(DatasetTest, Sns1UsesModelsZeroAndOne) {
+  const Dataset ds = MakeShapeNetSet1(SmallOptions());
+  for (const auto& item : ds.items) {
+    EXPECT_TRUE(item.model_id == 0 || item.model_id == 1);
+  }
+}
+
+TEST(DatasetTest, Sns2UsesUnseenModels) {
+  const Dataset ds = MakeShapeNetSet2(SmallOptions());
+  for (const auto& item : ds.items) {
+    EXPECT_TRUE(item.model_id == 2 || item.model_id == 3);
+  }
+}
+
+TEST(DatasetTest, NyuBlackBackgroundAndShapeNetWhite) {
+  const Dataset sns = MakeShapeNetSet1(SmallOptions());
+  DatasetOptions opts = SmallOptions();
+  opts.sample_fraction = 0.01;
+  const Dataset nyu = MakeNyuSet(opts);
+  EXPECT_EQ(sns.items[0].image.at(0, 0, 0), 255);
+  EXPECT_EQ(nyu.items[0].image.at(0, 0, 0), 0);
+}
+
+TEST(DatasetTest, GenerationIsDeterministic) {
+  DatasetOptions opts = SmallOptions();
+  opts.sample_fraction = 0.02;
+  const Dataset a = MakeNyuSet(opts);
+  const Dataset b = MakeNyuSet(opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.items[i].image, b.items[i].image);
+    EXPECT_EQ(a.items[i].label, b.items[i].label);
+  }
+}
+
+TEST(DatasetTest, DifferentSeedsDiffer) {
+  DatasetOptions a = SmallOptions();
+  a.sample_fraction = 0.02;
+  DatasetOptions b = a;
+  b.seed = 777;
+  const Dataset da = MakeNyuSet(a);
+  const Dataset db = MakeNyuSet(b);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    if (!(da.items[i].image == db.items[i].image)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(PairsTest, AllUnorderedPairsCountMatchesPaper) {
+  const Dataset sns1 = MakeShapeNetSet1(SmallOptions());
+  const auto pairs = MakeAllUnorderedPairs(sns1);
+  EXPECT_EQ(pairs.size(), 3321u);  // C(82, 2), §3.4.
+  int positives = 0;
+  for (const auto& p : pairs) positives += p.label;
+  // Same-class unordered pairs: sum over classes of C(n_c, 2) = 333.
+  EXPECT_EQ(positives, 333);
+}
+
+TEST(PairsTest, CrossProductPairsCount) {
+  DatasetOptions opts = SmallOptions();
+  opts.sample_fraction = 0.012;  // ~10 per class -> small but non-trivial.
+  const Dataset nyu = MakeNyuSet(opts);
+  const Dataset sns1 = MakeShapeNetSet1(SmallOptions());
+  const auto pairs = MakeCrossProductPairs(nyu, sns1);
+  EXPECT_EQ(pairs.size(), nyu.size() * sns1.size());
+  // Labels consistent with class equality.
+  for (const auto& p : pairs) {
+    const bool same =
+        nyu.items[static_cast<std::size_t>(p.index_a)].label ==
+        sns1.items[static_cast<std::size_t>(p.index_b)].label;
+    EXPECT_EQ(p.label, same ? 1 : 0);
+  }
+}
+
+TEST(PairsTest, BalancedPairSetHitsTargets) {
+  const Dataset sns2 = MakeShapeNetSet2(SmallOptions());
+  const auto pairs = MakeBalancedPairSet(sns2, 1000, 0.52, 11);
+  EXPECT_EQ(pairs.size(), 1000u);
+  int positives = 0;
+  for (const auto& p : pairs) {
+    positives += p.label;
+    EXPECT_NE(p.index_a, p.index_b);  // Positives never pair an item with
+                                      // itself; negatives differ by class.
+  }
+  EXPECT_EQ(positives, 520);
+}
+
+TEST(PairsTest, BalancedPairSetLabelsAreConsistent) {
+  const Dataset sns2 = MakeShapeNetSet2(SmallOptions());
+  const auto pairs = MakeBalancedPairSet(sns2, 300, 0.5, 13);
+  for (const auto& p : pairs) {
+    const bool same =
+        sns2.items[static_cast<std::size_t>(p.index_a)].label ==
+        sns2.items[static_cast<std::size_t>(p.index_b)].label;
+    EXPECT_EQ(p.label, same ? 1 : 0);
+  }
+}
+
+TEST(PairsTest, ResampleMatchesPaperSupports) {
+  const Dataset sns1 = MakeShapeNetSet1(SmallOptions());
+  DatasetOptions opts = SmallOptions();
+  opts.sample_fraction = 0.015;
+  const Dataset nyu = MakeNyuSet(opts);
+  const auto all = MakeCrossProductPairs(nyu, sns1);
+  // Paper Table 4: 8,200 pairs, 4,160 similar / 4,040 dissimilar.
+  const auto resampled = ResamplePairs(all, 8200, 4160.0 / 8200.0, 17);
+  EXPECT_EQ(resampled.size(), 8200u);
+  int positives = 0;
+  for (const auto& p : resampled) positives += p.label;
+  EXPECT_EQ(positives, 4160);
+}
+
+TEST(PairsTest, PairsToTensorsShapes) {
+  const Dataset sns2 = MakeShapeNetSet2(SmallOptions());
+  const auto pairs = MakeBalancedPairSet(sns2, 12, 0.5, 19);
+  const PairTensorDataset data = PairsToTensors(pairs, sns2, sns2, 24, 24);
+  ASSERT_EQ(data.size(), 12u);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(data.a[i].shape(), (std::vector<int>{3, 24, 24}));
+    EXPECT_EQ(data.b[i].shape(), (std::vector<int>{3, 24, 24}));
+    EXPECT_TRUE(data.labels[i] == 0 || data.labels[i] == 1);
+  }
+}
+
+TEST(PairsTest, PairsToTensorsCrossSets) {
+  const Dataset sns1 = MakeShapeNetSet1(SmallOptions());
+  DatasetOptions opts = SmallOptions();
+  opts.sample_fraction = 0.01;
+  const Dataset nyu = MakeNyuSet(opts);
+  auto pairs = MakeCrossProductPairs(nyu, sns1);
+  pairs.resize(20);
+  const PairTensorDataset data = PairsToTensors(pairs, nyu, sns1, 16, 16);
+  EXPECT_EQ(data.size(), 20u);
+}
+
+}  // namespace
+}  // namespace snor

@@ -1,0 +1,157 @@
+#include "data/renderer.h"
+
+#include <gtest/gtest.h>
+
+#include "data/object_class.h"
+
+namespace snor {
+namespace {
+
+int CountNonBackground(const ImageU8& img, std::uint8_t bg) {
+  int count = 0;
+  for (int y = 0; y < img.height(); ++y)
+    for (int x = 0; x < img.width(); ++x)
+      if (img.at(y, x, 0) != bg || img.at(y, x, 1) != bg ||
+          img.at(y, x, 2) != bg)
+        ++count;
+  return count;
+}
+
+class RendererPerClassTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RendererPerClassTest, RendersNonEmptyObjectOnWhite) {
+  const ObjectClass cls = ClassFromIndex(GetParam());
+  RenderOptions ro;
+  const ImageU8 img = RenderObjectView(cls, 0, ro);
+  EXPECT_EQ(img.width(), 96);
+  EXPECT_EQ(img.channels(), 3);
+  const int object_pixels = CountNonBackground(img, 255);
+  // Object fills a sensible fraction of the canvas.
+  EXPECT_GT(object_pixels, 96 * 96 / 50);
+  EXPECT_LT(object_pixels, 96 * 96 * 9 / 10);
+}
+
+TEST_P(RendererPerClassTest, BlackBackgroundVariant) {
+  const ObjectClass cls = ClassFromIndex(GetParam());
+  RenderOptions ro;
+  ro.white_background = false;
+  const ImageU8 img = RenderObjectView(cls, 0, ro);
+  EXPECT_GT(CountNonBackground(img, 0), 96 * 96 / 50);
+  // Corner pixels are background.
+  EXPECT_EQ(img.at(0, 0, 0), 0);
+}
+
+TEST_P(RendererPerClassTest, DeterministicRendering) {
+  const ObjectClass cls = ClassFromIndex(GetParam());
+  RenderOptions ro;
+  ro.noise_stddev = 6.0;
+  ro.nuisance_seed = 99;
+  const ImageU8 a = RenderObjectView(cls, 1, ro);
+  const ImageU8 b = RenderObjectView(cls, 1, ro);
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(RendererPerClassTest, DistinctModelsDiffer) {
+  const ObjectClass cls = ClassFromIndex(GetParam());
+  RenderOptions ro;
+  const ImageU8 m0 = RenderObjectView(cls, 0, ro);
+  const ImageU8 m1 = RenderObjectView(cls, 1, ro);
+  EXPECT_FALSE(m0 == m1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClasses, RendererPerClassTest,
+                         ::testing::Range(0, kNumClasses));
+
+TEST(RendererTest, RotationMovesContent) {
+  RenderOptions base;
+  RenderOptions rotated;
+  rotated.view_angle_deg = 90.0;
+  const ImageU8 a = RenderObjectView(ObjectClass::kLamp, 0, base);
+  const ImageU8 b = RenderObjectView(ObjectClass::kLamp, 0, rotated);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(RendererTest, ScaleChangesFootprint) {
+  RenderOptions small;
+  small.scale = 0.5;
+  RenderOptions large;
+  large.scale = 1.1;
+  const int small_px =
+      CountNonBackground(RenderObjectView(ObjectClass::kBox, 0, small), 255);
+  const int large_px =
+      CountNonBackground(RenderObjectView(ObjectClass::kBox, 0, large), 255);
+  EXPECT_LT(small_px, large_px);
+}
+
+TEST(RendererTest, OcclusionRemovesObjectPixels) {
+  RenderOptions clean;
+  clean.white_background = false;
+  const int clean_px = CountNonBackground(
+      RenderObjectView(ObjectClass::kSofa, 0, clean), 0);
+  // The occluder keeps a minimum of the object visible, so some seeds may
+  // skip it; across several seeds at least one must reduce the footprint,
+  // and none may wipe the object out.
+  bool any_reduced = false;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    RenderOptions occluded = clean;
+    occluded.occlusion_fraction = 0.4;
+    occluded.nuisance_seed = seed;
+    const int occ_px = CountNonBackground(
+        RenderObjectView(ObjectClass::kSofa, 0, occluded), 0);
+    EXPECT_LE(occ_px, clean_px);
+    EXPECT_GT(occ_px, 25);
+    if (occ_px < clean_px) any_reduced = true;
+  }
+  EXPECT_TRUE(any_reduced);
+}
+
+TEST(RendererTest, IlluminationDarkens) {
+  RenderOptions bright;
+  bright.white_background = false;
+  RenderOptions dark = bright;
+  dark.illumination = 0.4;
+  const ImageU8 a = RenderObjectView(ObjectClass::kDoor, 0, bright);
+  const ImageU8 b = RenderObjectView(ObjectClass::kDoor, 0, dark);
+  double sum_a = 0;
+  double sum_b = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum_a += a.data()[i];
+    sum_b += b.data()[i];
+  }
+  EXPECT_LT(sum_b, sum_a * 0.7);
+}
+
+TEST(RendererTest, NoiseChangesPixels) {
+  RenderOptions clean;
+  clean.white_background = false;
+  RenderOptions noisy = clean;
+  noisy.noise_stddev = 12.0;
+  noisy.nuisance_seed = 3;
+  const ImageU8 a = RenderObjectView(ObjectClass::kChair, 0, clean);
+  const ImageU8 b = RenderObjectView(ObjectClass::kChair, 0, noisy);
+  EXPECT_FALSE(a == b);
+  // Background stays untouched.
+  EXPECT_EQ(b.at(0, 0, 0), 0);
+}
+
+TEST(RendererTest, CustomCanvasSize) {
+  RenderOptions ro;
+  ro.canvas_size = 48;
+  const ImageU8 img = RenderObjectView(ObjectClass::kWindow, 0, ro);
+  EXPECT_EQ(img.width(), 48);
+  EXPECT_EQ(img.height(), 48);
+}
+
+TEST(ObjectClassTest, NamesAndIndicesRoundTrip) {
+  EXPECT_EQ(ObjectClassName(ObjectClass::kChair), "Chair");
+  EXPECT_EQ(ObjectClassName(ObjectClass::kLamp), "Lamp");
+  for (int i = 0; i < kNumClasses; ++i) {
+    EXPECT_EQ(ClassIndex(ClassFromIndex(i)), i);
+  }
+  EXPECT_EQ(AllClasses().size(), 10u);
+  EXPECT_EQ(AllClasses()[0], ObjectClass::kChair);
+  EXPECT_EQ(AllClasses()[9], ObjectClass::kLamp);
+}
+
+}  // namespace
+}  // namespace snor

@@ -1,0 +1,228 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "features/matcher.h"
+#include "features/orb.h"
+#include "features/sift.h"
+#include "features/surf.h"
+#include "img/draw.h"
+#include "img/transform.h"
+#include "util/rng.h"
+
+namespace snor {
+namespace {
+
+// A textured scene with several distinct blobs and corners so that all
+// detectors find work to do.
+ImageU8 TexturedScene(std::uint64_t seed = 7) {
+  ImageU8 img(128, 128, 3);
+  FillRect(img, 0, 0, 128, 128, Rgb{200, 200, 200});
+  FillRect(img, 18, 22, 30, 26, Rgb{30, 30, 30});
+  FillCircle(img, 88, 40, 14, Rgb{60, 120, 200});
+  FillPolygon(img, {{30, 90}, {60, 74}, {74, 110}, {40, 118}},
+              Rgb{180, 60, 40});
+  FillRect(img, 86, 84, 26, 8, Rgb{20, 80, 20});
+  FillRotatedRect(img, 100, 104, 22, 12, 0.5, Rgb{120, 40, 140});
+  Rng rng(seed);
+  for (int y = 0; y < 128; ++y) {
+    for (int x = 0; x < 128; ++x) {
+      for (int c = 0; c < 3; ++c) {
+        const int v = img.at(y, x, c) + static_cast<int>(rng.UniformInt(-8, 8));
+        img.at(y, x, c) =
+            static_cast<std::uint8_t>(std::clamp(v, 0, 255));
+      }
+    }
+  }
+  return img;
+}
+
+double MedianMatchDistance(const std::vector<DMatch>& matches) {
+  if (matches.empty()) return 1e30;
+  std::vector<float> d;
+  d.reserve(matches.size());
+  for (const auto& m : matches) d.push_back(m.distance);
+  std::sort(d.begin(), d.end());
+  return d[d.size() / 2];
+}
+
+// ---------------------------------------------------------------- ORB --
+
+TEST(OrbTest, DetectsFeaturesOnTexturedScene) {
+  const auto feats = ExtractOrb(TexturedScene());
+  EXPECT_GT(feats.keypoints.size(), 10u);
+  EXPECT_EQ(feats.keypoints.size(), feats.descriptors.size());
+}
+
+TEST(OrbTest, RespectsMaxFeatures) {
+  OrbOptions opts;
+  opts.n_features = 5;
+  const auto feats = ExtractOrb(TexturedScene(), opts);
+  EXPECT_LE(feats.keypoints.size(), 5u);
+}
+
+TEST(OrbTest, KeypointsInsideImage) {
+  const auto feats = ExtractOrb(TexturedScene());
+  for (const auto& kp : feats.keypoints) {
+    EXPECT_GE(kp.x, 0.0f);
+    EXPECT_LT(kp.x, 128.0f);
+    EXPECT_GE(kp.y, 0.0f);
+    EXPECT_LT(kp.y, 128.0f);
+    EXPECT_GE(kp.angle, 0.0f);
+    EXPECT_LT(kp.angle, 360.0f);
+  }
+}
+
+TEST(OrbTest, SelfMatchingIsPerfect) {
+  const auto feats = ExtractOrb(TexturedScene());
+  ASSERT_FALSE(feats.descriptors.empty());
+  const auto matches =
+      MatchBruteForce(feats.descriptors, feats.descriptors);
+  for (const auto& m : matches) {
+    EXPECT_EQ(m.distance, 0.0f);
+  }
+}
+
+TEST(OrbTest, SameSceneMatchesBetterThanDifferentScene) {
+  const auto a = ExtractOrb(TexturedScene(7));
+  const auto b = ExtractOrb(TexturedScene(8));  // Same layout, new noise.
+  ImageU8 other(128, 128, 3);
+  FillRect(other, 0, 0, 128, 128, Rgb{80, 80, 80});
+  Rng rng(99);
+  for (int i = 0; i < 40; ++i) {
+    FillCircle(other, rng.Uniform(10, 118), rng.Uniform(10, 118),
+               rng.Uniform(2, 6),
+               Rgb{static_cast<std::uint8_t>(rng.UniformInt(0, 255)),
+                   static_cast<std::uint8_t>(rng.UniformInt(0, 255)),
+                   static_cast<std::uint8_t>(rng.UniformInt(0, 255))});
+  }
+  const auto c = ExtractOrb(other);
+  ASSERT_FALSE(a.descriptors.empty());
+  ASSERT_FALSE(b.descriptors.empty());
+  ASSERT_FALSE(c.descriptors.empty());
+  const double same = MedianMatchDistance(
+      MatchBruteForce(a.descriptors, b.descriptors));
+  const double diff = MedianMatchDistance(
+      MatchBruteForce(a.descriptors, c.descriptors));
+  EXPECT_LT(same, diff);
+}
+
+// --------------------------------------------------------------- SIFT --
+
+TEST(SiftTest, DetectsFeaturesAndDescriptorShape) {
+  const auto feats = ExtractSift(TexturedScene());
+  EXPECT_GT(feats.keypoints.size(), 5u);
+  ASSERT_EQ(feats.keypoints.size(), feats.descriptors.size());
+  for (const auto& d : feats.descriptors) {
+    EXPECT_EQ(d.size(), 128u);
+  }
+}
+
+TEST(SiftTest, DescriptorsAreUnitNormalized) {
+  const auto feats = ExtractSift(TexturedScene());
+  for (const auto& d : feats.descriptors) {
+    double norm = 0;
+    for (float v : d) {
+      norm += static_cast<double>(v) * v;
+      EXPECT_GE(v, 0.0f);
+    }
+    EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-3);
+  }
+}
+
+TEST(SiftTest, MaxFeaturesKeepsStrongest) {
+  SiftOptions opts;
+  opts.max_features = 4;
+  const auto feats = ExtractSift(TexturedScene(), opts);
+  EXPECT_LE(feats.keypoints.size(), 4u);
+}
+
+TEST(SiftTest, SelfMatchDistanceIsZero) {
+  const auto feats = ExtractSift(TexturedScene());
+  ASSERT_FALSE(feats.descriptors.empty());
+  const auto matches =
+      MatchBruteForce(feats.descriptors, feats.descriptors);
+  for (const auto& m : matches) {
+    EXPECT_NEAR(m.distance, 0.0f, 1e-5);
+  }
+}
+
+TEST(SiftTest, TranslatedSceneStillMatches) {
+  const ImageU8 scene = TexturedScene();
+  // Translate by padding + cropping (content shift of 6 px).
+  const ImageU8 shifted =
+      Crop(PadConstant(scene, 6, 0, 6, 0, 200), 0, 0, 128, 128);
+  const auto a = ExtractSift(scene);
+  const auto b = ExtractSift(shifted);
+  ASSERT_FALSE(a.descriptors.empty());
+  ASSERT_FALSE(b.descriptors.empty());
+  const auto knn = KnnMatchBruteForce(a.descriptors, b.descriptors, 2);
+  const auto good = RatioTestFilter(knn, 0.75f);
+  // A healthy fraction of distinctive matches survive.
+  EXPECT_GT(good.size(), a.descriptors.size() / 5);
+}
+
+TEST(SiftTest, TinyImageReturnsEmpty) {
+  ImageU8 img(8, 8, 1, 0);
+  EXPECT_TRUE(ExtractSift(img).keypoints.empty());
+}
+
+// --------------------------------------------------------------- SURF --
+
+TEST(SurfTest, DetectsFeaturesAndDescriptorShape) {
+  SurfOptions opts;
+  opts.hessian_threshold = 50.0;
+  const auto feats = ExtractSurf(TexturedScene(), opts);
+  EXPECT_GT(feats.keypoints.size(), 3u);
+  ASSERT_EQ(feats.keypoints.size(), feats.descriptors.size());
+  for (const auto& d : feats.descriptors) {
+    EXPECT_EQ(d.size(), 64u);
+  }
+}
+
+TEST(SurfTest, DescriptorsAreUnitNormalized) {
+  SurfOptions opts;
+  opts.hessian_threshold = 50.0;
+  const auto feats = ExtractSurf(TexturedScene(), opts);
+  for (const auto& d : feats.descriptors) {
+    double norm = 0;
+    for (float v : d) norm += static_cast<double>(v) * v;
+    EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-3);
+  }
+}
+
+TEST(SurfTest, HigherThresholdFindsFewer) {
+  SurfOptions low;
+  low.hessian_threshold = 20.0;
+  SurfOptions high;
+  high.hessian_threshold = 2000.0;
+  EXPECT_GE(ExtractSurf(TexturedScene(), low).keypoints.size(),
+            ExtractSurf(TexturedScene(), high).keypoints.size());
+}
+
+TEST(SurfTest, SelfMatchDistanceIsZero) {
+  SurfOptions opts;
+  opts.hessian_threshold = 50.0;
+  const auto feats = ExtractSurf(TexturedScene(), opts);
+  ASSERT_FALSE(feats.descriptors.empty());
+  const auto matches =
+      MatchBruteForce(feats.descriptors, feats.descriptors);
+  for (const auto& m : matches) {
+    EXPECT_NEAR(m.distance, 0.0f, 1e-5);
+  }
+}
+
+TEST(SurfTest, TinyImageReturnsEmpty) {
+  ImageU8 img(16, 16, 1, 0);
+  EXPECT_TRUE(ExtractSurf(img).keypoints.empty());
+}
+
+TEST(SurfTest, MaxFeaturesRespected) {
+  SurfOptions opts;
+  opts.hessian_threshold = 10.0;
+  opts.max_features = 3;
+  EXPECT_LE(ExtractSurf(TexturedScene(), opts).keypoints.size(), 3u);
+}
+
+}  // namespace
+}  // namespace snor

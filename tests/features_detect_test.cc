@@ -1,0 +1,173 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "features/brief.h"
+#include "features/fast.h"
+#include "img/draw.h"
+#include "util/rng.h"
+
+namespace snor {
+namespace {
+
+constexpr Rgb kWhite{255, 255, 255};
+
+// A bright square on dark background: four strong corners.
+ImageU8 SquareScene() {
+  ImageU8 img(64, 64, 1, 20);
+  FillRect(img, 20, 20, 24, 24, kWhite);
+  return img;
+}
+
+TEST(FastTest, FlatImageHasNoCorners) {
+  ImageU8 img(32, 32, 1, 128);
+  EXPECT_TRUE(DetectFast(img).empty());
+}
+
+TEST(FastTest, DetectsSquareCorners) {
+  const auto corners = DetectFast(SquareScene());
+  ASSERT_GE(corners.size(), 4u);
+  // Each of the 4 rectangle corners has a detection within 3 px.
+  const std::vector<std::pair<int, int>> expected = {
+      {20, 20}, {43, 20}, {20, 43}, {43, 43}};
+  for (const auto& [ex, ey] : expected) {
+    bool found = false;
+    for (const auto& kp : corners) {
+      if (std::abs(kp.x - ex) <= 3 && std::abs(kp.y - ey) <= 3) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "corner near (" << ex << "," << ey << ")";
+  }
+}
+
+TEST(FastTest, EdgesAreNotCorners) {
+  const auto corners = DetectFast(SquareScene());
+  // No detection along the middle of an edge.
+  for (const auto& kp : corners) {
+    const bool mid_edge = (std::abs(kp.x - 32) < 6 &&
+                           (std::abs(kp.y - 20) <= 1 ||
+                            std::abs(kp.y - 43) <= 1));
+    EXPECT_FALSE(mid_edge) << "edge detection at " << kp.x << "," << kp.y;
+  }
+}
+
+TEST(FastTest, HigherThresholdDetectsFewer) {
+  ImageU8 img(64, 64, 1, 100);
+  Rng rng(55);
+  for (int y = 0; y < 64; ++y)
+    for (int x = 0; x < 64; ++x)
+      img.at(y, x) =
+          static_cast<std::uint8_t>(100 + rng.UniformInt(-60, 60));
+  FastOptions low;
+  low.threshold = 10;
+  FastOptions high;
+  high.threshold = 60;
+  EXPECT_GE(DetectFast(img, low).size(), DetectFast(img, high).size());
+}
+
+TEST(FastTest, NmsReducesDetections) {
+  ImageU8 img = SquareScene();
+  FastOptions with_nms;
+  FastOptions without_nms;
+  without_nms.nonmax_suppression = false;
+  EXPECT_LE(DetectFast(img, with_nms).size(),
+            DetectFast(img, without_nms).size());
+}
+
+TEST(FastTest, ResponsesArePositive) {
+  for (const auto& kp : DetectFast(SquareScene())) {
+    EXPECT_GT(kp.response, 0.0f);
+  }
+}
+
+TEST(FastTest, TinyImageIsSafe) {
+  ImageU8 img(5, 5, 1, 0);
+  EXPECT_TRUE(DetectFast(img).empty());
+}
+
+TEST(HarrisTest, CornerBeatsEdgeAndFlat) {
+  ImageU8 img = SquareScene();
+  const float corner = HarrisResponse(img, 20, 20);
+  const float edge = HarrisResponse(img, 32, 20);
+  const float flat = HarrisResponse(img, 5, 5);
+  EXPECT_GT(corner, edge);
+  EXPECT_GT(corner, flat);
+  EXPECT_LT(edge, 0.0f);  // Harris is negative on edges.
+  EXPECT_NEAR(flat, 0.0f, 1e-3);
+}
+
+TEST(BriefPatternTest, DeterministicAndBounded) {
+  const auto& p1 = BriefPattern();
+  const auto& p2 = BriefPattern();
+  EXPECT_EQ(&p1, &p2);
+  for (const auto& pair : p1) {
+    EXPECT_LE(pair.x1 * pair.x1 + pair.y1 * pair.y1, 13.0 * 13.0 + 1e-6);
+    EXPECT_LE(pair.x2 * pair.x2 + pair.y2 * pair.y2, 13.0 * 13.0 + 1e-6);
+  }
+}
+
+TEST(BriefTest, IdenticalPatchesGiveIdenticalDescriptors) {
+  ImageU8 img = SquareScene();
+  Keypoint kp;
+  kp.x = 32;
+  kp.y = 32;
+  const BinaryDescriptor a = ComputeBriefDescriptor(img, kp);
+  const BinaryDescriptor b = ComputeBriefDescriptor(img, kp);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BriefTest, DifferentPatchesDiffer) {
+  ImageU8 img(128, 64, 1, 0);
+  Rng rng(77);
+  for (int y = 0; y < 64; ++y)
+    for (int x = 0; x < 128; ++x)
+      img.at(y, x) = static_cast<std::uint8_t>(rng.UniformInt(0, 255));
+  Keypoint a;
+  a.x = 32;
+  a.y = 32;
+  Keypoint b;
+  b.x = 96;
+  b.y = 32;
+  const int dist = [&] {
+    const auto da = ComputeBriefDescriptor(img, a);
+    const auto db = ComputeBriefDescriptor(img, b);
+    int acc = 0;
+    for (std::size_t i = 0; i < da.size(); ++i)
+      acc += __builtin_popcount(static_cast<unsigned>(da[i] ^ db[i]));
+    return acc;
+  }();
+  // Random patches: expect ~128 differing bits.
+  EXPECT_GT(dist, 60);
+}
+
+TEST(BriefTest, SteeringAtZeroAngleMatchesUnsteered) {
+  ImageU8 img = SquareScene();
+  Keypoint kp;
+  kp.x = 30;
+  kp.y = 30;
+  kp.angle = 0.0f;
+  EXPECT_EQ(ComputeBriefDescriptor(img, kp),
+            ComputeSteeredBriefDescriptor(img, kp));
+}
+
+TEST(IntensityCentroidTest, PointsTowardBrightSide) {
+  ImageU8 img(64, 64, 1, 0);
+  // Bright region to the right of the centre.
+  FillRect(img, 40, 28, 20, 8, kWhite);
+  const float angle = IntensityCentroidAngle(img, 32, 32, 15);
+  // Centroid pulled rightward: angle near 0 (or near 360).
+  EXPECT_TRUE(angle < 45.0f || angle > 315.0f) << angle;
+}
+
+TEST(IntensityCentroidTest, RotatesWithContent) {
+  ImageU8 img(64, 64, 1, 0);
+  FillRect(img, 28, 40, 8, 20, kWhite);  // Bright below centre.
+  const float angle = IntensityCentroidAngle(img, 32, 32, 15);
+  EXPECT_NEAR(angle, 90.0f, 45.0f);  // y-down: below = +90 degrees.
+}
+
+}  // namespace
+}  // namespace snor

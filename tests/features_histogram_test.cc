@@ -1,0 +1,217 @@
+#include "features/histogram.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "img/draw.h"
+
+namespace snor {
+namespace {
+
+ImageU8 SolidRgb(int w, int h, Rgb c) {
+  ImageU8 img(w, h, 3);
+  FillRect(img, 0, 0, w, h, c);
+  return img;
+}
+
+TEST(ColorHistogramTest, TotalMassEqualsPixelCount) {
+  ImageU8 img = SolidRgb(10, 7, Rgb{200, 40, 90});
+  ColorHistogram h = ColorHistogram::Compute(img);
+  EXPECT_DOUBLE_EQ(h.TotalMass(), 70.0);
+}
+
+TEST(ColorHistogramTest, SolidColorLandsInOneBin) {
+  ImageU8 img = SolidRgb(4, 4, Rgb{200, 40, 90});
+  ColorHistogram h = ColorHistogram::Compute(img, nullptr, 8);
+  // 200/32=6, 40/32=1, 90/32=2.
+  EXPECT_DOUBLE_EQ(h.At(6, 1, 2), 16.0);
+  int nonzero = 0;
+  for (double v : h.bins()) {
+    if (v > 0) ++nonzero;
+  }
+  EXPECT_EQ(nonzero, 1);
+}
+
+TEST(ColorHistogramTest, MaskSkipsPixels) {
+  ImageU8 img = SolidRgb(4, 4, Rgb{10, 10, 10});
+  ImageU8 mask(4, 4, 1, 0);
+  mask.at(0, 0) = 255;
+  mask.at(3, 3) = 255;
+  ColorHistogram h = ColorHistogram::Compute(img, &mask);
+  EXPECT_DOUBLE_EQ(h.TotalMass(), 2.0);
+}
+
+TEST(ColorHistogramTest, NormalizeL1SumsToOne) {
+  ImageU8 img(8, 8, 3);
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x)
+      img.SetPixel(y, x,
+                   {static_cast<std::uint8_t>(x * 32),
+                    static_cast<std::uint8_t>(y * 32),
+                    static_cast<std::uint8_t>((x * y) % 256)});
+  ColorHistogram h = ColorHistogram::Compute(img);
+  h.NormalizeL1();
+  EXPECT_NEAR(h.TotalMass(), 1.0, 1e-12);
+}
+
+TEST(ColorHistogramTest, NormalizeEmptyIsNoop) {
+  ColorHistogram h(8);
+  h.NormalizeL1();
+  EXPECT_DOUBLE_EQ(h.TotalMass(), 0.0);
+}
+
+TEST(ColorHistogramTest, NonPowerOfTwoBins) {
+  ImageU8 img = SolidRgb(2, 2, Rgb{255, 0, 128});
+  ColorHistogram h = ColorHistogram::Compute(img, nullptr, 10);
+  EXPECT_EQ(h.num_bins(), 1000u);
+  // 255*10/256 = 9, 0 -> 0, 128*10/256 = 5.
+  EXPECT_DOUBLE_EQ(h.At(9, 0, 5), 4.0);
+}
+
+class HistIdentityTest
+    : public ::testing::TestWithParam<HistCompareMethod> {};
+
+TEST_P(HistIdentityTest, SelfComparisonIsPerfect) {
+  ImageU8 img(16, 16, 3);
+  for (int y = 0; y < 16; ++y)
+    for (int x = 0; x < 16; ++x)
+      img.SetPixel(y, x,
+                   {static_cast<std::uint8_t>(x * 16),
+                    static_cast<std::uint8_t>(y * 16),
+                    static_cast<std::uint8_t>((x + y) * 8)});
+  ColorHistogram h = ColorHistogram::Compute(img);
+  h.NormalizeL1();
+  const double v = CompareHistograms(h, h, GetParam());
+  switch (GetParam()) {
+    case HistCompareMethod::kCorrelation:
+      EXPECT_NEAR(v, 1.0, 1e-9);
+      break;
+    case HistCompareMethod::kChiSquare:
+      EXPECT_NEAR(v, 0.0, 1e-12);
+      break;
+    case HistCompareMethod::kIntersection:
+      EXPECT_NEAR(v, 1.0, 1e-9);  // L1-normalized: sum min = 1.
+      break;
+    case HistCompareMethod::kHellinger:
+      EXPECT_NEAR(v, 0.0, 1e-6);
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, HistIdentityTest,
+                         ::testing::Values(HistCompareMethod::kCorrelation,
+                                           HistCompareMethod::kChiSquare,
+                                           HistCompareMethod::kIntersection,
+                                           HistCompareMethod::kHellinger));
+
+TEST(HistCompareTest, DisjointHistogramsAreMaximallyDissimilar) {
+  ColorHistogram a(4);
+  ColorHistogram b(4);
+  a.At(0, 0, 0) = 1.0;
+  b.At(3, 3, 3) = 1.0;
+  EXPECT_NEAR(
+      CompareHistograms(a, b, HistCompareMethod::kIntersection), 0.0, 1e-12);
+  EXPECT_NEAR(CompareHistograms(a, b, HistCompareMethod::kHellinger), 1.0,
+              1e-9);
+  EXPECT_LT(CompareHistograms(a, b, HistCompareMethod::kCorrelation), 0.1);
+}
+
+TEST(HistCompareTest, HellingerIsSymmetric) {
+  ColorHistogram a(4);
+  ColorHistogram b(4);
+  a.At(0, 0, 0) = 0.7;
+  a.At(1, 1, 1) = 0.3;
+  b.At(0, 0, 0) = 0.2;
+  b.At(2, 2, 2) = 0.8;
+  EXPECT_NEAR(CompareHistograms(a, b, HistCompareMethod::kHellinger),
+              CompareHistograms(b, a, HistCompareMethod::kHellinger), 1e-12);
+}
+
+TEST(HistCompareTest, IntersectionIsSymmetric) {
+  ColorHistogram a(4);
+  ColorHistogram b(4);
+  a.At(0, 0, 0) = 0.5;
+  a.At(1, 0, 0) = 0.5;
+  b.At(0, 0, 0) = 0.25;
+  b.At(1, 1, 1) = 0.75;
+  EXPECT_NEAR(CompareHistograms(a, b, HistCompareMethod::kIntersection),
+              CompareHistograms(b, a, HistCompareMethod::kIntersection),
+              1e-12);
+  EXPECT_NEAR(CompareHistograms(a, b, HistCompareMethod::kIntersection),
+              0.25, 1e-12);
+}
+
+TEST(HistCompareTest, ChiSquareKnownValue) {
+  ColorHistogram a(2);
+  ColorHistogram b(2);
+  a.At(0, 0, 0) = 4.0;
+  b.At(0, 0, 0) = 2.0;
+  // (4-2)^2/4 = 1.
+  EXPECT_NEAR(CompareHistograms(a, b, HistCompareMethod::kChiSquare), 1.0,
+              1e-12);
+}
+
+TEST(HistCompareTest, ChiSquareIgnoresZeroReferenceBins) {
+  ColorHistogram a(2);
+  ColorHistogram b(2);
+  b.At(1, 1, 1) = 5.0;  // a is zero there -> no contribution.
+  EXPECT_NEAR(CompareHistograms(a, b, HistCompareMethod::kChiSquare), 0.0,
+              1e-12);
+}
+
+TEST(HistCompareTest, CorrelationDetectsOppositeTrend) {
+  ColorHistogram a(2);
+  ColorHistogram b(2);
+  // Over the 8 bins: a = [1,0,...], b = [0,1,...] -> negative correlation.
+  a.At(0, 0, 0) = 1.0;
+  b.At(0, 0, 1) = 1.0;
+  EXPECT_LT(CompareHistograms(a, b, HistCompareMethod::kCorrelation), 0.0);
+}
+
+TEST(HistCompareTest, SimilarColorsScoreBetterThanDifferent) {
+  // Red-ish vs slightly-different-red-ish vs blue.
+  ImageU8 red1 = SolidRgb(8, 8, Rgb{220, 30, 30});
+  ImageU8 red2 = SolidRgb(8, 8, Rgb{200, 50, 40});
+  ImageU8 blue = SolidRgb(8, 8, Rgb{20, 30, 220});
+  // Add a little noise so multiple bins are populated.
+  for (int i = 0; i < 8; ++i) {
+    red1.SetPixel(i, i, {static_cast<std::uint8_t>(180 + i * 8), 60, 60});
+    red2.SetPixel(i, i, {static_cast<std::uint8_t>(170 + i * 8), 70, 60});
+    blue.SetPixel(i, i, {60, 60, static_cast<std::uint8_t>(180 + i * 8)});
+  }
+  auto hist = [](const ImageU8& img) {
+    ColorHistogram h = ColorHistogram::Compute(img);
+    h.NormalizeL1();
+    return h;
+  };
+  const ColorHistogram h1 = hist(red1);
+  const ColorHistogram h2 = hist(red2);
+  const ColorHistogram h3 = hist(blue);
+  EXPECT_LT(CompareHistograms(h1, h2, HistCompareMethod::kHellinger),
+            CompareHistograms(h1, h3, HistCompareMethod::kHellinger));
+  EXPECT_GT(CompareHistograms(h1, h2, HistCompareMethod::kIntersection),
+            CompareHistograms(h1, h3, HistCompareMethod::kIntersection));
+}
+
+TEST(HistCompareTest, IsSimilarityMetricFlags) {
+  EXPECT_TRUE(IsSimilarityMetric(HistCompareMethod::kCorrelation));
+  EXPECT_TRUE(IsSimilarityMetric(HistCompareMethod::kIntersection));
+  EXPECT_FALSE(IsSimilarityMetric(HistCompareMethod::kChiSquare));
+  EXPECT_FALSE(IsSimilarityMetric(HistCompareMethod::kHellinger));
+}
+
+TEST(HistCompareTest, HellingerBounded) {
+  ColorHistogram a(4);
+  ColorHistogram b(4);
+  a.At(0, 0, 0) = 0.6;
+  a.At(1, 2, 3) = 0.4;
+  b.At(0, 0, 0) = 0.1;
+  b.At(3, 3, 3) = 0.9;
+  const double v = CompareHistograms(a, b, HistCompareMethod::kHellinger);
+  EXPECT_GE(v, 0.0);
+  EXPECT_LE(v, 1.0);
+}
+
+}  // namespace
+}  // namespace snor

@@ -1,0 +1,103 @@
+#include "features/hog.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "img/draw.h"
+#include "img/transform.h"
+
+namespace snor {
+namespace {
+
+constexpr Rgb kWhite{255, 255, 255};
+
+ImageU8 ShapeImage(bool vertical) {
+  ImageU8 img(80, 80, 3, 0);
+  if (vertical) {
+    FillRect(img, 35, 10, 10, 60, kWhite);
+  } else {
+    FillRect(img, 10, 35, 60, 10, kWhite);
+  }
+  return img;
+}
+
+TEST(HogTest, DescriptorLengthMatchesFormula) {
+  const HogOptions opts;
+  const auto d = ComputeHog(ShapeImage(true), opts);
+  // window 64, cell 8 -> 8x8 cells; blocks 7x7; 2x2x9 per block.
+  EXPECT_EQ(d.size(), 7u * 7u * 2u * 2u * 9u);
+  EXPECT_EQ(d.size(), HogDescriptorLength(opts));
+}
+
+TEST(HogTest, ValuesBounded) {
+  const auto d = ComputeHog(ShapeImage(false));
+  for (float v : d) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(HogTest, FlatImageIsZero) {
+  ImageU8 img(64, 64, 3, 128);
+  const auto d = ComputeHog(img);
+  double total = 0;
+  for (float v : d) total += v;
+  EXPECT_NEAR(total, 0.0, 1e-6);
+}
+
+TEST(HogTest, DistinguishesOrientations) {
+  const auto v = ComputeHog(ShapeImage(true));
+  const auto h = ComputeHog(ShapeImage(false));
+  const auto v2 = ComputeHog(ShapeImage(true));
+  auto l2 = [](const std::vector<float>& a, const std::vector<float>& b) {
+    double acc = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      acc += (static_cast<double>(a[i]) - b[i]) *
+             (static_cast<double>(a[i]) - b[i]);
+    }
+    return std::sqrt(acc);
+  };
+  EXPECT_DOUBLE_EQ(l2(v, v2), 0.0);  // Deterministic.
+  EXPECT_GT(l2(v, h), 0.5);          // Orientations clearly separated.
+}
+
+TEST(HogTest, RobustToSmallTranslation) {
+  const ImageU8 base = ShapeImage(true);
+  const ImageU8 shifted = Crop(PadConstant(base, 0, 0, 3, 0, 0), 0, 0,
+                               base.width(), base.height());
+  const auto a = ComputeHog(base);
+  const auto b = ComputeHog(shifted);
+  double dot = 0, na = 0, nb = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  // Cosine similarity stays high under a 3px shift.
+  EXPECT_GT(dot / (std::sqrt(na) * std::sqrt(nb)), 0.6);
+}
+
+TEST(HogTest, CustomOptions) {
+  HogOptions opts;
+  opts.window = 32;
+  opts.cell = 8;
+  opts.bins = 6;
+  opts.block = 2;
+  const auto d = ComputeHog(ShapeImage(true), opts);
+  EXPECT_EQ(d.size(), HogDescriptorLength(opts));
+  EXPECT_EQ(d.size(), 3u * 3u * 2u * 2u * 6u);
+}
+
+TEST(HogTest, GrayInputAccepted) {
+  ImageU8 gray(64, 64, 1, 0);
+  for (int y = 20; y < 44; ++y)
+    for (int x = 20; x < 44; ++x) gray.at(y, x) = 255;
+  const auto d = ComputeHog(gray);
+  double total = 0;
+  for (float v : d) total += v;
+  EXPECT_GT(total, 1.0);
+}
+
+}  // namespace
+}  // namespace snor

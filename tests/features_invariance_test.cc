@@ -1,0 +1,120 @@
+// Invariance property sweeps for the descriptor pipelines: descriptors
+// must tolerate the nuisance factors the paper's matching setup relies on
+// (rotation for ORB's steering, noise for ratio-test matching).
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "features/matcher.h"
+#include "img/resize.h"
+#include "features/orb.h"
+#include "features/sift.h"
+#include "img/draw.h"
+#include "img/transform.h"
+#include "util/rng.h"
+
+namespace snor {
+namespace {
+
+ImageU8 Scene() {
+  ImageU8 img(128, 128, 3);
+  FillRect(img, 0, 0, 128, 128, Rgb{190, 190, 190});
+  FillRect(img, 24, 20, 34, 28, Rgb{40, 40, 40});
+  FillCircle(img, 90, 36, 15, Rgb{70, 110, 190});
+  FillPolygon(img, {{34, 86}, {66, 72}, {78, 108}, {44, 116}},
+              Rgb{170, 70, 50});
+  FillRotatedRect(img, 98, 98, 26, 14, 0.6, Rgb{110, 50, 130});
+  Rng rng(5);
+  for (int y = 0; y < 128; ++y)
+    for (int x = 0; x < 128; ++x)
+      for (int c = 0; c < 3; ++c) {
+        const int v =
+            img.at(y, x, c) + static_cast<int>(rng.UniformInt(-6, 6));
+        img.at(y, x, c) = static_cast<std::uint8_t>(std::clamp(v, 0, 255));
+      }
+  return img;
+}
+
+// Fraction of ratio-test survivors when matching `a` against `b`.
+double GoodMatchFraction(const BinaryFeatures& a, const BinaryFeatures& b) {
+  if (a.descriptors.empty() || b.descriptors.empty()) return 0.0;
+  const auto knn = KnnMatchBruteForce(a.descriptors, b.descriptors, 2);
+  const auto good = RatioTestFilter(knn, 0.8f);
+  return static_cast<double>(good.size()) / a.descriptors.size();
+}
+
+double GoodMatchFraction(const FloatFeatures& a, const FloatFeatures& b) {
+  if (a.descriptors.empty() || b.descriptors.empty()) return 0.0;
+  const auto knn = KnnMatchBruteForce(a.descriptors, b.descriptors, 2);
+  const auto good = RatioTestFilter(knn, 0.8f);
+  return static_cast<double>(good.size()) / a.descriptors.size();
+}
+
+class OrbRotationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OrbRotationTest, SteeredBriefSurvivesQuarterTurns) {
+  const ImageU8 scene = Scene();
+  const ImageU8 rotated = Rotate90(scene, GetParam());
+  const auto a = ExtractOrb(scene);
+  const auto b = ExtractOrb(rotated);
+  ASSERT_GT(a.descriptors.size(), 10u);
+  ASSERT_GT(b.descriptors.size(), 10u);
+  // Rotated scene retains a healthy fraction of distinctive matches.
+  EXPECT_GT(GoodMatchFraction(a, b), 0.15) << "turns=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(QuarterTurns, OrbRotationTest,
+                         ::testing::Values(1, 2, 3));
+
+class SiftNoiseTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SiftNoiseTest, MatchingDegradesGracefullyWithNoise) {
+  const ImageU8 scene = Scene();
+  ImageU8 noisy = scene;
+  Rng rng(17);
+  const int amplitude = GetParam();
+  for (int y = 0; y < noisy.height(); ++y)
+    for (int x = 0; x < noisy.width(); ++x)
+      for (int c = 0; c < 3; ++c) {
+        const int v = noisy.at(y, x, c) +
+                      static_cast<int>(rng.UniformInt(-amplitude, amplitude));
+        noisy.at(y, x, c) =
+            static_cast<std::uint8_t>(std::clamp(v, 0, 255));
+      }
+  const auto a = ExtractSift(scene);
+  const auto b = ExtractSift(noisy);
+  ASSERT_GT(a.descriptors.size(), 5u);
+  // Even at the strongest tested noise, some distinctive matches survive.
+  EXPECT_GT(GoodMatchFraction(a, b), 0.1) << "amplitude=" << amplitude;
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseAmplitudes, SiftNoiseTest,
+                         ::testing::Values(4, 10, 18));
+
+TEST(SiftScaleTest, MatchesAcrossModerateRescale) {
+  const ImageU8 scene = Scene();
+  const ImageU8 larger = Resize(scene, 160, 160);
+  const auto a = ExtractSift(scene);
+  const auto b = ExtractSift(larger);
+  ASSERT_GT(a.descriptors.size(), 5u);
+  ASSERT_GT(b.descriptors.size(), 5u);
+  EXPECT_GT(GoodMatchFraction(a, b), 0.1);
+}
+
+TEST(OrbIlluminationTest, MatchesUnderBrightnessShift) {
+  const ImageU8 scene = Scene();
+  ImageU8 darker = scene;
+  for (std::size_t i = 0; i < darker.size(); ++i) {
+    darker.data()[i] = static_cast<std::uint8_t>(darker.data()[i] * 0.7);
+  }
+  const auto a = ExtractOrb(scene);
+  const auto b = ExtractOrb(darker);
+  ASSERT_GT(b.descriptors.size(), 5u);
+  // BRIEF compares relative intensities: brightness scaling preserves
+  // most bits.
+  EXPECT_GT(GoodMatchFraction(a, b), 0.3);
+}
+
+}  // namespace
+}  // namespace snor

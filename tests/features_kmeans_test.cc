@@ -1,0 +1,104 @@
+#include "features/kmeans.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace snor {
+namespace {
+
+// Three well-separated Gaussian blobs in 2-D.
+std::vector<FloatDescriptor> ThreeBlobs(int per_blob, Rng& rng) {
+  const double centres[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  std::vector<FloatDescriptor> points;
+  for (const auto& c : centres) {
+    for (int i = 0; i < per_blob; ++i) {
+      points.push_back({static_cast<float>(c[0] + rng.Normal(0, 0.5)),
+                        static_cast<float>(c[1] + rng.Normal(0, 0.5))});
+    }
+  }
+  return points;
+}
+
+TEST(KMeansTest, RecoversThreeBlobs) {
+  Rng rng(1);
+  const auto points = ThreeBlobs(40, rng);
+  KMeansOptions opts;
+  opts.k = 3;
+  const KMeansResult result = KMeansCluster(points, opts);
+  ASSERT_EQ(result.centroids.size(), 3u);
+  // Each centroid is near one of the true centres.
+  const double truth[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  for (const auto& c : result.centroids) {
+    double best = 1e9;
+    for (const auto& t : truth) {
+      best = std::min(best, std::hypot(c[0] - t[0], c[1] - t[1]));
+    }
+    EXPECT_LT(best, 1.0);
+  }
+  // Points in the same blob share an assignment.
+  for (int b = 0; b < 3; ++b) {
+    const int first = result.assignments[static_cast<std::size_t>(b * 40)];
+    for (int i = 1; i < 40; ++i) {
+      EXPECT_EQ(result.assignments[static_cast<std::size_t>(b * 40 + i)],
+                first);
+    }
+  }
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  Rng rng(2);
+  const auto points = ThreeBlobs(30, rng);
+  KMeansOptions k2;
+  k2.k = 2;
+  KMeansOptions k6;
+  k6.k = 6;
+  EXPECT_GT(KMeansCluster(points, k2).inertia,
+            KMeansCluster(points, k6).inertia);
+}
+
+TEST(KMeansTest, KLargerThanPointsClamps) {
+  std::vector<FloatDescriptor> points = {{0, 0}, {1, 1}};
+  KMeansOptions opts;
+  opts.k = 10;
+  const KMeansResult result = KMeansCluster(points, opts);
+  EXPECT_LE(result.centroids.size(), 2u);
+}
+
+TEST(KMeansTest, EmptyInput) {
+  const KMeansResult result = KMeansCluster({}, KMeansOptions{});
+  EXPECT_TRUE(result.centroids.empty());
+  EXPECT_TRUE(result.assignments.empty());
+}
+
+TEST(KMeansTest, IdenticalPointsSingleCluster) {
+  std::vector<FloatDescriptor> points(20, FloatDescriptor{3.0f, 4.0f});
+  KMeansOptions opts;
+  opts.k = 4;
+  const KMeansResult result = KMeansCluster(points, opts);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-9);
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  Rng rng(3);
+  const auto points = ThreeBlobs(20, rng);
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.seed = 42;
+  const KMeansResult a = KMeansCluster(points, opts);
+  const KMeansResult b = KMeansCluster(points, opts);
+  EXPECT_EQ(a.assignments, b.assignments);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(NearestCentroidTest, PicksClosest) {
+  std::vector<FloatDescriptor> centroids = {{0, 0}, {10, 0}};
+  EXPECT_EQ(NearestCentroid(centroids, {1, 0}), 0);
+  EXPECT_EQ(NearestCentroid(centroids, {9, 0}), 1);
+  EXPECT_EQ(NearestCentroid({}, {1, 2}), -1);
+}
+
+}  // namespace
+}  // namespace snor

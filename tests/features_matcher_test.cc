@@ -1,0 +1,206 @@
+#include "features/matcher.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "features/kdtree.h"
+#include "util/rng.h"
+
+namespace snor {
+namespace {
+
+BinaryDescriptor MakeBinary(std::uint8_t fill) {
+  BinaryDescriptor d;
+  d.fill(fill);
+  return d;
+}
+
+TEST(HammingTest, IdenticalIsZero) {
+  const BinaryDescriptor a = MakeBinary(0xAB);
+  EXPECT_EQ(HammingDistance(a, a), 0);
+}
+
+TEST(HammingTest, FullyDifferentIs256) {
+  EXPECT_EQ(HammingDistance(MakeBinary(0x00), MakeBinary(0xFF)), 256);
+}
+
+TEST(HammingTest, SingleBit) {
+  BinaryDescriptor a = MakeBinary(0);
+  BinaryDescriptor b = MakeBinary(0);
+  b[17] = 0x10;
+  EXPECT_EQ(HammingDistance(a, b), 1);
+}
+
+TEST(FloatDistanceTest, L2KnownValue) {
+  FloatDescriptor a = {0, 0, 0};
+  FloatDescriptor b = {3, 4, 0};
+  EXPECT_FLOAT_EQ(FloatDistance(a, b, FloatNorm::kL2), 5.0f);
+}
+
+TEST(FloatDistanceTest, L1KnownValue) {
+  FloatDescriptor a = {1, -2, 3};
+  FloatDescriptor b = {0, 0, 0};
+  EXPECT_FLOAT_EQ(FloatDistance(a, b, FloatNorm::kL1), 6.0f);
+}
+
+TEST(BruteForceTest, FindsNearestFloat) {
+  std::vector<FloatDescriptor> train = {{0, 0}, {10, 0}, {0, 10}};
+  std::vector<FloatDescriptor> query = {{9, 1}, {1, 9}};
+  const auto matches = MatchBruteForce(query, train);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].train_idx, 1);
+  EXPECT_EQ(matches[1].train_idx, 2);
+  EXPECT_EQ(matches[0].query_idx, 0);
+}
+
+TEST(BruteForceTest, EmptyTrainGivesEmpty) {
+  std::vector<FloatDescriptor> query = {{1, 2}};
+  EXPECT_TRUE(MatchBruteForce(query, {}).empty());
+  std::vector<BinaryDescriptor> bq = {MakeBinary(1)};
+  EXPECT_TRUE(MatchBruteForce(bq, {}).empty());
+}
+
+TEST(BruteForceTest, BinaryNearest) {
+  std::vector<BinaryDescriptor> train = {MakeBinary(0x00), MakeBinary(0xFF),
+                                         MakeBinary(0x0F)};
+  std::vector<BinaryDescriptor> query = {MakeBinary(0x0E)};
+  const auto matches = MatchBruteForce(query, train);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].train_idx, 2);  // 0x0F differs by 1 bit per byte.
+}
+
+TEST(KnnTest, ReturnsSortedNeighbours) {
+  std::vector<FloatDescriptor> train = {{0}, {5}, {2}, {9}};
+  std::vector<FloatDescriptor> query = {{1}};
+  const auto knn = KnnMatchBruteForce(query, train, 3);
+  ASSERT_EQ(knn.size(), 1u);
+  ASSERT_EQ(knn[0].size(), 3u);
+  // Indices 0 and 2 tie at distance 1 (any order), index 1 comes third.
+  EXPECT_TRUE((knn[0][0].train_idx == 0 && knn[0][1].train_idx == 2) ||
+              (knn[0][0].train_idx == 2 && knn[0][1].train_idx == 0));
+  EXPECT_EQ(knn[0][2].train_idx, 1);
+  EXPECT_LE(knn[0][0].distance, knn[0][1].distance);
+  EXPECT_LE(knn[0][1].distance, knn[0][2].distance);
+}
+
+TEST(KnnTest, KLargerThanTrainClamps) {
+  std::vector<FloatDescriptor> train = {{0}, {1}};
+  std::vector<FloatDescriptor> query = {{0}};
+  const auto knn = KnnMatchBruteForce(query, train, 5);
+  ASSERT_EQ(knn[0].size(), 2u);
+}
+
+TEST(RatioTest, KeepsDistinctiveMatches) {
+  std::vector<std::vector<DMatch>> knn = {
+      {{0, 1, 1.0f}, {0, 2, 10.0f}},  // Distinctive: 1 < 0.5*10.
+      {{1, 3, 5.0f}, {1, 4, 6.0f}},   // Ambiguous: 5 >= 0.5*6.
+      {{2, 5, 2.0f}},                 // Too few neighbours: dropped.
+  };
+  const auto good = RatioTestFilter(knn, 0.5f);
+  ASSERT_EQ(good.size(), 1u);
+  EXPECT_EQ(good[0].train_idx, 1);
+}
+
+TEST(RatioTest, HigherRatioKeepsMore) {
+  std::vector<std::vector<DMatch>> knn = {
+      {{0, 1, 5.0f}, {0, 2, 6.0f}},
+  };
+  EXPECT_TRUE(RatioTestFilter(knn, 0.5f).empty());
+  EXPECT_EQ(RatioTestFilter(knn, 0.9f).size(), 1u);
+}
+
+TEST(CrossCheckTest, KeepsMutualMatches) {
+  std::vector<DMatch> forward = {{0, 3, 1.0f}, {1, 4, 1.0f}};
+  std::vector<DMatch> backward = {{3, 0, 1.0f}, {4, 9, 1.0f}};
+  const auto kept = CrossCheckFilter(forward, backward);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].query_idx, 0);
+  EXPECT_EQ(kept[0].train_idx, 3);
+}
+
+std::vector<FloatDescriptor> RandomDescriptors(int n, int dim, Rng& rng) {
+  std::vector<FloatDescriptor> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    FloatDescriptor d(static_cast<std::size_t>(dim));
+    for (auto& v : d) v = static_cast<float>(rng.Normal());
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+TEST(KdTreeTest, ExactModeMatchesBruteForce) {
+  Rng rng(101);
+  const auto train = RandomDescriptors(200, 16, rng);
+  const auto query = RandomDescriptors(20, 16, rng);
+  // max_leaf_checks >= n means exhaustive search -> exact.
+  KdTreeMatcher tree(train, /*max_leaf_checks=*/100000);
+  const auto knn_tree = tree.KnnMatch(query, 1);
+  const auto knn_bf = KnnMatchBruteForce(query, train, 1);
+  ASSERT_EQ(knn_tree.size(), knn_bf.size());
+  for (std::size_t i = 0; i < knn_tree.size(); ++i) {
+    ASSERT_EQ(knn_tree[i].size(), 1u);
+    EXPECT_EQ(knn_tree[i][0].train_idx, knn_bf[i][0].train_idx);
+    EXPECT_NEAR(knn_tree[i][0].distance, knn_bf[i][0].distance, 1e-4);
+  }
+}
+
+TEST(KdTreeTest, ApproximateModeFindsGoodNeighbours) {
+  Rng rng(202);
+  const auto train = RandomDescriptors(500, 8, rng);
+  const auto query = RandomDescriptors(50, 8, rng);
+  KdTreeMatcher tree(train, /*max_leaf_checks=*/64);
+  const auto knn_tree = tree.KnnMatch(query, 1);
+  const auto knn_bf = KnnMatchBruteForce(query, train, 1);
+  int exact_hits = 0;
+  for (std::size_t i = 0; i < knn_tree.size(); ++i) {
+    ASSERT_FALSE(knn_tree[i].empty());
+    if (knn_tree[i][0].train_idx == knn_bf[i][0].train_idx) ++exact_hits;
+    // Even approximate answers must be within 2x of the true distance.
+    EXPECT_LE(knn_tree[i][0].distance, knn_bf[i][0].distance * 2.0f + 1e-3f);
+  }
+  EXPECT_GT(exact_hits, 25);  // Most queries resolve exactly.
+}
+
+TEST(KdTreeTest, KnnListsSortedAndSized) {
+  Rng rng(303);
+  const auto train = RandomDescriptors(64, 4, rng);
+  const auto query = RandomDescriptors(5, 4, rng);
+  KdTreeMatcher tree(train, 100000);
+  const auto knn = tree.KnnMatch(query, 3);
+  for (const auto& list : knn) {
+    ASSERT_EQ(list.size(), 3u);
+    EXPECT_LE(list[0].distance, list[1].distance);
+    EXPECT_LE(list[1].distance, list[2].distance);
+  }
+}
+
+TEST(KdTreeTest, EmptyTrainSet) {
+  KdTreeMatcher tree({}, 16);
+  const auto knn = tree.KnnMatch({{1.0f, 2.0f}}, 1);
+  ASSERT_EQ(knn.size(), 1u);
+  EXPECT_TRUE(knn[0].empty());
+}
+
+TEST(KdTreeTest, DuplicatePointsHandled) {
+  std::vector<FloatDescriptor> train(50, FloatDescriptor{1.0f, 2.0f});
+  KdTreeMatcher tree(train, 100000);
+  const auto knn = tree.KnnMatch({{1.0f, 2.0f}}, 2);
+  ASSERT_EQ(knn[0].size(), 2u);
+  EXPECT_NEAR(knn[0][0].distance, 0.0f, 1e-6);
+}
+
+TEST(KdTreeTest, QueryIdxPopulated) {
+  Rng rng(404);
+  const auto train = RandomDescriptors(32, 4, rng);
+  const auto query = RandomDescriptors(3, 4, rng);
+  KdTreeMatcher tree(train, 100000);
+  const auto knn = tree.KnnMatch(query, 1);
+  for (std::size_t i = 0; i < knn.size(); ++i) {
+    EXPECT_EQ(knn[i][0].query_idx, static_cast<int>(i));
+  }
+}
+
+}  // namespace
+}  // namespace snor

@@ -1,0 +1,160 @@
+#include "geometry/contour.h"
+
+#include <gtest/gtest.h>
+
+#include "img/draw.h"
+
+namespace snor {
+namespace {
+
+ImageU8 BinaryCanvas(int w, int h) { return ImageU8(w, h, 1, 0); }
+
+void StampRect(ImageU8& img, int x, int y, int w, int h) {
+  for (int yy = y; yy < y + h; ++yy)
+    for (int xx = x; xx < x + w; ++xx) img.at(yy, xx) = 255;
+}
+
+TEST(LabelComponentsTest, CountsDisjointBlobs) {
+  ImageU8 img = BinaryCanvas(20, 20);
+  StampRect(img, 1, 1, 3, 3);
+  StampRect(img, 10, 10, 4, 4);
+  int n = 0;
+  const Image<int> labels = LabelComponents(img, &n);
+  EXPECT_EQ(n, 2);
+  EXPECT_NE(labels.at(2, 2), labels.at(12, 12));
+  EXPECT_EQ(labels.at(0, 0), 0);
+}
+
+TEST(LabelComponentsTest, DiagonalTouchIsOneComponent) {
+  ImageU8 img = BinaryCanvas(4, 4);
+  img.at(0, 0) = 255;
+  img.at(1, 1) = 255;
+  int n = 0;
+  LabelComponents(img, &n);
+  EXPECT_EQ(n, 1);
+}
+
+TEST(LabelComponentsTest, EmptyImageHasNoComponents) {
+  ImageU8 img = BinaryCanvas(5, 5);
+  int n = -1;
+  LabelComponents(img, &n);
+  EXPECT_EQ(n, 0);
+}
+
+TEST(FindContoursTest, SingleRectangleContour) {
+  ImageU8 img = BinaryCanvas(20, 20);
+  StampRect(img, 4, 5, 8, 6);
+  const auto contours = FindContours(img);
+  ASSERT_EQ(contours.size(), 1u);
+  const Rect bb = BoundingRect(contours[0]);
+  EXPECT_EQ(bb, (Rect{4, 5, 8, 6}));
+  // Boundary area: the traced border encloses (w-1)*(h-1) pixel centres.
+  EXPECT_NEAR(ContourArea(contours[0]), 7.0 * 5.0, 1e-9);
+}
+
+TEST(FindContoursTest, SortsByAreaDescending) {
+  ImageU8 img = BinaryCanvas(40, 40);
+  StampRect(img, 1, 1, 4, 4);
+  StampRect(img, 10, 10, 20, 20);
+  StampRect(img, 34, 34, 2, 2);
+  const auto contours = FindContours(img);
+  ASSERT_EQ(contours.size(), 3u);
+  EXPECT_GT(ContourArea(contours[0]), ContourArea(contours[1]));
+  EXPECT_GT(ContourArea(contours[1]), ContourArea(contours[2]));
+  EXPECT_EQ(BoundingRect(contours[0]).width, 20);
+}
+
+TEST(FindContoursTest, MinPixelsFilters) {
+  ImageU8 img = BinaryCanvas(20, 20);
+  StampRect(img, 1, 1, 2, 2);   // 4 px
+  StampRect(img, 10, 10, 5, 5); // 25 px
+  EXPECT_EQ(FindContours(img, 5).size(), 1u);
+  EXPECT_EQ(FindContours(img, 1).size(), 2u);
+}
+
+TEST(FindContoursTest, IsolatedPixel) {
+  ImageU8 img = BinaryCanvas(5, 5);
+  img.at(2, 2) = 255;
+  const auto contours = FindContours(img);
+  ASSERT_EQ(contours.size(), 1u);
+  EXPECT_EQ(contours[0].size(), 1u);
+  EXPECT_EQ(contours[0][0], (Point{2, 2}));
+  EXPECT_DOUBLE_EQ(ContourArea(contours[0]), 0.0);
+}
+
+TEST(FindContoursTest, ContourIsClosedChain) {
+  ImageU8 img = BinaryCanvas(30, 30);
+  FillCircle(img, 15, 15, 8, Rgb{255, 255, 255});
+  const auto contours = FindContours(img);
+  ASSERT_EQ(contours.size(), 1u);
+  const Contour& c = contours[0];
+  ASSERT_GT(c.size(), 8u);
+  // Consecutive points (and the wrap-around pair) are king-adjacent.
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const Point& a = c[i];
+    const Point& b = c[(i + 1) % c.size()];
+    EXPECT_LE(std::abs(a.x - b.x), 1);
+    EXPECT_LE(std::abs(a.y - b.y), 1);
+    EXPECT_FALSE(a == b);
+  }
+}
+
+TEST(FindContoursTest, CircleAreaApproximation) {
+  ImageU8 img = BinaryCanvas(64, 64);
+  FillCircle(img, 32, 32, 12, Rgb{255, 255, 255});
+  const auto contours = FindContours(img);
+  ASSERT_EQ(contours.size(), 1u);
+  EXPECT_NEAR(ContourArea(contours[0]), 3.14159 * 12 * 12, 50);
+}
+
+TEST(FindContoursTest, TouchesImageBorder) {
+  ImageU8 img = BinaryCanvas(10, 10);
+  StampRect(img, 0, 0, 10, 10);
+  const auto contours = FindContours(img);
+  ASSERT_EQ(contours.size(), 1u);
+  EXPECT_EQ(BoundingRect(contours[0]), (Rect{0, 0, 10, 10}));
+}
+
+TEST(FindContoursTest, ConcaveShapeTracedCorrectly) {
+  // L-shape: bounding box is 10x10 but area is smaller.
+  ImageU8 img = BinaryCanvas(20, 20);
+  StampRect(img, 2, 2, 10, 4);
+  StampRect(img, 2, 2, 4, 10);
+  const auto contours = FindContours(img);
+  ASSERT_EQ(contours.size(), 1u);
+  const double area = ContourArea(contours[0]);
+  EXPECT_LT(area, 9.0 * 9.0);
+  EXPECT_GT(area, 40.0);
+}
+
+TEST(ContourGeometryTest, PerimeterOfSquare) {
+  Contour square = {{0, 0}, {4, 0}, {4, 4}, {0, 4}};
+  EXPECT_DOUBLE_EQ(ContourPerimeter(square), 16.0);
+  EXPECT_DOUBLE_EQ(ContourArea(square), 16.0);
+}
+
+TEST(ContourGeometryTest, EmptyAndDegenerate) {
+  EXPECT_DOUBLE_EQ(ContourArea({}), 0.0);
+  EXPECT_DOUBLE_EQ(ContourArea({{1, 1}}), 0.0);
+  EXPECT_DOUBLE_EQ(ContourArea({{1, 1}, {5, 5}}), 0.0);
+  EXPECT_DOUBLE_EQ(ContourPerimeter({}), 0.0);
+  EXPECT_EQ(BoundingRect({}), (Rect{}));
+}
+
+TEST(ContourGeometryTest, AreaIsOrientationInvariant) {
+  Contour cw = {{0, 0}, {4, 0}, {4, 4}, {0, 4}};
+  Contour ccw(cw.rbegin(), cw.rend());
+  EXPECT_DOUBLE_EQ(ContourArea(cw), ContourArea(ccw));
+}
+
+TEST(BoundingRectTest, ContainsSemantics) {
+  const Rect r{2, 3, 4, 5};
+  EXPECT_TRUE(r.Contains({2, 3}));
+  EXPECT_TRUE(r.Contains({5, 7}));
+  EXPECT_FALSE(r.Contains({6, 3}));
+  EXPECT_FALSE(r.Contains({2, 8}));
+  EXPECT_EQ(r.Area(), 20);
+}
+
+}  // namespace
+}  // namespace snor

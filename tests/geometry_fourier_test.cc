@@ -1,0 +1,92 @@
+#include "geometry/fourier.h"
+
+#include <gtest/gtest.h>
+
+#include "geometry/contour.h"
+#include "img/draw.h"
+
+namespace snor {
+namespace {
+
+constexpr Rgb kWhite{255, 255, 255};
+
+Contour ShapeContour(double angle_deg, double scale, double dx, double dy) {
+  ImageU8 img(220, 220, 1, 0);
+  const double cx = 110 + dx;
+  const double cy = 110 + dy;
+  std::vector<Point2d> poly = {
+      {cx - 34 * scale, cy - 44 * scale}, {cx + 12 * scale, cy - 44 * scale},
+      {cx + 12 * scale, cy + 2 * scale},  {cx + 34 * scale, cy + 2 * scale},
+      {cx + 34 * scale, cy + 44 * scale}, {cx - 34 * scale, cy + 44 * scale},
+  };
+  const double rad = angle_deg * 3.14159265358979 / 180.0;
+  for (auto& p : poly) p = RotatePoint(p, {cx, cy}, rad);
+  FillPolygon(img, poly, kWhite);
+  const auto contours = FindContours(img);
+  EXPECT_FALSE(contours.empty());
+  return contours.empty() ? Contour{} : contours[0];
+}
+
+TEST(FourierTest, DescriptorLengthAndRange) {
+  const auto d = FourierDescriptors(ShapeContour(0, 1, 0, 0), 16);
+  EXPECT_EQ(d.size(), 16u);
+  for (double v : d) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 50.0);
+  }
+}
+
+TEST(FourierTest, DegenerateContoursRejected) {
+  EXPECT_TRUE(FourierDescriptors({}, 8).empty());
+  EXPECT_TRUE(FourierDescriptors({{1, 1}, {2, 2}, {3, 3}}, 8).empty());
+}
+
+TEST(FourierTest, TranslationInvariance) {
+  const auto a = FourierDescriptors(ShapeContour(0, 1, 0, 0));
+  const auto b = FourierDescriptors(ShapeContour(0, 1, 40, -25));
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_LT(FourierDistance(a, b), 0.05);
+}
+
+class FourierRotationTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(FourierRotationTest, RotationInvariance) {
+  const auto a = FourierDescriptors(ShapeContour(0, 1, 0, 0));
+  const auto b = FourierDescriptors(ShapeContour(GetParam(), 1, 0, 0));
+  EXPECT_LT(FourierDistance(a, b), 0.12) << "angle=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, FourierRotationTest,
+                         ::testing::Values(30.0, 45.0, 90.0, 150.0, 270.0));
+
+class FourierScaleTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(FourierScaleTest, ScaleInvariance) {
+  const auto a = FourierDescriptors(ShapeContour(0, 1, 0, 0));
+  const auto b = FourierDescriptors(ShapeContour(0, GetParam(), 0, 0));
+  EXPECT_LT(FourierDistance(a, b), 0.12) << "scale=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, FourierScaleTest,
+                         ::testing::Values(0.6, 0.8, 1.3, 1.7));
+
+TEST(FourierTest, DiscriminatesShapes) {
+  const auto poly = FourierDescriptors(ShapeContour(0, 1, 0, 0));
+  ImageU8 img(220, 220, 1, 0);
+  FillEllipse(img, 110, 110, 70, 25, kWhite);
+  const auto ellipse = FourierDescriptors(FindContours(img)[0]);
+  // Distance to the rotated self is much smaller than to the ellipse.
+  const auto rotated = FourierDescriptors(ShapeContour(60, 1.2, 10, 5));
+  EXPECT_LT(FourierDistance(poly, rotated),
+            FourierDistance(poly, ellipse));
+}
+
+TEST(FourierTest, DistanceProperties) {
+  const auto a = FourierDescriptors(ShapeContour(0, 1, 0, 0));
+  EXPECT_DOUBLE_EQ(FourierDistance(a, a), 0.0);
+  EXPECT_GT(FourierDistance(a, {}), 1e100);
+  EXPECT_DOUBLE_EQ(FourierDistance({}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace snor

@@ -1,0 +1,209 @@
+#include "geometry/moments.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "geometry/contour.h"
+#include "img/draw.h"
+#include "img/threshold.h"
+#include "img/transform.h"
+
+namespace snor {
+namespace {
+
+constexpr Rgb kWhite{255, 255, 255};
+
+// Renders a canonical "chair-profile" test silhouette at the given
+// rotation/scale/translation and returns its largest contour.
+Contour RenderShapeContour(double degrees, double scale, int dx, int dy) {
+  ImageU8 img(200, 200, 1, 0);
+  const double cx = 100 + dx;
+  const double cy = 100 + dy;
+  // An L-ish asymmetric polygon (no rotational self-symmetry).
+  std::vector<Point2d> poly = {
+      {cx - 30 * scale, cy - 40 * scale}, {cx + 10 * scale, cy - 40 * scale},
+      {cx + 10 * scale, cy + 0 * scale},  {cx + 30 * scale, cy + 0 * scale},
+      {cx + 30 * scale, cy + 40 * scale}, {cx - 30 * scale, cy + 40 * scale},
+  };
+  const double rad = degrees * 3.14159265358979323846 / 180.0;
+  for (auto& p : poly) p = RotatePoint(p, {cx, cy}, rad);
+  FillPolygon(img, poly, kWhite);
+  const auto contours = FindContours(img);
+  EXPECT_FALSE(contours.empty());
+  return contours.empty() ? Contour{} : contours[0];
+}
+
+TEST(ContourMomentsTest, SquareAreaAndCentroid) {
+  // Unit square scaled: vertices (10,10)(30,10)(30,30)(10,30).
+  Contour square = {{10, 10}, {30, 10}, {30, 30}, {10, 30}};
+  const Moments m = ContourMoments(square);
+  EXPECT_NEAR(m.m00, 400.0, 1e-9);
+  EXPECT_NEAR(m.m10 / m.m00, 20.0, 1e-9);
+  EXPECT_NEAR(m.m01 / m.m00, 20.0, 1e-9);
+}
+
+TEST(ContourMomentsTest, CentralMomentsOfSquare) {
+  Contour square = {{0, 0}, {10, 0}, {10, 10}, {0, 10}};
+  const Moments m = ContourMoments(square);
+  // mu20 = integral (x-cx)^2 over square = w^3*h/12 = 10000/12.
+  EXPECT_NEAR(m.mu20, 10000.0 / 12.0, 1e-6);
+  EXPECT_NEAR(m.mu02, 10000.0 / 12.0, 1e-6);
+  EXPECT_NEAR(m.mu11, 0.0, 1e-9);
+}
+
+TEST(ContourMomentsTest, OrientationSignHandled) {
+  Contour cw = {{0, 0}, {10, 0}, {10, 10}, {0, 10}};
+  Contour ccw(cw.rbegin(), cw.rend());
+  const Moments a = ContourMoments(cw);
+  const Moments b = ContourMoments(ccw);
+  EXPECT_NEAR(a.m00, b.m00, 1e-9);
+  EXPECT_NEAR(a.nu20, b.nu20, 1e-12);
+}
+
+TEST(ContourMomentsTest, EmptyContourIsZero) {
+  const Moments m = ContourMoments({});
+  EXPECT_EQ(m.m00, 0.0);
+  EXPECT_EQ(m.nu20, 0.0);
+}
+
+TEST(RegionMomentsTest, MatchesPixelCount) {
+  ImageU8 img(10, 10, 1, 0);
+  for (int y = 2; y < 6; ++y)
+    for (int x = 3; x < 8; ++x) img.at(y, x) = 255;
+  const Moments m = RegionMoments(img);
+  EXPECT_DOUBLE_EQ(m.m00, 20.0);
+  EXPECT_NEAR(m.m10 / m.m00, 5.0, 1e-9);  // x centroid = (3..7 mean) = 5
+  EXPECT_NEAR(m.m01 / m.m00, 3.5, 1e-9);
+}
+
+TEST(RegionMomentsTest, NormalizedMomentsScaleInvariant) {
+  ImageU8 small(50, 50, 1, 0);
+  ImageU8 big(200, 200, 1, 0);
+  FillRect(small, 10, 10, 20, 12, kWhite);
+  FillRect(big, 40, 40, 80, 48, kWhite);
+  const Moments ms = RegionMoments(small);
+  const Moments mb = RegionMoments(big);
+  // Discrete pixel grids add O(1/size) error to the continuous invariant.
+  EXPECT_NEAR(ms.nu20, mb.nu20, 2e-2 * std::abs(ms.nu20) + 1e-5);
+  EXPECT_NEAR(ms.nu02, mb.nu02, 2e-2 * std::abs(ms.nu02) + 1e-5);
+}
+
+TEST(HuMomentsTest, KnownValueForSquare) {
+  Contour square = {{0, 0}, {100, 0}, {100, 100}, {0, 100}};
+  const HuMoments hu = ComputeHuMoments(ContourMoments(square));
+  // For a square: nu20 = nu02 = 1/12 -> hu[0] = 1/6; higher terms vanish.
+  EXPECT_NEAR(hu[0], 1.0 / 6.0, 1e-9);
+  EXPECT_NEAR(hu[1], 0.0, 1e-12);
+  EXPECT_NEAR(hu[2], 0.0, 1e-12);
+}
+
+TEST(HuMomentsTest, TranslationInvariance) {
+  const Contour a = RenderShapeContour(0, 1.0, 0, 0);
+  const Contour b = RenderShapeContour(0, 1.0, 35, -22);
+  const HuMoments ha = ComputeHuMoments(ContourMoments(a));
+  const HuMoments hb = ComputeHuMoments(ContourMoments(b));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(ha[static_cast<std::size_t>(i)],
+                hb[static_cast<std::size_t>(i)],
+                2e-3 * std::abs(ha[static_cast<std::size_t>(i)]) + 1e-7)
+        << "hu[" << i << "]";
+  }
+}
+
+/// Property sweep: Hu moments are (approximately, for rasterized shapes)
+/// invariant under rotation and scale.
+class HuInvarianceTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(HuInvarianceTest, RotationInvariance) {
+  const double angle = GetParam();
+  const Contour base = RenderShapeContour(0, 1.0, 0, 0);
+  const Contour rot = RenderShapeContour(angle, 1.0, 0, 0);
+  const HuMoments ha = ComputeHuMoments(ContourMoments(base));
+  const HuMoments hb = ComputeHuMoments(ContourMoments(rot));
+  // Rasterized contours carry O(1/perimeter) boundary noise, which is
+  // amplified in the small third-order invariants; allow ~30% there while
+  // keeping the dominant hu[0], hu[1] tight.
+  for (int i = 0; i < 4; ++i) {
+    const double ref = std::abs(ha[static_cast<std::size_t>(i)]);
+    const double rel = i < 2 ? 0.08 : 0.30;
+    EXPECT_NEAR(ha[static_cast<std::size_t>(i)],
+                hb[static_cast<std::size_t>(i)], rel * ref + 1e-6)
+        << "angle=" << angle << " hu[" << i << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, HuInvarianceTest,
+                         ::testing::Values(15.0, 30.0, 45.0, 60.0, 90.0,
+                                           120.0, 180.0, 270.0, 315.0));
+
+class HuScaleInvarianceTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(HuScaleInvarianceTest, ScaleInvariance) {
+  const double scale = GetParam();
+  const Contour base = RenderShapeContour(0, 1.0, 0, 0);
+  const Contour scaled = RenderShapeContour(0, scale, 0, 0);
+  const HuMoments ha = ComputeHuMoments(ContourMoments(base));
+  const HuMoments hb = ComputeHuMoments(ContourMoments(scaled));
+  for (int i = 0; i < 4; ++i) {
+    const double ref = std::abs(ha[static_cast<std::size_t>(i)]);
+    const double rel = i < 2 ? 0.08 : 0.30;
+    EXPECT_NEAR(ha[static_cast<std::size_t>(i)],
+                hb[static_cast<std::size_t>(i)], rel * ref + 1e-6)
+        << "scale=" << scale << " hu[" << i << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, HuScaleInvarianceTest,
+                         ::testing::Values(0.5, 0.75, 1.25, 1.5, 2.0));
+
+TEST(MatchShapesTest, IdenticalShapesHaveZeroDistance) {
+  const Contour c = RenderShapeContour(0, 1.0, 0, 0);
+  EXPECT_NEAR(MatchShapes(c, c, ShapeMatchMethod::kI1), 0.0, 1e-12);
+  EXPECT_NEAR(MatchShapes(c, c, ShapeMatchMethod::kI2), 0.0, 1e-12);
+  EXPECT_NEAR(MatchShapes(c, c, ShapeMatchMethod::kI3), 0.0, 1e-12);
+}
+
+TEST(MatchShapesTest, SymmetricForI2) {
+  const Contour a = RenderShapeContour(0, 1.0, 0, 0);
+  ImageU8 img(100, 100, 1, 0);
+  FillCircle(img, 50, 50, 30, kWhite);
+  const Contour b = FindContours(img)[0];
+  EXPECT_NEAR(MatchShapes(a, b, ShapeMatchMethod::kI2),
+              MatchShapes(b, a, ShapeMatchMethod::kI2), 1e-12);
+}
+
+TEST(MatchShapesTest, RotatedShapeCloserThanDifferentShape) {
+  const Contour base = RenderShapeContour(0, 1.0, 0, 0);
+  const Contour rotated = RenderShapeContour(40, 1.0, 10, 5);
+  ImageU8 img(200, 200, 1, 0);
+  FillEllipse(img, 100, 100, 60, 20, kWhite);
+  const Contour ellipse = FindContours(img)[0];
+  for (auto method : {ShapeMatchMethod::kI1, ShapeMatchMethod::kI2,
+                      ShapeMatchMethod::kI3}) {
+    EXPECT_LT(MatchShapes(base, rotated, method),
+              MatchShapes(base, ellipse, method));
+  }
+}
+
+TEST(MatchShapesTest, DegenerateVsRealIsMaximal) {
+  HuMoments zero{};
+  const Contour c = RenderShapeContour(0, 1.0, 0, 0);
+  const HuMoments real = ComputeHuMoments(ContourMoments(c));
+  EXPECT_GT(MatchShapes(zero, real, ShapeMatchMethod::kI1), 1e100);
+}
+
+TEST(MatchShapesTest, MirroredShapeIsClose) {
+  // Hu moments 1-6 are reflection invariant.
+  const Contour base = RenderShapeContour(0, 1.0, 0, 0);
+  ImageU8 img(200, 200, 1, 0);
+  std::vector<Point2d> poly = {
+      {130, 60}, {90, 60}, {90, 100}, {70, 100}, {70, 140}, {130, 140},
+  };
+  FillPolygon(img, poly, kWhite);
+  const Contour mirrored = FindContours(img)[0];
+  EXPECT_LT(MatchShapes(base, mirrored, ShapeMatchMethod::kI2), 0.4);
+}
+
+}  // namespace
+}  // namespace snor

@@ -1,0 +1,163 @@
+#include "img/filter.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "img/integral.h"
+
+namespace snor {
+namespace {
+
+TEST(GaussianKernelTest, NormalizedAndSymmetric) {
+  const auto k = GaussianKernel1D(1.5);
+  const double sum = std::accumulate(k.begin(), k.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  for (std::size_t i = 0; i < k.size(); ++i) {
+    EXPECT_FLOAT_EQ(k[i], k[k.size() - 1 - i]);
+  }
+  // Peak at the centre.
+  EXPECT_GT(k[k.size() / 2], k[0]);
+}
+
+TEST(GaussianKernelTest, ExplicitRadius) {
+  const auto k = GaussianKernel1D(2.0, 5);
+  EXPECT_EQ(k.size(), 11u);
+}
+
+TEST(GaussianBlurTest, ConstantImageUnchanged) {
+  ImageF img(9, 9, 1, 42.0f);
+  ImageF out = GaussianBlur(img, 2.0);
+  for (int y = 0; y < 9; ++y)
+    for (int x = 0; x < 9; ++x) EXPECT_NEAR(out.at(y, x), 42.0f, 1e-3);
+}
+
+TEST(GaussianBlurTest, ReducesVariance) {
+  ImageF img(16, 16, 1);
+  for (int y = 0; y < 16; ++y)
+    for (int x = 0; x < 16; ++x)
+      img.at(y, x) = ((x + y) % 2 == 0) ? 0.0f : 255.0f;
+  ImageF out = GaussianBlur(img, 1.0);
+  auto variance = [](const ImageF& im) {
+    double mean = 0;
+    for (int y = 0; y < im.height(); ++y)
+      for (int x = 0; x < im.width(); ++x) mean += im.at(y, x);
+    mean /= im.size();
+    double var = 0;
+    for (int y = 0; y < im.height(); ++y)
+      for (int x = 0; x < im.width(); ++x) {
+        const double d = im.at(y, x) - mean;
+        var += d * d;
+      }
+    return var / im.size();
+  };
+  EXPECT_LT(variance(out), variance(img) * 0.2);
+}
+
+TEST(GaussianBlurTest, PreservesMeanApproximately) {
+  ImageF img(12, 12, 1);
+  for (int y = 0; y < 12; ++y)
+    for (int x = 0; x < 12; ++x)
+      img.at(y, x) = static_cast<float>(x * 7 + y * 3);
+  ImageF out = GaussianBlur(img, 1.2);
+  double in_mean = 0;
+  double out_mean = 0;
+  for (int y = 0; y < 12; ++y)
+    for (int x = 0; x < 12; ++x) {
+      in_mean += img.at(y, x);
+      out_mean += out.at(y, x);
+    }
+  EXPECT_NEAR(in_mean / 144, out_mean / 144, 1.0);
+}
+
+TEST(GaussianBlurTest, U8OverloadRoundTrips) {
+  ImageU8 img(8, 8, 3, 100);
+  ImageU8 out = GaussianBlur(img, 1.0);
+  EXPECT_EQ(out.at(4, 4, 1), 100);
+}
+
+TEST(SobelTest, VerticalEdgeRespondsToDx) {
+  ImageF img(8, 8, 1);
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x) img.at(y, x) = x < 4 ? 0.0f : 100.0f;
+  ImageF gx = Sobel(img, 1, 0);
+  ImageF gy = Sobel(img, 0, 1);
+  // Strong horizontal gradient at the edge, zero vertical gradient.
+  EXPECT_GT(gx.at(4, 4), 100.0f);
+  EXPECT_NEAR(gy.at(4, 4), 0.0f, 1e-4);
+}
+
+TEST(SobelTest, HorizontalEdgeRespondsToDy) {
+  ImageF img(8, 8, 1);
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x) img.at(y, x) = y < 4 ? 0.0f : 100.0f;
+  ImageF gy = Sobel(img, 0, 1);
+  EXPECT_GT(gy.at(4, 4), 100.0f);
+}
+
+TEST(SobelTest, LinearRampGradientValue) {
+  // f(x, y) = 10x: Sobel dx = 10 * 8 = 80 (kernel gain 8).
+  ImageF img(8, 8, 1);
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x) img.at(y, x) = 10.0f * x;
+  ImageF gx = Sobel(img, 1, 0);
+  EXPECT_NEAR(gx.at(4, 4), 80.0f, 1e-3);
+}
+
+TEST(SobelMagnitudeTest, CombinesBothAxes) {
+  ImageF img(8, 8, 1);
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x) img.at(y, x) = 10.0f * (x + y);
+  ImageF mag = SobelMagnitude(img);
+  EXPECT_NEAR(mag.at(4, 4), std::sqrt(80.0 * 80.0 * 2.0), 1e-2);
+}
+
+TEST(BoxFilterTest, ConstantUnchanged) {
+  ImageF img(6, 6, 1, 5.0f);
+  ImageF out = BoxFilter(img, 2);
+  EXPECT_NEAR(out.at(3, 3), 5.0f, 1e-5);
+}
+
+TEST(IntegralImageTest, SumsMatchBruteForce) {
+  ImageU8 img(7, 5, 1);
+  for (int y = 0; y < 5; ++y)
+    for (int x = 0; x < 7; ++x)
+      img.at(y, x) = static_cast<std::uint8_t>((x * 3 + y * 11) % 250);
+  IntegralImage integral(img);
+  auto brute = [&](int x, int y, int w, int h) {
+    double acc = 0;
+    for (int yy = std::max(0, y); yy < std::min(5, y + h); ++yy)
+      for (int xx = std::max(0, x); xx < std::min(7, x + w); ++xx)
+        acc += img.at(yy, xx);
+    return acc;
+  };
+  for (int y = -1; y < 6; ++y)
+    for (int x = -1; x < 8; ++x)
+      for (int h = 0; h < 7; ++h)
+        for (int w = 0; w < 9; ++w)
+          EXPECT_DOUBLE_EQ(integral.Sum(x, y, w, h), brute(x, y, w, h))
+              << x << "," << y << " " << w << "x" << h;
+}
+
+TEST(IntegralImageTest, FullImageSum) {
+  ImageU8 img(4, 4, 1, 2);
+  IntegralImage integral(img);
+  EXPECT_DOUBLE_EQ(integral.Sum(0, 0, 4, 4), 32.0);
+}
+
+TEST(IntegralImageTest, EmptyRectIsZero) {
+  ImageU8 img(4, 4, 1, 9);
+  IntegralImage integral(img);
+  EXPECT_DOUBLE_EQ(integral.Sum(2, 2, 0, 5), 0.0);
+  EXPECT_DOUBLE_EQ(integral.Sum(10, 10, 3, 3), 0.0);
+}
+
+TEST(IntegralImageTest, FloatInput) {
+  ImageF img(3, 3, 1, 0.5f);
+  IntegralImage integral(img);
+  EXPECT_NEAR(integral.Sum(0, 0, 3, 3), 4.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace snor

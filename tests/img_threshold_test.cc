@@ -1,0 +1,78 @@
+#include "img/threshold.h"
+
+#include <gtest/gtest.h>
+
+namespace snor {
+namespace {
+
+ImageU8 MakeGradient() {
+  ImageU8 img(4, 1, 1);
+  img.at(0, 0) = 10;
+  img.at(0, 1) = 100;
+  img.at(0, 2) = 150;
+  img.at(0, 3) = 240;
+  return img;
+}
+
+TEST(ThresholdTest, BinaryMode) {
+  ImageU8 out = Threshold(MakeGradient(), 120, 255, ThresholdMode::kBinary);
+  EXPECT_EQ(out.at(0, 0), 0);
+  EXPECT_EQ(out.at(0, 1), 0);
+  EXPECT_EQ(out.at(0, 2), 255);
+  EXPECT_EQ(out.at(0, 3), 255);
+}
+
+TEST(ThresholdTest, BinaryInvMode) {
+  ImageU8 out =
+      Threshold(MakeGradient(), 120, 255, ThresholdMode::kBinaryInv);
+  EXPECT_EQ(out.at(0, 0), 255);
+  EXPECT_EQ(out.at(0, 1), 255);
+  EXPECT_EQ(out.at(0, 2), 0);
+  EXPECT_EQ(out.at(0, 3), 0);
+}
+
+TEST(ThresholdTest, ThresholdIsExclusive) {
+  // dst = maxval iff src > thresh (strict), matching OpenCV.
+  ImageU8 img(1, 1, 1);
+  img.at(0, 0) = 120;
+  EXPECT_EQ(Threshold(img, 120, 255, ThresholdMode::kBinary).at(0, 0), 0);
+  EXPECT_EQ(Threshold(img, 119, 255, ThresholdMode::kBinary).at(0, 0), 255);
+}
+
+TEST(ThresholdTest, CustomMaxval) {
+  ImageU8 out = Threshold(MakeGradient(), 120, 1, ThresholdMode::kBinary);
+  EXPECT_EQ(out.at(0, 3), 1);
+}
+
+TEST(OtsuTest, SeparatesBimodalHistogram) {
+  // Two clusters: ~40 and ~200; Otsu should land between them.
+  ImageU8 img(100, 2, 1);
+  for (int x = 0; x < 100; ++x) {
+    img.at(0, x) = static_cast<std::uint8_t>(35 + (x % 10));
+    img.at(1, x) = static_cast<std::uint8_t>(195 + (x % 10));
+  }
+  const std::uint8_t t = OtsuThreshold(img);
+  EXPECT_GE(t, 44);  // Top of the low cluster.
+  EXPECT_LT(t, 195);
+}
+
+TEST(OtsuTest, UniformImageDoesNotCrash) {
+  ImageU8 img(8, 8, 1, 77);
+  const std::uint8_t t = OtsuThreshold(img);
+  EXPECT_LE(t, 77);
+}
+
+TEST(OtsuTest, ThresholdOtsuProducesBinaryImage) {
+  ImageU8 img(10, 1, 1);
+  for (int x = 0; x < 10; ++x)
+    img.at(0, x) = static_cast<std::uint8_t>(x < 5 ? 20 : 220);
+  ImageU8 out = ThresholdOtsu(img, ThresholdMode::kBinary);
+  for (int x = 0; x < 10; ++x) {
+    EXPECT_TRUE(out.at(0, x) == 0 || out.at(0, x) == 255);
+  }
+  EXPECT_EQ(out.at(0, 0), 0);
+  EXPECT_EQ(out.at(0, 9), 255);
+}
+
+}  // namespace
+}  // namespace snor

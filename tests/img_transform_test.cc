@@ -1,0 +1,169 @@
+#include "img/transform.h"
+
+#include <gtest/gtest.h>
+
+#include "img/resize.h"
+
+namespace snor {
+namespace {
+
+ImageU8 MakeNumbered(int w, int h) {
+  ImageU8 img(w, h, 1);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x)
+      img.at(y, x) = static_cast<std::uint8_t>(y * w + x);
+  return img;
+}
+
+TEST(ResizeTest, NearestIdentity) {
+  ImageU8 img = MakeNumbered(5, 4);
+  EXPECT_EQ(Resize(img, 5, 4, Interp::kNearest), img);
+}
+
+TEST(ResizeTest, BilinearIdentity) {
+  ImageU8 img = MakeNumbered(5, 4);
+  EXPECT_EQ(Resize(img, 5, 4, Interp::kBilinear), img);
+}
+
+TEST(ResizeTest, NearestDoubling) {
+  ImageU8 img(2, 1, 1);
+  img.at(0, 0) = 10;
+  img.at(0, 1) = 20;
+  ImageU8 big = Resize(img, 4, 2, Interp::kNearest);
+  EXPECT_EQ(big.at(0, 0), 10);
+  EXPECT_EQ(big.at(0, 1), 10);
+  EXPECT_EQ(big.at(0, 2), 20);
+  EXPECT_EQ(big.at(1, 3), 20);
+}
+
+TEST(ResizeTest, BilinearConstantStaysConstant) {
+  ImageU8 img(7, 5, 3, 93);
+  ImageU8 out = Resize(img, 13, 9, Interp::kBilinear);
+  for (int y = 0; y < out.height(); ++y)
+    for (int x = 0; x < out.width(); ++x)
+      for (int c = 0; c < 3; ++c) EXPECT_EQ(out.at(y, x, c), 93);
+}
+
+TEST(ResizeTest, DownscalePreservesMeanApproximately) {
+  ImageU8 img(8, 8, 1);
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x)
+      img.at(y, x) = static_cast<std::uint8_t>((x + y) * 16);
+  ImageU8 small = Resize(img, 4, 4, Interp::kBilinear);
+  double mean_in = 0;
+  double mean_out = 0;
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x) mean_in += img.at(y, x);
+  for (int y = 0; y < 4; ++y)
+    for (int x = 0; x < 4; ++x) mean_out += small.at(y, x);
+  mean_in /= 64;
+  mean_out /= 16;
+  EXPECT_NEAR(mean_in, mean_out, 6.0);
+}
+
+TEST(ResizeTest, FloatOverloadWorks) {
+  ImageF img(2, 2, 1);
+  img.at(0, 0) = 0.0f;
+  img.at(0, 1) = 1.0f;
+  img.at(1, 0) = 1.0f;
+  img.at(1, 1) = 2.0f;
+  ImageF out = Resize(img, 4, 4, Interp::kBilinear);
+  EXPECT_GE(out.at(0, 0), 0.0f);
+  EXPECT_LE(out.at(3, 3), 2.0f);
+}
+
+TEST(Rotate90Test, FullTurnIsIdentity) {
+  ImageU8 img = MakeNumbered(4, 3);
+  EXPECT_EQ(Rotate90(img, 4), img);
+  EXPECT_EQ(Rotate90(img, 0), img);
+}
+
+TEST(Rotate90Test, QuarterTurnSwapsDimensions) {
+  ImageU8 img = MakeNumbered(4, 3);
+  ImageU8 r = Rotate90(img, 1);
+  EXPECT_EQ(r.width(), 3);
+  EXPECT_EQ(r.height(), 4);
+}
+
+TEST(Rotate90Test, FourQuartersCompose) {
+  ImageU8 img = MakeNumbered(5, 3);
+  ImageU8 once = Rotate90(Rotate90(img, 1), 1);
+  EXPECT_EQ(once, Rotate90(img, 2));
+  EXPECT_EQ(Rotate90(Rotate90(img, 3), 1), img);
+}
+
+TEST(Rotate90Test, NegativeTurnsWrap) {
+  ImageU8 img = MakeNumbered(4, 4);
+  EXPECT_EQ(Rotate90(img, -1), Rotate90(img, 3));
+}
+
+TEST(Rotate90Test, KnownPixelMapping) {
+  ImageU8 img(2, 2, 1);
+  img.at(0, 0) = 1;
+  img.at(0, 1) = 2;
+  img.at(1, 0) = 3;
+  img.at(1, 1) = 4;
+  // CCW: top-right corner moves to top-left.
+  ImageU8 r = Rotate90(img, 1);
+  EXPECT_EQ(r.at(0, 0), 2);
+  EXPECT_EQ(r.at(0, 1), 4);
+  EXPECT_EQ(r.at(1, 0), 1);
+  EXPECT_EQ(r.at(1, 1), 3);
+}
+
+TEST(RotateTest, ZeroAngleIsNearIdentity) {
+  ImageU8 img = MakeNumbered(8, 8);
+  ImageU8 r = Rotate(img, 0.0);
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x) EXPECT_NEAR(r.at(y, x), img.at(y, x), 1);
+}
+
+TEST(RotateTest, Rotate180MatchesFlips) {
+  ImageU8 img = MakeNumbered(9, 9);
+  ImageU8 r = Rotate(img, 180.0);
+  ImageU8 f = FlipHorizontal(FlipVertical(img));
+  int max_diff = 0;
+  for (int y = 1; y < 8; ++y)
+    for (int x = 1; x < 8; ++x)
+      max_diff = std::max(max_diff, std::abs(static_cast<int>(r.at(y, x)) -
+                                             static_cast<int>(f.at(y, x))));
+  EXPECT_LE(max_diff, 1);
+}
+
+TEST(RotateTest, UncoveredPixelsGetFill) {
+  ImageU8 img(11, 11, 1, 255);
+  ImageU8 r = Rotate(img, 45.0, 7);
+  // Corners rotate out of the frame -> fill value.
+  EXPECT_EQ(r.at(0, 0), 7);
+  EXPECT_EQ(r.at(10, 10), 7);
+  // Centre remains foreground.
+  EXPECT_EQ(r.at(5, 5), 255);
+}
+
+TEST(FlipTest, HorizontalReversesRows) {
+  ImageU8 img = MakeNumbered(3, 2);
+  ImageU8 f = FlipHorizontal(img);
+  EXPECT_EQ(f.at(0, 0), img.at(0, 2));
+  EXPECT_EQ(f.at(1, 2), img.at(1, 0));
+  EXPECT_EQ(FlipHorizontal(f), img);
+}
+
+TEST(FlipTest, VerticalReversesColumns) {
+  ImageU8 img = MakeNumbered(2, 3);
+  ImageU8 f = FlipVertical(img);
+  EXPECT_EQ(f.at(0, 0), img.at(2, 0));
+  EXPECT_EQ(FlipVertical(f), img);
+}
+
+TEST(PadTest, ConstantBorder) {
+  ImageU8 img(2, 2, 1, 50);
+  ImageU8 padded = PadConstant(img, 1, 2, 3, 4, 9);
+  EXPECT_EQ(padded.width(), 2 + 3 + 4);
+  EXPECT_EQ(padded.height(), 2 + 1 + 2);
+  EXPECT_EQ(padded.at(0, 0), 9);
+  EXPECT_EQ(padded.at(1, 3), 50);
+  EXPECT_EQ(padded.at(4, 8), 9);
+}
+
+}  // namespace
+}  // namespace snor

@@ -1,0 +1,148 @@
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "knowledge/semantic_map.h"
+#include "knowledge/synsets.h"
+
+namespace snor {
+namespace {
+
+TEST(SynsetTest, EveryClassHasCompleteEntry) {
+  for (ObjectClass cls : AllClasses()) {
+    const SynsetEntry& entry = SynsetFor(cls);
+    EXPECT_FALSE(entry.synset_id.empty());
+    EXPECT_EQ(entry.synset_id[0], 'n');  // WordNet noun offset.
+    EXPECT_FALSE(entry.lemmas.empty());
+    EXPECT_FALSE(entry.hypernyms.empty());
+    EXPECT_FALSE(entry.related_concepts.empty());
+  }
+}
+
+TEST(SynsetTest, SynsetIdsAreUnique) {
+  std::set<std::string> seen;
+  for (ObjectClass cls : AllClasses()) {
+    EXPECT_TRUE(seen.insert(SynsetFor(cls).synset_id).second);
+  }
+}
+
+TEST(SynsetTest, ChairHasKnownWordNetId) {
+  EXPECT_EQ(SynsetFor(ObjectClass::kChair).synset_id, "n03001627");
+}
+
+TEST(SynsetTest, LemmaResolution) {
+  EXPECT_EQ(ClassFromLemma("sofa").value(), ObjectClass::kSofa);
+  EXPECT_EQ(ClassFromLemma("couch").value(), ObjectClass::kSofa);
+  EXPECT_EQ(ClassFromLemma("COUCH").value(), ObjectClass::kSofa);
+  EXPECT_EQ(ClassFromLemma("volume").value(), ObjectClass::kBook);
+  EXPECT_FALSE(ClassFromLemma("spaceship").ok());
+}
+
+TEST(SynsetTest, ConceptLookupFurniture) {
+  const auto classes = ClassesWithConcept("furniture");
+  EXPECT_NE(std::find(classes.begin(), classes.end(), ObjectClass::kChair),
+            classes.end());
+  EXPECT_NE(std::find(classes.begin(), classes.end(), ObjectClass::kSofa),
+            classes.end());
+  EXPECT_NE(std::find(classes.begin(), classes.end(), ObjectClass::kTable),
+            classes.end());
+  EXPECT_EQ(std::find(classes.begin(), classes.end(), ObjectClass::kPaper),
+            classes.end());
+}
+
+TEST(SynsetTest, ConceptLookupOpenable) {
+  const auto classes = ClassesWithConcept("openable");
+  EXPECT_NE(std::find(classes.begin(), classes.end(), ObjectClass::kDoor),
+            classes.end());
+  EXPECT_NE(std::find(classes.begin(), classes.end(), ObjectClass::kWindow),
+            classes.end());
+}
+
+TEST(SynsetTest, ConceptLookupSit) {
+  const auto classes = ClassesWithConcept("sit");
+  ASSERT_EQ(classes.size(), 2u);  // Chair and sofa.
+}
+
+TEST(SynsetTest, UnknownConceptIsEmpty) {
+  EXPECT_TRUE(ClassesWithConcept("teleportation").empty());
+}
+
+TEST(SemanticMapTest, NewObservationsCreateObjects) {
+  SemanticMap map(0.5);
+  map.AddObservation(0.0, 0.0, ObjectClass::kChair);
+  map.AddObservation(5.0, 5.0, ObjectClass::kTable);
+  EXPECT_EQ(map.objects().size(), 2u);
+}
+
+TEST(SemanticMapTest, NearbyObservationsMerge) {
+  SemanticMap map(1.0);
+  const int id1 = map.AddObservation(0.0, 0.0, ObjectClass::kChair);
+  const int id2 = map.AddObservation(0.3, 0.3, ObjectClass::kChair);
+  EXPECT_EQ(id1, id2);
+  ASSERT_EQ(map.objects().size(), 1u);
+  EXPECT_EQ(map.objects()[0].total_observations, 2);
+  // Position is the running average.
+  EXPECT_NEAR(map.objects()[0].x, 0.15, 1e-9);
+}
+
+TEST(SemanticMapTest, VotingResolvesLabelNoise) {
+  SemanticMap map(1.0);
+  map.AddObservation(0, 0, ObjectClass::kSofa);
+  map.AddObservation(0.1, 0, ObjectClass::kSofa);
+  map.AddObservation(0, 0.1, ObjectClass::kChair);  // Misclassification.
+  ASSERT_EQ(map.objects().size(), 1u);
+  EXPECT_EQ(map.objects()[0].Label(), ObjectClass::kSofa);
+  EXPECT_NEAR(map.objects()[0].Confidence(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(SemanticMapTest, FarObservationsStaySeparate) {
+  SemanticMap map(0.5);
+  map.AddObservation(0, 0, ObjectClass::kLamp);
+  map.AddObservation(0.6, 0, ObjectClass::kLamp);
+  EXPECT_EQ(map.objects().size(), 2u);
+}
+
+TEST(SemanticMapTest, FindByClassAndLemma) {
+  SemanticMap map(0.5);
+  map.AddObservation(0, 0, ObjectClass::kSofa);
+  map.AddObservation(3, 3, ObjectClass::kChair);
+  map.AddObservation(6, 6, ObjectClass::kSofa);
+  EXPECT_EQ(map.FindByClass(ObjectClass::kSofa).size(), 2u);
+  EXPECT_EQ(map.FindByLemma("couch").size(), 2u);
+  EXPECT_TRUE(map.FindByLemma("starship").empty());
+}
+
+TEST(SemanticMapTest, FindByConceptSupportsTaskQueries) {
+  SemanticMap map(0.5);
+  map.AddObservation(0, 0, ObjectClass::kChair);   // sit
+  map.AddObservation(3, 0, ObjectClass::kDoor);    // openable
+  map.AddObservation(6, 0, ObjectClass::kWindow);  // openable
+  map.AddObservation(9, 0, ObjectClass::kPaper);
+  EXPECT_EQ(map.FindByConcept("sit").size(), 1u);
+  EXPECT_EQ(map.FindByConcept("openable").size(), 2u);
+  EXPECT_EQ(map.FindByConcept("recyclable").size(), 1u);
+}
+
+TEST(SemanticMapTest, InventoryCountsMajorityLabels) {
+  SemanticMap map(0.5);
+  map.AddObservation(0, 0, ObjectClass::kBox);
+  map.AddObservation(5, 5, ObjectClass::kBox);
+  map.AddObservation(9, 9, ObjectClass::kLamp);
+  const auto inv = map.Inventory();
+  EXPECT_EQ(inv[static_cast<std::size_t>(ClassIndex(ObjectClass::kBox))],
+            2);
+  EXPECT_EQ(inv[static_cast<std::size_t>(ClassIndex(ObjectClass::kLamp))],
+            1);
+}
+
+TEST(SemanticMapTest, EmptyMapQueries) {
+  SemanticMap map;
+  EXPECT_TRUE(map.objects().empty());
+  EXPECT_TRUE(map.FindByConcept("furniture").empty());
+  for (int count : map.Inventory()) EXPECT_EQ(count, 0);
+}
+
+}  // namespace
+}  // namespace snor

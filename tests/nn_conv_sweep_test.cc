@@ -1,0 +1,112 @@
+// Parameterized gradient-check sweep over Conv2D / MaxPool configurations:
+// every (kernel, stride, padding, channels) combination used anywhere in
+// the models must backpropagate correctly.
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+#include "nn/xcorr.h"
+#include "nn_gradcheck.h"
+
+namespace snor {
+namespace {
+
+double Dot(const Tensor& a, const Tensor& b) {
+  double acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * b[i];
+  }
+  return acc;
+}
+
+// (in_channels, out_channels, kernel, stride, padding)
+using ConvParams = std::tuple<int, int, int, int, int>;
+
+class ConvGradSweep : public ::testing::TestWithParam<ConvParams> {};
+
+TEST_P(ConvGradSweep, ForwardBackwardConsistent) {
+  const auto [in_c, out_c, k, stride, pad] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(in_c * 100 + out_c * 10 + k));
+  Conv2D conv(in_c, out_c, k, stride, pad, rng);
+  Tensor input({1, in_c, 8, 8});
+  Rng rng2(99);
+  Randomize(input, rng2);
+
+  Tensor out = conv.Forward(input, true);
+  Tensor w(out.shape());
+  Rng rng3(7);
+  Randomize(w, rng3);
+
+  auto params = conv.Params();
+  for (auto& p : params) p->grad.Fill(0.0f);
+  const Tensor analytic = conv.Backward(w);
+  auto loss_fn = [&]() { return Dot(conv.Forward(input, true), w); };
+  ExpectGradientsClose(analytic, NumericGradient(input, loss_fn));
+  ExpectGradientsClose(params[0]->grad,
+                       NumericGradient(params[0]->value, loss_fn));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ConvGradSweep,
+    ::testing::Values(ConvParams{1, 2, 1, 1, 0},   // 1x1 conv
+                      ConvParams{2, 3, 3, 1, 1},   // same-pad 3x3
+                      ConvParams{3, 2, 5, 1, 2},   // same-pad 5x5
+                      ConvParams{2, 2, 3, 2, 0},   // strided
+                      ConvParams{1, 4, 3, 2, 1},   // strided + pad
+                      ConvParams{4, 1, 2, 2, 0})); // even kernel
+
+class PoolGradSweep
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(PoolGradSweep, BackwardMatchesNumeric) {
+  const auto [kernel, stride] = GetParam();
+  MaxPool2D pool(kernel, stride);
+  Tensor input({1, 2, 8, 8});
+  Rng rng(31);
+  Randomize(input, rng);
+  Tensor out = pool.Forward(input, true);
+  Tensor w(out.shape());
+  Rng rng2(33);
+  Randomize(w, rng2);
+  const Tensor analytic = pool.Backward(w);
+  auto loss_fn = [&]() { return Dot(pool.Forward(input, true), w); };
+  ExpectGradientsClose(analytic, NumericGradient(input, loss_fn, 1e-4),
+                       3e-2, 5e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, PoolGradSweep,
+                         ::testing::Values(std::pair<int, int>{2, 2},
+                                           std::pair<int, int>{3, 2},
+                                           std::pair<int, int>{2, 1},
+                                           std::pair<int, int>{4, 4}));
+
+class XCorrConfigSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(XCorrConfigSweep, OutputShapeMatchesConfig) {
+  const auto [patch, sy, sx] = GetParam();
+  NormXCorrLayer xcorr(patch, sy, sx);
+  Tensor a({1, 2, 6, 6});
+  Tensor b({1, 2, 6, 6});
+  Rng rng(41);
+  Randomize(a, rng);
+  Randomize(b, rng);
+  const Tensor out = xcorr.Forward(a, b);
+  EXPECT_EQ(out.dim(1), (2 * sy + 1) * (2 * sx + 1));
+  EXPECT_EQ(out.dim(2), 6);
+  EXPECT_EQ(out.dim(3), 6);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_LE(std::abs(out[i]), 1.0f + 1e-4f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, XCorrConfigSweep,
+                         ::testing::Values(std::tuple<int, int, int>{1, 0, 0},
+                                           std::tuple<int, int, int>{3, 0, 2},
+                                           std::tuple<int, int, int>{3, 2, 0},
+                                           std::tuple<int, int, int>{5, 1, 1}));
+
+}  // namespace
+}  // namespace snor

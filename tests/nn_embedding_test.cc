@@ -1,0 +1,264 @@
+#include "nn/embedding.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/cosine_merge.h"
+#include "nn/loss.h"
+#include "nn/model.h"
+#include "nn/optimizer.h"
+#include "nn_gradcheck.h"
+
+namespace snor {
+namespace {
+
+EmbeddingModelConfig TinyConfig() {
+  EmbeddingModelConfig config;
+  config.input_height = 16;
+  config.input_width = 16;
+  config.conv1_channels = 4;
+  config.conv2_channels = 6;
+  config.embedding_dim = 8;
+  return config;
+}
+
+Tensor RandomBatch(int n, int c, int h, int w, std::uint64_t seed) {
+  Tensor t({n, c, h, w});
+  Rng rng(seed);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.UniformDouble());
+  }
+  return t;
+}
+
+TEST(EmbeddingModelTest, OutputShapeAndNormalization) {
+  EmbeddingModel model(TinyConfig());
+  const Tensor batch = RandomBatch(3, 3, 16, 16, 1);
+  const Tensor e = model.Embed(batch, false);
+  EXPECT_EQ(e.shape(), (std::vector<int>{3, 8}));
+  for (int i = 0; i < 3; ++i) {
+    double norm = 0;
+    for (int j = 0; j < 8; ++j) {
+      norm += static_cast<double>(e.At2(i, j)) * e.At2(i, j);
+    }
+    EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-4);
+  }
+}
+
+TEST(EmbeddingModelTest, CloneSharesParameters) {
+  EmbeddingModel model(TinyConfig());
+  auto clone = model.CloneShared();
+  const auto p1 = model.Params();
+  const auto p2 = clone->Params();
+  ASSERT_EQ(p1.size(), p2.size());
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_EQ(p1[i].get(), p2[i].get());
+  }
+}
+
+TEST(EmbeddingModelTest, BackwardProducesGradients) {
+  EmbeddingModel model(TinyConfig());
+  const Tensor batch = RandomBatch(2, 3, 16, 16, 2);
+  const auto params = model.Params();
+  Optimizer::ZeroGrad(params);
+  const Tensor e = model.Embed(batch, true);
+  Tensor grad(e.shape(), 0.1f);
+  model.Backward(grad);
+  double total = 0;
+  for (const auto& p : params) {
+    for (std::size_t i = 0; i < p->grad.size(); ++i) {
+      total += std::abs(p->grad[i]);
+    }
+  }
+  EXPECT_GT(total, 1e-8);
+}
+
+TEST(TripletLossTest, SatisfiedTripletHasZeroLoss) {
+  // Anchor == positive, negative far away, margin small.
+  Tensor a = Tensor::FromVector({1, 0}).Reshaped({1, 2});
+  Tensor p = Tensor::FromVector({1, 0}).Reshaped({1, 2});
+  Tensor n = Tensor::FromVector({0, 1}).Reshaped({1, 2});
+  const auto result = TripletLoss(a, p, n, 0.5);
+  EXPECT_DOUBLE_EQ(result.loss, 0.0);
+  EXPECT_DOUBLE_EQ(result.active_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(result.grad_anchor.Sum(), 0.0);
+}
+
+TEST(TripletLossTest, ViolatingTripletHasPositiveLoss) {
+  Tensor a = Tensor::FromVector({1, 0}).Reshaped({1, 2});
+  Tensor p = Tensor::FromVector({0, 1}).Reshaped({1, 2});  // Far positive.
+  Tensor n = Tensor::FromVector({1, 0}).Reshaped({1, 2});  // Equal negative.
+  const auto result = TripletLoss(a, p, n, 0.2);
+  // dap = 2, dan = 0 -> loss = 2.2.
+  EXPECT_NEAR(result.loss, 2.2, 1e-6);
+  EXPECT_DOUBLE_EQ(result.active_fraction, 1.0);
+}
+
+TEST(TripletLossTest, GradCheck) {
+  Rng rng(5);
+  Tensor a({3, 4});
+  Tensor p({3, 4});
+  Tensor n({3, 4});
+  Randomize(a, rng);
+  Randomize(p, rng);
+  Randomize(n, rng);
+  const auto result = TripletLoss(a, p, n, 0.3);
+  auto loss_fn = [&]() { return TripletLoss(a, p, n, 0.3).loss; };
+  ExpectGradientsClose(result.grad_anchor, NumericGradient(a, loss_fn, 1e-4),
+                       1e-2, 3e-2);
+  ExpectGradientsClose(result.grad_positive,
+                       NumericGradient(p, loss_fn, 1e-4), 1e-2, 3e-2);
+  ExpectGradientsClose(result.grad_negative,
+                       NumericGradient(n, loss_fn, 1e-4), 1e-2, 3e-2);
+}
+
+TEST(TripletTrainingTest, SeparatesTwoClusters) {
+  // Two "classes" of 16x16 images: bright-top vs bright-bottom. After a
+  // few triplet steps, intra-class embedding distance should be smaller
+  // than inter-class distance.
+  EmbeddingModel model(TinyConfig());
+  auto anchor_net = model.CloneShared();
+  auto pos_net = model.CloneShared();
+  auto neg_net = model.CloneShared();
+  const auto params = model.Params();
+  Adam optimizer(3e-3);
+  Rng rng(11);
+
+  auto make = [&](bool top) {
+    Tensor t({3, 16, 16});
+    for (int c = 0; c < 3; ++c)
+      for (int y = 0; y < 16; ++y)
+        for (int x = 0; x < 16; ++x) {
+          const bool bright = top ? y < 8 : y >= 8;
+          t[static_cast<std::size_t>((c * 16 + y) * 16 + x)] =
+              (bright ? 0.9f : 0.1f) +
+              static_cast<float>(rng.Uniform(-0.05, 0.05));
+        }
+    return t;
+  };
+
+  for (int step = 0; step < 30; ++step) {
+    const bool cls = rng.Bernoulli(0.5);
+    Tensor a = make(cls);
+    Tensor p = make(cls);
+    Tensor n = make(!cls);
+    Optimizer::ZeroGrad(params);
+    const Tensor ea = anchor_net->Embed(StackBatch({&a}), true);
+    const Tensor ep = pos_net->Embed(StackBatch({&p}), true);
+    const Tensor en = neg_net->Embed(StackBatch({&n}), true);
+    const auto result = TripletLoss(ea, ep, en, 0.3);
+    anchor_net->Backward(result.grad_anchor);
+    pos_net->Backward(result.grad_positive);
+    neg_net->Backward(result.grad_negative);
+    optimizer.Step(params);
+  }
+
+  auto dist = [&](const Tensor& u, const Tensor& v) {
+    double d = 0;
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      d += (static_cast<double>(u[i]) - v[i]) *
+           (static_cast<double>(u[i]) - v[i]);
+    }
+    return d;
+  };
+  Tensor t1 = make(true), t2 = make(true), b1 = make(false);
+  const Tensor e1 = model.Embed(StackBatch({&t1}), false);
+  const Tensor e2 = model.Embed(StackBatch({&t2}), false);
+  const Tensor e3 = model.Embed(StackBatch({&b1}), false);
+  EXPECT_LT(dist(e1, e2), dist(e1, e3));
+}
+
+// ----------------------------------------------------- CosineMerge --
+
+double Dot(const Tensor& a, const Tensor& b) {
+  double acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * b[i];
+  }
+  return acc;
+}
+
+TEST(CosineMergeTest, OutputShapeAndRange) {
+  CosineMergeLayer merge;
+  Tensor a({2, 4, 5, 5});
+  Tensor b({2, 4, 5, 5});
+  Rng rng(7);
+  Randomize(a, rng);
+  Randomize(b, rng);
+  const Tensor out = merge.Forward(a, b);
+  EXPECT_EQ(out.shape(), (std::vector<int>{2, 1, 5, 5}));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_LE(std::abs(out[i]), 1.0f + 1e-5f);
+  }
+}
+
+TEST(CosineMergeTest, IdenticalInputsGiveOne) {
+  CosineMergeLayer merge;
+  Tensor a({1, 3, 4, 4});
+  Rng rng(9);
+  Randomize(a, rng);
+  const Tensor out = merge.Forward(a, a);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out[i], 1.0f, 1e-4);
+  }
+}
+
+TEST(CosineMergeTest, OppositeInputsGiveMinusOne) {
+  CosineMergeLayer merge;
+  Tensor a({1, 3, 2, 2});
+  Rng rng(13);
+  Randomize(a, rng);
+  Tensor b = a;
+  b.Scale(-2.0f);  // Opposite direction, different magnitude.
+  const Tensor out = merge.Forward(a, b);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out[i], -1.0f, 1e-4);
+  }
+}
+
+TEST(CosineMergeTest, GradCheck) {
+  CosineMergeLayer merge;
+  Tensor a({1, 3, 3, 3});
+  Tensor b({1, 3, 3, 3});
+  Rng rng(17);
+  Randomize(a, rng);
+  Randomize(b, rng);
+  const Tensor out = merge.Forward(a, b);
+  Tensor w(out.shape());
+  Rng rng2(19);
+  Randomize(w, rng2);
+  Tensor ga, gb;
+  merge.Backward(w, &ga, &gb);
+  auto loss_fn = [&]() {
+    CosineMergeLayer fresh;
+    return Dot(fresh.Forward(a, b), w);
+  };
+  ExpectGradientsClose(ga, NumericGradient(a, loss_fn, 1e-3), 2e-2, 5e-2);
+  ExpectGradientsClose(gb, NumericGradient(b, loss_fn, 1e-3), 2e-2, 5e-2);
+}
+
+TEST(CosineModelTest, CosineMergeVariantRuns) {
+  XCorrModelConfig config;
+  config.input_height = 16;
+  config.input_width = 16;
+  config.trunk_conv1_channels = 4;
+  config.trunk_conv2_channels = 6;
+  config.head_conv_channels = 8;
+  config.dense_units = 16;
+  config.merge = MergeKind::kCosine;
+  XCorrModel model(config);
+  const Tensor a = RandomBatch(2, 3, 16, 16, 21);
+  const Tensor b = RandomBatch(2, 3, 16, 16, 22);
+  const Tensor logits = model.Forward(a, b, false);
+  EXPECT_EQ(logits.shape(), (std::vector<int>{2, 2}));
+  // And it can train a step without crashing.
+  SoftmaxCrossEntropy loss;
+  Optimizer::ZeroGrad(model.Params());
+  model.Forward(a, b, true);
+  loss.Forward(logits, {0, 1});
+  model.Backward(loss.Backward());
+}
+
+}  // namespace
+}  // namespace snor

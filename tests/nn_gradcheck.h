@@ -1,0 +1,56 @@
+#ifndef SNOR_TESTS_NN_GRADCHECK_H_
+#define SNOR_TESTS_NN_GRADCHECK_H_
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace snor {
+
+/// Fills a tensor with small random values.
+inline void Randomize(Tensor& t, Rng& rng, double scale = 1.0) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.Normal(0.0, scale));
+  }
+}
+
+/// Central-difference numeric gradient of `loss_fn` w.r.t. `param`.
+/// `loss_fn` must fully re-run the forward pass using the (mutated)
+/// parameter values.
+inline Tensor NumericGradient(Tensor& param,
+                              const std::function<double()>& loss_fn,
+                              double h = 1e-3) {
+  Tensor grad(param.shape());
+  for (std::size_t i = 0; i < param.size(); ++i) {
+    const float orig = param[i];
+    param[i] = static_cast<float>(orig + h);
+    const double plus = loss_fn();
+    param[i] = static_cast<float>(orig - h);
+    const double minus = loss_fn();
+    param[i] = orig;
+    grad[i] = static_cast<float>((plus - minus) / (2.0 * h));
+  }
+  return grad;
+}
+
+/// Asserts that analytic and numeric gradients agree within a mixed
+/// absolute/relative tolerance appropriate for float32 layers.
+inline void ExpectGradientsClose(const Tensor& analytic,
+                                 const Tensor& numeric, double abs_tol = 2e-2,
+                                 double rel_tol = 5e-2) {
+  ASSERT_EQ(analytic.size(), numeric.size());
+  for (std::size_t i = 0; i < analytic.size(); ++i) {
+    const double a = analytic[i];
+    const double n = numeric[i];
+    const double tol = abs_tol + rel_tol * std::max(std::abs(a), std::abs(n));
+    EXPECT_NEAR(a, n, tol) << "gradient element " << i;
+  }
+}
+
+}  // namespace snor
+
+#endif  // SNOR_TESTS_NN_GRADCHECK_H_

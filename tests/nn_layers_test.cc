@@ -1,0 +1,256 @@
+#include "nn/layers.h"
+
+#include <gtest/gtest.h>
+
+#include "nn_gradcheck.h"
+
+namespace snor {
+namespace {
+
+// Scalar "loss" used by gradient checks: dot(output, weights) with fixed
+// random weights, whose gradient w.r.t. output is simply the weights.
+Tensor LossWeights(const Tensor& like, std::uint64_t seed) {
+  Tensor w(like.shape());
+  Rng rng(seed);
+  Randomize(w, rng);
+  return w;
+}
+
+double Dot(const Tensor& a, const Tensor& b) {
+  double acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * b[i];
+  }
+  return acc;
+}
+
+TEST(Conv2DTest, OutputShape) {
+  Rng rng(1);
+  Conv2D conv(3, 8, 5, 1, 2, rng);
+  Tensor input({2, 3, 16, 16});
+  Tensor out = conv.Forward(input, false);
+  EXPECT_EQ(out.shape(), (std::vector<int>{2, 8, 16, 16}));
+}
+
+TEST(Conv2DTest, StrideAndNoPadding) {
+  Rng rng(1);
+  Conv2D conv(1, 4, 3, 2, 0, rng);
+  Tensor input({1, 1, 9, 9});
+  Tensor out = conv.Forward(input, false);
+  EXPECT_EQ(out.shape(), (std::vector<int>{1, 4, 4, 4}));
+}
+
+TEST(Conv2DTest, IdentityKernelPassesThrough) {
+  Rng rng(1);
+  Conv2D conv(1, 1, 3, 1, 1, rng);
+  // Force identity kernel (centre 1) and zero bias.
+  auto params = conv.Params();
+  params[0]->value.Fill(0.0f);
+  params[0]->value[4] = 1.0f;  // Centre of the 3x3 kernel.
+  params[1]->value.Fill(0.0f);
+  Tensor input({1, 1, 5, 5});
+  Rng rng2(7);
+  Randomize(input, rng2);
+  Tensor out = conv.Forward(input, false);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    EXPECT_NEAR(out[i], input[i], 1e-6);
+  }
+}
+
+TEST(Conv2DTest, BiasIsAdded) {
+  Rng rng(1);
+  Conv2D conv(1, 2, 1, 1, 0, rng);
+  auto params = conv.Params();
+  params[0]->value.Fill(0.0f);
+  params[1]->value[0] = 3.0f;
+  params[1]->value[1] = -2.0f;
+  Tensor input({1, 1, 2, 2}, 5.0f);
+  Tensor out = conv.Forward(input, false);
+  EXPECT_FLOAT_EQ(out.At4(0, 0, 0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(out.At4(0, 1, 1, 1), -2.0f);
+}
+
+TEST(Conv2DTest, GradCheckInputAndParams) {
+  Rng rng(11);
+  Conv2D conv(2, 3, 3, 1, 1, rng);
+  Tensor input({1, 2, 5, 5});
+  Rng rng2(13);
+  Randomize(input, rng2);
+
+  Tensor out = conv.Forward(input, true);
+  const Tensor w = LossWeights(out, 99);
+
+  auto params = conv.Params();
+  for (auto& p : params) p->grad.Fill(0.0f);
+  const Tensor analytic_dinput = conv.Backward(w);
+
+  auto loss_fn = [&]() { return Dot(conv.Forward(input, true), w); };
+  ExpectGradientsClose(analytic_dinput, NumericGradient(input, loss_fn));
+  ExpectGradientsClose(params[0]->grad,
+                       NumericGradient(params[0]->value, loss_fn));
+  ExpectGradientsClose(params[1]->grad,
+                       NumericGradient(params[1]->value, loss_fn));
+}
+
+TEST(MaxPoolTest, ForwardKnownValues) {
+  MaxPool2D pool(2);
+  Tensor input({1, 1, 4, 4});
+  for (int i = 0; i < 16; ++i) input[static_cast<std::size_t>(i)] = i;
+  Tensor out = pool.Forward(input, false);
+  EXPECT_EQ(out.shape(), (std::vector<int>{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(out.At4(0, 0, 0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(out.At4(0, 0, 1, 1), 15.0f);
+}
+
+TEST(MaxPoolTest, BackwardRoutesToArgmax) {
+  MaxPool2D pool(2);
+  Tensor input({1, 1, 2, 2});
+  input[2] = 10.0f;  // (1, 0) is the max.
+  pool.Forward(input, false);
+  Tensor grad({1, 1, 1, 1});
+  grad[0] = 3.0f;
+  Tensor dinput = pool.Backward(grad);
+  EXPECT_FLOAT_EQ(dinput[2], 3.0f);
+  EXPECT_FLOAT_EQ(dinput[0], 0.0f);
+}
+
+TEST(MaxPoolTest, GradCheck) {
+  MaxPool2D pool(2);
+  Tensor input({1, 2, 4, 4});
+  Rng rng(17);
+  Randomize(input, rng);
+  Tensor out = pool.Forward(input, true);
+  const Tensor w = LossWeights(out, 5);
+  const Tensor analytic = pool.Backward(w);
+  auto loss_fn = [&]() { return Dot(pool.Forward(input, true), w); };
+  // Use a tiny step so perturbations don't change the argmax.
+  ExpectGradientsClose(analytic, NumericGradient(input, loss_fn, 1e-4),
+                       3e-2, 5e-2);
+}
+
+TEST(ReLUTest, ForwardClampsNegatives) {
+  ReLU relu;
+  Tensor input = Tensor::FromVector({-1, 0, 2});
+  Tensor out = relu.Forward(input.Reshaped({1, 3}), false);
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_FLOAT_EQ(out[1], 0.0f);
+  EXPECT_FLOAT_EQ(out[2], 2.0f);
+}
+
+TEST(ReLUTest, BackwardMasks) {
+  ReLU relu;
+  Tensor input = Tensor::FromVector({-1, 3}).Reshaped({1, 2});
+  relu.Forward(input, true);
+  Tensor grad = Tensor::FromVector({5, 7}).Reshaped({1, 2});
+  Tensor dinput = relu.Backward(grad);
+  EXPECT_FLOAT_EQ(dinput[0], 0.0f);
+  EXPECT_FLOAT_EQ(dinput[1], 7.0f);
+}
+
+TEST(DenseTest, ForwardKnownValues) {
+  Rng rng(1);
+  Dense dense(2, 2, rng);
+  auto params = dense.Params();
+  // W = [[1, 2], [3, 4]], b = [10, 20].
+  params[0]->value[0] = 1;
+  params[0]->value[1] = 2;
+  params[0]->value[2] = 3;
+  params[0]->value[3] = 4;
+  params[1]->value[0] = 10;
+  params[1]->value[1] = 20;
+  Tensor input = Tensor::FromVector({1, 1}).Reshaped({1, 2});
+  Tensor out = dense.Forward(input, false);
+  EXPECT_FLOAT_EQ(out.At2(0, 0), 13.0f);
+  EXPECT_FLOAT_EQ(out.At2(0, 1), 27.0f);
+}
+
+TEST(DenseTest, GradCheck) {
+  Rng rng(23);
+  Dense dense(4, 3, rng);
+  Tensor input({2, 4});
+  Rng rng2(29);
+  Randomize(input, rng2);
+  Tensor out = dense.Forward(input, true);
+  const Tensor w = LossWeights(out, 31);
+  auto params = dense.Params();
+  for (auto& p : params) p->grad.Fill(0.0f);
+  const Tensor analytic = dense.Backward(w);
+  auto loss_fn = [&]() { return Dot(dense.Forward(input, true), w); };
+  ExpectGradientsClose(analytic, NumericGradient(input, loss_fn));
+  ExpectGradientsClose(params[0]->grad,
+                       NumericGradient(params[0]->value, loss_fn));
+  ExpectGradientsClose(params[1]->grad,
+                       NumericGradient(params[1]->value, loss_fn));
+}
+
+TEST(FlattenTest, RoundTrip) {
+  Flatten flatten;
+  Tensor input({2, 3, 4, 5});
+  Rng rng(37);
+  Randomize(input, rng);
+  Tensor out = flatten.Forward(input, false);
+  EXPECT_EQ(out.shape(), (std::vector<int>{2, 60}));
+  Tensor back = flatten.Backward(out);
+  EXPECT_EQ(back.shape(), input.shape());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    EXPECT_EQ(back[i], input[i]);
+  }
+}
+
+TEST(DropoutTest, EvalIsIdentity) {
+  Dropout dropout(0.5);
+  Tensor input({1, 100}, 1.0f);
+  Tensor out = dropout.Forward(input, /*training=*/false);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], 1.0f);
+}
+
+TEST(DropoutTest, TrainingDropsAndScales) {
+  Dropout dropout(0.5);
+  Tensor input({1, 2000}, 1.0f);
+  Tensor out = dropout.Forward(input, /*training=*/true);
+  int zeros = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out[i] == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(out[i], 2.0f);  // 1/(1-0.5)
+    }
+  }
+  EXPECT_NEAR(zeros, 1000, 120);
+}
+
+TEST(DropoutTest, BackwardUsesSameMask) {
+  Dropout dropout(0.5);
+  Tensor input({1, 100}, 1.0f);
+  Tensor out = dropout.Forward(input, true);
+  Tensor grad({1, 100}, 1.0f);
+  Tensor dinput = dropout.Backward(grad);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_FLOAT_EQ(dinput[i], out[i]);  // Same mask and scale.
+  }
+}
+
+TEST(CloneSharedTest, ConvSharesParameters) {
+  Rng rng(41);
+  Conv2D conv(1, 2, 3, 1, 1, rng);
+  auto clone = conv.CloneShared();
+  auto p1 = conv.Params();
+  auto p2 = clone->Params();
+  ASSERT_EQ(p1.size(), p2.size());
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_EQ(p1[i].get(), p2[i].get());  // Same Parameter objects.
+  }
+  // Both branches accumulate into the same grads.
+  Tensor input({1, 1, 4, 4}, 1.0f);
+  Tensor o1 = conv.Forward(input, true);
+  Tensor o2 = clone->Forward(input, true);
+  for (auto& p : p1) p->grad.Fill(0.0f);
+  Tensor g(o1.shape(), 1.0f);
+  conv.Backward(g);
+  const float after_one = p1[1]->grad[0];
+  clone->Backward(g);
+  EXPECT_FLOAT_EQ(p1[1]->grad[0], 2.0f * after_one);
+}
+
+}  // namespace
+}  // namespace snor

@@ -1,0 +1,144 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn_gradcheck.h"
+
+namespace snor {
+namespace {
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Tensor logits = Tensor::FromVector({1, 2, 3, -1, 0, 1}).Reshaped({2, 3});
+  Tensor p = Softmax(logits);
+  for (int i = 0; i < 2; ++i) {
+    double sum = 0;
+    for (int j = 0; j < 3; ++j) {
+      sum += p.At2(i, j);
+      EXPECT_GT(p.At2(i, j), 0.0f);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+  }
+}
+
+TEST(SoftmaxTest, LargestLogitGetsLargestProbability) {
+  Tensor logits = Tensor::FromVector({1, 5, 2}).Reshaped({1, 3});
+  Tensor p = Softmax(logits);
+  EXPECT_GT(p.At2(0, 1), p.At2(0, 0));
+  EXPECT_GT(p.At2(0, 1), p.At2(0, 2));
+}
+
+TEST(SoftmaxTest, NumericallyStableForLargeLogits) {
+  Tensor logits = Tensor::FromVector({1000, 1001}).Reshaped({1, 2});
+  Tensor p = Softmax(logits);
+  EXPECT_FALSE(std::isnan(p.At2(0, 0)));
+  EXPECT_NEAR(p.At2(0, 0) + p.At2(0, 1), 1.0, 1e-6);
+}
+
+TEST(CrossEntropyTest, PerfectPredictionHasLowLoss) {
+  SoftmaxCrossEntropy ce;
+  Tensor logits = Tensor::FromVector({10, -10}).Reshaped({1, 2});
+  EXPECT_LT(ce.Forward(logits, {0}), 1e-6);
+}
+
+TEST(CrossEntropyTest, UniformPredictionLossIsLogK) {
+  SoftmaxCrossEntropy ce;
+  Tensor logits({2, 4});  // All zeros -> uniform.
+  EXPECT_NEAR(ce.Forward(logits, {1, 3}), std::log(4.0), 1e-6);
+}
+
+TEST(CrossEntropyTest, GradientIsProbsMinusOneHot) {
+  SoftmaxCrossEntropy ce;
+  Tensor logits = Tensor::FromVector({1, 2}).Reshaped({1, 2});
+  ce.Forward(logits, {1});
+  Tensor grad = ce.Backward();
+  const Tensor p = Softmax(logits);
+  EXPECT_NEAR(grad.At2(0, 0), p.At2(0, 0), 1e-6);
+  EXPECT_NEAR(grad.At2(0, 1), p.At2(0, 1) - 1.0f, 1e-6);
+}
+
+TEST(CrossEntropyTest, GradCheck) {
+  SoftmaxCrossEntropy ce;
+  Tensor logits({3, 4});
+  Rng rng(3);
+  Randomize(logits, rng);
+  const std::vector<int> targets = {0, 2, 3};
+  ce.Forward(logits, targets);
+  const Tensor analytic = ce.Backward();
+  auto loss_fn = [&]() {
+    SoftmaxCrossEntropy fresh;
+    return fresh.Forward(logits, targets);
+  };
+  ExpectGradientsClose(analytic, NumericGradient(logits, loss_fn, 1e-3),
+                       1e-3, 1e-2);
+}
+
+// Minimizes f(x) = sum (x - 3)^2 with each optimizer.
+template <typename Opt>
+double MinimizeQuadratic(Opt& opt, int steps) {
+  auto param = std::make_shared<Parameter>(Tensor({4}, 10.0f));
+  std::vector<std::shared_ptr<Parameter>> params = {param};
+  for (int i = 0; i < steps; ++i) {
+    Optimizer::ZeroGrad(params);
+    for (std::size_t j = 0; j < param->value.size(); ++j) {
+      param->grad[j] = 2.0f * (param->value[j] - 3.0f);
+    }
+    opt.Step(params);
+  }
+  double err = 0;
+  for (std::size_t j = 0; j < param->value.size(); ++j) {
+    err += std::abs(param->value[j] - 3.0f);
+  }
+  return err;
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Sgd sgd(0.1);
+  EXPECT_LT(MinimizeQuadratic(sgd, 200), 1e-3);
+}
+
+TEST(SgdTest, MomentumConverges) {
+  Sgd sgd(0.05, 0.9);
+  EXPECT_LT(MinimizeQuadratic(sgd, 300), 1e-2);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Adam adam(0.5);
+  EXPECT_LT(MinimizeQuadratic(adam, 300), 1e-2);
+}
+
+TEST(AdamTest, StepCountAdvances) {
+  Adam adam(0.01);
+  auto param = std::make_shared<Parameter>(Tensor({1}, 1.0f));
+  std::vector<std::shared_ptr<Parameter>> params = {param};
+  param->grad[0] = 1.0f;
+  adam.Step(params);
+  adam.Step(params);
+  EXPECT_EQ(adam.step_count(), 2);
+}
+
+TEST(AdamTest, DecayShrinksEffectiveRate) {
+  // With huge decay the second step moves far less than the first.
+  Adam adam(0.1, 0.9, 0.999, 1e-8, /*decay=*/10.0);
+  auto param = std::make_shared<Parameter>(Tensor({1}, 0.0f));
+  std::vector<std::shared_ptr<Parameter>> params = {param};
+  param->grad[0] = 1.0f;
+  adam.Step(params);
+  const float first_move = std::abs(param->value[0]);
+  const float before = param->value[0];
+  param->grad[0] = 1.0f;
+  adam.Step(params);
+  const float second_move = std::abs(param->value[0] - before);
+  EXPECT_LT(second_move, first_move * 0.5f);
+}
+
+TEST(OptimizerTest, ZeroGradClears) {
+  auto param = std::make_shared<Parameter>(Tensor({3}, 0.0f));
+  param->grad.Fill(5.0f);
+  Optimizer::ZeroGrad({param});
+  EXPECT_DOUBLE_EQ(param->grad.Sum(), 0.0);
+}
+
+}  // namespace
+}  // namespace snor

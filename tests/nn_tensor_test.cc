@@ -1,0 +1,85 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace snor {
+namespace {
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_EQ(t.rank(), 2);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, FillConstructor) {
+  Tensor t({2, 2}, 3.5f);
+  EXPECT_EQ(t[0], 3.5f);
+  EXPECT_EQ(t[3], 3.5f);
+}
+
+TEST(TensorTest, FromVector) {
+  Tensor t = Tensor::FromVector({1, 2, 3});
+  EXPECT_EQ(t.rank(), 1);
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_EQ(t[1], 2.0f);
+}
+
+TEST(TensorTest, At4Indexing) {
+  Tensor t({2, 3, 4, 5});
+  t.At4(1, 2, 3, 4) = 9.0f;
+  // Flat index: ((1*3+2)*4+3)*5+4 = 119.
+  EXPECT_EQ(t[119], 9.0f);
+  EXPECT_EQ(t.At4(1, 2, 3, 4), 9.0f);
+}
+
+TEST(TensorTest, At2Indexing) {
+  Tensor t({3, 4});
+  t.At2(2, 1) = 7.0f;
+  EXPECT_EQ(t[9], 7.0f);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t = Tensor::FromVector({1, 2, 3, 4, 5, 6});
+  Tensor r = t.Reshaped({2, 3});
+  EXPECT_EQ(r.rank(), 2);
+  EXPECT_EQ(r.At2(1, 0), 4.0f);
+}
+
+TEST(TensorTest, AddAndScale) {
+  Tensor a = Tensor::FromVector({1, 2});
+  Tensor b = Tensor::FromVector({10, 20});
+  a.Add(b);
+  EXPECT_EQ(a[0], 11.0f);
+  a.Scale(2.0f);
+  EXPECT_EQ(a[1], 44.0f);
+}
+
+TEST(TensorTest, SumAndFill) {
+  Tensor t({4}, 2.5f);
+  EXPECT_DOUBLE_EQ(t.Sum(), 10.0);
+  t.Fill(0.0f);
+  EXPECT_DOUBLE_EQ(t.Sum(), 0.0);
+}
+
+TEST(TensorTest, ShapeToString) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.ShapeToString(), "(2, 3, 4)");
+}
+
+TEST(TensorTest, SameShape) {
+  Tensor a({2, 3});
+  Tensor b({2, 3});
+  Tensor c({3, 2});
+  EXPECT_TRUE(a.SameShape(b));
+  EXPECT_FALSE(a.SameShape(c));
+}
+
+TEST(TensorTest, EmptyDefault) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.rank(), 0);
+}
+
+}  // namespace
+}  // namespace snor

@@ -1,0 +1,156 @@
+#include "nn/xcorr.h"
+
+#include <gtest/gtest.h>
+
+#include "nn_gradcheck.h"
+
+namespace snor {
+namespace {
+
+double Dot(const Tensor& a, const Tensor& b) {
+  double acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * b[i];
+  }
+  return acc;
+}
+
+TEST(NormXCorrTest, OutputShape) {
+  NormXCorrLayer xcorr(3, 2, 2);
+  EXPECT_EQ(xcorr.num_displacements(), 25);
+  Tensor a({2, 4, 6, 6});
+  Tensor b({2, 4, 6, 6});
+  Rng rng(1);
+  Randomize(a, rng);
+  Randomize(b, rng);
+  Tensor out = xcorr.Forward(a, b);
+  EXPECT_EQ(out.shape(), (std::vector<int>{2, 25, 6, 6}));
+}
+
+TEST(NormXCorrTest, SelfCorrelationAtZeroDisplacementIsNearOne) {
+  NormXCorrLayer xcorr(3, 1, 1);
+  Tensor a({1, 2, 8, 8});
+  Rng rng(3);
+  Randomize(a, rng);
+  Tensor out = xcorr.Forward(a, a);
+  // Displacement (0, 0) is channel index 4 of the 3x3 window.
+  for (int y = 2; y < 6; ++y) {
+    for (int x = 2; x < 6; ++x) {
+      EXPECT_NEAR(out.At4(0, 4, y, x), 1.0f, 1e-3);
+    }
+  }
+}
+
+TEST(NormXCorrTest, OutputBoundedByOne) {
+  NormXCorrLayer xcorr(3, 2, 2);
+  Tensor a({1, 3, 6, 6});
+  Tensor b({1, 3, 6, 6});
+  Rng rng(5);
+  Randomize(a, rng);
+  Randomize(b, rng);
+  Tensor out = xcorr.Forward(a, b);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_LE(std::abs(out[i]), 1.0f + 1e-4f);
+  }
+}
+
+TEST(NormXCorrTest, InvariantToAffineIntensityChanges) {
+  // NCC(a, b) == NCC(a, alpha*b + beta): the property the paper relies on
+  // for illumination robustness.
+  NormXCorrLayer xcorr(3, 1, 1);
+  Tensor a({1, 1, 8, 8});
+  Tensor b({1, 1, 8, 8});
+  Rng rng(7);
+  Randomize(a, rng);
+  Randomize(b, rng);
+  Tensor b_affine = b;
+  for (std::size_t i = 0; i < b_affine.size(); ++i) {
+    b_affine[i] = 2.5f * b_affine[i] + 0.7f;
+  }
+  Tensor out1 = xcorr.Forward(a, b);
+  NormXCorrLayer xcorr2(3, 1, 1);
+  Tensor out2 = xcorr2.Forward(a, b_affine);
+  // Compare interior (borders involve zero padding, which is not affine
+  // invariant).
+  for (int y = 3; y < 5; ++y) {
+    for (int x = 3; x < 5; ++x) {
+      for (int d = 0; d < 9; ++d) {
+        EXPECT_NEAR(out1.At4(0, d, y, x), out2.At4(0, d, y, x), 5e-3);
+      }
+    }
+  }
+}
+
+TEST(NormXCorrTest, SymmetryBetweenInputs) {
+  // out_ab at displacement (dy, dx) and location (y, x) equals
+  // out_ba at displacement (-dy, -dx) and location (y+dy, x+dx).
+  NormXCorrLayer xab(3, 1, 1);
+  NormXCorrLayer xba(3, 1, 1);
+  Tensor a({1, 2, 8, 8});
+  Tensor b({1, 2, 8, 8});
+  Rng rng(11);
+  Randomize(a, rng);
+  Randomize(b, rng);
+  Tensor oab = xab.Forward(a, b);
+  Tensor oba = xba.Forward(b, a);
+  for (int y = 2; y < 6; ++y) {
+    for (int x = 2; x < 6; ++x) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const int d_fwd = (dy + 1) * 3 + (dx + 1);
+          const int d_bwd = (-dy + 1) * 3 + (-dx + 1);
+          EXPECT_NEAR(oab.At4(0, d_fwd, y, x),
+                      oba.At4(0, d_bwd, y + dy, x + dx), 1e-4);
+        }
+      }
+    }
+  }
+}
+
+TEST(NormXCorrTest, GradCheckBothInputs) {
+  NormXCorrLayer xcorr(3, 1, 1);
+  Tensor a({1, 2, 5, 5});
+  Tensor b({1, 2, 5, 5});
+  Rng rng(13);
+  Randomize(a, rng);
+  Randomize(b, rng);
+
+  Tensor out = xcorr.Forward(a, b);
+  Tensor w(out.shape());
+  Rng rng2(17);
+  Randomize(w, rng2);
+
+  Tensor ga, gb;
+  xcorr.Backward(w, &ga, &gb);
+
+  auto loss_fn = [&]() {
+    NormXCorrLayer fresh(3, 1, 1);
+    return Dot(fresh.Forward(a, b), w);
+  };
+  ExpectGradientsClose(ga, NumericGradient(a, loss_fn, 1e-3), 3e-2, 6e-2);
+  ExpectGradientsClose(gb, NumericGradient(b, loss_fn, 1e-3), 3e-2, 6e-2);
+}
+
+TEST(NormXCorrTest, GradCheckLargerSearchWindow) {
+  NormXCorrLayer xcorr(3, 2, 2);
+  Tensor a({1, 1, 5, 5});
+  Tensor b({1, 1, 5, 5});
+  Rng rng(19);
+  Randomize(a, rng);
+  Randomize(b, rng);
+  Tensor out = xcorr.Forward(a, b);
+  Tensor w(out.shape());
+  Rng rng2(23);
+  Randomize(w, rng2);
+  Tensor ga, gb;
+  xcorr.Backward(w, &ga, &gb);
+  auto loss_fn = [&]() {
+    NormXCorrLayer fresh(3, 2, 2);
+    return Dot(fresh.Forward(a, b), w);
+  };
+  ExpectGradientsClose(ga, NumericGradient(a, loss_fn, 1e-3), 3e-2, 6e-2);
+  ExpectGradientsClose(gb, NumericGradient(b, loss_fn, 1e-3), 3e-2, 6e-2);
+}
+
+}  // namespace
+}  // namespace snor

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace snor {
+namespace {
+
+TEST(StringUtilTest, StrFormatBasic) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.3f", 0.25), "0.250");
+  EXPECT_EQ(StrFormat("plain"), "plain");
+}
+
+TEST(StringUtilTest, StrJoin) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"only"}, ","), "only");
+}
+
+TEST(StringUtilTest, StrSplitKeepsEmptyFields) {
+  const auto parts = StrSplit("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringUtilTest, StrSplitSingleField) {
+  const auto parts = StrSplit("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtilTest, StrTrim) {
+  EXPECT_EQ(StrTrim("  x \t\n"), "x");
+  EXPECT_EQ(StrTrim(""), "");
+  EXPECT_EQ(StrTrim("   "), "");
+  EXPECT_EQ(StrTrim("no-trim"), "no-trim");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("snor_img", "snor"));
+  EXPECT_FALSE(StartsWith("img", "image"));
+  EXPECT_TRUE(StartsWith("x", ""));
+}
+
+TEST(StringUtilTest, AsciiToLower) {
+  EXPECT_EQ(AsciiToLower("ChAiR-10"), "chair-10");
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"Approach", "Acc"});
+  t.AddRow({"Baseline", "0.10"});
+  t.AddRow({"Shape only L1", "0.14350"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| Approach"), std::string::npos);
+  EXPECT_NE(s.find("| Shape only L1 |"), std::string::npos);
+  // All lines equal length (aligned).
+  const auto lines = StrSplit(s, '\n');
+  std::size_t width = lines[0].size();
+  for (const auto& line : lines) {
+    if (!line.empty()) {
+      EXPECT_EQ(line.size(), width);
+    }
+  }
+}
+
+TEST(TablePrinterTest, NumericRowFormatting) {
+  TablePrinter t({"Approach", "A", "B"});
+  t.AddRow("row", {0.5, 0.123456}, 3);
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("0.500"), std::string::npos);
+  EXPECT_NE(s.find("0.123"), std::string::npos);
+}
+
+TEST(TablePrinterTest, TitlePrinted) {
+  TablePrinter t({"H"});
+  t.SetTitle("Table 2: results");
+  t.AddRow({"v"});
+  EXPECT_NE(t.ToString().find("Table 2: results"), std::string::npos);
+}
+
+TEST(CsvWriterTest, PlainFields) {
+  CsvWriter w({"a", "b"});
+  w.AddRow({"1", "2"});
+  EXPECT_EQ(w.ToString(), "a,b\n1,2\n");
+  EXPECT_EQ(w.num_rows(), 1u);
+}
+
+TEST(CsvWriterTest, QuotesSpecialFields) {
+  CsvWriter w({"a"});
+  w.AddRow({"with,comma"});
+  w.AddRow({"with\"quote"});
+  const std::string s = w.ToString();
+  EXPECT_NE(s.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(s.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(CsvWriterTest, WritesFile) {
+  CsvWriter w({"x"});
+  w.AddRow({"1"});
+  const std::string path = testing::TempDir() + "/snor_csv_test.csv";
+  ASSERT_TRUE(w.WriteFile(path).ok());
+}
+
+TEST(StopwatchTest, MeasuresNonNegativeTime) {
+  Stopwatch sw;
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+  sw.Reset();
+  EXPECT_GE(sw.ElapsedMillis(), 0.0);
+}
+
+TEST(LoggingTest, RespectsThreshold) {
+  const LogLevel old = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SNOR_LOG(Info) << "should be suppressed";
+  SetLogLevel(old);
+}
+
+}  // namespace
+}  // namespace snor

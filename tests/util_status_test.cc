@@ -1,0 +1,104 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace snor {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad width");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad width");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad width");
+}
+
+TEST(StatusTest, EveryFactoryProducesMatchingCode) {
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::IoError("a"), Status::IoError("a"));
+  EXPECT_FALSE(Status::IoError("a") == Status::IoError("b"));
+  EXPECT_FALSE(Status::IoError("a") == Status::Internal("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<int> r = 7;
+  EXPECT_EQ(r.ValueOr(-1), 7);
+}
+
+TEST(ResultTest, MoveValueTransfersOwnership) {
+  Result<std::string> r = std::string("payload");
+  std::string v = r.MoveValue();
+  EXPECT_EQ(v, "payload");
+}
+
+Status FailingOperation() { return Status::IoError("disk"); }
+Status UsesReturnNotOk() {
+  SNOR_RETURN_NOT_OK(FailingOperation());
+  return Status::OK();
+}
+
+TEST(StatusMacrosTest, ReturnNotOkPropagates) {
+  EXPECT_EQ(UsesReturnNotOk().code(), StatusCode::kIoError);
+}
+
+Result<int> ProducesValue() { return 5; }
+Result<int> ProducesError() { return Status::OutOfRange("idx"); }
+
+Result<int> ChainOk() {
+  SNOR_ASSIGN_OR_RETURN(int v, ProducesValue());
+  return v * 2;
+}
+Result<int> ChainErr() {
+  SNOR_ASSIGN_OR_RETURN(int v, ProducesError());
+  return v * 2;
+}
+
+TEST(StatusMacrosTest, AssignOrReturnUnwrapsValue) {
+  Result<int> r = ChainOk();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 10);
+}
+
+TEST(StatusMacrosTest, AssignOrReturnPropagatesError) {
+  Result<int> r = ChainErr();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultDeathTest, AccessingErroredValueAborts) {
+  Result<int> r = Status::Internal("boom");
+  EXPECT_DEATH({ (void)r.value(); }, "errored Result");
+}
+
+}  // namespace
+}  // namespace snor
