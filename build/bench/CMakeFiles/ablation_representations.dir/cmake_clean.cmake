@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_representations.dir/ablation_representations.cc.o"
+  "CMakeFiles/ablation_representations.dir/ablation_representations.cc.o.d"
+  "ablation_representations"
+  "ablation_representations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_representations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_pipeline.dir/micro_pipeline.cc.o"
+  "CMakeFiles/micro_pipeline.dir/micro_pipeline.cc.o.d"
+  "micro_pipeline"
+  "micro_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_shape_color.dir/table2_shape_color.cc.o"
+  "CMakeFiles/table2_shape_color.dir/table2_shape_color.cc.o.d"
+  "table2_shape_color"
+  "table2_shape_color.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_shape_color.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

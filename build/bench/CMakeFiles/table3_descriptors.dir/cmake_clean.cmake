@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_descriptors.dir/table3_descriptors.cc.o"
+  "CMakeFiles/table3_descriptors.dir/table3_descriptors.cc.o.d"
+  "table3_descriptors"
+  "table3_descriptors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_descriptors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

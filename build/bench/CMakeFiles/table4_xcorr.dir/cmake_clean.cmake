@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_xcorr.dir/table4_xcorr.cc.o"
+  "CMakeFiles/table4_xcorr.dir/table4_xcorr.cc.o.d"
+  "table4_xcorr"
+  "table4_xcorr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_xcorr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_shape_classwise.dir/table5_shape_classwise.cc.o"
+  "CMakeFiles/table5_shape_classwise.dir/table5_shape_classwise.cc.o.d"
+  "table5_shape_classwise"
+  "table5_shape_classwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_shape_classwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

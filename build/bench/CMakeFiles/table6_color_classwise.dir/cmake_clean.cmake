@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_color_classwise.dir/table6_color_classwise.cc.o"
+  "CMakeFiles/table6_color_classwise.dir/table6_color_classwise.cc.o.d"
+  "table6_color_classwise"
+  "table6_color_classwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_color_classwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

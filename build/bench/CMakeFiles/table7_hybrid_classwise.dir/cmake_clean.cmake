@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_hybrid_classwise.dir/table7_hybrid_classwise.cc.o"
+  "CMakeFiles/table7_hybrid_classwise.dir/table7_hybrid_classwise.cc.o.d"
+  "table7_hybrid_classwise"
+  "table7_hybrid_classwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_hybrid_classwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table7_hybrid_classwise.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_hybrid_sns.dir/table8_hybrid_sns.cc.o"
+  "CMakeFiles/table8_hybrid_sns.dir/table8_hybrid_sns.cc.o.d"
+  "table8_hybrid_sns"
+  "table8_hybrid_sns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_hybrid_sns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

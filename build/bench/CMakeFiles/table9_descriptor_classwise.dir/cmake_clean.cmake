@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_descriptor_classwise.dir/table9_descriptor_classwise.cc.o"
+  "CMakeFiles/table9_descriptor_classwise.dir/table9_descriptor_classwise.cc.o.d"
+  "table9_descriptor_classwise"
+  "table9_descriptor_classwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_descriptor_classwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

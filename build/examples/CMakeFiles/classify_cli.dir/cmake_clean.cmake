@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_cli.dir/classify_cli.cpp.o"
+  "CMakeFiles/classify_cli.dir/classify_cli.cpp.o.d"
+  "classify_cli"
+  "classify_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_export.dir/dataset_export.cpp.o"
+  "CMakeFiles/dataset_export.dir/dataset_export.cpp.o.d"
+  "dataset_export"
+  "dataset_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

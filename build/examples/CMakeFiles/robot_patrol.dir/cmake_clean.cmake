@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robot_patrol.dir/robot_patrol.cpp.o"
+  "CMakeFiles/robot_patrol.dir/robot_patrol.cpp.o.d"
+  "robot_patrol"
+  "robot_patrol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robot_patrol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

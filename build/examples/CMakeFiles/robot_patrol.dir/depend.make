@@ -1,0 +1,2 @@
+# Empty dependencies file for robot_patrol.
+# This may be replaced when dependencies are built.

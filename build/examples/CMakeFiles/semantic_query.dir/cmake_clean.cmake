@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantic_query.dir/semantic_query.cpp.o"
+  "CMakeFiles/semantic_query.dir/semantic_query.cpp.o.d"
+  "semantic_query"
+  "semantic_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantic_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

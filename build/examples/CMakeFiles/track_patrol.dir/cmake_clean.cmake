@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/track_patrol.dir/track_patrol.cpp.o"
+  "CMakeFiles/track_patrol.dir/track_patrol.cpp.o.d"
+  "track_patrol"
+  "track_patrol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/track_patrol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_xcorr.dir/train_xcorr.cpp.o"
+  "CMakeFiles/train_xcorr.dir/train_xcorr.cpp.o.d"
+  "train_xcorr"
+  "train_xcorr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_xcorr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bow_classifier.cc" "src/core/CMakeFiles/snor_core.dir/bow_classifier.cc.o" "gcc" "src/core/CMakeFiles/snor_core.dir/bow_classifier.cc.o.d"
+  "/root/repo/src/core/classifiers.cc" "src/core/CMakeFiles/snor_core.dir/classifiers.cc.o" "gcc" "src/core/CMakeFiles/snor_core.dir/classifiers.cc.o.d"
+  "/root/repo/src/core/descriptor_classifier.cc" "src/core/CMakeFiles/snor_core.dir/descriptor_classifier.cc.o" "gcc" "src/core/CMakeFiles/snor_core.dir/descriptor_classifier.cc.o.d"
+  "/root/repo/src/core/embedding_pipeline.cc" "src/core/CMakeFiles/snor_core.dir/embedding_pipeline.cc.o" "gcc" "src/core/CMakeFiles/snor_core.dir/embedding_pipeline.cc.o.d"
+  "/root/repo/src/core/evaluation.cc" "src/core/CMakeFiles/snor_core.dir/evaluation.cc.o" "gcc" "src/core/CMakeFiles/snor_core.dir/evaluation.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/snor_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/snor_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/feature_cache.cc" "src/core/CMakeFiles/snor_core.dir/feature_cache.cc.o" "gcc" "src/core/CMakeFiles/snor_core.dir/feature_cache.cc.o.d"
+  "/root/repo/src/core/gallery_io.cc" "src/core/CMakeFiles/snor_core.dir/gallery_io.cc.o" "gcc" "src/core/CMakeFiles/snor_core.dir/gallery_io.cc.o.d"
+  "/root/repo/src/core/preprocess.cc" "src/core/CMakeFiles/snor_core.dir/preprocess.cc.o" "gcc" "src/core/CMakeFiles/snor_core.dir/preprocess.cc.o.d"
+  "/root/repo/src/core/report_io.cc" "src/core/CMakeFiles/snor_core.dir/report_io.cc.o" "gcc" "src/core/CMakeFiles/snor_core.dir/report_io.cc.o.d"
+  "/root/repo/src/core/segmentation.cc" "src/core/CMakeFiles/snor_core.dir/segmentation.cc.o" "gcc" "src/core/CMakeFiles/snor_core.dir/segmentation.cc.o.d"
+  "/root/repo/src/core/tracker.cc" "src/core/CMakeFiles/snor_core.dir/tracker.cc.o" "gcc" "src/core/CMakeFiles/snor_core.dir/tracker.cc.o.d"
+  "/root/repo/src/core/xcorr_pipeline.cc" "src/core/CMakeFiles/snor_core.dir/xcorr_pipeline.cc.o" "gcc" "src/core/CMakeFiles/snor_core.dir/xcorr_pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/snor_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/snor_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/snor_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/snor_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/img/CMakeFiles/snor_img.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

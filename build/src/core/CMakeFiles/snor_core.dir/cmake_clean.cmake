@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snor_core.dir/bow_classifier.cc.o"
+  "CMakeFiles/snor_core.dir/bow_classifier.cc.o.d"
+  "CMakeFiles/snor_core.dir/classifiers.cc.o"
+  "CMakeFiles/snor_core.dir/classifiers.cc.o.d"
+  "CMakeFiles/snor_core.dir/descriptor_classifier.cc.o"
+  "CMakeFiles/snor_core.dir/descriptor_classifier.cc.o.d"
+  "CMakeFiles/snor_core.dir/embedding_pipeline.cc.o"
+  "CMakeFiles/snor_core.dir/embedding_pipeline.cc.o.d"
+  "CMakeFiles/snor_core.dir/evaluation.cc.o"
+  "CMakeFiles/snor_core.dir/evaluation.cc.o.d"
+  "CMakeFiles/snor_core.dir/experiment.cc.o"
+  "CMakeFiles/snor_core.dir/experiment.cc.o.d"
+  "CMakeFiles/snor_core.dir/feature_cache.cc.o"
+  "CMakeFiles/snor_core.dir/feature_cache.cc.o.d"
+  "CMakeFiles/snor_core.dir/gallery_io.cc.o"
+  "CMakeFiles/snor_core.dir/gallery_io.cc.o.d"
+  "CMakeFiles/snor_core.dir/preprocess.cc.o"
+  "CMakeFiles/snor_core.dir/preprocess.cc.o.d"
+  "CMakeFiles/snor_core.dir/report_io.cc.o"
+  "CMakeFiles/snor_core.dir/report_io.cc.o.d"
+  "CMakeFiles/snor_core.dir/segmentation.cc.o"
+  "CMakeFiles/snor_core.dir/segmentation.cc.o.d"
+  "CMakeFiles/snor_core.dir/tracker.cc.o"
+  "CMakeFiles/snor_core.dir/tracker.cc.o.d"
+  "CMakeFiles/snor_core.dir/xcorr_pipeline.cc.o"
+  "CMakeFiles/snor_core.dir/xcorr_pipeline.cc.o.d"
+  "libsnor_core.a"
+  "libsnor_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snor_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

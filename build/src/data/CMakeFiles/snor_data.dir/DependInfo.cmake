@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/augment.cc" "src/data/CMakeFiles/snor_data.dir/augment.cc.o" "gcc" "src/data/CMakeFiles/snor_data.dir/augment.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/snor_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/snor_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/object_class.cc" "src/data/CMakeFiles/snor_data.dir/object_class.cc.o" "gcc" "src/data/CMakeFiles/snor_data.dir/object_class.cc.o.d"
+  "/root/repo/src/data/pairs.cc" "src/data/CMakeFiles/snor_data.dir/pairs.cc.o" "gcc" "src/data/CMakeFiles/snor_data.dir/pairs.cc.o.d"
+  "/root/repo/src/data/renderer.cc" "src/data/CMakeFiles/snor_data.dir/renderer.cc.o" "gcc" "src/data/CMakeFiles/snor_data.dir/renderer.cc.o.d"
+  "/root/repo/src/data/scene.cc" "src/data/CMakeFiles/snor_data.dir/scene.cc.o" "gcc" "src/data/CMakeFiles/snor_data.dir/scene.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/img/CMakeFiles/snor_img.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/snor_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snor_data.dir/augment.cc.o"
+  "CMakeFiles/snor_data.dir/augment.cc.o.d"
+  "CMakeFiles/snor_data.dir/dataset.cc.o"
+  "CMakeFiles/snor_data.dir/dataset.cc.o.d"
+  "CMakeFiles/snor_data.dir/object_class.cc.o"
+  "CMakeFiles/snor_data.dir/object_class.cc.o.d"
+  "CMakeFiles/snor_data.dir/pairs.cc.o"
+  "CMakeFiles/snor_data.dir/pairs.cc.o.d"
+  "CMakeFiles/snor_data.dir/renderer.cc.o"
+  "CMakeFiles/snor_data.dir/renderer.cc.o.d"
+  "CMakeFiles/snor_data.dir/scene.cc.o"
+  "CMakeFiles/snor_data.dir/scene.cc.o.d"
+  "libsnor_data.a"
+  "libsnor_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snor_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

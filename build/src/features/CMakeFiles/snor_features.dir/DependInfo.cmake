@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/brief.cc" "src/features/CMakeFiles/snor_features.dir/brief.cc.o" "gcc" "src/features/CMakeFiles/snor_features.dir/brief.cc.o.d"
+  "/root/repo/src/features/fast.cc" "src/features/CMakeFiles/snor_features.dir/fast.cc.o" "gcc" "src/features/CMakeFiles/snor_features.dir/fast.cc.o.d"
+  "/root/repo/src/features/histogram.cc" "src/features/CMakeFiles/snor_features.dir/histogram.cc.o" "gcc" "src/features/CMakeFiles/snor_features.dir/histogram.cc.o.d"
+  "/root/repo/src/features/hog.cc" "src/features/CMakeFiles/snor_features.dir/hog.cc.o" "gcc" "src/features/CMakeFiles/snor_features.dir/hog.cc.o.d"
+  "/root/repo/src/features/kdtree.cc" "src/features/CMakeFiles/snor_features.dir/kdtree.cc.o" "gcc" "src/features/CMakeFiles/snor_features.dir/kdtree.cc.o.d"
+  "/root/repo/src/features/kmeans.cc" "src/features/CMakeFiles/snor_features.dir/kmeans.cc.o" "gcc" "src/features/CMakeFiles/snor_features.dir/kmeans.cc.o.d"
+  "/root/repo/src/features/matcher.cc" "src/features/CMakeFiles/snor_features.dir/matcher.cc.o" "gcc" "src/features/CMakeFiles/snor_features.dir/matcher.cc.o.d"
+  "/root/repo/src/features/orb.cc" "src/features/CMakeFiles/snor_features.dir/orb.cc.o" "gcc" "src/features/CMakeFiles/snor_features.dir/orb.cc.o.d"
+  "/root/repo/src/features/sift.cc" "src/features/CMakeFiles/snor_features.dir/sift.cc.o" "gcc" "src/features/CMakeFiles/snor_features.dir/sift.cc.o.d"
+  "/root/repo/src/features/surf.cc" "src/features/CMakeFiles/snor_features.dir/surf.cc.o" "gcc" "src/features/CMakeFiles/snor_features.dir/surf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/img/CMakeFiles/snor_img.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snor_features.dir/brief.cc.o"
+  "CMakeFiles/snor_features.dir/brief.cc.o.d"
+  "CMakeFiles/snor_features.dir/fast.cc.o"
+  "CMakeFiles/snor_features.dir/fast.cc.o.d"
+  "CMakeFiles/snor_features.dir/histogram.cc.o"
+  "CMakeFiles/snor_features.dir/histogram.cc.o.d"
+  "CMakeFiles/snor_features.dir/hog.cc.o"
+  "CMakeFiles/snor_features.dir/hog.cc.o.d"
+  "CMakeFiles/snor_features.dir/kdtree.cc.o"
+  "CMakeFiles/snor_features.dir/kdtree.cc.o.d"
+  "CMakeFiles/snor_features.dir/kmeans.cc.o"
+  "CMakeFiles/snor_features.dir/kmeans.cc.o.d"
+  "CMakeFiles/snor_features.dir/matcher.cc.o"
+  "CMakeFiles/snor_features.dir/matcher.cc.o.d"
+  "CMakeFiles/snor_features.dir/orb.cc.o"
+  "CMakeFiles/snor_features.dir/orb.cc.o.d"
+  "CMakeFiles/snor_features.dir/sift.cc.o"
+  "CMakeFiles/snor_features.dir/sift.cc.o.d"
+  "CMakeFiles/snor_features.dir/surf.cc.o"
+  "CMakeFiles/snor_features.dir/surf.cc.o.d"
+  "libsnor_features.a"
+  "libsnor_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snor_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

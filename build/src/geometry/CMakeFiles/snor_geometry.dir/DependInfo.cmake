@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/contour.cc" "src/geometry/CMakeFiles/snor_geometry.dir/contour.cc.o" "gcc" "src/geometry/CMakeFiles/snor_geometry.dir/contour.cc.o.d"
+  "/root/repo/src/geometry/fourier.cc" "src/geometry/CMakeFiles/snor_geometry.dir/fourier.cc.o" "gcc" "src/geometry/CMakeFiles/snor_geometry.dir/fourier.cc.o.d"
+  "/root/repo/src/geometry/moments.cc" "src/geometry/CMakeFiles/snor_geometry.dir/moments.cc.o" "gcc" "src/geometry/CMakeFiles/snor_geometry.dir/moments.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/img/CMakeFiles/snor_img.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snor_geometry.dir/contour.cc.o"
+  "CMakeFiles/snor_geometry.dir/contour.cc.o.d"
+  "CMakeFiles/snor_geometry.dir/fourier.cc.o"
+  "CMakeFiles/snor_geometry.dir/fourier.cc.o.d"
+  "CMakeFiles/snor_geometry.dir/moments.cc.o"
+  "CMakeFiles/snor_geometry.dir/moments.cc.o.d"
+  "libsnor_geometry.a"
+  "libsnor_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snor_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/img/color.cc" "src/img/CMakeFiles/snor_img.dir/color.cc.o" "gcc" "src/img/CMakeFiles/snor_img.dir/color.cc.o.d"
+  "/root/repo/src/img/draw.cc" "src/img/CMakeFiles/snor_img.dir/draw.cc.o" "gcc" "src/img/CMakeFiles/snor_img.dir/draw.cc.o.d"
+  "/root/repo/src/img/filter.cc" "src/img/CMakeFiles/snor_img.dir/filter.cc.o" "gcc" "src/img/CMakeFiles/snor_img.dir/filter.cc.o.d"
+  "/root/repo/src/img/integral.cc" "src/img/CMakeFiles/snor_img.dir/integral.cc.o" "gcc" "src/img/CMakeFiles/snor_img.dir/integral.cc.o.d"
+  "/root/repo/src/img/io_ppm.cc" "src/img/CMakeFiles/snor_img.dir/io_ppm.cc.o" "gcc" "src/img/CMakeFiles/snor_img.dir/io_ppm.cc.o.d"
+  "/root/repo/src/img/pyramid.cc" "src/img/CMakeFiles/snor_img.dir/pyramid.cc.o" "gcc" "src/img/CMakeFiles/snor_img.dir/pyramid.cc.o.d"
+  "/root/repo/src/img/resize.cc" "src/img/CMakeFiles/snor_img.dir/resize.cc.o" "gcc" "src/img/CMakeFiles/snor_img.dir/resize.cc.o.d"
+  "/root/repo/src/img/threshold.cc" "src/img/CMakeFiles/snor_img.dir/threshold.cc.o" "gcc" "src/img/CMakeFiles/snor_img.dir/threshold.cc.o.d"
+  "/root/repo/src/img/transform.cc" "src/img/CMakeFiles/snor_img.dir/transform.cc.o" "gcc" "src/img/CMakeFiles/snor_img.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/snor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snor_img.dir/color.cc.o"
+  "CMakeFiles/snor_img.dir/color.cc.o.d"
+  "CMakeFiles/snor_img.dir/draw.cc.o"
+  "CMakeFiles/snor_img.dir/draw.cc.o.d"
+  "CMakeFiles/snor_img.dir/filter.cc.o"
+  "CMakeFiles/snor_img.dir/filter.cc.o.d"
+  "CMakeFiles/snor_img.dir/integral.cc.o"
+  "CMakeFiles/snor_img.dir/integral.cc.o.d"
+  "CMakeFiles/snor_img.dir/io_ppm.cc.o"
+  "CMakeFiles/snor_img.dir/io_ppm.cc.o.d"
+  "CMakeFiles/snor_img.dir/pyramid.cc.o"
+  "CMakeFiles/snor_img.dir/pyramid.cc.o.d"
+  "CMakeFiles/snor_img.dir/resize.cc.o"
+  "CMakeFiles/snor_img.dir/resize.cc.o.d"
+  "CMakeFiles/snor_img.dir/threshold.cc.o"
+  "CMakeFiles/snor_img.dir/threshold.cc.o.d"
+  "CMakeFiles/snor_img.dir/transform.cc.o"
+  "CMakeFiles/snor_img.dir/transform.cc.o.d"
+  "libsnor_img.a"
+  "libsnor_img.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snor_img.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snor_knowledge.dir/semantic_map.cc.o"
+  "CMakeFiles/snor_knowledge.dir/semantic_map.cc.o.d"
+  "CMakeFiles/snor_knowledge.dir/synsets.cc.o"
+  "CMakeFiles/snor_knowledge.dir/synsets.cc.o.d"
+  "libsnor_knowledge.a"
+  "libsnor_knowledge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snor_knowledge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

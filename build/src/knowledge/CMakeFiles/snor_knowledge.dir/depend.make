@@ -1,0 +1,2 @@
+# Empty dependencies file for snor_knowledge.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/cosine_merge.cc" "src/nn/CMakeFiles/snor_nn.dir/cosine_merge.cc.o" "gcc" "src/nn/CMakeFiles/snor_nn.dir/cosine_merge.cc.o.d"
+  "/root/repo/src/nn/embedding.cc" "src/nn/CMakeFiles/snor_nn.dir/embedding.cc.o" "gcc" "src/nn/CMakeFiles/snor_nn.dir/embedding.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/nn/CMakeFiles/snor_nn.dir/layers.cc.o" "gcc" "src/nn/CMakeFiles/snor_nn.dir/layers.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/snor_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/snor_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/model.cc" "src/nn/CMakeFiles/snor_nn.dir/model.cc.o" "gcc" "src/nn/CMakeFiles/snor_nn.dir/model.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/snor_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/snor_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "src/nn/CMakeFiles/snor_nn.dir/tensor.cc.o" "gcc" "src/nn/CMakeFiles/snor_nn.dir/tensor.cc.o.d"
+  "/root/repo/src/nn/trainer.cc" "src/nn/CMakeFiles/snor_nn.dir/trainer.cc.o" "gcc" "src/nn/CMakeFiles/snor_nn.dir/trainer.cc.o.d"
+  "/root/repo/src/nn/xcorr.cc" "src/nn/CMakeFiles/snor_nn.dir/xcorr.cc.o" "gcc" "src/nn/CMakeFiles/snor_nn.dir/xcorr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/img/CMakeFiles/snor_img.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/snor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snor_nn.dir/cosine_merge.cc.o"
+  "CMakeFiles/snor_nn.dir/cosine_merge.cc.o.d"
+  "CMakeFiles/snor_nn.dir/embedding.cc.o"
+  "CMakeFiles/snor_nn.dir/embedding.cc.o.d"
+  "CMakeFiles/snor_nn.dir/layers.cc.o"
+  "CMakeFiles/snor_nn.dir/layers.cc.o.d"
+  "CMakeFiles/snor_nn.dir/loss.cc.o"
+  "CMakeFiles/snor_nn.dir/loss.cc.o.d"
+  "CMakeFiles/snor_nn.dir/model.cc.o"
+  "CMakeFiles/snor_nn.dir/model.cc.o.d"
+  "CMakeFiles/snor_nn.dir/optimizer.cc.o"
+  "CMakeFiles/snor_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/snor_nn.dir/tensor.cc.o"
+  "CMakeFiles/snor_nn.dir/tensor.cc.o.d"
+  "CMakeFiles/snor_nn.dir/trainer.cc.o"
+  "CMakeFiles/snor_nn.dir/trainer.cc.o.d"
+  "CMakeFiles/snor_nn.dir/xcorr.cc.o"
+  "CMakeFiles/snor_nn.dir/xcorr.cc.o.d"
+  "libsnor_nn.a"
+  "libsnor_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snor_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snor_util.dir/csv.cc.o"
+  "CMakeFiles/snor_util.dir/csv.cc.o.d"
+  "CMakeFiles/snor_util.dir/logging.cc.o"
+  "CMakeFiles/snor_util.dir/logging.cc.o.d"
+  "CMakeFiles/snor_util.dir/parallel.cc.o"
+  "CMakeFiles/snor_util.dir/parallel.cc.o.d"
+  "CMakeFiles/snor_util.dir/rng.cc.o"
+  "CMakeFiles/snor_util.dir/rng.cc.o.d"
+  "CMakeFiles/snor_util.dir/status.cc.o"
+  "CMakeFiles/snor_util.dir/status.cc.o.d"
+  "CMakeFiles/snor_util.dir/string_util.cc.o"
+  "CMakeFiles/snor_util.dir/string_util.cc.o.d"
+  "CMakeFiles/snor_util.dir/table.cc.o"
+  "CMakeFiles/snor_util.dir/table.cc.o.d"
+  "libsnor_util.a"
+  "libsnor_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snor_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_embedding_pipeline_test.dir/core_embedding_pipeline_test.cc.o"
+  "CMakeFiles/core_embedding_pipeline_test.dir/core_embedding_pipeline_test.cc.o.d"
+  "core_embedding_pipeline_test"
+  "core_embedding_pipeline_test.pdb"
+  "core_embedding_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_embedding_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_evaluation_test.dir/core_evaluation_test.cc.o"
+  "CMakeFiles/core_evaluation_test.dir/core_evaluation_test.cc.o.d"
+  "core_evaluation_test"
+  "core_evaluation_test.pdb"
+  "core_evaluation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_evaluation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_preprocess_test.dir/core_preprocess_test.cc.o"
+  "CMakeFiles/core_preprocess_test.dir/core_preprocess_test.cc.o.d"
+  "core_preprocess_test"
+  "core_preprocess_test.pdb"
+  "core_preprocess_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_preprocess_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

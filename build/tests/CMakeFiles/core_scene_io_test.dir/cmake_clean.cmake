@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_scene_io_test.dir/core_scene_io_test.cc.o"
+  "CMakeFiles/core_scene_io_test.dir/core_scene_io_test.cc.o.d"
+  "core_scene_io_test"
+  "core_scene_io_test.pdb"
+  "core_scene_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_scene_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tracker_test.dir/core_tracker_test.cc.o"
+  "CMakeFiles/core_tracker_test.dir/core_tracker_test.cc.o.d"
+  "core_tracker_test"
+  "core_tracker_test.pdb"
+  "core_tracker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/features_descriptor_test.dir/features_descriptor_test.cc.o"
+  "CMakeFiles/features_descriptor_test.dir/features_descriptor_test.cc.o.d"
+  "features_descriptor_test"
+  "features_descriptor_test.pdb"
+  "features_descriptor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/features_descriptor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/features_detect_test.dir/features_detect_test.cc.o"
+  "CMakeFiles/features_detect_test.dir/features_detect_test.cc.o.d"
+  "features_detect_test"
+  "features_detect_test.pdb"
+  "features_detect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/features_detect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/features_histogram_test.dir/features_histogram_test.cc.o"
+  "CMakeFiles/features_histogram_test.dir/features_histogram_test.cc.o.d"
+  "features_histogram_test"
+  "features_histogram_test.pdb"
+  "features_histogram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/features_histogram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/features_hog_test.dir/features_hog_test.cc.o"
+  "CMakeFiles/features_hog_test.dir/features_hog_test.cc.o.d"
+  "features_hog_test"
+  "features_hog_test.pdb"
+  "features_hog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/features_hog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

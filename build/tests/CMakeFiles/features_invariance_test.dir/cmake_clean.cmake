@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/features_invariance_test.dir/features_invariance_test.cc.o"
+  "CMakeFiles/features_invariance_test.dir/features_invariance_test.cc.o.d"
+  "features_invariance_test"
+  "features_invariance_test.pdb"
+  "features_invariance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/features_invariance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

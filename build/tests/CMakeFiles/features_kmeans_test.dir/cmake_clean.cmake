@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/features_kmeans_test.dir/features_kmeans_test.cc.o"
+  "CMakeFiles/features_kmeans_test.dir/features_kmeans_test.cc.o.d"
+  "features_kmeans_test"
+  "features_kmeans_test.pdb"
+  "features_kmeans_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/features_kmeans_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/features_matcher_test.dir/features_matcher_test.cc.o"
+  "CMakeFiles/features_matcher_test.dir/features_matcher_test.cc.o.d"
+  "features_matcher_test"
+  "features_matcher_test.pdb"
+  "features_matcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/features_matcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

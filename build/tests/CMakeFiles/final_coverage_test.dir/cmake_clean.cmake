@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/final_coverage_test.dir/final_coverage_test.cc.o"
+  "CMakeFiles/final_coverage_test.dir/final_coverage_test.cc.o.d"
+  "final_coverage_test"
+  "final_coverage_test.pdb"
+  "final_coverage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/final_coverage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/img_draw_io_test.dir/img_draw_io_test.cc.o"
+  "CMakeFiles/img_draw_io_test.dir/img_draw_io_test.cc.o.d"
+  "img_draw_io_test"
+  "img_draw_io_test.pdb"
+  "img_draw_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/img_draw_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

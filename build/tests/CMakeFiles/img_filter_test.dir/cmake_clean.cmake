@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/img_filter_test.dir/img_filter_test.cc.o"
+  "CMakeFiles/img_filter_test.dir/img_filter_test.cc.o.d"
+  "img_filter_test"
+  "img_filter_test.pdb"
+  "img_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/img_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

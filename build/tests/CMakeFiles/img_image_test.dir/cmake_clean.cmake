@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/img_image_test.dir/img_image_test.cc.o"
+  "CMakeFiles/img_image_test.dir/img_image_test.cc.o.d"
+  "img_image_test"
+  "img_image_test.pdb"
+  "img_image_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/img_image_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/img_threshold_test.dir/img_threshold_test.cc.o"
+  "CMakeFiles/img_threshold_test.dir/img_threshold_test.cc.o.d"
+  "img_threshold_test"
+  "img_threshold_test.pdb"
+  "img_threshold_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/img_threshold_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

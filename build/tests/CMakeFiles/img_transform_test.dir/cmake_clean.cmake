@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/img_transform_test.dir/img_transform_test.cc.o"
+  "CMakeFiles/img_transform_test.dir/img_transform_test.cc.o.d"
+  "img_transform_test"
+  "img_transform_test.pdb"
+  "img_transform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/img_transform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

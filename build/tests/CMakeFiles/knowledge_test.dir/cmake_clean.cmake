@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knowledge_test.dir/knowledge_test.cc.o"
+  "CMakeFiles/knowledge_test.dir/knowledge_test.cc.o.d"
+  "knowledge_test"
+  "knowledge_test.pdb"
+  "knowledge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knowledge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_conv_sweep_test.dir/nn_conv_sweep_test.cc.o"
+  "CMakeFiles/nn_conv_sweep_test.dir/nn_conv_sweep_test.cc.o.d"
+  "nn_conv_sweep_test"
+  "nn_conv_sweep_test.pdb"
+  "nn_conv_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_conv_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

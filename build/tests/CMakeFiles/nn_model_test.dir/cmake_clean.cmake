@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_model_test.dir/nn_model_test.cc.o"
+  "CMakeFiles/nn_model_test.dir/nn_model_test.cc.o.d"
+  "nn_model_test"
+  "nn_model_test.pdb"
+  "nn_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_xcorr_test.dir/nn_xcorr_test.cc.o"
+  "CMakeFiles/nn_xcorr_test.dir/nn_xcorr_test.cc.o.d"
+  "nn_xcorr_test"
+  "nn_xcorr_test.pdb"
+  "nn_xcorr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_xcorr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
