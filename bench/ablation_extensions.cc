@@ -76,7 +76,7 @@ void TripletAblation() {
   ApproachSpec hybrid;
   hybrid.kind = ApproachSpec::Kind::kHybrid;
   const EvalReport hybrid_report = context.RunApproach(
-      hybrid, context.Sns1Features(), context.Sns2Features());
+      hybrid, context.Sns1Features(), context.Sns2Features()).value();
   table.AddRow({"Hybrid L3+Hellinger (paper best)",
                 StrFormat("%.3f", hybrid_report.cumulative_accuracy)});
 

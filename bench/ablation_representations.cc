@@ -54,7 +54,7 @@ void ShapeRepresentationAblation(ExperimentContext& ctx) {
   hu.kind = ApproachSpec::Kind::kShape;
   hu.shape = ShapeMatchMethod::kI3;
   const EvalReport hu_report =
-      ctx.RunApproach(hu, ctx.Sns2Features(), ctx.Sns1Features());
+      ctx.RunApproach(hu, ctx.Sns2Features(), ctx.Sns1Features()).value();
   table.AddRow({"Hu moments, I3 (paper)",
                 StrFormat("%.3f", hu_report.cumulative_accuracy)});
 

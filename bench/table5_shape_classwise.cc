@@ -19,7 +19,7 @@ int main() {
   const auto specs = Table2Approaches();
   // Rows 0-3: Baseline, Shape L1, Shape L2, Shape L3.
   for (std::size_t i = 0; i < 4; ++i) {
-    const EvalReport report = context.RunApproach(specs[i], inputs, gallery);
+    const EvalReport report = context.RunApproach(specs[i], inputs, gallery).value();
     bench::AddClasswiseRows(table, specs[i].DisplayName(), report);
   }
   table.Print(std::cout);

@@ -19,7 +19,7 @@ int main() {
   const auto specs = Table2Approaches();
   // Rows 4-7: Correlation, Chi-square, Intersection, Hellinger.
   for (std::size_t i = 4; i < 8; ++i) {
-    const EvalReport report = context.RunApproach(specs[i], inputs, gallery);
+    const EvalReport report = context.RunApproach(specs[i], inputs, gallery).value();
     bench::AddClasswiseRows(table, specs[i].DisplayName(), report);
   }
   table.Print(std::cout);

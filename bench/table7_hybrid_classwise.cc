@@ -21,7 +21,7 @@ int main() {
   const auto specs = Table2Approaches();
   // Rows 8-10: weighted sum, micro-average, macro-average.
   for (std::size_t i = 8; i < 11; ++i) {
-    const EvalReport report = context.RunApproach(specs[i], inputs, gallery);
+    const EvalReport report = context.RunApproach(specs[i], inputs, gallery).value();
     bench::AddClasswiseRows(table, specs[i].DisplayName(), report);
   }
   table.Print(std::cout);

@@ -20,7 +20,7 @@ int main() {
   TablePrinter table(bench::ClasswiseHeader());
   const auto specs = Table2Approaches();
   for (std::size_t i = 8; i < 11; ++i) {
-    const EvalReport report = context.RunApproach(specs[i], inputs, gallery);
+    const EvalReport report = context.RunApproach(specs[i], inputs, gallery).value();
     bench::AddClasswiseRows(table, specs[i].DisplayName(), report, 2);
   }
   table.Print(std::cout);

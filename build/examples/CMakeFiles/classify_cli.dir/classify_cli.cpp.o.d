@@ -219,4 +219,10 @@ examples/CMakeFiles/classify_cli.dir/classify_cli.cpp.o: \
  /root/repo/src/features/histogram.h /root/repo/src/util/rng.h \
  /root/repo/src/core/experiment.h /usr/include/c++/12/optional \
  /root/repo/src/core/evaluation.h /root/repo/src/core/gallery_io.h \
- /root/repo/src/img/color.h /root/repo/src/img/io_ppm.h
+ /root/repo/src/img/color.h /root/repo/src/img/io_ppm.h \
+ /root/repo/src/util/retry.h /root/repo/src/util/stopwatch.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc

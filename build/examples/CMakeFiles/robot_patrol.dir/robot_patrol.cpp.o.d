@@ -28,7 +28,11 @@ examples/CMakeFiles/robot_patrol.dir/robot_patrol.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/stdio_lim.h \
  /usr/include/x86_64-linux-gnu/bits/floatn.h \
  /usr/include/x86_64-linux-gnu/bits/floatn-common.h \
- /usr/include/x86_64-linux-gnu/bits/stdio.h /usr/include/c++/12/iostream \
+ /usr/include/x86_64-linux-gnu/bits/stdio.h /usr/include/c++/12/cstring \
+ /usr/include/string.h \
+ /usr/include/x86_64-linux-gnu/bits/types/locale_t.h \
+ /usr/include/x86_64-linux-gnu/bits/types/__locale_t.h \
+ /usr/include/strings.h /usr/include/c++/12/iostream \
  /usr/include/c++/12/ostream /usr/include/c++/12/ios \
  /usr/include/c++/12/iosfwd /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/memoryfwd.h /usr/include/c++/12/bits/postypes.h \
@@ -36,8 +40,6 @@ examples/CMakeFiles/robot_patrol.dir/robot_patrol.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/wchar.h \
  /usr/include/x86_64-linux-gnu/bits/types/wint_t.h \
  /usr/include/x86_64-linux-gnu/bits/types/mbstate_t.h \
- /usr/include/x86_64-linux-gnu/bits/types/locale_t.h \
- /usr/include/x86_64-linux-gnu/bits/types/__locale_t.h \
  /usr/include/c++/12/exception /usr/include/c++/12/bits/exception.h \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/exception_defines.h \
@@ -222,4 +224,10 @@ examples/CMakeFiles/robot_patrol.dir/robot_patrol.cpp.o: \
  /root/repo/src/features/histogram.h /root/repo/src/util/rng.h \
  /root/repo/src/core/experiment.h /usr/include/c++/12/optional \
  /root/repo/src/core/evaluation.h /root/repo/src/core/segmentation.h \
- /root/repo/src/data/scene.h /root/repo/src/util/table.h
+ /root/repo/src/data/scene.h /root/repo/src/util/fault.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/cstddef \
+ /root/repo/src/util/retry.h /root/repo/src/util/stopwatch.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/sstream \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/table.h

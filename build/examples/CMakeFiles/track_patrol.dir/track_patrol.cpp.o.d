@@ -222,5 +222,11 @@ examples/CMakeFiles/track_patrol.dir/track_patrol.cpp.o: \
  /root/repo/src/core/experiment.h /usr/include/c++/12/optional \
  /root/repo/src/core/evaluation.h /root/repo/src/core/segmentation.h \
  /root/repo/src/core/tracker.h /root/repo/src/data/scene.h \
+ /root/repo/src/util/fault.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/cstddef /root/repo/src/util/retry.h \
+ /root/repo/src/util/stopwatch.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/util/string_util.h /usr/include/c++/12/cstdarg \
  /root/repo/src/util/table.h

@@ -199,9 +199,12 @@ src/core/CMakeFiles/snor_core.dir/embedding_pipeline.cc.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/evaluation.h \
  /usr/include/c++/12/array /root/repo/src/data/object_class.h \
- /root/repo/src/data/dataset.h /root/repo/src/data/renderer.h \
- /root/repo/src/img/image.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/util/status.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/data/dataset.h \
+ /root/repo/src/data/renderer.h /root/repo/src/img/image.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
@@ -235,8 +238,4 @@ src/core/CMakeFiles/snor_core.dir/embedding_pipeline.cc.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/img/resize.h \
  /root/repo/src/nn/model.h /root/repo/src/nn/cosine_merge.h \
- /root/repo/src/nn/xcorr.h /root/repo/src/util/status.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/nn/optimizer.h
+ /root/repo/src/nn/xcorr.h /root/repo/src/nn/optimizer.h

@@ -178,7 +178,7 @@ src/core/CMakeFiles/snor_core.dir/feature_cache.cc.o: \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/data/dataset.h \
  /root/repo/src/data/object_class.h /root/repo/src/data/renderer.h \
  /root/repo/src/features/histogram.h /root/repo/src/img/color.h \
- /root/repo/src/util/parallel.h /usr/include/c++/12/atomic \
+ /root/repo/src/util/fault.h /usr/include/c++/12/atomic \
  /usr/include/c++/12/bits/atomic_base.h \
  /usr/include/c++/12/bits/atomic_lockfree_defines.h \
  /usr/include/c++/12/bits/atomic_wait.h /usr/include/c++/12/climits \
@@ -202,8 +202,8 @@ src/core/CMakeFiles/snor_core.dir/feature_cache.cc.o: \
  /usr/include/x86_64-linux-gnu/asm/unistd_64.h \
  /usr/include/x86_64-linux-gnu/bits/syscall.h \
  /usr/include/c++/12/bits/std_mutex.h /usr/include/c++/12/cstddef \
- /usr/include/c++/12/functional /usr/include/c++/12/tuple \
- /usr/include/c++/12/bits/uses_allocator.h \
+ /root/repo/src/util/parallel.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/ext/aligned_buffer.h \
@@ -220,4 +220,5 @@ src/core/CMakeFiles/snor_core.dir/feature_cache.cc.o: \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/util/string_util.h /usr/include/c++/12/cstdarg

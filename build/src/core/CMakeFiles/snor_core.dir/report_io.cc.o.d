@@ -124,9 +124,9 @@ src/core/CMakeFiles/snor_core.dir/report_io.cc.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/data/object_class.h \
- /root/repo/src/util/csv.h /root/repo/src/util/status.h \
- /usr/include/c++/12/ostream /usr/include/c++/12/ios \
- /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /root/repo/src/util/status.h /usr/include/c++/12/ostream \
+ /usr/include/c++/12/ios /usr/include/c++/12/exception \
+ /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
@@ -162,5 +162,6 @@ src/core/CMakeFiles/snor_core.dir/report_io.cc.o: \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/util/table.h \
- /root/repo/src/util/string_util.h /usr/include/c++/12/cstdarg
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/util/csv.h \
+ /root/repo/src/util/table.h /root/repo/src/util/string_util.h \
+ /usr/include/c++/12/cstdarg

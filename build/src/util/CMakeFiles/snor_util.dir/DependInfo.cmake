@@ -9,8 +9,10 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/csv.cc" "src/util/CMakeFiles/snor_util.dir/csv.cc.o" "gcc" "src/util/CMakeFiles/snor_util.dir/csv.cc.o.d"
+  "/root/repo/src/util/fault.cc" "src/util/CMakeFiles/snor_util.dir/fault.cc.o" "gcc" "src/util/CMakeFiles/snor_util.dir/fault.cc.o.d"
   "/root/repo/src/util/logging.cc" "src/util/CMakeFiles/snor_util.dir/logging.cc.o" "gcc" "src/util/CMakeFiles/snor_util.dir/logging.cc.o.d"
   "/root/repo/src/util/parallel.cc" "src/util/CMakeFiles/snor_util.dir/parallel.cc.o" "gcc" "src/util/CMakeFiles/snor_util.dir/parallel.cc.o.d"
+  "/root/repo/src/util/retry.cc" "src/util/CMakeFiles/snor_util.dir/retry.cc.o" "gcc" "src/util/CMakeFiles/snor_util.dir/retry.cc.o.d"
   "/root/repo/src/util/rng.cc" "src/util/CMakeFiles/snor_util.dir/rng.cc.o" "gcc" "src/util/CMakeFiles/snor_util.dir/rng.cc.o.d"
   "/root/repo/src/util/status.cc" "src/util/CMakeFiles/snor_util.dir/status.cc.o" "gcc" "src/util/CMakeFiles/snor_util.dir/status.cc.o.d"
   "/root/repo/src/util/string_util.cc" "src/util/CMakeFiles/snor_util.dir/string_util.cc.o" "gcc" "src/util/CMakeFiles/snor_util.dir/string_util.cc.o.d"

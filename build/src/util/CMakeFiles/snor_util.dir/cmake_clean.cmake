@@ -1,10 +1,14 @@
 file(REMOVE_RECURSE
   "CMakeFiles/snor_util.dir/csv.cc.o"
   "CMakeFiles/snor_util.dir/csv.cc.o.d"
+  "CMakeFiles/snor_util.dir/fault.cc.o"
+  "CMakeFiles/snor_util.dir/fault.cc.o.d"
   "CMakeFiles/snor_util.dir/logging.cc.o"
   "CMakeFiles/snor_util.dir/logging.cc.o.d"
   "CMakeFiles/snor_util.dir/parallel.cc.o"
   "CMakeFiles/snor_util.dir/parallel.cc.o.d"
+  "CMakeFiles/snor_util.dir/retry.cc.o"
+  "CMakeFiles/snor_util.dir/retry.cc.o.d"
   "CMakeFiles/snor_util.dir/rng.cc.o"
   "CMakeFiles/snor_util.dir/rng.cc.o.d"
   "CMakeFiles/snor_util.dir/status.cc.o"

@@ -303,9 +303,9 @@ tests/CMakeFiles/core_pipeline_test.dir/core_pipeline_test.cc.o: \
  /root/repo/src/features/matcher.h /root/repo/src/features/keypoint.h \
  /root/repo/src/features/orb.h /root/repo/src/features/sift.h \
  /root/repo/src/features/surf.h /root/repo/src/core/xcorr_pipeline.h \
- /root/repo/src/core/evaluation.h /root/repo/src/data/pairs.h \
- /root/repo/src/nn/trainer.h /root/repo/src/nn/model.h \
- /root/repo/src/nn/cosine_merge.h /root/repo/src/nn/tensor.h \
- /root/repo/src/nn/layer.h /root/repo/src/util/rng.h \
- /root/repo/src/nn/layers.h /root/repo/src/nn/xcorr.h \
- /root/repo/src/util/status.h /root/repo/src/nn/optimizer.h
+ /root/repo/src/core/evaluation.h /root/repo/src/util/status.h \
+ /root/repo/src/data/pairs.h /root/repo/src/nn/trainer.h \
+ /root/repo/src/nn/model.h /root/repo/src/nn/cosine_merge.h \
+ /root/repo/src/nn/tensor.h /root/repo/src/nn/layer.h \
+ /root/repo/src/util/rng.h /root/repo/src/nn/layers.h \
+ /root/repo/src/nn/xcorr.h /root/repo/src/nn/optimizer.h

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_injection_test.dir/fault_injection_test.cc.o"
+  "CMakeFiles/fault_injection_test.dir/fault_injection_test.cc.o.d"
+  "fault_injection_test"
+  "fault_injection_test.pdb"
+  "fault_injection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_injection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_fault_test.dir/util_fault_test.cc.o"
+  "CMakeFiles/util_fault_test.dir/util_fault_test.cc.o.d"
+  "util_fault_test"
+  "util_fault_test.pdb"
+  "util_fault_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

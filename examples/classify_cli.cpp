@@ -20,6 +20,7 @@
 #include "data/renderer.h"
 #include "img/color.h"
 #include "img/io_ppm.h"
+#include "util/retry.h"
 
 namespace snor {
 namespace {
@@ -41,7 +42,14 @@ int BuildGallery(const std::string& path) {
 int ClassifyFiles(const std::string& gallery_path,
                   const std::vector<std::string>& files,
                   bool black_background) {
-  auto gallery = LoadFeatures(gallery_path);
+  // Gallery load is the one retryable stage of this tool: a deployed
+  // robot reads it from flash or network storage, so transient IO errors
+  // get three attempts with backoff before giving up.
+  RetryOptions retry;
+  retry.max_attempts = 3;
+  retry.initial_backoff_ms = 2.0;
+  auto gallery = RetryWithBackoff(
+      retry, [&gallery_path] { return LoadFeatures(gallery_path); });
   if (!gallery.ok()) {
     std::fprintf(stderr, "error: %s\n",
                  gallery.status().ToString().c_str());

@@ -5,9 +5,16 @@
 // (`SegmentFrame`), classifies each region against the ShapeNet gallery,
 // and accumulates a task-agnostic inventory.
 //
-// Run: ./build/examples/robot_patrol
+// Fault tolerance: frame ingestion goes through bounded
+// retry-with-backoff; a frame that stays unavailable is dropped and
+// counted, never crashing the patrol. Arm a deterministic ingestion
+// fault rate with `--fault-seed N [--fault-rate R]` to watch it degrade
+// gracefully.
+//
+// Run: ./build/examples/robot_patrol [--fault-seed N] [--fault-rate R]
 
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <map>
 #include <string>
@@ -16,10 +23,39 @@
 #include "core/experiment.h"
 #include "core/segmentation.h"
 #include "data/scene.h"
+#include "util/fault.h"
+#include "util/retry.h"
 #include "util/table.h"
 
-int main() {
+namespace snor {
+namespace {
+
+// One sensor read. On a real robot this is the camera driver; here the
+// injected io-read fault stands in for a dropped or corrupt frame.
+Result<Scene> IngestFrame(int frame_id) {
+  SNOR_RETURN_NOT_OK(
+      InjectFault(FaultPoint::kIoRead, "frame " + std::to_string(frame_id)));
+  SceneOptions scene_opts;
+  scene_opts.seed = 2024 + static_cast<std::uint64_t>(frame_id);
+  return RandomScene(scene_opts);
+}
+
+}  // namespace
+}  // namespace snor
+
+int main(int argc, char** argv) {
   using namespace snor;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
+      FaultInjector::Global().Arm(FaultPoint::kIoRead, 0.3,
+                                  std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--fault-rate") == 0 && i + 1 < argc) {
+      // Re-arm with the explicit rate, keeping the last seed given.
+      FaultInjector::Global().Arm(FaultPoint::kIoRead,
+                                  std::strtod(argv[++i], nullptr), 7);
+    }
+  }
 
   // Reference gallery + classifier (hybrid, paper's best configuration).
   ExperimentConfig config;
@@ -32,12 +68,24 @@ int main() {
   std::map<std::string, int> inventory;
   int seen = 0;
   int correct = 0;
+  int dropped_frames = 0;
+
+  RetryOptions retry;
+  retry.max_attempts = 3;
+  retry.initial_backoff_ms = 1.0;
+  retry.deadline_ms = 250.0;
 
   const int kFrames = 6;
   for (int frame_id = 0; frame_id < kFrames; ++frame_id) {
-    SceneOptions scene_opts;
-    scene_opts.seed = 2024 + static_cast<std::uint64_t>(frame_id);
-    const Scene scene = RandomScene(scene_opts);
+    auto frame = RetryWithBackoff(
+        retry, [frame_id] { return IngestFrame(frame_id); });
+    if (!frame.ok()) {
+      ++dropped_frames;
+      std::printf("frame %d: dropped after retries (%s)\n", frame_id,
+                  frame.status().ToString().c_str());
+      continue;
+    }
+    const Scene& scene = frame.value();
 
     const auto regions = SegmentFrame(scene.frame);
     std::printf("frame %d: %zu segmented regions\n", frame_id,
@@ -72,6 +120,15 @@ int main() {
   table.Print(std::cout);
   std::printf("Recognition: %d/%d regions correct (%.1f%%)\n", correct, seen,
               seen > 0 ? 100.0 * correct / seen : 0.0);
+  if (dropped_frames > 0 || classifier.degradation().total() > 0) {
+    std::printf(
+        "Degraded-mode summary: %d/%d frames dropped after retries; "
+        "%llu classifications fell back to a single modality.\n",
+        dropped_frames, kFrames,
+        static_cast<unsigned long long>(classifier.degradation().shape_only +
+                                        classifier.degradation().color_only));
+  }
+  FaultInjector::Global().DisarmAll();
   std::printf(
       "(Random assignment over 10 classes would land near 10%%;\n"
       " the paper's best NYU-scale pipeline reaches ~21%%.)\n");

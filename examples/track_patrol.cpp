@@ -18,6 +18,8 @@
 #include "core/segmentation.h"
 #include "core/tracker.h"
 #include "data/scene.h"
+#include "util/fault.h"
+#include "util/retry.h"
 #include "util/string_util.h"
 #include "util/table.h"
 
@@ -58,6 +60,15 @@ int main() {
   // Per-track classification votes.
   std::map<int, std::array<int, kNumClasses>> votes;
 
+  // Frame ingestion is retryable: a transiently unavailable frame gets a
+  // bounded backoff, and an exhausted retry drops the frame (the tracker
+  // simply coasts to the next one) instead of crashing the patrol.
+  RetryOptions retry;
+  retry.max_attempts = 3;
+  retry.initial_backoff_ms = 1.0;
+  retry.deadline_ms = 250.0;
+  int dropped_frames = 0;
+
   const int kFrames = 6;
   for (int frame_id = 0; frame_id < kFrames; ++frame_id) {
     // Pan: shift all placements and refresh sensor noise.
@@ -68,7 +79,19 @@ int main() {
           static_cast<std::uint64_t>(frame_id) * 31 + 7;
       p.render.view_angle_deg = frame_id * 2.0;
     }
-    const Scene scene = ComposeScene(placements, 460, 140);
+    auto ingested = RetryWithBackoff(
+        retry, [&placements, frame_id]() -> Result<Scene> {
+          SNOR_RETURN_NOT_OK(InjectFault(
+              FaultPoint::kIoRead, "frame " + std::to_string(frame_id)));
+          return ComposeScene(placements, 460, 140);
+        });
+    if (!ingested.ok()) {
+      ++dropped_frames;
+      std::printf("frame %d: dropped after retries (%s)\n", frame_id,
+                  ingested.status().ToString().c_str());
+      continue;
+    }
+    const Scene& scene = ingested.value();
     const auto regions = SegmentFrame(scene.frame);
     const auto ids = tracker.Update(regions);
 
@@ -107,6 +130,10 @@ int main() {
                                 std::max(1, total))});
   }
   table.Print(std::cout);
+  if (dropped_frames > 0) {
+    std::printf("Dropped frames: %d/%d (retries exhausted).\n",
+                dropped_frames, kFrames);
+  }
   std::printf(
       "Tracks created: %d (3 physical objects). Track-level voting turns\n"
       "noisy per-frame predictions into stable object labels — the\n"

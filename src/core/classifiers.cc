@@ -5,7 +5,7 @@
 #include <limits>
 #include <map>
 
-#include "util/check.h"
+#include "util/fault.h"
 
 namespace snor {
 namespace {
@@ -23,10 +23,25 @@ double ColorDistance(const ColorHistogram& a, const ColorHistogram& b,
 
 }  // namespace
 
-MatchingClassifier::MatchingClassifier(std::vector<ImageFeatures> gallery)
-    : gallery_(std::move(gallery)) {
-  SNOR_CHECK(!gallery_.empty());
+bool ShapeModalityUsable(const ImageFeatures& input) {
+  if (!input.valid) return false;
+  for (double h : input.hu) {
+    if (!std::isfinite(h)) return false;
+  }
+  return true;
 }
+
+bool ColorModalityUsable(const ImageFeatures& input) {
+  double mass = 0.0;
+  for (double b : input.histogram.bins()) {
+    if (!std::isfinite(b) || b < 0.0) return false;
+    mass += b;
+  }
+  return mass > 0.0;
+}
+
+MatchingClassifier::MatchingClassifier(std::vector<ImageFeatures> gallery)
+    : gallery_(std::move(gallery)) {}
 
 std::vector<ObjectClass> MatchingClassifier::ClassifyAll(
     const std::vector<ImageFeatures>& inputs) {
@@ -37,6 +52,7 @@ std::vector<ObjectClass> MatchingClassifier::ClassifyAll(
 }
 
 ObjectClass MatchingClassifier::FallbackLabel() const {
+  if (gallery_.empty()) return ClassFromIndex(0);
   return gallery_.front().label;
 }
 
@@ -56,10 +72,14 @@ ShapeOnlyClassifier::ShapeOnlyClassifier(std::vector<ImageFeatures> gallery,
 ObjectClass ShapeOnlyClassifier::Classify(const ImageFeatures& input) {
   double best = kHuge;
   ObjectClass best_label = FallbackLabel();
-  if (!input.valid) return best_label;
+  if (!ShapeModalityUsable(input)) {
+    ++degradation_.fallback;
+    return best_label;
+  }
   for (const auto& view : gallery()) {
     if (!view.valid) continue;
-    const double d = MatchShapes(input.hu, view.hu, method_);
+    const double d = MaybePoisonScore(MatchShapes(input.hu, view.hu, method_));
+    if (!std::isfinite(d)) continue;  // Poisoned view: skip, don't crash.
     if (d < best) {
       best = d;
       best_label = view.label;
@@ -76,11 +96,15 @@ ObjectClass ColorOnlyClassifier::Classify(const ImageFeatures& input) {
   const bool maximize = IsSimilarityMetric(method_);
   double best = maximize ? -kHuge : kHuge;
   ObjectClass best_label = FallbackLabel();
-  if (!input.valid) return best_label;
+  if (!input.valid) {
+    ++degradation_.fallback;
+    return best_label;
+  }
   for (const auto& view : gallery()) {
     if (!view.valid) continue;
     const double c =
         CompareHistograms(input.histogram, view.histogram, method_);
+    if (!std::isfinite(c)) continue;  // Corrupt view: skip, don't crash.
     const bool better = maximize ? c > best : c < best;
     if (better) {
       best = c;
@@ -102,30 +126,68 @@ HybridClassifier::HybridClassifier(std::vector<ImageFeatures> gallery,
       beta_(beta),
       strategy_(strategy) {}
 
-std::vector<double> HybridClassifier::ViewScores(
-    const ImageFeatures& input) const {
-  std::vector<double> scores;
-  scores.reserve(gallery().size());
-  for (const auto& view : gallery()) {
-    if (!input.valid || !view.valid) {
-      scores.push_back(kHuge);
-      continue;
+std::vector<double> HybridClassifier::ScoresForModes(
+    const ImageFeatures& input, bool use_shape, bool use_color,
+    bool* shape_live_out, bool* color_live_out) const {
+  const std::size_t n = gallery().size();
+
+  // Per-view raw scores of each requested modality; a non-finite score
+  // (e.g. an injected NaN) marks that view's modality unusable.
+  std::vector<double> shape_scores(n, kHuge);
+  std::vector<double> color_scores(n, kHuge);
+  std::size_t shape_usable = 0;
+  std::size_t color_usable = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const ImageFeatures& view = gallery()[i];
+    if (!view.valid) continue;
+    if (use_shape) {
+      const double s =
+          MaybePoisonScore(MatchShapes(input.hu, view.hu, shape_method_));
+      if (std::isfinite(s) && s < kHuge) {
+        shape_scores[i] = s;
+        ++shape_usable;
+      }
     }
-    double s = MatchShapes(input.hu, view.hu, shape_method_);
-    if (s >= kHuge) {
-      scores.push_back(kHuge);
-      continue;
+    if (use_color) {
+      const double c =
+          ColorDistance(input.histogram, view.histogram, color_method_);
+      if (std::isfinite(c)) {
+        color_scores[i] = c;
+        ++color_usable;
+      }
     }
-    const double c =
-        ColorDistance(input.histogram, view.histogram, color_method_);
-    scores.push_back(alpha_ * s + beta_ * c);
   }
-  return scores;
+
+  // A modality whose every view score is poisoned has collapsed for this
+  // input; the surviving modality alone drives theta.
+  const bool shape_live = use_shape && shape_usable > 0;
+  const bool color_live = use_color && color_usable > 0;
+  if (shape_live_out != nullptr) *shape_live_out = shape_live;
+  if (color_live_out != nullptr) *color_live_out = color_live;
+
+  std::vector<double> theta(n, kHuge);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (shape_live && color_live) {
+      if (shape_scores[i] < kHuge && color_scores[i] < kHuge) {
+        theta[i] = alpha_ * shape_scores[i] + beta_ * color_scores[i];
+      }
+    } else if (shape_live) {
+      theta[i] = shape_scores[i];
+    } else if (color_live) {
+      theta[i] = color_scores[i];
+    }
+  }
+  return theta;
 }
 
-ObjectClass HybridClassifier::Classify(const ImageFeatures& input) {
-  const std::vector<double> theta = ViewScores(input);
+std::vector<double> HybridClassifier::ViewScores(
+    const ImageFeatures& input) const {
+  const bool usable = ShapeModalityUsable(input) && ColorModalityUsable(input);
+  return ScoresForModes(input, usable, usable);
+}
 
+ObjectClass HybridClassifier::ArgminLabel(
+    const std::vector<double>& theta) const {
   switch (strategy_) {
     case HybridStrategy::kWeightedSum: {
       double best = kHuge;
@@ -184,6 +246,34 @@ ObjectClass HybridClassifier::Classify(const ImageFeatures& input) {
     }
   }
   return FallbackLabel();
+}
+
+ObjectClass HybridClassifier::Classify(const ImageFeatures& input) {
+  const bool use_shape = ShapeModalityUsable(input);
+  const bool use_color = ColorModalityUsable(input);
+
+  // Graceful degradation: a frame with one poisoned modality is matched
+  // on the surviving one and recorded, instead of failing outright.
+  if (!use_shape && !use_color) {
+    ++degradation_.fallback;
+    return FallbackLabel();
+  }
+  bool shape_live = false;
+  bool color_live = false;
+  const std::vector<double> theta =
+      ScoresForModes(input, use_shape, use_color, &shape_live, &color_live);
+  if (!shape_live && !color_live) {
+    ++degradation_.fallback;
+    return FallbackLabel();
+  }
+  if (shape_live != color_live) {
+    if (shape_live) {
+      ++degradation_.shape_only;
+    } else {
+      ++degradation_.color_only;
+    }
+  }
+  return ArgminLabel(theta);
 }
 
 }  // namespace snor

@@ -1,6 +1,7 @@
 #ifndef SNOR_CORE_CLASSIFIERS_H_
 #define SNOR_CORE_CLASSIFIERS_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -9,6 +10,7 @@
 #include "features/histogram.h"
 #include "geometry/moments.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace snor {
 
@@ -22,15 +24,32 @@ enum class HybridStrategy {
   kMacroAverage,
 };
 
+/// \brief Counters describing how often a classifier had to shed a
+/// modality to keep answering (graceful degradation, never a crash).
+struct DegradationStats {
+  /// Colour modality unusable for the input; matched on shape alone.
+  std::uint64_t shape_only = 0;
+  /// Shape modality unusable for the input; matched on colour alone.
+  std::uint64_t color_only = 0;
+  /// Neither modality usable; the deterministic fallback label was used.
+  std::uint64_t fallback = 0;
+
+  std::uint64_t total() const { return shape_only + color_only + fallback; }
+};
+
 /// \brief Base class for gallery-matching classifiers: the predicted label
 /// comes from the reference view(s) optimising a similarity or distance
 /// function against the input.
+///
+/// Construction tolerates an empty gallery (every prediction is then the
+/// fallback label); use `MakeClassifier` for a validating factory.
 class MatchingClassifier {
  public:
   explicit MatchingClassifier(std::vector<ImageFeatures> gallery);
   virtual ~MatchingClassifier() = default;
 
-  /// Predicts the class of one input's features.
+  /// Predicts the class of one input's features. Never fails: degraded
+  /// inputs fall back to the surviving modality (see `degradation()`).
   virtual ObjectClass Classify(const ImageFeatures& input) = 0;
 
   /// Predicts every input (convenience wrapper).
@@ -39,13 +58,26 @@ class MatchingClassifier {
 
   const std::vector<ImageFeatures>& gallery() const { return gallery_; }
 
+  /// How often Classify had to degrade since construction.
+  const DegradationStats& degradation() const { return degradation_; }
+
  protected:
   /// Deterministic fallback when no gallery view produces a usable score.
   ObjectClass FallbackLabel() const;
 
+  DegradationStats degradation_;
+
  private:
   std::vector<ImageFeatures> gallery_;
 };
+
+/// True when the input carries a usable contour-shape modality (valid
+/// preprocessing and finite Hu moments).
+bool ShapeModalityUsable(const ImageFeatures& input);
+
+/// True when the input carries a usable colour modality (finite histogram
+/// with positive mass).
+bool ColorModalityUsable(const ImageFeatures& input);
 
 /// \brief Uniform random label assignment (the paper's reference baseline).
 class RandomBaselineClassifier : public MatchingClassifier {
@@ -96,13 +128,30 @@ class HybridClassifier : public MatchingClassifier {
                    HistCompareMethod color_method, double alpha, double beta,
                    HybridStrategy strategy);
 
+  /// Classifies with graceful degradation: when one modality is unusable
+  /// for the input (missing contour, poisoned NaN scores, empty
+  /// histogram) the surviving modality alone drives the argmin and the
+  /// degradation is recorded, instead of the frame failing.
   ObjectClass Classify(const ImageFeatures& input) override;
 
   /// The per-view theta scores for one input (exposed for tests and
-  /// diagnostics); index-aligned with gallery().
+  /// diagnostics); index-aligned with gallery(). Views whose score is
+  /// non-finite (e.g. an injected NaN) are reported as unusable (a huge
+  /// positive sentinel that argmin never selects).
   std::vector<double> ViewScores(const ImageFeatures& input) const;
 
  private:
+  /// Per-view theta restricted to the usable modalities. On return,
+  /// `*shape_live`/`*color_live` (optional) say whether each requested
+  /// modality actually contributed — a modality whose every view score
+  /// is poisoned collapses and the survivor drives theta alone.
+  std::vector<double> ScoresForModes(const ImageFeatures& input,
+                                     bool use_shape, bool use_color,
+                                     bool* shape_live = nullptr,
+                                     bool* color_live = nullptr) const;
+
+  ObjectClass ArgminLabel(const std::vector<double>& theta) const;
+
   ShapeMatchMethod shape_method_;
   HistCompareMethod color_method_;
   double alpha_;

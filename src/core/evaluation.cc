@@ -20,6 +20,7 @@ EvalReport Evaluate(const std::vector<ObjectClass>& truth,
   SNOR_CHECK_EQ(truth.size(), predicted.size());
   EvalReport report;
   report.total = static_cast<int>(truth.size());
+  report.attempted = report.total;
 
   int correct = 0;
   for (std::size_t i = 0; i < truth.size(); ++i) {

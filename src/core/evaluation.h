@@ -2,9 +2,12 @@
 #define SNOR_CORE_EVALUATION_H_
 
 #include <array>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "data/object_class.h"
+#include "util/status.h"
 
 namespace snor {
 
@@ -29,14 +32,39 @@ struct ClassMetrics {
   double f1_std = 0.0;
 };
 
+/// \brief One bad input recorded by batch evaluation instead of aborting
+/// the run: the item is skipped (ingest failures) or fallback-classified
+/// (preprocess failures), and the reason lands here.
+struct ItemError {
+  /// Index into the evaluated input vector.
+  int index = -1;
+  /// Pipeline stage that failed: "ingest", "preprocess", "classify".
+  std::string stage;
+  Status status;
+};
+
 /// \brief Full evaluation of a multi-class prediction run.
 struct EvalReport {
   /// Cross-class cumulative accuracy (Table 2 / Table 3 metric).
   double cumulative_accuracy = 0.0;
+  /// Items that entered the metric computation.
   int total = 0;
+  /// Items presented to the run, including skipped ones (>= total).
+  int attempted = 0;
   std::array<ClassMetrics, kNumClasses> per_class{};
   /// confusion[truth][predicted].
   std::array<std::array<int, kNumClasses>, kNumClasses> confusion{};
+  /// Per-item error ledger: every skipped or impaired input, with the
+  /// stage and Status that explains it. Empty on a clean run.
+  std::vector<ItemError> errors;
+  /// Inputs the hybrid classifier matched on a single surviving modality.
+  std::uint64_t degraded_shape_only = 0;
+  std::uint64_t degraded_color_only = 0;
+
+  /// Fraction of attempted items that were actually evaluated.
+  double Coverage() const {
+    return attempted > 0 ? static_cast<double>(total) / attempted : 1.0;
+  }
 };
 
 /// Computes the report from parallel truth/prediction arrays.

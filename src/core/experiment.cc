@@ -1,5 +1,7 @@
 #include "core/experiment.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace snor {
@@ -81,27 +83,45 @@ std::vector<ApproachSpec> Table2Approaches(double alpha, double beta) {
   return specs;
 }
 
-std::unique_ptr<MatchingClassifier> MakeClassifier(
+Result<std::unique_ptr<MatchingClassifier>> MakeClassifier(
     const ApproachSpec& spec, std::vector<ImageFeatures> gallery,
     std::uint64_t baseline_seed) {
+  if (gallery.empty()) {
+    return Status::InvalidArgument("cannot build " + spec.DisplayName() +
+                                   " classifier over an empty gallery");
+  }
+  if (spec.kind != ApproachSpec::Kind::kBaseline) {
+    const bool any_valid =
+        std::any_of(gallery.begin(), gallery.end(),
+                    [](const ImageFeatures& f) { return f.valid; });
+    if (!any_valid) {
+      return Status::Unavailable(
+          "gallery has no valid view to match against (all " +
+          std::to_string(gallery.size()) + " entries failed extraction)");
+    }
+  }
+  std::unique_ptr<MatchingClassifier> classifier;
   switch (spec.kind) {
     case ApproachSpec::Kind::kBaseline:
-      return std::make_unique<RandomBaselineClassifier>(std::move(gallery),
-                                                        baseline_seed);
+      classifier = std::make_unique<RandomBaselineClassifier>(
+          std::move(gallery), baseline_seed);
+      break;
     case ApproachSpec::Kind::kShape:
-      return std::make_unique<ShapeOnlyClassifier>(std::move(gallery),
-                                                   spec.shape);
+      classifier = std::make_unique<ShapeOnlyClassifier>(std::move(gallery),
+                                                         spec.shape);
+      break;
     case ApproachSpec::Kind::kColor:
-      return std::make_unique<ColorOnlyClassifier>(std::move(gallery),
-                                                   spec.color);
+      classifier = std::make_unique<ColorOnlyClassifier>(std::move(gallery),
+                                                         spec.color);
+      break;
     case ApproachSpec::Kind::kHybrid:
-      return std::make_unique<HybridClassifier>(std::move(gallery),
-                                                spec.shape, spec.color,
-                                                spec.alpha, spec.beta,
-                                                spec.strategy);
+      classifier = std::make_unique<HybridClassifier>(
+          std::move(gallery), spec.shape, spec.color, spec.alpha, spec.beta,
+          spec.strategy);
+      break;
   }
-  SNOR_CHECK_MSG(false, "unknown approach kind");
-  return nullptr;
+  SNOR_CHECK_MSG(classifier != nullptr, "unknown approach kind");
+  return classifier;
 }
 
 ExperimentContext::ExperimentContext(const ExperimentConfig& config)
@@ -167,12 +187,46 @@ const std::vector<ImageFeatures>& ExperimentContext::NyuFeatures() {
   return *nyu_features_;
 }
 
-EvalReport ExperimentContext::RunApproach(
+Result<EvalReport> ExperimentContext::RunApproach(
     const ApproachSpec& spec, const std::vector<ImageFeatures>& inputs,
     const std::vector<ImageFeatures>& gallery) {
-  auto classifier = MakeClassifier(spec, gallery, config_.seed);
-  const std::vector<ObjectClass> predictions = classifier->ClassifyAll(inputs);
-  return Evaluate(TruthLabels(inputs), predictions);
+  SNOR_ASSIGN_OR_RETURN(std::unique_ptr<MatchingClassifier> classifier,
+                        MakeClassifier(spec, gallery, config_.seed));
+
+  std::vector<ObjectClass> truth;
+  std::vector<ObjectClass> predictions;
+  std::vector<ItemError> errors;
+  truth.reserve(inputs.size());
+  predictions.reserve(inputs.size());
+
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const ImageFeatures& f = inputs[i];
+    if (!f.valid && !f.status.ok() &&
+        f.status.code() != StatusCode::kNotFound) {
+      // Ingest-level failure (IO fault, unavailable frame): skip the
+      // item and record it; it degrades coverage, not correctness.
+      errors.push_back({static_cast<int>(i), "ingest", f.status});
+      continue;
+    }
+    if (!f.valid) {
+      // Preprocess-level failure (no foreground component): keep the
+      // paper's behaviour — fallback-classified and counted — but leave
+      // a ledger entry so the impairment is visible.
+      errors.push_back(
+          {static_cast<int>(i), "preprocess",
+           f.status.ok() ? Status::NotFound("no foreground component")
+                         : f.status});
+    }
+    truth.push_back(f.label);
+    predictions.push_back(classifier->Classify(f));
+  }
+
+  EvalReport report = Evaluate(truth, predictions);
+  report.attempted = static_cast<int>(inputs.size());
+  report.errors = std::move(errors);
+  report.degraded_shape_only = classifier->degradation().shape_only;
+  report.degraded_color_only = classifier->degradation().color_only;
+  return report;
 }
 
 std::vector<ObjectClass> TruthLabels(

@@ -9,6 +9,7 @@
 #include "core/evaluation.h"
 #include "core/feature_cache.h"
 #include "data/dataset.h"
+#include "util/status.h"
 
 namespace snor {
 
@@ -33,8 +34,11 @@ struct ApproachSpec {
 std::vector<ApproachSpec> Table2Approaches(double alpha = 0.3,
                                            double beta = 0.7);
 
-/// Builds the classifier described by `spec` over a gallery.
-std::unique_ptr<MatchingClassifier> MakeClassifier(
+/// Builds the classifier described by `spec` over a gallery. Fails with
+/// `InvalidArgument` on an empty gallery and with `Unavailable` when the
+/// gallery has no valid view to match against — a truncated gallery file
+/// or an all-faulted load must not take down the caller.
+Result<std::unique_ptr<MatchingClassifier>> MakeClassifier(
     const ApproachSpec& spec, std::vector<ImageFeatures> gallery,
     std::uint64_t baseline_seed = 2019);
 
@@ -69,10 +73,15 @@ class ExperimentContext {
   const std::vector<ImageFeatures>& Sns2Features();
   const std::vector<ImageFeatures>& NyuFeatures();
 
-  /// Runs one approach, matching `inputs` against `gallery`.
-  EvalReport RunApproach(const ApproachSpec& spec,
-                         const std::vector<ImageFeatures>& inputs,
-                         const std::vector<ImageFeatures>& gallery);
+  /// Runs one approach, matching `inputs` against `gallery`. Bad inputs
+  /// never abort the run: unavailable items (ingest faults) are skipped
+  /// and recorded in the report's error ledger, preprocess failures are
+  /// fallback-classified and recorded, and modality degradations are
+  /// counted. Fails only when the whole run is impossible (no usable
+  /// gallery).
+  Result<EvalReport> RunApproach(const ApproachSpec& spec,
+                                 const std::vector<ImageFeatures>& inputs,
+                                 const std::vector<ImageFeatures>& gallery);
 
  private:
   FeatureOptions FeatureOptionsFor(bool white_background) const;

@@ -1,7 +1,9 @@
 #include "core/feature_cache.h"
 
 #include "img/color.h"
+#include "util/fault.h"
 #include "util/parallel.h"
+#include "util/string_util.h"
 
 namespace snor {
 
@@ -20,7 +22,19 @@ std::vector<ImageFeatures> ComputeFeatures(const Dataset& dataset,
     f.model_id = item.model_id;
     f.histogram = ColorHistogram(options.hist_bins);
 
+    // Ingestion is the stage where a robot reads a frame off a sensor or
+    // disk; an armed io-read fault marks the item unavailable (skipped
+    // and recorded by batch evaluation) instead of killing the batch.
+    const Status ingest = InjectFault(
+        FaultPoint::kIoRead, StrFormat("ingest item %zu", idx));
+    if (!ingest.ok()) {
+      f.status = ingest;
+      features[idx] = std::move(f);
+      return;
+    }
+
     auto result = Preprocess(item.image, preprocess);
+    if (!result.ok()) f.status = result.status();
     if (result.ok()) {
       const PreprocessResult& pre = result.value();
       f.hu = pre.hu;

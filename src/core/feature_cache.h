@@ -6,6 +6,7 @@
 #include "core/preprocess.h"
 #include "data/dataset.h"
 #include "features/histogram.h"
+#include "util/status.h"
 
 namespace snor {
 
@@ -33,11 +34,17 @@ struct ImageFeatures {
   bool valid = false;
   /// L1-normalized RGB histogram of the cropped object.
   ColorHistogram histogram{8};
+  /// Why extraction failed when `valid` is false: `NotFound` for the
+  /// legacy no-foreground case, `Unavailable`/`IoError` when the item
+  /// could not be ingested at all (the latter are *skipped* by batch
+  /// evaluation instead of fallback-classified). Not serialized.
+  Status status;
 };
 
 /// Preprocesses every item of a dataset and extracts its shape and colour
-/// features. Items whose preprocessing fails are marked invalid (they
-/// still occupy a slot so indices align with the dataset).
+/// features. Items whose preprocessing fails are marked invalid with a
+/// per-item `status` (they still occupy a slot so indices align with the
+/// dataset); the batch never aborts on a bad item.
 std::vector<ImageFeatures> ComputeFeatures(const Dataset& dataset,
                                            const FeatureOptions& options);
 

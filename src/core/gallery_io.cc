@@ -3,6 +3,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "util/fault.h"
 #include "util/string_util.h"
 
 namespace snor {
@@ -44,6 +45,8 @@ Status SaveFeatures(const std::vector<ImageFeatures>& features,
 }
 
 Result<std::vector<ImageFeatures>> LoadFeatures(const std::string& path) {
+  SNOR_RETURN_NOT_OK(
+      InjectFault(FaultPoint::kIoRead, "LoadFeatures " + path));
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open for reading: " + path);
   char magic[8];
@@ -87,6 +90,11 @@ Result<std::vector<ImageFeatures>> LoadFeatures(const std::string& path) {
     in.read(reinterpret_cast<char*>(bins.data()),
             static_cast<std::streamsize>(bins.size() * sizeof(double)));
     if (!in) return Status::IoError("truncated histogram payload");
+    if (FaultFires(FaultPoint::kTruncatedFile)) {
+      return Status::IoError(
+          StrFormat("injected truncation after entry %u: %s", i,
+                    path.c_str()));
+    }
     features.push_back(std::move(f));
   }
   return features;

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <fstream>
 
+#include "util/fault.h"
 #include "util/string_util.h"
 
 namespace snor {
@@ -61,6 +62,7 @@ Result<int> NextInt(std::istream& in) {
 }  // namespace
 
 Result<ImageU8> ReadPnm(const std::string& path) {
+  SNOR_RETURN_NOT_OK(InjectFault(FaultPoint::kIoRead, "ReadPnm " + path));
   std::ifstream file(path, std::ios::binary);
   if (!file) return Status::IoError("cannot open for reading: " + path);
   SNOR_ASSIGN_OR_RETURN(std::string magic, NextToken(file));
@@ -85,9 +87,12 @@ Result<ImageU8> ReadPnm(const std::string& path) {
   ImageU8 img(width, height, channels);
   file.read(reinterpret_cast<char*>(img.data()),
             static_cast<std::streamsize>(img.size()));
-  if (file.gcount() != static_cast<std::streamsize>(img.size())) {
+  if (file.gcount() != static_cast<std::streamsize>(img.size()) ||
+      FaultFires(FaultPoint::kTruncatedFile)) {
     return Status::IoError("truncated PNM payload: " + path);
   }
+  // Models bit-rot between sensor and consumer: the read itself succeeds.
+  MaybeCorruptBytes(img.data(), img.size());
   return img;
 }
 

@@ -1,6 +1,10 @@
 #include "util/parallel.h"
 
 #include <algorithm>
+#include <exception>
+#include <mutex>
+
+#include "util/fault.h"
 
 namespace snor {
 
@@ -15,25 +19,50 @@ void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
   if (n_threads <= 0) n_threads = DefaultThreadCount();
   n_threads = std::min<int>(n_threads, static_cast<int>(n));
 
-  // Small batches or single-threaded: run inline (identical semantics).
+  // Small batches or single-threaded: run inline (identical semantics;
+  // exceptions propagate to the caller directly).
   if (n_threads <= 1 || n < 16) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      MaybeInjectDelay();
+      fn(i);
+    }
     return;
   }
 
+  // A throwing worker must not terminate the process (std::thread would
+  // call std::terminate on an escaped exception). Capture the first
+  // exception, stop handing out new indices, and rethrow on join.
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(n_threads));
   for (int t = 0; t < n_threads; ++t) {
     workers.emplace_back([&] {
       for (;;) {
+        if (failed.load(std::memory_order_acquire)) return;
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= n) return;
-        fn(i);
+        try {
+          MaybeInjectDelay();
+          fn(i);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+          }
+          failed.store(true, std::memory_order_release);
+          // Drain the remaining indices so peers exit promptly.
+          next.store(n, std::memory_order_relaxed);
+          return;
+        }
       }
     });
   }
   for (auto& w : workers) w.join();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace snor

@@ -18,6 +18,11 @@ int DefaultThreadCount();
 /// concurrently for distinct indices; results must be written to
 /// per-index slots. Runs inline when n_threads <= 1 or n is small, so
 /// output is bit-identical regardless of thread count.
+///
+/// Fault tolerance: if a worker throws, no new indices are handed out,
+/// the pool joins, and the *first* captured exception is rethrown on the
+/// calling thread (the process is never terminated). Indices already
+/// claimed by other workers may still complete.
 void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
                  int n_threads = 0);
 

@@ -1,0 +1,30 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/string_util.h"
+
+namespace snor {
+namespace internal {
+
+void SleepForMillis(double ms) {
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+double NextBackoffMillis(double current_ms, const RetryOptions& options) {
+  const double next = current_ms * std::max(1.0, options.backoff_multiplier);
+  return std::min(next, options.max_backoff_ms);
+}
+
+Status DeadlineError(const RetryOptions& options, int attempts,
+                     const Status& last) {
+  return Status::DeadlineExceeded(
+      StrFormat("deadline of %.1fms exhausted after %d attempt(s); last: %s",
+                options.deadline_ms, attempts, last.ToString().c_str()));
+}
+
+}  // namespace internal
+}  // namespace snor

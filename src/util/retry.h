@@ -1,0 +1,78 @@
+#ifndef SNOR_UTIL_RETRY_H_
+#define SNOR_UTIL_RETRY_H_
+
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace snor {
+
+/// \brief Bounded retry-with-backoff policy for retryable stages
+/// (gallery load, frame ingestion). Non-retryable errors (bad data,
+/// invalid arguments) are returned immediately; see `IsRetryable`.
+struct RetryOptions {
+  /// Total attempts, including the first (1 = no retries).
+  int max_attempts = 3;
+  /// Sleep before the first retry.
+  double initial_backoff_ms = 1.0;
+  /// Backoff multiplier between consecutive retries.
+  double backoff_multiplier = 2.0;
+  /// Upper bound for a single backoff sleep.
+  double max_backoff_ms = 50.0;
+  /// Overall wall-clock budget; 0 disables the deadline. When exceeded,
+  /// the loop stops and returns `DeadlineExceeded`.
+  double deadline_ms = 0.0;
+};
+
+namespace internal {
+
+/// Sleeps for `ms` milliseconds (extracted so the template stays small).
+void SleepForMillis(double ms);
+
+/// Clamp-and-advance helper for the exponential backoff schedule.
+double NextBackoffMillis(double current_ms, const RetryOptions& options);
+
+Status DeadlineError(const RetryOptions& options, int attempts,
+                     const Status& last);
+
+template <typename R>
+Status StatusOf(const R& result) {
+  if constexpr (std::is_same_v<R, Status>) {
+    return result;
+  } else {
+    return result.status();
+  }
+}
+
+}  // namespace internal
+
+/// Runs `fn` (returning `Status` or `Result<T>`) until it succeeds, the
+/// error is non-retryable, attempts are exhausted, or the deadline
+/// passes. Returns the final outcome (or `DeadlineExceeded`).
+template <typename Fn>
+auto RetryWithBackoff(const RetryOptions& options, Fn&& fn)
+    -> std::decay_t<decltype(fn())> {
+  Stopwatch clock;
+  double backoff_ms = options.initial_backoff_ms;
+  const int attempts = options.max_attempts < 1 ? 1 : options.max_attempts;
+  for (int attempt = 1;; ++attempt) {
+    auto outcome = fn();
+    const Status status = internal::StatusOf(outcome);
+    if (status.ok() || !IsRetryable(status) || attempt >= attempts) {
+      return outcome;
+    }
+    if (options.deadline_ms > 0.0 &&
+        clock.ElapsedMillis() + backoff_ms > options.deadline_ms) {
+      return internal::DeadlineError(options, attempt, status);
+    }
+    internal::SleepForMillis(backoff_ms);
+    backoff_ms = internal::NextBackoffMillis(backoff_ms, options);
+  }
+}
+
+}  // namespace snor
+
+#endif  // SNOR_UTIL_RETRY_H_

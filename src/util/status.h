@@ -19,6 +19,10 @@ enum class StatusCode {
   kIoError,
   kNotImplemented,
   kInternal,
+  /// Transient failure (flaky sensor, injected fault); safe to retry.
+  kUnavailable,
+  /// A retry loop or staged operation ran out of time budget.
+  kDeadlineExceeded,
 };
 
 /// \brief Returns a short human-readable name for a status code.
@@ -64,6 +68,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -82,6 +92,11 @@ class Status {
 };
 
 std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// True for transient failures worth retrying (`kUnavailable`, `kIoError`).
+/// Everything else is either permanent (bad data, missing feature) or a
+/// programming error.
+bool IsRetryable(const Status& status);
 
 /// \brief Either a value of type `T` or a non-OK `Status`.
 ///

@@ -40,7 +40,7 @@ TEST(RandomBaselineTest, AccuracyNearOneTenth) {
   spec.kind = ApproachSpec::Kind::kBaseline;
   // Use the larger SNS1-sized input set repeated to reduce variance:
   const auto report =
-      ctx.RunApproach(spec, ctx.NyuFeatures(), ctx.Sns1Features());
+      ctx.RunApproach(spec, ctx.NyuFeatures(), ctx.Sns1Features()).value();
   EXPECT_GT(report.cumulative_accuracy, 0.0);
   EXPECT_LT(report.cumulative_accuracy, 0.35);
 }
@@ -71,7 +71,7 @@ TEST_P(CrossSetApproachTest, Sns2VersusSns1BeatsRandomBaseline) {
   const auto specs = Table2Approaches();
   const ApproachSpec spec = specs[static_cast<std::size_t>(GetParam())];
   const auto report =
-      ctx.RunApproach(spec, ctx.Sns2Features(), ctx.Sns1Features());
+      ctx.RunApproach(spec, ctx.Sns2Features(), ctx.Sns1Features()).value();
   // Every non-baseline approach must beat chance (0.10) on the controlled
   // SNS2 -> SNS1 configuration — except Chi-square, which the paper
   // itself reports collapsing to exactly the baseline (Table 2: 0.10);

@@ -99,9 +99,9 @@ TEST(DeterminismTest, RepeatedExperimentRunsAreIdentical) {
   ApproachSpec spec;
   spec.kind = ApproachSpec::Kind::kHybrid;
   const EvalReport r1 =
-      ctx1.RunApproach(spec, ctx1.NyuFeatures(), ctx1.Sns1Features());
+      ctx1.RunApproach(spec, ctx1.NyuFeatures(), ctx1.Sns1Features()).value();
   const EvalReport r2 =
-      ctx2.RunApproach(spec, ctx2.NyuFeatures(), ctx2.Sns1Features());
+      ctx2.RunApproach(spec, ctx2.NyuFeatures(), ctx2.Sns1Features()).value();
   EXPECT_DOUBLE_EQ(r1.cumulative_accuracy, r2.cumulative_accuracy);
   for (int c = 0; c < kNumClasses; ++c) {
     EXPECT_EQ(r1.per_class[static_cast<std::size_t>(c)].true_positives,
@@ -113,9 +113,9 @@ TEST(DeterminismTest, BaselineIsSeededDeterministic) {
   auto& ctx = Ctx();
   ApproachSpec spec;  // Baseline by default.
   const EvalReport r1 =
-      ctx.RunApproach(spec, ctx.Sns2Features(), ctx.Sns1Features());
+      ctx.RunApproach(spec, ctx.Sns2Features(), ctx.Sns1Features()).value();
   const EvalReport r2 =
-      ctx.RunApproach(spec, ctx.Sns2Features(), ctx.Sns1Features());
+      ctx.RunApproach(spec, ctx.Sns2Features(), ctx.Sns1Features()).value();
   EXPECT_DOUBLE_EQ(r1.cumulative_accuracy, r2.cumulative_accuracy);
 }
 
@@ -125,7 +125,7 @@ TEST(EvalConsistencyTest, ConfusionRowsSumToSupport) {
   spec.kind = ApproachSpec::Kind::kColor;
   spec.color = HistCompareMethod::kIntersection;
   const EvalReport report =
-      ctx.RunApproach(spec, ctx.Sns2Features(), ctx.Sns1Features());
+      ctx.RunApproach(spec, ctx.Sns2Features(), ctx.Sns1Features()).value();
   int grand_total = 0;
   for (int t = 0; t < kNumClasses; ++t) {
     int row_sum = 0;
@@ -146,7 +146,7 @@ TEST(EvalConsistencyTest, CumulativeAccuracyIsWeightedRecall) {
   spec.kind = ApproachSpec::Kind::kShape;
   spec.shape = ShapeMatchMethod::kI1;
   const EvalReport report =
-      ctx.RunApproach(spec, ctx.Sns2Features(), ctx.Sns1Features());
+      ctx.RunApproach(spec, ctx.Sns2Features(), ctx.Sns1Features()).value();
   double weighted = 0.0;
   for (int c = 0; c < kNumClasses; ++c) {
     const auto& m = report.per_class[static_cast<std::size_t>(c)];
@@ -162,7 +162,7 @@ TEST(EvalConsistencyTest, PaperPrecisionSumsToCumulativeAccuracy) {
   ApproachSpec spec;
   spec.kind = ApproachSpec::Kind::kHybrid;
   const EvalReport report =
-      ctx.RunApproach(spec, ctx.Sns2Features(), ctx.Sns1Features());
+      ctx.RunApproach(spec, ctx.Sns2Features(), ctx.Sns1Features()).value();
   double acc = 0.0;
   for (const auto& m : report.per_class) acc += m.precision_paper;
   EXPECT_NEAR(acc, report.cumulative_accuracy, 1e-12);

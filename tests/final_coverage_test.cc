@@ -136,7 +136,7 @@ TEST(IntegrationTest, AllTable2ApproachesRunOnHsvFeatures) {
   const auto inputs = ComputeFeatures(context.Sns2(), fo);
   const auto gallery = ComputeFeatures(context.Sns1(), fo);
   for (const auto& spec : Table2Approaches()) {
-    auto classifier = MakeClassifier(spec, gallery, 1);
+    auto classifier = MakeClassifier(spec, gallery, 1).MoveValue();
     const auto preds = classifier->ClassifyAll(inputs);
     EXPECT_EQ(preds.size(), inputs.size()) << spec.DisplayName();
   }

@@ -26,10 +26,10 @@ ExperimentContext& Ctx() {
 double Accuracy(ApproachSpec spec, bool nyu_inputs) {
   auto& ctx = Ctx();
   if (nyu_inputs) {
-    return ctx.RunApproach(spec, ctx.NyuFeatures(), ctx.Sns1Features())
+    return ctx.RunApproach(spec, ctx.NyuFeatures(), ctx.Sns1Features()).value()
         .cumulative_accuracy;
   }
-  return ctx.RunApproach(spec, ctx.Sns1Features(), ctx.Sns2Features())
+  return ctx.RunApproach(spec, ctx.Sns1Features(), ctx.Sns2Features()).value()
       .cumulative_accuracy;
 }
 
@@ -95,7 +95,7 @@ TEST(PaperClaimsTest, RecognitionIsClassImbalanced) {
   const auto specs = Table2Approaches();
   for (std::size_t i = 1; i < specs.size(); ++i) {
     const EvalReport report = ctx.RunApproach(
-        specs[i], ctx.NyuFeatures(), ctx.Sns1Features());
+        specs[i], ctx.NyuFeatures(), ctx.Sns1Features()).value();
     double lo = 1.0;
     double hi = 0.0;
     for (const auto& m : report.per_class) {

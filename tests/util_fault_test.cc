@@ -1,0 +1,267 @@
+#include "util/fault.h"
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/parallel.h"
+#include "util/retry.h"
+
+namespace snor {
+namespace {
+
+// Every test leaves the global injector clean.
+class FaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Global().DisarmAll(); }
+};
+
+TEST_F(FaultTest, DisarmedPointsNeverFire) {
+  auto& injector = FaultInjector::Global();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(injector.ShouldFire(FaultPoint::kIoRead));
+  }
+  EXPECT_EQ(injector.fire_count(FaultPoint::kIoRead), 0u);
+}
+
+TEST_F(FaultTest, ProbabilityOneFiresEveryProbe) {
+  auto& injector = FaultInjector::Global();
+  injector.Arm(FaultPoint::kIoRead, 1.0, 42);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(injector.ShouldFire(FaultPoint::kIoRead));
+  }
+  EXPECT_EQ(injector.probe_count(FaultPoint::kIoRead), 10u);
+  EXPECT_EQ(injector.fire_count(FaultPoint::kIoRead), 10u);
+}
+
+TEST_F(FaultTest, SameSeedSameFirePattern) {
+  auto& injector = FaultInjector::Global();
+  std::vector<bool> first;
+  injector.Arm(FaultPoint::kNanScore, 0.3, 7);
+  for (int i = 0; i < 200; ++i) {
+    first.push_back(injector.ShouldFire(FaultPoint::kNanScore));
+  }
+  injector.Arm(FaultPoint::kNanScore, 0.3, 7);  // Re-arm resets counters.
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(injector.ShouldFire(FaultPoint::kNanScore), first[i]) << i;
+  }
+}
+
+TEST_F(FaultTest, DifferentSeedsDiffer) {
+  auto& injector = FaultInjector::Global();
+  std::vector<bool> a, b;
+  injector.Arm(FaultPoint::kIoRead, 0.5, 1);
+  for (int i = 0; i < 64; ++i) a.push_back(injector.ShouldFire(FaultPoint::kIoRead));
+  injector.Arm(FaultPoint::kIoRead, 0.5, 2);
+  for (int i = 0; i < 64; ++i) b.push_back(injector.ShouldFire(FaultPoint::kIoRead));
+  EXPECT_NE(a, b);
+}
+
+TEST_F(FaultTest, FireRateTracksProbability) {
+  auto& injector = FaultInjector::Global();
+  injector.Arm(FaultPoint::kTruncatedFile, 0.1, 99);
+  const int kProbes = 20000;
+  int fired = 0;
+  for (int i = 0; i < kProbes; ++i) {
+    if (injector.ShouldFire(FaultPoint::kTruncatedFile)) ++fired;
+  }
+  const double rate = static_cast<double>(fired) / kProbes;
+  EXPECT_NEAR(rate, 0.1, 0.02);
+}
+
+TEST_F(FaultTest, ScopedFaultDisarmsOnExit) {
+  {
+    ScopedFault guard(FaultPoint::kIoRead, 1.0, 3);
+    EXPECT_TRUE(FaultInjector::Global().armed(FaultPoint::kIoRead));
+    EXPECT_FALSE(InjectFault(FaultPoint::kIoRead, "op").ok());
+  }
+  EXPECT_FALSE(FaultInjector::Global().armed(FaultPoint::kIoRead));
+  EXPECT_TRUE(InjectFault(FaultPoint::kIoRead, "op").ok());
+}
+
+TEST_F(FaultTest, InjectFaultReturnsRetryableUnavailable) {
+  ScopedFault guard(FaultPoint::kIoRead, 1.0, 3);
+  const Status s = InjectFault(FaultPoint::kIoRead, "read sensor");
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(IsRetryable(s));
+  EXPECT_NE(s.message().find("read sensor"), std::string::npos);
+}
+
+TEST_F(FaultTest, MaybePoisonScoreInjectsNan) {
+  EXPECT_EQ(MaybePoisonScore(1.5), 1.5);
+  ScopedFault guard(FaultPoint::kNanScore, 1.0, 5);
+  EXPECT_TRUE(std::isnan(MaybePoisonScore(1.5)));
+}
+
+TEST_F(FaultTest, MaybeCorruptBytesIsDeterministic) {
+  std::vector<std::uint8_t> a(64, 0x11), b(64, 0x11);
+  const std::vector<std::uint8_t> clean = a;
+  {
+    ScopedFault guard(FaultPoint::kCorruptPixel, 1.0, 9);
+    MaybeCorruptBytes(a.data(), a.size());
+  }
+  {
+    ScopedFault guard(FaultPoint::kCorruptPixel, 1.0, 9);
+    MaybeCorruptBytes(b.data(), b.size());
+  }
+  EXPECT_NE(a, clean);  // Corruption happened...
+  EXPECT_EQ(a, b);      // ...and is reproducible.
+}
+
+TEST(RetryTest, SucceedsAfterTransientFailures) {
+  int calls = 0;
+  RetryOptions opts;
+  opts.max_attempts = 5;
+  opts.initial_backoff_ms = 0.0;
+  const Status s = RetryWithBackoff(opts, [&calls] {
+    ++calls;
+    if (calls < 3) return Status::Unavailable("flaky");
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTest, DoesNotRetryPermanentErrors) {
+  int calls = 0;
+  RetryOptions opts;
+  opts.max_attempts = 5;
+  const Status s = RetryWithBackoff(opts, [&calls] {
+    ++calls;
+    return Status::InvalidArgument("bad input");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, ExhaustsAttemptsAndReturnsLastError) {
+  int calls = 0;
+  RetryOptions opts;
+  opts.max_attempts = 4;
+  opts.initial_backoff_ms = 0.0;
+  const Status s = RetryWithBackoff(opts, [&calls] {
+    ++calls;
+    return Status::IoError("still down");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(RetryTest, WorksWithResultPayload) {
+  int calls = 0;
+  RetryOptions opts;
+  opts.max_attempts = 3;
+  opts.initial_backoff_ms = 0.0;
+  const Result<int> r = RetryWithBackoff(opts, [&calls]() -> Result<int> {
+    ++calls;
+    if (calls < 2) return Status::Unavailable("flaky");
+    return 42;
+  });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(RetryTest, DeadlineStopsTheLoop) {
+  RetryOptions opts;
+  opts.max_attempts = 1000000;
+  opts.initial_backoff_ms = 5.0;
+  opts.backoff_multiplier = 1.0;
+  opts.deadline_ms = 20.0;
+  int calls = 0;
+  const Status s = RetryWithBackoff(opts, [&calls] {
+    ++calls;
+    return Status::Unavailable("never up");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(calls, 100);  // Far fewer than max_attempts.
+  EXPECT_NE(s.message().find("never up"), std::string::npos);
+}
+
+TEST(StatusRetryabilityTest, OnlyTransientCodesAreRetryable) {
+  EXPECT_TRUE(IsRetryable(Status::Unavailable("x")));
+  EXPECT_TRUE(IsRetryable(Status::IoError("x")));
+  EXPECT_FALSE(IsRetryable(Status::OK()));
+  EXPECT_FALSE(IsRetryable(Status::NotFound("x")));
+  EXPECT_FALSE(IsRetryable(Status::InvalidArgument("x")));
+  EXPECT_FALSE(IsRetryable(Status::DeadlineExceeded("x")));
+}
+
+TEST(StatusNewCodesTest, FactoriesAndNames) {
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Unavailable("x").ToString(), "Unavailable: x");
+  EXPECT_EQ(Status::DeadlineExceeded("x").ToString(),
+            "DeadlineExceeded: x");
+}
+
+TEST(ParallelForFaultTest, WorkerExceptionIsRethrownNotFatal) {
+  // A throwing worker used to escape its std::thread and terminate the
+  // process; now the first exception is captured and rethrown on join.
+  EXPECT_THROW(
+      ParallelFor(
+          1000,
+          [](std::size_t i) {
+            if (i == 137) throw std::runtime_error("poisoned item");
+          },
+          4),
+      std::runtime_error);
+}
+
+TEST(ParallelForFaultTest, ExceptionStopsHandingOutNewIndices) {
+  std::atomic<int> executed{0};
+  try {
+    ParallelFor(
+        100000,
+        [&executed](std::size_t i) {
+          if (i == 0) throw std::runtime_error("fail fast");
+          executed.fetch_add(1, std::memory_order_relaxed);
+        },
+        4);
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error&) {
+  }
+  // Workers already past the gate may finish their item, but the bulk of
+  // the range must have been abandoned.
+  EXPECT_LT(executed.load(), 100000 - 1);
+}
+
+TEST(ParallelForFaultTest, InlinePathPropagatesException) {
+  EXPECT_THROW(
+      ParallelFor(
+          4, [](std::size_t) { throw std::runtime_error("inline"); }, 1),
+      std::runtime_error);
+}
+
+TEST(ParallelForFaultTest, FirstExceptionMessageSurvives) {
+  try {
+    ParallelFor(
+        500,
+        [](std::size_t i) {
+          if (i >= 250) throw std::runtime_error("worker error");
+        },
+        4);
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "worker error");
+  }
+}
+
+TEST(ParallelForFaultTest, SlowWorkerFaultStillCompletesAllIndices) {
+  ScopedFault guard(FaultPoint::kSlowWorker, 0.05, 11);
+  std::vector<std::atomic<int>> hits(256);
+  ParallelFor(
+      hits.size(),
+      [&hits](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      },
+      4);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+}  // namespace
+}  // namespace snor
