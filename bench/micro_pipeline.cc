@@ -12,6 +12,8 @@ namespace snor {
 namespace {
 
 ExperimentContext& Context() {
+  // Leaked on purpose: never destroyed, so bench teardown order is
+  // irrelevant. NOLINTNEXTLINE(raw-new-delete)
   static ExperimentContext& ctx = *new ExperimentContext([] {
     ExperimentConfig config;
     config.canvas_size = 96;

@@ -27,8 +27,10 @@ int ExportDataset(const snor::Dataset& dataset, const std::string& dir) {
         "%s_%04zu.ppm",
         snor::AsciiToLower(snor::ObjectClassName(item.label)).c_str(), i);
     const std::string path = dir + "/" + filename;
-    if (!snor::WritePnm(item.image, path).ok()) {
-      std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    const snor::Status write_status = snor::WritePnm(item.image, path);
+    if (!write_status.ok()) {
+      std::fprintf(stderr, "failed to write %s: %s\n", path.c_str(),
+                   write_status.ToString().c_str());
       continue;
     }
     manifest.AddRow({filename,

@@ -29,8 +29,9 @@ struct WorldObject {
 };
 
 const std::vector<WorldObject>& World() {
+  // Leaked on purpose (static-destruction-order safety).
   static const std::vector<WorldObject>& kWorld =
-      *new std::vector<WorldObject>{
+      *new std::vector<WorldObject>{  // NOLINT(raw-new-delete)
           {ObjectClass::kSofa, 1.0, 2.0},   {ObjectClass::kChair, 3.5, 1.0},
           {ObjectClass::kDoor, 6.0, 0.0},   {ObjectClass::kWindow, 8.0, 2.5},
           {ObjectClass::kTable, 10.0, 1.5}, {ObjectClass::kLamp, 12.0, 0.5},

@@ -50,8 +50,12 @@ int main(int argc, char** argv) {
   std::printf("Training took %.1fs\n", sw.ElapsedSeconds());
 
   const std::string weights_path = "/tmp/snor_xcorr_weights.bin";
-  if (pipeline.model().Save(weights_path).ok()) {
+  const Status save_status = pipeline.model().Save(weights_path);
+  if (save_status.ok()) {
     std::printf("Weights saved to %s\n", weights_path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: could not save weights: %s\n",
+                 save_status.ToString().c_str());
   }
 
   // Held-out evaluation: all C(82,2) = 3,321 SNS1 pairs (paper test 1).

@@ -53,7 +53,7 @@ class MatchingClassifier {
   virtual ObjectClass Classify(const ImageFeatures& input) = 0;
 
   /// Predicts every input (convenience wrapper).
-  std::vector<ObjectClass> ClassifyAll(
+  [[nodiscard]] std::vector<ObjectClass> ClassifyAll(
       const std::vector<ImageFeatures>& inputs);
 
   const std::vector<ImageFeatures>& gallery() const { return gallery_; }
@@ -73,11 +73,11 @@ class MatchingClassifier {
 
 /// True when the input carries a usable contour-shape modality (valid
 /// preprocessing and finite Hu moments).
-bool ShapeModalityUsable(const ImageFeatures& input);
+[[nodiscard]] bool ShapeModalityUsable(const ImageFeatures& input);
 
 /// True when the input carries a usable colour modality (finite histogram
 /// with positive mass).
-bool ColorModalityUsable(const ImageFeatures& input);
+[[nodiscard]] bool ColorModalityUsable(const ImageFeatures& input);
 
 /// \brief Uniform random label assignment (the paper's reference baseline).
 class RandomBaselineClassifier : public MatchingClassifier {
@@ -138,7 +138,7 @@ class HybridClassifier : public MatchingClassifier {
   /// diagnostics); index-aligned with gallery(). Views whose score is
   /// non-finite (e.g. an injected NaN) are reported as unusable (a huge
   /// positive sentinel that argmin never selects).
-  std::vector<double> ViewScores(const ImageFeatures& input) const;
+  [[nodiscard]] std::vector<double> ViewScores(const ImageFeatures& input) const;
 
  private:
   /// Per-view theta restricted to the usable modalities. On return,

@@ -68,8 +68,8 @@ struct EvalReport {
 };
 
 /// Computes the report from parallel truth/prediction arrays.
-EvalReport Evaluate(const std::vector<ObjectClass>& truth,
-                    const std::vector<ObjectClass>& predicted);
+[[nodiscard]] EvalReport Evaluate(const std::vector<ObjectClass>& truth,
+                                  const std::vector<ObjectClass>& predicted);
 
 /// \brief Binary (pair similarity) metrics per class, as in Table 4.
 struct BinaryClassMetrics {
@@ -87,8 +87,8 @@ struct BinaryReport {
 };
 
 /// Computes binary metrics (label 1 = similar).
-BinaryReport EvaluateBinary(const std::vector<int>& truth,
-                            const std::vector<int>& predicted);
+[[nodiscard]] BinaryReport EvaluateBinary(const std::vector<int>& truth,
+                                          const std::vector<int>& predicted);
 
 }  // namespace snor
 

@@ -38,7 +38,7 @@ std::vector<ApproachSpec> Table2Approaches(double alpha = 0.3,
 /// `InvalidArgument` on an empty gallery and with `Unavailable` when the
 /// gallery has no valid view to match against — a truncated gallery file
 /// or an all-faulted load must not take down the caller.
-Result<std::unique_ptr<MatchingClassifier>> MakeClassifier(
+[[nodiscard]] Result<std::unique_ptr<MatchingClassifier>> MakeClassifier(
     const ApproachSpec& spec, std::vector<ImageFeatures> gallery,
     std::uint64_t baseline_seed = 2019);
 
@@ -79,9 +79,9 @@ class ExperimentContext {
   /// fallback-classified and recorded, and modality degradations are
   /// counted. Fails only when the whole run is impossible (no usable
   /// gallery).
-  Result<EvalReport> RunApproach(const ApproachSpec& spec,
-                                 const std::vector<ImageFeatures>& inputs,
-                                 const std::vector<ImageFeatures>& gallery);
+  [[nodiscard]] Result<EvalReport> RunApproach(
+      const ApproachSpec& spec, const std::vector<ImageFeatures>& inputs,
+      const std::vector<ImageFeatures>& gallery);
 
  private:
   FeatureOptions FeatureOptionsFor(bool white_background) const;

@@ -45,8 +45,8 @@ struct ImageFeatures {
 /// features. Items whose preprocessing fails are marked invalid with a
 /// per-item `status` (they still occupy a slot so indices align with the
 /// dataset); the batch never aborts on a bad item.
-std::vector<ImageFeatures> ComputeFeatures(const Dataset& dataset,
-                                           const FeatureOptions& options);
+[[nodiscard]] std::vector<ImageFeatures> ComputeFeatures(
+    const Dataset& dataset, const FeatureOptions& options);
 
 }  // namespace snor
 

@@ -12,12 +12,13 @@ namespace snor {
 /// Serializes a feature gallery (labels, model ids, Hu moments, colour
 /// histograms) to a binary file, so a deployed robot can load the
 /// reference gallery without re-rendering or re-processing images.
-Status SaveFeatures(const std::vector<ImageFeatures>& features,
-                    const std::string& path);
+[[nodiscard]] Status SaveFeatures(const std::vector<ImageFeatures>& features,
+                                  const std::string& path);
 
 /// Restores a gallery written by SaveFeatures. Fails on bad magic,
 /// version mismatch, or truncation.
-Result<std::vector<ImageFeatures>> LoadFeatures(const std::string& path);
+[[nodiscard]] Result<std::vector<ImageFeatures>> LoadFeatures(
+    const std::string& path);
 
 }  // namespace snor
 

@@ -39,8 +39,8 @@ struct PreprocessResult {
 /// thresholding (inverse for white backgrounds), contour detection, and
 /// cropping to the contour of largest area. Fails with NotFound when no
 /// foreground component survives.
-Result<PreprocessResult> Preprocess(const ImageU8& rgb,
-                                    const PreprocessOptions& options = {});
+[[nodiscard]] Result<PreprocessResult> Preprocess(
+    const ImageU8& rgb, const PreprocessOptions& options = {});
 
 }  // namespace snor
 

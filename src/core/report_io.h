@@ -18,7 +18,8 @@ TablePrinter ConfusionTable(const EvalReport& report);
 CsvWriter ReportToCsv(const EvalReport& report);
 
 /// Writes the per-class CSV to `path`.
-Status WriteReportCsv(const EvalReport& report, const std::string& path);
+[[nodiscard]] Status WriteReportCsv(const EvalReport& report,
+                                    const std::string& path);
 
 }  // namespace snor
 

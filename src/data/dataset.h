@@ -57,17 +57,17 @@ struct DatasetOptions {
 /// background, views at multiples of 90 degrees (per the paper, extra
 /// views are derived by rotating existing ones). Class cardinalities match
 /// Table 1 exactly at sample_fraction = 1.
-Dataset MakeShapeNetSet1(const DatasetOptions& options = {});
+[[nodiscard]] Dataset MakeShapeNetSet1(const DatasetOptions& options = {});
 
 /// Builds the synthetic ShapeNetSet2: ten views per class over two
 /// *different* models (ids 2 and 3), with denser angle/scale coverage.
-Dataset MakeShapeNetSet2(const DatasetOptions& options = {});
+[[nodiscard]] Dataset MakeShapeNetSet2(const DatasetOptions& options = {});
 
 /// Builds the synthetic NYUSet: black-background segmented crops with
 /// sensor noise, illumination changes, partial occlusion, and wide
 /// intra-class variation (many model ids). Class cardinalities match
 /// Table 1 at sample_fraction = 1 (6,934 items).
-Dataset MakeNyuSet(const DatasetOptions& options = {});
+[[nodiscard]] Dataset MakeNyuSet(const DatasetOptions& options = {});
 
 }  // namespace snor
 

@@ -22,21 +22,21 @@ struct PairExample {
 /// All unordered pairs {i, j}, i < j, within one dataset, labelled by
 /// class equality. For the 82-view SNS1 this yields exactly the paper's
 /// 3,321 test pairs (§3.4).
-std::vector<PairExample> MakeAllUnorderedPairs(const Dataset& dataset);
+[[nodiscard]] std::vector<PairExample> MakeAllUnorderedPairs(
+    const Dataset& dataset);
 
 /// Cartesian product pairs between a query and a gallery dataset,
 /// labelled by class equality (used for the NYU x SNS1 test set).
-std::vector<PairExample> MakeCrossProductPairs(const Dataset& query,
-                                               const Dataset& gallery);
+[[nodiscard]] std::vector<PairExample> MakeCrossProductPairs(
+    const Dataset& query, const Dataset& gallery);
 
 /// Samples `n_pairs` ordered pairs from `dataset` with the requested
 /// positive fraction (the paper's SNS2 training set: 9,450 pairs, 52%
 /// similar). Positives repeat when the dataset has too few same-class
 /// permutations; sampling is deterministic in `seed`.
-std::vector<PairExample> MakeBalancedPairSet(const Dataset& dataset,
-                                             int n_pairs,
-                                             double positive_fraction,
-                                             std::uint64_t seed);
+[[nodiscard]] std::vector<PairExample> MakeBalancedPairSet(
+    const Dataset& dataset, int n_pairs, double positive_fraction,
+    std::uint64_t seed);
 
 /// Subsamples `pairs` to `n_pairs` with the given positive fraction
 /// (used to mirror the paper's 8,200-pair NYU+SNS1 support split of

@@ -60,8 +60,9 @@ BinaryDescriptor ComputeWithRotation(const ImageU8& smoothed,
 }  // namespace
 
 const std::array<BriefPair, 256>& BriefPattern() {
+  // Leaked on purpose (static-destruction-order safety).
   static const std::array<BriefPair, 256>& pattern =
-      *new std::array<BriefPair, 256>(GeneratePattern());
+      *new std::array<BriefPair, 256>(GeneratePattern());  // NOLINT(raw-new-delete)
   return pattern;
 }
 

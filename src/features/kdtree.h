@@ -37,7 +37,7 @@ class KdTreeMatcher {
  private:
   struct Node;
 
-  int BuildNode(std::vector<int>& indices, int begin, int end);
+  [[nodiscard]] int BuildNode(std::vector<int>& indices, int begin, int end);
   void Search(int node_idx, const FloatDescriptor& q, int k,
               std::vector<DMatch>& heap, int& checks) const;
 

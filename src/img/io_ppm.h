@@ -10,11 +10,11 @@ namespace snor {
 
 /// Writes a 3-channel image as binary PPM (P6) or a 1-channel image as
 /// binary PGM (P5), chosen by channel count.
-Status WritePnm(const ImageU8& img, const std::string& path);
+[[nodiscard]] Status WritePnm(const ImageU8& img, const std::string& path);
 
 /// Reads a binary PPM (P6) or PGM (P5) file. The returned image has 3 or 1
 /// channels respectively.
-Result<ImageU8> ReadPnm(const std::string& path);
+[[nodiscard]] Result<ImageU8> ReadPnm(const std::string& path);
 
 }  // namespace snor
 

@@ -18,9 +18,10 @@ struct PyramidLevel {
 /// Builds an `n_levels`-level scale pyramid, each level smaller by
 /// `scale_factor` (> 1), stopping early if a level would drop below
 /// `min_size` pixels on either side. Level 0 is the input image.
-std::vector<PyramidLevel> BuildPyramid(const ImageU8& base, int n_levels,
-                                       double scale_factor,
-                                       int min_size = 16);
+[[nodiscard]] std::vector<PyramidLevel> BuildPyramid(const ImageU8& base,
+                                                      int n_levels,
+                                                      double scale_factor,
+                                                      int min_size = 16);
 
 }  // namespace snor
 

@@ -10,8 +10,9 @@ namespace {
 // Offline snapshot of WordNet 3.0 noun synsets for the ten classes, with
 // ConceptNet-style related concepts for downstream task selection.
 const std::array<SynsetEntry, kNumClasses>& Table() {
+  // Leaked on purpose (static-destruction-order safety).
   static const std::array<SynsetEntry, kNumClasses>& kTable =
-      *new std::array<SynsetEntry, kNumClasses>{{
+      *new std::array<SynsetEntry, kNumClasses>{{  // NOLINT(raw-new-delete)
           // Chair.
           {"n03001627",
            {"chair"},

@@ -34,7 +34,7 @@ const SynsetEntry& SynsetFor(ObjectClass cls);
 
 /// Resolves a lemma ("couch", "sofa", "settee", ...) to an object class;
 /// matching is case-insensitive. NotFound when no class carries the lemma.
-Result<ObjectClass> ClassFromLemma(std::string_view lemma);
+[[nodiscard]] Result<ObjectClass> ClassFromLemma(std::string_view lemma);
 
 /// All classes whose synset lists `concept` among its hypernyms or
 /// related concepts (case-insensitive). E.g. "furniture" covers chair,

@@ -78,6 +78,8 @@ void EmbeddingModel::Backward(const Tensor& grad_embedding) {
 }
 
 std::unique_ptr<EmbeddingModel> EmbeddingModel::CloneShared() const {
+  // make_unique cannot reach the private default constructor.
+  // NOLINTNEXTLINE(raw-new-delete)
   auto clone = std::unique_ptr<EmbeddingModel>(new EmbeddingModel());
   clone->config_ = config_;
   for (const auto& layer : layers_) {

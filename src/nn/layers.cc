@@ -180,6 +180,8 @@ std::vector<std::shared_ptr<Parameter>> Conv2D::Params() {
 }
 
 std::unique_ptr<Layer> Conv2D::CloneShared() const {
+  // make_unique cannot reach the private default constructor.
+  // NOLINTNEXTLINE(raw-new-delete)
   auto clone = std::unique_ptr<Conv2D>(new Conv2D());
   clone->in_channels_ = in_channels_;
   clone->out_channels_ = out_channels_;
@@ -350,6 +352,8 @@ std::vector<std::shared_ptr<Parameter>> Dense::Params() {
 }
 
 std::unique_ptr<Layer> Dense::CloneShared() const {
+  // make_unique cannot reach the private default constructor.
+  // NOLINTNEXTLINE(raw-new-delete)
   auto clone = std::unique_ptr<Dense>(new Dense());
   clone->in_features_ = in_features_;
   clone->out_features_ = out_features_;

@@ -69,10 +69,10 @@ class XCorrModel {
   std::size_t NumParameters();
 
   /// Serializes all weights to a binary file.
-  Status Save(const std::string& path);
+  [[nodiscard]] Status Save(const std::string& path);
 
   /// Restores weights saved by Save (architecture must match).
-  Status Load(const std::string& path);
+  [[nodiscard]] Status Load(const std::string& path);
 
  private:
   Tensor MergeForward(const Tensor& feat_a, const Tensor& feat_b);

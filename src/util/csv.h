@@ -24,7 +24,7 @@ class CsvWriter {
   std::string ToString() const;
 
   /// Writes the CSV to `path`.
-  Status WriteFile(const std::string& path) const;
+  [[nodiscard]] Status WriteFile(const std::string& path) const;
 
  private:
   std::vector<std::string> header_;

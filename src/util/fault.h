@@ -84,7 +84,7 @@ bool FaultFires(FaultPoint point);
 
 /// Probes an IO-shaped fault point: returns `Unavailable` (retryable)
 /// when the fault fires, OK otherwise. `detail` names the operation.
-Status InjectFault(FaultPoint point, const std::string& detail);
+[[nodiscard]] Status InjectFault(FaultPoint point, const std::string& detail);
 
 /// Returns NaN instead of `value` when `kNanScore` fires.
 double MaybePoisonScore(double value);

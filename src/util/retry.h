@@ -35,11 +35,11 @@ void SleepForMillis(double ms);
 /// Clamp-and-advance helper for the exponential backoff schedule.
 double NextBackoffMillis(double current_ms, const RetryOptions& options);
 
-Status DeadlineError(const RetryOptions& options, int attempts,
-                     const Status& last);
+[[nodiscard]] Status DeadlineError(const RetryOptions& options, int attempts,
+                                   const Status& last);
 
 template <typename R>
-Status StatusOf(const R& result) {
+[[nodiscard]] Status StatusOf(const R& result) {
   if constexpr (std::is_same_v<R, Status>) {
     return result;
   } else {
@@ -53,7 +53,7 @@ Status StatusOf(const R& result) {
 /// error is non-retryable, attempts are exhausted, or the deadline
 /// passes. Returns the final outcome (or `DeadlineExceeded`).
 template <typename Fn>
-auto RetryWithBackoff(const RetryOptions& options, Fn&& fn)
+[[nodiscard]] auto RetryWithBackoff(const RetryOptions& options, Fn&& fn)
     -> std::decay_t<decltype(fn())> {
   Stopwatch clock;
   double backoff_ms = options.initial_backoff_ms;

@@ -33,7 +33,12 @@ std::string_view StatusCodeToString(StatusCode code);
 /// Library code does not throw; fallible operations return `Status` (or
 /// `Result<T>` when they also produce a value). An OK status carries no
 /// allocation.
-class Status {
+///
+/// The class itself is `[[nodiscard]]`: any call site that ignores a
+/// returned `Status` is a compile-time warning (an error under the
+/// `check` preset) and a `snor_lint` violation. Intentional discards
+/// must be written as `(void)Fallible();` with a justifying comment.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -46,32 +51,32 @@ class Status {
   Status& operator=(Status&&) = default;
 
   /// Factory helpers, one per non-OK code.
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status AlreadyExists(std::string msg) {
+  [[nodiscard]] static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
-  static Status IoError(std::string msg) {
+  [[nodiscard]] static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
-  static Status NotImplemented(std::string msg) {
+  [[nodiscard]] static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
-  static Status Unavailable(std::string msg) {
+  [[nodiscard]] static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
-  static Status DeadlineExceeded(std::string msg) {
+  [[nodiscard]] static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
@@ -103,8 +108,11 @@ bool IsRetryable(const Status& status);
 /// Mirrors `arrow::Result`: inspect with `ok()`, read the payload with
 /// `value()`/`operator*` only when OK. Accessing the value of a failed
 /// result aborts (programming error, checked in all build modes).
+///
+/// Like `Status`, the class template is `[[nodiscard]]`: dropping a
+/// returned `Result` silently drops both the payload and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value or an error status keeps call
   /// sites terse (`return 42;` / `return Status::IoError(...)`).
@@ -122,7 +130,7 @@ class Result {
   bool ok() const { return std::holds_alternative<T>(payload_); }
 
   /// Returns the error status; OK when the result holds a value.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     if (ok()) return Status::OK();
     return std::get<Status>(payload_);
   }

@@ -9,6 +9,8 @@ namespace {
 
 // Shared small experiment context: SNS1/SNS2 features computed once.
 ExperimentContext& Context() {
+  // Leaked on purpose (static-destruction-order safety).
+  // NOLINTNEXTLINE(raw-new-delete)
   static ExperimentContext& ctx = *new ExperimentContext([] {
     ExperimentConfig config;
     config.canvas_size = 64;

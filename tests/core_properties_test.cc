@@ -16,6 +16,8 @@ namespace snor {
 namespace {
 
 ExperimentContext& Ctx() {
+  // Leaked on purpose (static-destruction-order safety).
+  // NOLINTNEXTLINE(raw-new-delete)
   static ExperimentContext& ctx = *new ExperimentContext([] {
     ExperimentConfig config;
     config.canvas_size = 64;

@@ -14,6 +14,8 @@ namespace {
 
 // Moderate-scale context shared by the claims (NYU ~350 items).
 ExperimentContext& Ctx() {
+  // Leaked on purpose (static-destruction-order safety).
+  // NOLINTNEXTLINE(raw-new-delete)
   static ExperimentContext& ctx = *new ExperimentContext([] {
     ExperimentConfig config;
     config.canvas_size = 96;

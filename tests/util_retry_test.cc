@@ -1,0 +1,154 @@
+// Edge-case tests for RetryWithBackoff: deadline semantics (disabled,
+// expiring mid-backoff), success on the final attempt, non-retryable
+// short-circuit, backoff clamping, and the Result<T> instantiation.
+
+#include "util/retry.h"
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace snor {
+namespace {
+
+TEST(RetryTest, ZeroDeadlineDisablesDeadline) {
+  // deadline_ms = 0 means "no budget": the loop must run all attempts
+  // and report the operation's own error, never DeadlineExceeded.
+  RetryOptions options;
+  options.max_attempts = 5;
+  options.initial_backoff_ms = 0.1;
+  options.max_backoff_ms = 0.2;
+  options.deadline_ms = 0.0;
+
+  int calls = 0;
+  const Status status = RetryWithBackoff(options, [&] {
+    ++calls;
+    return Status::Unavailable("still down");
+  });
+  EXPECT_EQ(calls, 5);
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+}
+
+TEST(RetryTest, DeadlineExpiringMidBackoffReturnsDeadlineExceeded) {
+  // The next backoff sleep would blow the budget, so the loop must stop
+  // *before* sleeping and report DeadlineExceeded instead of the
+  // operation's last error.
+  RetryOptions options;
+  options.max_attempts = 10;
+  options.initial_backoff_ms = 50.0;
+  options.max_backoff_ms = 50.0;
+  options.deadline_ms = 5.0;
+
+  int calls = 0;
+  Stopwatch clock;
+  const Status status = RetryWithBackoff(options, [&] {
+    ++calls;
+    return Status::Unavailable("still down");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(calls, 1);
+  // It gave up instead of sleeping out the 50ms backoff.
+  EXPECT_LT(clock.ElapsedMillis(), 45.0);
+}
+
+TEST(RetryTest, SuccessOnFinalAttempt) {
+  RetryOptions options;
+  options.max_attempts = 3;
+  options.initial_backoff_ms = 0.1;
+
+  int calls = 0;
+  const Status status = RetryWithBackoff(options, [&]() -> Status {
+    ++calls;
+    if (calls < 3) return Status::IoError("transient");
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTest, FailureOnFinalAttemptReturnsLastError) {
+  // Exhausting attempts returns the last error as-is; no extra attempt,
+  // no deadline error.
+  RetryOptions options;
+  options.max_attempts = 3;
+  options.initial_backoff_ms = 0.1;
+
+  int calls = 0;
+  const Status status = RetryWithBackoff(options, [&] {
+    ++calls;
+    return Status::IoError("attempt failed");
+  });
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+TEST(RetryTest, NonRetryableErrorShortCircuits) {
+  RetryOptions options;
+  options.max_attempts = 5;
+
+  int calls = 0;
+  const Status status = RetryWithBackoff(options, [&] {
+    ++calls;
+    return Status::InvalidArgument("bad request");
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RetryTest, MaxAttemptsBelowOneStillRunsOnce) {
+  RetryOptions options;
+  options.max_attempts = 0;
+
+  int calls = 0;
+  const Status status = RetryWithBackoff(options, [&] {
+    ++calls;
+    return Status::Unavailable("down");
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+}
+
+TEST(RetryTest, BackoffScheduleIsClampedAtMax) {
+  RetryOptions options;
+  options.initial_backoff_ms = 1.0;
+  options.backoff_multiplier = 10.0;
+  options.max_backoff_ms = 8.0;
+
+  double backoff = options.initial_backoff_ms;
+  backoff = internal::NextBackoffMillis(backoff, options);
+  EXPECT_DOUBLE_EQ(backoff, 8.0);  // 1 * 10 clamped to 8.
+  backoff = internal::NextBackoffMillis(backoff, options);
+  EXPECT_DOUBLE_EQ(backoff, 8.0);  // Stays at the clamp.
+}
+
+TEST(RetryTest, ResultVariantRetriesAndReturnsValue) {
+  RetryOptions options;
+  options.max_attempts = 4;
+  options.initial_backoff_ms = 0.1;
+
+  int calls = 0;
+  const Result<int> result = RetryWithBackoff(options, [&]() -> Result<int> {
+    ++calls;
+    if (calls < 2) return Status::Unavailable("warming up");
+    return 42;
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(RetryTest, ResultVariantDeadlineExceeded) {
+  RetryOptions options;
+  options.max_attempts = 10;
+  options.initial_backoff_ms = 50.0;
+  options.deadline_ms = 5.0;
+
+  const Result<int> result = RetryWithBackoff(
+      options, [&]() -> Result<int> { return Status::Unavailable("down"); });
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace snor

@@ -1,0 +1,39 @@
+// LINT-AS: src/img/bad_constructs.cc
+// Fixture: every banned construct, plus the look-alikes the checker
+// must NOT flag (deleted functions, snprintf, comments, strings).
+
+#include <cstdio>
+#include <iostream>
+#include <random>
+
+namespace snor {
+
+class NoCopy {
+ public:
+  NoCopy(const NoCopy&) = delete;             // deleted function, not a delete-expression
+  NoCopy& operator=(const NoCopy&) = delete;  // same
+};
+
+void Banned() {
+  int* p = new int[4];  // EXPECT-LINT: raw-new-delete
+  delete[] p;           // EXPECT-LINT: raw-new-delete
+
+  int* q = new int(7);  // NOLINT(raw-new-delete) -- suppression must hold
+
+  std::srand(42);          // EXPECT-LINT: banned-rng
+  int r = std::rand();     // EXPECT-LINT: banned-rng
+  std::mt19937 gen(1234);  // EXPECT-LINT: banned-rng
+
+  char buf[64];
+  std::sprintf(buf, "%d", r);            // EXPECT-LINT: banned-sprintf
+  std::snprintf(buf, sizeof(buf), "ok"); // snprintf is fine
+
+  std::cout << buf;  // EXPECT-LINT: cout-in-library
+
+  // Words inside comments must never fire: new delete sprintf rand mt19937
+  const char* text = "new delete sprintf rand() std::cout";
+  (void)text;
+  (void)q;
+}
+
+}  // namespace snor

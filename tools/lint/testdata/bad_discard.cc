@@ -1,0 +1,44 @@
+// LINT-AS: src/core/bad_discard.cc
+// Fixture: call sites that silently drop a Status/Result returned by a
+// fallible function (declared in bad_header.h). The checker must flag
+// the bare-statement discards and accept the checked / explicitly
+// voided / propagated forms.
+
+#include <string>
+
+namespace snor {
+
+class Status {
+ public:
+  bool ok() const;
+};
+
+Status DoWrite(const std::string& path);
+struct FeatureStore {
+  Status Refresh();
+  FeatureStore* next();
+};
+
+int Consume() {
+  DoWrite("gallery.bin");  // EXPECT-LINT: discarded-status
+
+  FeatureStore store;
+  store.Refresh();  // EXPECT-LINT: discarded-status
+
+  store.next()->Refresh();  // EXPECT-LINT: discarded-status
+
+  LoadCount("gallery.bin");  // EXPECT-LINT: discarded-status
+
+  RetryWithBackoff("not really, but the name is registry-builtin");  // EXPECT-LINT: discarded-status
+
+  // Suppressed on purpose, with the project-approved forms:
+  (void)DoWrite("scratch.bin");
+  DoWrite("scratch.bin");  // NOLINT(discarded-status)
+
+  // Consumed results are fine.
+  const Status s = DoWrite("gallery.bin");
+  if (!DoWrite("gallery.bin").ok()) return 1;
+  return s.ok() ? 0 : 1;
+}
+
+}  // namespace snor

@@ -1,0 +1,19 @@
+// LINT-AS: bench/bad_report.cc
+// Fixture: report-producing code (bench/) iterating an unordered
+// container — the printed output would depend on hash iteration order.
+// std::cout is allowed here: bench binaries are not library code.
+
+#include <iostream>
+#include <string>
+#include <unordered_map>
+
+int PrintInventory() {
+  std::unordered_map<std::string, int> counts;  // EXPECT-LINT: unordered-report
+  counts["chair"] = 2;
+  int total = 0;
+  for (const auto& [name, count] : counts) {
+    std::cout << name << " " << count << "\n";
+    total += count;
+  }
+  return total;
+}

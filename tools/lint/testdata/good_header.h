@@ -1,0 +1,23 @@
+// LINT-AS: src/core/good_header.h
+// Fixture: a fully conforming header — guard present, every fallible
+// and factory declaration annotated. Must produce zero violations.
+#ifndef SNOR_TOOLS_LINT_TESTDATA_GOOD_HEADER_H_
+#define SNOR_TOOLS_LINT_TESTDATA_GOOD_HEADER_H_
+
+#include <string>
+#include <vector>
+
+namespace snor {
+
+class Status;
+
+[[nodiscard]] Status DoWriteGood(const std::string& path);
+
+[[nodiscard]] std::vector<int> MakeGalleryGood(int n);
+
+/// Mentioning Status DoFallible(...) in a comment is not a declaration.
+inline int Twice(int x) { return 2 * x; }
+
+}  // namespace snor
+
+#endif  // SNOR_TOOLS_LINT_TESTDATA_GOOD_HEADER_H_

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# One-shot check driver: strict build (-Werror), full test suite,
+# project lint, and (optionally) the sanitizer matrix.
+#
+# Usage:
+#   tools/run_checks.sh             # check preset: -Werror build + ctest + lint
+#   tools/run_checks.sh --asan      # ...plus ASan+UBSan build and test subset
+#   tools/run_checks.sh --tsan      # ...plus TSan build and concurrency subset
+#   tools/run_checks.sh --all       # everything
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_asan=0
+run_tsan=0
+for arg in "$@"; do
+  case "$arg" in
+    --asan) run_asan=1 ;;
+    --tsan) run_tsan=1 ;;
+    --all) run_asan=1; run_tsan=1 ;;
+    -h|--help)
+      sed -n '2,9p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0 ;;
+    *) echo "unknown option: $arg (try --help)" >&2; exit 2 ;;
+  esac
+done
+
+echo "== check: strict -Werror build + tests + lint =="
+cmake --preset check
+cmake --build --preset check -j
+ctest --preset check -j
+./build-check/tools/lint/snor_lint --root .
+
+if [[ $run_asan -eq 1 ]]; then
+  echo "== asan: AddressSanitizer + UBSan =="
+  cmake --preset asan
+  cmake --build --preset asan -j
+  ctest --preset asan -j
+fi
+
+if [[ $run_tsan -eq 1 ]]; then
+  echo "== tsan: ThreadSanitizer concurrency subset =="
+  cmake --preset tsan
+  cmake --build --preset tsan -j
+  ctest --preset tsan -j
+fi
+
+echo "All checks passed."
