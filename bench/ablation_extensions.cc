@@ -189,12 +189,14 @@ int main() {
   using namespace snor;
   bench::PrintHeader("Extension ablations",
                      "future-work features vs paper pipelines");
+  SNOR_TRACE_SPAN("bench.ablation_extensions");
   Stopwatch sw;
   MergeAblation();
   TripletAblation();
   AugmentationAblation();
   BowAblation();
   XCorrWindowAblation();
+  bench::EmitBenchJson("ablation_extensions", {});
   bench::PrintElapsed(sw);
   return 0;
 }

@@ -133,12 +133,14 @@ int main() {
   using namespace snor;
   bench::PrintHeader("Representation ablations",
                      "alternative shape/colour features vs the paper's");
+  SNOR_TRACE_SPAN("bench.ablation_representations");
   Stopwatch sw;
   ExperimentConfig config = bench::DefaultConfig();
   if (!bench::QuickMode()) config.nyu_fraction = 0.25;  // Keep runtime sane.
   ExperimentContext context(config);
   ShapeRepresentationAblation(context);
   ColorSpaceAblation(context);
+  bench::EmitBenchJson("ablation_representations", {}, context.config());
   bench::PrintElapsed(sw);
   return 0;
 }

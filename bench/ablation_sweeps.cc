@@ -116,6 +116,7 @@ void SweepHistogramMasking(ExperimentContext& ctx) {
 int main() {
   using namespace snor;
   bench::PrintHeader("Ablations", "design-choice sweeps (SNS2 v. SNS1)");
+  SNOR_TRACE_SPAN("bench.ablation_sweeps");
   Stopwatch sw;
   ExperimentConfig config = bench::DefaultConfig();
   config.nyu_fraction = 0.01;  // NYU not used here.
@@ -125,6 +126,7 @@ int main() {
   SweepRatioThreshold(context);
   SweepMatcherBackend(context);
   SweepHistogramMasking(context);
+  bench::EmitBenchJson("ablation_sweeps", {}, context.config());
   bench::PrintElapsed(sw);
   return 0;
 }

@@ -4,9 +4,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/experiment.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/table.h"
@@ -29,19 +33,95 @@ inline ExperimentConfig DefaultConfig() {
   return config;
 }
 
-/// Prints a standard header naming the table being reproduced.
+/// Prints a standard header naming the table being reproduced, and
+/// initialises tracing from the SNOR_TRACE environment variable so every
+/// bench is traceable without per-bench plumbing.
 inline void PrintHeader(const char* table_name, const char* description) {
+  obs::InitTraceFromEnv();
   std::printf("=======================================================\n");
   std::printf("%s — %s\n", table_name, description);
   std::printf("Mode: %s\n",
               QuickMode() ? "QUICK (SNOR_QUICK set; subsampled data)"
                           : "paper scale");
+  if (obs::TraceEnabled()) {
+    std::printf("Trace: %s (Chrome trace_event JSON)\n",
+                obs::TraceRecorder::Global().output_path().c_str());
+  }
   std::printf("=======================================================\n");
 }
 
 /// Prints elapsed wall-clock at the end of a reproduction run.
+/// Sub-second runs print milliseconds (a "0.0s" reading hid everything
+/// under 100ms); the reading is also exported as the `bench.elapsed_ms`
+/// gauge so telemetry files carry it.
 inline void PrintElapsed(const Stopwatch& sw) {
-  std::printf("[elapsed: %.1fs]\n\n", sw.ElapsedSeconds());
+  const double elapsed_s = sw.ElapsedSeconds();
+  obs::MetricsRegistry::Global().gauge("bench.elapsed_ms").Set(elapsed_s *
+                                                               1e3);
+  if (elapsed_s < 1.0) {
+    std::printf("[elapsed: %.1fms]\n\n", elapsed_s * 1e3);
+  } else {
+    std::printf("[elapsed: %.1fs]\n\n", elapsed_s);
+  }
+}
+
+/// \brief One named numeric result (accuracy, F1, ...) for the telemetry
+/// file; ordered, so the JSON mirrors the bench's own reporting order.
+using BenchResults = std::vector<std::pair<std::string, double>>;
+
+/// Writes `BENCH_<name>.json`: bench identity, quick/paper mode, the
+/// experiment config, the named results, and a full metrics-registry
+/// snapshot (per-stage latency percentiles included). Returns false (and
+/// warns on stderr) when the file cannot be written; benches treat that
+/// as non-fatal.
+inline bool EmitBenchJson(const std::string& name,
+                          const BenchResults& results,
+                          const ExperimentConfig& config = {}) {
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench");
+  json.String(name);
+  json.Key("quick_mode");
+  json.Bool(QuickMode());
+  json.Key("config");
+  json.BeginObject();
+  json.Key("canvas_size");
+  json.Int(config.canvas_size);
+  json.Key("nyu_fraction");
+  json.Number(config.nyu_fraction);
+  json.Key("hist_bins");
+  json.Int(config.hist_bins);
+  json.Key("alpha");
+  json.Number(config.alpha);
+  json.Key("beta");
+  json.Number(config.beta);
+  json.Key("seed");
+  json.Int(static_cast<std::int64_t>(config.seed));
+  json.EndObject();
+  json.Key("results");
+  json.BeginObject();
+  for (const auto& [key, value] : results) {
+    json.Key(key);
+    json.Number(value);
+  }
+  json.EndObject();
+  json.Key("metrics");
+  json.Raw(obs::MetricsRegistry::Global().DumpJson());
+  json.EndObject();
+
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string& text = json.str();
+  const bool ok = std::fwrite(text.data(), 1, text.size(), out) ==
+                  text.size() &&
+                  std::fputc('\n', out) != EOF;
+  std::fclose(out);
+  if (ok) std::printf("[telemetry: %s]\n", path.c_str());
+  return ok;
 }
 
 /// Appends the four class-wise metric rows (Accuracy, Precision, Recall,

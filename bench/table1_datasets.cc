@@ -10,6 +10,7 @@
 int main() {
   using namespace snor;
   bench::PrintHeader("Table 1", "Dataset statistics");
+  SNOR_TRACE_SPAN("bench.table1_datasets");
   Stopwatch sw;
 
   ExperimentConfig config = bench::DefaultConfig();
@@ -41,6 +42,12 @@ int main() {
       "Paper totals: SNS1 = 82, SNS2 = 100, NYUSet = 6,934. Generated\n"
       "counts match exactly at paper scale (NYUSet subsampled in quick "
       "mode).\n");
+  bench::EmitBenchJson("table1_datasets",
+                       {{"sns1_total", static_cast<double>(t1)},
+                        {"sns2_total", static_cast<double>(t2)},
+                        {"nyu_total", static_cast<double>(t3)},
+                        {"nyu_paper_total", static_cast<double>(t4)}},
+                       config);
   bench::PrintElapsed(sw);
   return 0;
 }

@@ -65,7 +65,9 @@ int main(int argc, char** argv) {
 
   bench::PrintHeader("Table 2",
                      "Cumulative accuracy, exploratory matching pipelines");
+  SNOR_TRACE_SPAN("bench.table2_shape_color");
   Stopwatch sw;
+  bench::BenchResults telemetry;
 
   ExperimentContext context(bench::DefaultConfig());
   const auto specs = Table2Approaches(context.config().alpha,
@@ -104,6 +106,10 @@ int main(int argc, char** argv) {
                   StrFormat("%.5f", kPaperNyu[i]),
                   StrFormat("%.2f", sns_report.cumulative_accuracy),
                   StrFormat("%.2f", kPaperSns[i])});
+    telemetry.emplace_back(specs[i].DisplayName() + " nyu_accuracy",
+                           nyu_report.cumulative_accuracy);
+    telemetry.emplace_back(specs[i].DisplayName() + " sns_accuracy",
+                           sns_report.cumulative_accuracy);
     if (faults_armed && i + 1 == specs.size()) {
       std::printf("Error ledger for the final approach (%s):\n",
                   specs[i].DisplayName().c_str());
@@ -128,6 +134,7 @@ int main(int argc, char** argv) {
       "Shape expectations (paper): every method beats the 0.10 baseline;\n"
       "shape-only trails colour-only; Hellinger is the best single cue;\n"
       "the weighted-sum hybrid ties/approaches the best colour result.\n");
+  bench::EmitBenchJson("table2_shape_color", telemetry, context.config());
   bench::PrintElapsed(sw);
   return 0;
 }

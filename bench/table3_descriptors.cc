@@ -12,7 +12,9 @@ int main() {
   using namespace snor;
   bench::PrintHeader("Table 3",
                      "Cumulative accuracy, feature-descriptor matching");
+  SNOR_TRACE_SPAN("bench.table3_descriptors");
   Stopwatch sw;
+  bench::BenchResults telemetry;
 
   ExperimentContext context(bench::DefaultConfig());
   const Dataset& sns1 = context.Sns1();
@@ -44,12 +46,15 @@ int main() {
     table.AddRow({row.name,
                   StrFormat("%.2f", report.cumulative_accuracy),
                   StrFormat("%.2f", row.paper)});
+    telemetry.emplace_back(std::string(row.name) + " accuracy",
+                           report.cumulative_accuracy);
   }
   table.Print(std::cout);
   std::printf(
       "Shape expectations (paper): all three land in the ~0.2-0.3 band,\n"
       "above baseline but below the best colour/hybrid results of "
       "Table 2.\n");
+  bench::EmitBenchJson("table3_descriptors", telemetry, context.config());
   bench::PrintElapsed(sw);
   return 0;
 }

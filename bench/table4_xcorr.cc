@@ -46,6 +46,7 @@ int main() {
   using namespace snor;
   bench::PrintHeader("Table 4",
                      "Normalized-X-Corr pair classifier evaluation");
+  SNOR_TRACE_SPAN("bench.table4_xcorr");
   Stopwatch sw;
 
   const bool quick = bench::QuickMode();
@@ -112,6 +113,15 @@ int main() {
       "Shape expectations (paper): the net degenerates to predicting\n"
       "'similar' for (almost) every pair: similar-precision collapses to\n"
       "the positive rate, similar-recall ~1.0, dissimilar rows ~0.\n");
+  bench::EmitBenchJson(
+      "table4_xcorr",
+      {{"final_train_loss", history.back().loss},
+       {"final_train_accuracy", history.back().accuracy},
+       {"epochs_trained", static_cast<double>(history.size())},
+       {"sns1_accuracy", sns1_report.accuracy},
+       {"sns1_similar_f1", sns1_report.similar.f1},
+       {"nyu_accuracy", nyu_report.accuracy},
+       {"nyu_similar_f1", nyu_report.similar.f1}});
   bench::PrintElapsed(sw);
   return 0;
 }

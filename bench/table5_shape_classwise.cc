@@ -9,7 +9,9 @@
 int main() {
   using namespace snor;
   bench::PrintHeader("Table 5", "Class-wise results, shape-only matching");
+  SNOR_TRACE_SPAN("bench.table5_shape_classwise");
   Stopwatch sw;
+  bench::BenchResults telemetry;
 
   ExperimentContext context(bench::DefaultConfig());
   const auto& inputs = context.NyuFeatures();
@@ -21,12 +23,15 @@ int main() {
   for (std::size_t i = 0; i < 4; ++i) {
     const EvalReport report = context.RunApproach(specs[i], inputs, gallery).value();
     bench::AddClasswiseRows(table, specs[i].DisplayName(), report);
+    telemetry.emplace_back(specs[i].DisplayName() + " accuracy",
+                           report.cumulative_accuracy);
   }
   table.Print(std::cout);
   std::printf(
       "Shape expectations (paper Table 5): shape-only recognition is\n"
       "heavily unbalanced — a few classes (chair, bottle, sofa) absorb\n"
       "most predictions while several classes stay near zero.\n");
+  bench::EmitBenchJson("table5_shape_classwise", telemetry, context.config());
   bench::PrintElapsed(sw);
   return 0;
 }

@@ -9,7 +9,9 @@
 int main() {
   using namespace snor;
   bench::PrintHeader("Table 6", "Class-wise results, colour-only matching");
+  SNOR_TRACE_SPAN("bench.table6_color_classwise");
   Stopwatch sw;
+  bench::BenchResults telemetry;
 
   ExperimentContext context(bench::DefaultConfig());
   const auto& inputs = context.NyuFeatures();
@@ -21,12 +23,15 @@ int main() {
   for (std::size_t i = 4; i < 8; ++i) {
     const EvalReport report = context.RunApproach(specs[i], inputs, gallery).value();
     bench::AddClasswiseRows(table, specs[i].DisplayName(), report);
+    telemetry.emplace_back(specs[i].DisplayName() + " accuracy",
+                           report.cumulative_accuracy);
   }
   table.Print(std::cout);
   std::printf(
       "Shape expectations (paper Table 6): different metrics favour\n"
       "different class subsets with only partial overlap; chairs remain\n"
       "the best-recognised class on average.\n");
+  bench::EmitBenchJson("table6_color_classwise", telemetry, context.config());
   bench::PrintElapsed(sw);
   return 0;
 }

@@ -11,7 +11,9 @@ int main() {
   using namespace snor;
   bench::PrintHeader("Table 7",
                      "Class-wise results, hybrid matching (NYU v. SNS1)");
+  SNOR_TRACE_SPAN("bench.table7_hybrid_classwise");
   Stopwatch sw;
+  bench::BenchResults telemetry;
 
   ExperimentContext context(bench::DefaultConfig());
   const auto& inputs = context.NyuFeatures();
@@ -23,12 +25,16 @@ int main() {
   for (std::size_t i = 8; i < 11; ++i) {
     const EvalReport report = context.RunApproach(specs[i], inputs, gallery).value();
     bench::AddClasswiseRows(table, specs[i].DisplayName(), report);
+    telemetry.emplace_back(specs[i].DisplayName() + " accuracy",
+                           report.cumulative_accuracy);
   }
   table.Print(std::cout);
   std::printf(
       "Shape expectations (paper Table 7): the weighted sum favours\n"
       "chairs strongly; the macro-average zeroes out several classes\n"
       "entirely (whole-class scores dominate individual view matches).\n");
+  bench::EmitBenchJson("table7_hybrid_classwise", telemetry,
+                       context.config());
   bench::PrintElapsed(sw);
   return 0;
 }

@@ -11,7 +11,9 @@ int main() {
   using namespace snor;
   bench::PrintHeader("Table 8",
                      "Class-wise results, hybrid matching (SNS2 v. SNS1)");
+  SNOR_TRACE_SPAN("bench.table8_hybrid_sns");
   Stopwatch sw;
+  bench::BenchResults telemetry;
 
   ExperimentContext context(bench::DefaultConfig());
   const auto& inputs = context.Sns2Features();
@@ -22,6 +24,8 @@ int main() {
   for (std::size_t i = 8; i < 11; ++i) {
     const EvalReport report = context.RunApproach(specs[i], inputs, gallery).value();
     bench::AddClasswiseRows(table, specs[i].DisplayName(), report, 2);
+    telemetry.emplace_back(specs[i].DisplayName() + " accuracy",
+                           report.cumulative_accuracy);
   }
   table.Print(std::cout);
   std::printf(
@@ -29,6 +33,7 @@ int main() {
       "than Table 7 (all models are ShapeNet), but recognition stays\n"
       "unbalanced — some classes are still never recognised, showing the\n"
       "imbalance is not caused by NYU segmentation noise alone.\n");
+  bench::EmitBenchJson("table8_hybrid_sns", telemetry, context.config());
   bench::PrintElapsed(sw);
   return 0;
 }

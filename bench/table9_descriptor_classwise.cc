@@ -12,7 +12,9 @@ int main() {
   using namespace snor;
   bench::PrintHeader("Table 9",
                      "Class-wise results, feature-descriptor matching");
+  SNOR_TRACE_SPAN("bench.table9_descriptor_classwise");
   Stopwatch sw;
+  bench::BenchResults telemetry;
 
   ExperimentContext context(bench::DefaultConfig());
   const Dataset& sns1 = context.Sns1();
@@ -39,12 +41,16 @@ int main() {
     const EvalReport report =
         Evaluate(truth, classifier.ClassifyAll(sns1));
     bench::AddClasswiseRows(table, row.name, report, 2);
+    telemetry.emplace_back(std::string(row.name) + " accuracy",
+                           report.cumulative_accuracy);
   }
   table.Print(std::cout);
   std::printf(
       "Shape expectations (paper Table 9): per-class accuracies are\n"
       "scattered (0.0-0.7) with each descriptor favouring a different\n"
       "class subset; no descriptor recognises all classes.\n");
+  bench::EmitBenchJson("table9_descriptor_classwise", telemetry,
+                       context.config());
   bench::PrintElapsed(sw);
   return 0;
 }

@@ -43,6 +43,18 @@ struct ItemError {
   Status status;
 };
 
+/// \brief Wall-clock seconds spent in each stage of one approach run,
+/// captured by `ExperimentContext::RunApproach` and carried into the CSV
+/// reports so accuracy tables come with their latency context.
+struct StageTiming {
+  /// Classifier construction over the gallery (indexing/setup).
+  double extract_s = 0.0;
+  /// The per-item matching loop.
+  double match_s = 0.0;
+  /// Metric computation (Evaluate).
+  double score_s = 0.0;
+};
+
 /// \brief Full evaluation of a multi-class prediction run.
 struct EvalReport {
   /// Cross-class cumulative accuracy (Table 2 / Table 3 metric).
@@ -60,6 +72,8 @@ struct EvalReport {
   /// Inputs the hybrid classifier matched on a single surviving modality.
   std::uint64_t degraded_shape_only = 0;
   std::uint64_t degraded_color_only = 0;
+  /// Per-stage wall-clock breakdown of the run that produced this report.
+  StageTiming timing;
 
   /// Fraction of attempted items that were actually evaluated.
   double Coverage() const {

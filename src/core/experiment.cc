@@ -2,7 +2,10 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
+#include "util/stopwatch.h"
 
 namespace snor {
 
@@ -166,7 +169,21 @@ const Dataset& ExperimentContext::Nyu() {
   return *nyu_;
 }
 
+namespace {
+
+/// Counts reuse of the lazily built per-dataset feature caches.
+void RecordCacheAccess(bool hit) {
+  static obs::Counter& hits =
+      obs::MetricsRegistry::Global().counter("core.feature_cache.hit");
+  static obs::Counter& misses =
+      obs::MetricsRegistry::Global().counter("core.feature_cache.miss");
+  (hit ? hits : misses).Increment();
+}
+
+}  // namespace
+
 const std::vector<ImageFeatures>& ExperimentContext::Sns1Features() {
+  RecordCacheAccess(sns1_features_.has_value());
   if (!sns1_features_) {
     sns1_features_ = ComputeFeatures(Sns1(), FeatureOptionsFor(true));
   }
@@ -174,6 +191,7 @@ const std::vector<ImageFeatures>& ExperimentContext::Sns1Features() {
 }
 
 const std::vector<ImageFeatures>& ExperimentContext::Sns2Features() {
+  RecordCacheAccess(sns2_features_.has_value());
   if (!sns2_features_) {
     sns2_features_ = ComputeFeatures(Sns2(), FeatureOptionsFor(true));
   }
@@ -181,17 +199,33 @@ const std::vector<ImageFeatures>& ExperimentContext::Sns2Features() {
 }
 
 const std::vector<ImageFeatures>& ExperimentContext::NyuFeatures() {
+  RecordCacheAccess(nyu_features_.has_value());
   if (!nyu_features_) {
     nyu_features_ = ComputeFeatures(Nyu(), FeatureOptionsFor(false));
   }
   return *nyu_features_;
 }
 
+void ExperimentContext::ClearFeatureCaches() {
+  static obs::Counter& evictions =
+      obs::MetricsRegistry::Global().counter("core.feature_cache.evictions");
+  if (sns1_features_) evictions.Increment();
+  if (sns2_features_) evictions.Increment();
+  if (nyu_features_) evictions.Increment();
+  sns1_features_.reset();
+  sns2_features_.reset();
+  nyu_features_.reset();
+}
+
 Result<EvalReport> ExperimentContext::RunApproach(
     const ApproachSpec& spec, const std::vector<ImageFeatures>& inputs,
     const std::vector<ImageFeatures>& gallery) {
+  SNOR_TRACE_SPAN("core.classify.run");
+  StageTiming timing;
+  Stopwatch stage_clock;
   SNOR_ASSIGN_OR_RETURN(std::unique_ptr<MatchingClassifier> classifier,
                         MakeClassifier(spec, gallery, config_.seed));
+  timing.extract_s = stage_clock.ElapsedSeconds();
 
   std::vector<ObjectClass> truth;
   std::vector<ObjectClass> predictions;
@@ -199,33 +233,56 @@ Result<EvalReport> ExperimentContext::RunApproach(
   truth.reserve(inputs.size());
   predictions.reserve(inputs.size());
 
-  for (std::size_t i = 0; i < inputs.size(); ++i) {
-    const ImageFeatures& f = inputs[i];
-    if (!f.valid && !f.status.ok() &&
-        f.status.code() != StatusCode::kNotFound) {
-      // Ingest-level failure (IO fault, unavailable frame): skip the
-      // item and record it; it degrades coverage, not correctness.
-      errors.push_back({static_cast<int>(i), "ingest", f.status});
-      continue;
-    }
-    if (!f.valid) {
-      // Preprocess-level failure (no foreground component): keep the
-      // paper's behaviour — fallback-classified and counted — but leave
-      // a ledger entry so the impairment is visible.
-      errors.push_back(
-          {static_cast<int>(i), "preprocess",
-           f.status.ok() ? Status::NotFound("no foreground component")
-                         : f.status});
-    }
-    truth.push_back(f.label);
-    predictions.push_back(classifier->Classify(f));
-  }
+  static obs::Histogram& classify_latency_us =
+      obs::MetricsRegistry::Global().histogram("core.classify.latency_us");
+  static obs::Counter& classified_counter =
+      obs::MetricsRegistry::Global().counter("core.classify.items");
+  static obs::Counter& skipped_counter =
+      obs::MetricsRegistry::Global().counter("core.classify.skipped");
 
-  EvalReport report = Evaluate(truth, predictions);
+  stage_clock.Reset();
+  {
+    SNOR_TRACE_SPAN("core.classify.match");
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      const ImageFeatures& f = inputs[i];
+      if (!f.valid && !f.status.ok() &&
+          f.status.code() != StatusCode::kNotFound) {
+        // Ingest-level failure (IO fault, unavailable frame): skip the
+        // item and record it; it degrades coverage, not correctness.
+        errors.push_back({static_cast<int>(i), "ingest", f.status});
+        skipped_counter.Increment();
+        continue;
+      }
+      if (!f.valid) {
+        // Preprocess-level failure (no foreground component): keep the
+        // paper's behaviour — fallback-classified and counted — but leave
+        // a ledger entry so the impairment is visible.
+        errors.push_back(
+            {static_cast<int>(i), "preprocess",
+             f.status.ok() ? Status::NotFound("no foreground component")
+                           : f.status});
+      }
+      truth.push_back(f.label);
+      const obs::ScopedLatencyUs item_latency(classify_latency_us);
+      predictions.push_back(classifier->Classify(f));
+    }
+  }
+  timing.match_s = stage_clock.ElapsedSeconds();
+  classified_counter.Increment(predictions.size());
+
+  stage_clock.Reset();
+  EvalReport report;
+  {
+    SNOR_TRACE_SPAN("core.classify.score");
+    report = Evaluate(truth, predictions);
+  }
+  timing.score_s = stage_clock.ElapsedSeconds();
+
   report.attempted = static_cast<int>(inputs.size());
   report.errors = std::move(errors);
   report.degraded_shape_only = classifier->degradation().shape_only;
   report.degraded_color_only = classifier->degradation().color_only;
+  report.timing = timing;
   return report;
 }
 

@@ -83,6 +83,11 @@ class ExperimentContext {
       const ApproachSpec& spec, const std::vector<ImageFeatures>& inputs,
       const std::vector<ImageFeatures>& gallery);
 
+  /// Drops the lazily built feature caches (datasets stay). Each dropped
+  /// cache counts as a `core.feature_cache.evictions` metric event; the
+  /// next feature access recomputes (and counts a miss).
+  void ClearFeatureCaches();
+
  private:
   FeatureOptions FeatureOptionsFor(bool white_background) const;
 

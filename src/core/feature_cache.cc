@@ -1,6 +1,8 @@
 #include "core/feature_cache.h"
 
 #include "img/color.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/fault.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
@@ -9,6 +11,13 @@ namespace snor {
 
 std::vector<ImageFeatures> ComputeFeatures(const Dataset& dataset,
                                            const FeatureOptions& options) {
+  SNOR_TRACE_SPAN("core.feature_cache.build");
+  static obs::Counter& items_counter =
+      obs::MetricsRegistry::Global().counter("core.feature_cache.items");
+  static obs::Counter& invalid_counter =
+      obs::MetricsRegistry::Global().counter("core.feature_cache.invalid");
+  items_counter.Increment(dataset.size());
+
   std::vector<ImageFeatures> features(dataset.size());
 
   const PreprocessOptions& preprocess = options.preprocess;
@@ -29,6 +38,7 @@ std::vector<ImageFeatures> ComputeFeatures(const Dataset& dataset,
         FaultPoint::kIoRead, StrFormat("ingest item %zu", idx));
     if (!ingest.ok()) {
       f.status = ingest;
+      invalid_counter.Increment();
       features[idx] = std::move(f);
       return;
     }
@@ -36,6 +46,7 @@ std::vector<ImageFeatures> ComputeFeatures(const Dataset& dataset,
     auto result = Preprocess(item.image, preprocess);
     if (!result.ok()) f.status = result.status();
     if (result.ok()) {
+      SNOR_TRACE_SPAN("features.histogram.compute");
       const PreprocessResult& pre = result.value();
       f.hu = pre.hu;
       f.valid = true;
@@ -65,6 +76,7 @@ std::vector<ImageFeatures> ComputeFeatures(const Dataset& dataset,
       }
       f.histogram.NormalizeL1();
     }
+    if (!f.valid) invalid_counter.Increment();
     features[idx] = std::move(f);
   });
   return features;

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/fault.h"
 #include "util/string_util.h"
 
@@ -26,6 +28,7 @@ bool ReadPod(std::ifstream& in, T* value) {
 
 Status SaveFeatures(const std::vector<ImageFeatures>& features,
                     const std::string& path) {
+  SNOR_TRACE_SPAN("core.gallery.save");
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IoError("cannot open for writing: " + path);
   out.write(kMagic, sizeof(kMagic));
@@ -45,6 +48,12 @@ Status SaveFeatures(const std::vector<ImageFeatures>& features,
 }
 
 Result<std::vector<ImageFeatures>> LoadFeatures(const std::string& path) {
+  SNOR_TRACE_SPAN("core.gallery.load");
+  static obs::Histogram& load_latency_us =
+      obs::MetricsRegistry::Global().histogram("core.gallery.load_latency_us");
+  const obs::ScopedLatencyUs latency(load_latency_us);
+  static obs::Counter& entries_counter =
+      obs::MetricsRegistry::Global().counter("core.gallery.entries_loaded");
   SNOR_RETURN_NOT_OK(
       InjectFault(FaultPoint::kIoRead, "LoadFeatures " + path));
   std::ifstream in(path, std::ios::binary);
@@ -97,6 +106,7 @@ Result<std::vector<ImageFeatures>> LoadFeatures(const std::string& path) {
     }
     features.push_back(std::move(f));
   }
+  entries_counter.Increment(features.size());
   return features;
 }
 

@@ -2,30 +2,50 @@
 
 #include "img/color.h"
 #include "img/threshold.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace snor {
 
 Result<PreprocessResult> Preprocess(const ImageU8& rgb,
                                     const PreprocessOptions& options) {
+  SNOR_TRACE_SPAN("core.preprocess");
+  static obs::Histogram& latency_us =
+      obs::MetricsRegistry::Global().histogram("core.preprocess.latency_us");
+  const obs::ScopedLatencyUs latency(latency_us);
+
   if (rgb.empty()) return Status::InvalidArgument("empty input image");
   const ImageU8 gray = rgb.channels() == 3 ? RgbToGray(rgb) : rgb;
 
   // Global binary thresholding; inverse when the background is white so
   // that the object becomes the foreground in both cases (§3.2).
-  const ThresholdMode mode = options.white_background
-                                 ? ThresholdMode::kBinaryInv
-                                 : ThresholdMode::kBinary;
-  const std::uint8_t thresh =
-      options.use_otsu ? OtsuThreshold(gray)
-                       : (options.white_background ? options.white_threshold
-                                                   : options.black_threshold);
-  const ImageU8 binary = Threshold(gray, thresh, 255, mode);
+  ImageU8 binary;
+  {
+    SNOR_TRACE_SPAN("core.preprocess.threshold");
+    const ThresholdMode mode = options.white_background
+                                   ? ThresholdMode::kBinaryInv
+                                   : ThresholdMode::kBinary;
+    const std::uint8_t thresh =
+        options.use_otsu
+            ? OtsuThreshold(gray)
+            : (options.white_background ? options.white_threshold
+                                        : options.black_threshold);
+    binary = Threshold(gray, thresh, 255, mode);
+  }
 
-  const auto contours = FindContours(binary, options.min_component_pixels);
+  std::vector<Contour> contours;
+  {
+    SNOR_TRACE_SPAN("core.preprocess.contour");
+    contours = FindContours(binary, options.min_component_pixels);
+  }
   if (contours.empty()) {
+    static obs::Counter& no_foreground =
+        obs::MetricsRegistry::Global().counter("core.preprocess.no_foreground");
+    no_foreground.Increment();
     return Status::NotFound("no foreground component after thresholding");
   }
 
+  SNOR_TRACE_SPAN("core.preprocess.crop");
   PreprocessResult result;
   result.contour = contours[0];  // Largest area first.
   result.hu = ComputeHuMoments(ContourMoments(result.contour));

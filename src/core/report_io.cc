@@ -24,8 +24,11 @@ TablePrinter ConfusionTable(const EvalReport& report) {
 }
 
 CsvWriter ReportToCsv(const EvalReport& report) {
+  // Timing columns sit at the end so older consumers that read by prefix
+  // keep working; the run-level stage seconds repeat on every class row.
   CsvWriter csv({"class", "support", "true_positives", "recall",
-                 "precision_paper", "f1_paper", "precision_std", "f1_std"});
+                 "precision_paper", "f1_paper", "precision_std", "f1_std",
+                 "extract_s", "match_s", "score_s"});
   for (int c = 0; c < kNumClasses; ++c) {
     const ClassMetrics& m = report.per_class[static_cast<std::size_t>(c)];
     csv.AddRow({std::string(ObjectClassName(ClassFromIndex(c))),
@@ -34,7 +37,10 @@ CsvWriter ReportToCsv(const EvalReport& report) {
                 StrFormat("%.6f", m.precision_paper),
                 StrFormat("%.6f", m.f1_paper),
                 StrFormat("%.6f", m.precision_std),
-                StrFormat("%.6f", m.f1_std)});
+                StrFormat("%.6f", m.f1_std),
+                StrFormat("%.6f", report.timing.extract_s),
+                StrFormat("%.6f", report.timing.match_s),
+                StrFormat("%.6f", report.timing.score_s)});
   }
   return csv;
 }

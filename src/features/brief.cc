@@ -3,10 +3,19 @@
 #include <cmath>
 #include <numbers>
 
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace snor {
 namespace {
+
+/// Per-keypoint hot path: counter only, no span (a span per descriptor
+/// would dominate the trace).
+void CountDescriptor() {
+  static obs::Counter& descriptors =
+      obs::MetricsRegistry::Global().counter("features.brief.descriptors");
+  descriptors.Increment();
+}
 
 constexpr double kPatchSigma = 31.0 / 5.0;
 constexpr double kMaxRadius = 13.0;
@@ -68,11 +77,13 @@ const std::array<BriefPair, 256>& BriefPattern() {
 
 BinaryDescriptor ComputeBriefDescriptor(const ImageU8& smoothed,
                                         const Keypoint& kp) {
+  CountDescriptor();
   return ComputeWithRotation(smoothed, kp, 0.0);
 }
 
 BinaryDescriptor ComputeSteeredBriefDescriptor(const ImageU8& smoothed,
                                                const Keypoint& kp) {
+  CountDescriptor();
   const double radians =
       kp.angle < 0 ? 0.0 : kp.angle * std::numbers::pi / 180.0;
   return ComputeWithRotation(smoothed, kp, radians);

@@ -6,6 +6,8 @@
 
 #include "img/color.h"
 #include "img/resize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace snor {
@@ -19,6 +21,13 @@ std::size_t HogDescriptorLength(const HogOptions& options) {
 
 std::vector<float> ComputeHog(const ImageU8& image,
                               const HogOptions& options) {
+  SNOR_TRACE_SPAN("features.hog.compute");
+  static obs::Histogram& latency_us =
+      obs::MetricsRegistry::Global().histogram("features.hog.latency_us");
+  const obs::ScopedLatencyUs latency(latency_us);
+  static obs::Counter& windows_counter =
+      obs::MetricsRegistry::Global().counter("features.hog.windows");
+  windows_counter.Increment();
   SNOR_CHECK_GT(options.window, 0);
   SNOR_CHECK_GT(options.cell, 0);
   SNOR_CHECK_EQ(options.window % options.cell, 0);

@@ -5,9 +5,23 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace snor {
+
+namespace {
+
+/// Every brute-force matcher call funnels through here: one descriptor
+/// comparison per (query, train) pair.
+void RecordComparisons(std::size_t n_query, std::size_t n_train) {
+  static obs::Counter& comparisons =
+      obs::MetricsRegistry::Global().counter("features.matcher.comparisons");
+  comparisons.Increment(static_cast<std::uint64_t>(n_query) * n_train);
+}
+
+}  // namespace
 
 int HammingDistance(const BinaryDescriptor& a, const BinaryDescriptor& b) {
   int dist = 0;
@@ -79,6 +93,8 @@ std::vector<DMatch> BestOf(Knn&& knn) {
 std::vector<std::vector<DMatch>> KnnMatchBruteForce(
     const std::vector<FloatDescriptor>& query,
     const std::vector<FloatDescriptor>& train, int k, FloatNorm norm) {
+  SNOR_TRACE_SPAN("features.matcher.knn_float");
+  RecordComparisons(query.size(), train.size());
   return KnnImpl(query.size(), train.size(), k,
                  [&](std::size_t q, std::size_t t) {
                    return FloatDistance(query[q], train[t], norm);
@@ -88,6 +104,8 @@ std::vector<std::vector<DMatch>> KnnMatchBruteForce(
 std::vector<std::vector<DMatch>> KnnMatchBruteForce(
     const std::vector<BinaryDescriptor>& query,
     const std::vector<BinaryDescriptor>& train, int k) {
+  SNOR_TRACE_SPAN("features.matcher.knn_binary");
+  RecordComparisons(query.size(), train.size());
   return KnnImpl(query.size(), train.size(), k,
                  [&](std::size_t q, std::size_t t) {
                    return static_cast<float>(

@@ -8,10 +8,16 @@
 #include "img/color.h"
 #include "img/filter.h"
 #include "img/pyramid.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace snor {
 
 BinaryFeatures ExtractOrb(const ImageU8& image, const OrbOptions& options) {
+  SNOR_TRACE_SPAN("features.orb.extract");
+  static obs::Histogram& latency_us =
+      obs::MetricsRegistry::Global().histogram("features.orb.latency_us");
+  const obs::ScopedLatencyUs latency(latency_us);
   const ImageU8 gray = image.channels() == 3 ? RgbToGray(image) : image;
 
   struct Candidate {
@@ -85,6 +91,9 @@ BinaryFeatures ExtractOrb(const ImageU8& image, const OrbOptions& options) {
     out.descriptors.push_back(
         ComputeSteeredBriefDescriptor(smoothed[level], sample_kp));
   }
+  static obs::Counter& keypoints_counter =
+      obs::MetricsRegistry::Global().counter("features.orb.keypoints");
+  keypoints_counter.Increment(out.keypoints.size());
   return out;
 }
 

@@ -6,6 +6,8 @@
 
 #include "img/color.h"
 #include "img/filter.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace snor {
@@ -320,6 +322,10 @@ FloatDescriptor ComputeDescriptor(const ImageF& img, double x, double y,
 }  // namespace
 
 FloatFeatures ExtractSift(const ImageU8& image, const SiftOptions& options) {
+  SNOR_TRACE_SPAN("features.sift.extract");
+  static obs::Histogram& latency_us =
+      obs::MetricsRegistry::Global().histogram("features.sift.latency_us");
+  const obs::ScopedLatencyUs latency(latency_us);
   SNOR_CHECK_GE(options.n_scales, 2);
   const ImageU8 gray_u8 = image.channels() == 3 ? RgbToGray(image) : image;
   ImageF base(gray_u8.width(), gray_u8.height(), 1);
@@ -464,6 +470,9 @@ FloatFeatures ExtractSift(const ImageU8& image, const SiftOptions& options) {
     }
     out = std::move(trimmed);
   }
+  static obs::Counter& keypoints_counter =
+      obs::MetricsRegistry::Global().counter("features.sift.keypoints");
+  keypoints_counter.Increment(out.keypoints.size());
   return out;
 }
 

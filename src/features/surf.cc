@@ -6,6 +6,8 @@
 
 #include "img/color.h"
 #include "img/integral.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace snor {
@@ -187,6 +189,10 @@ FloatDescriptor ComputeSurfDescriptor(const IntegralImage& ii, int x, int y,
 }  // namespace
 
 FloatFeatures ExtractSurf(const ImageU8& image, const SurfOptions& options) {
+  SNOR_TRACE_SPAN("features.surf.extract");
+  static obs::Histogram& latency_us =
+      obs::MetricsRegistry::Global().histogram("features.surf.latency_us");
+  const obs::ScopedLatencyUs latency(latency_us);
   SNOR_CHECK_GE(options.n_octaves, 1);
   SNOR_CHECK_GE(options.n_intervals, 3);
   const ImageU8 gray = image.channels() == 3 ? RgbToGray(image) : image;
@@ -269,6 +275,9 @@ FloatFeatures ExtractSurf(const ImageU8& image, const SurfOptions& options) {
     out.descriptors.push_back(
         ComputeSurfDescriptor(ii, x, y, cand.scale, cand.angle));
   }
+  static obs::Counter& keypoints_counter =
+      obs::MetricsRegistry::Global().counter("features.surf.keypoints");
+  keypoints_counter.Increment(out.keypoints.size());
   return out;
 }
 

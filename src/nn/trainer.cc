@@ -3,8 +3,11 @@
 #include <algorithm>
 
 #include "nn/loss.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
 
 namespace snor {
 
@@ -33,7 +36,15 @@ std::vector<EpochStats> XCorrTrainer::Fit(const PairTensorDataset& data) {
   double prev_loss = 0.0;
   int stall_epochs = 0;
 
+  static obs::Counter& epochs_counter =
+      obs::MetricsRegistry::Global().counter("nn.xcorr.epochs");
+  static obs::Histogram& epoch_ms_hist =
+      obs::MetricsRegistry::Global().histogram("nn.xcorr.epoch_ms");
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+
   for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
+    SNOR_TRACE_SPAN("nn.xcorr.epoch");
+    const Stopwatch epoch_clock;
     rng.Shuffle(order);
     double loss_sum = 0.0;
     std::size_t correct = 0;
@@ -72,6 +83,17 @@ std::vector<EpochStats> XCorrTrainer::Fit(const PairTensorDataset& data) {
     stats.accuracy =
         static_cast<double>(correct) / static_cast<double>(data.size());
     history.push_back(stats);
+
+    const double epoch_ms = epoch_clock.ElapsedMillis();
+    epochs_counter.Increment();
+    epoch_ms_hist.Record(epoch_ms);
+    registry.gauge("nn.xcorr.loss").Set(stats.loss);
+    registry.gauge("nn.xcorr.accuracy").Set(stats.accuracy);
+    if (epoch_ms > 0.0) {
+      registry.gauge("nn.xcorr.pairs_per_s")
+          .Set(static_cast<double>(data.size()) / (epoch_ms / 1e3));
+    }
+
     if (options_.verbose) {
       SNOR_LOG(Info) << "epoch " << epoch << " loss " << stats.loss
                      << " acc " << stats.accuracy;

@@ -1,0 +1,87 @@
+#ifndef SNOR_OBS_JSON_H_
+#define SNOR_OBS_JSON_H_
+
+/// \file
+/// Minimal JSON emitter and parser used by the observability subsystem:
+/// Chrome trace export, metrics dumps, and the bench telemetry files.
+/// Deliberately tiny — objects parse into std::map (deterministic
+/// iteration, matching the project's report-determinism rule).
+///
+/// Must not depend on util/ (obs sits below util in the layering).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace snor::obs {
+
+/// Escapes `text` for inclusion inside a JSON string literal (quotes not
+/// included).
+std::string JsonEscape(std::string_view text);
+
+/// \brief Streaming JSON emitter with automatic comma placement.
+///
+/// Usage: Begin/End Object/Array, Key inside objects, then a value call.
+/// The caller is responsible for well-formed nesting (unbalanced use is a
+/// programming error and yields invalid JSON, not UB).
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Emits an object key; the next value call attaches to it.
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  /// Finite doubles render with up to 12 significant digits; NaN and
+  /// infinities render as null (JSON has no spelling for them).
+  void Number(double value);
+  void Int(std::int64_t value);
+  void Bool(bool value);
+  void Null();
+
+  /// Embeds `json` verbatim as one value (must itself be valid JSON).
+  void Raw(std::string_view json);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  /// Number of values emitted at each open nesting level.
+  std::vector<int> counts_;
+  bool after_key_ = false;
+};
+
+/// \brief Parsed JSON value (tagged union, std::map for objects).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array_items;
+  std::map<std::string, JsonValue> object_items;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_number() const { return type == Type::kNumber; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+};
+
+/// Parses `text` into `*out`. On failure returns false and, when `error`
+/// is non-null, stores a short description with the byte offset.
+bool ParseJson(std::string_view text, JsonValue* out, std::string* error);
+
+}  // namespace snor::obs
+
+#endif  // SNOR_OBS_JSON_H_

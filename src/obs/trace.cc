@@ -1,0 +1,325 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "obs/json.h"
+
+namespace snor::obs {
+namespace {
+
+std::int64_t SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Per-thread span nesting depth (outermost span = depth 0).
+thread_local std::int32_t tls_depth = 0;
+
+void CopyName(const char* name, char (&dest)[kTraceMaxNameLength + 1]) {
+  std::size_t n = 0;
+  if (name != nullptr) {
+    n = std::strlen(name);
+    if (n > kTraceMaxNameLength) n = kTraceMaxNameLength;
+    std::memcpy(dest, name, n);
+  }
+  dest[n] = '\0';
+}
+
+}  // namespace
+
+namespace internal {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace internal
+
+int CurrentThreadId() {
+  static std::atomic<int> next_id{1};
+  thread_local const int id = next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+/// \brief One thread's event ring. Single writer (the owning thread);
+/// the mutex only contends with an exporting/resetting reader.
+struct TraceRecorder::ThreadBuffer {
+  ThreadBuffer(int tid_in, std::size_t capacity_in)
+      : tid(tid_in), capacity(capacity_in == 0 ? 1 : capacity_in) {}
+
+  mutable std::mutex mutex;
+  const int tid;
+  const std::size_t capacity;
+  std::vector<TraceEvent> ring;  // Grows lazily up to `capacity`.
+  std::size_t head = 0;          // Oldest slot once the ring is full.
+  std::uint64_t overwritten = 0;
+
+  void Push(const TraceEvent& event) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (ring.size() < capacity) {
+      ring.push_back(event);
+    } else {
+      ring[head] = event;
+      head = (head + 1) % capacity;
+      ++overwritten;
+    }
+  }
+
+  void AppendInOrder(std::vector<TraceEvent>* out) const {
+    std::lock_guard<std::mutex> lock(mutex);
+    // Oldest-first: once wrapped, the oldest live event sits at `head`.
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      out->push_back(ring[(head + i) % ring.size()]);
+    }
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mutex);
+    ring.clear();
+    head = 0;
+    overwritten = 0;
+  }
+};
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+void TraceRecorder::Enable() {
+  epoch_us_.store(SteadyNowMicros(), std::memory_order_relaxed);
+  internal::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Disable() {
+  internal::g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Reset() {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (const auto& buffer : buffers_) buffer->Clear();
+  recorded_.store(0, std::memory_order_relaxed);
+}
+
+void TraceRecorder::set_output_path(std::string path) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  output_path_ = std::move(path);
+}
+
+std::string TraceRecorder::output_path() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  return output_path_;
+}
+
+void TraceRecorder::set_buffer_capacity(std::size_t events) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  buffer_capacity_ = events == 0 ? 1 : events;
+}
+
+std::uint64_t TraceRecorder::NowMicros() const {
+  const std::int64_t now = SteadyNowMicros();
+  const std::int64_t epoch = epoch_us_.load(std::memory_order_relaxed);
+  return now > epoch ? static_cast<std::uint64_t>(now - epoch) : 0;
+}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
+  // Buffers are owned by the recorder and never removed, so the cached
+  // pointer stays valid for the thread's lifetime.
+  thread_local ThreadBuffer* tls_buffer = nullptr;
+  if (tls_buffer != nullptr) return tls_buffer;
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  buffers_.push_back(
+      std::make_unique<ThreadBuffer>(CurrentThreadId(), buffer_capacity_));
+  tls_buffer = buffers_.back().get();
+  return tls_buffer;
+}
+
+void TraceRecorder::Push(const TraceEvent& event) {
+  BufferForThisThread()->Push(event);
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TraceRecorder::RecordComplete(const char* name, std::uint64_t start_us,
+                                   std::uint64_t dur_us, std::int32_t depth) {
+  TraceEvent event;
+  CopyName(name, event.name);
+  event.start_us = start_us;
+  event.dur_us = dur_us;
+  event.tid = CurrentThreadId();
+  event.depth = depth;
+  Push(event);
+}
+
+void TraceRecorder::RecordInstant(const char* name) {
+  TraceEvent event;
+  CopyName(name, event.name);
+  event.start_us = NowMicros();
+  event.tid = CurrentThreadId();
+  event.depth = tls_depth;
+  event.instant = true;
+  Push(event);
+}
+
+std::size_t TraceRecorder::thread_count() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  return buffers_.size();
+}
+
+std::uint64_t TraceRecorder::recorded_count() const {
+  return recorded_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t TraceRecorder::dropped_count() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  std::uint64_t dropped = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    dropped += buffer->overwritten;
+  }
+  return dropped;
+}
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  std::vector<TraceEvent> events;
+  for (const auto& buffer : buffers_) buffer->AppendInOrder(&events);
+  return events;
+}
+
+std::string TraceRecorder::ChromeTraceJson() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("traceEvents");
+  json.BeginArray();
+  // Thread-name metadata so Perfetto labels the tracks.
+  std::vector<std::int32_t> tids;
+  for (const TraceEvent& e : events) {
+    bool seen = false;
+    for (std::int32_t t : tids) seen = seen || t == e.tid;
+    if (!seen) tids.push_back(e.tid);
+  }
+  for (std::int32_t tid : tids) {
+    json.BeginObject();
+    json.Key("name");
+    json.String("thread_name");
+    json.Key("ph");
+    json.String("M");
+    json.Key("pid");
+    json.Int(1);
+    json.Key("tid");
+    json.Int(tid);
+    json.Key("args");
+    json.BeginObject();
+    json.Key("name");
+    char label[32];
+    std::snprintf(label, sizeof(label), "snor-thread-%d", tid);
+    json.String(label);
+    json.EndObject();
+    json.EndObject();
+  }
+  for (const TraceEvent& e : events) {
+    json.BeginObject();
+    json.Key("name");
+    json.String(e.name);
+    json.Key("cat");
+    json.String("snor");
+    json.Key("ph");
+    json.String(e.instant ? "i" : "X");
+    json.Key("pid");
+    json.Int(1);
+    json.Key("tid");
+    json.Int(e.tid);
+    json.Key("ts");
+    json.Int(static_cast<std::int64_t>(e.start_us));
+    if (e.instant) {
+      json.Key("s");
+      json.String("t");
+    } else {
+      json.Key("dur");
+      json.Int(static_cast<std::int64_t>(e.dur_us));
+    }
+    json.Key("args");
+    json.BeginObject();
+    json.Key("depth");
+    json.Int(e.depth);
+    json.EndObject();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("displayTimeUnit");
+  json.String("ms");
+  json.Key("otherData");
+  json.BeginObject();
+  json.Key("recorded");
+  json.Int(static_cast<std::int64_t>(recorded_count()));
+  json.Key("dropped");
+  json.Int(static_cast<std::int64_t>(dropped_count()));
+  json.EndObject();
+  json.EndObject();
+  return json.str();
+}
+
+bool TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  const std::string json = ChromeTraceJson();
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  out << '\n';
+  return static_cast<bool>(out);
+}
+
+namespace {
+
+bool InitTraceFromEnvOnce() {
+  const char* env = std::getenv("SNOR_TRACE");
+  if (env == nullptr || env[0] == '\0' || std::string(env) == "0") {
+    return false;
+  }
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.set_output_path(std::string(env) == "1" ? "trace.json" : env);
+  recorder.Enable();
+  std::atexit([] { (void)FlushTrace(); });
+  return true;
+}
+
+}  // namespace
+
+void InitTraceFromEnv() {
+  // Thread-safe one-shot via function-local static initialization.
+  static const bool initialized = InitTraceFromEnvOnce();
+  (void)initialized;
+}
+
+bool FlushTrace() {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  if (!TraceEnabled()) return false;
+  const std::string path = recorder.output_path();
+  if (path.empty()) return false;
+  const bool ok = recorder.WriteChromeTrace(path);
+  if (!ok) {
+    std::fprintf(stderr, "snor trace: failed to write %s\n", path.c_str());
+  }
+  return ok;
+}
+
+void ScopedSpan::Begin(const char* name) {
+  name_ = name;
+  start_us_ = TraceRecorder::Global().NowMicros();
+  depth_ = tls_depth++;
+  active_ = true;
+}
+
+void ScopedSpan::End() {
+  --tls_depth;
+  // Tracing may have been disabled mid-span; drop the event then (the
+  // depth counter still had to be rewound above).
+  if (!TraceEnabled()) return;
+  TraceRecorder& recorder = TraceRecorder::Global();
+  const std::uint64_t end_us = recorder.NowMicros();
+  const std::uint64_t dur = end_us > start_us_ ? end_us - start_us_ : 0;
+  recorder.RecordComplete(name_, start_us_, dur, depth_);
+}
+
+}  // namespace snor::obs

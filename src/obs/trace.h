@@ -1,0 +1,207 @@
+#ifndef SNOR_OBS_TRACE_H_
+#define SNOR_OBS_TRACE_H_
+
+/// \file
+/// Lock-cheap, thread-safe trace recorder with RAII scoped spans.
+///
+/// Spans are recorded into per-thread ring buffers (one uncontended mutex
+/// per thread; the only contention is with an exporting reader) and can be
+/// exported as Chrome `trace_event` JSON, loadable in Perfetto or
+/// chrome://tracing. Span names follow the `layer.stage.detail` lowercase
+/// dotted convention (enforced by snor_lint's span-metric-name rule).
+///
+/// Cost model:
+///  - disabled (default): one relaxed atomic load per span site, no
+///    allocation, no thread registration;
+///  - enabled: two steady_clock reads plus one uncontended mutex-guarded
+///    ring write per span;
+///  - compiled out (`-DSNOR_TRACE_COMPILED=0`): `SNOR_TRACE_SPAN` expands
+///    to nothing.
+///
+/// Runtime switch: `SNOR_TRACE` environment variable (see
+/// `InitTraceFromEnv`). `SNOR_TRACE=trace.json` enables tracing and writes
+/// the Chrome trace to `trace.json` at process exit; `SNOR_TRACE=1` uses
+/// the default path `trace.json`; unset/empty/`0` keeps tracing off.
+///
+/// This header lives at the bottom of the dependency stack: it must not
+/// include anything from util/ (util links against snor_obs).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#ifndef SNOR_TRACE_COMPILED
+#define SNOR_TRACE_COMPILED 1
+#endif
+
+namespace snor::obs {
+
+/// Span names longer than this are truncated when recorded.
+inline constexpr std::size_t kTraceMaxNameLength = 47;
+
+/// \brief One recorded span (or instant event) in trace order.
+struct TraceEvent {
+  char name[kTraceMaxNameLength + 1] = {};
+  /// Microseconds since the recorder's enable() epoch.
+  std::uint64_t start_us = 0;
+  /// Span duration; 0 for instant events.
+  std::uint64_t dur_us = 0;
+  /// Small sequential id of the recording thread (see CurrentThreadId).
+  std::int32_t tid = 0;
+  /// Nesting depth at record time (outermost span = 0).
+  std::int32_t depth = 0;
+  /// True for point-in-time events (fault fires, markers).
+  bool instant = false;
+};
+
+/// Small, stable, sequential id for the calling thread (1, 2, 3, ...).
+/// Shared by the tracer and the logging prefix so traces and logs
+/// correlate.
+int CurrentThreadId();
+
+namespace internal {
+/// Global runtime switch, read on the span fast path.
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace internal
+
+/// True when tracing is currently enabled (relaxed load; safe anywhere).
+inline bool TraceEnabled() {
+  return internal::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// \brief Process-wide trace recorder: a registry of per-thread ring
+/// buffers plus the export logic.
+class TraceRecorder {
+ public:
+  static TraceRecorder& Global();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Enables recording and resets the time epoch to "now".
+  void Enable();
+
+  /// Disables recording (already-buffered events are kept).
+  void Disable();
+
+  /// Drops every buffered event and clears counters. Thread buffers stay
+  /// registered (live threads hold pointers into the registry).
+  void Reset();
+
+  /// Where `FlushTrace` writes the Chrome trace; set by InitTraceFromEnv.
+  void set_output_path(std::string path);
+  std::string output_path() const;
+
+  /// Ring capacity (events per thread) used for buffers registered after
+  /// the call. Default: 65536.
+  void set_buffer_capacity(std::size_t events);
+
+  /// Records one completed span for the calling thread.
+  void RecordComplete(const char* name, std::uint64_t start_us,
+                      std::uint64_t dur_us, std::int32_t depth);
+
+  /// Records a point-in-time event for the calling thread.
+  void RecordInstant(const char* name);
+
+  /// Microseconds since the last Enable().
+  std::uint64_t NowMicros() const;
+
+  /// Number of threads that have registered a buffer.
+  std::size_t thread_count() const;
+
+  /// Events recorded since the last Reset/Enable (including overwritten).
+  std::uint64_t recorded_count() const;
+
+  /// Events lost to ring overwrite since the last Reset/Enable.
+  std::uint64_t dropped_count() const;
+
+  /// Copies every buffered event, grouped by thread in record order.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Renders the buffered events as Chrome trace_event JSON.
+  std::string ChromeTraceJson() const;
+
+  /// Writes ChromeTraceJson() to `path`; false on IO failure.
+  bool WriteChromeTrace(const std::string& path) const;
+
+ private:
+  struct ThreadBuffer;
+
+  TraceRecorder() = default;
+
+  ThreadBuffer* BufferForThisThread();
+  void Push(const TraceEvent& event);
+
+  mutable std::mutex registry_mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::string output_path_;
+  std::size_t buffer_capacity_ = 65536;
+  std::atomic<std::int64_t> epoch_us_{0};
+  std::atomic<std::uint64_t> recorded_{0};
+};
+
+/// Parses the `SNOR_TRACE` environment variable once: non-empty and not
+/// "0" enables tracing ("1" = default path `trace.json`, anything else is
+/// the output path) and registers an at-exit `FlushTrace`. Safe to call
+/// from multiple places; only the first call does work.
+void InitTraceFromEnv();
+
+/// Writes the trace to the configured output path when tracing is enabled
+/// and a path is set. Returns true when a file was written.
+bool FlushTrace();
+
+/// \brief RAII scoped span. Constructed against a *string literal* (the
+/// pointer must outlive the span); records on destruction.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+#if SNOR_TRACE_COMPILED
+    if (TraceEnabled()) Begin(name);
+#endif
+  }
+
+  ~ScopedSpan() {
+    if (active_) End();
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  void Begin(const char* name);
+  void End();
+
+  const char* name_ = nullptr;
+  std::uint64_t start_us_ = 0;
+  std::int32_t depth_ = 0;
+  bool active_ = false;
+};
+
+/// Records a point-in-time event (e.g. a fault fire) when enabled.
+inline void TraceInstant(const char* name) {
+#if SNOR_TRACE_COMPILED
+  if (TraceEnabled()) TraceRecorder::Global().RecordInstant(name);
+#else
+  (void)name;
+#endif
+}
+
+}  // namespace snor::obs
+
+#define SNOR_OBS_CONCAT_INNER(a, b) a##b
+#define SNOR_OBS_CONCAT(a, b) SNOR_OBS_CONCAT_INNER(a, b)
+
+#if SNOR_TRACE_COMPILED
+/// Opens a scoped trace span named `name` (a `layer.stage.detail` string
+/// literal) that closes at the end of the enclosing scope.
+#define SNOR_TRACE_SPAN(name) \
+  ::snor::obs::ScopedSpan SNOR_OBS_CONCAT(snor_trace_span_, __COUNTER__)(name)
+#else
+#define SNOR_TRACE_SPAN(name) static_cast<void>(0)
+#endif
+
+#endif  // SNOR_OBS_TRACE_H_

@@ -2,7 +2,11 @@
 
 #include <chrono>
 #include <limits>
+#include <string>
 #include <thread>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace snor {
 namespace {
@@ -29,6 +33,36 @@ double UnitDraw(std::uint64_t seed, std::size_t point, std::uint64_t probe) {
   const std::uint64_t h =
       Mix64(seed ^ Mix64(static_cast<std::uint64_t>(point) * 0x632BE59BD9B4E019ULL + probe));
   return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Per-point fire counters and trace-event names, built once ("io-read"
+/// becomes counter `util.fault.io-read.fired` and trace instant
+/// `util.fault.io-read`).
+struct FireInstruments {
+  obs::Counter* counters[kNumPoints];
+  std::string trace_names[kNumPoints];
+};
+
+const FireInstruments& Instruments() {
+  static const FireInstruments instruments = [] {
+    FireInstruments built;
+    for (std::size_t i = 0; i < kNumPoints; ++i) {
+      const std::string base =
+          "util.fault." +
+          std::string(FaultPointName(static_cast<FaultPoint>(i)));
+      built.counters[i] =
+          &obs::MetricsRegistry::Global().counter(base + ".fired");
+      built.trace_names[i] = base;
+    }
+    return built;
+  }();
+  return instruments;
+}
+
+void RecordFaultFire(std::size_t point_index) {
+  const FireInstruments& instruments = Instruments();
+  instruments.counters[point_index]->Increment();
+  obs::TraceInstant(instruments.trace_names[point_index].c_str());
 }
 
 }  // namespace
@@ -90,7 +124,10 @@ bool FaultInjector::ShouldFire(FaultPoint point) {
       state.probes.fetch_add(1, std::memory_order_relaxed);
   const bool fire =
       UnitDraw(state.seed, PointIndex(point), probe) < state.probability;
-  if (fire) state.fires.fetch_add(1, std::memory_order_relaxed);
+  if (fire) {
+    state.fires.fetch_add(1, std::memory_order_relaxed);
+    RecordFaultFire(PointIndex(point));
+  }
   return fire;
 }
 

@@ -1,8 +1,12 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+
+#include "obs/trace.h"
 
 namespace snor {
 namespace {
@@ -28,13 +32,54 @@ const char* Basename(const char* path) {
   return slash ? slash + 1 : path;
 }
 
+/// Monotonic seconds since the first log record of the process.
+double SecondsSinceStart() {
+  static const auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+bool ParseLogLevelEnvOnce() {
+  const char* env = std::getenv("SNOR_LOG_LEVEL");
+  if (env == nullptr || env[0] == '\0') return false;
+  LogLevel level = LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) {
+    level = LogLevel::kDebug;
+  } else if (std::strcmp(env, "info") == 0) {
+    level = LogLevel::kInfo;
+  } else if (std::strcmp(env, "warning") == 0 ||
+             std::strcmp(env, "warn") == 0) {
+    level = LogLevel::kWarning;
+  } else if (std::strcmp(env, "error") == 0) {
+    level = LogLevel::kError;
+  } else {
+    std::fprintf(stderr,
+                 "[WARN  logging] ignoring unknown SNOR_LOG_LEVEL=%s "
+                 "(want debug|info|warning|error)\n",
+                 env);
+    return false;
+  }
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  return true;
+}
+
+/// Applies SNOR_LOG_LEVEL exactly once, before the first threshold read.
+/// A later SetLogLevel still wins (tests rely on that).
+void InitLogLevelFromEnv() {
+  static const bool applied = ParseLogLevelEnvOnce();
+  (void)applied;
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
+  InitLogLevelFromEnv();  // Mark the env as consumed so it can't override.
   g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 LogLevel GetLogLevel() {
+  InitLogLevelFromEnv();
   return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
 }
 
@@ -42,11 +87,14 @@ namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : enabled_(static_cast<int>(level) >=
-               g_log_level.load(std::memory_order_relaxed)),
+               static_cast<int>(GetLogLevel())),
       level_(level) {
   if (enabled_) {
-    stream_ << "[" << LevelTag(level_) << " " << Basename(file) << ":" << line
-            << "] ";
+    char prefix[96];
+    std::snprintf(prefix, sizeof(prefix), "[%9.3fs t%02d %s %s:%d] ",
+                  SecondsSinceStart(), obs::CurrentThreadId(),
+                  LevelTag(level_), Basename(file), line);
+    stream_ << prefix;
   }
 }
 

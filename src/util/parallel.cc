@@ -1,9 +1,12 @@
 #include "util/parallel.h"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <mutex>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/fault.h"
 
 namespace snor {
@@ -16,6 +19,10 @@ int DefaultThreadCount() {
 void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
                  int n_threads) {
   if (n == 0) return;
+  SNOR_TRACE_SPAN("util.parallel.for");
+  static obs::Counter& items_counter =
+      obs::MetricsRegistry::Global().counter("util.parallel.items");
+  items_counter.Increment(n);
   if (n_threads <= 0) n_threads = DefaultThreadCount();
   n_threads = std::min<int>(n_threads, static_cast<int>(n));
 
@@ -29,6 +36,13 @@ void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
     return;
   }
 
+  obs::MetricsRegistry::Global()
+      .gauge("util.parallel.workers")
+      .Set(static_cast<double>(n_threads));
+  static obs::Histogram& queue_wait_us =
+      obs::MetricsRegistry::Global().histogram("util.parallel.queue_wait_us");
+  const auto pool_start = std::chrono::steady_clock::now();
+
   // A throwing worker must not terminate the process (std::thread would
   // call std::terminate on an escaped exception). Capture the first
   // exception, stop handing out new indices, and rethrow on join.
@@ -41,6 +55,12 @@ void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
   workers.reserve(static_cast<std::size_t>(n_threads));
   for (int t = 0; t < n_threads; ++t) {
     workers.emplace_back([&] {
+      // Time from pool launch to this worker picking up its first item —
+      // the thread-spawn/scheduling latency of the pool.
+      queue_wait_us.Record(std::chrono::duration<double, std::micro>(
+                               std::chrono::steady_clock::now() - pool_start)
+                               .count());
+      SNOR_TRACE_SPAN("util.parallel.worker");
       for (;;) {
         if (failed.load(std::memory_order_acquire)) return;
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);

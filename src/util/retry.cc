@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "util/string_util.h"
 
 namespace snor {
@@ -19,8 +20,26 @@ double NextBackoffMillis(double current_ms, const RetryOptions& options) {
   return std::min(next, options.max_backoff_ms);
 }
 
+void RecordRetryAttempt() {
+  static obs::Counter& attempts =
+      obs::MetricsRegistry::Global().counter("util.retry.attempts");
+  attempts.Increment();
+}
+
+void RecordRetryBackoff(double ms) {
+  static obs::Counter& backoffs =
+      obs::MetricsRegistry::Global().counter("util.retry.backoffs");
+  static obs::Histogram& backoff_ms =
+      obs::MetricsRegistry::Global().histogram("util.retry.backoff_ms");
+  backoffs.Increment();
+  backoff_ms.Record(ms);
+}
+
 Status DeadlineError(const RetryOptions& options, int attempts,
                      const Status& last) {
+  static obs::Counter& deadlines =
+      obs::MetricsRegistry::Global().counter("util.retry.deadline_exceeded");
+  deadlines.Increment();
   return Status::DeadlineExceeded(
       StrFormat("deadline of %.1fms exhausted after %d attempt(s); last: %s",
                 options.deadline_ms, attempts, last.ToString().c_str()));

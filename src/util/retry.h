@@ -38,6 +38,11 @@ double NextBackoffMillis(double current_ms, const RetryOptions& options);
 [[nodiscard]] Status DeadlineError(const RetryOptions& options, int attempts,
                                    const Status& last);
 
+/// Metrics hooks (defined in retry.cc so the template does not pull in
+/// the obs headers): attempts, backoff sleeps, and total backoff time.
+void RecordRetryAttempt();
+void RecordRetryBackoff(double ms);
+
 template <typename R>
 [[nodiscard]] Status StatusOf(const R& result) {
   if constexpr (std::is_same_v<R, Status>) {
@@ -59,6 +64,7 @@ template <typename Fn>
   double backoff_ms = options.initial_backoff_ms;
   const int attempts = options.max_attempts < 1 ? 1 : options.max_attempts;
   for (int attempt = 1;; ++attempt) {
+    internal::RecordRetryAttempt();
     auto outcome = fn();
     const Status status = internal::StatusOf(outcome);
     if (status.ok() || !IsRetryable(status) || attempt >= attempts) {
@@ -68,6 +74,7 @@ template <typename Fn>
         clock.ElapsedMillis() + backoff_ms > options.deadline_ms) {
       return internal::DeadlineError(options, attempt, status);
     }
+    internal::RecordRetryBackoff(backoff_ms);
     internal::SleepForMillis(backoff_ms);
     backoff_ms = internal::NextBackoffMillis(backoff_ms, options);
   }

@@ -1,0 +1,241 @@
+// Unit tests for the metrics registry (src/obs/metrics.h): bucket math,
+// percentile estimation, registry create-on-demand semantics, and the
+// text/JSON dumpers.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace snor::obs {
+namespace {
+
+TEST(ObsMetricsTest, MetricNameValidation) {
+  EXPECT_TRUE(IsValidMetricName("core.preprocess"));
+  EXPECT_TRUE(IsValidMetricName("util.fault.io-read.fired"));
+  EXPECT_TRUE(IsValidMetricName("features.sift.latency_us"));
+  EXPECT_TRUE(IsValidMetricName("a.b2"));
+
+  EXPECT_FALSE(IsValidMetricName(""));
+  EXPECT_FALSE(IsValidMetricName("core"));           // No dot.
+  EXPECT_FALSE(IsValidMetricName("Core.preprocess"));  // Uppercase.
+  EXPECT_FALSE(IsValidMetricName("core..x"));        // Empty segment.
+  EXPECT_FALSE(IsValidMetricName(".core.x"));        // Leading dot.
+  EXPECT_FALSE(IsValidMetricName("core.x."));        // Trailing dot.
+  EXPECT_FALSE(IsValidMetricName("core x.y"));       // Space.
+}
+
+TEST(ObsMetricsTest, CounterIncrementsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsMetricsTest, GaugeSetAddReset) {
+  Gauge g;
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.Add(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  g.Add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(ObsMetricsTest, HistogramBucketMathIsExact) {
+  Histogram h({10.0, 20.0});
+  // Bounds are inclusive upper bounds; the third bucket is overflow.
+  h.Record(5.0);
+  h.Record(10.0);
+  h.Record(15.0);
+  h.Record(25.0);
+  h.Record(100.0);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 2u);  // Overflow.
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 155.0);
+  EXPECT_DOUBLE_EQ(h.min(), 5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+}
+
+TEST(ObsMetricsTest, HistogramPercentiles) {
+  std::vector<double> bounds;
+  for (int i = 1; i <= 100; ++i) bounds.push_back(static_cast<double>(i));
+  Histogram h(std::move(bounds));
+  for (int v = 1; v <= 100; ++v) h.Record(static_cast<double>(v));
+
+  // One observation per unit bucket: percentiles land within one bucket
+  // width of the exact order statistic.
+  EXPECT_NEAR(h.Percentile(50.0), 50.0, 1.5);
+  EXPECT_NEAR(h.Percentile(95.0), 95.0, 1.5);
+  EXPECT_NEAR(h.Percentile(99.0), 99.0, 1.5);
+  // Percentiles are clamped to the observed range.
+  EXPECT_GE(h.Percentile(0.0), 1.0);
+  EXPECT_LE(h.Percentile(100.0), 100.0);
+
+  const Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_DOUBLE_EQ(snap.sum, 5050.0);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 100.0);
+  EXPECT_NEAR(snap.p50, 50.0, 1.5);
+  EXPECT_NEAR(snap.p95, 95.0, 1.5);
+  EXPECT_NEAR(snap.p99, 99.0, 1.5);
+}
+
+TEST(ObsMetricsTest, HistogramEmptyReportsZeros) {
+  Histogram h({1.0, 2.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 0.0);
+  const Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.p99, 0.0);
+}
+
+TEST(ObsMetricsTest, HistogramSingleValueClampsAllPercentiles) {
+  Histogram h(DefaultLatencyBoundsUs());
+  h.Record(42.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 42.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(95.0), 42.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99.0), 42.0);
+}
+
+TEST(ObsMetricsTest, HistogramResetClearsEverything) {
+  Histogram h({10.0});
+  h.Record(3.0);
+  h.Record(30.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.bucket_count(0), 0u);
+  EXPECT_EQ(h.bucket_count(1), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(ObsMetricsTest, DefaultLatencyBoundsAreAscending) {
+  const std::vector<double> bounds = DefaultLatencyBoundsUs();
+  ASSERT_GE(bounds.size(), 2u);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]) << "index " << i;
+  }
+}
+
+TEST(ObsMetricsTest, RegistryReturnsStableReferences) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("test.registry.stable");
+  a.Increment(7);
+  Counter& b = registry.counter("test.registry.stable");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 7u);
+
+  Histogram& h1 = registry.histogram("test.registry.hist", {1.0, 2.0});
+  // Second lookup ignores the (different) bounds: same object.
+  Histogram& h2 = registry.histogram("test.registry.hist", {99.0});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds().size(), 2u);
+  // The bare overload also resolves to the existing histogram.
+  EXPECT_EQ(&registry.histogram("test.registry.hist"), &h1);
+}
+
+TEST(ObsMetricsTest, ResetAllZeroesButKeepsRegistrations) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("test.reset.count");
+  Gauge& g = registry.gauge("test.reset.gauge");
+  Histogram& h = registry.histogram("test.reset.lat_us");
+  c.Increment(5);
+  g.Set(1.5);
+  h.Record(10.0);
+
+  registry.ResetAll();
+
+  // Cached references stay valid and read zero.
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  // Entries survive the reset: the dump still lists them.
+  const std::string text = registry.DumpText();
+  EXPECT_NE(text.find("test.reset.count"), std::string::npos);
+  EXPECT_NE(text.find("test.reset.gauge"), std::string::npos);
+  EXPECT_NE(text.find("test.reset.lat_us"), std::string::npos);
+}
+
+TEST(ObsMetricsTest, DumpTextContainsValues) {
+  MetricsRegistry registry;
+  registry.counter("test.dump.alpha").Increment(3);
+  registry.gauge("test.dump.beta").Set(0.25);
+  registry.histogram("test.dump.lat_us").Record(100.0);
+  const std::string text = registry.DumpText();
+  EXPECT_NE(text.find("counter test.dump.alpha = 3"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("test.dump.beta"), std::string::npos);
+  EXPECT_NE(text.find("count=1"), std::string::npos);
+}
+
+TEST(ObsMetricsTest, DumpJsonIsValidAndComplete) {
+  MetricsRegistry registry;
+  registry.counter("test.json.events").Increment(11);
+  registry.gauge("test.json.level").Set(2.5);
+  Histogram& h = registry.histogram("test.json.lat_us");
+  h.Record(5.0);
+  h.Record(15.0);
+
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(registry.DumpJson(), &root, &error)) << error;
+  ASSERT_TRUE(root.is_object());
+
+  const JsonValue* counters = root.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* events = counters->Find("test.json.events");
+  ASSERT_NE(events, nullptr);
+  EXPECT_DOUBLE_EQ(events->number_value, 11.0);
+
+  const JsonValue* gauges = root.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  const JsonValue* level = gauges->Find("test.json.level");
+  ASSERT_NE(level, nullptr);
+  EXPECT_DOUBLE_EQ(level->number_value, 2.5);
+
+  const JsonValue* histograms = root.Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const JsonValue* lat = histograms->Find("test.json.lat_us");
+  ASSERT_NE(lat, nullptr);
+  const JsonValue* count = lat->Find("count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_DOUBLE_EQ(count->number_value, 2.0);
+  EXPECT_NE(lat->Find("p50"), nullptr);
+  EXPECT_NE(lat->Find("p95"), nullptr);
+  EXPECT_NE(lat->Find("p99"), nullptr);
+  EXPECT_NE(lat->Find("sum"), nullptr);
+}
+
+TEST(ObsMetricsTest, ScopedLatencyRecordsOneSample) {
+  Histogram h(DefaultLatencyBoundsUs());
+  {
+    const ScopedLatencyUs latency(h);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.max(), 0.0);
+}
+
+TEST(ObsMetricsTest, GlobalRegistryIsASingleton) {
+  MetricsRegistry& a = MetricsRegistry::Global();
+  MetricsRegistry& b = MetricsRegistry::Global();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace snor::obs

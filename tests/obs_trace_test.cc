@@ -1,0 +1,312 @@
+// Unit tests for the trace recorder (src/obs/trace.h): span nesting and
+// ordering, ring-buffer overwrite, disabled-mode cost (no registration,
+// no allocation), Chrome trace JSON round-trip, and an end-to-end trace
+// of the feature pipeline.
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <new>  // NOLINT(raw-new-delete): std::bad_alloc for the counting allocator.
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/feature_cache.h"
+#include "data/dataset.h"
+#include "obs/json.h"
+#include "obs/trace.h"
+
+// Allocation counter used by DisabledSpansAllocateNothing: counts every
+// global operator new in this test binary.
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+}  // namespace
+
+// GCC pairs the replaced operator delete's std::free against allocation
+// sites it inlines before noticing operator new is replaced too; the pair
+// is in fact matched (both sides use malloc/free).
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* ptr = std::malloc(size);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void operator delete(void* ptr) noexcept {  // NOLINT(raw-new-delete)
+  std::free(ptr);
+}
+
+void operator delete(void* ptr, std::size_t) noexcept {  // NOLINT(raw-new-delete)
+  std::free(ptr);
+}
+
+namespace snor::obs {
+namespace {
+
+// Every test starts from a disabled, empty recorder and leaves it that
+// way (the recorder is a process-wide singleton).
+class ObsTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceRecorder::Global().Disable();
+    TraceRecorder::Global().Reset();
+  }
+  void TearDown() override {
+    TraceRecorder::Global().Disable();
+    TraceRecorder::Global().Reset();
+  }
+};
+
+TEST_F(ObsTraceTest, DisabledRecordsNothingAndRegistersNoThreads) {
+  auto& recorder = TraceRecorder::Global();
+  ASSERT_FALSE(TraceEnabled());
+  const std::size_t threads_before = recorder.thread_count();
+
+  std::thread worker([] {
+    for (int i = 0; i < 100; ++i) {
+      SNOR_TRACE_SPAN("test.disabled.span");
+      TraceInstant("test.disabled.mark");
+    }
+  });
+  worker.join();
+
+  EXPECT_EQ(recorder.recorded_count(), 0u);
+  EXPECT_EQ(recorder.thread_count(), threads_before);
+  EXPECT_TRUE(recorder.Snapshot().empty());
+}
+
+TEST_F(ObsTraceTest, DisabledSpansAllocateNothing) {
+  ASSERT_FALSE(TraceEnabled());
+  const std::size_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    SNOR_TRACE_SPAN("test.disabled.noalloc");
+    TraceInstant("test.disabled.noalloc");
+  }
+  const std::size_t allocs_after =
+      g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(allocs_after, allocs_before);
+}
+
+TEST_F(ObsTraceTest, SpanNestingDepthsAndOrdering) {
+  auto& recorder = TraceRecorder::Global();
+  recorder.Enable();
+  {
+    SNOR_TRACE_SPAN("test.nest.outer");
+    {
+      SNOR_TRACE_SPAN("test.nest.inner1");
+    }
+    {
+      SNOR_TRACE_SPAN("test.nest.inner2");
+    }
+  }
+  recorder.Disable();
+
+  const std::vector<TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  // Spans record at scope exit, so the inner spans come first.
+  EXPECT_STREQ(events[0].name, "test.nest.inner1");
+  EXPECT_STREQ(events[1].name, "test.nest.inner2");
+  EXPECT_STREQ(events[2].name, "test.nest.outer");
+  EXPECT_EQ(events[0].depth, 1);
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_EQ(events[2].depth, 0);
+  // All on the same thread, and the outer span contains the inner ones.
+  EXPECT_EQ(events[0].tid, events[2].tid);
+  EXPECT_LE(events[2].start_us, events[0].start_us);
+  EXPECT_LE(events[0].start_us + events[0].dur_us,
+            events[2].start_us + events[2].dur_us);
+  EXPECT_LE(events[0].start_us + events[0].dur_us, events[1].start_us);
+  for (const TraceEvent& e : events) EXPECT_FALSE(e.instant);
+}
+
+TEST_F(ObsTraceTest, InstantEventsHaveZeroDuration) {
+  auto& recorder = TraceRecorder::Global();
+  recorder.Enable();
+  TraceInstant("test.instant.mark");
+  recorder.Disable();
+
+  const std::vector<TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "test.instant.mark");
+  EXPECT_TRUE(events[0].instant);
+  EXPECT_EQ(events[0].dur_us, 0u);
+}
+
+TEST_F(ObsTraceTest, LongNamesAreTruncated) {
+  auto& recorder = TraceRecorder::Global();
+  recorder.Enable();
+  // 56 characters; the recorder keeps the first kTraceMaxNameLength.
+  const char* long_name =
+      "test.truncation.aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa";
+  TraceInstant(long_name);
+  recorder.Disable();
+
+  const std::vector<TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  const std::string recorded = events[0].name;
+  EXPECT_EQ(recorded.size(), kTraceMaxNameLength);
+  EXPECT_EQ(recorded, std::string(long_name).substr(0, kTraceMaxNameLength));
+}
+
+TEST_F(ObsTraceTest, RingOverwriteKeepsNewestAndCountsDrops) {
+  auto& recorder = TraceRecorder::Global();
+  // Capacity applies to buffers registered after the call, so record
+  // from a fresh thread.
+  recorder.set_buffer_capacity(8);
+  recorder.Enable();
+  std::thread worker([] {
+    for (int i = 0; i < 20; ++i) {
+      TraceInstant("test.ring.mark");
+    }
+  });
+  worker.join();
+  recorder.Disable();
+  recorder.set_buffer_capacity(65536);  // Restore the default.
+
+  EXPECT_EQ(recorder.recorded_count(), 20u);
+  EXPECT_EQ(recorder.dropped_count(), 12u);
+  const std::vector<TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  for (const TraceEvent& e : events) EXPECT_STREQ(e.name, "test.ring.mark");
+}
+
+TEST_F(ObsTraceTest, ResetDropsEventsButKeepsThreadBuffers) {
+  auto& recorder = TraceRecorder::Global();
+  recorder.Enable();
+  TraceInstant("test.reset.mark");
+  const std::size_t threads = recorder.thread_count();
+  ASSERT_GE(threads, 1u);
+  recorder.Reset();
+  EXPECT_EQ(recorder.recorded_count(), 0u);
+  EXPECT_EQ(recorder.dropped_count(), 0u);
+  EXPECT_TRUE(recorder.Snapshot().empty());
+  EXPECT_EQ(recorder.thread_count(), threads);
+  recorder.Disable();
+}
+
+TEST_F(ObsTraceTest, ChromeTraceJsonRoundTrips) {
+  auto& recorder = TraceRecorder::Global();
+  recorder.Enable();
+  {
+    SNOR_TRACE_SPAN("test.chrome.outer");
+    SNOR_TRACE_SPAN("test.chrome.inner");
+  }
+  TraceInstant("test.chrome.mark");
+  std::thread worker([] {
+    SNOR_TRACE_SPAN("test.chrome.worker");
+  });
+  worker.join();
+  recorder.Disable();
+
+  const std::string json = recorder.ChromeTraceJson();
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(json, &root, &error)) << error;
+  ASSERT_TRUE(root.is_object());
+
+  const JsonValue* events = root.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  std::size_t complete = 0;
+  std::size_t instant = 0;
+  std::size_t metadata = 0;
+  std::set<std::string> names;
+  for (const JsonValue& event : events->array_items) {
+    const JsonValue* ph = event.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    const JsonValue* name = event.Find("name");
+    ASSERT_NE(name, nullptr);
+    if (ph->string_value == "X") {
+      ++complete;
+      names.insert(name->string_value);
+      const JsonValue* dur = event.Find("dur");
+      ASSERT_NE(dur, nullptr);
+      EXPECT_GE(dur->number_value, 0.0);
+    } else if (ph->string_value == "i") {
+      ++instant;
+      names.insert(name->string_value);
+    } else if (ph->string_value == "M") {
+      ++metadata;
+      EXPECT_EQ(name->string_value, "thread_name");
+    }
+  }
+  EXPECT_EQ(complete, 3u);
+  EXPECT_EQ(instant, 1u);
+  EXPECT_GE(metadata, 2u);  // Main thread + worker thread.
+  EXPECT_TRUE(names.count("test.chrome.outer"));
+  EXPECT_TRUE(names.count("test.chrome.inner"));
+  EXPECT_TRUE(names.count("test.chrome.mark"));
+  EXPECT_TRUE(names.count("test.chrome.worker"));
+
+  const JsonValue* other = root.Find("otherData");
+  ASSERT_NE(other, nullptr);
+  const JsonValue* recorded = other->Find("recorded");
+  ASSERT_NE(recorded, nullptr);
+  EXPECT_DOUBLE_EQ(recorded->number_value, 4.0);
+}
+
+TEST_F(ObsTraceTest, WriteChromeTraceProducesLoadableFile) {
+  auto& recorder = TraceRecorder::Global();
+  recorder.Enable();
+  TraceInstant("test.file.mark");
+  recorder.Disable();
+
+  const std::string path =
+      ::testing::TempDir() + "snor_obs_trace_test_trace.json";
+  ASSERT_TRUE(recorder.WriteChromeTrace(path));
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(buffer.str(), &root, &error)) << error;
+  EXPECT_NE(root.Find("traceEvents"), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTraceTest, EndToEndPipelineTraceCoversInstrumentedStages) {
+  DatasetOptions dopts;
+  dopts.seed = 13;
+  const Dataset dataset = MakeShapeNetSet2(dopts);
+  ASSERT_GT(dataset.size(), 0u);
+
+  auto& recorder = TraceRecorder::Global();
+  recorder.Enable();
+  const std::vector<ImageFeatures> features =
+      ComputeFeatures(dataset, FeatureOptions{});
+  recorder.Disable();
+  ASSERT_EQ(features.size(), dataset.size());
+
+  std::set<std::string> names;
+  for (const TraceEvent& e : recorder.Snapshot()) names.insert(e.name);
+  EXPECT_TRUE(names.count("core.feature_cache.build")) << "spans: " << names.size();
+  EXPECT_TRUE(names.count("core.preprocess"));
+  EXPECT_TRUE(names.count("features.histogram.compute"));
+  EXPECT_TRUE(names.count("util.parallel.for"));
+}
+
+TEST_F(ObsTraceTest, ThreadIdsAreSmallAndStable) {
+  const int id1 = CurrentThreadId();
+  const int id2 = CurrentThreadId();
+  EXPECT_EQ(id1, id2);
+  EXPECT_GE(id1, 1);
+
+  int other = 0;
+  std::thread worker([&other] { other = CurrentThreadId(); });
+  worker.join();
+  EXPECT_NE(other, 0);
+  EXPECT_NE(other, id1);
+}
+
+}  // namespace
+}  // namespace snor::obs

@@ -28,6 +28,12 @@
 //                       printed reports (bench/, examples/, report_io,
 //                       table, csv): iteration order would make report
 //                       output non-deterministic.
+//   span-metric-name    A string literal passed to SNOR_TRACE_SPAN,
+//                       TraceInstant, or a registry .counter/.gauge/
+//                       .histogram call does not follow the lowercase
+//                       dotted `layer.stage.detail` naming convention
+//                       (src/obs). Consistent names keep Perfetto
+//                       tracks and metric dumps greppable.
 //
 // Suppression: `// NOLINT`, `// NOLINT(rule)` on the offending line or
 // `// NOLINTNEXTLINE(rule)` on the line above. Intentional Status
@@ -516,6 +522,72 @@ void CheckBannedConstructs(const SourceFile& file, std::vector<Violation>* out) 
   }
 }
 
+// ------------------------------------------------------ span/metric names --
+
+// Call sites whose first string-literal argument is a span or metric name
+// subject to the `layer.stage.detail` convention. The literal must open
+// directly after `(` (the project's clang-format style), which also keeps
+// dynamically-built names (fault-point instrumentation) out of scope.
+constexpr std::string_view kObsNamePatterns[] = {
+    "SNOR_TRACE_SPAN(\"", "TraceInstant(\"", ".counter(\"", ".gauge(\"",
+    ".histogram(\""};
+
+// Lowercase dotted name: >= 2 non-empty dot-separated segments of
+// [a-z0-9_-] characters. Mirrors obs::IsValidMetricName.
+bool IsValidObsName(std::string_view name) {
+  if (name.empty() || name.front() == '.' || name.back() == '.') return false;
+  bool has_dot = false;
+  char prev = '\0';
+  for (char c : name) {
+    if (c == '.') {
+      if (prev == '.') return false;
+      has_dot = true;
+    } else if (!std::islower(static_cast<unsigned char>(c)) &&
+               !std::isdigit(static_cast<unsigned char>(c)) && c != '_' &&
+               c != '-') {
+      return false;
+    }
+    prev = c;
+  }
+  return has_dot;
+}
+
+void CheckSpanMetricNames(const SourceFile& file, std::vector<Violation>* out) {
+  for (std::size_t i = 0; i < file.raw.size(); ++i) {
+    // Names live inside string literals, which the code view blanks, so
+    // scan the raw line — but require the call prefix to survive in the
+    // code view at the same column, which rejects matches inside
+    // comments and nested string literals.
+    const std::string& raw = file.raw[i];
+    const std::string& code = i < file.code.size() ? file.code[i] : raw;
+    const int lineno = static_cast<int>(i) + 1;
+    for (std::string_view pattern : kObsNamePatterns) {
+      for (std::size_t pos = raw.find(pattern); pos != std::string::npos;
+           pos = raw.find(pattern, pos + 1)) {
+        if (pattern[0] != '.' && pos > 0 && IsIdentChar(raw[pos - 1])) {
+          continue;  // Substring of a longer identifier.
+        }
+        const std::size_t call_len = pattern.size() - 1;  // Sans quote.
+        if (pos + call_len > code.size() ||
+            code.compare(pos, call_len, pattern.substr(0, call_len)) != 0) {
+          continue;  // Inside a comment or a string literal.
+        }
+        const std::size_t name_begin = pos + pattern.size();
+        const std::size_t name_end = raw.find('"', name_begin);
+        if (name_end == std::string::npos) continue;
+        const std::string name = raw.substr(name_begin, name_end - name_begin);
+        if (IsValidObsName(name)) continue;
+        if (file.Suppressed(lineno, "span-metric-name")) continue;
+        out->push_back(
+            {file.path, lineno, "span-metric-name",
+             "span/metric name `" + name +
+                 "` must be lowercase dotted `layer.stage.detail` "
+                 "([a-z0-9_-] segments, at least one dot)"});
+      }
+    }
+  }
+}
+
 void CheckIncludeGuard(const SourceFile& file, std::vector<Violation>* out) {
   if (!file.IsHeader()) return;
   if (file.Suppressed(1, "include-guard")) return;
@@ -721,6 +793,7 @@ void CheckFile(const SourceFile& file, const std::set<std::string>& registry,
   CheckIncludeGuard(file, out);
   CheckMissingNodiscard(file, out);
   CheckDiscardedCalls(file, registry, out);
+  CheckSpanMetricNames(file, out);
 }
 
 bool IsSourcePath(const fs::path& p) {

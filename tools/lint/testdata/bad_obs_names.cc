@@ -1,0 +1,33 @@
+// Fixture for the span-metric-name rule: names passed to the tracing
+// macros and the metrics registry must be lowercase dotted
+// `layer.stage.detail` identifiers.
+// LINT-AS: src/obs/fixture.cc
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fixture {
+
+void Spans() {
+  SNOR_TRACE_SPAN("core.preprocess.crop");
+  SNOR_TRACE_SPAN("BadCamelCase.span");  // EXPECT-LINT: span-metric-name
+  SNOR_TRACE_SPAN("nodots");  // EXPECT-LINT: span-metric-name
+  SNOR_TRACE_SPAN("core..double");  // EXPECT-LINT: span-metric-name
+  SNOR_TRACE_SPAN(".leading.dot");  // EXPECT-LINT: span-metric-name
+  snor::obs::TraceInstant("util.fault.io-read");
+  snor::obs::TraceInstant("trailing.dot.");  // EXPECT-LINT: span-metric-name
+}
+
+void Metrics() {
+  auto& registry = snor::obs::MetricsRegistry::Global();
+  registry.counter("core.classify.items").Increment();
+  registry.counter("Core.Classify.Items").Increment();  // EXPECT-LINT: span-metric-name
+  registry.gauge("nn.xcorr.loss").Set(0.5);
+  registry.gauge("nn xcorr.loss").Set(0.5);  // EXPECT-LINT: span-metric-name
+  registry.histogram("features.sift.latency_us").Record(1.0);
+  registry.histogram("has space.in.name").Record(1.0);  // EXPECT-LINT: span-metric-name
+  // Deliberate exceptions are suppressible like every other rule:
+  registry.counter("Legacy.Name").Increment();  // NOLINT(span-metric-name)
+}
+
+}  // namespace fixture

@@ -31,6 +31,9 @@ cmake --build --preset check -j
 ctest --preset check -j
 ./build-check/tools/lint/snor_lint --root .
 
+echo "== trace-smoke: quick bench with tracing + telemetry validation =="
+ctest --test-dir build-check -R TraceSmoke --output-on-failure
+
 if [[ $run_asan -eq 1 ]]; then
   echo "== asan: AddressSanitizer + UBSan =="
   cmake --preset asan

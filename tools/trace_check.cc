@@ -1,0 +1,207 @@
+// snor_trace_check: validates the observability artifacts the benches
+// emit — a Chrome trace_event JSON file (SNOR_TRACE=...) and, optionally,
+// a BENCH_<name>.json telemetry file (EmitBenchJson).
+//
+// Usage:
+//   snor_trace_check TRACE.json [--min-spans N]
+//                    [--require-prefix PREFIX]...
+//                    [--bench-json BENCH.json]
+//
+// Checks, all of which must pass (exit 0; any failure exits 1):
+//   - the trace parses as JSON and has a non-empty `traceEvents` array;
+//   - every event carries name/ph/pid/tid, complete events ("X") carry
+//     ts and dur;
+//   - at least `--min-spans` distinct span names appear (default 1);
+//   - every `--require-prefix` matches at least one span name (use one
+//     per instrumented layer, e.g. `--require-prefix core.`);
+//   - with `--bench-json`, the telemetry file parses and carries the
+//     `bench`, `config`, `results` and `metrics` keys.
+//
+// Used by the TraceSmoke ctest (tools/trace_smoke.sh) and handy
+// standalone when adding new instrumentation.
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+// Returns the number of failed checks on the trace file.
+int CheckTrace(const std::string& path, std::size_t min_spans,
+               const std::vector<std::string>& required_prefixes) {
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    std::fprintf(stderr, "trace_check: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  snor::obs::JsonValue root;
+  std::string error;
+  if (!snor::obs::ParseJson(text, &root, &error)) {
+    std::fprintf(stderr, "trace_check: %s: invalid JSON: %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  const snor::obs::JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::fprintf(stderr, "trace_check: %s: no traceEvents array\n",
+                 path.c_str());
+    return 1;
+  }
+
+  int failures = 0;
+  std::set<std::string> span_names;
+  std::size_t complete = 0;
+  std::size_t instants = 0;
+  for (const snor::obs::JsonValue& event : events->array_items) {
+    const snor::obs::JsonValue* name = event.Find("name");
+    const snor::obs::JsonValue* ph = event.Find("ph");
+    const snor::obs::JsonValue* pid = event.Find("pid");
+    const snor::obs::JsonValue* tid = event.Find("tid");
+    if (name == nullptr || !name->is_string() || ph == nullptr ||
+        !ph->is_string() || pid == nullptr || tid == nullptr) {
+      std::fprintf(stderr, "trace_check: event missing name/ph/pid/tid\n");
+      ++failures;
+      continue;
+    }
+    if (ph->string_value == "X") {
+      ++complete;
+      span_names.insert(name->string_value);
+      if (event.Find("ts") == nullptr || event.Find("dur") == nullptr) {
+        std::fprintf(stderr, "trace_check: complete event `%s` lacks ts/dur\n",
+                     name->string_value.c_str());
+        ++failures;
+      }
+    } else if (ph->string_value == "i") {
+      ++instants;
+      span_names.insert(name->string_value);
+    }
+  }
+
+  if (complete == 0) {
+    std::fprintf(stderr, "trace_check: %s has no complete (\"X\") spans\n",
+                 path.c_str());
+    ++failures;
+  }
+  if (span_names.size() < min_spans) {
+    std::fprintf(stderr,
+                 "trace_check: %zu distinct span name(s), need >= %zu\n",
+                 span_names.size(), min_spans);
+    ++failures;
+  }
+  for (const std::string& prefix : required_prefixes) {
+    bool found = false;
+    for (const std::string& name : span_names) {
+      if (name.compare(0, prefix.size(), prefix) == 0) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr,
+                   "trace_check: no span with required prefix `%s`\n",
+                   prefix.c_str());
+      ++failures;
+    }
+  }
+
+  std::printf(
+      "trace_check: %s: %zu event(s), %zu complete, %zu instant, "
+      "%zu distinct name(s)\n",
+      path.c_str(), events->array_items.size(), complete, instants,
+      span_names.size());
+  return failures;
+}
+
+// Returns the number of failed checks on the bench telemetry file.
+int CheckBenchJson(const std::string& path) {
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    std::fprintf(stderr, "trace_check: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  snor::obs::JsonValue root;
+  std::string error;
+  if (!snor::obs::ParseJson(text, &root, &error)) {
+    std::fprintf(stderr, "trace_check: %s: invalid JSON: %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  int failures = 0;
+  for (const char* key : {"bench", "config", "results", "metrics"}) {
+    if (root.Find(key) == nullptr) {
+      std::fprintf(stderr, "trace_check: %s: missing key `%s`\n",
+                   path.c_str(), key);
+      ++failures;
+    }
+  }
+  const snor::obs::JsonValue* metrics = root.Find("metrics");
+  if (metrics != nullptr &&
+      (!metrics->is_object() || metrics->Find("histograms") == nullptr)) {
+    std::fprintf(stderr,
+                 "trace_check: %s: `metrics` lacks a histograms object\n",
+                 path.c_str());
+    ++failures;
+  }
+  std::printf("trace_check: %s: telemetry OK\n", path.c_str());
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string bench_json;
+  std::vector<std::string> required_prefixes;
+  std::size_t min_spans = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--require-prefix" && i + 1 < argc) {
+      required_prefixes.push_back(argv[++i]);
+    } else if (arg == "--min-spans" && i + 1 < argc) {
+      min_spans = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (arg == "--bench-json" && i + 1 < argc) {
+      bench_json = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: snor_trace_check TRACE.json [--min-spans N]\n"
+          "       [--require-prefix PREFIX]... [--bench-json BENCH.json]\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "trace_check: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else if (trace_path.empty()) {
+      trace_path = arg;
+    } else {
+      std::fprintf(stderr, "trace_check: unexpected argument %s\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (trace_path.empty()) {
+    std::fprintf(stderr, "trace_check: no trace file given (try --help)\n");
+    return 2;
+  }
+
+  int failures = CheckTrace(trace_path, min_spans, required_prefixes);
+  if (!bench_json.empty()) failures += CheckBenchJson(bench_json);
+  if (failures > 0) {
+    std::fprintf(stderr, "trace_check: %d check(s) failed\n", failures);
+    return 1;
+  }
+  std::printf("trace_check: all checks passed\n");
+  return 0;
+}

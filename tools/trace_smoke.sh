@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Trace smoke test (registered as the TraceSmoke ctest): runs a quick
+# table bench with tracing enabled, then validates that
+#   - the Chrome trace parses and covers every instrumented layer
+#     (bench., core., features., util.) with at least 5 distinct spans,
+#   - the BENCH_<name>.json telemetry file is well-formed.
+#
+# Usage: trace_smoke.sh BENCH_BINARY TRACE_CHECK_BINARY WORKDIR
+set -euo pipefail
+
+bench="$1"
+checker="$2"
+workdir="$3"
+
+rm -rf "$workdir"
+mkdir -p "$workdir"
+cd "$workdir"
+
+bench_name="$(basename "$bench")"
+SNOR_QUICK=1 SNOR_TRACE="$workdir/trace.json" "$bench" > bench.log
+
+"$checker" trace.json \
+  --min-spans 5 \
+  --require-prefix bench. \
+  --require-prefix core. \
+  --require-prefix features. \
+  --require-prefix util. \
+  --bench-json "BENCH_${bench_name}.json"
