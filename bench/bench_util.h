@@ -3,6 +3,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/feature_store.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/table.h"
@@ -122,6 +124,48 @@ inline bool EmitBenchJson(const std::string& name,
   std::fclose(out);
   if (ok) std::printf("[telemetry: %s]\n", path.c_str());
   return ok;
+}
+
+/// Extracts `--feature-store <dir>` from the argument list (empty string
+/// when absent). Table benches pass the directory to `BankFeatures` so a
+/// second invocation loads the persisted feature banks (the warm path)
+/// instead of re-extracting everything.
+inline std::string FeatureStoreDirFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--feature-store") == 0) return argv[i + 1];
+  }
+  return {};
+}
+
+/// Store-backed feature acquisition for one dataset: loads
+/// `<store_dir>/<bank>.fst` when it matches the context's extraction
+/// options, otherwise materialises the dataset (the provider is only
+/// invoked on a miss, so a hit skips rendering), computes the features,
+/// and persists them for the next run. `white_background` selects the
+/// same preprocessing options the context uses for that dataset.
+[[nodiscard]] inline Result<std::vector<ImageFeatures>> BankFeatures(
+    ExperimentContext& context, const std::string& store_dir,
+    const std::string& bank, const serve::DatasetProvider& dataset,
+    bool white_background) {
+  return serve::LoadOrComputeFeatures(
+      store_dir + "/" + bank + ".fst", dataset,
+      context.FeatureOptionsFor(white_background));
+}
+
+/// Records the store hit/miss counters and the feature-acquisition time
+/// in the telemetry results, so `BENCH_*.json` captures the cold-vs-warm
+/// trajectory across invocations.
+inline void RecordStoreTelemetry(BenchResults* telemetry, bool store_enabled,
+                                 double feature_s) {
+  auto& registry = obs::MetricsRegistry::Global();
+  telemetry->emplace_back("store_enabled", store_enabled ? 1.0 : 0.0);
+  telemetry->emplace_back(
+      "store_hits",
+      static_cast<double>(registry.counter("serve.store.hit").value()));
+  telemetry->emplace_back(
+      "store_misses",
+      static_cast<double>(registry.counter("serve.store.miss").value()));
+  telemetry->emplace_back("feature_acquisition_s", feature_s);
 }
 
 /// Appends the four class-wise metric rows (Accuracy, Precision, Recall,

@@ -5,10 +5,12 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "serve/batch_engine.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace snor;
+  const std::string store_dir = bench::FeatureStoreDirFromArgs(argc, argv);
   bench::PrintHeader("Table 8",
                      "Class-wise results, hybrid matching (SNS2 v. SNS1)");
   SNOR_TRACE_SPAN("bench.table8_hybrid_sns");
@@ -16,13 +18,39 @@ int main() {
   bench::BenchResults telemetry;
 
   ExperimentContext context(bench::DefaultConfig());
-  const auto& inputs = context.Sns2Features();
-  const auto& gallery = context.Sns1Features();
+  const bool use_store = !store_dir.empty();
+  Stopwatch feature_sw;
+  std::vector<ImageFeatures> sns1_bank, sns2_bank;
+  if (use_store) {
+    sns1_bank = bench::BankFeatures(
+                    context, store_dir, "sns1",
+                    [&]() -> const Dataset& { return context.Sns1(); },
+                    /*white_background=*/true)
+                    .value();
+    sns2_bank = bench::BankFeatures(
+                    context, store_dir, "sns2",
+                    [&]() -> const Dataset& { return context.Sns2(); },
+                    /*white_background=*/true)
+                    .value();
+  } else {
+    (void)context.Sns1Features();
+    (void)context.Sns2Features();
+  }
+  const double feature_s = feature_sw.ElapsedSeconds();
+  const auto& inputs = use_store ? sns2_bank : context.Sns2Features();
+  const auto& gallery = use_store ? sns1_bank : context.Sns1Features();
+  serve::WarmRunOptions warm_options;
+  warm_options.baseline_seed = context.config().seed;
 
   TablePrinter table(bench::ClasswiseHeader());
   const auto specs = Table2Approaches();
   for (std::size_t i = 8; i < 11; ++i) {
-    const EvalReport report = context.RunApproach(specs[i], inputs, gallery).value();
+    const EvalReport report =
+        (use_store
+             ? serve::RunApproachBatched(specs[i], inputs, gallery,
+                                         warm_options)
+             : context.RunApproach(specs[i], inputs, gallery))
+            .value();
     bench::AddClasswiseRows(table, specs[i].DisplayName(), report, 2);
     telemetry.emplace_back(specs[i].DisplayName() + " accuracy",
                            report.cumulative_accuracy);
@@ -33,6 +61,7 @@ int main() {
       "than Table 7 (all models are ShapeNet), but recognition stays\n"
       "unbalanced — some classes are still never recognised, showing the\n"
       "imbalance is not caused by NYU segmentation noise alone.\n");
+  bench::RecordStoreTelemetry(&telemetry, use_store, feature_s);
   bench::EmitBenchJson("table8_hybrid_sns", telemetry, context.config());
   bench::PrintElapsed(sw);
   return 0;

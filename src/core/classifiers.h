@@ -2,6 +2,7 @@
 #define SNOR_CORE_CLASSIFIERS_H_
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -78,6 +79,71 @@ class MatchingClassifier {
 /// True when the input carries a usable colour modality (finite histogram
 /// with positive mass).
 [[nodiscard]] bool ColorModalityUsable(const ImageFeatures& input);
+
+/// Sentinel marking a per-view score as unusable (poisoned, invalid view,
+/// or collapsed modality). Argmin reductions never select it.
+inline constexpr double kUnusableScore = std::numeric_limits<double>::max();
+
+/// \brief Partial arg-optimum of one gallery range: the strictly best
+/// usable view score seen while scanning the range in ascending index
+/// order. Merging partials of contiguous ascending ranges with the same
+/// strict comparison reproduces the sequential scan bit-for-bit, which is
+/// what lets the sharded BatchEngine return cold-path-identical labels.
+struct PartialBest {
+  double score = 0.0;
+  ObjectClass label = ObjectClass::kChair;
+  /// False when no view in the range produced a usable score.
+  bool found = false;
+};
+
+/// Shape-only partial argmin over gallery views [begin, end): skips
+/// invalid views and non-finite (poisoned) scores, keeps the first strict
+/// minimum. Exactly the loop body of ShapeOnlyClassifier::Classify.
+[[nodiscard]] PartialBest ShapeArgminOverRange(
+    const ImageFeatures& input, const std::vector<ImageFeatures>& gallery,
+    std::size_t begin, std::size_t end, ShapeMatchMethod method);
+
+/// Colour-only partial arg-optimum over gallery views [begin, end):
+/// maximises similarity metrics, minimises distance metrics, skipping
+/// invalid views and non-finite scores. Exactly the loop body of
+/// ColorOnlyClassifier::Classify.
+[[nodiscard]] PartialBest ColorArgbestOverRange(
+    const ImageFeatures& input, const std::vector<ImageFeatures>& gallery,
+    std::size_t begin, std::size_t end, HistCompareMethod method);
+
+/// Colour comparison as a "smaller is better" score the way the paper
+/// uses it in theta: distances pass through, similarities are inverted.
+[[nodiscard]] double HybridColorDistance(const ColorHistogram& a,
+                                         const ColorHistogram& b,
+                                         HistCompareMethod method);
+
+/// Fills `shape_scores`/`color_scores` (pre-sized to the gallery, filled
+/// with kUnusableScore) for gallery views [begin, end) and counts the
+/// usable scores of each requested modality. The per-view arithmetic is
+/// the one the HybridClassifier runs, so a sharded fill produces
+/// bit-identical score vectors.
+void ComputeHybridScoresOverRange(
+    const ImageFeatures& input, const std::vector<ImageFeatures>& gallery,
+    std::size_t begin, std::size_t end, ShapeMatchMethod shape_method,
+    HistCompareMethod color_method, bool use_shape, bool use_color,
+    std::vector<double>* shape_scores, std::vector<double>* color_scores,
+    std::size_t* shape_usable, std::size_t* color_usable);
+
+/// Combines per-view modality scores into theta: alpha*S + beta*C when
+/// both modalities are live, the surviving modality alone otherwise.
+/// Entries stay kUnusableScore when a required score is unusable.
+[[nodiscard]] std::vector<double> AssembleHybridTheta(
+    const std::vector<double>& shape_scores,
+    const std::vector<double>& color_scores, double alpha, double beta,
+    bool shape_live, bool color_live);
+
+/// The three argmin strategies of §3.2 over a per-view theta vector
+/// (index-aligned with `gallery`); `fallback` wins when no view is
+/// usable. Shared by HybridClassifier and the serve-side BatchEngine.
+[[nodiscard]] ObjectClass HybridArgminLabel(
+    const std::vector<double>& theta,
+    const std::vector<ImageFeatures>& gallery, HybridStrategy strategy,
+    ObjectClass fallback);
 
 /// \brief Uniform random label assignment (the paper's reference baseline).
 class RandomBaselineClassifier : public MatchingClassifier {

@@ -88,8 +88,12 @@ class ExperimentContext {
   /// next feature access recomputes (and counts a miss).
   void ClearFeatureCaches();
 
- private:
+  /// The extraction options used for each dataset's feature cache
+  /// (ShapeNet sets render on white, NYU on dark); exposed so the serving
+  /// layer can fingerprint feature stores against the same options.
   FeatureOptions FeatureOptionsFor(bool white_background) const;
+
+ private:
 
   ExperimentConfig config_;
   std::optional<Dataset> sns1_;

@@ -131,7 +131,10 @@ double CompareHistograms(const ColorHistogram& a, const ColorHistogram& b,
       const double mean_b = sum_b / static_cast<double>(n);
       const double denom =
           std::sqrt(mean_a * mean_b) * static_cast<double>(n);
-      if (denom < 1e-300) return 0.0;  // Both empty: identical.
+      // An all-zero histogram (fully masked-out crop) zeroes the
+      // denominator; return the worst-case distance instead of letting
+      // 0/0 make an empty crop a perfect match for everything.
+      if (denom < 1e-300) return 1.0;
       const double bc = sum_sqrt / denom;  // Bhattacharyya coefficient.
       return std::sqrt(std::max(0.0, 1.0 - bc));
     }

@@ -64,7 +64,9 @@ class ColorHistogram {
 ///  - Correlation: Pearson correlation over bins.
 ///  - Chi-square: sum (a-b)^2 / a over bins with a > 0.
 ///  - Intersection: sum min(a, b).
-///  - Hellinger: sqrt(max(0, 1 - sum sqrt(a*b) / sqrt(mean_a*mean_b*N^2))).
+///  - Hellinger: sqrt(max(0, 1 - sum sqrt(a*b) / sqrt(mean_a*mean_b*N^2)));
+///    an all-zero operand (fully masked-out crop) yields the worst-case
+///    distance 1 instead of a 0/0 perfect match.
 double CompareHistograms(const ColorHistogram& a, const ColorHistogram& b,
                          HistCompareMethod method);
 

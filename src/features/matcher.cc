@@ -129,12 +129,21 @@ std::vector<DMatch> MatchBruteForce(
 
 std::vector<DMatch> RatioTestFilter(
     const std::vector<std::vector<DMatch>>& knn_matches, float ratio) {
+  static obs::Counter& dropped =
+      obs::MetricsRegistry::Global().counter("features.matcher.dropped");
   std::vector<DMatch> good;
   for (const auto& list : knn_matches) {
-    if (list.size() < 2) continue;
-    if (list[0].distance < ratio * list[1].distance) {
-      good.push_back(list[0]);
+    if (list.empty()) continue;
+    // A single-neighbour list has no second-best to compare against: the
+    // match is unambiguous by construction and passes. Dropping it lost
+    // queries whose sole neighbour was an excellent match (train sets
+    // with one descriptor), inconsistent with descriptor_classifier's
+    // empty-match fallback which still produces an answer.
+    if (list.size() >= 2 && !(list[0].distance < ratio * list[1].distance)) {
+      dropped.Increment();  // Ambiguous: best too close to second-best.
+      continue;
     }
+    good.push_back(list[0]);
   }
   return good;
 }

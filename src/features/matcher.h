@@ -46,8 +46,12 @@ std::vector<std::vector<DMatch>> KnnMatchBruteForce(
     const std::vector<BinaryDescriptor>& train, int k);
 
 /// Lowe's ratio test: keeps the best match of each kNN list when
-/// best.distance < ratio * second_best.distance (lists with fewer than two
-/// entries are dropped). Used with thresholds 0.75 and 0.5 in the paper.
+/// best.distance < ratio * second_best.distance. A single-neighbour list
+/// has no second-best to disambiguate against and is kept (a query whose
+/// sole neighbour is an excellent match must not vanish); empty lists are
+/// skipped. Ambiguous rejections are counted by the
+/// `features.matcher.dropped` metric. Thresholds 0.75 and 0.5 in the
+/// paper.
 std::vector<DMatch> RatioTestFilter(
     const std::vector<std::vector<DMatch>>& knn_matches, float ratio);
 

@@ -27,6 +27,8 @@ Status WritePnm(const ImageU8& img, const std::string& path) {
 namespace {
 
 // Reads the next whitespace/comment-delimited token from a PNM header.
+// The PNM spec allows `#` comment lines anywhere in the header, including
+// directly after a value with no intervening whitespace ("255#made by x").
 Result<std::string> NextToken(std::istream& in) {
   std::string token;
   int c = in.get();
@@ -45,7 +47,13 @@ Result<std::string> NextToken(std::istream& in) {
     token += static_cast<char>(c);
     c = in.get();
   }
-  if (c == '#') in.unget();
+  if (c == '#') {
+    // A comment terminates the token; consume it through its newline so
+    // the comment bytes can never leak into the raster payload (the
+    // newline doubles as the single delimiter before the raster when
+    // this was the maxval token).
+    while (c != EOF && c != '\n') c = in.get();
+  }
   return token;
 }
 

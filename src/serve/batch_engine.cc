@@ -1,0 +1,304 @@
+#include "serve/batch_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/check.h"
+#include "util/parallel.h"
+#include "util/stopwatch.h"
+
+namespace snor::serve {
+
+Result<std::unique_ptr<BatchEngine>> BatchEngine::Create(
+    const ApproachSpec& spec, std::vector<ImageFeatures> gallery,
+    const BatchEngineOptions& options, std::uint64_t baseline_seed) {
+  if (gallery.empty()) {
+    return Status::InvalidArgument("cannot shard " + spec.DisplayName() +
+                                   " over an empty gallery");
+  }
+  if (spec.kind != ApproachSpec::Kind::kBaseline) {
+    const bool any_valid =
+        std::any_of(gallery.begin(), gallery.end(),
+                    [](const ImageFeatures& f) { return f.valid; });
+    if (!any_valid) {
+      return Status::Unavailable(
+          "gallery has no valid view to match against (all " +
+          std::to_string(gallery.size()) + " entries failed extraction)");
+    }
+  }
+  // NOLINTNEXTLINE(raw-new-delete): private ctor, immediately owned.
+  return std::unique_ptr<BatchEngine>(new BatchEngine(
+      spec, std::move(gallery), options, baseline_seed));
+}
+
+BatchEngine::BatchEngine(const ApproachSpec& spec,
+                         std::vector<ImageFeatures> gallery,
+                         const BatchEngineOptions& options,
+                         std::uint64_t baseline_seed)
+    : spec_(spec), gallery_(std::move(gallery)), options_(options) {
+  int shards = options.num_shards > 0 ? options.num_shards
+                                      : DefaultThreadCount();
+  shards = std::max(1, std::min<int>(shards,
+                                     static_cast<int>(gallery_.size())));
+  const std::size_t n = gallery_.size();
+  const std::size_t per_shard = n / static_cast<std::size_t>(shards);
+  const std::size_t remainder = n % static_cast<std::size_t>(shards);
+  std::size_t begin = 0;
+  for (int s = 0; s < shards; ++s) {
+    const std::size_t size =
+        per_shard + (static_cast<std::size_t>(s) < remainder ? 1 : 0);
+    shards_.push_back({begin, begin + size});
+    begin += size;
+  }
+  SNOR_CHECK_EQ(begin, n);
+  obs::MetricsRegistry::Global()
+      .gauge("serve.engine.shards")
+      .Set(static_cast<double>(shards_.size()));
+  if (spec_.kind == ApproachSpec::Kind::kBaseline) {
+    baseline_ = std::make_unique<RandomBaselineClassifier>(gallery_,
+                                                           baseline_seed);
+  }
+}
+
+ObjectClass BatchEngine::FallbackLabel() const {
+  // Mirrors MatchingClassifier::FallbackLabel (gallery is never empty
+  // here; Create rejects that).
+  return gallery_.front().label;
+}
+
+std::vector<ObjectClass> BatchEngine::ClassifyBatch(
+    const std::vector<const ImageFeatures*>& queries) {
+  SNOR_TRACE_SPAN("serve.engine.batch");
+  static obs::Counter& batches =
+      obs::MetricsRegistry::Global().counter("serve.engine.batches");
+  static obs::Counter& query_count =
+      obs::MetricsRegistry::Global().counter("serve.engine.queries");
+  static obs::Histogram& batch_latency_us =
+      obs::MetricsRegistry::Global().histogram(
+          "serve.engine.batch_latency_us");
+  const obs::ScopedLatencyUs latency(batch_latency_us);
+  batches.Increment();
+  query_count.Increment(queries.size());
+  if (queries.empty()) return {};
+
+  if (baseline_ != nullptr) {
+    // One RNG draw per query, in query order: the draw sequence (and so
+    // every prediction) matches the cold classifier exactly.
+    std::vector<ObjectClass> predictions;
+    predictions.reserve(queries.size());
+    for (const ImageFeatures* q : queries) {
+      predictions.push_back(baseline_->Classify(*q));
+    }
+    degradation_ = baseline_->degradation();
+    return predictions;
+  }
+  if (spec_.kind == ApproachSpec::Kind::kHybrid) {
+    return ClassifyHybrid(queries);
+  }
+  return ClassifyPartialArgmin(queries);
+}
+
+std::vector<ObjectClass> BatchEngine::ClassifyPartialArgmin(
+    const std::vector<const ImageFeatures*>& queries) {
+  const std::size_t nq = queries.size();
+  const std::size_t ns = shards_.size();
+  const bool shape = spec_.kind == ApproachSpec::Kind::kShape;
+  const bool maximize = !shape && IsSimilarityMetric(spec_.color);
+
+  std::vector<char> usable(nq);
+  for (std::size_t q = 0; q < nq; ++q) {
+    usable[q] = shape ? ShapeModalityUsable(*queries[q])
+                      : queries[q]->valid;
+  }
+
+  // One partial arg-optimum per (query, shard) cell, filled by the
+  // parallel task grid; every worker writes only its own cell.
+  std::vector<PartialBest> partials(nq * ns);
+  ParallelFor(
+      nq * ns,
+      [&](std::size_t task) {
+        const std::size_t q = task / ns;
+        if (!usable[q]) return;
+        SNOR_TRACE_SPAN("serve.engine.shard_scan");
+        const Shard& shard = shards_[task % ns];
+        partials[task] =
+            shape ? ShapeArgminOverRange(*queries[q], gallery_, shard.begin,
+                                         shard.end, spec_.shape)
+                  : ColorArgbestOverRange(*queries[q], gallery_, shard.begin,
+                                          shard.end, spec_.color);
+      },
+      options_.n_threads);
+
+  // Sequential merge in ascending shard order: strict comparison keeps
+  // the lowest-index optimum, exactly like the cold sequential scan.
+  std::vector<ObjectClass> predictions(nq, FallbackLabel());
+  for (std::size_t q = 0; q < nq; ++q) {
+    if (!usable[q]) {
+      ++degradation_.fallback;
+      continue;
+    }
+    double best = maximize ? -kUnusableScore : kUnusableScore;
+    ObjectClass best_label = FallbackLabel();
+    for (std::size_t s = 0; s < ns; ++s) {
+      const PartialBest& p = partials[q * ns + s];
+      if (!p.found) continue;
+      const bool better = maximize ? p.score > best : p.score < best;
+      if (better) {
+        best = p.score;
+        best_label = p.label;
+      }
+    }
+    predictions[q] = best_label;
+  }
+  return predictions;
+}
+
+std::vector<ObjectClass> BatchEngine::ClassifyHybrid(
+    const std::vector<const ImageFeatures*>& queries) {
+  const std::size_t nq = queries.size();
+  const std::size_t ns = shards_.size();
+  const std::size_t n = gallery_.size();
+
+  std::vector<char> use_shape(nq);
+  std::vector<char> use_color(nq);
+  std::vector<std::vector<double>> shape_rows(nq);
+  std::vector<std::vector<double>> color_rows(nq);
+  for (std::size_t q = 0; q < nq; ++q) {
+    use_shape[q] = ShapeModalityUsable(*queries[q]);
+    use_color[q] = ColorModalityUsable(*queries[q]);
+    if (use_shape[q] || use_color[q]) {
+      shape_rows[q].assign(n, kUnusableScore);
+      color_rows[q].assign(n, kUnusableScore);
+    }
+  }
+
+  // Per-(query, shard) usable-score counts; summed per query after the
+  // barrier to decide modality collapse exactly like ScoresForModes.
+  std::vector<std::pair<std::size_t, std::size_t>> counts(nq * ns, {0, 0});
+  ParallelFor(
+      nq * ns,
+      [&](std::size_t task) {
+        const std::size_t q = task / ns;
+        if (!use_shape[q] && !use_color[q]) return;
+        SNOR_TRACE_SPAN("serve.engine.shard_scan");
+        const Shard& shard = shards_[task % ns];
+        ComputeHybridScoresOverRange(
+            *queries[q], gallery_, shard.begin, shard.end, spec_.shape,
+            spec_.color, use_shape[q] != 0, use_color[q] != 0,
+            &shape_rows[q], &color_rows[q], &counts[task].first,
+            &counts[task].second);
+      },
+      options_.n_threads);
+
+  std::vector<ObjectClass> predictions(nq, FallbackLabel());
+  for (std::size_t q = 0; q < nq; ++q) {
+    if (!use_shape[q] && !use_color[q]) {
+      ++degradation_.fallback;
+      continue;
+    }
+    std::size_t shape_usable = 0;
+    std::size_t color_usable = 0;
+    for (std::size_t s = 0; s < ns; ++s) {
+      shape_usable += counts[q * ns + s].first;
+      color_usable += counts[q * ns + s].second;
+    }
+    const bool shape_live = use_shape[q] != 0 && shape_usable > 0;
+    const bool color_live = use_color[q] != 0 && color_usable > 0;
+    if (!shape_live && !color_live) {
+      ++degradation_.fallback;
+      continue;
+    }
+    if (shape_live != color_live) {
+      if (shape_live) {
+        ++degradation_.shape_only;
+      } else {
+        ++degradation_.color_only;
+      }
+    }
+    const std::vector<double> theta =
+        AssembleHybridTheta(shape_rows[q], color_rows[q], spec_.alpha,
+                            spec_.beta, shape_live, color_live);
+    predictions[q] =
+        HybridArgminLabel(theta, gallery_, spec_.strategy, FallbackLabel());
+  }
+  return predictions;
+}
+
+Result<EvalReport> RunApproachBatched(const ApproachSpec& spec,
+                                      const std::vector<ImageFeatures>& inputs,
+                                      const std::vector<ImageFeatures>& gallery,
+                                      const WarmRunOptions& options) {
+  SNOR_TRACE_SPAN("serve.engine.run");
+  StageTiming timing;
+  Stopwatch stage_clock;
+  SNOR_ASSIGN_OR_RETURN(
+      std::unique_ptr<BatchEngine> engine,
+      BatchEngine::Create(spec, gallery, options.engine,
+                          options.baseline_seed));
+  timing.extract_s = stage_clock.ElapsedSeconds();
+
+  static obs::Counter& classified_counter =
+      obs::MetricsRegistry::Global().counter("serve.engine.items");
+  static obs::Counter& skipped_counter =
+      obs::MetricsRegistry::Global().counter("serve.engine.skipped");
+
+  // Identical skip/ledger semantics to the cold RunApproach: ingest
+  // failures are skipped and recorded, preprocess failures are
+  // fallback-classified and recorded.
+  std::vector<ObjectClass> truth;
+  std::vector<const ImageFeatures*> eligible;
+  std::vector<ItemError> errors;
+  truth.reserve(inputs.size());
+  eligible.reserve(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const ImageFeatures& f = inputs[i];
+    if (!f.valid && !f.status.ok() &&
+        f.status.code() != StatusCode::kNotFound) {
+      errors.push_back({static_cast<int>(i), "ingest", f.status});
+      skipped_counter.Increment();
+      continue;
+    }
+    if (!f.valid) {
+      errors.push_back(
+          {static_cast<int>(i), "preprocess",
+           f.status.ok() ? Status::NotFound("no foreground component")
+                         : f.status});
+    }
+    truth.push_back(f.label);
+    eligible.push_back(&f);
+  }
+
+  stage_clock.Reset();
+  std::vector<ObjectClass> predictions;
+  predictions.reserve(eligible.size());
+  {
+    SNOR_TRACE_SPAN("serve.engine.match");
+    const std::size_t batch =
+        static_cast<std::size_t>(std::max(1, options.engine.batch_size));
+    std::vector<const ImageFeatures*> chunk;
+    for (std::size_t begin = 0; begin < eligible.size(); begin += batch) {
+      const std::size_t end = std::min(eligible.size(), begin + batch);
+      chunk.assign(eligible.begin() + static_cast<long>(begin),
+                   eligible.begin() + static_cast<long>(end));
+      const std::vector<ObjectClass> labels = engine->ClassifyBatch(chunk);
+      predictions.insert(predictions.end(), labels.begin(), labels.end());
+    }
+  }
+  timing.match_s = stage_clock.ElapsedSeconds();
+  classified_counter.Increment(predictions.size());
+
+  stage_clock.Reset();
+  EvalReport report = Evaluate(truth, predictions);
+  timing.score_s = stage_clock.ElapsedSeconds();
+
+  report.attempted = static_cast<int>(inputs.size());
+  report.errors = std::move(errors);
+  report.degraded_shape_only = engine->degradation().shape_only;
+  report.degraded_color_only = engine->degradation().color_only;
+  report.timing = timing;
+  return report;
+}
+
+}  // namespace snor::serve

@@ -1,0 +1,107 @@
+#ifndef SNOR_SERVE_BATCH_ENGINE_H_
+#define SNOR_SERVE_BATCH_ENGINE_H_
+
+/// \file
+/// Batched, sharded gallery-matching engine.
+///
+/// The cold path (`ExperimentContext::RunApproach`) matches one query at a
+/// time against the whole gallery on one thread. The BatchEngine shards
+/// the gallery into contiguous index ranges, fans (query, shard) scoring
+/// tasks of a whole query *batch* out over `ParallelFor` workers, and
+/// merges the per-shard partial arg-optima sequentially in ascending shard
+/// order. Because every per-view score is computed by the same code the
+/// classifiers run, and the strict-< partial merge reproduces the
+/// sequential first-minimum scan exactly, predictions are bit-identical
+/// to the cold path for every approach and any shard/thread count.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/classifiers.h"
+#include "core/evaluation.h"
+#include "core/experiment.h"
+#include "util/status.h"
+
+namespace snor::serve {
+
+/// \brief Sharding/batching knobs for the warm matching path.
+struct BatchEngineOptions {
+  /// Number of contiguous gallery shards; <= 0 uses DefaultThreadCount().
+  int num_shards = 0;
+  /// Queries per engine batch in `RunApproachBatched`.
+  int batch_size = 64;
+  /// Worker threads for the (query, shard) task grid; 0 = default.
+  int n_threads = 0;
+};
+
+/// \brief Matches query batches against a sharded in-memory gallery.
+class BatchEngine {
+ public:
+  /// Validating factory, mirroring `MakeClassifier`: fails with
+  /// `InvalidArgument` on an empty gallery and `Unavailable` when no
+  /// gallery view is valid (non-baseline approaches).
+  [[nodiscard]] static Result<std::unique_ptr<BatchEngine>> Create(
+      const ApproachSpec& spec, std::vector<ImageFeatures> gallery,
+      const BatchEngineOptions& options = {},
+      std::uint64_t baseline_seed = 2019);
+
+  /// Classifies one batch of queries (pointers stay owned by the caller).
+  /// Predictions are index-aligned with `queries` and bit-identical to
+  /// calling the cold classifier sequentially in the same order.
+  [[nodiscard]] std::vector<ObjectClass> ClassifyBatch(
+      const std::vector<const ImageFeatures*>& queries);
+
+  /// How often the engine had to degrade since construction (same
+  /// semantics as `MatchingClassifier::degradation`).
+  const DegradationStats& degradation() const { return degradation_; }
+
+  std::size_t num_shards() const { return shards_.size(); }
+  const std::vector<ImageFeatures>& gallery() const { return gallery_; }
+
+ private:
+  /// Contiguous gallery index range [begin, end).
+  struct Shard {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
+  BatchEngine(const ApproachSpec& spec, std::vector<ImageFeatures> gallery,
+              const BatchEngineOptions& options, std::uint64_t baseline_seed);
+
+  ObjectClass FallbackLabel() const;
+
+  std::vector<ObjectClass> ClassifyPartialArgmin(
+      const std::vector<const ImageFeatures*>& queries);
+  std::vector<ObjectClass> ClassifyHybrid(
+      const std::vector<const ImageFeatures*>& queries);
+
+  ApproachSpec spec_;
+  std::vector<ImageFeatures> gallery_;
+  BatchEngineOptions options_;
+  std::vector<Shard> shards_;
+  DegradationStats degradation_;
+  /// The baseline consumes one RNG draw per classified query; delegating
+  /// to the real classifier keeps the draw sequence cold-path-identical.
+  std::unique_ptr<MatchingClassifier> baseline_;
+};
+
+/// \brief Knobs for the store-backed warm run.
+struct WarmRunOptions {
+  BatchEngineOptions engine;
+  /// Seed for the random baseline (cold path uses ExperimentConfig.seed).
+  std::uint64_t baseline_seed = 2019;
+};
+
+/// The warm counterpart of `ExperimentContext::RunApproach`: identical
+/// skip/ledger semantics and bit-identical predictions, but the matching
+/// loop runs in batches on the sharded engine. `inputs` and `gallery`
+/// would typically come from a FeatureStore rather than fresh extraction.
+[[nodiscard]] Result<EvalReport> RunApproachBatched(
+    const ApproachSpec& spec, const std::vector<ImageFeatures>& inputs,
+    const std::vector<ImageFeatures>& gallery,
+    const WarmRunOptions& options = {});
+
+}  // namespace snor::serve
+
+#endif  // SNOR_SERVE_BATCH_ENGINE_H_

@@ -1,0 +1,357 @@
+#include "serve/feature_store.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/fault.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace snor::serve {
+namespace {
+
+constexpr char kMagic[8] = {'S', 'N', 'O', 'R', 'F', 'S', 'T', '1'};
+
+/// Records larger than this are rejected as corrupt before allocating.
+constexpr std::uint32_t kMaxRecordBytes = 256u * 1024u * 1024u;
+constexpr std::uint32_t kMaxRecords = 10'000'000u;
+
+// --------------------------------------------------------------- hashing --
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t Fnv1a(const void* data, std::size_t size,
+                    std::uint64_t seed = kFnvOffset) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+template <typename T>
+std::uint64_t HashPod(std::uint64_t seed, const T& value) {
+  return Fnv1a(&value, sizeof(T), seed);
+}
+
+// ----------------------------------------------------- buffer (de)coding --
+
+/// Append-only byte buffer the record payload is serialized into, so the
+/// checksum covers exactly the bytes on disk.
+class Encoder {
+ public:
+  template <typename T>
+  void Pod(const T& value) {
+    const auto* p = reinterpret_cast<const char*>(&value);
+    buffer_.append(p, sizeof(T));
+  }
+
+  void Bytes(const void* data, std::size_t size) {
+    buffer_.append(static_cast<const char*>(data), size);
+  }
+
+  const std::string& buffer() const { return buffer_; }
+
+ private:
+  std::string buffer_;
+};
+
+/// Cursor over a record payload; every read is bounds-checked so a
+/// corrupt length can never over-read.
+class Decoder {
+ public:
+  explicit Decoder(const std::string& buffer) : buffer_(buffer) {}
+
+  template <typename T>
+  [[nodiscard]] bool Pod(T* value) {
+    if (pos_ + sizeof(T) > buffer_.size()) return false;
+    std::memcpy(value, buffer_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  [[nodiscard]] bool Bytes(void* out, std::size_t size) {
+    if (pos_ + size > buffer_.size()) return false;
+    std::memcpy(out, buffer_.data() + pos_, size);
+    pos_ += size;
+    return true;
+  }
+
+  bool exhausted() const { return pos_ == buffer_.size(); }
+
+ private:
+  const std::string& buffer_;
+  std::size_t pos_ = 0;
+};
+
+void EncodeView(const StoredView& view, Encoder* enc) {
+  const ImageFeatures& f = view.features;
+  enc->Pod(static_cast<std::int32_t>(ClassIndex(f.label)));
+  enc->Pod(static_cast<std::int32_t>(f.model_id));
+  enc->Pod(static_cast<std::uint8_t>(f.valid ? 1 : 0));
+  for (double h : f.hu) enc->Pod(h);
+  enc->Pod(static_cast<std::int32_t>(f.histogram.bins_per_channel()));
+  const auto& bins = f.histogram.bins();
+  enc->Bytes(bins.data(), bins.size() * sizeof(double));
+
+  enc->Pod(static_cast<std::uint32_t>(view.float_descriptors.size()));
+  enc->Pod(static_cast<std::uint32_t>(
+      view.float_descriptors.empty() ? 0
+                                     : view.float_descriptors.front().size()));
+  for (const FloatDescriptor& d : view.float_descriptors) {
+    enc->Bytes(d.data(), d.size() * sizeof(float));
+  }
+  enc->Pod(static_cast<std::uint32_t>(view.binary_descriptors.size()));
+  for (const BinaryDescriptor& d : view.binary_descriptors) {
+    enc->Bytes(d.data(), d.size());
+  }
+}
+
+Status DecodeView(const std::string& payload, StoredView* view) {
+  Decoder dec(payload);
+  ImageFeatures& f = view->features;
+  std::int32_t label = 0;
+  std::int32_t model_id = 0;
+  std::uint8_t valid = 0;
+  if (!dec.Pod(&label) || !dec.Pod(&model_id) || !dec.Pod(&valid)) {
+    return Status::IoError("truncated record header");
+  }
+  if (label < 0 || label >= kNumClasses) {
+    return Status::IoError(StrFormat("bad class index %d", label));
+  }
+  f.label = ClassFromIndex(label);
+  f.model_id = model_id;
+  f.valid = valid != 0;
+  for (double& h : f.hu) {
+    if (!dec.Pod(&h)) return Status::IoError("truncated Hu moments");
+  }
+  std::int32_t bins_per_channel = 0;
+  if (!dec.Pod(&bins_per_channel) || bins_per_channel <= 0 ||
+      bins_per_channel > 256) {
+    return Status::IoError("bad histogram bin count");
+  }
+  f.histogram = ColorHistogram(bins_per_channel);
+  auto& bins = f.histogram.bins();
+  if (!dec.Bytes(bins.data(), bins.size() * sizeof(double))) {
+    return Status::IoError("truncated histogram payload");
+  }
+
+  std::uint32_t float_count = 0;
+  std::uint32_t float_dim = 0;
+  if (!dec.Pod(&float_count) || !dec.Pod(&float_dim)) {
+    return Status::IoError("truncated float-descriptor header");
+  }
+  if (float_count > kMaxRecords || float_dim > 4096) {
+    return Status::IoError("implausible float-descriptor shape");
+  }
+  view->float_descriptors.assign(float_count, FloatDescriptor(float_dim));
+  for (FloatDescriptor& d : view->float_descriptors) {
+    if (!dec.Bytes(d.data(), d.size() * sizeof(float))) {
+      return Status::IoError("truncated float descriptors");
+    }
+  }
+  std::uint32_t binary_count = 0;
+  if (!dec.Pod(&binary_count)) {
+    return Status::IoError("truncated binary-descriptor header");
+  }
+  if (binary_count > kMaxRecords) {
+    return Status::IoError("implausible binary-descriptor count");
+  }
+  view->binary_descriptors.assign(binary_count, BinaryDescriptor{});
+  for (BinaryDescriptor& d : view->binary_descriptors) {
+    if (!dec.Bytes(d.data(), d.size())) {
+      return Status::IoError("truncated binary descriptors");
+    }
+  }
+  if (!dec.exhausted()) {
+    return Status::IoError("trailing bytes in record payload");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::uint64_t OptionsFingerprint(const FeatureOptions& options) {
+  std::uint64_t h = kFnvOffset;
+  h = HashPod(h, kFeatureStoreVersion);
+  h = HashPod(h, static_cast<std::uint8_t>(options.preprocess.white_background));
+  h = HashPod(h, options.preprocess.white_threshold);
+  h = HashPod(h, options.preprocess.black_threshold);
+  h = HashPod(h, static_cast<std::uint8_t>(options.preprocess.use_otsu));
+  h = HashPod(h, static_cast<std::int32_t>(
+                     options.preprocess.min_component_pixels));
+  h = HashPod(h, static_cast<std::int32_t>(options.hist_bins));
+  h = HashPod(h, static_cast<std::uint8_t>(options.mask_histogram));
+  h = HashPod(h, static_cast<std::uint8_t>(options.use_hsv));
+  return h;
+}
+
+Status SaveFeatureStore(const std::string& path,
+                        std::uint64_t options_fingerprint,
+                        const std::vector<StoredView>& views) {
+  SNOR_TRACE_SPAN("serve.store.save");
+  static obs::Counter& bytes_written =
+      obs::MetricsRegistry::Global().counter("serve.store.bytes_written");
+  static obs::Counter& records_written =
+      obs::MetricsRegistry::Global().counter("serve.store.records_written");
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  std::uint64_t total_bytes = sizeof(kMagic);
+  auto write_pod = [&](const auto& value) {
+    out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+    total_bytes += sizeof(value);
+  };
+  write_pod(kFeatureStoreVersion);
+  write_pod(options_fingerprint);
+  write_pod(static_cast<std::uint32_t>(views.size()));
+  for (const StoredView& view : views) {
+    Encoder enc;
+    EncodeView(view, &enc);
+    const std::string& payload = enc.buffer();
+    write_pod(static_cast<std::uint32_t>(payload.size()));
+    out.write(payload.data(),
+              static_cast<std::streamsize>(payload.size()));
+    write_pod(Fnv1a(payload.data(), payload.size()));
+    total_bytes += payload.size();
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  bytes_written.Increment(total_bytes);
+  records_written.Increment(views.size());
+  return Status::OK();
+}
+
+Result<std::vector<StoredView>> LoadFeatureStore(
+    const std::string& path, std::uint64_t expected_fingerprint) {
+  SNOR_TRACE_SPAN("serve.store.load");
+  static obs::Histogram& load_latency_us =
+      obs::MetricsRegistry::Global().histogram("serve.store.load_latency_us");
+  const obs::ScopedLatencyUs latency(load_latency_us);
+  static obs::Counter& bytes_read =
+      obs::MetricsRegistry::Global().counter("serve.store.bytes_read");
+  SNOR_RETURN_NOT_OK(
+      InjectFault(FaultPoint::kIoRead, "LoadFeatureStore " + path));
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IoError("bad feature-store magic: " + path);
+  }
+  auto read_pod = [&](auto* value) {
+    in.read(reinterpret_cast<char*>(value), sizeof(*value));
+    return static_cast<bool>(in);
+  };
+  std::uint32_t version = 0;
+  std::uint64_t fingerprint = 0;
+  std::uint32_t count = 0;
+  if (!read_pod(&version) || !read_pod(&fingerprint) || !read_pod(&count)) {
+    return Status::IoError("truncated feature-store header: " + path);
+  }
+  if (version != kFeatureStoreVersion) {
+    return Status::IoError(
+        StrFormat("feature-store version %u, expected %u: %s", version,
+                  kFeatureStoreVersion, path.c_str()));
+  }
+  if (fingerprint != expected_fingerprint) {
+    return Status::InvalidArgument(StrFormat(
+        "feature-store options fingerprint %016llx does not match the "
+        "requested extraction options (%016llx): %s",
+        static_cast<unsigned long long>(fingerprint),
+        static_cast<unsigned long long>(expected_fingerprint), path.c_str()));
+  }
+  if (count > kMaxRecords) {
+    return Status::IoError("implausible feature-store record count");
+  }
+
+  std::uint64_t total_bytes = sizeof(kMagic) + sizeof(version) +
+                              sizeof(fingerprint) + sizeof(count);
+  std::vector<StoredView> views;
+  views.reserve(count);
+  std::string payload;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t payload_size = 0;
+    if (!read_pod(&payload_size) || payload_size > kMaxRecordBytes) {
+      return Status::IoError(
+          StrFormat("bad record size at record %u: %s", i, path.c_str()));
+    }
+    payload.resize(payload_size);
+    in.read(payload.data(), static_cast<std::streamsize>(payload_size));
+    std::uint64_t checksum = 0;
+    if (in.gcount() != static_cast<std::streamsize>(payload_size) ||
+        !read_pod(&checksum) || FaultFires(FaultPoint::kTruncatedFile)) {
+      return Status::IoError(
+          StrFormat("truncated feature store at record %u: %s", i,
+                    path.c_str()));
+    }
+    if (Fnv1a(payload.data(), payload.size()) != checksum) {
+      return Status::IoError(
+          StrFormat("checksum mismatch at record %u: %s", i, path.c_str()));
+    }
+    StoredView view;
+    SNOR_RETURN_NOT_OK(DecodeView(payload, &view));
+    total_bytes += sizeof(payload_size) + payload_size + sizeof(checksum);
+    views.push_back(std::move(view));
+  }
+  bytes_read.Increment(total_bytes);
+  return views;
+}
+
+Status SaveFeatureBank(const std::string& path,
+                       std::uint64_t options_fingerprint,
+                       const std::vector<ImageFeatures>& bank) {
+  std::vector<StoredView> views(bank.size());
+  for (std::size_t i = 0; i < bank.size(); ++i) {
+    views[i].features = bank[i];
+  }
+  return SaveFeatureStore(path, options_fingerprint, views);
+}
+
+Result<std::vector<ImageFeatures>> LoadFeatureBank(
+    const std::string& path, std::uint64_t expected_fingerprint) {
+  SNOR_ASSIGN_OR_RETURN(std::vector<StoredView> views,
+                        LoadFeatureStore(path, expected_fingerprint));
+  std::vector<ImageFeatures> bank;
+  bank.reserve(views.size());
+  for (StoredView& view : views) bank.push_back(std::move(view.features));
+  return bank;
+}
+
+Result<std::vector<ImageFeatures>> LoadOrComputeFeatures(
+    const std::string& path, const Dataset& dataset,
+    const FeatureOptions& options) {
+  return LoadOrComputeFeatures(
+      path, [&dataset]() -> const Dataset& { return dataset; }, options);
+}
+
+Result<std::vector<ImageFeatures>> LoadOrComputeFeatures(
+    const std::string& path, const DatasetProvider& dataset,
+    const FeatureOptions& options) {
+  static obs::Counter& hits =
+      obs::MetricsRegistry::Global().counter("serve.store.hit");
+  static obs::Counter& misses =
+      obs::MetricsRegistry::Global().counter("serve.store.miss");
+  const std::uint64_t fingerprint = OptionsFingerprint(options);
+  auto loaded = LoadFeatureBank(path, fingerprint);
+  if (loaded.ok()) {
+    hits.Increment();
+    return loaded;
+  }
+  misses.Increment();
+  std::vector<ImageFeatures> bank = ComputeFeatures(dataset(), options);
+  const Status saved = SaveFeatureBank(path, fingerprint, bank);
+  if (!saved.ok()) {
+    // Non-fatal: the run proceeds cold; only the next run's warm-up is
+    // lost.
+    SNOR_LOG(Warning) << "feature store save failed: " << saved.ToString();
+  }
+  return bank;
+}
+
+}  // namespace snor::serve

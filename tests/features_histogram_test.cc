@@ -105,6 +105,61 @@ INSTANTIATE_TEST_SUITE_P(AllMetrics, HistIdentityTest,
                                            HistCompareMethod::kIntersection,
                                            HistCompareMethod::kHellinger));
 
+// Regression tests for the fully-masked-crop path: a segmentation that
+// masks out every pixel produces an all-zero histogram, and comparisons
+// against it must never report a perfect match. Hellinger used to return
+// 0 (identical) on a zero denominator, making an empty crop the nearest
+// neighbour of every gallery view.
+TEST(EmptyHistCompareTest, HellingerWorstCaseAgainstItself) {
+  ImageU8 img(4, 4, 3, 100);
+  ImageU8 mask(4, 4, 1, 0);  // Everything masked out.
+  ColorHistogram empty = ColorHistogram::Compute(img, &mask);
+  EXPECT_DOUBLE_EQ(empty.TotalMass(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      CompareHistograms(empty, empty, HistCompareMethod::kHellinger), 1.0);
+}
+
+TEST(EmptyHistCompareTest, HellingerWorstCaseAgainstRealHistogram) {
+  ColorHistogram empty(4);
+  ColorHistogram real(4);
+  real.At(1, 2, 3) = 1.0;
+  EXPECT_DOUBLE_EQ(
+      CompareHistograms(empty, real, HistCompareMethod::kHellinger), 1.0);
+  EXPECT_DOUBLE_EQ(
+      CompareHistograms(real, empty, HistCompareMethod::kHellinger), 1.0);
+}
+
+TEST(EmptyHistCompareTest, IntersectionReportsNoOverlap) {
+  ColorHistogram empty(4);
+  ColorHistogram real(4);
+  real.At(0, 0, 0) = 1.0;
+  EXPECT_DOUBLE_EQ(
+      CompareHistograms(empty, real, HistCompareMethod::kIntersection), 0.0);
+  EXPECT_DOUBLE_EQ(
+      CompareHistograms(empty, empty, HistCompareMethod::kIntersection), 0.0);
+}
+
+TEST(EmptyHistCompareTest, ChiSquareSkipsZeroReferenceBins) {
+  // Chi-square only accumulates over bins where the reference `a` has
+  // mass, so an empty reference scores 0 by construction; a real
+  // reference against an empty probe scores its full mass.
+  ColorHistogram empty(4);
+  ColorHistogram real(4);
+  real.At(0, 0, 0) = 2.0;
+  EXPECT_DOUBLE_EQ(
+      CompareHistograms(empty, real, HistCompareMethod::kChiSquare), 0.0);
+  EXPECT_DOUBLE_EQ(
+      CompareHistograms(real, empty, HistCompareMethod::kChiSquare), 2.0);
+}
+
+TEST(EmptyHistCompareTest, CorrelationTreatsFlatAsCorrelated) {
+  // Two deviation-free histograms are deemed perfectly correlated; the
+  // guard exists for flat (e.g. uniform) histograms, not just empty ones.
+  ColorHistogram empty(4);
+  EXPECT_DOUBLE_EQ(
+      CompareHistograms(empty, empty, HistCompareMethod::kCorrelation), 1.0);
+}
+
 TEST(HistCompareTest, DisjointHistogramsAreMaximallyDissimilar) {
   ColorHistogram a(4);
   ColorHistogram b(4);

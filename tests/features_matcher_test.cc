@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "features/kdtree.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace snor {
@@ -95,11 +96,38 @@ TEST(RatioTest, KeepsDistinctiveMatches) {
   std::vector<std::vector<DMatch>> knn = {
       {{0, 1, 1.0f}, {0, 2, 10.0f}},  // Distinctive: 1 < 0.5*10.
       {{1, 3, 5.0f}, {1, 4, 6.0f}},   // Ambiguous: 5 >= 0.5*6.
-      {{2, 5, 2.0f}},                 // Too few neighbours: dropped.
+      {{2, 5, 2.0f}},                 // Single neighbour: trivially kept.
   };
   const auto good = RatioTestFilter(knn, 0.5f);
-  ASSERT_EQ(good.size(), 1u);
+  ASSERT_EQ(good.size(), 2u);
   EXPECT_EQ(good[0].train_idx, 1);
+  EXPECT_EQ(good[1].train_idx, 5);
+}
+
+TEST(RatioTest, SingleNeighbourListIsNotDropped) {
+  // With a one-entry gallery every kNN list has exactly one neighbour;
+  // the ratio test has nothing to compare against and must keep it
+  // (matching the descriptor classifier's empty-match fallback semantics)
+  // rather than silently discarding the whole query.
+  std::vector<std::vector<DMatch>> knn = {{{0, 7, 3.0f}}, {{1, 2, 0.5f}}};
+  const auto good = RatioTestFilter(knn, 0.75f);
+  ASSERT_EQ(good.size(), 2u);
+  EXPECT_EQ(good[0].train_idx, 7);
+  EXPECT_EQ(good[1].train_idx, 2);
+}
+
+TEST(RatioTest, EmptyListsAreSkippedWithoutCountingAsDropped) {
+  auto& dropped =
+      obs::MetricsRegistry::Global().counter("features.matcher.dropped");
+  const std::uint64_t before = dropped.value();
+  std::vector<std::vector<DMatch>> knn = {
+      {},                             // No neighbour at all: skipped.
+      {{1, 3, 5.0f}, {1, 4, 6.0f}},   // Ambiguous: dropped and counted.
+      {{2, 5, 2.0f}},                 // Single neighbour: kept.
+  };
+  const auto good = RatioTestFilter(knn, 0.5f);
+  EXPECT_EQ(good.size(), 1u);
+  EXPECT_EQ(dropped.value() - before, 1u);
 }
 
 TEST(RatioTest, HigherRatioKeepsMore) {

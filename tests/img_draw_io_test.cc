@@ -5,6 +5,7 @@
 #include "img/draw.h"
 #include "img/io_ppm.h"
 #include "img/pyramid.h"
+#include "util/fault.h"
 
 namespace snor {
 namespace {
@@ -153,6 +154,58 @@ TEST(PnmIoTest, HandlesHeaderComments) {
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_EQ(result.value().at(0, 0), 9);
   EXPECT_EQ(result.value().at(0, 1), 200);
+}
+
+TEST(PnmIoTest, HandlesCommentsBetweenEveryHeaderToken) {
+  // GIMP and friends scatter comments anywhere in the header, including
+  // between width and height.
+  const std::string path = testing::TempDir() + "/snor_comment_multi.pgm";
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "P5 # magic\n# created by a robot\n2 # width\n1\n# almost there\n"
+         "255\n";
+    f.put(static_cast<char>(40));
+    f.put(static_cast<char>(41));
+  }
+  auto result = ReadPnm(path);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().at(0, 0), 40);
+  EXPECT_EQ(result.value().at(0, 1), 41);
+}
+
+TEST(PnmIoTest, CommentGluedToMaxvalDoesNotLeakIntoRaster) {
+  // Regression: a `#` directly after the maxval ("255#made by x") used to
+  // be pushed back, so the comment bytes were read as raster payload.
+  // The comment must be consumed through its newline, which then serves
+  // as the single delimiter before the raster.
+  const std::string path = testing::TempDir() + "/snor_comment_maxval.pgm";
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "P5\n2 2\n255# made by snor\n";
+    for (char v : {'\x01', '\x02', '\x03', '\x04'}) f.put(v);
+  }
+  auto result = ReadPnm(path);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().at(0, 0), 1);
+  EXPECT_EQ(result.value().at(1, 1), 4);
+}
+
+TEST(PnmIoTest, CommentedHeaderStillHitsTruncationFault) {
+  // The comment fix must not bypass the deterministic truncated-file
+  // fault hook: a commented header followed by a complete payload still
+  // fails when the fault point is armed at rate 1.
+  const std::string path = testing::TempDir() + "/snor_comment_fault.pgm";
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "P5\n# commented header\n2 1\n255\n";
+    f.put(static_cast<char>(7));
+    f.put(static_cast<char>(8));
+  }
+  ASSERT_TRUE(ReadPnm(path).ok());
+  ScopedFault truncated(FaultPoint::kTruncatedFile, 1.0, 99);
+  auto result = ReadPnm(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
 }
 
 TEST(PnmIoTest, TruncatedPayloadIsError) {

@@ -1,0 +1,184 @@
+#include "serve/batch_engine.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+
+namespace snor::serve {
+namespace {
+
+// Shared small experiment context (same scale as core_classifiers_test).
+ExperimentContext& Context() {
+  // Leaked on purpose (static-destruction-order safety).
+  // NOLINTNEXTLINE(raw-new-delete)
+  static ExperimentContext& ctx = *new ExperimentContext([] {
+    ExperimentConfig config;
+    config.canvas_size = 64;
+    config.nyu_fraction = 0.01;
+    return config;
+  }());
+  return ctx;
+}
+
+std::vector<const ImageFeatures*> Pointers(
+    const std::vector<ImageFeatures>& features) {
+  std::vector<const ImageFeatures*> out;
+  out.reserve(features.size());
+  for (const ImageFeatures& f : features) out.push_back(&f);
+  return out;
+}
+
+/// Warm predictions must be bit-identical to the cold classifier for any
+/// shard / thread / batch configuration. Runs every Table-2 approach.
+class BitIdentityTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(BitIdentityTest, EngineMatchesColdClassifier) {
+  auto& ctx = Context();
+  const auto [approach_index, num_shards, n_threads] = GetParam();
+  const ApproachSpec spec =
+      Table2Approaches()[static_cast<std::size_t>(approach_index)];
+
+  const auto& inputs = ctx.Sns2Features();
+  const auto& gallery = ctx.Sns1Features();
+
+  auto cold = MakeClassifier(spec, gallery, ctx.config().seed);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  const std::vector<ObjectClass> expected =
+      cold.value()->ClassifyAll(inputs);
+
+  BatchEngineOptions options;
+  options.num_shards = num_shards;
+  options.n_threads = n_threads;
+  auto engine = BatchEngine::Create(spec, gallery, options,
+                                    ctx.config().seed);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  const std::vector<ObjectClass> actual =
+      engine.value()->ClassifyBatch(Pointers(inputs));
+
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual[i], expected[i]) << "query " << i << " diverges for "
+                                      << spec.DisplayName();
+  }
+  // Degradation accounting must agree too.
+  EXPECT_EQ(engine.value()->degradation().shape_only,
+            cold.value()->degradation().shape_only);
+  EXPECT_EQ(engine.value()->degradation().color_only,
+            cold.value()->degradation().color_only);
+  EXPECT_EQ(engine.value()->degradation().fallback,
+            cold.value()->degradation().fallback);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApproachesShardsThreads, BitIdentityTest,
+    ::testing::Combine(::testing::Range(0, 11),
+                       ::testing::Values(1, 3, 7),
+                       ::testing::Values(1, 4)));
+
+TEST(BatchEngineTest, EmptyGalleryIsInvalidArgument) {
+  ApproachSpec spec;
+  spec.kind = ApproachSpec::Kind::kShape;
+  auto engine = BatchEngine::Create(spec, {});
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BatchEngineTest, AllInvalidGalleryIsUnavailable) {
+  ApproachSpec spec;
+  spec.kind = ApproachSpec::Kind::kShape;
+  std::vector<ImageFeatures> gallery(3);
+  for (auto& f : gallery) f.valid = false;
+  auto engine = BatchEngine::Create(spec, gallery);
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(BatchEngineTest, ShardCountIsClampedToGallerySize) {
+  auto& ctx = Context();
+  ApproachSpec spec;
+  spec.kind = ApproachSpec::Kind::kShape;
+  std::vector<ImageFeatures> tiny(ctx.Sns1Features().begin(),
+                                  ctx.Sns1Features().begin() + 3);
+  BatchEngineOptions options;
+  options.num_shards = 64;
+  auto engine = BatchEngine::Create(spec, tiny, options);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(engine.value()->num_shards(), 3u);
+}
+
+TEST(BatchEngineTest, DegradedQueriesFallBackLikeColdPath) {
+  auto& ctx = Context();
+  ApproachSpec spec;
+  spec.kind = ApproachSpec::Kind::kHybrid;
+  spec.alpha = 0.3;
+  spec.beta = 0.7;
+
+  // A mix of healthy and degraded queries: one with no histogram mass
+  // (colour unusable) and one fully invalid (both unusable -> fallback).
+  std::vector<ImageFeatures> inputs(ctx.Sns2Features().begin(),
+                                    ctx.Sns2Features().begin() + 6);
+  inputs[1].histogram = ColorHistogram(inputs[1].histogram.bins_per_channel());
+  inputs[4].valid = false;
+
+  const auto& gallery = ctx.Sns1Features();
+  auto cold = MakeClassifier(spec, gallery, ctx.config().seed);
+  ASSERT_TRUE(cold.ok());
+  const auto expected = cold.value()->ClassifyAll(inputs);
+
+  BatchEngineOptions options;
+  options.num_shards = 5;
+  options.n_threads = 3;
+  auto engine = BatchEngine::Create(spec, gallery, options,
+                                    ctx.config().seed);
+  ASSERT_TRUE(engine.ok());
+  const auto actual = engine.value()->ClassifyBatch(Pointers(inputs));
+
+  EXPECT_EQ(actual, expected);
+  EXPECT_EQ(engine.value()->degradation().fallback,
+            cold.value()->degradation().fallback);
+  EXPECT_GE(engine.value()->degradation().total(), 2u);
+}
+
+TEST(RunApproachBatchedTest, ReportMatchesColdRunApproach) {
+  auto& ctx = Context();
+  for (int shards : {1, 4}) {
+    for (std::size_t approach : {std::size_t{0}, std::size_t{2},
+                                 std::size_t{6}, std::size_t{9}}) {
+      const ApproachSpec spec = Table2Approaches()[approach];
+      const auto cold =
+          ctx.RunApproach(spec, ctx.Sns2Features(), ctx.Sns1Features());
+      ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+
+      WarmRunOptions options;
+      options.engine.num_shards = shards;
+      options.engine.batch_size = 16;
+      options.baseline_seed = ctx.config().seed;
+      const auto warm = RunApproachBatched(spec, ctx.Sns2Features(),
+                                           ctx.Sns1Features(), options);
+      ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+
+      EXPECT_EQ(warm.value().total, cold.value().total);
+      EXPECT_EQ(warm.value().attempted, cold.value().attempted);
+      EXPECT_DOUBLE_EQ(warm.value().cumulative_accuracy,
+                       cold.value().cumulative_accuracy);
+      EXPECT_EQ(warm.value().confusion, cold.value().confusion)
+          << spec.DisplayName() << " with " << shards << " shards";
+      EXPECT_EQ(warm.value().errors.size(), cold.value().errors.size());
+    }
+  }
+}
+
+TEST(RunApproachBatchedTest, EmptyGalleryPropagatesStatus) {
+  ApproachSpec spec;
+  spec.kind = ApproachSpec::Kind::kColor;
+  const auto warm = RunApproachBatched(spec, {}, {});
+  ASSERT_FALSE(warm.ok());
+  EXPECT_EQ(warm.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace snor::serve

@@ -1,0 +1,71 @@
+// End-to-end serving smoke test (wired into tools/run_checks.sh as the
+// ServeSmoke step): extract features cold, persist them to a store, load
+// them back warm, run the batched engine, and require bit-identical
+// results to the cold single-threaded path.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "obs/metrics.h"
+#include "serve/batch_engine.h"
+#include "serve/feature_store.h"
+
+namespace snor::serve {
+namespace {
+
+TEST(ServeSmokeTest, StoreWarmRunMatchesColdRun) {
+  ExperimentConfig config;
+  config.canvas_size = 48;
+  config.nyu_fraction = 0.01;
+  ExperimentContext ctx(config);
+
+  const FeatureOptions options = ctx.FeatureOptionsFor(true);
+
+  auto& registry = obs::MetricsRegistry::Global();
+  const std::uint64_t hits_before =
+      registry.counter("serve.store.hit").value();
+  const std::uint64_t misses_before =
+      registry.counter("serve.store.miss").value();
+
+  // First pass populates the store (miss), second pass loads it (hit).
+  const std::string sns1_path = testing::TempDir() + "/smoke_sns1.fst";
+  const std::string sns2_path = testing::TempDir() + "/smoke_sns2.fst";
+  std::remove(sns1_path.c_str());
+  std::remove(sns2_path.c_str());
+  for (int pass = 0; pass < 2; ++pass) {
+    auto gallery = LoadOrComputeFeatures(sns1_path, ctx.Sns1(), options);
+    auto inputs = LoadOrComputeFeatures(sns2_path, ctx.Sns2(), options);
+    ASSERT_TRUE(gallery.ok()) << gallery.status().ToString();
+    ASSERT_TRUE(inputs.ok()) << inputs.status().ToString();
+
+    for (std::size_t approach = 0; approach < Table2Approaches().size();
+         ++approach) {
+      const ApproachSpec spec = Table2Approaches()[approach];
+      const auto cold =
+          ctx.RunApproach(spec, ctx.Sns2Features(), ctx.Sns1Features());
+      ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+
+      WarmRunOptions warm_options;
+      warm_options.baseline_seed = ctx.config().seed;
+      const auto warm = RunApproachBatched(spec, inputs.value(),
+                                           gallery.value(), warm_options);
+      ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+      EXPECT_DOUBLE_EQ(warm.value().cumulative_accuracy,
+                       cold.value().cumulative_accuracy)
+          << spec.DisplayName() << " pass " << pass;
+      EXPECT_EQ(warm.value().confusion, cold.value().confusion)
+          << spec.DisplayName() << " pass " << pass;
+    }
+  }
+  // Two stores, two passes: first pass misses both, second hits both.
+  EXPECT_EQ(registry.counter("serve.store.miss").value() - misses_before,
+            2u);
+  EXPECT_EQ(registry.counter("serve.store.hit").value() - hits_before, 2u);
+}
+
+}  // namespace
+}  // namespace snor::serve

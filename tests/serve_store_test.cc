@@ -1,0 +1,258 @@
+#include "serve/feature_store.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "util/fault.h"
+#include "util/rng.h"
+
+namespace snor::serve {
+namespace {
+
+ImageFeatures MakeFeatures(int label_index, int model_id, bool valid,
+                           std::uint64_t seed) {
+  Rng rng(seed);
+  ImageFeatures f;
+  f.label = ClassFromIndex(label_index);
+  f.model_id = model_id;
+  f.valid = valid;
+  for (double& h : f.hu) h = rng.Uniform(-1.0, 1.0);
+  f.histogram = ColorHistogram(8);
+  for (double& bin : f.histogram.bins()) bin = rng.UniformDouble();
+  return f;
+}
+
+StoredView MakeView(int label_index, int model_id, bool valid,
+                    std::uint64_t seed) {
+  StoredView view;
+  view.features = MakeFeatures(label_index, model_id, valid, seed);
+  Rng rng(seed ^ 0x5eedull);
+  const int n_float = static_cast<int>(rng.UniformInt(0, 3));
+  for (int i = 0; i < n_float; ++i) {
+    FloatDescriptor d(16);
+    for (float& v : d) v = static_cast<float>(rng.UniformDouble());
+    view.float_descriptors.push_back(std::move(d));
+  }
+  const int n_binary = static_cast<int>(rng.UniformInt(0, 3));
+  for (int i = 0; i < n_binary; ++i) {
+    BinaryDescriptor d;
+    for (auto& byte : d) byte = static_cast<std::uint8_t>(rng.UniformInt(0, 255));
+    view.binary_descriptors.push_back(d);
+  }
+  return view;
+}
+
+void ExpectFeaturesEqual(const ImageFeatures& a, const ImageFeatures& b) {
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_EQ(a.model_id, b.model_id);
+  EXPECT_EQ(a.valid, b.valid);
+  EXPECT_EQ(a.hu, b.hu);  // Exact: persistence must be bit-faithful.
+  ASSERT_EQ(a.histogram.bins_per_channel(), b.histogram.bins_per_channel());
+  EXPECT_EQ(a.histogram.bins(), b.histogram.bins());
+}
+
+TEST(FeatureStoreTest, RoundTripPreservesEveryField) {
+  std::vector<StoredView> views;
+  for (int i = 0; i < 12; ++i) {
+    // Every class index, a mix of valid and invalid records.
+    views.push_back(MakeView(i % kNumClasses, i, i % 3 != 0, 1000u + i));
+  }
+  const std::string path =
+      testing::TempDir() + "/snor_store_roundtrip.fst";
+  const std::uint64_t fp = 0xabcdef12345678ull;
+  ASSERT_TRUE(SaveFeatureStore(path, fp, views).ok());
+
+  auto loaded = LoadFeatureStore(path, fp);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), views.size());
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    ExpectFeaturesEqual(loaded.value()[i].features, views[i].features);
+    EXPECT_EQ(loaded.value()[i].float_descriptors,
+              views[i].float_descriptors);
+    EXPECT_EQ(loaded.value()[i].binary_descriptors,
+              views[i].binary_descriptors);
+  }
+}
+
+TEST(FeatureStoreTest, EmptyStoreRoundTrips) {
+  const std::string path = testing::TempDir() + "/snor_store_empty.fst";
+  ASSERT_TRUE(SaveFeatureStore(path, 7, {}).ok());
+  auto loaded = LoadFeatureStore(path, 7);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().empty());
+}
+
+TEST(FeatureStoreTest, BankRoundTripPreservesInvalidRecords) {
+  std::vector<ImageFeatures> bank;
+  bank.push_back(MakeFeatures(2, 5, true, 42));
+  bank.push_back(MakeFeatures(7, 1, false, 43));  // Preprocess failure.
+  const std::string path = testing::TempDir() + "/snor_bank.fst";
+  ASSERT_TRUE(SaveFeatureBank(path, 99, bank).ok());
+  auto loaded = LoadFeatureBank(path, 99);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), 2u);
+  ExpectFeaturesEqual(loaded.value()[0], bank[0]);
+  ExpectFeaturesEqual(loaded.value()[1], bank[1]);
+  EXPECT_FALSE(loaded.value()[1].valid);
+}
+
+TEST(FeatureStoreTest, FingerprintMismatchIsInvalidArgument) {
+  const std::string path = testing::TempDir() + "/snor_store_fp.fst";
+  ASSERT_TRUE(SaveFeatureStore(path, 1, {MakeView(0, 0, true, 1)}).ok());
+  auto loaded = LoadFeatureStore(path, 2);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FeatureStoreTest, MissingFileIsIoError) {
+  auto loaded = LoadFeatureStore("/nonexistent/snor.fst", 0);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(FeatureStoreTest, BadMagicIsIoError) {
+  const std::string path = testing::TempDir() + "/snor_store_magic.fst";
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "NOTASTOREatall----------------";
+  }
+  auto loaded = LoadFeatureStore(path, 0);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(FeatureStoreTest, VersionMismatchIsIoError) {
+  const std::string path = testing::TempDir() + "/snor_store_version.fst";
+  {
+    std::ofstream f(path, std::ios::binary);
+    f.write("SNORFST1", 8);
+    const std::uint32_t version = kFeatureStoreVersion + 1;
+    const std::uint64_t fp = 0;
+    const std::uint32_t count = 0;
+    f.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    f.write(reinterpret_cast<const char*>(&fp), sizeof(fp));
+    f.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  }
+  auto loaded = LoadFeatureStore(path, 0);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(FeatureStoreTest, PayloadCorruptionIsIoError) {
+  const std::string path = testing::TempDir() + "/snor_store_corrupt.fst";
+  ASSERT_TRUE(
+      SaveFeatureStore(path, 5, {MakeView(3, 0, true, 77)}).ok());
+  // Flip one byte in the middle of the record payload; the per-record
+  // checksum must catch it.
+  std::string raw;
+  {
+    std::ifstream f(path, std::ios::binary);
+    raw.assign(std::istreambuf_iterator<char>(f), {});
+  }
+  raw[raw.size() / 2] = static_cast<char>(raw[raw.size() / 2] ^ 0x40);
+  {
+    std::ofstream f(path, std::ios::binary);
+    f.write(raw.data(), static_cast<std::streamsize>(raw.size()));
+  }
+  auto loaded = LoadFeatureStore(path, 5);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(FeatureStoreTest, TruncatedFileIsIoError) {
+  const std::string path = testing::TempDir() + "/snor_store_trunc.fst";
+  ASSERT_TRUE(
+      SaveFeatureStore(path, 5, {MakeView(3, 0, true, 77)}).ok());
+  std::string raw;
+  {
+    std::ifstream f(path, std::ios::binary);
+    raw.assign(std::istreambuf_iterator<char>(f), {});
+  }
+  {
+    std::ofstream f(path, std::ios::binary);
+    f.write(raw.data(), static_cast<std::streamsize>(raw.size() - 9));
+  }
+  auto loaded = LoadFeatureStore(path, 5);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(FeatureStoreTest, TruncationFaultPointFiresDeterministically) {
+  const std::string path = testing::TempDir() + "/snor_store_fault.fst";
+  ASSERT_TRUE(
+      SaveFeatureStore(path, 5, {MakeView(3, 0, true, 77)}).ok());
+  ASSERT_TRUE(LoadFeatureStore(path, 5).ok());
+  ScopedFault truncated(FaultPoint::kTruncatedFile, 1.0, 7);
+  auto loaded = LoadFeatureStore(path, 5);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(FeatureStoreTest, IoReadFaultPointGuardsTheOpen) {
+  const std::string path = testing::TempDir() + "/snor_store_ioread.fst";
+  ASSERT_TRUE(SaveFeatureStore(path, 5, {}).ok());
+  ScopedFault io(FaultPoint::kIoRead, 1.0, 3);
+  auto loaded = LoadFeatureStore(path, 5);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(FeatureStoreTest, FingerprintSeparatesOptionSpaces) {
+  FeatureOptions a;
+  FeatureOptions b = a;
+  EXPECT_EQ(OptionsFingerprint(a), OptionsFingerprint(b));
+  b.hist_bins = a.hist_bins + 8;
+  EXPECT_NE(OptionsFingerprint(a), OptionsFingerprint(b));
+  FeatureOptions c;
+  c.mask_histogram = !c.mask_histogram;
+  EXPECT_NE(OptionsFingerprint(a), OptionsFingerprint(c));
+  FeatureOptions d;
+  d.preprocess.white_background = !d.preprocess.white_background;
+  EXPECT_NE(OptionsFingerprint(a), OptionsFingerprint(d));
+}
+
+TEST(FeatureStoreTest, LoadOrComputeMissesThenHits) {
+  DatasetOptions dataset_options;
+  dataset_options.canvas_size = 32;
+  const Dataset dataset = MakeShapeNetSet2(dataset_options);
+  FeatureOptions options;
+  options.hist_bins = 4;
+
+  auto& registry = obs::MetricsRegistry::Global();
+  auto& hits = registry.counter("serve.store.hit");
+  auto& misses = registry.counter("serve.store.miss");
+  const std::uint64_t hits_before = hits.value();
+  const std::uint64_t misses_before = misses.value();
+
+  const std::string path = testing::TempDir() + "/snor_store_warm.fst";
+  std::remove(path.c_str());
+  auto cold = LoadOrComputeFeatures(path, dataset, options);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_EQ(misses.value() - misses_before, 1u);
+  EXPECT_EQ(hits.value() - hits_before, 0u);
+
+  auto warm = LoadOrComputeFeatures(path, dataset, options);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_EQ(hits.value() - hits_before, 1u);
+  ASSERT_EQ(warm.value().size(), cold.value().size());
+  for (std::size_t i = 0; i < warm.value().size(); ++i) {
+    ExpectFeaturesEqual(warm.value()[i], cold.value()[i]);
+  }
+
+  // Different options must refuse the stale store and recompute.
+  FeatureOptions other = options;
+  other.hist_bins = 8;
+  auto recomputed = LoadOrComputeFeatures(path, dataset, other);
+  ASSERT_TRUE(recomputed.ok());
+  EXPECT_EQ(misses.value() - misses_before, 2u);
+}
+
+}  // namespace
+}  // namespace snor::serve

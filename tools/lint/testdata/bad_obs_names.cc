@@ -18,6 +18,21 @@ void Spans() {
   snor::obs::TraceInstant("trailing.dot.");  // EXPECT-LINT: span-metric-name
 }
 
+void ServeNames() {
+  // The serving layer's span/metric vocabulary must satisfy the same
+  // naming rule as every other layer.
+  SNOR_TRACE_SPAN("serve.store.load");
+  SNOR_TRACE_SPAN("serve.engine.batch");
+  SNOR_TRACE_SPAN("serve.engine.shard_scan");
+  SNOR_TRACE_SPAN("serve.Engine.Batch");  // EXPECT-LINT: span-metric-name
+  auto& registry = snor::obs::MetricsRegistry::Global();
+  registry.counter("serve.store.hit").Increment();
+  registry.counter("serve.store.miss").Increment();
+  registry.counter("serve.store.bytes_read").Increment();
+  registry.histogram("serve.engine.batch_latency_us").Record(1.0);
+  registry.counter("serve.store hit").Increment();  // EXPECT-LINT: span-metric-name
+}
+
 void Metrics() {
   auto& registry = snor::obs::MetricsRegistry::Global();
   registry.counter("core.classify.items").Increment();

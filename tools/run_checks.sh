@@ -34,6 +34,9 @@ ctest --preset check -j
 echo "== trace-smoke: quick bench with tracing + telemetry validation =="
 ctest --test-dir build-check -R TraceSmoke --output-on-failure
 
+echo "== serve-smoke: feature store -> warm batched run vs cold run =="
+ctest --test-dir build-check -R ServeSmoke --output-on-failure
+
 if [[ $run_asan -eq 1 ]]; then
   echo "== asan: AddressSanitizer + UBSan =="
   cmake --preset asan
