@@ -12,13 +12,13 @@ namespace snor {
 std::vector<ImageFeatures> ComputeFeatures(const Dataset& dataset,
                                            const FeatureOptions& options) {
   SNOR_TRACE_SPAN("core.feature_cache.build");
-  static obs::Counter& items_counter =
+  static obs::Counter& items_counter =  // GUARDED_BY(atomic)
       obs::MetricsRegistry::Global().counter("core.feature_cache.items");
-  static obs::Counter& invalid_counter =
+  static obs::Counter& invalid_counter =  // GUARDED_BY(atomic)
       obs::MetricsRegistry::Global().counter("core.feature_cache.invalid");
   items_counter.Increment(dataset.size());
 
-  std::vector<ImageFeatures> features(dataset.size());
+  std::vector<ImageFeatures> features(dataset.size());  // GUARDED_BY(per_worker_slot)
 
   const PreprocessOptions& preprocess = options.preprocess;
 

@@ -156,9 +156,12 @@ class MetricsRegistry {
 
  private:
   mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>>
+      counters_;  // GUARDED_BY(mutex_)
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>>
+      gauges_;  // GUARDED_BY(mutex_)
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
+      histograms_;  // GUARDED_BY(mutex_)
 };
 
 /// \brief RAII helper recording the scope's wall-clock duration (in

@@ -137,9 +137,9 @@ class TraceRecorder {
   void Push(const TraceEvent& event);
 
   mutable std::mutex registry_mutex_;
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
-  std::string output_path_;
-  std::size_t buffer_capacity_ = 65536;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;  // GUARDED_BY(registry_mutex_)
+  std::string output_path_;  // GUARDED_BY(registry_mutex_)
+  std::size_t buffer_capacity_ = 65536;  // GUARDED_BY(registry_mutex_)
   std::atomic<std::int64_t> epoch_us_{0};
   std::atomic<std::uint64_t> recorded_{0};
 };

@@ -115,7 +115,7 @@ std::vector<ObjectClass> BatchEngine::ClassifyPartialArgmin(
 
   // One partial arg-optimum per (query, shard) cell, filled by the
   // parallel task grid; every worker writes only its own cell.
-  std::vector<PartialBest> partials(nq * ns);
+  std::vector<PartialBest> partials(nq * ns);  // GUARDED_BY(per_worker_slot)
   ParallelFor(
       nq * ns,
       [&](std::size_t task) {
@@ -163,8 +163,8 @@ std::vector<ObjectClass> BatchEngine::ClassifyHybrid(
 
   std::vector<char> use_shape(nq);
   std::vector<char> use_color(nq);
-  std::vector<std::vector<double>> shape_rows(nq);
-  std::vector<std::vector<double>> color_rows(nq);
+  std::vector<std::vector<double>> shape_rows(nq);  // GUARDED_BY(per_worker_slot)
+  std::vector<std::vector<double>> color_rows(nq);  // GUARDED_BY(per_worker_slot)
   for (std::size_t q = 0; q < nq; ++q) {
     use_shape[q] = ShapeModalityUsable(*queries[q]);
     use_color[q] = ColorModalityUsable(*queries[q]);
@@ -176,7 +176,8 @@ std::vector<ObjectClass> BatchEngine::ClassifyHybrid(
 
   // Per-(query, shard) usable-score counts; summed per query after the
   // barrier to decide modality collapse exactly like ScoresForModes.
-  std::vector<std::pair<std::size_t, std::size_t>> counts(nq * ns, {0, 0});
+  std::vector<std::pair<std::size_t, std::size_t>> counts(nq * ns,  // GUARDED_BY(per_worker_slot)
+                                                          {0, 0});
   ParallelFor(
       nq * ns,
       [&](std::size_t task) {

@@ -77,10 +77,10 @@ class BatchEngine {
       const std::vector<const ImageFeatures*>& queries);
 
   ApproachSpec spec_;
-  std::vector<ImageFeatures> gallery_;
+  std::vector<ImageFeatures> gallery_;  // GUARDED_BY(caller)
   BatchEngineOptions options_;
-  std::vector<Shard> shards_;
-  DegradationStats degradation_;
+  std::vector<Shard> shards_;  // GUARDED_BY(caller)
+  DegradationStats degradation_;  // GUARDED_BY(caller)
   /// The baseline consumes one RNG draw per classified query; delegating
   /// to the real classifier keeps the draw sequence cold-path-identical.
   std::unique_ptr<MatchingClassifier> baseline_;

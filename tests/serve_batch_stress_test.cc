@@ -1,0 +1,136 @@
+#include "serve/batch_engine.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "util/fault.h"
+
+namespace snor::serve {
+namespace {
+
+// Shared small experiment context (same scale as serve_engine_test).
+ExperimentContext& Context() {
+  // Leaked on purpose (static-destruction-order safety).
+  // NOLINTNEXTLINE(raw-new-delete)
+  static ExperimentContext& ctx = *new ExperimentContext([] {
+    ExperimentConfig config;
+    config.canvas_size = 64;
+    config.nyu_fraction = 0.01;
+    return config;
+  }());
+  return ctx;
+}
+
+std::vector<const ImageFeatures*> Pointers(
+    const std::vector<ImageFeatures>& features) {
+  std::vector<const ImageFeatures*> out;
+  out.reserve(features.size());
+  for (const ImageFeatures& f : features) out.push_back(&f);
+  return out;
+}
+
+/// TSan-preset stress: BatchEngine's shard grid under heavy
+/// oversubscription (many shards x many worker threads x several engines
+/// running at once) with slow-worker stalls injected to shake up the
+/// interleavings. The engine is caller-serialized (one ClassifyBatch at
+/// a time per engine — see GUARDED_BY(caller) on degradation_), so each
+/// concurrent caller drives its OWN engine; what must hold is that every
+/// engine's output and degradation accounting stay bit-identical to the
+/// cold sequential classifier no matter the schedule.
+TEST(BatchEngineStressTest, ManyEnginesUnderSlowWorkersStayBitIdentical) {
+  auto& ctx = Context();
+  const auto& inputs = ctx.Sns2Features();
+  const auto& gallery = ctx.Sns1Features();
+
+  // A hybrid spec exercises the widest parallel path (two modalities,
+  // per-row partial scores, usable-count reduction).
+  ApproachSpec spec;
+  spec.kind = ApproachSpec::Kind::kHybrid;
+  spec.alpha = 0.3;
+  spec.beta = 0.7;
+
+  auto cold = MakeClassifier(spec, gallery, ctx.config().seed);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  const std::vector<ObjectClass> expected = cold.value()->ClassifyAll(inputs);
+  const auto expected_degradation = cold.value()->degradation();
+
+  // ~2ms stalls at a high rate reorder shard completion aggressively.
+  ScopedFault slow(FaultPoint::kSlowWorker, 0.3, 17);
+
+  constexpr int kCallers = 6;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      // Shard/thread counts vary per caller: 1..kCallers shards against
+      // 2..N threads oversubscribes the machine on purpose.
+      BatchEngineOptions options;
+      options.num_shards = 1 + c * 3;
+      options.n_threads = 2 + c;
+      auto engine =
+          BatchEngine::Create(spec, gallery, options, ctx.config().seed);
+      if (!engine.ok()) {
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      for (int round = 0; round < 3; ++round) {
+        const std::vector<ObjectClass> got =
+            engine.value()->ClassifyBatch(Pointers(inputs));
+        if (got != expected) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      const auto& d = engine.value()->degradation();
+      // Three rounds accumulate three times the cold run's counts.
+      if (d.fallback != 3 * expected_degradation.fallback ||
+          d.shape_only != 3 * expected_degradation.shape_only ||
+          d.color_only != 3 * expected_degradation.color_only) {
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+/// Sequential reuse of one engine across batches under injected stalls:
+/// the caller-serialized contract in action. Degradation accounting must
+/// be exactly additive across batches.
+TEST(BatchEngineStressTest, SequentialBatchesAccumulateDegradationExactly) {
+  auto& ctx = Context();
+  const auto& gallery = ctx.Sns1Features();
+
+  ApproachSpec spec;
+  spec.kind = ApproachSpec::Kind::kShape;
+
+  // Half the queries are degraded so the fallback path is exercised.
+  std::vector<ImageFeatures> inputs(ctx.Sns2Features().begin(),
+                                    ctx.Sns2Features().begin() + 8);
+  for (std::size_t i = 0; i < inputs.size(); i += 2) {
+    inputs[i].valid = false;
+  }
+
+  ScopedFault slow(FaultPoint::kSlowWorker, 0.2, 29);
+
+  BatchEngineOptions options;
+  options.num_shards = 7;
+  options.n_threads = 4;
+  auto engine = BatchEngine::Create(spec, gallery, options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  constexpr int kBatches = 5;
+  for (int b = 0; b < kBatches; ++b) {
+    const auto got = engine.value()->ClassifyBatch(Pointers(inputs));
+    EXPECT_EQ(got.size(), inputs.size());
+  }
+  EXPECT_EQ(engine.value()->degradation().fallback,
+            static_cast<std::size_t>(kBatches) * (inputs.size() / 2));
+}
+
+}  // namespace
+}  // namespace snor::serve

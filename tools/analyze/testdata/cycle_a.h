@@ -1,0 +1,17 @@
+// ANALYZE-AS: src/core/cycle_a.h
+// Fixture: one half of a mutual include (see cycle_b.h). The cycle is
+// reported once, at the back-edge in cycle_b.h.
+#ifndef SNOR_CORE_CYCLE_A_H_
+#define SNOR_CORE_CYCLE_A_H_
+
+#include "core/cycle_b.h"
+
+namespace snor::core {
+
+struct NodeA {
+  int payload = 0;
+};
+
+}  // namespace snor::core
+
+#endif  // SNOR_CORE_CYCLE_A_H_

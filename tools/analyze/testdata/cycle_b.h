@@ -1,0 +1,16 @@
+// ANALYZE-AS: src/core/cycle_b.h
+// Fixture: the other half of the mutual include started in cycle_a.h.
+#ifndef SNOR_CORE_CYCLE_B_H_
+#define SNOR_CORE_CYCLE_B_H_
+
+#include "core/cycle_a.h"  // EXPECT-ANALYZE: include-cycle
+
+namespace snor::core {
+
+struct NodeB {
+  int payload = 0;
+};
+
+}  // namespace snor::core
+
+#endif  // SNOR_CORE_CYCLE_B_H_

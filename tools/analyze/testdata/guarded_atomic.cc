@@ -1,0 +1,17 @@
+// Fixture for guarded-by with the `atomic` guard (scanned, never
+// compiled): internally synchronized members are writable anywhere.
+#include <atomic>
+#include <cstddef>
+
+namespace fixture {
+
+inline std::atomic<int> hits{0};  // GUARDED_BY(atomic)
+
+inline void Count(std::size_t n) {
+  ParallelFor(n, [&](std::size_t) {
+    hits.store(1);  // ok: internally synchronized
+  });
+  hits.store(0);
+}
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Fixture for guarded-by with the `caller` guard (scanned, never
+// compiled): the member is caller-serialized and must never be touched
+// from worker lambdas.
+#include <cstddef>
+
+namespace fixture {
+
+struct Stats {
+  int fallback = 0;
+};
+
+class Engine {
+ public:
+  void Classify(std::size_t n);
+
+ private:
+  Stats degradation_;  // GUARDED_BY(caller)
+};
+
+void Engine::Classify(std::size_t n) {
+  ParallelFor(n, [&](std::size_t i) {
+    degradation_.fallback += static_cast<int>(i);  // EXPECT-ANALYZE: guarded-by
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    degradation_.fallback += 1;  // ok: sequential caller-side merge
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Fixture for guarded-by with a mutex guard (scanned, never compiled).
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace fixture {
+
+class Accumulator {
+ public:
+  void Run(std::size_t n);
+
+ private:
+  std::mutex mu_;
+  std::vector<int> totals_;  // GUARDED_BY(mu_)
+};
+
+void Accumulator::Run(std::size_t n) {
+  ParallelFor(n, [&](std::size_t i) {
+    totals_.push_back(static_cast<int>(i));  // EXPECT-ANALYZE: guarded-by
+  });
+  ParallelFor(n, [&](std::size_t i) {
+    std::lock_guard<std::mutex> lock(mu_);
+    totals_.push_back(static_cast<int>(i));  // ok: mu_ held
+  });
+  totals_.clear();  // ok: outside any ParallelFor body
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture for guarded-by with per_worker_slot (scanned, never
+// compiled): workers may only write their own index.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+inline void FillSquares(std::size_t n) {
+  std::vector<int> out(n);  // GUARDED_BY(per_worker_slot)
+  ParallelFor(n, [&](std::size_t i) {
+    out[i] = static_cast<int>(i * i);  // ok: per-slot write
+  });
+  ParallelFor(n, [&](std::size_t i) {
+    out.push_back(static_cast<int>(i));  // EXPECT-ANALYZE: guarded-by
+  });
+  ParallelFor(n, [&](std::size_t i) {
+    out.clear();  // NOLINT(guarded-by) -- fixture: intentional
+    out[i] = 0;
+  });
+  out.clear();  // ok: sequential section
+}
+
+}  // namespace fixture

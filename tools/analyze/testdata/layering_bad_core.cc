@@ -1,0 +1,10 @@
+// ANALYZE-AS: src/core/bad_layer.cc
+// Fixture: core must not reach up into serve (layer-violation).
+#include "serve/batch_engine.h"  // EXPECT-ANALYZE: layer-violation
+#include "util/status.h"
+
+namespace snor::core {
+
+int UsesServe() { return 1; }
+
+}  // namespace snor::core

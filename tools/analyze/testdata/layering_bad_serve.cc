@@ -1,0 +1,11 @@
+// ANALYZE-AS: src/serve/bad_nn.cc
+// Fixture: the nn training stack is isolated from serving.
+#include "nn/mlp.h"  // EXPECT-ANALYZE: layer-violation
+#include "core/experiment.h"
+#include "obs/metrics.h"
+
+namespace snor::serve {
+
+int UsesTraining() { return 2; }
+
+}  // namespace snor::serve

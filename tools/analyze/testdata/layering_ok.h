@@ -1,0 +1,15 @@
+// ANALYZE-AS: src/img/layering_ok.h
+// Fixture: img may include util and obs -- no findings expected.
+#ifndef SNOR_IMG_LAYERING_OK_H_
+#define SNOR_IMG_LAYERING_OK_H_
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace snor::img {
+
+inline int Fine() { return 0; }
+
+}  // namespace snor::img
+
+#endif  // SNOR_IMG_LAYERING_OK_H_

@@ -1,0 +1,12 @@
+// ANALYZE-AS: src/features/suppressed.cc
+// Fixture: an intentional layering exception, silenced inline.
+#include "serve/feature_store.h"  // NOLINT(layer-violation) -- fixture: intentional exception
+// NOLINTNEXTLINE(layer-violation) -- fixture: second suppression form
+#include "serve/batch_engine.h"
+#include "util/status.h"
+
+namespace snor::features {
+
+int UsesStore() { return 3; }
+
+}  // namespace snor::features

@@ -1,0 +1,34 @@
+// Fixture for the lock-temporary rule (scanned, never compiled).
+#include <mutex>
+
+namespace fixture {
+
+inline std::mutex mu;
+inline int counter = 0;
+
+inline void Bad() {
+  std::lock_guard<std::mutex>(mu);  // EXPECT-ANALYZE: lock-temporary
+  ++counter;
+}
+
+inline void BadCtad() {
+  std::scoped_lock(mu);  // EXPECT-ANALYZE: lock-temporary
+  ++counter;
+}
+
+inline void Good() {
+  std::lock_guard<std::mutex> lock(mu);
+  ++counter;  // ok: the guard is named and lives to scope end
+}
+
+inline int GoodReturnScope() {
+  std::unique_lock<std::mutex> held(mu);
+  return counter;  // ok
+}
+
+inline void Suppressed() {
+  std::unique_lock<std::mutex>(mu);  // NOLINT(lock-temporary) -- fixture
+  ++counter;
+}
+
+}  // namespace fixture

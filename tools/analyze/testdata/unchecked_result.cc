@@ -1,0 +1,59 @@
+// Fixture for the unchecked-status rule (scanned, never compiled).
+#include "util/status.h"
+
+namespace fixture {
+
+Result<int> ParseCount(const char* text);
+Status Validate(int n);
+
+int Bad() {
+  Result<int> r = ParseCount("5");
+  return r.value();  // EXPECT-ANALYZE: unchecked-status
+}
+
+int BadAuto() {
+  auto r = ParseCount("7");
+  return r.value();  // EXPECT-ANALYZE: unchecked-status
+}
+
+int BadDeref() {
+  Result<int> r = ParseCount("8");
+  return *r;  // EXPECT-ANALYZE: unchecked-status
+}
+
+int BadStatus() {
+  Status st = Validate(3);
+  return static_cast<int>(st.code());  // EXPECT-ANALYZE: unchecked-status
+}
+
+int Good() {
+  Result<int> r = ParseCount("5");
+  if (!r.ok()) return -1;
+  return r.value();  // ok: checked above
+}
+
+int GoodStatus() {
+  Status st = Validate(3);
+  if (!st.ok()) {
+    return static_cast<int>(st.code());  // ok: inside the check
+  }
+  return 0;
+}
+
+Status Propagates() {
+  Status st = Validate(4);
+  SNOR_RETURN_NOT_OK(st);  // ok: the macro is the check
+  return st;
+}
+
+int Fallback() {
+  Result<int> r = ParseCount("9");
+  return r.ValueOr(0);  // ok: fallback access needs no check
+}
+
+int SuppressedConsume() {
+  Result<int> r = ParseCount("5");
+  return r.value();  // NOLINT(unchecked-status) -- fixture: intentional
+}
+
+}  // namespace fixture

@@ -1,0 +1,50 @@
+// Fixture for the use-after-move rule (scanned, never compiled).
+#include <string>
+#include <utility>
+
+namespace fixture {
+
+void Consume(std::string s);
+
+void Positive() {
+  std::string a = "x";
+  Consume(std::move(a));
+  Consume(a);  // EXPECT-ANALYZE: use-after-move
+}
+
+void DoubleMove() {
+  std::string b = "x";
+  Consume(std::move(b));
+  Consume(std::move(b));  // EXPECT-ANALYZE: use-after-move
+}
+
+void Reassigned() {
+  std::string c = "x";
+  Consume(std::move(c));
+  c = "y";
+  Consume(c);  // ok: reassignment revives the value
+}
+
+void Cleared() {
+  std::string d = "x";
+  Consume(std::move(d));
+  d.clear();
+  Consume(d);  // ok: clear() leaves a known state
+}
+
+void BlockScoped(bool flag) {
+  std::string e = "x";
+  if (flag) {
+    Consume(std::move(e));
+    return;
+  }
+  Consume(e);  // ok: the move's scope closed (conservative)
+}
+
+void Suppressed() {
+  std::string f = "x";
+  Consume(std::move(f));
+  Consume(f);  // NOLINT(use-after-move) -- fixture: intentional
+}
+
+}  // namespace fixture

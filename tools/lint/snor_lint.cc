@@ -33,7 +33,12 @@
 //                       .histogram call does not follow the lowercase
 //                       dotted `layer.stage.detail` naming convention
 //                       (src/obs). Consistent names keep Perfetto
-//                       tracks and metric dumps greppable.
+//                       tracks and metric dumps greppable. Also covers
+//                       bench telemetry: the name passed to
+//                       bench::EmitBenchJson and literal
+//                       telemetry.emplace_back keys become JSON keys
+//                       in BENCH_<name>.json and must be lowercase
+//                       snake_case.
 //
 // Suppression: `// NOLINT`, `// NOLINT(rule)` on the offending line or
 // `// NOLINTNEXTLINE(rule)` on the line above. Intentional Status
@@ -46,6 +51,7 @@
 // rules treat the fixture as that file.
 
 #include <algorithm>
+#include <array>
 #include <cctype>
 #include <cstdio>
 #include <filesystem>
@@ -528,9 +534,32 @@ void CheckBannedConstructs(const SourceFile& file, std::vector<Violation>* out) 
 // subject to the `layer.stage.detail` convention. The literal must open
 // directly after `(` (the project's clang-format style), which also keeps
 // dynamically-built names (fault-point instrumentation) out of scope.
-constexpr std::string_view kObsNamePatterns[] = {
+constexpr std::array<std::string_view, 5> kObsNamePatterns = {
     "SNOR_TRACE_SPAN(\"", "TraceInstant(\"", ".counter(\"", ".gauge(\"",
     ".histogram(\""};
+
+// Bench telemetry call sites: the bench name passed to EmitBenchJson
+// and literal keys of the telemetry vector become JSON keys in
+// BENCH_<name>.json, consumed by downstream tables — they must be
+// lowercase snake_case. Dynamically-built keys (spec display names)
+// are out of scope, same as above.
+constexpr std::array<std::string_view, 3> kBenchKeyPatterns = {
+    "EmitBenchJson(\"", "telemetry.emplace_back(\"",
+    "telemetry->emplace_back(\""};
+
+// Lowercase snake_case: [a-z][a-z0-9_]*.
+bool IsValidBenchKey(std::string_view name) {
+  if (name.empty() || !std::islower(static_cast<unsigned char>(name.front()))) {
+    return false;
+  }
+  for (char c : name) {
+    if (!std::islower(static_cast<unsigned char>(c)) &&
+        !std::isdigit(static_cast<unsigned char>(c)) && c != '_') {
+      return false;
+    }
+  }
+  return true;
+}
 
 // Lowercase dotted name: >= 2 non-empty dot-separated segments of
 // [a-z0-9_-] characters. Mirrors obs::IsValidMetricName.
@@ -561,30 +590,37 @@ void CheckSpanMetricNames(const SourceFile& file, std::vector<Violation>* out) {
     const std::string& raw = file.raw[i];
     const std::string& code = i < file.code.size() ? file.code[i] : raw;
     const int lineno = static_cast<int>(i) + 1;
-    for (std::string_view pattern : kObsNamePatterns) {
-      for (std::size_t pos = raw.find(pattern); pos != std::string::npos;
-           pos = raw.find(pattern, pos + 1)) {
-        if (pattern[0] != '.' && pos > 0 && IsIdentChar(raw[pos - 1])) {
-          continue;  // Substring of a longer identifier.
+    auto check_patterns = [&](auto patterns, auto valid,
+                              const std::string& requirement) {
+      for (std::string_view pattern : patterns) {
+        for (std::size_t pos = raw.find(pattern); pos != std::string::npos;
+             pos = raw.find(pattern, pos + 1)) {
+          if (pattern[0] != '.' && pos > 0 && IsIdentChar(raw[pos - 1])) {
+            continue;  // Substring of a longer identifier.
+          }
+          const std::size_t call_len = pattern.size() - 1;  // Sans quote.
+          if (pos + call_len > code.size() ||
+              code.compare(pos, call_len, pattern.substr(0, call_len)) != 0) {
+            continue;  // Inside a comment or a string literal.
+          }
+          const std::size_t name_begin = pos + pattern.size();
+          const std::size_t name_end = raw.find('"', name_begin);
+          if (name_end == std::string::npos) continue;
+          const std::string name =
+              raw.substr(name_begin, name_end - name_begin);
+          if (valid(name)) continue;
+          if (file.Suppressed(lineno, "span-metric-name")) continue;
+          out->push_back({file.path, lineno, "span-metric-name",
+                          "span/metric name `" + name + "` " + requirement});
         }
-        const std::size_t call_len = pattern.size() - 1;  // Sans quote.
-        if (pos + call_len > code.size() ||
-            code.compare(pos, call_len, pattern.substr(0, call_len)) != 0) {
-          continue;  // Inside a comment or a string literal.
-        }
-        const std::size_t name_begin = pos + pattern.size();
-        const std::size_t name_end = raw.find('"', name_begin);
-        if (name_end == std::string::npos) continue;
-        const std::string name = raw.substr(name_begin, name_end - name_begin);
-        if (IsValidObsName(name)) continue;
-        if (file.Suppressed(lineno, "span-metric-name")) continue;
-        out->push_back(
-            {file.path, lineno, "span-metric-name",
-             "span/metric name `" + name +
-                 "` must be lowercase dotted `layer.stage.detail` "
-                 "([a-z0-9_-] segments, at least one dot)"});
       }
-    }
+    };
+    check_patterns(kObsNamePatterns, IsValidObsName,
+                   "must be lowercase dotted `layer.stage.detail` "
+                   "([a-z0-9_-] segments, at least one dot)");
+    check_patterns(kBenchKeyPatterns, IsValidBenchKey,
+                   "is a bench telemetry JSON key and must be lowercase "
+                   "snake_case ([a-z][a-z0-9_]*)");
   }
 }
 

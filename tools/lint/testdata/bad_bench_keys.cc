@@ -1,0 +1,37 @@
+// Fixture for the span-metric-name rule's bench-telemetry extension:
+// the name passed to bench::EmitBenchJson and literal keys pushed into
+// the telemetry vector become JSON keys in BENCH_<name>.json, so they
+// must be lowercase snake_case.
+// LINT-AS: bench/fixture.cc
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace fixture {
+
+using Telemetry = std::vector<std::pair<std::string, double>>;
+
+void GoodKeys(Telemetry& telemetry, Telemetry* out) {
+  telemetry.emplace_back("store_enabled", 1.0);
+  telemetry.emplace_back("feature_acquisition_s", 0.25);
+  telemetry->emplace_back("match_s", 1.5);
+  out->emplace_back("free_form", 0.0);  // Other vectors are out of scope.
+  snor::bench::EmitBenchJson("table2_shape_color", telemetry, {});
+}
+
+void BadKeys(Telemetry& telemetry) {
+  telemetry.emplace_back("StoreEnabled", 1.0);  // EXPECT-LINT: span-metric-name
+  telemetry.emplace_back("match-s", 1.5);  // EXPECT-LINT: span-metric-name
+  telemetry.emplace_back("2nd_pass", 0.0);  // EXPECT-LINT: span-metric-name
+  snor::bench::EmitBenchJson("Table2", telemetry, {});  // EXPECT-LINT: span-metric-name
+}
+
+void SuppressedKeys(Telemetry& telemetry) {
+  // NOLINTNEXTLINE(span-metric-name) -- fixture: legacy key kept for readers
+  telemetry.emplace_back("legacyCamel", 0.0);
+}
+
+}  // namespace fixture

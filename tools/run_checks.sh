@@ -1,25 +1,31 @@
 #!/usr/bin/env bash
 # One-shot check driver: strict build (-Werror), full test suite,
-# project lint, and (optionally) the sanitizer matrix.
+# project lint + static analysis, and (optionally) the sanitizer
+# matrix and clang-tidy.
 #
 # Usage:
-#   tools/run_checks.sh             # check preset: -Werror build + ctest + lint
-#   tools/run_checks.sh --asan      # ...plus ASan+UBSan build and test subset
-#   tools/run_checks.sh --tsan      # ...plus TSan build and concurrency subset
-#   tools/run_checks.sh --all       # everything
+#   tools/run_checks.sh              # check preset: -Werror build + ctest
+#                                    # + snor_lint + snor_analyze (SARIF to
+#                                    # build-check/analyze.sarif)
+#   tools/run_checks.sh --asan       # ...plus ASan+UBSan build and test subset
+#   tools/run_checks.sh --tsan       # ...plus TSan build and concurrency subset
+#   tools/run_checks.sh --clang-tidy # ...plus clang-tidy (no-op if absent)
+#   tools/run_checks.sh --all        # everything
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 run_asan=0
 run_tsan=0
+run_tidy=0
 for arg in "$@"; do
   case "$arg" in
     --asan) run_asan=1 ;;
     --tsan) run_tsan=1 ;;
-    --all) run_asan=1; run_tsan=1 ;;
+    --clang-tidy) run_tidy=1 ;;
+    --all) run_asan=1; run_tsan=1; run_tidy=1 ;;
     -h|--help)
-      sed -n '2,9p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,14p' "$0" | sed 's/^# \{0,1\}//'
       exit 0 ;;
     *) echo "unknown option: $arg (try --help)" >&2; exit 2 ;;
   esac
@@ -30,6 +36,12 @@ cmake --preset check
 cmake --build --preset check -j
 ctest --preset check -j
 ./build-check/tools/lint/snor_lint --root .
+
+echo "== analyze: layering DAG + dataflow + GUARDED_BY (SARIF) =="
+# Blocking: any non-baselined finding fails the run. The SARIF file is
+# the machine-readable artifact for CI annotation upload.
+./build-check/tools/analyze/snor_analyze --root . \
+    --sarif-out build-check/analyze.sarif
 
 echo "== trace-smoke: quick bench with tracing + telemetry validation =="
 ctest --test-dir build-check -R TraceSmoke --output-on-failure
@@ -49,6 +61,18 @@ if [[ $run_tsan -eq 1 ]]; then
   cmake --preset tsan
   cmake --build --preset tsan -j
   ctest --preset tsan -j
+fi
+
+if [[ $run_tidy -eq 1 ]]; then
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "== clang-tidy: bugprone/performance/concurrency checks =="
+    # compile_commands.json is exported by CMAKE_EXPORT_COMPILE_COMMANDS;
+    # headers are covered via HeaderFilterRegex in .clang-tidy.
+    find src bench examples tools -name '*.cc' -not -path '*testdata*' \
+      | xargs clang-tidy -p build-check --quiet
+  else
+    echo "== clang-tidy: not installed, skipping =="
+  fi
 fi
 
 echo "All checks passed."
