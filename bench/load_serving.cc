@@ -1,0 +1,363 @@
+// Load generator for the recognition service runtime: replays a large
+// query stream from concurrent producer threads against a
+// RecognitionService at a configurable arrival rate, with optional fault
+// injection (`--fault-rate` arms io-read ingest faults, NaN shape-score
+// poisoning, and slow-worker stalls) and per-request deadlines.
+//
+// Robustness invariants are asserted, not just measured: every submitted
+// request must be answered exactly once (OK, shed, timed out, or
+// failed), the per-producer tallies must reconcile with the service's
+// own accounting and the obs counters, and the run exits non-zero on any
+// violation. Latency percentiles (p50/p95/p99), throughput, shed rate,
+// and error-budget accounting are emitted into BENCH_load_serving.json.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "serve/service.h"
+#include "util/fault.h"
+#include "util/rng.h"
+
+namespace snor::serve {
+namespace {
+
+/// Synthetic feature bank shaped like SNS1 (8-bin histograms, valid Hu
+/// moments): large enough to exercise the shard grid, cheap enough to
+/// build hundreds of thousands of queries from a recycled pool.
+std::vector<ImageFeatures> SyntheticBank(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ImageFeatures> bank(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ImageFeatures& f = bank[i];
+    f.label = ClassFromIndex(static_cast<int>(i % kNumClasses));
+    f.model_id = static_cast<int>(i / kNumClasses);
+    f.valid = true;
+    for (double& h : f.hu) h = rng.Uniform(-1.0, 1.0);
+    f.histogram = ColorHistogram(8);
+    for (double& bin : f.histogram.bins()) bin = rng.UniformDouble();
+    f.histogram.NormalizeL1();
+  }
+  return bank;
+}
+
+struct LoadConfig {
+  std::uint64_t queries = 200000;
+  int producers = 8;
+  /// Target aggregate arrival rate in queries/s; 0 = open loop. The
+  /// default overdrives the single dispatcher (~3x its sustainable
+  /// throughput at this gallery size) so admission control, deadline
+  /// expiry, and the served head of the queue are all exercised.
+  double rate_qps = 2000.0;
+  double fault_rate = 0.0;
+  std::uint64_t fault_seed = 7;
+  double deadline_ms = 50.0;
+  std::size_t queue_capacity = 32;
+  int max_batch = 16;
+  int shards = 0;
+  /// Availability SLO over answered (non-shed) requests.
+  double slo_availability = 0.99;
+};
+
+/// Per-producer outcome tally, reconciled against the service stats.
+struct Tally {
+  std::uint64_t submitted = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t deadline = 0;
+  std::uint64_t unavailable = 0;
+  std::uint64_t other_error = 0;
+};
+
+void Producer(RecognitionService& service,
+              const std::vector<ImageFeatures>& pool, std::uint64_t count,
+              double interval_s, std::uint64_t seed, Tally* tally) {
+  // Poisson-ish arrivals: exponential inter-arrival times drawn from a
+  // deterministic per-producer stream.
+  Rng rng(seed);
+  std::vector<std::future<Result<ServiceReply>>> futures;
+  futures.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    futures.push_back(service.Submit(&pool[(seed + i) % pool.size()]));
+    ++tally->submitted;
+    if (interval_s > 0.0) {
+      const double wait_s =
+          -interval_s * std::log(1.0 - rng.UniformDouble());
+      std::this_thread::sleep_for(std::chrono::duration<double>(wait_s));
+    }
+  }
+  for (auto& future : futures) {
+    const Result<ServiceReply> result = future.get();
+    if (result.ok()) {
+      ++tally->ok;
+      if (result.value().degraded) ++tally->degraded;
+    } else if (result.status().code() == StatusCode::kDeadlineExceeded) {
+      ++tally->deadline;
+    } else if (result.status().code() == StatusCode::kUnavailable) {
+      ++tally->unavailable;
+    } else {
+      ++tally->other_error;
+    }
+  }
+}
+
+int Fail(const char* what) {
+  std::fprintf(stderr, "load_serving: INVARIANT VIOLATION: %s\n", what);
+  return 1;
+}
+
+int Run(const LoadConfig& config) {
+  using snor::bench::BenchResults;
+
+  // Reset so counter/histogram snapshots describe exactly this run.
+  obs::MetricsRegistry::Global().ResetAll();
+
+  const std::vector<ImageFeatures> gallery = SyntheticBank(1024, 2);
+  const std::vector<ImageFeatures> pool = SyntheticBank(4096, 3);
+
+  ApproachSpec spec;
+  spec.kind = ApproachSpec::Kind::kHybrid;
+  spec.alpha = 0.3;
+  spec.beta = 0.7;
+
+  ServiceOptions options;
+  options.engine.num_shards = config.shards;
+  options.queue.capacity = config.queue_capacity;
+  options.max_batch = config.max_batch;
+  options.default_deadline_ms = config.deadline_ms;
+  options.breaker.window = 256;
+  options.breaker.min_samples = 128;
+  options.breaker.cooldown_ms = 50.0;
+
+  auto service = RecognitionService::Create(spec, gallery, options);
+  if (!service.ok()) {
+    std::fprintf(stderr, "load_serving: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("queries=%llu producers=%d rate=%s deadline=%.1fms "
+              "queue-cap=%zu fault-rate=%.3f\n",
+              static_cast<unsigned long long>(config.queries),
+              config.producers,
+              config.rate_qps > 0.0
+                  ? snor::StrFormat("%.0f qps", config.rate_qps).c_str()
+                  : "open-loop",
+              config.deadline_ms, config.queue_capacity, config.fault_rate);
+
+  // Fault storm: transient ingest failures (retried), NaN-poisoned shape
+  // scores (degrade / trip the breaker), and slow workers (stretch tail
+  // latency so deadlines actually bite).
+  std::vector<std::unique_ptr<ScopedFault>> faults;
+  if (config.fault_rate > 0.0) {
+    faults.push_back(std::make_unique<ScopedFault>(
+        FaultPoint::kIoRead, config.fault_rate, config.fault_seed));
+    faults.push_back(std::make_unique<ScopedFault>(
+        FaultPoint::kNanScore, config.fault_rate, config.fault_seed + 1));
+    faults.push_back(std::make_unique<ScopedFault>(
+        FaultPoint::kSlowWorker, config.fault_rate, config.fault_seed + 2));
+  }
+
+  const int producers = std::max(1, config.producers);
+  const double interval_s =
+      config.rate_qps > 0.0 ? producers / config.rate_qps : 0.0;
+  std::vector<Tally> tallies(static_cast<std::size_t>(producers));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(producers));
+
+  Stopwatch wall;
+  for (int p = 0; p < producers; ++p) {
+    const std::uint64_t count =
+        config.queries / static_cast<std::uint64_t>(producers) +
+        (static_cast<std::uint64_t>(p) <
+                 config.queries % static_cast<std::uint64_t>(producers)
+             ? 1
+             : 0);
+    threads.emplace_back(Producer, std::ref(*service.value()),
+                         std::cref(pool), count, interval_s,
+                         static_cast<std::uint64_t>(p) * 7919 + 1,
+                         &tallies[static_cast<std::size_t>(p)]);
+  }
+  for (auto& t : threads) t.join();
+  service.value()->Shutdown();
+  const double elapsed_s = wall.ElapsedSeconds();
+  faults.clear();  // Disarm before reporting.
+
+  // ---- Reconciliation: exactly-once answering, category by category.
+  Tally total;
+  for (const Tally& t : tallies) {
+    total.submitted += t.submitted;
+    total.ok += t.ok;
+    total.degraded += t.degraded;
+    total.deadline += t.deadline;
+    total.unavailable += t.unavailable;
+    total.other_error += t.other_error;
+  }
+  const ServiceStats stats = service.value()->stats();
+  const RequestQueueStats queue_stats = service.value()->queue_stats();
+
+  if (total.submitted != config.queries) return Fail("submitted != queries");
+  if (total.ok + total.deadline + total.unavailable + total.other_error !=
+      total.submitted) {
+    return Fail("answered != submitted (lost or double-answered requests)");
+  }
+  if (stats.submitted != total.submitted) {
+    return Fail("service submitted != producer submitted");
+  }
+  if (stats.ok != total.ok) return Fail("service ok != producer ok");
+  if (stats.degraded != total.degraded) {
+    return Fail("service degraded != producer degraded");
+  }
+  if (stats.timed_out != total.deadline) {
+    return Fail("service timed_out != producer deadline tally");
+  }
+  if (stats.shed + stats.failed + stats.rejected != total.unavailable) {
+    return Fail("service shed+failed+rejected != producer unavailable tally");
+  }
+  if (total.other_error != 0) return Fail("unexpected internal errors");
+  if (stats.ok + stats.shed + stats.timed_out + stats.failed +
+          stats.rejected !=
+      stats.submitted) {
+    return Fail("service outcome categories do not sum to submitted");
+  }
+  if (queue_stats.shed != stats.shed) {
+    return Fail("queue shed counter != service shed counter");
+  }
+  auto& registry = obs::MetricsRegistry::Global();
+  if (registry.counter("serve.queue.shed").value() != stats.shed) {
+    return Fail("serve.queue.shed metric != service shed counter");
+  }
+  if (registry.counter("serve.service.ok").value() != stats.ok) {
+    return Fail("serve.service.ok metric != service ok counter");
+  }
+  if (registry.counter("serve.service.timeouts").value() != stats.timed_out) {
+    return Fail("serve.service.timeouts metric != service timeout counter");
+  }
+  if (stats.ok == 0) return Fail("zero throughput (no request answered OK)");
+
+  // ---- Reporting.
+  const auto latency =
+      registry.histogram("serve.service.latency_us").snapshot();
+  const auto queue_wait = registry.histogram("serve.queue.wait_us").snapshot();
+  const double answered =
+      static_cast<double>(stats.ok + stats.timed_out + stats.failed);
+  const double availability =
+      answered > 0.0 ? static_cast<double>(stats.ok) / answered : 0.0;
+  const double budget = 1.0 - config.slo_availability;
+  const double budget_consumed =
+      budget > 0.0 ? (1.0 - availability) / budget : 0.0;
+  const double throughput = static_cast<double>(stats.ok) / elapsed_s;
+  const double shed_rate =
+      static_cast<double>(stats.shed) / static_cast<double>(stats.submitted);
+
+  std::printf("\nsubmitted %llu | ok %llu (degraded %llu) | shed %llu | "
+              "timed out %llu | failed %llu | rejected %llu\n",
+              static_cast<unsigned long long>(stats.submitted),
+              static_cast<unsigned long long>(stats.ok),
+              static_cast<unsigned long long>(stats.degraded),
+              static_cast<unsigned long long>(stats.shed),
+              static_cast<unsigned long long>(stats.timed_out),
+              static_cast<unsigned long long>(stats.failed),
+              static_cast<unsigned long long>(stats.rejected));
+  std::printf("throughput %.0f ok/s | shed rate %.3f | availability %.5f "
+              "(SLO %.3f, error budget consumed %.2fx)\n",
+              throughput, shed_rate, availability, config.slo_availability,
+              budget_consumed);
+  std::printf("latency p50 %.0fus p95 %.0fus p99 %.0fus | queue wait p50 "
+              "%.0fus p99 %.0fus | batches %llu | breaker trips %llu\n",
+              latency.p50, latency.p95, latency.p99, queue_wait.p50,
+              queue_wait.p99,
+              static_cast<unsigned long long>(stats.batches),
+              static_cast<unsigned long long>(stats.breaker_trips));
+  std::printf("all invariants held: every request answered exactly once\n");
+
+  BenchResults telemetry;
+  telemetry.emplace_back("submitted", static_cast<double>(stats.submitted));
+  telemetry.emplace_back("ok", static_cast<double>(stats.ok));
+  telemetry.emplace_back("degraded", static_cast<double>(stats.degraded));
+  telemetry.emplace_back("shed", static_cast<double>(stats.shed));
+  telemetry.emplace_back("timed_out", static_cast<double>(stats.timed_out));
+  telemetry.emplace_back("failed", static_cast<double>(stats.failed));
+  telemetry.emplace_back("rejected", static_cast<double>(stats.rejected));
+  telemetry.emplace_back("batches", static_cast<double>(stats.batches));
+  telemetry.emplace_back("breaker_trips",
+                         static_cast<double>(stats.breaker_trips));
+  telemetry.emplace_back("elapsed_s", elapsed_s);
+  telemetry.emplace_back("throughput_qps", throughput);
+  telemetry.emplace_back("shed_rate", shed_rate);
+  telemetry.emplace_back("availability", availability);
+  telemetry.emplace_back("error_budget_consumed", budget_consumed);
+  telemetry.emplace_back("p50_latency_us", latency.p50);
+  telemetry.emplace_back("p95_latency_us", latency.p95);
+  telemetry.emplace_back("p99_latency_us", latency.p99);
+  telemetry.emplace_back("p50_queue_wait_us", queue_wait.p50);
+  telemetry.emplace_back("p99_queue_wait_us", queue_wait.p99);
+  telemetry.emplace_back("fault_rate", config.fault_rate);
+  telemetry.emplace_back("deadline_ms", config.deadline_ms);
+  snor::bench::EmitBenchJson("load_serving", telemetry);
+  return 0;
+}
+
+}  // namespace
+}  // namespace snor::serve
+
+int main(int argc, char** argv) {
+  snor::serve::LoadConfig config;
+  if (snor::bench::QuickMode()) config.queries = 20000;
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--queries") == 0) {
+      config.queries = std::strtoull(next("--queries"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--producers") == 0) {
+      config.producers =
+          static_cast<int>(std::strtol(next("--producers"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--rate") == 0) {
+      config.rate_qps = std::strtod(next("--rate"), nullptr);
+    } else if (std::strcmp(argv[i], "--fault-rate") == 0) {
+      config.fault_rate = std::strtod(next("--fault-rate"), nullptr);
+    } else if (std::strcmp(argv[i], "--fault-seed") == 0) {
+      config.fault_seed = std::strtoull(next("--fault-seed"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
+      config.deadline_ms = std::strtod(next("--deadline-ms"), nullptr);
+    } else if (std::strcmp(argv[i], "--queue-cap") == 0) {
+      config.queue_capacity = static_cast<std::size_t>(
+          std::strtoull(next("--queue-cap"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--max-batch") == 0) {
+      config.max_batch =
+          static_cast<int>(std::strtol(next("--max-batch"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      config.shards =
+          static_cast<int>(std::strtol(next("--shards"), nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--queries N] [--producers P] [--rate QPS] "
+                   "[--fault-rate R] [--fault-seed S] [--deadline-ms D] "
+                   "[--queue-cap C] [--max-batch B] [--shards K]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  snor::bench::PrintHeader(
+      "Load serving",
+      "Admission-controlled recognition service under load + faults");
+  snor::Stopwatch sw;
+  const int rc = snor::serve::Run(config);
+  snor::bench::PrintElapsed(sw);
+  return rc;
+}

@@ -20,6 +20,12 @@ double NextBackoffMillis(double current_ms, const RetryOptions& options) {
   return std::min(next, options.max_backoff_ms);
 }
 
+double ApplyJitter(double backoff_ms, double jitter, Rng& rng) {
+  if (jitter <= 0.0) return backoff_ms;
+  const double fraction = std::min(jitter, 1.0);
+  return backoff_ms * (1.0 - fraction * rng.UniformDouble());
+}
+
 void RecordRetryAttempt() {
   static obs::Counter& attempts =
       obs::MetricsRegistry::Global().counter("util.retry.attempts");
@@ -36,13 +42,13 @@ void RecordRetryBackoff(double ms) {
 }
 
 Status DeadlineError(const RetryOptions& options, int attempts,
-                     const Status& last) {
+                     double elapsed_ms, const Status& last) {
   static obs::Counter& deadlines =
       obs::MetricsRegistry::Global().counter("util.retry.deadline_exceeded");
   deadlines.Increment();
-  return Status::DeadlineExceeded(
-      StrFormat("deadline of %.1fms exhausted after %d attempt(s); last: %s",
-                options.deadline_ms, attempts, last.ToString().c_str()));
+  return Status::DeadlineExceeded(StrFormat(
+      "deadline of %.1fms exhausted after %d attempt(s) in %.1fms; last: %s",
+      options.deadline_ms, attempts, elapsed_ms, last.ToString().c_str()));
 }
 
 }  // namespace internal

@@ -5,6 +5,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "util/rng.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
 
@@ -22,9 +23,19 @@ struct RetryOptions {
   double backoff_multiplier = 2.0;
   /// Upper bound for a single backoff sleep.
   double max_backoff_ms = 50.0;
-  /// Overall wall-clock budget; 0 disables the deadline. When exceeded,
-  /// the loop stops and returns `DeadlineExceeded`.
+  /// Overall wall-clock budget; 0 disables the deadline. Checked after
+  /// every attempt returns and before every backoff sleep: a retryable
+  /// failure past the budget yields `DeadlineExceeded` (a success is
+  /// returned even when it finished over budget — the work is done).
   double deadline_ms = 0.0;
+  /// Fraction of each backoff sleep randomized away: a sleep is drawn
+  /// uniformly from [backoff * (1 - jitter), backoff], so 1.0 is
+  /// AWS-style full jitter. Decorrelates the retry storms of many queued
+  /// requests (thundering herds); 0 keeps the deterministic schedule.
+  double jitter = 0.0;
+  /// Seed for the jitter stream (util/rng): equal seeds replay identical
+  /// sleep sequences, keeping tests deterministic.
+  std::uint64_t jitter_seed = 2019;
 };
 
 namespace internal {
@@ -35,8 +46,13 @@ void SleepForMillis(double ms);
 /// Clamp-and-advance helper for the exponential backoff schedule.
 double NextBackoffMillis(double current_ms, const RetryOptions& options);
 
+/// One jittered sleep duration: uniform in [backoff * (1 - jitter),
+/// backoff]. Draws from `rng` only when jitter > 0, so jitter-free
+/// schedules stay bit-identical to the legacy behaviour.
+double ApplyJitter(double backoff_ms, double jitter, Rng& rng);
+
 [[nodiscard]] Status DeadlineError(const RetryOptions& options, int attempts,
-                                   const Status& last);
+                                   double elapsed_ms, const Status& last);
 
 /// Metrics hooks (defined in retry.cc so the template does not pull in
 /// the obs headers): attempts, backoff sleeps, and total backoff time.
@@ -61,21 +77,37 @@ template <typename Fn>
 [[nodiscard]] auto RetryWithBackoff(const RetryOptions& options, Fn&& fn)
     -> std::decay_t<decltype(fn())> {
   Stopwatch clock;
+  Rng jitter_rng(options.jitter_seed);
   double backoff_ms = options.initial_backoff_ms;
   const int attempts = options.max_attempts < 1 ? 1 : options.max_attempts;
   for (int attempt = 1;; ++attempt) {
     internal::RecordRetryAttempt();
     auto outcome = fn();
     const Status status = internal::StatusOf(outcome);
-    if (status.ok() || !IsRetryable(status) || attempt >= attempts) {
+    if (status.ok() || !IsRetryable(status)) {
       return outcome;
     }
+    // A slow attempt can itself exhaust the budget: check right after it
+    // returns (not only before the next sleep), so a final attempt that
+    // overran the deadline reports DeadlineExceeded, never a quiet
+    // overrun.
     if (options.deadline_ms > 0.0 &&
-        clock.ElapsedMillis() + backoff_ms > options.deadline_ms) {
-      return internal::DeadlineError(options, attempt, status);
+        clock.ElapsedMillis() >= options.deadline_ms) {
+      return internal::DeadlineError(options, attempt, clock.ElapsedMillis(),
+                                     status);
     }
-    internal::RecordRetryBackoff(backoff_ms);
-    internal::SleepForMillis(backoff_ms);
+    if (attempt >= attempts) {
+      return outcome;
+    }
+    const double sleep_ms =
+        internal::ApplyJitter(backoff_ms, options.jitter, jitter_rng);
+    if (options.deadline_ms > 0.0 &&
+        clock.ElapsedMillis() + sleep_ms > options.deadline_ms) {
+      return internal::DeadlineError(options, attempt, clock.ElapsedMillis(),
+                                     status);
+    }
+    internal::RecordRetryBackoff(sleep_ms);
+    internal::SleepForMillis(sleep_ms);
     backoff_ms = internal::NextBackoffMillis(backoff_ms, options);
   }
 }

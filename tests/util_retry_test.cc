@@ -4,8 +4,11 @@
 
 #include "util/retry.h"
 
+#include <thread>
+
 #include <gtest/gtest.h>
 
+#include "util/rng.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
 
@@ -136,6 +139,100 @@ TEST(RetryTest, ResultVariantRetriesAndReturnsValue) {
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result.value(), 42);
   EXPECT_EQ(calls, 2);
+}
+
+TEST(RetryTest, SlowFinalAttemptReportsDeadlineExceededWithElapsed) {
+  // A single attempt that itself overruns the budget must come back as
+  // DeadlineExceeded (checked right after the attempt returns), not as
+  // the operation's own error — and the message must carry the measured
+  // elapsed time, not just the configured budget.
+  RetryOptions options;
+  options.max_attempts = 3;
+  options.initial_backoff_ms = 0.1;
+  options.deadline_ms = 5.0;
+
+  int calls = 0;
+  const Status status = RetryWithBackoff(options, [&] {
+    ++calls;
+    std::this_thread::sleep_for(std::chrono::milliseconds(9));
+    return Status::Unavailable("slow and still down");
+  });
+  EXPECT_EQ(calls, 1);  // No second attempt after the budget is gone.
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(status.message().find("deadline of 5.0ms"), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find("attempt(s) in"), std::string::npos)
+      << status.ToString();
+  // The reported last error is preserved inside the deadline message.
+  EXPECT_NE(status.message().find("slow and still down"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(RetryTest, SlowAttemptStillReturnsSuccessOverBudget) {
+  // The deadline gates retries, not results: work that succeeded is
+  // returned even when it finished over budget.
+  RetryOptions options;
+  options.max_attempts = 3;
+  options.deadline_ms = 2.0;
+
+  const Status status = RetryWithBackoff(options, [&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+}
+
+TEST(RetryTest, ApplyJitterZeroIsIdentity) {
+  Rng rng(7);
+  EXPECT_DOUBLE_EQ(internal::ApplyJitter(10.0, 0.0, rng), 10.0);
+  // No draw happened: the stream is untouched versus a fresh RNG.
+  Rng fresh(7);
+  EXPECT_DOUBLE_EQ(rng.UniformDouble(), fresh.UniformDouble());
+}
+
+TEST(RetryTest, ApplyJitterStaysWithinBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double sleep_ms = internal::ApplyJitter(10.0, 0.25, rng);
+    EXPECT_GE(sleep_ms, 7.5);  // backoff * (1 - jitter)
+    EXPECT_LE(sleep_ms, 10.0);
+  }
+  // Full jitter spans [0, backoff]; an over-unity fraction is clamped.
+  for (int i = 0; i < 1000; ++i) {
+    const double sleep_ms = internal::ApplyJitter(10.0, 5.0, rng);
+    EXPECT_GE(sleep_ms, 0.0);
+    EXPECT_LE(sleep_ms, 10.0);
+  }
+}
+
+TEST(RetryTest, ApplyJitterIsDeterministicPerSeed) {
+  Rng a(42);
+  Rng b(42);
+  Rng c(43);
+  bool any_difference = false;
+  for (int i = 0; i < 32; ++i) {
+    const double from_a = internal::ApplyJitter(10.0, 1.0, a);
+    EXPECT_DOUBLE_EQ(from_a, internal::ApplyJitter(10.0, 1.0, b));
+    if (from_a != internal::ApplyJitter(10.0, 1.0, c)) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);  // Different seeds give a different stream.
+}
+
+TEST(RetryTest, JitteredRetryStillRunsAllAttempts) {
+  RetryOptions options;
+  options.max_attempts = 4;
+  options.initial_backoff_ms = 0.1;
+  options.max_backoff_ms = 0.2;
+  options.jitter = 1.0;
+  options.jitter_seed = 5;
+
+  int calls = 0;
+  const Status status = RetryWithBackoff(options, [&] {
+    ++calls;
+    return Status::Unavailable("still down");
+  });
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
 }
 
 TEST(RetryTest, ResultVariantDeadlineExceeded) {

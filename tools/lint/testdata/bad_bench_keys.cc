@@ -22,6 +22,19 @@ void GoodKeys(Telemetry& telemetry, Telemetry* out) {
   snor::bench::EmitBenchJson("table2_shape_color", telemetry, {});
 }
 
+void LoadServingKeys(Telemetry& telemetry) {
+  // The load_serving bench's error-budget vocabulary stays snake_case.
+  telemetry.emplace_back("throughput_qps", 1.0);
+  telemetry.emplace_back("shed_rate", 0.01);
+  telemetry.emplace_back("availability", 0.999);
+  telemetry.emplace_back("error_budget_consumed", 0.1);
+  telemetry.emplace_back("p99_latency_us", 1500.0);
+  telemetry.emplace_back("p50_queue_wait_us", 30.0);
+  snor::bench::EmitBenchJson("load_serving", telemetry, {});
+  telemetry.emplace_back("throughputQps", 1.0);  // EXPECT-LINT: span-metric-name
+  telemetry.emplace_back("Shed_Rate", 0.0);  // EXPECT-LINT: span-metric-name
+}
+
 void BadKeys(Telemetry& telemetry) {
   telemetry.emplace_back("StoreEnabled", 1.0);  // EXPECT-LINT: span-metric-name
   telemetry.emplace_back("match-s", 1.5);  // EXPECT-LINT: span-metric-name

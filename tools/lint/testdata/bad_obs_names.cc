@@ -33,6 +33,30 @@ void ServeNames() {
   registry.counter("serve.store hit").Increment();  // EXPECT-LINT: span-metric-name
 }
 
+void ServiceNames() {
+  // Vocabulary of the recognition-service runtime (request queue +
+  // dispatcher + circuit breaker): same naming rule as everything else.
+  SNOR_TRACE_SPAN("serve.service.dispatch");
+  SNOR_TRACE_SPAN("serve.service.batch");
+  auto& registry = snor::obs::MetricsRegistry::Global();
+  registry.counter("serve.queue.shed").Increment();
+  registry.counter("serve.queue.enqueued").Increment();
+  registry.gauge("serve.queue.depth").Set(1.0);
+  registry.histogram("serve.queue.wait_us").Record(1.0);
+  registry.counter("serve.service.requests").Increment();
+  registry.counter("serve.service.ok").Increment();
+  registry.counter("serve.service.timeouts").Increment();
+  registry.counter("serve.service.errors").Increment();
+  registry.counter("serve.service.rejected").Increment();
+  registry.counter("serve.service.degraded").Increment();
+  registry.counter("serve.service.breaker_trips").Increment();
+  registry.gauge("serve.service.breaker_state").Set(0.0);
+  registry.histogram("serve.service.latency_us").Record(1.0);
+  registry.histogram("serve.service.batch_size").Record(1.0);
+  registry.counter("serve.Queue.Shed").Increment();  // EXPECT-LINT: span-metric-name
+  registry.gauge("serve.service depth").Set(1.0);  // EXPECT-LINT: span-metric-name
+}
+
 void Metrics() {
   auto& registry = snor::obs::MetricsRegistry::Global();
   registry.counter("core.classify.items").Increment();

@@ -49,6 +49,11 @@ ctest --test-dir build-check -R TraceSmoke --output-on-failure
 echo "== serve-smoke: feature store -> warm batched run vs cold run =="
 ctest --test-dir build-check -R ServeSmoke --output-on-failure
 
+echo "== load-smoke: service under faulty, deadline-pressured load =="
+# Blocking robustness gate: the load generator exits non-zero unless
+# every request is answered exactly once and all tallies reconcile.
+ctest --test-dir build-check -R LoadServingSmoke --output-on-failure
+
 if [[ $run_asan -eq 1 ]]; then
   echo "== asan: AddressSanitizer + UBSan =="
   cmake --preset asan
