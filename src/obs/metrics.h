@@ -155,7 +155,7 @@ class MetricsRegistry {
   std::string DumpJson() const;
 
  private:
-  mutable std::mutex mutex_;
+  mutable std::mutex mutex_;  // LOCK_RANK(40)
   std::map<std::string, std::unique_ptr<Counter>, std::less<>>
       counters_;  // GUARDED_BY(mutex_)
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>>

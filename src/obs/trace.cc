@@ -48,7 +48,7 @@ struct TraceRecorder::ThreadBuffer {
   ThreadBuffer(int tid_in, std::size_t capacity_in)
       : tid(tid_in), capacity(capacity_in == 0 ? 1 : capacity_in) {}
 
-  mutable std::mutex mutex;
+  mutable std::mutex mutex;  // LOCK_RANK(30): nests inside registry_mutex_.
   const int tid;
   const std::size_t capacity;
   std::vector<TraceEvent> ring;  // Grows lazily up to `capacity`.

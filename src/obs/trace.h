@@ -136,7 +136,7 @@ class TraceRecorder {
   ThreadBuffer* BufferForThisThread();
   void Push(const TraceEvent& event);
 
-  mutable std::mutex registry_mutex_;
+  mutable std::mutex registry_mutex_;  // LOCK_RANK(20)
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;  // GUARDED_BY(registry_mutex_)
   std::string output_path_;  // GUARDED_BY(registry_mutex_)
   std::size_t buffer_capacity_ = 65536;  // GUARDED_BY(registry_mutex_)

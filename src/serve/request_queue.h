@@ -101,7 +101,7 @@ class RequestQueue {
 
  private:
   RequestQueueOptions options_;
-  mutable std::mutex mutex_;
+  mutable std::mutex mutex_;  // LOCK_RANK(10)
   std::condition_variable cv_;
   std::deque<QueuedRequest> queue_;  // GUARDED_BY(mutex_)
   bool closed_ = false;  // GUARDED_BY(mutex_)

@@ -49,7 +49,7 @@ void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
-  std::mutex error_mutex;
+  std::mutex error_mutex;  // LOCK_RANK(50): leaf, never nests another lock.
 
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(n_threads));

@@ -50,13 +50,13 @@ std::ostream& operator<<(std::ostream& os, const Status& status) {
 
 namespace internal {
 
-void DieBadResultAccess(const Status& status) {
+[[noreturn]] void DieBadResultAccess(const Status& status) {
   std::fprintf(stderr, "FATAL: accessed value of errored Result: %s\n",
                status.ToString().c_str());
   std::abort();
 }
 
-void DieOkStatusInResult() {
+[[noreturn]] void DieOkStatusInResult() {
   std::fprintf(stderr, "FATAL: constructed Result<T> from an OK Status\n");
   std::abort();
 }

@@ -1,0 +1,121 @@
+#!/bin/sh
+# Incremental summary-cache behaviour test for snor_analyze (tier-1
+# ctest snor_analyze_cache):
+#   1. cold run populates the cache (everything re-summarized);
+#   2. warm run re-summarizes nothing;
+#   3. editing one TU re-summarizes exactly that TU;
+#   4. a --cache-salt bump (simulated format-version change) invalidates
+#      everything;
+#   5. a corrupted cache entry (truncated / garbage) is rejected and
+#      rebuilt, never trusted or crashed on;
+#   6. io-read / truncated-file fault injection on every cache read
+#      degrades to a full re-summarize with correct findings.
+#
+# Usage: cache_test.sh <snor_analyze-binary> <scratch-dir>
+set -eu
+
+BIN="$1"
+SCRATCH="$2"
+
+rm -rf "$SCRATCH"
+mkdir -p "$SCRATCH/tree/src/util"
+TREE="$SCRATCH/tree"
+CACHE="$SCRATCH/cache"
+
+cat > "$TREE/layers.toml" <<'EOF'
+[layers]
+util = []
+EOF
+
+cat > "$TREE/src/util/alpha.cc" <<'EOF'
+void AlphaWork() {
+  int total = 0;
+  total += 1;
+}
+EOF
+
+cat > "$TREE/src/util/beta.cc" <<'EOF'
+void BetaWork() {
+  int count = 0;
+  count += 2;
+}
+EOF
+
+cat > "$TREE/src/util/gamma.cc" <<'EOF'
+void GammaWork() {
+  int sum = 0;
+  sum += 3;
+}
+EOF
+
+run() {
+  # shellcheck disable=SC2086
+  "$BIN" --root "$TREE" --config "$TREE/layers.toml" \
+    --baseline "$TREE/absent-baseline.txt" --cache-dir "$CACHE" $1
+}
+
+fail() {
+  echo "CACHE-TEST FAIL: $1" >&2
+  exit 1
+}
+
+expect() {
+  step="$1"
+  pattern="$2"
+  out="$3"
+  case "$out" in
+    *"$pattern"*) ;;
+    *) fail "$step: expected '$pattern' in: $out" ;;
+  esac
+}
+
+# 1. Cold: everything re-summarized, cache populated.
+out=$(run "") || fail "cold run exited non-zero"
+expect "cold" "3 file(s) (3 re-summarized, 0 cached)" "$out"
+[ -n "$(ls "$CACHE" 2>/dev/null)" ] || fail "cold run wrote no cache entries"
+
+# 2. Warm: nothing re-summarized.
+out=$(run "") || fail "warm run exited non-zero"
+expect "warm" "3 file(s) (0 re-summarized, 3 cached)" "$out"
+
+# 3. Edit one TU: exactly one re-summarize (content-hash invalidation).
+printf '\nvoid BetaExtra() {\n  int more = 4;\n  more += 1;\n}\n' \
+  >> "$TREE/src/util/beta.cc"
+out=$(run "") || fail "edited run exited non-zero"
+expect "edit" "3 file(s) (1 re-summarized, 2 cached)" "$out"
+
+# 4. Salt bump (simulated cache-format version change): everything
+#    stale, everything rebuilt.
+out=$(run "--cache-salt 7") || fail "salt-bump run exited non-zero"
+expect "salt-bump" "3 file(s) (3 re-summarized, 0 cached)" "$out"
+out=$(run "--cache-salt 7") || fail "salt-bump warm run exited non-zero"
+expect "salt-bump-warm" "3 file(s) (0 re-summarized, 3 cached)" "$out"
+
+# 5a. Truncated cache entry: rejected (summaries must end with their
+#     terminator line), TU re-summarized, file repaired.
+entry=$(ls "$CACHE" | head -n 1)
+[ -n "$entry" ] || fail "no cache entry to corrupt"
+size=$(wc -c < "$CACHE/$entry")
+dd if="$CACHE/$entry" of="$CACHE/$entry.tmp" bs=1 count=$((size / 2)) \
+  2>/dev/null
+mv "$CACHE/$entry.tmp" "$CACHE/$entry"
+out=$(run "--cache-salt 7") || fail "truncated-cache run exited non-zero"
+expect "truncated" "3 file(s) (1 re-summarized, 2 cached)" "$out"
+
+# 5b. Garbage cache entry: same story.
+printf 'not a summary at all\n' > "$CACHE/$entry"
+out=$(run "--cache-salt 7") || fail "garbage-cache run exited non-zero"
+expect "garbage" "3 file(s) (1 re-summarized, 2 cached)" "$out"
+
+# 6. Fault injection on cache reads (io-read + truncated-file fault
+#    points fire on every read): every lookup misses, the analyzer
+#    degrades to a cold run and still succeeds.
+out=$(run "--cache-salt 7 --fault-rate 1.0 --fault-seed 11") ||
+  fail "fault-injected run exited non-zero"
+expect "fault-injected" "3 file(s) (3 re-summarized, 0 cached)" "$out"
+
+# And the faults must not have poisoned the cache for the next run.
+out=$(run "--cache-salt 7") || fail "post-fault warm run exited non-zero"
+expect "post-fault-warm" "3 file(s) (0 re-summarized, 3 cached)" "$out"
+
+echo "cache_test: all checks passed"

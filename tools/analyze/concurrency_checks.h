@@ -1,0 +1,48 @@
+#ifndef SNOR_TOOLS_ANALYZE_CONCURRENCY_CHECKS_H_
+#define SNOR_TOOLS_ANALYZE_CONCURRENCY_CHECKS_H_
+
+// Pass 2, step 2: the four interprocedural concurrency checks over a
+// linked CallGraph. All findings honour per-line NOLINT suppressions
+// recorded in the TU summaries.
+//
+//  lock-order-cycle    Lock-acquisition-order graph: an edge H -> M is
+//                      added whenever M is acquired (directly, or by a
+//                      callee reached with H held) while H is held.
+//                      Reports rank inversions against LOCK_RANK(n)
+//                      annotations (lower rank = acquired first) and
+//                      cycles among the edges (deadlock potential).
+//  blocking-under-lock Blocking primitive (sleep, file/stream IO,
+//                      thread join, waits) reached — directly or
+//                      through any call chain — while holding a lock.
+//                      A condvar wait is exempt for the mutex it
+//                      atomically releases, but not for any other.
+//  condvar-predicate   Condition-variable wait with neither a
+//                      predicate overload nor an enclosing re-check
+//                      loop (spurious/lost wakeup hazard).
+//  promise-exactly-once Abstract interpretation of promise-routing
+//                      loops: every path of a loop iteration must
+//                      fulfil or forward each promise-carrying value
+//                      exactly once. Only definite violations report
+//                      (paths that may have fulfilled stay silent).
+
+#include <vector>
+
+#include "callgraph.h"
+#include "lexer.h"
+
+namespace snor_analyze {
+
+void CheckLockOrder(const CallGraph& graph, std::vector<Finding>* out);
+void CheckBlockingUnderLock(const CallGraph& graph,
+                            std::vector<Finding>* out);
+void CheckCondvarPredicate(const CallGraph& graph,
+                           std::vector<Finding>* out);
+void CheckPromiseExactlyOnce(const CallGraph& graph,
+                             std::vector<Finding>* out);
+
+/// Runs all four checks.
+void RunConcurrencyChecks(const CallGraph& graph, std::vector<Finding>* out);
+
+}  // namespace snor_analyze
+
+#endif  // SNOR_TOOLS_ANALYZE_CONCURRENCY_CHECKS_H_

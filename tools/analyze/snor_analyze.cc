@@ -1,10 +1,10 @@
-// snor_analyze: dependency-DAG + dataflow static analyzer for the snor
-// tree.
+// snor_analyze: dependency-DAG, dataflow and whole-program concurrency
+// analyzer for the snor tree.
 //
 // Where snor_lint (tools/lint) is a single-line token scanner, this tool
-// runs a real C++ tokenizer over every translation unit under src/,
-// bench/, examples/, tests/ and tools/ and performs three analysis
-// families the line scanner cannot express:
+// runs a real C++ tokenizer (lexer.h) over every translation unit under
+// src/, bench/, examples/, tests/ and tools/ and performs the analysis
+// families the line scanner cannot express.
 //
 // Layering (tools/analyze/layers.toml declares the module DAG):
 //   layer-violation   A file in src/<module>/ includes a header from a
@@ -26,20 +26,29 @@
 //                     the lock is destroyed at the end of the full
 //                     expression, guarding nothing.
 //
-// Concurrency annotations:
+// Concurrency annotations (intra):
 //   guarded-by        A member or local annotated `// GUARDED_BY(x)` is
 //                     written inside a `ParallelFor` lambda body in the
-//                     same file without honouring its guard. Guards:
-//                       GUARDED_BY(some_mutex)     write requires a
-//                         lock_guard/unique_lock/scoped_lock on
-//                         `some_mutex` in scope at the write;
-//                       GUARDED_BY(per_worker_slot) writes must be
-//                         subscripted (`v[i] = ...`) — whole-object
-//                         mutation (push_back, assign, clear) races;
-//                       GUARDED_BY(caller)          never written inside
-//                         a ParallelFor lambda (caller-serialized);
-//                       GUARDED_BY(atomic)          internally
-//                         synchronized, no write constraint.
+//                     same file without honouring its guard.
+//
+// Interprocedural concurrency (two-pass; see summary.h, callgraph.h,
+// concurrency_checks.h):
+//   lock-order-cycle     Lock-acquisition-order rank inversions
+//                        (LOCK_RANK(n) annotations; lower = outer) and
+//                        acquisition cycles — deadlock potential.
+//   blocking-under-lock  A blocking primitive (sleep, file/stream IO,
+//                        thread join, waits) reached directly or through
+//                        any call chain while holding a lock.
+//   condvar-predicate    Condvar wait without a predicate overload or an
+//                        enclosing re-check loop.
+//   promise-exactly-once A promise-routing loop has a path that drops a
+//                        promise-carrying value or fulfils it twice.
+//
+// Pass 1 builds one summary per TU (summary.h); summaries are cached on
+// disk (`--cache-dir`) keyed by content hash, format version and
+// `--cache-salt`, so a warm incremental run re-tokenizes only edited
+// TUs. Pass 2 (cross-TU linking + the four interprocedural checks) runs
+// from summaries every time — it is cheap relative to tokenization.
 //
 // Suppression: `// NOLINT(rule)` on the line, `// NOLINTNEXTLINE(rule)`
 // above it, or a (path, rule) entry in the baseline file
@@ -57,381 +66,26 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "callgraph.h"
+#include "concurrency_checks.h"
+#include "lexer.h"
+#include "summary.h"
+#include "util/fault.h"
+
 namespace snor_analyze {
 
 namespace fs = std::filesystem;
-
-// Markers are assembled at runtime so the analyzer's own source never
-// contains the literal annotation text (it scans tools/ too).
-const std::string kGuardedByMarker = std::string("GUARDED") + "_BY(";
-const std::string kExpectMarker = std::string("EXPECT") + "-ANALYZE:";
-const std::string kAnalyzeAsMarker = std::string("ANALYZE") + "-AS:";
-const std::string kNolintNextMarker = std::string("NOLINT") + "NEXTLINE";
-const std::string kNolintMarker = "NOLINT";
-
-struct Finding {
-  std::string file;
-  int line = 0;
-  std::string rule;
-  std::string message;
-  bool baselined = false;
-
-  bool operator<(const Finding& o) const {
-    if (file != o.file) return file < o.file;
-    if (line != o.line) return line < o.line;
-    if (rule != o.rule) return rule < o.rule;
-    return message < o.message;
-  }
-};
-
-// -------------------------------------------------------------- tokens --
-
-enum class Tok { kIdent, kNumber, kString, kChar, kPunct, kComment };
-
-struct Token {
-  Tok kind = Tok::kPunct;
-  std::string text;
-  int line = 1;
-};
-
-bool IsIdentStart(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-// Two-character punctuators the analyses care about. Longer operators
-// (`<<=`, `...`) are irrelevant here and lex as two tokens.
-bool IsTwoCharPunct(char a, char b) {
-  static const char* kPairs[] = {"::", "->", "++", "--", "==", "!=", "<=",
-                                 ">=", "+=", "-=", "*=", "/=", "%=", "&=",
-                                 "|=", "^=", "&&", "||", "<<", ">>"};
-  for (const char* p : kPairs) {
-    if (p[0] == a && p[1] == b) return true;
-  }
-  return false;
-}
-
-struct IncludeDirective {
-  std::string path;  // The quoted include path, verbatim.
-  int line = 1;
-};
-
-/// One analyzed translation unit (or header).
-struct SourceFile {
-  std::string path;       // Virtual path used by path-scoped analyses.
-  std::string real_path;  // Path on disk.
-  std::vector<Token> tokens;
-  std::vector<IncludeDirective> includes;
-  // line -> suppressed rules; empty set = all rules suppressed.
-  std::map<int, std::set<std::string>> nolint;
-
-  bool IsHeader() const {
-    return path.size() > 2 && path.compare(path.size() - 2, 2, ".h") == 0;
-  }
-
-  bool Suppressed(int line, const std::string& rule) const {
-    auto it = nolint.find(line);
-    if (it == nolint.end()) return false;
-    return it->second.empty() || it->second.count(rule) > 0;
-  }
-};
-
-/// Tokenizes C++ source. Preprocessor directives are consumed whole
-/// (including backslash continuations) and never emit tokens; #include
-/// "..." directives are recorded separately. Comments ARE emitted as
-/// tokens so annotation/suppression parsing never confuses a comment
-/// with a string literal.
-class Lexer {
- public:
-  explicit Lexer(std::string text) : text_(std::move(text)) {}
-
-  void Run(SourceFile* out) {
-    while (i_ < text_.size()) {
-      const char c = text_[i_];
-      if (c == '\n') {
-        ++line_;
-        at_line_start_ = true;
-        ++i_;
-        continue;
-      }
-      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
-        ++i_;
-        continue;
-      }
-      if (c == '#' && at_line_start_) {
-        LexDirective(out);
-        continue;
-      }
-      at_line_start_ = false;
-      if (c == '/' && Peek(1) == '/') {
-        LexLineComment(out);
-        continue;
-      }
-      if (c == '/' && Peek(1) == '*') {
-        LexBlockComment(out);
-        continue;
-      }
-      if (c == 'R' && Peek(1) == '"' && !PrevIsIdentChar()) {
-        LexRawString(out);
-        continue;
-      }
-      if (c == '"') {
-        LexString(out);
-        continue;
-      }
-      if (c == '\'') {
-        LexChar(out);
-        continue;
-      }
-      if (IsIdentStart(c)) {
-        LexIdent(out);
-        continue;
-      }
-      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
-        LexNumber(out);
-        continue;
-      }
-      LexPunct(out);
-    }
-  }
-
- private:
-  char Peek(std::size_t ahead) const {
-    return i_ + ahead < text_.size() ? text_[i_ + ahead] : '\0';
-  }
-  bool PrevIsIdentChar() const { return i_ > 0 && IsIdentChar(text_[i_ - 1]); }
-
-  void Emit(SourceFile* out, Tok kind, std::string text, int line) {
-    out->tokens.push_back({kind, std::move(text), line});
-  }
-
-  // Consumes a whole preprocessor directive (with \-continuations),
-  // recording #include "..." paths. Angle-bracket system includes are
-  // outside the project graph and are skipped.
-  void LexDirective(SourceFile* out) {
-    const int start_line = line_;
-    std::string body;
-    while (i_ < text_.size()) {
-      const char c = text_[i_];
-      if (c == '\n') {
-        if (!body.empty() && body.back() == '\\') {
-          body.pop_back();
-          ++line_;
-          ++i_;
-          continue;
-        }
-        break;  // Newline stays for the main loop to count.
-      }
-      // A trailing // comment is lexed normally so NOLINT directives on
-      // include lines still register.
-      if (c == '/' && Peek(1) == '/') {
-        LexLineComment(out);
-        break;
-      }
-      body.push_back(c);
-      ++i_;
-    }
-    std::size_t p = body.find_first_not_of("# \t");
-    if (p == std::string::npos) return;
-    if (body.compare(p, 7, "include") != 0) return;
-    const std::size_t open = body.find('"', p + 7);
-    if (open == std::string::npos) return;
-    const std::size_t close = body.find('"', open + 1);
-    if (close == std::string::npos) return;
-    out->includes.push_back(
-        {body.substr(open + 1, close - open - 1), start_line});
-  }
-
-  void LexLineComment(SourceFile* out) {
-    const int start_line = line_;
-    std::string text;
-    while (i_ < text_.size() && text_[i_] != '\n') {
-      text.push_back(text_[i_]);
-      ++i_;
-    }
-    Emit(out, Tok::kComment, std::move(text), start_line);
-  }
-
-  void LexBlockComment(SourceFile* out) {
-    const int start_line = line_;
-    std::string text;
-    i_ += 2;
-    text += "/*";
-    while (i_ < text_.size()) {
-      if (text_[i_] == '*' && Peek(1) == '/') {
-        i_ += 2;
-        text += "*/";
-        break;
-      }
-      if (text_[i_] == '\n') ++line_;
-      text.push_back(text_[i_]);
-      ++i_;
-    }
-    Emit(out, Tok::kComment, std::move(text), start_line);
-  }
-
-  void LexRawString(SourceFile* out) {
-    const int start_line = line_;
-    std::size_t open = text_.find('(', i_ + 2);
-    if (open == std::string::npos) {
-      i_ = text_.size();
-      return;
-    }
-    const std::string delim =
-        ")" + text_.substr(i_ + 2, open - i_ - 2) + "\"";
-    std::size_t end = text_.find(delim, open + 1);
-    if (end == std::string::npos) end = text_.size();
-    for (std::size_t j = i_; j < end && j < text_.size(); ++j) {
-      if (text_[j] == '\n') ++line_;
-    }
-    i_ = std::min(end + delim.size(), text_.size());
-    Emit(out, Tok::kString, "", start_line);
-  }
-
-  void LexString(SourceFile* out) {
-    const int start_line = line_;
-    ++i_;
-    while (i_ < text_.size() && text_[i_] != '"') {
-      if (text_[i_] == '\\') ++i_;
-      if (i_ < text_.size() && text_[i_] == '\n') ++line_;
-      ++i_;
-    }
-    if (i_ < text_.size()) ++i_;  // Closing quote.
-    Emit(out, Tok::kString, "", start_line);
-  }
-
-  void LexChar(SourceFile* out) {
-    const int start_line = line_;
-    ++i_;
-    while (i_ < text_.size() && text_[i_] != '\'') {
-      if (text_[i_] == '\\') ++i_;
-      ++i_;
-    }
-    if (i_ < text_.size()) ++i_;
-    Emit(out, Tok::kChar, "", start_line);
-  }
-
-  void LexIdent(SourceFile* out) {
-    const int start_line = line_;
-    std::string text;
-    while (i_ < text_.size() && IsIdentChar(text_[i_])) {
-      text.push_back(text_[i_]);
-      ++i_;
-    }
-    // String literal prefixes (u8"...", L"...") would mis-lex the quote.
-    if (i_ < text_.size() && text_[i_] == '"') {
-      LexString(out);
-      return;
-    }
-    Emit(out, Tok::kIdent, std::move(text), start_line);
-  }
-
-  void LexNumber(SourceFile* out) {
-    const int start_line = line_;
-    std::string text;
-    while (i_ < text_.size() &&
-           (IsIdentChar(text_[i_]) || text_[i_] == '.' ||
-            ((text_[i_] == '+' || text_[i_] == '-') && i_ > 0 &&
-             (text_[i_ - 1] == 'e' || text_[i_ - 1] == 'E')))) {
-      text.push_back(text_[i_]);
-      ++i_;
-    }
-    Emit(out, Tok::kNumber, std::move(text), start_line);
-  }
-
-  void LexPunct(SourceFile* out) {
-    const int start_line = line_;
-    if (i_ + 1 < text_.size() && IsTwoCharPunct(text_[i_], text_[i_ + 1])) {
-      Emit(out, Tok::kPunct, text_.substr(i_, 2), start_line);
-      i_ += 2;
-      return;
-    }
-    Emit(out, Tok::kPunct, std::string(1, text_[i_]), start_line);
-    ++i_;
-  }
-
-  std::string text_;
-  std::size_t i_ = 0;
-  int line_ = 1;
-  bool at_line_start_ = true;
-};
-
-// Parses NOLINT / NOLINTNEXTLINE directives out of comment tokens.
-void CollectNolint(SourceFile* file) {
-  for (const Token& tok : file->tokens) {
-    if (tok.kind != Tok::kComment) continue;
-    const std::string& text = tok.text;
-    const bool next_line = text.find(kNolintNextMarker) != std::string::npos;
-    const std::size_t pos = text.find(kNolintMarker);
-    if (pos == std::string::npos) continue;
-    std::set<std::string> rules;
-    std::size_t after =
-        pos + (next_line ? kNolintNextMarker.size() : kNolintMarker.size());
-    if (after < text.size() && text[after] == '(') {
-      const std::size_t close = text.find(')', after);
-      if (close != std::string::npos) {
-        std::stringstream ss(text.substr(after + 1, close - after - 1));
-        std::string rule;
-        while (std::getline(ss, rule, ',')) {
-          rule.erase(std::remove_if(rule.begin(), rule.end(), ::isspace),
-                     rule.end());
-          if (!rule.empty()) rules.insert(rule);
-        }
-      }
-    }
-    const int target = tok.line + (next_line ? 1 : 0);
-    auto it = file->nolint.find(target);
-    if (rules.empty()) {
-      file->nolint[target].clear();  // Bare NOLINT: suppress everything.
-    } else if (it == file->nolint.end()) {
-      file->nolint[target] = std::move(rules);
-    } else if (!it->second.empty()) {
-      it->second.insert(rules.begin(), rules.end());
-    }
-  }
-}
-
-bool LoadFile(const fs::path& disk_path, SourceFile* out) {
-  std::ifstream in(disk_path, std::ios::binary);
-  if (!in) return false;
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  out->real_path = disk_path.generic_string();
-  out->path = out->real_path;
-  Lexer(buffer.str()).Run(out);
-  // Honour an ANALYZE-AS virtual path in an early comment (fixtures use
-  // it to exercise the path-scoped analyses).
-  for (const Token& tok : out->tokens) {
-    if (tok.line > 5) break;
-    if (tok.kind != Tok::kComment) continue;
-    const std::size_t pos = tok.text.find(kAnalyzeAsMarker);
-    if (pos == std::string::npos) continue;
-    std::size_t s = pos + kAnalyzeAsMarker.size();
-    while (s < tok.text.size() &&
-           std::isspace(static_cast<unsigned char>(tok.text[s])) != 0) {
-      ++s;
-    }
-    std::size_t e = s;
-    while (e < tok.text.size() &&
-           std::isspace(static_cast<unsigned char>(tok.text[e])) == 0) {
-      ++e;
-    }
-    if (e > s) out->path = tok.text.substr(s, e - s);
-  }
-  CollectNolint(out);
-  return true;
-}
 
 // -------------------------------------------------------- layer config --
 
@@ -444,6 +98,18 @@ struct LayerConfig {
 
   bool Known(const std::string& module) const {
     return allowed.count(module) > 0;
+  }
+
+  // Stable serialization, mixed into the intra-findings fingerprint so
+  // cached layering findings are invalidated when the DAG changes.
+  std::string Serialized() const {
+    std::string out;
+    for (const auto& [module, deps] : allowed) {
+      out += module + "=";
+      for (const std::string& d : deps) out += d + ",";
+      out += ";";
+    }
+    return out;
   }
 };
 
@@ -535,18 +201,18 @@ std::string IncludeModule(const std::string& include_path,
   return config.Known(mod) ? mod : std::string();
 }
 
-void CheckLayering(const SourceFile& file, const LayerConfig& config,
+void CheckLayering(const TuSummary& tu, const LayerConfig& config,
                    std::vector<Finding>* out) {
-  const std::string module = ModuleOf(file.path);
+  const std::string module = ModuleOf(tu.path);
   if (module.empty() || !config.Known(module)) return;
   const std::set<std::string>& allowed = config.allowed.at(module);
-  for (const IncludeDirective& inc : file.includes) {
+  for (const IncludeDirective& inc : tu.includes) {
     const std::string target = IncludeModule(inc.path, config);
     if (target.empty() || target == module) continue;
     if (allowed.count(target) > 0) continue;
-    if (file.Suppressed(inc.line, "layer-violation")) continue;
+    if (tu.Suppressed(inc.line, "layer-violation")) continue;
     out->push_back(
-        {file.path, inc.line, "layer-violation",
+        {tu.path, inc.line, "layer-violation",
          "module `" + module + "` must not include `" + inc.path +
              "`: `" + target + "` is not among its declared dependencies " +
              "(tools/analyze/layers.toml)"});
@@ -555,9 +221,9 @@ void CheckLayering(const SourceFile& file, const LayerConfig& config,
 
 // ---------------------------------------------------------- cycle check --
 
-// Builds the project include graph over the analyzed files and reports
+// Builds the project include graph over the analyzed TUs and reports
 // every elementary cycle found by DFS (each once, at its back-edge).
-void CheckIncludeCycles(const std::vector<SourceFile>& files,
+void CheckIncludeCycles(const std::vector<TuSummary>& tus,
                         std::vector<Finding>* out) {
   // Keys are root-relative ("src/util/status.h"), so absolute analyzed
   // paths and the project's src/-rooted include style line up.
@@ -572,11 +238,10 @@ void CheckIncludeCycles(const std::vector<SourceFile>& files,
     return p;
   };
   std::map<std::string, std::size_t> by_path;
-  for (std::size_t i = 0; i < files.size(); ++i) {
-    by_path[rel_key(files[i].path)] = i;
+  for (std::size_t i = 0; i < tus.size(); ++i) {
+    by_path[rel_key(tus[i].path)] = i;
   }
-  auto resolve = [&](const SourceFile& from,
-                     const std::string& inc) -> long {
+  auto resolve = [&](const TuSummary& from, const std::string& inc) -> long {
     // Project convention: includes are rooted at src/ (or at the
     // consumer directory for bench/tests helpers).
     const std::string rel = rel_key(from.path);
@@ -596,10 +261,10 @@ void CheckIncludeCycles(const std::vector<SourceFile>& files,
     std::size_t to;
     int line;
   };
-  std::vector<std::vector<Edge>> graph(files.size());
-  for (std::size_t i = 0; i < files.size(); ++i) {
-    for (const IncludeDirective& inc : files[i].includes) {
-      const long target = resolve(files[i], inc.path);
+  std::vector<std::vector<Edge>> graph(tus.size());
+  for (std::size_t i = 0; i < tus.size(); ++i) {
+    for (const IncludeDirective& inc : tus[i].includes) {
+      const long target = resolve(tus[i], inc.path);
       if (target >= 0 && static_cast<std::size_t>(target) != i) {
         graph[i].push_back({static_cast<std::size_t>(target), inc.line});
       }
@@ -608,7 +273,7 @@ void CheckIncludeCycles(const std::vector<SourceFile>& files,
 
   // Iterative colored DFS; a back-edge to a gray node closes a cycle.
   enum class Color { kWhite, kGray, kBlack };
-  std::vector<Color> color(files.size(), Color::kWhite);
+  std::vector<Color> color(tus.size(), Color::kWhite);
   std::vector<std::size_t> stack_path;
   std::set<std::set<std::size_t>> reported;
 
@@ -616,7 +281,7 @@ void CheckIncludeCycles(const std::vector<SourceFile>& files,
     std::size_t node;
     std::size_t edge = 0;
   };
-  for (std::size_t root = 0; root < files.size(); ++root) {
+  for (std::size_t root = 0; root < tus.size(); ++root) {
     if (color[root] != Color::kWhite) continue;
     std::vector<Frame> stack{{root, 0}};
     color[root] = Color::kGray;
@@ -643,12 +308,12 @@ void CheckIncludeCycles(const std::vector<SourceFile>& files,
           if (node == edge.to) in_cycle = true;
           if (!in_cycle) continue;
           members.insert(node);
-          rendered += files[node].path + " -> ";
+          rendered += tus[node].path + " -> ";
         }
-        rendered += files[edge.to].path;
+        rendered += tus[edge.to].path;
         if (reported.insert(members).second &&
-            !files[frame.node].Suppressed(edge.line, "include-cycle")) {
-          out->push_back({files[frame.node].path, edge.line,
+            !tus[frame.node].Suppressed(edge.line, "include-cycle")) {
+          out->push_back({tus[frame.node].path, edge.line,
                           "include-cycle",
                           "include cycle: " + rendered});
         }
@@ -659,45 +324,14 @@ void CheckIncludeCycles(const std::vector<SourceFile>& files,
 
 // ------------------------------------------------------------ dataflow --
 
-// Names of Status/Result-returning functions, collected from every
-// declaration in the analyzed set so `auto r = Fallible(...)` locals can
-// be typed.
+// Names of Status/Result-returning functions: per-TU sets are collected
+// by pass 1 (so they cache); the program-wide registry is their union
+// plus seeds for members the declaration scan cannot see.
 std::set<std::string> BuildFallibleRegistry(
-    const std::vector<SourceFile>& files) {
+    const std::vector<TuSummary>& tus) {
   std::set<std::string> registry = {"RetryWithBackoff", "status"};
-  for (const SourceFile& file : files) {
-    const std::vector<Token>& toks = file.tokens;
-    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
-      if (toks[i].kind != Tok::kIdent) continue;
-      std::size_t name_at = 0;
-      if (toks[i].text == "Status") {
-        name_at = i + 1;
-      } else if (toks[i].text == "Result" && toks[i + 1].text == "<") {
-        int depth = 0;
-        std::size_t j = i + 1;
-        for (; j < toks.size(); ++j) {
-          if (toks[j].kind == Tok::kComment) continue;
-          if (toks[j].text == "<") ++depth;
-          if (toks[j].text == ">") --depth;
-          if (toks[j].text == ">>") depth -= 2;
-          if (depth <= 0) break;
-        }
-        if (j >= toks.size()) continue;
-        name_at = j + 1;
-      } else {
-        continue;
-      }
-      while (name_at < toks.size() && toks[name_at].kind == Tok::kComment) {
-        ++name_at;
-      }
-      if (name_at + 1 >= toks.size()) continue;
-      if (toks[name_at].kind != Tok::kIdent) continue;
-      if (toks[name_at + 1].text != "(") continue;
-      const std::string& name = toks[name_at].text;
-      if (std::isupper(static_cast<unsigned char>(name[0])) != 0) {
-        registry.insert(name);
-      }
-    }
+  for (const TuSummary& tu : tus) {
+    registry.insert(tu.fallible.begin(), tu.fallible.end());
   }
   return registry;
 }
@@ -1194,6 +828,13 @@ class DataflowAnalyzer {
       CheckLockTemporary(i);
       CheckGuardedWrite(i);
 
+      // `x.text` / `x->text`: a member access never names a tracked
+      // local, whatever its spelling.
+      if (i > 0 &&
+          (code_[i - 1].text == "." || code_[i - 1].text == "->")) {
+        continue;
+      }
+
       // std::move(x) marks x moved-from.
       if (tok.text == "move" && i >= 2 && code_[i - 1].text == "::" &&
           code_[i - 2].text == "std" && Is(i + 1, "(") &&
@@ -1386,6 +1027,14 @@ constexpr RuleInfo kRules[] = {
      "Immediately-destroyed lock temporary guards nothing"},
     {"guarded-by",
      "GUARDED_BY state written in a ParallelFor lambda without its guard"},
+    {"lock-order-cycle",
+     "Lock-acquisition order violates LOCK_RANK ranks or forms a cycle"},
+    {"blocking-under-lock",
+     "Blocking call reached (possibly transitively) while holding a lock"},
+    {"condvar-predicate",
+     "Condition-variable wait without predicate or re-check loop"},
+    {"promise-exactly-once",
+     "A loop path drops a promise-carrying value or fulfils it twice"},
 };
 
 std::string SarifReport(const std::vector<Finding>& findings) {
@@ -1394,7 +1043,7 @@ std::string SarifReport(const std::vector<Finding>& findings) {
          "\"https://json.schemastore.org/sarif-2.1.0.json\",\"runs\":[{"
          "\"tool\":{\"driver\":{\"name\":\"snor_analyze\","
          "\"informationUri\":\"https://example.invalid/snor\","
-         "\"version\":\"1.0.0\",\"rules\":[";
+         "\"version\":\"2.0.0\",\"rules\":[";
   bool first = true;
   for (const RuleInfo& rule : kRules) {
     if (!first) out << ",";
@@ -1444,8 +1093,15 @@ std::vector<std::string> CollectTreeFiles(const fs::path& root) {
     for (const auto& entry : fs::recursive_directory_iterator(dir)) {
       if (!entry.is_regular_file() || !IsSourcePath(entry.path())) continue;
       const std::string p = entry.path().generic_string();
-      if (PathContains(p, "testdata")) continue;  // Fixtures violate on purpose.
-      if (PathContains(p, "build")) continue;
+      // Skips are matched against the root-relative path only, so a
+      // checkout that itself lives under a directory named "build"
+      // (e.g. a ctest scratch tree) is still analyzable.
+      std::error_code ec;
+      const std::string rel =
+          fs::relative(entry.path(), root, ec).generic_string();
+      const std::string& match = ec ? p : rel;
+      if (PathContains(match, "testdata")) continue;  // Fixtures violate on purpose.
+      if (PathContains(match, "build")) continue;
       files.push_back(p);
     }
   }
@@ -1453,36 +1109,119 @@ std::vector<std::string> CollectTreeFiles(const fs::path& root) {
   return files;
 }
 
+struct AnalyzeOptions {
+  fs::path cache_dir;  // Empty = caching disabled.
+  std::uint64_t cache_salt = 0;
+};
+
 struct AnalyzeResult {
   std::vector<Finding> findings;
   std::size_t files = 0;
+  std::size_t resummarized = 0;  // TUs tokenized this run.
+  std::size_t cached = 0;        // TUs served entirely from the cache.
 };
 
+// The incremental two-pass pipeline:
+//   A. read + hash every file; load its summary from the cache or build
+//      it fresh (tokenize + pass 1);
+//   B. derive the program-wide fallible registry and the intra-findings
+//      fingerprint (registry + layer DAG) from the summaries;
+//   C. replay cached intra findings where the fingerprint matches,
+//      re-run the intra analyses (and refresh the cache) elsewhere;
+//   D. link summaries (pass 2) and run include-cycle + the four
+//      interprocedural concurrency checks — always, they are cheap.
 bool AnalyzePaths(const std::vector<std::string>& paths,
-                  const LayerConfig& config, AnalyzeResult* result) {
-  std::vector<SourceFile> files;
-  for (const std::string& p : paths) {
-    SourceFile file;
-    if (!LoadFile(p, &file)) {
-      std::fprintf(stderr, "snor_analyze: cannot read %s\n", p.c_str());
+                  const LayerConfig& config, const AnalyzeOptions& options,
+                  AnalyzeResult* result) {
+  const std::size_t n = paths.size();
+  std::vector<TuSummary> tus;
+  tus.reserve(n);
+  std::vector<std::unique_ptr<SourceFile>> sources(n);
+  std::vector<std::string> texts(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    std::ifstream in(paths[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "snor_analyze: cannot read %s\n",
+                   paths[i].c_str());
       return false;
     }
-    files.push_back(std::move(file));
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    texts[i] = buffer.str();
+    const std::uint64_t hash = Fnv1a(texts[i]);
+    const std::string disk_path = fs::path(paths[i]).generic_string();
+    TuSummary tu;
+    if (!LoadCachedSummary(options.cache_dir, options.cache_salt, disk_path,
+                           hash, &tu)) {
+      auto source = std::make_unique<SourceFile>();
+      LoadFromString(texts[i], disk_path, source.get());
+      tu = BuildTuSummary(*source);
+      tu.content_hash = hash;
+      sources[i] = std::move(source);
+    }
+    tus.push_back(std::move(tu));
   }
-  result->files = files.size();
-  const std::set<std::string> fallible = BuildFallibleRegistry(files);
-  for (const SourceFile& file : files) {
-    CheckLayering(file, config, &result->findings);
-    DataflowAnalyzer(file, fallible, &result->findings).Run();
+  result->files = n;
+
+  const std::set<std::string> fallible = BuildFallibleRegistry(tus);
+  std::uint64_t fingerprint = Fnv1a(config.Serialized());
+  for (const std::string& name : fallible) {
+    fingerprint = Fnv1aMix(fingerprint, name);
   }
-  CheckIncludeCycles(files, &result->findings);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    TuSummary& tu = tus[i];
+    if (sources[i] == nullptr && tu.intra_fingerprint == fingerprint) {
+      for (const CachedFinding& cf : tu.intra_findings) {
+        result->findings.push_back({tu.path, cf.line, cf.rule, cf.message});
+      }
+      continue;
+    }
+    if (sources[i] == nullptr) {
+      // Cache hit, but the cross-file inputs of the intra analyses
+      // changed: re-tokenize and re-run them.
+      sources[i] = std::make_unique<SourceFile>();
+      LoadFromString(texts[i], tu.real_path, sources[i].get());
+    }
+    std::vector<Finding> local;
+    CheckLayering(tu, config, &local);
+    DataflowAnalyzer(*sources[i], fallible, &local).Run();
+    tu.intra_findings.clear();
+    for (const Finding& f : local) {
+      tu.intra_findings.push_back({f.line, f.rule, f.message});
+    }
+    tu.intra_fingerprint = fingerprint;
+    StoreCachedSummary(options.cache_dir, options.cache_salt, tu);
+    for (Finding& f : local) {
+      result->findings.push_back(std::move(f));
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (sources[i] != nullptr) {
+      ++result->resummarized;
+    } else {
+      ++result->cached;
+    }
+  }
+
+  CheckIncludeCycles(tus, &result->findings);
+  const CallGraph graph(tus);
+  RunConcurrencyChecks(graph, &result->findings);
   std::sort(result->findings.begin(), result->findings.end());
+  result->findings.erase(
+      std::unique(result->findings.begin(), result->findings.end(),
+                  [](const Finding& a, const Finding& b) {
+                    return a.file == b.file && a.line == b.line &&
+                           a.rule == b.rule && a.message == b.message;
+                  }),
+      result->findings.end());
   return true;
 }
 
 int RunTree(const fs::path& root, const fs::path& config_path,
             const fs::path& baseline_path, bool sarif_stdout,
-            const std::string& sarif_out,
+            const std::string& sarif_out, const AnalyzeOptions& options,
             const std::vector<std::string>& explicit_paths) {
   LayerConfig config;
   std::string error;
@@ -1498,7 +1237,7 @@ int RunTree(const fs::path& root, const fs::path& config_path,
     return 2;
   }
   AnalyzeResult result;
-  if (!AnalyzePaths(paths, config, &result)) return 2;
+  if (!AnalyzePaths(paths, config, options, &result)) return 2;
   ApplyBaseline(LoadBaseline(baseline_path), &result.findings);
 
   std::size_t active = 0;
@@ -1529,14 +1268,18 @@ int RunTree(const fs::path& root, const fs::path& config_path,
   }
   if (!sarif_stdout) {
     std::printf(
-        "snor_analyze: %zu file(s), %zu finding(s) (%zu baselined)\n",
-        result.files, active + baselined, baselined);
+        "snor_analyze: %zu file(s) (%zu re-summarized, %zu cached), "
+        "%zu finding(s) (%zu baselined)\n",
+        result.files, result.resummarized, result.cached,
+        active + baselined, baselined);
   }
   return active == 0 ? 0 : 1;
 }
 
 // Self-test: every `// EXPECT-ANALYZE: rule[,rule]` must match a finding
-// on that line, and no unannotated finding may appear.
+// on that line, and no unannotated finding may appear. The self-test
+// never uses the summary cache: fixtures must always be analyzed from
+// source.
 int SelfTest(const fs::path& dir) {
   std::vector<std::string> paths;
   for (const auto& entry : fs::recursive_directory_iterator(dir)) {
@@ -1562,7 +1305,7 @@ int SelfTest(const fs::path& dir) {
   }
 
   AnalyzeResult result;
-  if (!AnalyzePaths(paths, config, &result)) return 2;
+  if (!AnalyzePaths(paths, config, AnalyzeOptions{}, &result)) return 2;
 
   // Expectations, per real file and line, from comment tokens.
   int failures = 0;
@@ -1642,6 +1385,9 @@ int main(int argc, char** argv) {
   std::string baseline_flag;
   std::string sarif_out;
   bool sarif_stdout = false;
+  snor_analyze::AnalyzeOptions options;
+  double fault_rate = 0.0;
+  std::uint64_t fault_seed = 1;
   std::vector<std::string> explicit_paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -1655,6 +1401,14 @@ int main(int argc, char** argv) {
       baseline_flag = argv[++i];
     } else if (arg == "--sarif-out" && i + 1 < argc) {
       sarif_out = argv[++i];
+    } else if (arg == "--cache-dir" && i + 1 < argc) {
+      options.cache_dir = argv[++i];
+    } else if (arg == "--cache-salt" && i + 1 < argc) {
+      options.cache_salt = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--fault-rate" && i + 1 < argc) {
+      fault_rate = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--fault-seed" && i + 1 < argc) {
+      fault_seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--format=sarif") {
       sarif_stdout = true;
     } else if (arg == "--format=text") {
@@ -1663,10 +1417,15 @@ int main(int argc, char** argv) {
       std::printf(
           "usage: snor_analyze [--root DIR] [--config layers.toml]\n"
           "                    [--baseline FILE] [--format=text|sarif]\n"
-          "                    [--sarif-out FILE] [files...]\n"
+          "                    [--sarif-out FILE] [--cache-dir DIR]\n"
+          "                    [--cache-salt N] [--fault-rate P]\n"
+          "                    [--fault-seed N] [files...]\n"
           "       snor_analyze --self-test FIXTURE_DIR\n"
-          "Dependency-DAG + dataflow analysis over src/, bench/,\n"
-          "examples/, tests/ and tools/ (see tools/analyze/layers.toml).\n");
+          "Dependency-DAG, dataflow and whole-program concurrency\n"
+          "analysis over src/, bench/, examples/, tests/ and tools/\n"
+          "(see tools/analyze/layers.toml). --cache-dir enables the\n"
+          "incremental summary cache; --fault-rate arms io-read and\n"
+          "truncated-file faults on cache reads (recovery testing).\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "snor_analyze: unknown flag %s\n", arg.c_str());
@@ -1674,6 +1433,13 @@ int main(int argc, char** argv) {
     } else {
       explicit_paths.push_back(arg);
     }
+  }
+
+  if (fault_rate > 0.0) {
+    snor::FaultInjector::Global().Arm(snor::FaultPoint::kIoRead, fault_rate,
+                                      fault_seed);
+    snor::FaultInjector::Global().Arm(snor::FaultPoint::kTruncatedFile,
+                                      fault_rate, fault_seed + 1);
   }
 
   if (!self_test_dir.empty()) {
@@ -1688,5 +1454,6 @@ int main(int argc, char** argv) {
                                   "baseline.txt"
                             : fs::path(baseline_flag);
   return snor_analyze::RunTree(root, config_path, baseline_path,
-                               sarif_stdout, sarif_out, explicit_paths);
+                               sarif_stdout, sarif_out, options,
+                               explicit_paths);
 }

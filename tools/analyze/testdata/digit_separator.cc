@@ -1,0 +1,10 @@
+// ANALYZE-AS: tests/fixtures/digit_separator.cc
+// Tokenizer regression: a digit separator (1'000) must not open a char
+// literal. A lexer that mis-lexes the separator swallows the following
+// lines as literal text and misses the genuine use-after-move below.
+
+void ConsumeBudget() {
+  std::vector<int> budget(1'000);
+  std::vector<int> sink = std::move(budget);
+  budget.push_back(10'000);  // EXPECT-ANALYZE: use-after-move
+}

@@ -1,0 +1,19 @@
+// ANALYZE-AS: tests/fixtures/macro_continuation.cc
+// Tokenizer regression: a backslash continuation followed by trailing
+// blanks (or \r) still continues the directive, and a block comment
+// inside a directive must not hide the continuation. If the macro
+// body leaked into the token stream, the statement-position
+// lock_guard temporary below would be a false lock-temporary finding.
+// No findings expected.
+
+#define MAKE_SCOPED_GUARD(mu)   \ 
+  std::lock_guard<std::mutex>( \	
+      mu)
+
+#define GUARD_TWO(a, b) /* joins \
+   both */ MAKE_SCOPED_GUARD(a)
+
+void UseGuardMacro() {
+  std::lock_guard<std::mutex> lock(config_mutex);
+  config_version = 3;
+}

@@ -1,0 +1,12 @@
+// ANALYZE-AS: tests/fixtures/udl_suffix.cc
+// Tokenizer regression: a user-defined literal suffix is part of the
+// literal token. A lexer that emits the suffix as a separate
+// identifier would see a phantom use of the moved-from `s` on the
+// "ready"s line and report a false use-after-move. No findings here.
+
+void FormatLabel() {
+  std::string s = BuildLabel();
+  Consume(std::move(s));
+  const auto label = "ready"s;
+  Publish(label, 250ms);
+}

@@ -1,0 +1,12 @@
+// ANALYZE-AS: tests/ipa/blocking_transitive_a.cc
+// The blocking leaf of the cross-TU chain exercised by
+// blocking_transitive_b.cc. WriteCheckpoint itself holds no lock, so
+// this TU is clean in isolation.
+
+void WriteCheckpointNap() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+}
+
+void FlushCheckpoint() {
+  WriteCheckpointNap();
+}

@@ -1,0 +1,16 @@
+// ANALYZE-AS: tests/ipa/blocking_transitive_b.cc
+// Calls a two-hop blocking chain (FlushCheckpoint ->
+// WriteCheckpointNap -> sleep_for, defined in blocking_transitive_a.cc)
+// while holding checkpoint_mutex. The finding requires the linked
+// may-block fixpoint; no single TU shows a blocking call under a lock.
+
+std::mutex checkpoint_mutex;
+
+void CheckpointUnderLock() {
+  std::lock_guard<std::mutex> lock(checkpoint_mutex);
+  FlushCheckpoint();  // EXPECT-ANALYZE: blocking-under-lock
+}
+
+void CheckpointOutsideLock() {
+  FlushCheckpoint();
+}

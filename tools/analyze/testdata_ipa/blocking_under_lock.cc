@@ -1,0 +1,24 @@
+// ANALYZE-AS: tests/ipa/blocking_under_lock.cc
+// Direct blocking primitive under a held lock, plus the clean
+// counterpart: the same primitive with no lock held, and lock-protected
+// work that never blocks.
+
+class NapKeeper {
+ public:
+  void SleepHolding() {
+    std::lock_guard<std::mutex> lock(nap_mutex_);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));  // EXPECT-ANALYZE: blocking-under-lock
+  }
+
+  void SleepOutside() {
+    {
+      std::lock_guard<std::mutex> lock(nap_mutex_);
+      ++nap_count_;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+ private:
+  std::mutex nap_mutex_;
+  int nap_count_ = 0;
+};

@@ -1,0 +1,30 @@
+// ANALYZE-AS: tests/ipa/condvar_wait.cc
+// Condition-variable waits: no predicate and no enclosing re-check
+// loop fires; the predicate overload and the while-loop re-check are
+// both clean. The wait's own lock is exempt from blocking-under-lock
+// (it is atomically released), so only condvar-predicate may report.
+
+class WakeupGate {
+ public:
+  void BadWait() {
+    std::unique_lock<std::mutex> lk(gate_mutex_);
+    gate_cv_.wait(lk);  // EXPECT-ANALYZE: condvar-predicate
+  }
+
+  void PredicateWait() {
+    std::unique_lock<std::mutex> lk(gate_mutex_);
+    gate_cv_.wait(lk, [this] { return gate_open_; });
+  }
+
+  void LoopWait() {
+    std::unique_lock<std::mutex> lk(gate_mutex_);
+    while (!gate_open_) {
+      gate_cv_.wait(lk);
+    }
+  }
+
+ private:
+  std::mutex gate_mutex_;
+  std::condition_variable gate_cv_;
+  bool gate_open_ = false;
+};

@@ -1,0 +1,12 @@
+// ANALYZE-AS: tests/ipa/deadlock_ab.cc
+// One half of the cross-TU deadlock: ma_ then mb_. Locally fine; the
+// cycle only exists once deadlock_ba.cc is linked in. The cycle report
+// anchors at the closing edge (mb_ -> ma_), which lives in that TU.
+
+#include "deadlock_pair.h"
+
+void DeadlockPair::LockAbOrder() {
+  std::lock_guard<std::mutex> outer(pair_ma_);
+  std::lock_guard<std::mutex> inner(pair_mb_);
+  ++pair_ops;
+}

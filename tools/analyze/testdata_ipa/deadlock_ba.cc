@@ -1,0 +1,10 @@
+// ANALYZE-AS: tests/ipa/deadlock_ba.cc
+// The other half: mb_ then ma_, closing the cross-TU cycle.
+
+#include "deadlock_pair.h"
+
+void DeadlockPair::LockBaOrder() {
+  std::lock_guard<std::mutex> outer(pair_mb_);
+  std::lock_guard<std::mutex> inner(pair_ma_);  // EXPECT-ANALYZE: lock-order-cycle
+  --pair_ops;
+}

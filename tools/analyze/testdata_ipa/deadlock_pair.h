@@ -1,0 +1,14 @@
+// ANALYZE-AS: tests/ipa/deadlock_pair.h
+// Two unranked mutexes locked in opposite orders by two TUs
+// (deadlock_ab.cc, deadlock_ba.cc): the linked acquisition graph holds
+// the cycle ma_ -> mb_ -> ma_ even though each TU is locally consistent.
+
+class DeadlockPair {
+ public:
+  void LockAbOrder();
+  void LockBaOrder();
+
+ private:
+  std::mutex pair_ma_;
+  std::mutex pair_mb_;
+};

@@ -1,0 +1,24 @@
+// ANALYZE-AS: tests/ipa/lock_rank_inversion.cc
+// LOCK_RANK annotations declare coarse_ (rank 10) as the outer lock
+// and fine_ (rank 20) as the inner one. AcquireFine honours the
+// policy; AcquireBackwards nests the outer lock inside the inner one.
+
+class RankedPair {
+ public:
+  void AcquireFine() {
+    std::lock_guard<std::mutex> outer(ranked_coarse_);
+    std::lock_guard<std::mutex> inner(ranked_fine_);
+    ++ranked_ops_;
+  }
+
+  void AcquireBackwards() {
+    std::lock_guard<std::mutex> outer(ranked_fine_);
+    std::lock_guard<std::mutex> inner(ranked_coarse_);  // EXPECT-ANALYZE: lock-order-cycle
+    --ranked_ops_;
+  }
+
+ private:
+  std::mutex ranked_coarse_;  // LOCK_RANK(10)
+  std::mutex ranked_fine_;    // LOCK_RANK(20)
+  int ranked_ops_ = 0;
+};

@@ -1,0 +1,21 @@
+// ANALYZE-AS: tests/ipa/promise_double.cc
+// Double fulfilment: a second set_value on an already-fulfilled
+// promise throws std::future_error at runtime. The second function
+// only fires if the cross-TU fulfils-closure knows that RejectJob
+// (promise_helpers.cc) fulfils its argument's promise.
+
+#include "promise_helpers.h"
+
+void RouteSettingTwice(std::vector<RoutedJob>& jobs) {
+  for (RoutedJob& job : jobs) {
+    job.result.set_value(1);
+    job.result.set_value(2);  // EXPECT-ANALYZE: promise-exactly-once
+  }
+}
+
+void RouteSettingTwiceViaHelper(std::vector<RoutedJob>& jobs) {
+  for (RoutedJob& job : jobs) {
+    job.result.set_value(1);
+    RejectJob(job);  // EXPECT-ANALYZE: promise-exactly-once
+  }
+}

@@ -1,0 +1,26 @@
+// ANALYZE-AS: tests/ipa/promise_drop.cc
+// Dropped promises: a path through the routing loop ends an iteration
+// without fulfilling or forwarding the job's promise, leaving its
+// future waiting forever. Both the early-continue drop and the
+// fall-through drop are definite (no maybe-fulfil on the path).
+
+#include "promise_helpers.h"
+
+void RouteDroppingContinue(std::vector<RoutedJob>& jobs) {
+  for (RoutedJob& job : jobs) {
+    if (job.rejected) {
+      continue;  // EXPECT-ANALYZE: promise-exactly-once
+    }
+    job.result.set_value(1);
+  }
+}
+
+void RouteDroppingFallthrough(std::vector<RoutedJob>& jobs) {
+  for (RoutedJob& job : jobs) {
+    if (job.rejected) {
+      job.result.set_value(0);
+      continue;
+    }
+    LogDroppedJob(job.oversized);
+  }  // EXPECT-ANALYZE: promise-exactly-once
+}

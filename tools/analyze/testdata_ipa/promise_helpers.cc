@@ -1,0 +1,7 @@
+// ANALYZE-AS: tests/ipa/promise_helpers.cc
+
+#include "promise_helpers.h"
+
+void RejectJob(RoutedJob& job) {
+  job.result.set_value(-1);
+}

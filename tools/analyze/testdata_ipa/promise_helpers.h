@@ -1,0 +1,12 @@
+// ANALYZE-AS: tests/ipa/promise_helpers.h
+// Helper that fulfils the promise of its argument — callers in the
+// promise_* fixtures rely on the cross-TU fulfils-closure to know that
+// calling it counts as a fulfil.
+
+struct RoutedJob {
+  bool rejected = false;
+  bool oversized = false;
+  std::promise<int> result;
+};
+
+void RejectJob(RoutedJob& job);

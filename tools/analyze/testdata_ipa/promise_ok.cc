@@ -1,0 +1,22 @@
+// ANALYZE-AS: tests/ipa/promise_ok.cc
+// Clean promise routing, mirroring RecognitionService::DispatchBatch:
+// every path of the loop body either fulfils the job's promise
+// (directly or through the RejectJob helper) or forwards the job to a
+// consumer that will. No findings expected.
+
+#include "promise_helpers.h"
+
+void RouteEveryPath(std::vector<RoutedJob>& jobs,
+                    std::deque<RoutedJob>* accepted) {
+  for (RoutedJob& job : jobs) {
+    if (job.rejected) {
+      RejectJob(job);
+      continue;
+    }
+    if (job.oversized) {
+      job.result.set_value(0);
+      continue;
+    }
+    accepted->push_back(std::move(job));
+  }
+}

@@ -6,10 +6,16 @@
 # Usage:
 #   tools/run_checks.sh              # check preset: -Werror build + ctest
 #                                    # + snor_lint + snor_analyze (SARIF to
-#                                    # build-check/analyze.sarif)
+#                                    # build-check/analyze.sarif; timed
+#                                    # cold+warm incremental runs against
+#                                    # build-check/analyze-cache)
+#   tools/run_checks.sh --analyze-clean  # drop the analyzer summary cache
+#                                    # first (forces a cold re-scan)
 #   tools/run_checks.sh --asan       # ...plus ASan+UBSan build and test subset
 #   tools/run_checks.sh --tsan       # ...plus TSan build and concurrency subset
 #   tools/run_checks.sh --clang-tidy # ...plus clang-tidy (no-op if absent)
+#   tools/run_checks.sh --thread-safety  # ...plus a clang -Wthread-safety
+#                                    # compile pass (no-op if clang absent)
 #   tools/run_checks.sh --all        # everything
 set -euo pipefail
 
@@ -18,14 +24,18 @@ cd "$(dirname "$0")/.."
 run_asan=0
 run_tsan=0
 run_tidy=0
+run_tsafety=0
+analyze_clean=0
 for arg in "$@"; do
   case "$arg" in
     --asan) run_asan=1 ;;
     --tsan) run_tsan=1 ;;
     --clang-tidy) run_tidy=1 ;;
-    --all) run_asan=1; run_tsan=1; run_tidy=1 ;;
+    --thread-safety) run_tsafety=1 ;;
+    --analyze-clean) analyze_clean=1 ;;
+    --all) run_asan=1; run_tsan=1; run_tidy=1; run_tsafety=1 ;;
     -h|--help)
-      sed -n '2,14p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,20p' "$0" | sed 's/^# \{0,1\}//'
       exit 0 ;;
     *) echo "unknown option: $arg (try --help)" >&2; exit 2 ;;
   esac
@@ -37,11 +47,33 @@ cmake --build --preset check -j
 ctest --preset check -j
 ./build-check/tools/lint/snor_lint --root .
 
-echo "== analyze: layering DAG + dataflow + GUARDED_BY (SARIF) =="
+echo "== analyze: layering + dataflow + whole-program concurrency (SARIF) =="
 # Blocking: any non-baselined finding fails the run. The SARIF file is
-# the machine-readable artifact for CI annotation upload.
+# the machine-readable artifact for CI annotation upload. The summary
+# cache under build-check/analyze-cache makes repeat runs incremental;
+# the timed cold/warm pair below also gates the incrementality itself
+# (a warm run that re-summarizes anything means content-hash keying
+# broke).
+analyze_cache=build-check/analyze-cache
+if [[ $analyze_clean -eq 1 ]]; then
+  rm -rf "$analyze_cache"
+fi
+cold_start=$(date +%s%N)
 ./build-check/tools/analyze/snor_analyze --root . \
+    --cache-dir "$analyze_cache" \
     --sarif-out build-check/analyze.sarif
+cold_ms=$(( ($(date +%s%N) - cold_start) / 1000000 ))
+warm_start=$(date +%s%N)
+warm_out=$(./build-check/tools/analyze/snor_analyze --root . \
+    --cache-dir "$analyze_cache" \
+    --sarif-out build-check/analyze.sarif)
+warm_ms=$(( ($(date +%s%N) - warm_start) / 1000000 ))
+echo "$warm_out"
+echo "analyze timing: first run ${cold_ms}ms, warm re-scan ${warm_ms}ms"
+if [[ "$warm_out" != *"(0 re-summarized,"* ]]; then
+  echo "FAIL: warm analyze re-summarized unchanged TUs: $warm_out" >&2
+  exit 1
+fi
 
 echo "== trace-smoke: quick bench with tracing + telemetry validation =="
 ctest --test-dir build-check -R TraceSmoke --output-on-failure
@@ -66,6 +98,23 @@ if [[ $run_tsan -eq 1 ]]; then
   cmake --preset tsan
   cmake --build --preset tsan -j
   ctest --preset tsan -j
+fi
+
+if [[ $run_tsafety -eq 1 ]]; then
+  if command -v clang++ >/dev/null 2>&1; then
+    echo "== thread-safety: clang -Wthread-safety compile pass =="
+    # A compile-only pass with clang's static thread-safety analysis.
+    # The SNOR_* capability macros (src/util/thread_annotations.h)
+    # activate under clang, so annotated code gets real attribute
+    # checking on machines that have it; snor_analyze remains the
+    # portable gate.
+    cmake -B build-threadsafety -S . \
+      -DCMAKE_CXX_COMPILER=clang++ \
+      -DCMAKE_CXX_FLAGS="-Wthread-safety -Werror=thread-safety-analysis"
+    cmake --build build-threadsafety -j
+  else
+    echo "== thread-safety: clang++ not installed, skipping =="
+  fi
 fi
 
 if [[ $run_tidy -eq 1 ]]; then
