@@ -8,13 +8,21 @@
 // probe restoring full-modality service after the cool-down.
 //
 // Run: ./build/examples/serve_daemon
+//   --introspect-port P   serve /healthz /statusz /metricsz /tracez on
+//                         127.0.0.1:P (0 = ephemeral; printed on stdout)
+//   --linger-s S          keep the service (and introspection endpoints)
+//                         up for S seconds after the demo phases finish
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <future>
 #include <thread>
 #include <vector>
 
+#include "obs/introspect.h"
+#include "obs/trace.h"
 #include "serve/service.h"
 #include "util/fault.h"
 
@@ -71,7 +79,14 @@ void PrintPhase(const char* name, const PhaseOutcome& outcome,
               static_cast<unsigned long long>(stats.breaker_trips));
 }
 
-int Run() {
+struct DaemonConfig {
+  /// -1 disables the introspection server; 0 binds an ephemeral port.
+  int introspect_port = -1;
+  /// Seconds to keep serving introspection after the demo phases.
+  double linger_s = 0.0;
+};
+
+int Run(const DaemonConfig& daemon) {
   // Small-scale context: 48px canvas, 1% of the NYU-scale gallery keeps
   // the demo interactive.
   ExperimentConfig config;
@@ -104,6 +119,23 @@ int Run() {
               service.value()->degraded_engine() != nullptr
                   ? "colour-only"
                   : "none");
+
+  // Live introspection (optional): tail-keep tracing feeds /tracez, the
+  // service's /statusz handler reads stats + SLO burn rates. The server
+  // is declared after `service` so it stops before the service dies.
+  obs::IntrospectServer introspect;
+  if (daemon.introspect_port >= 0) {
+    obs::RequestTraceStore::Global().Enable({});
+    RegisterServiceIntrospection(introspect, *service.value());
+    if (!introspect.Start(daemon.introspect_port)) {
+      std::fprintf(stderr, "serve_daemon: introspect: bind failed on %d\n",
+                   daemon.introspect_port);
+      return 1;
+    }
+    std::printf("introspect: listening on 127.0.0.1:%d\n\n",
+                introspect.port());
+    std::fflush(stdout);
+  }
 
   // Queries: reuse gallery features as probes (self-recognition traffic).
   const std::vector<ImageFeatures>& queries = gallery;
@@ -144,6 +176,16 @@ int Run() {
     return 1;
   }
 
+  // Optional linger window for operators to curl the endpoints while the
+  // service is still accepting traffic.
+  if (daemon.linger_s > 0.0) {
+    std::printf("\nlingering %.1fs (curl the introspection endpoints)...\n",
+                daemon.linger_s);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(daemon.linger_s));
+  }
+
   service.value()->Shutdown();
   const ServiceStats final_stats = service.value()->stats();
   std::printf("\nlifetime: submitted=%llu ok=%llu degraded=%llu "
@@ -169,4 +211,26 @@ int Run() {
 }  // namespace
 }  // namespace snor::serve
 
-int main() { return snor::serve::Run(); }
+int main(int argc, char** argv) {
+  snor::serve::DaemonConfig daemon;
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--introspect-port") == 0) {
+      daemon.introspect_port = static_cast<int>(
+          std::strtol(next("--introspect-port"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--linger-s") == 0) {
+      daemon.linger_s = std::strtod(next("--linger-s"), nullptr);
+    } else {
+      std::fprintf(stderr, "usage: %s [--introspect-port P] [--linger-s S]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  return snor::serve::Run(daemon);
+}

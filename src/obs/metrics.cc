@@ -112,15 +112,75 @@ double Histogram::Percentile(double p) const {
   return max();
 }
 
+namespace {
+
+/// Nearest-rank percentile over a captured bucket array (same math as
+/// Histogram::Percentile but torn-read safe: every field comes from the
+/// one-pass capture, and the result is clamped to the reconciled
+/// [min, max]).
+double PercentileFromBuckets(const std::vector<std::uint64_t>& buckets,
+                             const std::vector<double>& bounds, double p,
+                             std::uint64_t total, double mn, double mx) {
+  if (total == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = std::max(1.0, p / 100.0 * static_cast<double>(total));
+  double seen = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const double in_bucket = static_cast<double>(buckets[i]);
+    if (in_bucket == 0.0) continue;
+    if (seen + in_bucket >= rank) {
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double hi = i < bounds.size() ? bounds[i] : mx;
+      const double fraction = (rank - seen) / in_bucket;
+      const double estimate = lo + (hi - lo) * fraction;
+      return std::clamp(estimate, mn, mx);
+    }
+    seen += in_bucket;
+  }
+  return mx;
+}
+
+}  // namespace
+
 Histogram::Snapshot Histogram::snapshot() const {
   Snapshot snap;
-  snap.count = count();
-  snap.sum = sum();
-  snap.min = min();
-  snap.max = max();
-  snap.p50 = Percentile(50.0);
-  snap.p95 = Percentile(95.0);
-  snap.p99 = Percentile(99.0);
+  snap.bounds = bounds_;
+  // One-pass capture of the buckets; everything else is derived from (or
+  // reconciled against) this capture so a concurrent Record can never
+  // make the emitted fields disagree.
+  snap.buckets.resize(buckets_.size());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += snap.buckets[i];
+  }
+  snap.count = total;
+  if (total == 0) return snap;
+
+  // A concurrent Record may have bumped a bucket before updating
+  // min_/max_/sum_; fall back to bucket edges for unset extremes and
+  // clamp sum into the only range consistent with count/min/max.
+  double mn = min_.load(std::memory_order_relaxed);
+  double mx = max_.load(std::memory_order_relaxed);
+  if (mn == std::numeric_limits<double>::infinity()) {
+    std::size_t first = 0;
+    while (snap.buckets[first] == 0) ++first;
+    mn = first == 0 ? 0.0 : bounds_[first - 1];
+  }
+  if (mx == -std::numeric_limits<double>::infinity()) {
+    std::size_t last = snap.buckets.size() - 1;
+    while (snap.buckets[last] == 0) --last;
+    mx = last < bounds_.size() ? bounds_[last] : mn;
+  }
+  if (mx < mn) mx = mn;
+  snap.min = mn;
+  snap.max = mx;
+  const double total_f = static_cast<double>(total);
+  snap.sum = std::clamp(sum_.load(std::memory_order_relaxed), total_f * mn,
+                        total_f * mx);
+  snap.p50 = PercentileFromBuckets(snap.buckets, bounds_, 50.0, total, mn, mx);
+  snap.p95 = PercentileFromBuckets(snap.buckets, bounds_, 95.0, total, mn, mx);
+  snap.p99 = PercentileFromBuckets(snap.buckets, bounds_, 99.0, total, mn, mx);
   return snap;
 }
 
@@ -252,6 +312,23 @@ std::string MetricsRegistry::DumpJson() const {
     json.Number(s.p95);
     json.Key("p99");
     json.Number(s.p99);
+    json.Key("bounds");
+    json.BeginArray();
+    for (double bound : s.bounds) json.Number(bound);
+    json.EndArray();
+    json.Key("buckets");
+    json.BeginArray();
+    for (std::uint64_t b : s.buckets) json.Int(static_cast<std::int64_t>(b));
+    json.EndArray();
+    // Running totals; the last entry always equals "count".
+    json.Key("cumulative");
+    json.BeginArray();
+    std::uint64_t running = 0;
+    for (std::uint64_t b : s.buckets) {
+      running += b;
+      json.Int(static_cast<std::int64_t>(running));
+    }
+    json.EndArray();
     json.EndObject();
   }
   json.EndObject();

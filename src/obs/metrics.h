@@ -93,6 +93,12 @@ class Histogram {
   double Percentile(double p) const;
 
   /// \brief Point-in-time summary used by the dumpers and bench telemetry.
+  ///
+  /// Torn-read tolerant: the per-bucket counts are captured in one pass
+  /// and are authoritative — `count` is exactly their sum, percentiles
+  /// are computed from the same capture, and `sum`/`min`/`max` are
+  /// clamped so no combination of concurrent Records can make the
+  /// emitted fields disagree (e.g. `sum` outside [count*min, count*max]).
   struct Snapshot {
     std::uint64_t count = 0;
     double sum = 0.0;
@@ -101,6 +107,10 @@ class Histogram {
     double p50 = 0.0;
     double p95 = 0.0;
     double p99 = 0.0;
+    /// Ascending bucket upper bounds (copy of bounds()).
+    std::vector<double> bounds;
+    /// Per-bucket counts; bounds.size() + 1 entries (last = overflow).
+    std::vector<std::uint64_t> buckets;
   };
 
   Snapshot snapshot() const;

@@ -2,13 +2,30 @@
 #define SNOR_OBS_TRACE_H_
 
 /// \file
-/// Lock-cheap, thread-safe trace recorder with RAII scoped spans.
+/// Lock-cheap, thread-safe trace recorder with RAII scoped spans and
+/// request-scoped distributed tracing.
 ///
 /// Spans are recorded into per-thread ring buffers (one uncontended mutex
 /// per thread; the only contention is with an exporting reader) and can be
 /// exported as Chrome `trace_event` JSON, loadable in Perfetto or
 /// chrome://tracing. Span names follow the `layer.stage.detail` lowercase
 /// dotted convention (enforced by snor_lint's span-metric-name rule).
+///
+/// Request scoping: a `TraceContext` (request id + parent span id)
+/// travels with a request across threads — installed with
+/// `ScopedTraceContext` (or `SNOR_TRACE_SPAN_CTX`) on whichever thread is
+/// currently working on the request. Every span recorded while a context
+/// is installed carries the request id plus a fresh span id and its
+/// parent's span id, and the Chrome export adds `flow` events keyed by
+/// request id so one request's spans across producer, dispatcher, and
+/// worker threads render as a single causal chain in Perfetto.
+///
+/// Tail-keep retention: `RequestTraceStore` buffers the spans of each
+/// in-flight request and, at `Finish`, keeps the full span tree only for
+/// requests that errored or exceeded a latency threshold (plus an
+/// optional 1-in-N sample of healthy requests). Everything else is
+/// discarded, which keeps request tracing cheap enough to leave on in a
+/// live service; kept traces feed the introspection server's `/tracez`.
 ///
 /// Cost model:
 ///  - disabled (default): one relaxed atomic load per span site, no
@@ -29,6 +46,8 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -50,12 +69,52 @@ struct TraceEvent {
   std::uint64_t start_us = 0;
   /// Span duration; 0 for instant events.
   std::uint64_t dur_us = 0;
+  /// Request this span belongs to (0 = not request-scoped).
+  std::uint64_t request_id = 0;
+  /// Process-unique id of this span (0 for non-request-scoped spans).
+  std::uint64_t span_id = 0;
+  /// Span id of the enclosing span in the request's causal chain
+  /// (0 = root of the request).
+  std::uint64_t parent_span = 0;
   /// Small sequential id of the recording thread (see CurrentThreadId).
   std::int32_t tid = 0;
   /// Nesting depth at record time (outermost span = 0).
   std::int32_t depth = 0;
   /// True for point-in-time events (fault fires, markers).
   bool instant = false;
+};
+
+/// \brief Causal scope of one request: the request id plus the span id
+/// the next recorded span should attach to. Copyable and cheap — it is
+/// handed across threads inside `QueuedRequest` and installed on each
+/// thread that works on the request.
+struct TraceContext {
+  /// 0 means "no request scope"; real ids come from NextTraceRequestId.
+  std::uint64_t request_id = 0;
+  /// Span id new child spans attach to (0 = root of the request).
+  std::uint64_t parent_span = 0;
+
+  bool active() const { return request_id != 0; }
+};
+
+/// Process-unique, non-zero request id for a new TraceContext.
+std::uint64_t NextTraceRequestId();
+
+/// The calling thread's currently installed context (inactive when none).
+TraceContext CurrentTraceContext();
+
+/// \brief Installs `context` as the calling thread's trace context for
+/// the scope, restoring the previous context on destruction.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& context);
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext saved_;
 };
 
 /// Small, stable, sequential id for the calling thread (1, 2, 3, ...).
@@ -100,11 +159,16 @@ class TraceRecorder {
   /// the call. Default: 65536.
   void set_buffer_capacity(std::size_t events);
 
-  /// Records one completed span for the calling thread.
+  /// Records one completed span for the calling thread. The trailing
+  /// request/span/parent ids attach the span to a request's causal chain
+  /// (all 0 for spans recorded outside any TraceContext).
   void RecordComplete(const char* name, std::uint64_t start_us,
-                      std::uint64_t dur_us, std::int32_t depth);
+                      std::uint64_t dur_us, std::int32_t depth,
+                      std::uint64_t request_id = 0, std::uint64_t span_id = 0,
+                      std::uint64_t parent_span = 0);
 
-  /// Records a point-in-time event for the calling thread.
+  /// Records a point-in-time event for the calling thread, tagged with
+  /// the thread's current TraceContext when one is installed.
   void RecordInstant(const char* name);
 
   /// Microseconds since the last Enable().
@@ -177,8 +241,128 @@ class ScopedSpan {
 
   const char* name_ = nullptr;
   std::uint64_t start_us_ = 0;
+  std::uint64_t request_id_ = 0;
+  std::uint64_t span_id_ = 0;
+  std::uint64_t parent_span_ = 0;
   std::int32_t depth_ = 0;
   bool active_ = false;
+};
+
+/// \brief Installs a TraceContext and opens a span under it in one RAII
+/// object (the `SNOR_TRACE_SPAN_CTX` macro). Member order matters: the
+/// context must be installed before the span begins.
+class ScopedContextSpan {
+ public:
+  ScopedContextSpan(const char* name, const TraceContext& context)
+      : context_(context), span_(name) {}
+
+  ScopedContextSpan(const ScopedContextSpan&) = delete;
+  ScopedContextSpan& operator=(const ScopedContextSpan&) = delete;
+
+ private:
+  ScopedTraceContext context_;
+  ScopedSpan span_;
+};
+
+/// \brief Tail-keep retention knobs (see RequestTraceStore).
+struct RequestTraceOptions {
+  /// Keep the full span tree of every errored request.
+  bool keep_errors = true;
+  /// Keep requests whose end-to-end latency reaches this threshold;
+  /// <= 0 disables latency-triggered keeps.
+  double latency_keep_threshold_us = 0.0;
+  /// Additionally keep every Nth healthy request (head sampling);
+  /// 0 disables sampling.
+  std::uint64_t sample_every = 0;
+  /// Ring of kept traces (oldest evicted first).
+  std::size_t max_kept = 64;
+  /// Span cap per in-flight request (overflow spans are counted, not
+  /// buffered).
+  std::size_t max_spans_per_request = 256;
+  /// Cap on concurrently buffered (unfinished) requests; the oldest
+  /// pending request is evicted past this.
+  std::size_t max_pending = 1024;
+};
+
+/// \brief One retained request trace.
+struct RequestTrace {
+  std::uint64_t request_id = 0;
+  bool error = false;
+  bool deadline_exceeded = false;
+  /// True when kept by 1-in-N sampling rather than the tail policy.
+  bool sampled = false;
+  double latency_us = 0.0;
+  std::vector<TraceEvent> spans;
+};
+
+/// \brief Per-request span buffer with tail-keep retention.
+///
+/// While enabled, every span recorded under an active TraceContext is
+/// also copied into the request's pending buffer. `Finish` then either
+/// promotes the buffer into the bounded ring of kept traces (errors,
+/// slow requests, and a 1-in-N sample) or discards it. All methods are
+/// thread-safe; `Offer` is a no-op (one relaxed atomic load) while
+/// disabled.
+class RequestTraceStore {
+ public:
+  static RequestTraceStore& Global();
+
+  RequestTraceStore() = default;
+  RequestTraceStore(const RequestTraceStore&) = delete;
+  RequestTraceStore& operator=(const RequestTraceStore&) = delete;
+
+  /// Enables tail-keep collection (and span recording itself: the
+  /// recorder is enabled too, since spans are the raw material).
+  void Enable(const RequestTraceOptions& options = {});
+
+  /// Stops collecting; already-kept traces remain readable.
+  void Disable();
+
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Buffers one request-scoped span (called by the recorder).
+  void Offer(const TraceEvent& event);
+
+  /// Closes out a request: keep or drop its buffered spans per the
+  /// tail-keep policy. Safe to call for ids that never recorded a span.
+  void Finish(std::uint64_t request_id, bool error, bool deadline_exceeded,
+              double latency_us);
+
+  /// \brief Monotonic accounting since the last Enable/Reset.
+  struct Stats {
+    std::uint64_t finished = 0;
+    std::uint64_t kept = 0;
+    /// Finished requests whose spans were discarded (healthy + unsampled).
+    std::uint64_t dropped = 0;
+    /// Spans not buffered because a request hit max_spans_per_request.
+    std::uint64_t span_overflow = 0;
+    /// Pending requests evicted past max_pending before finishing.
+    std::uint64_t evicted = 0;
+  };
+  Stats stats() const;
+
+  /// Copies the kept traces, oldest first.
+  std::vector<RequestTrace> Kept() const;
+
+  /// Kept traces + stats as a JSON object (the `/tracez` payload).
+  std::string TracezJson() const;
+
+  /// Drops kept traces, pending buffers, and counters (options persist).
+  void Reset();
+
+ private:
+  void KeepLocked(RequestTrace trace);
+
+  mutable std::mutex mutex_;  // LOCK_RANK(25)
+  RequestTraceOptions options_;  // GUARDED_BY(mutex_)
+  std::map<std::uint64_t, std::vector<TraceEvent>>
+      pending_;  // GUARDED_BY(mutex_)
+  std::deque<RequestTrace> kept_;  // GUARDED_BY(mutex_)
+  Stats stats_;  // GUARDED_BY(mutex_)
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> sample_counter_{0};
 };
 
 /// Records a point-in-time event (e.g. a fault fire) when enabled.
@@ -200,8 +384,14 @@ inline void TraceInstant(const char* name) {
 /// literal) that closes at the end of the enclosing scope.
 #define SNOR_TRACE_SPAN(name) \
   ::snor::obs::ScopedSpan SNOR_OBS_CONCAT(snor_trace_span_, __COUNTER__)(name)
+/// Installs `ctx` (a TraceContext) as the thread's request scope and
+/// opens a span named `name` under it, both closing with the scope.
+#define SNOR_TRACE_SPAN_CTX(name, ctx)                             \
+  ::snor::obs::ScopedContextSpan SNOR_OBS_CONCAT(snor_trace_ctx_, \
+                                                 __COUNTER__)(name, ctx)
 #else
 #define SNOR_TRACE_SPAN(name) static_cast<void>(0)
+#define SNOR_TRACE_SPAN_CTX(name, ctx) static_cast<void>(0)
 #endif
 
 #endif  // SNOR_OBS_TRACE_H_

@@ -1,6 +1,7 @@
 #include "serve/batch_engine.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -70,7 +71,16 @@ ObjectClass BatchEngine::FallbackLabel() const {
 
 std::vector<ObjectClass> BatchEngine::ClassifyBatch(
     const std::vector<const ImageFeatures*>& queries) {
+  return ClassifyBatch(queries, {});
+}
+
+std::vector<ObjectClass> BatchEngine::ClassifyBatch(
+    const std::vector<const ImageFeatures*>& queries,
+    const std::vector<obs::TraceContext>& contexts) {
   SNOR_TRACE_SPAN("serve.engine.batch");
+  const obs::TraceContext* context_array =
+      contexts.size() == queries.size() && !contexts.empty() ? contexts.data()
+                                                             : nullptr;
   static obs::Counter& batches =
       obs::MetricsRegistry::Global().counter("serve.engine.batches");
   static obs::Counter& query_count =
@@ -95,13 +105,14 @@ std::vector<ObjectClass> BatchEngine::ClassifyBatch(
     return predictions;
   }
   if (spec_.kind == ApproachSpec::Kind::kHybrid) {
-    return ClassifyHybrid(queries);
+    return ClassifyHybrid(queries, context_array);
   }
-  return ClassifyPartialArgmin(queries);
+  return ClassifyPartialArgmin(queries, context_array);
 }
 
 std::vector<ObjectClass> BatchEngine::ClassifyPartialArgmin(
-    const std::vector<const ImageFeatures*>& queries) {
+    const std::vector<const ImageFeatures*>& queries,
+    const obs::TraceContext* contexts) {
   const std::size_t nq = queries.size();
   const std::size_t ns = shards_.size();
   const bool shape = spec_.kind == ApproachSpec::Kind::kShape;
@@ -121,6 +132,10 @@ std::vector<ObjectClass> BatchEngine::ClassifyPartialArgmin(
       [&](std::size_t task) {
         const std::size_t q = task / ns;
         if (!usable[q]) return;
+        // Scope the scan span to the query's request chain (no-op when
+        // the batch carries no contexts).
+        std::optional<obs::ScopedTraceContext> scope;
+        if (contexts != nullptr) scope.emplace(contexts[q]);
         SNOR_TRACE_SPAN("serve.engine.shard_scan");
         const Shard& shard = shards_[task % ns];
         partials[task] =
@@ -156,7 +171,8 @@ std::vector<ObjectClass> BatchEngine::ClassifyPartialArgmin(
 }
 
 std::vector<ObjectClass> BatchEngine::ClassifyHybrid(
-    const std::vector<const ImageFeatures*>& queries) {
+    const std::vector<const ImageFeatures*>& queries,
+    const obs::TraceContext* contexts) {
   const std::size_t nq = queries.size();
   const std::size_t ns = shards_.size();
   const std::size_t n = gallery_.size();
@@ -183,6 +199,8 @@ std::vector<ObjectClass> BatchEngine::ClassifyHybrid(
       [&](std::size_t task) {
         const std::size_t q = task / ns;
         if (!use_shape[q] && !use_color[q]) return;
+        std::optional<obs::ScopedTraceContext> scope;
+        if (contexts != nullptr) scope.emplace(contexts[q]);
         SNOR_TRACE_SPAN("serve.engine.shard_scan");
         const Shard& shard = shards_[task % ns];
         ComputeHybridScoresOverRange(

@@ -21,6 +21,7 @@
 #include "core/classifiers.h"
 #include "core/evaluation.h"
 #include "core/experiment.h"
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace snor::serve {
@@ -52,6 +53,14 @@ class BatchEngine {
   [[nodiscard]] std::vector<ObjectClass> ClassifyBatch(
       const std::vector<const ImageFeatures*>& queries);
 
+  /// Same, with per-query trace contexts (index-aligned with `queries`):
+  /// each (query, shard) scan span is recorded on its query's request
+  /// chain, across whatever worker thread picks the task up. Contexts
+  /// carry no data into scoring, so predictions stay bit-identical.
+  [[nodiscard]] std::vector<ObjectClass> ClassifyBatch(
+      const std::vector<const ImageFeatures*>& queries,
+      const std::vector<obs::TraceContext>& contexts);
+
   /// How often the engine had to degrade since construction (same
   /// semantics as `MatchingClassifier::degradation`).
   const DegradationStats& degradation() const { return degradation_; }
@@ -71,10 +80,13 @@ class BatchEngine {
 
   ObjectClass FallbackLabel() const;
 
+  /// `contexts` is nullptr or an array index-aligned with `queries`.
   std::vector<ObjectClass> ClassifyPartialArgmin(
-      const std::vector<const ImageFeatures*>& queries);
+      const std::vector<const ImageFeatures*>& queries,
+      const obs::TraceContext* contexts);
   std::vector<ObjectClass> ClassifyHybrid(
-      const std::vector<const ImageFeatures*>& queries);
+      const std::vector<const ImageFeatures*>& queries,
+      const obs::TraceContext* contexts);
 
   ApproachSpec spec_;
   std::vector<ImageFeatures> gallery_;  // GUARDED_BY(caller)

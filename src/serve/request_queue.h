@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/feature_cache.h"
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace snor::serve {
@@ -52,6 +53,10 @@ struct QueuedRequest {
   bool has_deadline = false;
   std::chrono::steady_clock::time_point deadline{};
   std::chrono::steady_clock::time_point enqueue_time{};
+  /// Causal trace scope minted at Submit (inactive when tracing is off);
+  /// re-installed on every thread that works on this request so its
+  /// spans form one chain across producer, dispatcher, and workers.
+  obs::TraceContext trace;
   std::promise<Result<ServiceReply>> reply;
 };
 

@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/fault.h"
@@ -126,7 +127,8 @@ RecognitionService::RecognitionService(const ApproachSpec& spec,
       degraded_(std::move(degraded)),
       queue_(options.queue),
       breaker_(EffectiveBreakerOptions(options.breaker,
-                                       degraded_ != nullptr)) {
+                                       degraded_ != nullptr)),
+      slo_(options.slo) {
   dispatcher_ = std::thread(&RecognitionService::DispatcherLoop, this);
 }
 
@@ -154,16 +156,28 @@ std::future<Result<ServiceReply>> RecognitionService::Submit(
   requests.Increment();
   submitted_.fetch_add(1, std::memory_order_relaxed);
 
+  // Mint the request's causal scope and record its root span on this
+  // producer thread. The span is closed (and so offered to the tail-keep
+  // store) *before* the request becomes poppable: otherwise a fast
+  // dispatcher could finish the request before its root span lands.
+  obs::TraceContext root;
+  if (obs::TraceEnabled()) root.request_id = obs::NextTraceRequestId();
+
   QueuedRequest request;
-  request.query = query;
-  request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
-  request.enqueue_time = std::chrono::steady_clock::now();
-  if (deadline_ms > 0.0) {
-    request.has_deadline = true;
-    request.deadline =
-        request.enqueue_time +
-        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-            std::chrono::duration<double, std::milli>(deadline_ms));
+  {
+    SNOR_TRACE_SPAN_CTX("serve.request.submit", root);
+    request.query = query;
+    request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    // Dispatcher/worker spans chain under the submit span.
+    request.trace = obs::CurrentTraceContext();
+    request.enqueue_time = std::chrono::steady_clock::now();
+    if (deadline_ms > 0.0) {
+      request.has_deadline = true;
+      request.deadline =
+          request.enqueue_time +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double, std::milli>(deadline_ms));
+    }
   }
   std::future<Result<ServiceReply>> future = request.reply.get_future();
   const Status admitted = queue_.Enqueue(request);
@@ -177,6 +191,15 @@ std::future<Result<ServiceReply>> RecognitionService::Submit(
       shed_.fetch_add(1, std::memory_order_relaxed);
     }
     request.reply.set_value(Result<ServiceReply>(admitted));
+    // A shed/rejected request is an unavailability event for the SLO and
+    // an errored request for tail-keep.
+    slo_.Record(false, 0.0);
+    if (root.request_id != 0) {
+      obs::RequestTraceStore::Global().Finish(root.request_id,
+                                              /*error=*/true,
+                                              /*deadline_exceeded=*/false,
+                                              /*latency_us=*/0.0);
+    }
   }
   return future;
 }
@@ -223,24 +246,42 @@ void RecognitionService::Answer(QueuedRequest& request,
       obs::MetricsRegistry::Global().counter("serve.service.degraded");
   static obs::Histogram& latency_us =
       obs::MetricsRegistry::Global().histogram("serve.service.latency_us");
-  latency_us.Record(MillisBetween(request.enqueue_time,
-                                  std::chrono::steady_clock::now()) *
-                    1e3);
-  if (result.ok()) {
+  const double elapsed_us =
+      MillisBetween(request.enqueue_time, std::chrono::steady_clock::now()) *
+      1e3;
+  latency_us.Record(elapsed_us);
+  const bool is_ok = result.ok();
+  const bool is_deadline =
+      !is_ok && result.status().code() == StatusCode::kDeadlineExceeded;
+  if (is_ok) {
     ok_.fetch_add(1, std::memory_order_relaxed);
     ok_counter.Increment();
     if (result.value().degraded) {
       degraded_answers_.fetch_add(1, std::memory_order_relaxed);
       degraded_counter.Increment();
     }
-  } else if (result.status().code() == StatusCode::kDeadlineExceeded) {
+  } else if (is_deadline) {
     timed_out_.fetch_add(1, std::memory_order_relaxed);
     timeout_counter.Increment();
   } else {
     failed_.fetch_add(1, std::memory_order_relaxed);
     error_counter.Increment();
   }
-  request.reply.set_value(std::move(result));
+  {
+    // The reply is fulfilled inside the request's final span so the
+    // causal chain visibly ends on the dispatcher thread.
+    SNOR_TRACE_SPAN_CTX("serve.request.answer", request.trace);
+    request.reply.set_value(std::move(result));
+  }
+  slo_.Record(is_ok, elapsed_us);
+  if (request.trace.active()) {
+    // All of the request's spans have been recorded by now (worker spans
+    // complete before ClassifyBatch returns), so the tail-keep decision
+    // sees the full tree.
+    obs::RequestTraceStore::Global().Finish(request.trace.request_id,
+                                            !is_ok && !is_deadline,
+                                            is_deadline, elapsed_us);
+  }
 }
 
 void RecognitionService::DispatchBatch(std::vector<QueuedRequest> batch) {
@@ -262,6 +303,9 @@ void RecognitionService::DispatchBatch(std::vector<QueuedRequest> batch) {
   std::vector<QueuedRequest*> live;
   live.reserve(batch.size());
   for (QueuedRequest& request : batch) {
+    // A zero-length marker span on the dispatcher thread: the causal
+    // chain's "picked up from the queue" hop.
+    { SNOR_TRACE_SPAN_CTX("serve.request.dequeue", request.trace); }
     const double waited_ms = MillisBetween(request.enqueue_time, arrival);
     wait_us.Record(waited_ms * 1e3);
     if (request.has_deadline && arrival >= request.deadline) {
@@ -298,9 +342,15 @@ void RecognitionService::DispatchBatch(std::vector<QueuedRequest> batch) {
                               ? std::min(retry.deadline_ms, remaining_ms)
                               : remaining_ms;
     }
-    const Status ingest = RetryWithBackoff(retry, [] {
-      return InjectFault(FaultPoint::kIoRead, "service request ingest");
-    });
+    Status ingest = Status::OK();
+    {
+      // Closed before any Answer so the span precedes the tail-keep
+      // decision for this request.
+      SNOR_TRACE_SPAN_CTX("serve.request.ingest", request->trace);
+      ingest = RetryWithBackoff(retry, [] {
+        return InjectFault(FaultPoint::kIoRead, "service request ingest");
+      });
+    }
     if (!ingest.ok()) {
       if (ingest.code() != StatusCode::kDeadlineExceeded) ++ingest_failures;
       Answer(*request, Result<ServiceReply>(ingest));
@@ -321,12 +371,15 @@ void RecognitionService::DispatchBatch(std::vector<QueuedRequest> batch) {
   if (!ready.empty()) {
     SNOR_TRACE_SPAN("serve.service.batch");
     std::vector<const ImageFeatures*> queries;
+    std::vector<obs::TraceContext> contexts;
     queries.reserve(ready.size());
+    contexts.reserve(ready.size());
     for (const QueuedRequest* request : ready) {
       queries.push_back(request->query);
+      contexts.push_back(request->trace);
     }
     try {
-      labels = engine->ClassifyBatch(queries);
+      labels = engine->ClassifyBatch(queries, contexts);
     } catch (const std::exception& e) {
       batch_status = Status::Internal(
           std::string("batch classification failed: ") + e.what());
@@ -382,6 +435,111 @@ void RecognitionService::DispatchBatch(std::vector<QueuedRequest> batch) {
   const std::uint64_t seen =
       breaker_trips_.exchange(trips, std::memory_order_relaxed);
   if (trips > seen) trip_counter.Increment(trips - seen);
+
+  // Stage 6: surface the SLO state (one ring scan per batch, dispatcher
+  // thread only).
+  static obs::Gauge& slo_availability =
+      obs::MetricsRegistry::Global().gauge("serve.slo.availability");
+  static obs::Gauge& slo_latency_compliance =
+      obs::MetricsRegistry::Global().gauge("serve.slo.latency_compliance");
+  static obs::Gauge& slo_availability_burn =
+      obs::MetricsRegistry::Global().gauge("serve.slo.availability_burn");
+  static obs::Gauge& slo_latency_burn =
+      obs::MetricsRegistry::Global().gauge("serve.slo.latency_burn");
+  const obs::SloMonitor::Snapshot slo = slo_.snapshot();
+  slo_availability.Set(slo.availability);
+  slo_latency_compliance.Set(slo.latency_compliance);
+  slo_availability_burn.Set(slo.worst_availability_burn);
+  slo_latency_burn.Set(slo.worst_latency_burn);
+}
+
+namespace {
+
+const char* BreakerStateName(int state) {
+  switch (static_cast<CircuitBreaker::State>(state)) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+std::string RecognitionService::StatusJson() const {
+  const ServiceStats service_stats = stats();
+  const RequestQueueStats q_stats = queue_stats();
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("status");
+  json.String(stopping_.load(std::memory_order_relaxed) ? "stopping"
+                                                        : "serving");
+  json.Key("uptime_s");
+  json.Number(uptime_s());
+  json.Key("build");
+  json.BeginObject();
+  json.Key("compiler");
+  json.String(__VERSION__);
+  json.Key("compiled");
+  json.String(__DATE__ " " __TIME__);
+  json.EndObject();
+  json.Key("approach");
+  json.String(spec_.DisplayName());
+  json.Key("stats");
+  json.BeginObject();
+  json.Key("submitted");
+  json.Int(static_cast<std::int64_t>(service_stats.submitted));
+  json.Key("ok");
+  json.Int(static_cast<std::int64_t>(service_stats.ok));
+  json.Key("shed");
+  json.Int(static_cast<std::int64_t>(service_stats.shed));
+  json.Key("timed_out");
+  json.Int(static_cast<std::int64_t>(service_stats.timed_out));
+  json.Key("failed");
+  json.Int(static_cast<std::int64_t>(service_stats.failed));
+  json.Key("rejected");
+  json.Int(static_cast<std::int64_t>(service_stats.rejected));
+  json.Key("degraded");
+  json.Int(static_cast<std::int64_t>(service_stats.degraded));
+  json.Key("batches");
+  json.Int(static_cast<std::int64_t>(service_stats.batches));
+  json.EndObject();
+  json.Key("breaker");
+  json.BeginObject();
+  json.Key("state");
+  json.String(BreakerStateName(service_stats.breaker_state));
+  json.Key("trips");
+  json.Int(static_cast<std::int64_t>(service_stats.breaker_trips));
+  json.EndObject();
+  json.Key("queue");
+  json.BeginObject();
+  json.Key("depth");
+  json.Int(static_cast<std::int64_t>(queue_depth()));
+  json.Key("capacity");
+  json.Int(static_cast<std::int64_t>(options_.queue.capacity));
+  json.Key("enqueued");
+  json.Int(static_cast<std::int64_t>(q_stats.enqueued));
+  json.Key("shed");
+  json.Int(static_cast<std::int64_t>(q_stats.shed));
+  json.Key("dequeued");
+  json.Int(static_cast<std::int64_t>(q_stats.dequeued));
+  json.EndObject();
+  json.Key("slo");
+  json.Raw(obs::SloSnapshotJson(slo_snapshot()));
+  json.EndObject();
+  return json.str();
+}
+
+void RegisterServiceIntrospection(obs::IntrospectServer& server,
+                                  const RecognitionService& service) {
+  server.Register("/statusz", [&service] {
+    obs::IntrospectResponse response;
+    response.body = service.StatusJson();
+    return response;
+  });
 }
 
 }  // namespace snor::serve

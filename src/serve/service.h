@@ -28,6 +28,8 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "obs/introspect.h"
+#include "obs/slo.h"
 #include "serve/batch_engine.h"
 #include "serve/request_queue.h"
 #include "util/retry.h"
@@ -103,6 +105,9 @@ struct ServiceOptions {
                      .deadline_ms = 0.0, .jitter = 1.0, .jitter_seed = 2019};
   /// Seed for the random-baseline engine (kept for spec parity).
   std::uint64_t baseline_seed = 2019;
+  /// Rolling-window SLO objectives fed by per-request outcomes (see
+  /// `slo_snapshot`; surfaced by `/statusz` and the load bench).
+  obs::SloOptions slo;
 };
 
 /// \brief Point-in-time outcome accounting. The invariant the load bench
@@ -176,8 +181,17 @@ class RecognitionService {
   std::size_t queue_depth() const { return queue_.depth(); }
   RequestQueueStats queue_stats() const { return queue_.stats(); }
   const ApproachSpec& spec() const { return spec_; }
+  const ServiceOptions& options() const { return options_; }
   /// Null when the spec has no single-modality degradation path.
   const BatchEngine* degraded_engine() const { return degraded_.get(); }
+  /// Rolling-window SLO state (availability / latency burn rates).
+  obs::SloMonitor::Snapshot slo_snapshot() const { return slo_.snapshot(); }
+  /// Seconds since the service was constructed.
+  double uptime_s() const { return uptime_.ElapsedSeconds(); }
+
+  /// `/statusz` payload: uptime, build info, ServiceStats,
+  /// circuit-breaker state, queue depth, and the SLO snapshot.
+  std::string StatusJson() const;
 
  private:
   RecognitionService(const ApproachSpec& spec,
@@ -210,8 +224,19 @@ class RecognitionService {
   std::atomic<int> breaker_state_{0};
   std::atomic<bool> stopping_{false};
   std::once_flag shutdown_once_;
+  /// Thread-safe (internally locked); fed by Answer and the Submit
+  /// rejection path.
+  obs::SloMonitor slo_;
+  Stopwatch uptime_;
   std::thread dispatcher_;
 };
+
+/// Registers `/statusz` on `server`, backed by `service.StatusJson()`.
+/// The service must outlive the server (or be deregistered by replacing
+/// the handler) — both `serve_daemon` and `load_serving` stop the server
+/// before destroying the service.
+void RegisterServiceIntrospection(obs::IntrospectServer& server,
+                                  const RecognitionService& service);
 
 }  // namespace snor::serve
 

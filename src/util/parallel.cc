@@ -51,6 +51,11 @@ void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
   std::exception_ptr first_error;
   std::mutex error_mutex;  // LOCK_RANK(50): leaf, never nests another lock.
 
+  // Workers inherit the caller's request scope so spans they record stay
+  // on the request's causal chain across the thread hop (per-index work
+  // may still install a more specific context of its own).
+  const obs::TraceContext parent_context = obs::CurrentTraceContext();
+
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(n_threads));
   for (int t = 0; t < n_threads; ++t) {
@@ -60,6 +65,7 @@ void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
       queue_wait_us.Record(std::chrono::duration<double, std::micro>(
                                std::chrono::steady_clock::now() - pool_start)
                                .count());
+      obs::ScopedTraceContext worker_context(parent_context);
       SNOR_TRACE_SPAN("util.parallel.worker");
       for (;;) {
         if (failed.load(std::memory_order_acquire)) return;

@@ -24,9 +24,18 @@
 /// Current rank table (keep sorted; pick a free gap for a new mutex):
 ///
 ///   10  RequestQueue::mutex_        (src/serve/request_queue.h)
+///   15  IntrospectServer::mutex_    (src/obs/introspect.h) — guards the
+///       handler map only; handlers are copied out and invoked unlocked,
+///       so whatever a handler itself locks (trace store, metrics) ranks
+///       higher.
 ///   20  TraceRecorder::registry_mutex_ (src/obs/trace.h)
+///   25  RequestTraceStore::mutex_   (src/obs/trace.h) — taken by Offer
+///       while a span records; may take MetricsRegistry (40) but never
+///       a buffer or queue lock.
 ///   30  TraceRecorder::ThreadBuffer::mutex (src/obs/trace.cc) —
 ///       acquired under registry_mutex_ during Export/Reset.
+///   35  SloMonitor::mutex_          (src/obs/slo.h) — leaf ring update;
+///       callers (RecognitionService) hold no lock when recording.
 ///   40  MetricsRegistry::mutex_     (src/obs/metrics.h)
 ///   50  ParallelFor error_mutex     (src/util/parallel.cc) — leaf.
 ///

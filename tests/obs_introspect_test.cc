@@ -1,0 +1,197 @@
+// Unit tests for the introspection server (src/obs/introspect.h): a raw
+// loopback-socket HTTP client exercises the default endpoints, routing,
+// error statuses, handler replacement while running, ephemeral-port
+// binding, and Stop/restart idempotence.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/introspect.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace snor::obs {
+namespace {
+
+/// One blocking HTTP exchange against 127.0.0.1:`port`. Returns the full
+/// raw response ("" on connect failure).
+std::string HttpRequest(int port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent,
+                             request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Get(int port, const std::string& path) {
+  return HttpRequest(port,
+                     "GET " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n");
+}
+
+int StatusOf(const std::string& response) {
+  int status = -1;
+  std::sscanf(response.c_str(), "HTTP/1.1 %d", &status);
+  return status;
+}
+
+std::string BodyOf(const std::string& response) {
+  const std::size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+TEST(ObsIntrospectTest, EphemeralBindResolvesPortAndServesHealthz) {
+  IntrospectServer server;
+  ASSERT_TRUE(server.Start(0));
+  EXPECT_TRUE(server.running());
+  const int port = server.port();
+  ASSERT_GT(port, 0);
+
+  const std::string response = Get(port, "/healthz");
+  EXPECT_EQ(StatusOf(response), 200);
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(BodyOf(response), &root, &error)) << error;
+  const JsonValue* status = root.Find("status");
+  ASSERT_NE(status, nullptr);
+  EXPECT_EQ(status->string_value, "ok");
+}
+
+TEST(ObsIntrospectTest, DefaultEndpointsReturnValidJson) {
+  MetricsRegistry::Global().counter("obs.introspect.requests").Increment(0);
+  IntrospectServer server;
+  ASSERT_TRUE(server.Start(0));
+  for (const char* path : {"/healthz", "/metricsz", "/tracez"}) {
+    const std::string response = Get(server.port(), path);
+    EXPECT_EQ(StatusOf(response), 200) << path;
+    JsonValue root;
+    std::string error;
+    EXPECT_TRUE(ParseJson(BodyOf(response), &root, &error))
+        << path << ": " << error;
+  }
+}
+
+TEST(ObsIntrospectTest, UnknownPathIs404) {
+  IntrospectServer server;
+  ASSERT_TRUE(server.Start(0));
+  const std::string response = Get(server.port(), "/no-such-endpoint");
+  EXPECT_EQ(StatusOf(response), 404);
+}
+
+TEST(ObsIntrospectTest, NonGetMethodIsRejected) {
+  IntrospectServer server;
+  ASSERT_TRUE(server.Start(0));
+  const std::string response = HttpRequest(
+      server.port(),
+      "POST /healthz HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n");
+  const int status = StatusOf(response);
+  EXPECT_TRUE(status == 400 || status == 405) << response;
+}
+
+TEST(ObsIntrospectTest, MalformedRequestLineIsRejected) {
+  IntrospectServer server;
+  ASSERT_TRUE(server.Start(0));
+  const std::string response =
+      HttpRequest(server.port(), "complete garbage\r\n\r\n");
+  const int status = StatusOf(response);
+  EXPECT_TRUE(status == 400 || status == 404 || status == 405) << response;
+}
+
+TEST(ObsIntrospectTest, RegisterReplacesHandlerWhileRunning) {
+  IntrospectServer server;
+  server.Register("/customz", [] {
+    IntrospectResponse response;
+    response.body = "{\"generation\":1}";
+    return response;
+  });
+  ASSERT_TRUE(server.Start(0));
+  EXPECT_NE(Get(server.port(), "/customz").find("\"generation\":1"),
+            std::string::npos);
+
+  // Replacement takes effect without a restart.
+  server.Register("/customz", [] {
+    IntrospectResponse response;
+    response.body = "{\"generation\":2}";
+    return response;
+  });
+  EXPECT_NE(Get(server.port(), "/customz").find("\"generation\":2"),
+            std::string::npos);
+}
+
+TEST(ObsIntrospectTest, HandlerStatusAndContentTypePassThrough) {
+  IntrospectServer server;
+  server.Register("/teapotz", [] {
+    IntrospectResponse response;
+    response.status = 418;
+    response.content_type = "text/plain";
+    response.body = "short and stout";
+    return response;
+  });
+  ASSERT_TRUE(server.Start(0));
+  const std::string response = Get(server.port(), "/teapotz");
+  EXPECT_EQ(StatusOf(response), 418);
+  EXPECT_NE(response.find("text/plain"), std::string::npos);
+  EXPECT_NE(BodyOf(response).find("short and stout"), std::string::npos);
+}
+
+TEST(ObsIntrospectTest, StopIsIdempotentAndRestartable) {
+  IntrospectServer server;
+  ASSERT_TRUE(server.Start(0));
+  const int first_port = server.port();
+  ASSERT_GT(first_port, 0);
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.port(), 0);
+  server.Stop();  // Second Stop is a no-op.
+
+  // A stopped server no longer accepts connections.
+  EXPECT_EQ(Get(first_port, "/healthz"), "");
+
+  ASSERT_TRUE(server.Start(0));
+  EXPECT_TRUE(server.running());
+  EXPECT_EQ(StatusOf(Get(server.port(), "/healthz")), 200);
+}
+
+TEST(ObsIntrospectTest, RequestCounterAdvances) {
+  Counter& requests =
+      MetricsRegistry::Global().counter("obs.introspect.requests");
+  IntrospectServer server;
+  ASSERT_TRUE(server.Start(0));
+  const std::uint64_t before = requests.value();
+  EXPECT_EQ(StatusOf(Get(server.port(), "/healthz")), 200);
+  EXPECT_EQ(StatusOf(Get(server.port(), "/healthz")), 200);
+  EXPECT_GE(requests.value(), before + 2);
+}
+
+}  // namespace
+}  // namespace snor::obs

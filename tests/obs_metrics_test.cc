@@ -2,8 +2,11 @@
 // percentile estimation, registry create-on-demand semantics, and the
 // text/JSON dumpers.
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -220,6 +223,119 @@ TEST(ObsMetricsTest, DumpJsonIsValidAndComplete) {
   EXPECT_NE(lat->Find("p95"), nullptr);
   EXPECT_NE(lat->Find("p99"), nullptr);
   EXPECT_NE(lat->Find("sum"), nullptr);
+}
+
+TEST(ObsMetricsTest, SnapshotBucketsAreAuthoritative) {
+  Histogram h({10.0, 20.0});
+  h.Record(5.0);
+  h.Record(15.0);
+  h.Record(15.0);
+  h.Record(100.0);
+
+  const Histogram::Snapshot snap = h.snapshot();
+  ASSERT_EQ(snap.bounds.size(), 2u);
+  ASSERT_EQ(snap.buckets.size(), snap.bounds.size() + 1);
+  EXPECT_EQ(snap.buckets[0], 1u);
+  EXPECT_EQ(snap.buckets[1], 2u);
+  EXPECT_EQ(snap.buckets[2], 1u);  // Overflow.
+  // The contract: count is exactly the sum of the captured buckets.
+  std::uint64_t bucket_sum = 0;
+  for (std::uint64_t b : snap.buckets) bucket_sum += b;
+  EXPECT_EQ(snap.count, bucket_sum);
+  EXPECT_DOUBLE_EQ(snap.sum, 135.0);
+}
+
+TEST(ObsMetricsTest, DumpJsonIncludesPerBucketCounts) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("test.buckets.lat_us", {10.0, 20.0});
+  h.Record(5.0);
+  h.Record(15.0);
+  h.Record(100.0);
+
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(registry.DumpJson(), &root, &error)) << error;
+  const JsonValue* histograms = root.Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const JsonValue* lat = histograms->Find("test.buckets.lat_us");
+  ASSERT_NE(lat, nullptr);
+
+  const JsonValue* bounds = lat->Find("bounds");
+  ASSERT_NE(bounds, nullptr);
+  ASSERT_TRUE(bounds->is_array());
+  ASSERT_EQ(bounds->array_items.size(), 2u);
+  EXPECT_DOUBLE_EQ(bounds->array_items[0].number_value, 10.0);
+  EXPECT_DOUBLE_EQ(bounds->array_items[1].number_value, 20.0);
+
+  const JsonValue* buckets = lat->Find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_TRUE(buckets->is_array());
+  ASSERT_EQ(buckets->array_items.size(), 3u);  // bounds + overflow.
+  EXPECT_DOUBLE_EQ(buckets->array_items[0].number_value, 1.0);
+  EXPECT_DOUBLE_EQ(buckets->array_items[1].number_value, 1.0);
+  EXPECT_DOUBLE_EQ(buckets->array_items[2].number_value, 1.0);
+}
+
+// Regression test for torn reads: snapshots taken while writer threads
+// hammer Record must stay internally consistent — count equals the sum
+// of the captured buckets, and the derived fields (sum, min, max,
+// percentiles) never contradict each other, no matter how the capture
+// interleaves with concurrent updates.
+TEST(ObsMetricsTest, SnapshotUnderConcurrentRecordsStaysConsistent) {
+  Histogram h({1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
+  constexpr double kMinValue = 0.5;
+  constexpr double kMaxValue = 100.0;
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 3; ++w) {
+    writers.emplace_back([&h, &stop, w] {
+      std::uint64_t x = 88172645463325252ull + static_cast<std::uint64_t>(w);
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Cheap xorshift over the value range; endpoints included often.
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        switch (x % 4) {
+          case 0:
+            h.Record(kMinValue);
+            break;
+          case 1:
+            h.Record(kMaxValue);
+            break;
+          default:
+            h.Record(kMinValue +
+                     static_cast<double>(x % 1000) / 1000.0 *
+                         (kMaxValue - kMinValue));
+            break;
+        }
+      }
+    });
+  }
+
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    const Histogram::Snapshot snap = h.snapshot();
+    ASSERT_EQ(snap.buckets.size(), snap.bounds.size() + 1);
+    std::uint64_t bucket_sum = 0;
+    for (std::uint64_t b : snap.buckets) bucket_sum += b;
+    ASSERT_EQ(snap.count, bucket_sum) << "iteration " << iteration;
+    if (snap.count == 0) continue;
+    // Derived fields agree with each other and with the value range.
+    // (min may read a bucket's lower edge when the capture lands between
+    // a bucket bump and the min_ update — still >= 0, never garbage.)
+    ASSERT_GE(snap.min, 0.0);
+    ASSERT_LE(snap.max, kMaxValue);
+    ASSERT_LE(snap.min, snap.max);
+    ASSERT_LE(snap.p50, snap.p95);
+    ASSERT_LE(snap.p95, snap.p99);
+    ASSERT_GE(snap.p50, snap.min);
+    ASSERT_LE(snap.p99, snap.max);
+    const double count = static_cast<double>(snap.count);
+    ASSERT_GE(snap.sum, count * snap.min * (1.0 - 1e-9));
+    ASSERT_LE(snap.sum, count * snap.max * (1.0 + 1e-9));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& writer : writers) writer.join();
 }
 
 TEST(ObsMetricsTest, ScopedLatencyRecordsOneSample) {

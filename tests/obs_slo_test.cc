@@ -1,0 +1,220 @@
+// Unit tests for the rolling-window SLO monitor (src/obs/slo.h): burn
+// rate arithmetic, multi-window behaviour, bucket-ring expiry, clamping,
+// and the /statusz JSON rendering. All deterministic via the RecordAt /
+// SnapshotAt test seams.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/slo.h"
+
+namespace snor::obs {
+namespace {
+
+SloOptions SmallOptions() {
+  SloOptions options;
+  options.availability_objective = 0.99;
+  options.latency_objective = 0.90;
+  options.latency_threshold_us = 1000.0;
+  options.bucket_seconds = 1;
+  options.num_buckets = 3600;
+  options.burn_windows_s = {60, 300, 3600};
+  return options;
+}
+
+TEST(ObsSloTest, EmptyMonitorReportsHealthy) {
+  SloMonitor monitor(SmallOptions());
+  const SloMonitor::Snapshot snap = monitor.SnapshotAt(1000);
+  EXPECT_EQ(snap.total, 0u);
+  EXPECT_DOUBLE_EQ(snap.availability, 1.0);
+  EXPECT_DOUBLE_EQ(snap.latency_compliance, 1.0);
+  EXPECT_DOUBLE_EQ(snap.worst_availability_burn, 0.0);
+  EXPECT_DOUBLE_EQ(snap.worst_latency_burn, 0.0);
+  ASSERT_EQ(snap.windows.size(), 3u);
+  for (const SloMonitor::WindowBurn& window : snap.windows) {
+    EXPECT_EQ(window.total, 0u);
+    EXPECT_DOUBLE_EQ(window.availability, 1.0);
+    EXPECT_DOUBLE_EQ(window.availability_burn_rate, 0.0);
+  }
+}
+
+TEST(ObsSloTest, BurnRateIsObservedOverBudgetedErrorRate) {
+  // 1% failures against a 99% objective burns the budget at exactly 1x;
+  // 2% failures burn at 2x.
+  SloMonitor monitor(SmallOptions());
+  const std::uint64_t now = 5000;
+  for (int i = 0; i < 98; ++i) monitor.RecordAt(true, 100.0, now);
+  monitor.RecordAt(false, 100.0, now);
+  monitor.RecordAt(false, 100.0, now);
+
+  const SloMonitor::Snapshot snap = monitor.SnapshotAt(now + 1);
+  EXPECT_EQ(snap.total, 100u);
+  EXPECT_EQ(snap.ok, 98u);
+  EXPECT_DOUBLE_EQ(snap.availability, 0.98);
+  ASSERT_EQ(snap.windows.size(), 3u);
+  for (const SloMonitor::WindowBurn& window : snap.windows) {
+    EXPECT_EQ(window.total, 100u);
+    EXPECT_DOUBLE_EQ(window.availability, 0.98);
+    // (1 - 0.98) / (1 - 0.99) = 2.0.
+    EXPECT_NEAR(window.availability_burn_rate, 2.0, 1e-9);
+  }
+  EXPECT_NEAR(snap.worst_availability_burn, 2.0, 1e-9);
+}
+
+TEST(ObsSloTest, LatencyObjectiveTrackedIndependently) {
+  SloMonitor monitor(SmallOptions());
+  const std::uint64_t now = 5000;
+  // All available, but 20% over the 1ms latency threshold against a 90%
+  // objective: latency burn = 0.2 / 0.1 = 2, availability burn = 0.
+  for (int i = 0; i < 80; ++i) monitor.RecordAt(true, 500.0, now);
+  for (int i = 0; i < 20; ++i) monitor.RecordAt(true, 2000.0, now);
+
+  const SloMonitor::Snapshot snap = monitor.SnapshotAt(now + 1);
+  EXPECT_DOUBLE_EQ(snap.availability, 1.0);
+  EXPECT_DOUBLE_EQ(snap.latency_compliance, 0.8);
+  EXPECT_DOUBLE_EQ(snap.worst_availability_burn, 0.0);
+  EXPECT_NEAR(snap.worst_latency_burn, 2.0, 1e-9);
+}
+
+TEST(ObsSloTest, ThresholdIsInclusive) {
+  SloMonitor monitor(SmallOptions());
+  monitor.RecordAt(true, 1000.0, 100);  // At threshold: fast.
+  monitor.RecordAt(true, 1000.1, 100);  // Just over: slow.
+  const SloMonitor::Snapshot snap = monitor.SnapshotAt(101);
+  EXPECT_EQ(snap.fast, 1u);
+}
+
+TEST(ObsSloTest, ShortWindowSeesRecentSpikeLongWindowDilutesIt) {
+  SloMonitor monitor(SmallOptions());
+  const std::uint64_t start = 10000;
+  // 10 minutes of clean traffic...
+  for (std::uint64_t s = 0; s < 600; ++s) {
+    monitor.RecordAt(true, 100.0, start + s);
+  }
+  // ...then a 30-second full outage.
+  for (std::uint64_t s = 600; s < 630; ++s) {
+    monitor.RecordAt(false, 100.0, start + s);
+  }
+
+  // Snapshot inside the outage's final second: the 60-bucket window
+  // covers seconds [570, 629] — 30 clean + 30 failed.
+  const SloMonitor::Snapshot snap = monitor.SnapshotAt(start + 629);
+  ASSERT_EQ(snap.windows.size(), 3u);
+  const SloMonitor::WindowBurn& fast = snap.windows[0];   // 60s
+  const SloMonitor::WindowBurn& slow = snap.windows[2];   // 3600s
+  EXPECT_EQ(fast.window_s, 60u);
+  EXPECT_EQ(slow.window_s, 3600u);
+  // Last 60s: 30 ok + 30 failed -> 50% availability, burn 50x.
+  EXPECT_NEAR(fast.availability, 0.5, 1e-9);
+  EXPECT_NEAR(fast.availability_burn_rate, 50.0, 1e-6);
+  // Whole history: 30 failures in 630 -> much milder burn.
+  EXPECT_EQ(slow.total, 630u);
+  EXPECT_LT(slow.availability_burn_rate, 5.0);
+  EXPECT_GT(slow.availability_burn_rate, 1.0);
+  // The page signal is the max across windows.
+  EXPECT_NEAR(snap.worst_availability_burn, 50.0, 1e-6);
+}
+
+TEST(ObsSloTest, OldBucketsExpireOutOfEveryWindow) {
+  SloMonitor monitor(SmallOptions());
+  for (int i = 0; i < 50; ++i) monitor.RecordAt(false, 100.0, 1000);
+
+  // Lifetime totals persist, but after > num_buckets * bucket_seconds
+  // the ring has lapped: no window sees the old failures.
+  const SloMonitor::Snapshot snap = monitor.SnapshotAt(1000 + 3601);
+  EXPECT_EQ(snap.total, 50u);
+  EXPECT_DOUBLE_EQ(snap.availability, 0.0);
+  for (const SloMonitor::WindowBurn& window : snap.windows) {
+    EXPECT_EQ(window.total, 0u) << "window " << window.window_s;
+    EXPECT_DOUBLE_EQ(window.availability_burn_rate, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(snap.worst_availability_burn, 0.0);
+}
+
+TEST(ObsSloTest, RingReusesStaleSlotWithoutMixingPeriods) {
+  SloOptions options = SmallOptions();
+  options.num_buckets = 10;  // Tiny ring: second 5 and 15 share a slot.
+  options.burn_windows_s = {10};
+  SloMonitor monitor(options);
+
+  monitor.RecordAt(false, 100.0, 5);
+  monitor.RecordAt(true, 100.0, 15);  // Lands on the lapped slot.
+
+  const SloMonitor::Snapshot snap = monitor.SnapshotAt(16);
+  ASSERT_EQ(snap.windows.size(), 1u);
+  // Only the fresh record is visible; the stale failure was discarded
+  // when the slot was reused, not merged in.
+  EXPECT_EQ(snap.windows[0].total, 1u);
+  EXPECT_EQ(snap.windows[0].ok, 1u);
+  EXPECT_DOUBLE_EQ(snap.windows[0].availability_burn_rate, 0.0);
+}
+
+TEST(ObsSloTest, TotalOutageBurnIsFiniteAndClamped) {
+  SloMonitor monitor(SmallOptions());
+  for (int i = 0; i < 10; ++i) monitor.RecordAt(false, 1e9, 2000);
+  const SloMonitor::Snapshot snap = monitor.SnapshotAt(2001);
+  // (1 - 0) / (1 - 0.99) = 100x for availability.
+  EXPECT_NEAR(snap.worst_availability_burn, 100.0, 1e-6);
+  EXPECT_NEAR(snap.worst_latency_burn, 10.0, 1e-6);
+}
+
+TEST(ObsSloTest, ResetClearsTotalsAndWindows) {
+  SloMonitor monitor(SmallOptions());
+  monitor.RecordAt(false, 100.0, 3000);
+  monitor.Reset();
+  const SloMonitor::Snapshot snap = monitor.SnapshotAt(3001);
+  EXPECT_EQ(snap.total, 0u);
+  EXPECT_DOUBLE_EQ(snap.availability, 1.0);
+  EXPECT_DOUBLE_EQ(snap.worst_availability_burn, 0.0);
+}
+
+TEST(ObsSloTest, SteadyClockRecordLandsInCurrentWindows) {
+  // The non-At entry points must agree with each other about "now".
+  SloMonitor monitor(SmallOptions());
+  monitor.Record(true, 100.0);
+  monitor.Record(false, 100.0);
+  const SloMonitor::Snapshot snap = monitor.snapshot();
+  EXPECT_EQ(snap.total, 2u);
+  ASSERT_EQ(snap.windows.size(), 3u);
+  EXPECT_EQ(snap.windows[2].total, 2u);
+  EXPECT_NEAR(snap.windows[2].availability, 0.5, 1e-9);
+}
+
+TEST(ObsSloTest, SnapshotJsonIsValidAndComplete) {
+  SloMonitor monitor(SmallOptions());
+  const std::uint64_t now = 7000;
+  for (int i = 0; i < 99; ++i) monitor.RecordAt(true, 100.0, now);
+  monitor.RecordAt(false, 100.0, now);
+
+  const std::string text = SloSnapshotJson(monitor.SnapshotAt(now + 1));
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(text, &root, &error)) << error << "\n" << text;
+  ASSERT_TRUE(root.is_object());
+
+  const JsonValue* total = root.Find("total");
+  ASSERT_NE(total, nullptr);
+  EXPECT_DOUBLE_EQ(total->number_value, 100.0);
+  const JsonValue* availability = root.Find("availability");
+  ASSERT_NE(availability, nullptr);
+  EXPECT_NEAR(availability->number_value, 0.99, 1e-9);
+  EXPECT_NE(root.Find("latency_compliance"), nullptr);
+  EXPECT_NE(root.Find("worst_availability_burn"), nullptr);
+  EXPECT_NE(root.Find("worst_latency_burn"), nullptr);
+
+  const JsonValue* windows = root.Find("windows");
+  ASSERT_NE(windows, nullptr);
+  ASSERT_TRUE(windows->is_array());
+  ASSERT_EQ(windows->array_items.size(), 3u);
+  const JsonValue& first = windows->array_items[0];
+  EXPECT_NE(first.Find("window_s"), nullptr);
+  EXPECT_NE(first.Find("availability_burn_rate"), nullptr);
+  EXPECT_NE(first.Find("latency_burn_rate"), nullptr);
+}
+
+}  // namespace
+}  // namespace snor::obs

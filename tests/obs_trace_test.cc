@@ -4,6 +4,7 @@
 // of the feature pipeline.
 
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <new>  // NOLINT(raw-new-delete): std::bad_alloc for the counting allocator.
@@ -18,6 +19,7 @@
 #include "core/feature_cache.h"
 #include "data/dataset.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 // Allocation counter used by DisabledSpansAllocateNothing: counts every
@@ -49,15 +51,19 @@ void operator delete(void* ptr, std::size_t) noexcept {  // NOLINT(raw-new-delet
 namespace snor::obs {
 namespace {
 
-// Every test starts from a disabled, empty recorder and leaves it that
-// way (the recorder is a process-wide singleton).
+// Every test starts from a disabled, empty recorder and tail-keep store
+// and leaves them that way (both are process-wide singletons).
 class ObsTraceTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    RequestTraceStore::Global().Disable();
+    RequestTraceStore::Global().Reset();
     TraceRecorder::Global().Disable();
     TraceRecorder::Global().Reset();
   }
   void TearDown() override {
+    RequestTraceStore::Global().Disable();
+    RequestTraceStore::Global().Reset();
     TraceRecorder::Global().Disable();
     TraceRecorder::Global().Reset();
   }
@@ -293,6 +299,257 @@ TEST_F(ObsTraceTest, EndToEndPipelineTraceCoversInstrumentedStages) {
   EXPECT_TRUE(names.count("core.preprocess"));
   EXPECT_TRUE(names.count("features.histogram.compute"));
   EXPECT_TRUE(names.count("util.parallel.for"));
+}
+
+TEST_F(ObsTraceTest, TruncationIncrementsTruncatedNamesCounter) {
+  Counter& truncated =
+      MetricsRegistry::Global().counter("obs.trace.truncated_names");
+  auto& recorder = TraceRecorder::Global();
+  recorder.Enable();
+
+  const std::uint64_t before = truncated.value();
+  TraceInstant("test.truncation.counter.ok");  // Fits: no increment.
+  EXPECT_EQ(truncated.value(), before);
+
+  const char* long_name =
+      "test.truncation.counter.bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb";
+  TraceInstant(long_name);
+  TraceInstant(long_name);
+  EXPECT_EQ(truncated.value(), before + 2);
+  recorder.Disable();
+}
+
+TEST_F(ObsTraceTest, ContextSpansCarryRequestAndParentIds) {
+  auto& recorder = TraceRecorder::Global();
+  recorder.Enable();
+
+  TraceContext context;
+  context.request_id = NextTraceRequestId();
+  ASSERT_FALSE(CurrentTraceContext().active());
+  {
+    SNOR_TRACE_SPAN_CTX("test.ctx.outer", context);
+    // Inside the span the thread's context points at it, so nested spans
+    // become its children.
+    EXPECT_EQ(CurrentTraceContext().request_id, context.request_id);
+    EXPECT_NE(CurrentTraceContext().parent_span, 0u);
+    {
+      SNOR_TRACE_SPAN("test.ctx.inner");
+    }
+  }
+  // The scope restored the (inactive) previous context.
+  EXPECT_FALSE(CurrentTraceContext().active());
+  {
+    SNOR_TRACE_SPAN("test.ctx.after");
+  }
+  recorder.Disable();
+
+  const std::vector<TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  const TraceEvent& inner = events[0];   // Recorded at scope exit.
+  const TraceEvent& outer = events[1];
+  const TraceEvent& after = events[2];
+  EXPECT_STREQ(outer.name, "test.ctx.outer");
+  EXPECT_EQ(outer.request_id, context.request_id);
+  EXPECT_NE(outer.span_id, 0u);
+  EXPECT_EQ(outer.parent_span, 0u);  // Root of the request.
+  EXPECT_STREQ(inner.name, "test.ctx.inner");
+  EXPECT_EQ(inner.request_id, context.request_id);
+  EXPECT_EQ(inner.parent_span, outer.span_id);
+  // Outside the scope spans are request-free again.
+  EXPECT_STREQ(after.name, "test.ctx.after");
+  EXPECT_EQ(after.request_id, 0u);
+  EXPECT_EQ(after.span_id, 0u);
+}
+
+TEST_F(ObsTraceTest, TailKeepKeepsErrorsSlowRequestsAndSamples) {
+  RequestTraceOptions options;
+  options.keep_errors = true;
+  options.latency_keep_threshold_us = 1000.0;
+  options.sample_every = 3;  // Keep every 3rd healthy-fast request.
+  auto& store = RequestTraceStore::Global();
+  store.Enable(options);
+  EXPECT_TRUE(TraceEnabled());  // Enable() turns the recorder on too.
+
+  auto run_request = [] {
+    TraceContext context;
+    context.request_id = NextTraceRequestId();
+    SNOR_TRACE_SPAN_CTX("test.tailkeep.request", context);
+    return context.request_id;
+  };
+
+  // An errored, a deadline-exceeded, and a slow request: all kept.
+  store.Finish(run_request(), /*error=*/true, false, 10.0);
+  store.Finish(run_request(), false, /*deadline_exceeded=*/true, 10.0);
+  store.Finish(run_request(), false, false, /*latency_us=*/2000.0);
+  // Nine healthy-fast requests: exactly three sampled (every 3rd).
+  for (int i = 0; i < 9; ++i) {
+    store.Finish(run_request(), false, false, 10.0);
+  }
+
+  const RequestTraceStore::Stats stats = store.stats();
+  EXPECT_EQ(stats.finished, 12u);
+  EXPECT_EQ(stats.kept, 6u);
+  EXPECT_EQ(stats.dropped, 6u);
+
+  const std::vector<RequestTrace> kept = store.Kept();
+  ASSERT_EQ(kept.size(), 6u);
+  EXPECT_TRUE(kept[0].error);
+  EXPECT_TRUE(kept[1].deadline_exceeded);
+  EXPECT_FALSE(kept[2].error);
+  EXPECT_DOUBLE_EQ(kept[2].latency_us, 2000.0);
+  EXPECT_FALSE(kept[2].sampled);  // Kept by latency, not by sampling.
+  for (std::size_t i = 3; i < 6; ++i) EXPECT_TRUE(kept[i].sampled);
+  // Each kept trace carries its own request's span.
+  for (const RequestTrace& trace : kept) {
+    ASSERT_EQ(trace.spans.size(), 1u);
+    EXPECT_EQ(trace.spans[0].request_id, trace.request_id);
+    EXPECT_STREQ(trace.spans[0].name, "test.tailkeep.request");
+  }
+}
+
+TEST_F(ObsTraceTest, TailKeepBoundsRingSpansAndPending) {
+  RequestTraceOptions options;
+  options.keep_errors = true;
+  options.sample_every = 0;
+  options.max_kept = 2;
+  options.max_spans_per_request = 3;
+  options.max_pending = 2;
+  auto& store = RequestTraceStore::Global();
+  store.Enable(options);
+
+  // A request with more spans than the per-request cap: extras are
+  // counted as overflow, not buffered.
+  TraceContext context;
+  context.request_id = NextTraceRequestId();
+  {
+    SNOR_TRACE_SPAN_CTX("test.bounds.root", context);
+    for (int i = 0; i < 5; ++i) {
+      SNOR_TRACE_SPAN("test.bounds.child");
+    }
+  }
+  store.Finish(context.request_id, true, false, 1.0);
+  {
+    const std::vector<RequestTrace> kept = store.Kept();
+    ASSERT_EQ(kept.size(), 1u);
+    EXPECT_EQ(kept[0].spans.size(), 3u);
+  }
+  EXPECT_EQ(store.stats().span_overflow, 3u);
+
+  // The kept ring holds max_kept traces, oldest evicted first.
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 3; ++i) {
+    TraceContext extra;
+    extra.request_id = NextTraceRequestId();
+    ids.push_back(extra.request_id);
+    { SNOR_TRACE_SPAN_CTX("test.bounds.extra", extra); }
+    store.Finish(extra.request_id, true, false, 1.0);
+  }
+  const std::vector<RequestTrace> kept = store.Kept();
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].request_id, ids[1]);
+  EXPECT_EQ(kept[1].request_id, ids[2]);
+
+  // More unfinished requests than max_pending: the oldest pending buffer
+  // is evicted (and counted) to bound memory.
+  for (int i = 0; i < 3; ++i) {
+    TraceContext pending;
+    pending.request_id = NextTraceRequestId();
+    { SNOR_TRACE_SPAN_CTX("test.bounds.pending", pending); }
+  }
+  EXPECT_EQ(store.stats().evicted, 1u);
+}
+
+TEST_F(ObsTraceTest, TracezJsonListsKeptTracesAndStats) {
+  RequestTraceOptions options;
+  options.keep_errors = true;
+  auto& store = RequestTraceStore::Global();
+  store.Enable(options);
+
+  TraceContext context;
+  context.request_id = NextTraceRequestId();
+  { SNOR_TRACE_SPAN_CTX("test.tracez.request", context); }
+  store.Finish(context.request_id, true, false, 123.0);
+
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(store.TracezJson(), &root, &error)) << error;
+  const JsonValue* finished = root.Find("finished");
+  ASSERT_NE(finished, nullptr);
+  EXPECT_DOUBLE_EQ(finished->number_value, 1.0);
+  const JsonValue* traces = root.Find("traces");
+  ASSERT_NE(traces, nullptr);
+  ASSERT_TRUE(traces->is_array());
+  ASSERT_EQ(traces->array_items.size(), 1u);
+  const JsonValue& trace = traces->array_items[0];
+  const JsonValue* is_error = trace.Find("error");
+  ASSERT_NE(is_error, nullptr);
+  EXPECT_TRUE(is_error->bool_value);
+  const JsonValue* spans = trace.Find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_EQ(spans->array_items.size(), 1u);
+  const JsonValue* name = spans->array_items[0].Find("name");
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->string_value, "test.tracez.request");
+}
+
+TEST_F(ObsTraceTest, FlowEventsStitchRequestSpansAcrossThreads) {
+  auto& recorder = TraceRecorder::Global();
+  recorder.Enable();
+
+  TraceContext context;
+  context.request_id = NextTraceRequestId();
+  {
+    SNOR_TRACE_SPAN_CTX("test.flow.producer", context);
+    const TraceContext handoff = CurrentTraceContext();
+    std::thread worker([&handoff] {
+      SNOR_TRACE_SPAN_CTX("test.flow.worker", handoff);
+    });
+    worker.join();
+  }
+  // A single-span request draws no arrow; it must not emit flow events.
+  TraceContext lone;
+  lone.request_id = NextTraceRequestId();
+  { SNOR_TRACE_SPAN_CTX("test.flow.lone", lone); }
+  recorder.Disable();
+
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(recorder.ChromeTraceJson(), &root, &error)) << error;
+  const JsonValue* events = root.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  std::size_t starts = 0;
+  std::size_t finishes = 0;
+  std::set<double> flow_tids;
+  for (const JsonValue& event : events->array_items) {
+    const JsonValue* name = event.Find("name");
+    if (name == nullptr || name->string_value != "obs.trace.flow") continue;
+    const JsonValue* id = event.Find("id");
+    ASSERT_NE(id, nullptr);
+    EXPECT_DOUBLE_EQ(id->number_value,
+                     static_cast<double>(context.request_id));
+    const JsonValue* tid = event.Find("tid");
+    ASSERT_NE(tid, nullptr);
+    flow_tids.insert(tid->number_value);
+    const JsonValue* ph = event.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string_value == "s") {
+      ++starts;
+      EXPECT_EQ(event.Find("bp"), nullptr);
+    } else {
+      ASSERT_TRUE(ph->string_value == "t" || ph->string_value == "f");
+      if (ph->string_value == "f") ++finishes;
+      // Non-start steps bind to the enclosing slice.
+      const JsonValue* bp = event.Find("bp");
+      ASSERT_NE(bp, nullptr);
+      EXPECT_EQ(bp->string_value, "e");
+    }
+  }
+  // Exactly one arrow chain (the two-span request): one "s", one "f",
+  // touching both threads.
+  EXPECT_EQ(starts, 1u);
+  EXPECT_EQ(finishes, 1u);
+  EXPECT_EQ(flow_tids.size(), 2u);
 }
 
 TEST_F(ObsTraceTest, ThreadIdsAreSmallAndStable) {

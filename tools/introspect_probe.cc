@@ -1,0 +1,131 @@
+// Introspection endpoint probe: issues one HTTP GET per requested path
+// against a running IntrospectServer and fails unless every response is
+// a 200 whose body parses as JSON. The blocking check behind the
+// introspect-smoke step in run_checks.sh — a service whose /healthz,
+// /metricsz, or /statusz is down or emits invalid JSON is not
+// observable, and that is a build-stopping defect here.
+//
+// Usage: introspect_probe PORT /path [/path ...]
+//        introspect_probe --expect-status 404 PORT /nope
+//
+// Each path is fetched on its own connection (the server is
+// one-request-per-connection by design). Prints "PROBE OK /path
+// (N bytes)" per endpoint; exits 1 on the first failure.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/json.h"
+
+namespace {
+
+/// Reads until EOF (the server closes after one response).
+std::string ReadAll(int fd) {
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+/// Fetches `path` from 127.0.0.1:`port`; true when the response status
+/// matches `expect_status` and the body (for 200s) is valid JSON.
+bool Probe(int port, const std::string& path, int expect_status) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("introspect_probe: socket");
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    std::fprintf(stderr, "introspect_probe: connect 127.0.0.1:%d: %s\n", port,
+                 std::strerror(errno));
+    ::close(fd);
+    return false;
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n";
+  if (::send(fd, request.data(), request.size(), 0) !=
+      static_cast<ssize_t>(request.size())) {
+    std::fprintf(stderr, "introspect_probe: send %s failed\n", path.c_str());
+    ::close(fd);
+    return false;
+  }
+  const std::string response = ReadAll(fd);
+  ::close(fd);
+
+  int status = 0;
+  if (std::sscanf(response.c_str(), "HTTP/1.1 %d", &status) != 1) {
+    std::fprintf(stderr, "introspect_probe: %s: malformed status line\n",
+                 path.c_str());
+    return false;
+  }
+  if (status != expect_status) {
+    std::fprintf(stderr, "introspect_probe: %s: status %d, want %d\n",
+                 path.c_str(), status, expect_status);
+    return false;
+  }
+  const std::size_t body_at = response.find("\r\n\r\n");
+  if (body_at == std::string::npos) {
+    std::fprintf(stderr, "introspect_probe: %s: no header/body separator\n",
+                 path.c_str());
+    return false;
+  }
+  const std::string body = response.substr(body_at + 4);
+  if (expect_status == 200) {
+    snor::obs::JsonValue value;
+    std::string error;
+    if (!snor::obs::ParseJson(body, &value, &error)) {
+      std::fprintf(stderr, "introspect_probe: %s: invalid JSON body: %s\n",
+                   path.c_str(), error.c_str());
+      return false;
+    }
+  }
+  std::printf("PROBE OK %s (%zu bytes)\n", path.c_str(), body.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int expect_status = 200;
+  int arg = 1;
+  if (arg < argc && std::strcmp(argv[arg], "--expect-status") == 0) {
+    if (arg + 1 >= argc) {
+      std::fprintf(stderr, "missing value for --expect-status\n");
+      return 2;
+    }
+    expect_status = std::atoi(argv[arg + 1]);
+    arg += 2;
+  }
+  if (argc - arg < 2) {
+    std::fprintf(stderr,
+                 "usage: %s [--expect-status CODE] PORT /path [/path ...]\n",
+                 argv[0]);
+    return 2;
+  }
+  const int port = std::atoi(argv[arg++]);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "introspect_probe: bad port %s\n", argv[arg - 1]);
+    return 2;
+  }
+  for (; arg < argc; ++arg) {
+    if (!Probe(port, argv[arg], expect_status)) return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Introspection smoke test (registered as the IntrospectSmoke ctest):
+# starts the load bench with an ephemeral introspection port, waits for
+# the "introspect: listening on 127.0.0.1:PORT" line, probes the live
+# endpoints (/healthz, /metricsz, /statusz, /tracez must all answer 200
+# with valid JSON; an unknown path must answer 404), then requires the
+# bench itself to exit 0 (its exactly-once invariants).
+#
+# Usage: introspect_smoke.sh LOAD_SERVING_BINARY PROBE_BINARY WORKDIR
+set -euo pipefail
+
+bench="$1"
+probe="$2"
+workdir="$3"
+
+rm -rf "$workdir"
+mkdir -p "$workdir"
+cd "$workdir"
+
+# Enough load to keep the service up for a few seconds of probing, with
+# faults so /tracez has tail-kept (errored) traces to show.
+SNOR_QUICK=1 "$bench" \
+  --queries 4000 --producers 4 --rate 800 --fault-rate 0.02 \
+  --introspect-port 0 > bench.log 2>&1 &
+bench_pid=$!
+trap 'kill "$bench_pid" 2>/dev/null || true' EXIT
+
+port=""
+for _ in $(seq 1 200); do
+  port="$(sed -n 's/^introspect: listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+      bench.log | head -n1)"
+  [[ -n "$port" ]] && break
+  if ! kill -0 "$bench_pid" 2>/dev/null; then
+    echo "FAIL: bench exited before announcing the introspect port" >&2
+    cat bench.log >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [[ -z "$port" ]]; then
+  echo "FAIL: no 'introspect: listening' line in bench.log" >&2
+  cat bench.log >&2
+  exit 1
+fi
+echo "probing introspection endpoints on port $port"
+
+"$probe" "$port" /healthz /metricsz /statusz /tracez
+"$probe" --expect-status 404 "$port" /no-such-endpoint
+
+wait "$bench_pid"
+rc=$?
+trap - EXIT
+if [[ $rc -ne 0 ]]; then
+  echo "FAIL: load bench exited $rc" >&2
+  cat bench.log >&2
+  exit 1
+fi
+echo "introspect smoke passed: endpoints live, JSON valid, bench clean"

@@ -534,9 +534,9 @@ void CheckBannedConstructs(const SourceFile& file, std::vector<Violation>* out) 
 // subject to the `layer.stage.detail` convention. The literal must open
 // directly after `(` (the project's clang-format style), which also keeps
 // dynamically-built names (fault-point instrumentation) out of scope.
-constexpr std::array<std::string_view, 5> kObsNamePatterns = {
-    "SNOR_TRACE_SPAN(\"", "TraceInstant(\"", ".counter(\"", ".gauge(\"",
-    ".histogram(\""};
+constexpr std::array<std::string_view, 6> kObsNamePatterns = {
+    "SNOR_TRACE_SPAN(\"",     "SNOR_TRACE_SPAN_CTX(\"", "TraceInstant(\"",
+    ".counter(\"",            ".gauge(\"",              ".histogram(\""};
 
 // Bench telemetry call sites: the bench name passed to EmitBenchJson
 // and literal keys of the telemetry vector become JSON keys in

@@ -57,6 +57,27 @@ void ServiceNames() {
   registry.gauge("serve.service depth").Set(1.0);  // EXPECT-LINT: span-metric-name
 }
 
+void ObservabilityNames() {
+  // Vocabulary of the introspection server, SLO monitor, and the
+  // context-carrying span macro: same naming rule, including the
+  // SNOR_TRACE_SPAN_CTX call sites.
+  const snor::obs::TraceContext context;
+  SNOR_TRACE_SPAN_CTX("serve.request.submit", context);
+  SNOR_TRACE_SPAN_CTX("serve.request.answer", context);
+  SNOR_TRACE_SPAN_CTX("Serve.Request.Submit", context);  // EXPECT-LINT: span-metric-name
+  SNOR_TRACE_SPAN_CTX("nodotctx", context);  // EXPECT-LINT: span-metric-name
+  auto& registry = snor::obs::MetricsRegistry::Global();
+  registry.counter("obs.introspect.requests").Increment();
+  registry.counter("obs.introspect.errors").Increment();
+  registry.counter("obs.trace.truncated_names").Increment();
+  registry.gauge("serve.slo.availability").Set(1.0);
+  registry.gauge("serve.slo.availability_burn").Set(0.0);
+  registry.gauge("serve.slo.latency_compliance").Set(1.0);
+  registry.gauge("serve.slo.latency_burn").Set(0.0);
+  registry.counter("obs.Introspect.Requests").Increment();  // EXPECT-LINT: span-metric-name
+  registry.gauge("serve.slo availability").Set(1.0);  // EXPECT-LINT: span-metric-name
+}
+
 void Metrics() {
   auto& registry = snor::obs::MetricsRegistry::Global();
   registry.counter("core.classify.items").Increment();

@@ -86,6 +86,12 @@ echo "== load-smoke: service under faulty, deadline-pressured load =="
 # every request is answered exactly once and all tallies reconcile.
 ctest --test-dir build-check -R LoadServingSmoke --output-on-failure
 
+echo "== introspect-smoke: live /healthz /metricsz /statusz /tracez =="
+# Blocking observability gate: the service is started with an ephemeral
+# --introspect-port and probed over real TCP while it serves; any
+# non-200 answer or invalid JSON body fails the run.
+ctest --test-dir build-check -R IntrospectSmoke --output-on-failure
+
 if [[ $run_asan -eq 1 ]]; then
   echo "== asan: AddressSanitizer + UBSan =="
   cmake --preset asan
