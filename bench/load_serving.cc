@@ -28,6 +28,7 @@
 #include "bench_util.h"
 #include "obs/introspect.h"
 #include "obs/trace.h"
+#include "serve/batch_engine.h"
 #include "serve/service.h"
 #include "util/fault.h"
 #include "util/rng.h"
@@ -68,6 +69,11 @@ struct LoadConfig {
   std::size_t queue_capacity = 32;
   int max_batch = 16;
   int shards = 0;
+  /// Gallery matching mode: exact full scan or ANN candidate retrieval
+  /// with exact rerank (`--match-mode exact|ann`).
+  MatchMode match_mode = MatchMode::kExact;
+  /// Candidates per modality on the ANN path (`--ann-candidates`).
+  int ann_candidates = 48;
   /// Availability SLO over answered (non-shed) requests.
   double slo_availability = 0.99;
   /// Introspection server port (-1 disables, 0 = ephemeral). The bound
@@ -172,6 +178,53 @@ void Producer(RecognitionService& service,
   }
 }
 
+/// Direct-engine match probe: classifies a pool slice through an exact
+/// engine and through the configured match mode, reporting the
+/// configured mode's per-query matching seconds (`match_s`) and its
+/// recall@1 (label agreement with the exact engine — 1.0 by definition
+/// when the configured mode is exact). Runs before the metrics reset so
+/// its counter noise is wiped.
+struct MatchProbeResult {
+  double match_s = 0.0;
+  double recall_at_1 = 1.0;
+};
+
+MatchProbeResult MatchProbe(const ApproachSpec& spec,
+                            const std::vector<ImageFeatures>& gallery,
+                            const std::vector<ImageFeatures>& pool,
+                            const BatchEngineOptions& engine_options) {
+  MatchProbeResult result;
+  BatchEngineOptions exact_options = engine_options;
+  exact_options.match_mode = MatchMode::kExact;
+  auto exact = BatchEngine::Create(spec, gallery, exact_options);
+  auto probe = BatchEngine::Create(spec, gallery, engine_options);
+  if (!exact.ok() || !probe.ok()) return result;
+  const std::size_t n = std::min<std::size_t>(pool.size(), 512);
+  std::vector<const ImageFeatures*> batch;
+  batch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) batch.push_back(&pool[i]);
+  const std::vector<ObjectClass> want = exact.value()->ClassifyBatch(batch);
+  std::vector<ObjectClass> got = probe.value()->ClassifyBatch(batch);
+  const int reps = snor::bench::QuickMode() ? 3 : 9;
+  const auto start = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < reps; ++rep) {
+    got = probe.value()->ClassifyBatch(batch);
+  }
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  result.match_s =
+      elapsed_s / (static_cast<double>(reps) * static_cast<double>(n));
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (got[i] == want[i]) ++agree;
+  }
+  result.recall_at_1 = got.empty() ? 0.0
+                                   : static_cast<double>(agree) /
+                                         static_cast<double>(got.size());
+  return result;
+}
+
 int Fail(const char* what) {
   std::fprintf(stderr, "load_serving: INVARIANT VIOLATION: %s\n", what);
   return 1;
@@ -190,6 +243,8 @@ int Run(const LoadConfig& config) {
 
   ServiceOptions options;
   options.engine.num_shards = config.shards;
+  options.engine.match_mode = config.match_mode;
+  options.engine.ann.candidates = config.ann_candidates;
   options.queue.capacity = config.queue_capacity;
   options.max_batch = config.max_batch;
   options.default_deadline_ms = config.deadline_ms;
@@ -204,6 +259,14 @@ int Run(const LoadConfig& config) {
   trace_options.keep_errors = true;
   trace_options.latency_keep_threshold_us = config.deadline_ms * 1000.0 * 0.8;
   trace_options.sample_every = 1000;
+
+  // ---- Match probe: per-query matching seconds for the configured mode
+  // and (for ann) recall@1 against the exact engine on the same slice.
+  const MatchProbeResult match_probe =
+      MatchProbe(spec, gallery, pool, options.engine);
+  std::printf("match mode %s: match_s %.3gs/query | recall@1 %.4f\n",
+              MatchModeName(config.match_mode), match_probe.match_s,
+              match_probe.recall_at_1);
 
   // ---- Trace-overhead A/B: closed-loop p99 with tracing fully off vs
   // tail-keep tracing on, before the metrics reset wipes the noise.
@@ -468,6 +531,10 @@ int Run(const LoadConfig& config) {
   telemetry.emplace_back("trace_off_p99_us", trace_off_p99_us);
   telemetry.emplace_back("trace_on_p99_us", trace_on_p99_us);
   telemetry.emplace_back("trace_overhead_p99_pct", trace_overhead_pct);
+  telemetry.emplace_back(
+      "match_mode", config.match_mode == MatchMode::kAnn ? 1.0 : 0.0);
+  telemetry.emplace_back("match_s", match_probe.match_s);
+  telemetry.emplace_back("ann_recall_at_1", match_probe.recall_at_1);
   snor::bench::EmitBenchJson("load_serving", telemetry);
   return 0;
 }
@@ -511,12 +578,24 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--introspect-port") == 0) {
       config.introspect_port = static_cast<int>(
           std::strtol(next("--introspect-port"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--match-mode") == 0) {
+      const char* value = next("--match-mode");
+      const auto mode = snor::serve::ParseMatchMode(value);
+      if (!mode.ok()) {
+        std::fprintf(stderr, "bad --match-mode %s (want exact|ann)\n", value);
+        return 2;
+      }
+      config.match_mode = mode.value();
+    } else if (std::strcmp(argv[i], "--ann-candidates") == 0) {
+      config.ann_candidates =
+          static_cast<int>(std::strtol(next("--ann-candidates"), nullptr, 10));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--queries N] [--producers P] [--rate QPS] "
                    "[--fault-rate R] [--fault-seed S] [--deadline-ms D] "
                    "[--queue-cap C] [--max-batch B] [--shards K] "
-                   "[--introspect-port P]\n",
+                   "[--introspect-port P] [--match-mode exact|ann] "
+                   "[--ann-candidates R]\n",
                    argv[0]);
       return 2;
     }

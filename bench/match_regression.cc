@@ -1,0 +1,254 @@
+// Match-regression gate: the CI tripwire behind `--match-mode`.
+//
+// Three contracts are enforced, and the run exits non-zero when any is
+// violated:
+//
+//   1. Identity — for every Table-2 approach, the exact-mode batch
+//      engine must produce bit-identical predictions to the cold
+//      per-query classifier on a synthetic gallery.
+//   2. Recall — the ANN path (candidate retrieval + exact rerank) must
+//      agree with the exact path on at least `min_ann_recall_at_1` of
+//      queries at the default candidate budget.
+//   3. Speed — exact-mode per-query `match_s` must stay within
+//      `max_exact_vs_cold_ratio` of the cold loop (the SoA kernels must
+//      never regress below the path they replaced), and the ANN path
+//      must be at least `min_ann_speedup` times faster than exact.
+//
+// The bands live in a checked-in baseline file (`--baseline PATH`, one
+// `key value` pair per line, `#` comments) so tightening the gate is a
+// reviewed change, not a code edit. Wall-clock bands are relative
+// (ratios between back-to-back runs on the same host), never absolute,
+// so the gate is host-independent. Measurements take the best of
+// several repetitions to shed scheduler noise. Results are emitted into
+// BENCH_match_regression.json.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/experiment.h"
+#include "serve/batch_engine.h"
+#include "util/rng.h"
+
+namespace snor::serve {
+namespace {
+
+/// Relative performance/recall bands, loaded from the baseline file.
+struct GateBands {
+  double max_exact_vs_cold_ratio = 1.5;
+  double min_ann_speedup = 3.0;
+  double min_ann_recall_at_1 = 0.99;
+};
+
+bool LoadBands(const std::string& path, GateBands* bands) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) return false;
+  char key[128];
+  double value = 0.0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), in) != nullptr) {
+    if (line[0] == '#' || line[0] == '\n') continue;
+    if (std::sscanf(line, "%127s %lf", key, &value) != 2) continue;
+    if (std::strcmp(key, "max_exact_vs_cold_ratio") == 0) {
+      bands->max_exact_vs_cold_ratio = value;
+    } else if (std::strcmp(key, "min_ann_speedup") == 0) {
+      bands->min_ann_speedup = value;
+    } else if (std::strcmp(key, "min_ann_recall_at_1") == 0) {
+      bands->min_ann_recall_at_1 = value;
+    }
+  }
+  std::fclose(in);
+  return true;
+}
+
+/// Synthetic feature bank shaped like SNS1 (8-bin histograms, valid Hu
+/// moments) — same generator as the serving benches.
+std::vector<ImageFeatures> SyntheticBank(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ImageFeatures> bank(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ImageFeatures& f = bank[i];
+    f.label = ClassFromIndex(static_cast<int>(i % kNumClasses));
+    f.model_id = static_cast<int>(i / kNumClasses);
+    f.valid = true;
+    for (double& h : f.hu) h = rng.Uniform(-1.0, 1.0);
+    f.histogram = ColorHistogram(8);
+    for (double& bin : f.histogram.bins()) bin = rng.UniformDouble();
+    f.histogram.NormalizeL1();
+  }
+  return bank;
+}
+
+std::vector<const ImageFeatures*> Pointers(
+    const std::vector<ImageFeatures>& features) {
+  std::vector<const ImageFeatures*> out;
+  out.reserve(features.size());
+  for (const ImageFeatures& f : features) out.push_back(&f);
+  return out;
+}
+
+int Fail(const char* what) {
+  std::fprintf(stderr, "match_regression: GATE FAILURE: %s\n", what);
+  return 1;
+}
+
+/// Best-of-`reps` per-query seconds for one classify function.
+template <typename Fn>
+double BestMatchSeconds(Fn&& classify, std::size_t queries, int reps) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    classify();
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    best = std::min(best, s / static_cast<double>(queries));
+  }
+  return best;
+}
+
+int Run(const std::string& baseline_path) {
+  GateBands bands;
+  if (!LoadBands(baseline_path, &bands)) {
+    std::fprintf(stderr, "match_regression: cannot read baseline %s\n",
+                 baseline_path.c_str());
+    return 2;
+  }
+  std::printf("bands (%s): exact<=%.2fx cold | ann>=%.2fx exact | "
+              "recall@1>=%.3f\n",
+              baseline_path.c_str(), bands.max_exact_vs_cold_ratio,
+              bands.min_ann_speedup, bands.min_ann_recall_at_1);
+
+  const bool quick = snor::bench::QuickMode();
+  const std::size_t gallery_size = quick ? 1024 : 2048;
+  const std::size_t query_count = quick ? 128 : 512;
+  const int reps = quick ? 3 : 7;
+  const std::uint64_t seed = 2019;
+
+  const std::vector<ImageFeatures> gallery = SyntheticBank(gallery_size, 2);
+  const std::vector<ImageFeatures> queries = SyntheticBank(query_count, 3);
+  const std::vector<const ImageFeatures*> batch = Pointers(queries);
+
+  // ---- Contract 1: exact mode is bit-identical to the cold classifier
+  // for every Table-2 approach.
+  std::size_t identity_checked = 0;
+  for (const ApproachSpec& spec : Table2Approaches()) {
+    auto cold = MakeClassifier(spec, gallery, seed);
+    if (!cold.ok()) return Fail("cold classifier construction failed");
+    const std::vector<ObjectClass> expected = cold.value()->ClassifyAll(queries);
+
+    BatchEngineOptions options;
+    options.num_shards = 3;
+    auto engine = BatchEngine::Create(spec, gallery, options, seed);
+    if (!engine.ok()) return Fail("exact engine construction failed");
+    const std::vector<ObjectClass> actual =
+        engine.value()->ClassifyBatch(batch);
+    if (actual != expected) {
+      std::fprintf(stderr, "match_regression: %s diverges from cold\n",
+                   spec.DisplayName().c_str());
+      return Fail("exact mode is not bit-identical to the cold classifier");
+    }
+    ++identity_checked;
+  }
+  std::printf("identity: %zu approaches bit-identical to cold\n",
+              identity_checked);
+
+  // ---- Contracts 2 and 3 use the hybrid approach (both modalities, the
+  // worst case for the candidate index).
+  ApproachSpec spec;
+  spec.kind = ApproachSpec::Kind::kHybrid;
+  spec.alpha = 0.3;
+  spec.beta = 0.7;
+
+  auto cold = MakeClassifier(spec, gallery, seed);
+  BatchEngineOptions exact_options;
+  auto exact = BatchEngine::Create(spec, gallery, exact_options, seed);
+  BatchEngineOptions ann_options;
+  ann_options.match_mode = MatchMode::kAnn;
+  auto ann = BatchEngine::Create(spec, gallery, ann_options, seed);
+  if (!cold.ok() || !exact.ok() || !ann.ok()) {
+    return Fail("hybrid engine construction failed");
+  }
+
+  const std::vector<ObjectClass> exact_labels =
+      exact.value()->ClassifyBatch(batch);
+  const std::vector<ObjectClass> ann_labels = ann.value()->ClassifyBatch(batch);
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < ann_labels.size(); ++i) {
+    if (ann_labels[i] == exact_labels[i]) ++agree;
+  }
+  const double ann_recall_at_1 =
+      ann_labels.empty() ? 0.0
+                         : static_cast<double>(agree) /
+                               static_cast<double>(ann_labels.size());
+
+  const double cold_s = BestMatchSeconds(
+      [&] { (void)cold.value()->ClassifyAll(queries); }, query_count, reps);
+  const double exact_s = BestMatchSeconds(
+      [&] { (void)exact.value()->ClassifyBatch(batch); }, query_count, reps);
+  const double ann_s = BestMatchSeconds(
+      [&] { (void)ann.value()->ClassifyBatch(batch); }, query_count, reps);
+  const double exact_vs_cold = cold_s > 0.0 ? exact_s / cold_s : 0.0;
+  const double ann_speedup = ann_s > 0.0 ? exact_s / ann_s : 0.0;
+
+  std::printf("match_s: cold %.3gs | exact %.3gs (%.2fx of cold) | ann "
+              "%.3gs (%.2fx speedup) | recall@1 %.4f\n",
+              cold_s, exact_s, exact_vs_cold, ann_s, ann_speedup,
+              ann_recall_at_1);
+
+  snor::bench::BenchResults telemetry;
+  telemetry.emplace_back("identity_approaches",
+                         static_cast<double>(identity_checked));
+  telemetry.emplace_back("gallery_views", static_cast<double>(gallery_size));
+  telemetry.emplace_back("queries", static_cast<double>(query_count));
+  telemetry.emplace_back("cold_match_s", cold_s);
+  telemetry.emplace_back("exact_match_s", exact_s);
+  telemetry.emplace_back("exact_vs_cold_ratio", exact_vs_cold);
+  telemetry.emplace_back("ann_match_s", ann_s);
+  telemetry.emplace_back("ann_speedup", ann_speedup);
+  telemetry.emplace_back("ann_recall_at_1", ann_recall_at_1);
+  telemetry.emplace_back("max_exact_vs_cold_ratio",
+                         bands.max_exact_vs_cold_ratio);
+  telemetry.emplace_back("min_ann_speedup", bands.min_ann_speedup);
+  telemetry.emplace_back("min_ann_recall_at_1", bands.min_ann_recall_at_1);
+  snor::bench::EmitBenchJson("match_regression", telemetry);
+
+  if (ann_recall_at_1 < bands.min_ann_recall_at_1) {
+    return Fail("ann recall@1 below the baseline band");
+  }
+  if (exact_vs_cold > bands.max_exact_vs_cold_ratio) {
+    return Fail("exact match_s regressed versus the cold loop band");
+  }
+  if (ann_speedup < bands.min_ann_speedup) {
+    return Fail("ann speedup below the baseline band");
+  }
+  std::printf("all match-regression gates passed\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace snor::serve
+
+int main(int argc, char** argv) {
+  std::string baseline = "bench/match_baseline.txt";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--baseline PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  snor::bench::PrintHeader(
+      "Match regression",
+      "Exact-mode identity, ANN recall, and match_s bands");
+  snor::Stopwatch sw;
+  const int rc = snor::serve::Run(baseline);
+  snor::bench::PrintElapsed(sw);
+  return rc;
+}

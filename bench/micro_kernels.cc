@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "core/classifiers.h"
+#include "core/feature_bank.h"
 #include "core/preprocess.h"
 #include "data/renderer.h"
 #include "features/fast.h"
@@ -150,6 +152,145 @@ void BM_BruteForceKnn(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BruteForceKnn)->Arg(100)->Arg(500);
+
+// ------------------------------------------------ SoA bank kernels --------
+// Scalar AoS loop vs. the contiguous bank kernels over the same gallery,
+// and the ANN candidate + exact-rerank path. `match_s` is seconds of
+// matching per query; the bank/ANN rows are the sub-linear matching win.
+
+std::vector<ImageFeatures> RandomGallery(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ImageFeatures> gallery(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ImageFeatures& f = gallery[i];
+    f.label = ClassFromIndex(static_cast<int>(i % kNumClasses));
+    f.model_id = static_cast<int>(i / kNumClasses);
+    f.valid = true;
+    for (double& h : f.hu) h = rng.Uniform(-1.0, 1.0);
+    for (double& bin : f.histogram.bins()) bin = rng.UniformDouble();
+    f.histogram.NormalizeL1();
+  }
+  return gallery;
+}
+
+void SetMatchSeconds(benchmark::State& state, std::size_t queries_per_iter) {
+  state.counters["match_s"] = benchmark::Counter(
+      static_cast<double>(queries_per_iter),
+      benchmark::Counter::kIsIterationInvariantRate |
+          benchmark::Counter::kInvert);
+}
+
+void BM_ScalarShapeArgmin(benchmark::State& state) {
+  const auto gallery = RandomGallery(
+      static_cast<std::size_t>(state.range(0)), 11);
+  const auto queries = RandomGallery(16, 12);
+  for (auto _ : state) {
+    for (const ImageFeatures& q : queries) {
+      benchmark::DoNotOptimize(ShapeArgminOverRange(
+          q, gallery, 0, gallery.size(), ShapeMatchMethod::kI3));
+    }
+  }
+  SetMatchSeconds(state, queries.size());
+}
+BENCHMARK(BM_ScalarShapeArgmin)->Arg(1024)->Arg(4096);
+
+void BM_BankShapeArgmin(benchmark::State& state) {
+  const auto gallery = RandomGallery(
+      static_cast<std::size_t>(state.range(0)), 11);
+  const auto queries = RandomGallery(16, 12);
+  const FeatureBank bank = PackFeatureBank(gallery);
+  for (auto _ : state) {
+    for (const ImageFeatures& q : queries) {
+      benchmark::DoNotOptimize(BankShapeArgminOverRange(
+          q, bank, 0, bank.size(), ShapeMatchMethod::kI3));
+    }
+  }
+  SetMatchSeconds(state, queries.size());
+}
+BENCHMARK(BM_BankShapeArgmin)->Arg(1024)->Arg(4096);
+
+void BM_ScalarColorArgbest(benchmark::State& state) {
+  const auto gallery = RandomGallery(
+      static_cast<std::size_t>(state.range(0)), 11);
+  const auto queries = RandomGallery(16, 12);
+  for (auto _ : state) {
+    for (const ImageFeatures& q : queries) {
+      benchmark::DoNotOptimize(ColorArgbestOverRange(
+          q, gallery, 0, gallery.size(), HistCompareMethod::kHellinger));
+    }
+  }
+  SetMatchSeconds(state, queries.size());
+}
+BENCHMARK(BM_ScalarColorArgbest)->Arg(1024)->Arg(4096);
+
+void BM_BankColorArgbest(benchmark::State& state) {
+  const auto gallery = RandomGallery(
+      static_cast<std::size_t>(state.range(0)), 11);
+  const auto queries = RandomGallery(16, 12);
+  const FeatureBank bank = PackFeatureBank(gallery);
+  for (auto _ : state) {
+    for (const ImageFeatures& q : queries) {
+      benchmark::DoNotOptimize(BankColorArgbestOverRange(
+          q, bank, 0, bank.size(), HistCompareMethod::kHellinger));
+    }
+  }
+  SetMatchSeconds(state, queries.size());
+}
+BENCHMARK(BM_BankColorArgbest)->Arg(1024)->Arg(4096);
+
+void BM_AnnCandidateRerank(benchmark::State& state) {
+  const auto gallery = RandomGallery(
+      static_cast<std::size_t>(state.range(0)), 11);
+  const auto queries = RandomGallery(16, 12);
+  const FeatureBank bank = PackFeatureBank(gallery);
+  GalleryIndexOptions opts;
+  opts.candidates = 48;
+  const GalleryViewIndex index = GalleryViewIndex::Build(bank, opts);
+  for (auto _ : state) {
+    for (const ImageFeatures& q : queries) {
+      const std::vector<int> cands = index.Candidates(q, true, false);
+      benchmark::DoNotOptimize(BankShapeArgminOverCandidates(
+          q, bank, cands, ShapeMatchMethod::kI3));
+    }
+  }
+  SetMatchSeconds(state, queries.size());
+}
+BENCHMARK(BM_AnnCandidateRerank)->Arg(1024)->Arg(4096);
+
+void BM_BankFloatDistances(benchmark::State& state) {
+  const auto train =
+      RandomDescriptors(static_cast<int>(state.range(0)), 128, 2);
+  const auto query = RandomDescriptors(1, 128, 1).front();
+  const FloatDescriptorBank bank = PackFloatDescriptors(train);
+  std::vector<float> out(bank.count);
+  for (auto _ : state) {
+    BankFloatDistances(bank, query, FloatNorm::kL2, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bank.count));
+}
+BENCHMARK(BM_BankFloatDistances)->Arg(500)->Arg(2000);
+
+void BM_BankHammingDistances(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<BinaryDescriptor> train(
+      static_cast<std::size_t>(state.range(0)));
+  for (auto& d : train) {
+    for (auto& byte : d) byte = static_cast<std::uint8_t>(rng.Index(256));
+  }
+  BinaryDescriptor query;
+  for (auto& byte : query) byte = static_cast<std::uint8_t>(rng.Index(256));
+  const BinaryDescriptorBank bank = PackBinaryDescriptors(train);
+  std::vector<int> out(bank.count);
+  for (auto _ : state) {
+    BankHammingDistances(bank, query, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bank.count));
+}
+BENCHMARK(BM_BankHammingDistances)->Arg(500)->Arg(2000);
 
 void BM_Conv2DForward(benchmark::State& state) {
   Rng rng(3);

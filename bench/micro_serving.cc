@@ -95,10 +95,55 @@ void BM_BatchEngineClassify(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(engine->ClassifyBatch(batch));
   }
+  // Seconds of matching per query (the exact-path `match_s`).
+  state.counters["match_s"] = benchmark::Counter(
+      static_cast<double>(queries.size()),
+      benchmark::Counter::kIsIterationInvariantRate |
+          benchmark::Counter::kInvert);
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(queries.size()));
 }
 BENCHMARK(BM_BatchEngineClassify)->Arg(1)->Arg(4)->Arg(0);
+
+/// ANN path: candidate retrieval + exact rerank. Reports per-query
+/// `match_s` and `ann_recall` (label agreement with the exact engine on
+/// the same queries) as benchmark counters.
+void BM_BatchEngineClassifyAnn(benchmark::State& state) {
+  const auto gallery = SyntheticBank(1024, 2);
+  const auto queries = SyntheticBank(256, 3);
+  ApproachSpec spec;
+  spec.kind = ApproachSpec::Kind::kHybrid;
+  BatchEngineOptions exact_options;
+  auto exact_engine = BatchEngine::Create(spec, gallery, exact_options).value();
+  BatchEngineOptions ann_options;
+  ann_options.match_mode = MatchMode::kAnn;
+  ann_options.ann.candidates = static_cast<int>(state.range(0));
+  auto engine = BatchEngine::Create(spec, gallery, ann_options).value();
+  std::vector<const ImageFeatures*> batch;
+  for (const ImageFeatures& q : queries) batch.push_back(&q);
+  const std::vector<ObjectClass> exact_labels =
+      exact_engine->ClassifyBatch(batch);
+  std::vector<ObjectClass> ann_labels;
+  for (auto _ : state) {
+    ann_labels = engine->ClassifyBatch(batch);
+    benchmark::DoNotOptimize(ann_labels);
+  }
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < ann_labels.size(); ++i) {
+    if (ann_labels[i] == exact_labels[i]) ++agree;
+  }
+  state.counters["ann_recall"] = ann_labels.empty()
+                                     ? 0.0
+                                     : static_cast<double>(agree) /
+                                           static_cast<double>(ann_labels.size());
+  state.counters["match_s"] = benchmark::Counter(
+      static_cast<double>(queries.size()),
+      benchmark::Counter::kIsIterationInvariantRate |
+          benchmark::Counter::kInvert);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(queries.size()));
+}
+BENCHMARK(BM_BatchEngineClassifyAnn)->Arg(16)->Arg(48);
 
 }  // namespace
 }  // namespace snor::serve

@@ -5,6 +5,7 @@
 #include <limits>
 #include <map>
 
+#include "util/check.h"
 #include "util/fault.h"
 
 namespace snor {
@@ -16,7 +17,14 @@ constexpr double kHuge = kUnusableScore;
 
 double HybridColorDistance(const ColorHistogram& a, const ColorHistogram& b,
                            HistCompareMethod method) {
-  const double c = CompareHistograms(a, b, method);
+  SNOR_CHECK_EQ(a.num_bins(), b.num_bins());
+  return HybridColorDistanceRaw(a.bins().data(), b.bins().data(),
+                                a.num_bins(), method);
+}
+
+double HybridColorDistanceRaw(const double* a, const double* b,
+                              const std::size_t n, HistCompareMethod method) {
+  const double c = CompareHistogramsRaw(a, b, n, method);
   if (!IsSimilarityMetric(method)) return c;
   return 1.0 / std::max(c, 1e-6);
 }

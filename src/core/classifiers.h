@@ -117,6 +117,13 @@ struct PartialBest {
                                          const ColorHistogram& b,
                                          HistCompareMethod method);
 
+/// Raw-pointer core of HybridColorDistance over two bin arrays of length
+/// `n`; the SoA feature-bank kernels call this on bank rows so the
+/// similarity inversion lives in exactly one place.
+[[nodiscard]] double HybridColorDistanceRaw(const double* a, const double* b,
+                                            std::size_t n,
+                                            HistCompareMethod method);
+
 /// Fills `shape_scores`/`color_scores` (pre-sized to the gallery, filled
 /// with kUnusableScore) for gallery views [begin, end) and counts the
 /// usable scores of each requested modality. The per-view arithmetic is

@@ -1,0 +1,509 @@
+#include "core/feature_bank.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <iterator>
+#include <map>
+#include <utility>
+
+#include "geometry/moments.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/check.h"
+#include "util/fault.h"
+
+namespace snor {
+namespace {
+
+constexpr double kHuge = kUnusableScore;
+
+// Rounds a row width up to a whole number of 64-byte cache lines of the
+// element type.
+std::size_t PadStride(std::size_t logical, std::size_t elem_size) {
+  const std::size_t lane = 64 / elem_size;
+  return (logical + lane - 1) / lane * lane;
+}
+
+}  // namespace
+
+FeatureBank PackFeatureBank(const std::vector<ImageFeatures>& gallery) {
+  SNOR_TRACE_SPAN("core.bank.pack");
+  FeatureBank bank;
+  bank.num_views = gallery.size();
+  if (gallery.empty()) return bank;
+
+  bank.bins_per_channel = gallery.front().histogram.bins_per_channel();
+  bank.hist_bins = gallery.front().histogram.num_bins();
+  bank.hist_stride = PadStride(bank.hist_bins, sizeof(double));
+
+  bank.hu.assign(bank.num_views * FeatureBank::kHuStride, 0.0);
+  bank.hist.assign(bank.num_views * bank.hist_stride, 0.0);
+  bank.valid.resize(bank.num_views);
+  bank.labels.resize(bank.num_views);
+  bank.model_ids.resize(bank.num_views);
+
+  for (std::size_t i = 0; i < bank.num_views; ++i) {
+    const ImageFeatures& view = gallery[i];
+    SNOR_CHECK_EQ(view.histogram.num_bins(), bank.hist_bins);
+    // memcpy, not arithmetic: bin values and moments land in the bank
+    // bit-for-bit (NaNs included — poisoned views must stay poisoned).
+    std::memcpy(bank.hu.data() + i * FeatureBank::kHuStride, view.hu.data(),
+                7 * sizeof(double));
+    std::memcpy(bank.hist.data() + i * bank.hist_stride,
+                view.histogram.bins().data(), bank.hist_bins * sizeof(double));
+    bank.valid[i] = view.valid ? 1 : 0;
+    bank.labels[i] = view.label;
+    bank.model_ids[i] = view.model_id;
+  }
+
+  static obs::Gauge& views_gauge =
+      obs::MetricsRegistry::Global().gauge("core.bank.views");
+  static obs::Gauge& bytes_gauge =
+      obs::MetricsRegistry::Global().gauge("core.bank.bytes");
+  views_gauge.Set(static_cast<double>(bank.num_views));
+  bytes_gauge.Set(static_cast<double>(
+      (bank.hu.size() + bank.hist.size()) * sizeof(double) +
+      bank.valid.size() + bank.labels.size() * sizeof(ObjectClass) +
+      bank.model_ids.size() * sizeof(int)));
+  return bank;
+}
+
+std::vector<ImageFeatures> UnpackFeatureBank(const FeatureBank& bank) {
+  std::vector<ImageFeatures> gallery(bank.num_views);
+  for (std::size_t i = 0; i < bank.num_views; ++i) {
+    ImageFeatures& view = gallery[i];
+    view.label = bank.labels[i];
+    view.model_id = bank.model_ids[i];
+    view.valid = bank.IsValid(i);
+    std::memcpy(view.hu.data(), bank.HuRow(i), 7 * sizeof(double));
+    view.histogram = ColorHistogram(bank.bins_per_channel);
+    std::memcpy(view.histogram.bins().data(), bank.HistRow(i),
+                bank.hist_bins * sizeof(double));
+  }
+  return gallery;
+}
+
+PartialBest BankShapeArgminOverRange(const ImageFeatures& input,
+                                     const FeatureBank& bank,
+                                     std::size_t begin, std::size_t end,
+                                     ShapeMatchMethod method) {
+  PartialBest partial;
+  partial.score = kHuge;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (!bank.IsValid(i)) continue;
+    const double d = MaybePoisonScore(
+        MatchShapesRaw(input.hu.data(), bank.HuRow(i), method));
+    if (!std::isfinite(d)) continue;  // Poisoned view: skip, don't crash.
+    if (d < partial.score) {
+      partial.score = d;
+      partial.label = bank.labels[i];
+      partial.found = true;
+    }
+  }
+  return partial;
+}
+
+PartialBest BankColorArgbestOverRange(const ImageFeatures& input,
+                                      const FeatureBank& bank,
+                                      std::size_t begin, std::size_t end,
+                                      HistCompareMethod method) {
+  SNOR_CHECK_EQ(input.histogram.num_bins(), bank.hist_bins);
+  const double* q = input.histogram.bins().data();
+  const bool maximize = IsSimilarityMetric(method);
+  PartialBest partial;
+  partial.score = maximize ? -kHuge : kHuge;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (!bank.IsValid(i)) continue;
+    const double c =
+        CompareHistogramsRaw(q, bank.HistRow(i), bank.hist_bins, method);
+    if (!std::isfinite(c)) continue;  // Corrupt view: skip, don't crash.
+    const bool better = maximize ? c > partial.score : c < partial.score;
+    if (better) {
+      partial.score = c;
+      partial.label = bank.labels[i];
+      partial.found = true;
+    }
+  }
+  return partial;
+}
+
+void BankHybridScoresOverRange(
+    const ImageFeatures& input, const FeatureBank& bank, std::size_t begin,
+    std::size_t end, ShapeMatchMethod shape_method,
+    HistCompareMethod color_method, bool use_shape, bool use_color,
+    std::vector<double>* shape_scores, std::vector<double>* color_scores,
+    std::size_t* shape_usable, std::size_t* color_usable) {
+  if (use_color) SNOR_CHECK_EQ(input.histogram.num_bins(), bank.hist_bins);
+  const double* q_hist = input.histogram.bins().data();
+  for (std::size_t i = begin; i < end; ++i) {
+    if (!bank.IsValid(i)) continue;
+    if (use_shape) {
+      const double s = MaybePoisonScore(
+          MatchShapesRaw(input.hu.data(), bank.HuRow(i), shape_method));
+      if (std::isfinite(s) && s < kHuge) {
+        (*shape_scores)[i] = s;
+        ++*shape_usable;
+      }
+    }
+    if (use_color) {
+      const double c = HybridColorDistanceRaw(q_hist, bank.HistRow(i),
+                                              bank.hist_bins, color_method);
+      if (std::isfinite(c)) {
+        (*color_scores)[i] = c;
+        ++*color_usable;
+      }
+    }
+  }
+}
+
+PartialBest BankShapeArgminOverCandidates(const ImageFeatures& input,
+                                          const FeatureBank& bank,
+                                          const std::vector<int>& candidates,
+                                          ShapeMatchMethod method) {
+  PartialBest partial;
+  partial.score = kHuge;
+  for (const int idx : candidates) {
+    const auto i = static_cast<std::size_t>(idx);
+    if (!bank.IsValid(i)) continue;
+    const double d = MaybePoisonScore(
+        MatchShapesRaw(input.hu.data(), bank.HuRow(i), method));
+    if (!std::isfinite(d)) continue;
+    if (d < partial.score) {
+      partial.score = d;
+      partial.label = bank.labels[i];
+      partial.found = true;
+    }
+  }
+  return partial;
+}
+
+PartialBest BankColorArgbestOverCandidates(const ImageFeatures& input,
+                                           const FeatureBank& bank,
+                                           const std::vector<int>& candidates,
+                                           HistCompareMethod method) {
+  SNOR_CHECK_EQ(input.histogram.num_bins(), bank.hist_bins);
+  const double* q = input.histogram.bins().data();
+  const bool maximize = IsSimilarityMetric(method);
+  PartialBest partial;
+  partial.score = maximize ? -kHuge : kHuge;
+  for (const int idx : candidates) {
+    const auto i = static_cast<std::size_t>(idx);
+    if (!bank.IsValid(i)) continue;
+    const double c =
+        CompareHistogramsRaw(q, bank.HistRow(i), bank.hist_bins, method);
+    if (!std::isfinite(c)) continue;
+    const bool better = maximize ? c > partial.score : c < partial.score;
+    if (better) {
+      partial.score = c;
+      partial.label = bank.labels[i];
+      partial.found = true;
+    }
+  }
+  return partial;
+}
+
+void BankHybridScoresOverCandidates(
+    const ImageFeatures& input, const FeatureBank& bank,
+    const std::vector<int>& candidates, ShapeMatchMethod shape_method,
+    HistCompareMethod color_method, bool use_shape, bool use_color,
+    std::vector<double>* shape_scores, std::vector<double>* color_scores,
+    std::size_t* shape_usable, std::size_t* color_usable) {
+  if (use_color) SNOR_CHECK_EQ(input.histogram.num_bins(), bank.hist_bins);
+  const double* q_hist = input.histogram.bins().data();
+  for (const int idx : candidates) {
+    const auto i = static_cast<std::size_t>(idx);
+    if (!bank.IsValid(i)) continue;
+    if (use_shape) {
+      const double s = MaybePoisonScore(
+          MatchShapesRaw(input.hu.data(), bank.HuRow(i), shape_method));
+      if (std::isfinite(s) && s < kHuge) {
+        (*shape_scores)[i] = s;
+        ++*shape_usable;
+      }
+    }
+    if (use_color) {
+      const double c = HybridColorDistanceRaw(q_hist, bank.HistRow(i),
+                                              bank.hist_bins, color_method);
+      if (std::isfinite(c)) {
+        (*color_scores)[i] = c;
+        ++*color_usable;
+      }
+    }
+  }
+}
+
+ObjectClass BankHybridArgminLabel(const std::vector<double>& theta,
+                                  const FeatureBank& bank,
+                                  HybridStrategy strategy,
+                                  ObjectClass fallback) {
+  switch (strategy) {
+    case HybridStrategy::kWeightedSum: {
+      double best = kHuge;
+      ObjectClass best_label = fallback;
+      for (std::size_t i = 0; i < theta.size(); ++i) {
+        if (theta[i] < best) {
+          best = theta[i];
+          best_label = bank.labels[i];
+        }
+      }
+      return best_label;
+    }
+    case HybridStrategy::kMicroAverage: {
+      // Average theta per model (class, model_id), argmin over models.
+      std::map<std::pair<int, int>, std::pair<double, int>> acc;
+      for (std::size_t i = 0; i < theta.size(); ++i) {
+        if (theta[i] >= kHuge) continue;
+        auto& entry = acc[{ClassIndex(bank.labels[i]), bank.model_ids[i]}];
+        entry.first += theta[i];
+        entry.second += 1;
+      }
+      double best = kHuge;
+      ObjectClass best_label = fallback;
+      for (const auto& [key, entry] : acc) {
+        const double mean = entry.first / entry.second;
+        if (mean < best) {
+          best = mean;
+          best_label = ClassFromIndex(key.first);
+        }
+      }
+      return best_label;
+    }
+    case HybridStrategy::kMacroAverage: {
+      std::array<double, kNumClasses> sums{};
+      std::array<int, kNumClasses> counts{};
+      for (std::size_t i = 0; i < theta.size(); ++i) {
+        if (theta[i] >= kHuge) continue;
+        const auto c = static_cast<std::size_t>(ClassIndex(bank.labels[i]));
+        sums[c] += theta[i];
+        ++counts[c];
+      }
+      double best = kHuge;
+      ObjectClass best_label = fallback;
+      for (int c = 0; c < kNumClasses; ++c) {
+        if (counts[static_cast<std::size_t>(c)] == 0) continue;
+        const double mean = sums[static_cast<std::size_t>(c)] /
+                            counts[static_cast<std::size_t>(c)];
+        if (mean < best) {
+          best = mean;
+          best_label = ClassFromIndex(c);
+        }
+      }
+      return best_label;
+    }
+  }
+  return fallback;
+}
+
+FloatDescriptorBank PackFloatDescriptors(
+    const std::vector<FloatDescriptor>& descriptors) {
+  FloatDescriptorBank bank;
+  bank.count = descriptors.size();
+  if (descriptors.empty()) return bank;
+  bank.dim = descriptors.front().size();
+  bank.stride = PadStride(bank.dim, sizeof(float));
+  bank.data.assign(bank.count * bank.stride, 0.0f);
+  for (std::size_t i = 0; i < bank.count; ++i) {
+    SNOR_CHECK_EQ(descriptors[i].size(), bank.dim);
+    std::memcpy(bank.data.data() + i * bank.stride, descriptors[i].data(),
+                bank.dim * sizeof(float));
+  }
+  return bank;
+}
+
+void BankFloatDistances(const FloatDescriptorBank& bank,
+                        const FloatDescriptor& query, FloatNorm norm,
+                        float* out) {
+  SNOR_CHECK_EQ(query.size(), bank.dim);
+  for (std::size_t i = 0; i < bank.count; ++i) {
+    out[i] = FloatDistanceRaw(query.data(), bank.Row(i), bank.dim, norm);
+  }
+}
+
+void BankFloatSquaredL2(const FloatDescriptorBank& bank,
+                        const FloatDescriptor& query, float* out) {
+  SNOR_CHECK_EQ(query.size(), bank.dim);
+  constexpr std::size_t kLanes = 8;
+  const float* q = query.data();
+  const std::size_t n = bank.dim;
+  for (std::size_t r = 0; r < bank.count; ++r) {
+    const float* row = bank.Row(r);
+    // Eight independent accumulator lanes break the serial dependence
+    // chain so the reduction vectorizes without -ffast-math.
+    float lanes[kLanes] = {};
+    std::size_t i = 0;
+    for (; i + kLanes <= n; i += kLanes) {
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        const float d = q[i + l] - row[i + l];
+        lanes[l] += d * d;
+      }
+    }
+    float tail = 0.0f;
+    for (; i < n; ++i) {
+      const float d = q[i] - row[i];
+      tail += d * d;
+    }
+    out[r] = ((lanes[0] + lanes[4]) + (lanes[1] + lanes[5])) +
+             ((lanes[2] + lanes[6]) + (lanes[3] + lanes[7])) + tail;
+  }
+}
+
+BinaryDescriptorBank PackBinaryDescriptors(
+    const std::vector<BinaryDescriptor>& descriptors) {
+  BinaryDescriptorBank bank;
+  bank.count = descriptors.size();
+  bank.words.assign(bank.count * BinaryDescriptorBank::kWordsPerRow, 0);
+  for (std::size_t i = 0; i < bank.count; ++i) {
+    std::memcpy(bank.words.data() + i * BinaryDescriptorBank::kWordsPerRow,
+                descriptors[i].data(), sizeof(BinaryDescriptor));
+  }
+  return bank;
+}
+
+void BankHammingDistances(const BinaryDescriptorBank& bank,
+                          const BinaryDescriptor& query, int* out) {
+  std::array<std::uint64_t, BinaryDescriptorBank::kWordsPerRow> q_words;
+  std::memcpy(q_words.data(), query.data(), sizeof(BinaryDescriptor));
+  for (std::size_t i = 0; i < bank.count; ++i) {
+    out[i] = HammingDistanceWords(q_words.data(), bank.Row(i),
+                                  BinaryDescriptorBank::kWordsPerRow);
+  }
+}
+
+FloatDescriptor GalleryViewIndex::ColorEmbedding(const double* bins,
+                                                 const int bins_per_channel) {
+  const auto b = static_cast<std::size_t>(bins_per_channel);
+  const std::size_t n = b * b * b;
+  // Full joint histogram in sqrt space: ||sqrt(a) - sqrt(b)||_2 =
+  // sqrt(2) * Hellinger(a, b), so Euclidean ranks over this embedding
+  // equal exact Hellinger ranks (up to float rounding). Precomputing the
+  // sqrt once per view is what makes retrieval cheap: a tree visit costs
+  // multiply-adds where the exact kernel pays a sqrt per bin per pair.
+  FloatDescriptor e(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    e[i] = std::sqrt(static_cast<float>(std::max(bins[i], 0.0)));
+  }
+  return e;
+}
+
+GalleryViewIndex GalleryViewIndex::Build(const FeatureBank& bank,
+                                         const GalleryIndexOptions& options) {
+  SNOR_TRACE_SPAN("core.bank.index_build");
+  GalleryViewIndex index;
+  index.options_ = options;
+
+  std::vector<FloatDescriptor> color_points;
+  std::vector<int> color_ids;
+  for (std::size_t i = 0; i < bank.num_views; ++i) {
+    if (!bank.IsValid(i)) continue;
+    const double* hu = bank.HuRow(i);
+    bool hu_finite = true;
+    for (int d = 0; d < 7; ++d) {
+      if (!std::isfinite(hu[d])) hu_finite = false;
+    }
+    if (hu_finite) {
+      index.shape_maps_.push_back(MakeLogHuMap(hu));
+      index.shape_ids_.push_back(static_cast<int>(i));
+    }
+    const double* row = bank.HistRow(i);
+    double mass = 0.0;
+    bool hist_ok = true;
+    for (std::size_t d = 0; d < bank.hist_bins; ++d) {
+      if (!std::isfinite(row[d]) || row[d] < 0.0) hist_ok = false;
+      mass += row[d];
+    }
+    if (hist_ok && mass > 0.0) {
+      color_points.push_back(ColorEmbedding(row, bank.bins_per_channel));
+      color_ids.push_back(static_cast<int>(i));
+    }
+  }
+
+  if (!color_points.empty()) {
+    if (options.ann.max_leaf_checks > 0) {
+      index.color_tree_ =
+          AnnIndex::Build(std::move(color_points), std::move(color_ids),
+                          options.candidates, options.ann);
+    } else {
+      index.color_bank_ = PackFloatDescriptors(color_points);
+      index.color_ids_ = std::move(color_ids);
+    }
+  }
+  return index;
+}
+
+namespace {
+
+/// Keeps the `r` smallest (score, id) pairs and returns their ids sorted
+/// ascending; (score, id) ordering makes tie-breaks a deterministic
+/// total order.
+template <typename Score>
+std::vector<int> TopRIds(std::vector<std::pair<Score, int>>* scored,
+                         int candidates) {
+  const std::size_t r =
+      std::min(scored->size(),
+               static_cast<std::size_t>(std::max(candidates, 0)));
+  std::nth_element(scored->begin(),
+                   scored->begin() + static_cast<std::ptrdiff_t>(r),
+                   scored->end());
+  std::vector<int> ids;
+  ids.reserve(r);
+  for (std::size_t i = 0; i < r; ++i) ids.push_back((*scored)[i].second);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace
+
+std::vector<int> GalleryViewIndex::Candidates(const ImageFeatures& query,
+                                              bool use_shape,
+                                              bool use_color) const {
+  std::vector<int> shape_cands;
+  if (use_shape && !shape_ids_.empty()) {
+    // Exact top-R shape prefilter: score every prefilter row with the
+    // approach's own metric (query mapped once, transcendentals
+    // amortised) and keep the R best.
+    const LogHuMap query_map = MakeLogHuMap(query.hu.data());
+    std::vector<std::pair<double, int>> scored;
+    scored.reserve(shape_ids_.size());
+    for (std::size_t i = 0; i < shape_ids_.size(); ++i) {
+      const double s =
+          MatchShapesFromMaps(query_map, shape_maps_[i],
+                              options_.shape_method);
+      if (std::isfinite(s)) scored.emplace_back(s, shape_ids_[i]);
+    }
+    shape_cands = TopRIds(&scored, options_.candidates);
+  }
+  std::vector<int> color_cands;
+  if (use_color && (color_tree_.has_value() || color_bank_.count > 0)) {
+    const FloatDescriptor q_emb =
+        ColorEmbedding(query.histogram.bins().data(),
+                       query.histogram.bins_per_channel());
+    if (color_tree_.has_value()) {
+      color_cands = color_tree_->Query(q_emb, options_.candidates);
+    } else if (q_emb.size() == color_bank_.dim) {
+      // Squared L2 ranks identically to L2 and the lane-parallel kernel
+      // runs at SIMD throughput; scores are discarded after top-R.
+      std::vector<float> dists(color_bank_.count);
+      BankFloatSquaredL2(color_bank_, q_emb, dists.data());
+      std::vector<std::pair<float, int>> scored;
+      scored.reserve(color_bank_.count);
+      for (std::size_t i = 0; i < color_bank_.count; ++i) {
+        if (std::isfinite(dists[i])) {
+          scored.emplace_back(dists[i], color_ids_[i]);
+        }
+      }
+      color_cands = TopRIds(&scored, options_.candidates);
+    }
+  }
+  if (shape_cands.empty()) return color_cands;
+  if (color_cands.empty()) return shape_cands;
+  std::vector<int> merged;
+  merged.reserve(shape_cands.size() + color_cands.size());
+  std::merge(shape_cands.begin(), shape_cands.end(), color_cands.begin(),
+             color_cands.end(), std::back_inserter(merged));
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  return merged;
+}
+
+}  // namespace snor

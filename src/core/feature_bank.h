@@ -1,0 +1,258 @@
+#ifndef SNOR_CORE_FEATURE_BANK_H_
+#define SNOR_CORE_FEATURE_BANK_H_
+
+/// \file
+/// Structure-of-arrays gallery feature banks and their batch distance
+/// kernels, plus the gallery-level ANN view index.
+///
+/// The cold classifiers walk a `std::vector<ImageFeatures>` — an
+/// array-of-structs where every score computation chases a pointer into a
+/// separately heap-allocated histogram. The bank packs the per-view
+/// matching features (Hu moments, L1-normalized color histograms, labels,
+/// validity) into flat, padded, 64-byte-stride arrays so the per-view inner
+/// loops stream contiguous memory, and the descriptor banks do the same for
+/// float and binarized (BRIEF/ORB) keypoint descriptors.
+///
+/// Kernel contract — bit identity. Every bank kernel calls the *same*
+/// raw per-pair functions as the cold path (`MatchShapesRaw`,
+/// `CompareHistogramsRaw`, `HybridColorDistanceRaw`, `FloatDistanceRaw`,
+/// word-wise Hamming), scans views in ascending index order with the same
+/// skip rules (invalid view, non-finite score) and the same strict
+/// comparisons, and probes `MaybePoisonScore` at the same per-view points.
+/// The batched result is therefore bit-identical to the scalar
+/// `*OverRange` loops in classifiers.cc by construction; the differential
+/// fuzz tests in tests/core_feature_bank_test.cc enforce it.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/classifiers.h"
+#include "core/feature_cache.h"
+#include "features/ann.h"
+#include "features/keypoint.h"
+#include "features/matcher.h"
+
+namespace snor {
+
+/// \brief SoA bank of the per-view matching features of one gallery.
+///
+/// Rows are padded to a 64-byte stride (8 doubles) so consecutive views
+/// never straddle the same cache line pair and the autovectorizer sees
+/// constant-stride streams. Pad lanes are zero and never read.
+struct FeatureBank {
+  /// Hu rows are 7 moments + 1 zero pad lane.
+  static constexpr std::size_t kHuStride = 8;
+
+  std::size_t num_views = 0;
+  /// Histogram geometry shared by every view (validated at pack time).
+  int bins_per_channel = 0;
+  std::size_t hist_bins = 0;    ///< Logical bins per row.
+  std::size_t hist_stride = 0;  ///< Padded row width (multiple of 8).
+
+  std::vector<double> hu;            ///< num_views * kHuStride.
+  std::vector<double> hist;          ///< num_views * hist_stride.
+  std::vector<std::uint8_t> valid;   ///< 1 = usable view.
+  std::vector<ObjectClass> labels;   ///< Per-view class label.
+  std::vector<int> model_ids;        ///< Per-view model id.
+
+  std::size_t size() const { return num_views; }
+  bool empty() const { return num_views == 0; }
+
+  const double* HuRow(std::size_t i) const {
+    return hu.data() + i * kHuStride;
+  }
+  const double* HistRow(std::size_t i) const {
+    return hist.data() + i * hist_stride;
+  }
+  bool IsValid(std::size_t i) const { return valid[i] != 0; }
+};
+
+/// Packs a gallery into an SoA bank. Bin values, Hu moments, labels and
+/// validity are copied exactly (no renormalization — pack/unpack is a
+/// bit-exact round trip). All views must share one histogram geometry.
+[[nodiscard]] FeatureBank PackFeatureBank(
+    const std::vector<ImageFeatures>& gallery);
+
+/// Inverse of PackFeatureBank. `status` is not carried (it is not
+/// serialized by the feature store either); everything the matchers read —
+/// label, model id, hu, validity, histogram bins — round-trips exactly.
+[[nodiscard]] std::vector<ImageFeatures> UnpackFeatureBank(
+    const FeatureBank& bank);
+
+/// Bank equivalent of ShapeArgminOverRange: shape-only partial argmin over
+/// bank views [begin, end), bit-identical to the cold loop.
+[[nodiscard]] PartialBest BankShapeArgminOverRange(const ImageFeatures& input,
+                                                   const FeatureBank& bank,
+                                                   std::size_t begin,
+                                                   std::size_t end,
+                                                   ShapeMatchMethod method);
+
+/// Bank equivalent of ColorArgbestOverRange.
+[[nodiscard]] PartialBest BankColorArgbestOverRange(const ImageFeatures& input,
+                                                    const FeatureBank& bank,
+                                                    std::size_t begin,
+                                                    std::size_t end,
+                                                    HistCompareMethod method);
+
+/// Bank equivalent of ComputeHybridScoresOverRange; identical output and
+/// usable counts for the same range.
+void BankHybridScoresOverRange(
+    const ImageFeatures& input, const FeatureBank& bank, std::size_t begin,
+    std::size_t end, ShapeMatchMethod shape_method,
+    HistCompareMethod color_method, bool use_shape, bool use_color,
+    std::vector<double>* shape_scores, std::vector<double>* color_scores,
+    std::size_t* shape_usable, std::size_t* color_usable);
+
+/// Candidate-subset variants of the kernels above, used by the ANN
+/// exact-rerank path: identical per-view arithmetic and skip rules, but
+/// only the listed view indices are scored. `candidates` must be sorted
+/// ascending so the first-strict-optimum tie-break visits views in the
+/// same order as a full scan restricted to that subset.
+[[nodiscard]] PartialBest BankShapeArgminOverCandidates(
+    const ImageFeatures& input, const FeatureBank& bank,
+    const std::vector<int>& candidates, ShapeMatchMethod method);
+[[nodiscard]] PartialBest BankColorArgbestOverCandidates(
+    const ImageFeatures& input, const FeatureBank& bank,
+    const std::vector<int>& candidates, HistCompareMethod method);
+void BankHybridScoresOverCandidates(
+    const ImageFeatures& input, const FeatureBank& bank,
+    const std::vector<int>& candidates, ShapeMatchMethod shape_method,
+    HistCompareMethod color_method, bool use_shape, bool use_color,
+    std::vector<double>* shape_scores, std::vector<double>* color_scores,
+    std::size_t* shape_usable, std::size_t* color_usable);
+
+/// HybridArgminLabel over bank labels/model ids (identical to the gallery
+/// overload since pack preserves both).
+[[nodiscard]] ObjectClass BankHybridArgminLabel(
+    const std::vector<double>& theta, const FeatureBank& bank,
+    HybridStrategy strategy, ObjectClass fallback);
+
+/// \brief Flat bank of equal-length float descriptors (one row per
+/// descriptor, stride padded to 16 floats / 64 bytes).
+struct FloatDescriptorBank {
+  std::size_t count = 0;
+  std::size_t dim = 0;
+  std::size_t stride = 0;
+  std::vector<float> data;
+
+  const float* Row(std::size_t i) const { return data.data() + i * stride; }
+};
+
+/// All descriptors must share one dimension.
+[[nodiscard]] FloatDescriptorBank PackFloatDescriptors(
+    const std::vector<FloatDescriptor>& descriptors);
+
+/// out[i] = FloatDistance(query, descriptor i); bit-identical to the
+/// per-descriptor loop (shared FloatDistanceRaw core).
+void BankFloatDistances(const FloatDescriptorBank& bank,
+                        const FloatDescriptor& query, FloatNorm norm,
+                        float* out);
+
+/// out[i] = squared L2 distance from query to descriptor i, accumulated in
+/// float across independent lanes. Retrieval-only: the reassociated float
+/// sum is NOT bit-identical to FloatDistanceRaw's serial double
+/// accumulation, but squared L2 is strictly monotone in L2, so top-R sets
+/// agree up to rounding ties. FloatDistanceRaw's serial dependence chain
+/// caps the full-bank scan at scalar add latency; the independent lanes
+/// here let it run at SIMD multiply-add throughput instead, which is what
+/// makes the flat-scan retrieval in GalleryViewIndex beat the exact
+/// kernels. Candidate *scores* are discarded — exact rerank re-scores with
+/// the bit-identical kernels — so retrieval arithmetic never leaks into
+/// results.
+void BankFloatSquaredL2(const FloatDescriptorBank& bank,
+                        const FloatDescriptor& query, float* out);
+
+/// \brief Flat bank of 256-bit binary descriptors as aligned u64 words.
+struct BinaryDescriptorBank {
+  static constexpr std::size_t kWordsPerRow = 4;  // 256 bits.
+
+  std::size_t count = 0;
+  std::vector<std::uint64_t> words;  ///< count * kWordsPerRow.
+
+  const std::uint64_t* Row(std::size_t i) const {
+    return words.data() + i * kWordsPerRow;
+  }
+};
+
+[[nodiscard]] BinaryDescriptorBank PackBinaryDescriptors(
+    const std::vector<BinaryDescriptor>& descriptors);
+
+/// out[i] = HammingDistance(query, descriptor i); integer popcount over
+/// pre-packed words, trivially identical to the byte-wise loop.
+void BankHammingDistances(const BinaryDescriptorBank& bank,
+                          const BinaryDescriptor& query, int* out);
+
+/// Options for the gallery-level ANN view index.
+struct GalleryIndexOptions {
+  /// Top-R candidates requested per modality before exact rerank.
+  int candidates = 48;
+  /// Shape metric used by the exact shape prefilter (the engine passes
+  /// its approach's method so prefilter ranks equal rerank ranks).
+  ShapeMatchMethod shape_method = ShapeMatchMethod::kI3;
+  /// Passed through to the color AnnIndex.
+  AnnOptions ann;
+};
+
+/// \brief Candidate retrieval over gallery views for the ANN match mode,
+/// one retrieval structure per modality:
+///
+///  - shape: an exact top-R prefilter over precomputed log-Hu maps — a
+///    full `MatchShapesFromMaps` scan amortises the transcendentals, costs
+///    a fraction of one color distance, and is both cheaper and strictly
+///    more faithful than any Euclidean proxy of the non-metric shape
+///    distances (I1-I3 are relative or Chebyshev-like; no k-d embedding
+///    ranks them reliably);
+///  - color: top-R in the full sqrt-space histogram embedding
+///    e_i = sqrt(bin_i). Hellinger distance is exactly (1/sqrt(2)) * L2
+///    in sqrt space, so embedding ranks equal exact Hellinger ranks (up
+///    to float rounding) while each embedding distance costs plain
+///    multiply-adds instead of the exact kernel's per-pair sqrt. By
+///    default the embeddings live in a flat SoA FloatDescriptorBank
+///    scanned by the vectorized batch kernel — measured faster than any
+///    k-d traversal at histogram dimensionality, where bounded-leaf-check
+///    trees also collapse to near-random candidates. Setting
+///    `GalleryIndexOptions::ann.max_leaf_checks > 0` opts into a k-d tree
+///    (AnnIndex) with that budget instead: sub-scan retrieval at bounded
+///    recall.
+///
+/// The index only *proposes* candidate view indices; callers rerank them
+/// with the exact bank kernels, so `--match-mode=ann` accuracy degrades
+/// only by bounded recall loss, never by approximate scores.
+class GalleryViewIndex {
+ public:
+  [[nodiscard]] static GalleryViewIndex Build(
+      const FeatureBank& bank, const GalleryIndexOptions& options = {});
+
+  /// Union of per-modality top-R candidate view indices for `query`,
+  /// sorted ascending (deterministic rerank order). Empty when no usable
+  /// modality — callers fall back to a full exact scan.
+  [[nodiscard]] std::vector<int> Candidates(const ImageFeatures& query,
+                                            bool use_shape,
+                                            bool use_color) const;
+
+  int candidates_per_modality() const { return options_.candidates; }
+
+  /// Sqrt-space color embedding (exposed for tests): one float per
+  /// histogram bin, `bins_per_channel`^3 total.
+  [[nodiscard]] static FloatDescriptor ColorEmbedding(const double* bins,
+                                                      int bins_per_channel);
+
+ private:
+  GalleryIndexOptions options_;
+  /// Exact shape prefilter rows: precomputed log-Hu maps of valid views
+  /// with finite Hu moments.
+  std::vector<LogHuMap> shape_maps_;
+  std::vector<int> shape_ids_;
+  /// Sqrt-space color embeddings: flat SoA bank scanned by the batch
+  /// float kernel (default), or a k-d tree when an explicit leaf-check
+  /// budget opts into bounded-recall sub-scan retrieval.
+  FloatDescriptorBank color_bank_;
+  std::vector<int> color_ids_;
+  std::optional<AnnIndex> color_tree_;
+};
+
+}  // namespace snor
+
+#endif  // SNOR_CORE_FEATURE_BANK_H_

@@ -1,0 +1,51 @@
+#include "features/ann.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/check.h"
+
+namespace snor {
+
+AnnIndex AnnIndex::Build(std::vector<FloatDescriptor> points,
+                         std::vector<int> ids, int expected_candidates,
+                         const AnnOptions& options) {
+  SNOR_TRACE_SPAN("features.ann.build");
+  SNOR_CHECK_EQ(points.size(), ids.size());
+  int leaf_checks = options.max_leaf_checks;
+  if (leaf_checks <= 0) {
+    // Default to exact embedding-space search: the tree then only prunes
+    // what the triangle inequality proves safe. Kept at least at the
+    // requested candidate count so degenerate budgets cannot starve R.
+    leaf_checks = std::max(static_cast<int>(points.size()),
+                           std::max(expected_candidates, 1));
+  }
+  static obs::Gauge& points_gauge =
+      obs::MetricsRegistry::Global().gauge("features.ann.points");
+  points_gauge.Set(static_cast<double>(points.size()));
+  return AnnIndex(std::move(points), std::move(ids), leaf_checks);
+}
+
+AnnIndex::AnnIndex(std::vector<FloatDescriptor> points, std::vector<int> ids,
+                   int max_leaf_checks)
+    : ids_(std::move(ids)), tree_(std::move(points), max_leaf_checks) {}
+
+std::vector<int> AnnIndex::Query(const FloatDescriptor& q, int r) const {
+  SNOR_TRACE_SPAN("features.ann.query");
+  static obs::Counter& candidates_counter =
+      obs::MetricsRegistry::Global().counter("features.ann.candidates");
+  if (ids_.empty() || r <= 0) return {};
+  const auto knn = tree_.KnnMatch({q}, r);
+  std::vector<int> out;
+  out.reserve(knn.front().size());
+  for (const DMatch& m : knn.front()) {
+    out.push_back(ids_[static_cast<std::size_t>(m.train_idx)]);
+  }
+  std::sort(out.begin(), out.end());
+  candidates_counter.Increment(out.size());
+  return out;
+}
+
+}  // namespace snor

@@ -1,0 +1,58 @@
+#ifndef SNOR_FEATURES_ANN_H_
+#define SNOR_FEATURES_ANN_H_
+
+#include <vector>
+
+#include "features/kdtree.h"
+#include "features/keypoint.h"
+
+namespace snor {
+
+/// Options for AnnIndex construction.
+struct AnnOptions {
+  /// Leaf-check budget handed to the underlying k-d tree. `>= point
+  /// count` is exact search in embedding space. Values <= 0 default to
+  /// exact (recall-first: candidate retrieval is already far cheaper than
+  /// the exact kernels it prunes, so the budget knob is an opt-in trade
+  /// of recall for speed, not a silent default).
+  int max_leaf_checks = 0;
+};
+
+/// \brief Approximate top-R candidate retrieval over a set of fixed-length
+/// embedding vectors, each tagged with a caller-supplied integer id.
+///
+/// This is the gallery-level ANN building block: callers embed gallery
+/// views into a proxy space whose Euclidean distance ranks like the exact
+/// metric (see core/feature_bank's sqrt-space color embedding), build an
+/// AnnIndex over the embeddings, and rerank the returned candidate ids
+/// with the exact distance kernels. The index itself is deterministic:
+/// same points, ids, and query always yield the same candidate list.
+class AnnIndex {
+ public:
+  /// Builds an index over `points` (all the same dimension). `ids[i]` is
+  /// returned for candidates drawn from `points[i]`; `ids` must be the same
+  /// length as `points`. `expected_candidates` floors the leaf-check budget
+  /// when `options.max_leaf_checks <= 0` (which defaults to exact search).
+  [[nodiscard]] static AnnIndex Build(std::vector<FloatDescriptor> points,
+                                      std::vector<int> ids,
+                                      int expected_candidates,
+                                      const AnnOptions& options = {});
+
+  /// Ids of up to `r` approximate nearest points to `q`, sorted ascending
+  /// by id (deterministic order for downstream reranking).
+  std::vector<int> Query(const FloatDescriptor& q, int r) const;
+
+  std::size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+
+ private:
+  AnnIndex(std::vector<FloatDescriptor> points, std::vector<int> ids,
+           int max_leaf_checks);
+
+  std::vector<int> ids_;
+  KdTreeMatcher tree_;
+};
+
+}  // namespace snor
+
+#endif  // SNOR_FEATURES_ANN_H_

@@ -74,16 +74,23 @@ double ColorHistogram::TotalMass() const {
 void ColorHistogram::NormalizeL1() {
   const double total = TotalMass();
   if (total <= 0.0) return;
+  // Idempotence: renormalizing an already-normalized histogram would divide
+  // every bin by a total like 0.999999... and drift the bin values. Raw
+  // histograms are pixel counts (integer totals), so the only raw total
+  // within 1e-9 of 1.0 is exactly 1.0 — safe to treat as normalized.
+  if (std::abs(total - 1.0) <= 1e-9) return;
   for (double& v : bins_) v /= total;
 }
 
 double CompareHistograms(const ColorHistogram& a, const ColorHistogram& b,
                          HistCompareMethod method) {
   SNOR_CHECK_EQ(a.num_bins(), b.num_bins());
-  const std::vector<double>& ha = a.bins();
-  const std::vector<double>& hb = b.bins();
-  const std::size_t n = ha.size();
+  return CompareHistogramsRaw(a.bins().data(), b.bins().data(),
+                              a.num_bins(), method);
+}
 
+double CompareHistogramsRaw(const double* ha, const double* hb,
+                            const std::size_t n, HistCompareMethod method) {
   switch (method) {
     case HistCompareMethod::kCorrelation: {
       double sum_a = 0, sum_b = 0;
@@ -101,9 +108,16 @@ double CompareHistograms(const ColorHistogram& a, const ColorHistogram& b,
         den_a += da * da;
         den_b += db * db;
       }
-      const double den = std::sqrt(den_a * den_b);
-      if (den < 1e-300) return 1.0;  // Both flat: perfectly correlated.
-      return num / den;
+      const bool flat_a = den_a < 1e-300;
+      const bool flat_b = den_b < 1e-300;
+      if (flat_a && flat_b) return 1.0;  // Both flat: perfectly correlated.
+      // Exactly one side flat: zero variance makes the Pearson coefficient
+      // 0/0. Returning 1.0 here would let a flat (e.g. fully masked-out)
+      // histogram silently win argmax against every real histogram — the
+      // correlation analogue of the Hellinger zero-denominator bug. Report
+      // the worst case for a similarity metric instead.
+      if (flat_a || flat_b) return -1.0;
+      return num / std::sqrt(den_a * den_b);
     }
     case HistCompareMethod::kChiSquare: {
       double acc = 0;

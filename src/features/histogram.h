@@ -70,6 +70,20 @@ class ColorHistogram {
 double CompareHistograms(const ColorHistogram& a, const ColorHistogram& b,
                          HistCompareMethod method);
 
+/// Raw-pointer core of CompareHistograms, operating on two bin arrays of
+/// length `n`. Both the cold classifiers (via CompareHistograms) and the
+/// SoA feature-bank batch kernels call this single implementation, which is
+/// what makes the warm/batched paths bit-identical to the cold ones by
+/// construction.
+///
+/// Flat-histogram semantics for Correlation (zero variance on a side):
+///  - both flat -> 1.0 (identical up to offset, perfectly correlated);
+///  - exactly one flat -> -1.0, the worst case for a similarity metric, so
+///    a flat (e.g. fully masked-out) operand can never win an argmax
+///    against real histograms.
+double CompareHistogramsRaw(const double* a, const double* b, std::size_t n,
+                            HistCompareMethod method);
+
 }  // namespace snor
 
 #endif  // SNOR_FEATURES_HISTOGRAM_H_

@@ -110,12 +110,22 @@ bool HeapCmp(const DMatch& a, const DMatch& b) {
 
 void KdTreeMatcher::Search(int node_idx, const FloatDescriptor& q, int k,
                            std::vector<DMatch>& heap, int& checks) const {
-  if (node_idx < 0 || checks >= max_leaf_checks_) return;
+  // The leaf-check budget is only honored once the result heap already
+  // holds k candidates. Cutting off earlier truncated result lists below
+  // min(k, train size) under small budgets, which diverged from
+  // BruteForceMatcher: a truncated 1-element list passes RatioTestFilter
+  // unconditionally where the brute-force 2-element list may be dropped
+  // as ambiguous.
+  const bool budget_spent =
+      checks >= max_leaf_checks_ && static_cast<int>(heap.size()) >= k;
+  if (node_idx < 0 || budget_spent) return;
   const Node& node = nodes_[static_cast<std::size_t>(node_idx)];
 
   if (node.split_dim < 0) {  // Leaf.
     for (int idx : node.points) {
-      if (checks >= max_leaf_checks_) return;
+      if (checks >= max_leaf_checks_ && static_cast<int>(heap.size()) >= k) {
+        return;
+      }
       ++checks;
       const float d =
           FloatDistance(q, train_[static_cast<std::size_t>(idx)],

@@ -28,7 +28,10 @@ class KdTreeMatcher {
   KdTreeMatcher& operator=(const KdTreeMatcher&) = delete;
 
   /// k-nearest neighbours (L2) for each query descriptor; inner lists are
-  /// sorted by ascending distance.
+  /// sorted by ascending distance and always contain exactly
+  /// min(k, train size) entries — the leaf-check budget bounds extra
+  /// backtracking, never the result count — matching KnnMatchBruteForce.
+  /// With `max_leaf_checks >= train size` results are exact.
   std::vector<std::vector<DMatch>> KnnMatch(
       const std::vector<FloatDescriptor>& query, int k) const;
 

@@ -34,17 +34,31 @@ int HammingDistance(const BinaryDescriptor& a, const BinaryDescriptor& b) {
   return dist;
 }
 
+int HammingDistanceWords(const std::uint64_t* a, const std::uint64_t* b,
+                         std::size_t n_words) {
+  int dist = 0;
+  for (std::size_t i = 0; i < n_words; ++i) {
+    dist += std::popcount(a[i] ^ b[i]);
+  }
+  return dist;
+}
+
 float FloatDistance(const FloatDescriptor& a, const FloatDescriptor& b,
                     FloatNorm norm) {
   SNOR_CHECK_EQ(a.size(), b.size());
+  return FloatDistanceRaw(a.data(), b.data(), a.size(), norm);
+}
+
+float FloatDistanceRaw(const float* a, const float* b, const std::size_t n,
+                       FloatNorm norm) {
   double acc = 0.0;
   if (norm == FloatNorm::kL1) {
-    for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t i = 0; i < n; ++i) {
       acc += std::abs(static_cast<double>(a[i]) - b[i]);
     }
     return static_cast<float>(acc);
   }
-  for (std::size_t i = 0; i < a.size(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     const double d = static_cast<double>(a[i]) - b[i];
     acc += d * d;
   }

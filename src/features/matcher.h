@@ -1,6 +1,8 @@
 #ifndef SNOR_FEATURES_MATCHER_H_
 #define SNOR_FEATURES_MATCHER_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "features/keypoint.h"
@@ -21,9 +23,22 @@ enum class FloatNorm { kL1, kL2 };
 /// Number of set bits in a XOR of two 256-bit descriptors.
 int HammingDistance(const BinaryDescriptor& a, const BinaryDescriptor& b);
 
+/// Hamming distance over `n_words` pre-packed 64-bit words. The binary
+/// descriptor banks store descriptors as aligned u64 words so this popcount
+/// loop autovectorizes; integer arithmetic makes it trivially bit-identical
+/// to HammingDistance on the byte form.
+int HammingDistanceWords(const std::uint64_t* a, const std::uint64_t* b,
+                         std::size_t n_words);
+
 /// L1 / L2 distance between equal-length float descriptors.
 float FloatDistance(const FloatDescriptor& a, const FloatDescriptor& b,
                     FloatNorm norm);
+
+/// Raw-pointer core of FloatDistance over two arrays of length `n`; the
+/// float descriptor banks call this on contiguous rows. Shares one
+/// implementation with FloatDistance so batched results are bit-identical.
+float FloatDistanceRaw(const float* a, const float* b, std::size_t n,
+                       FloatNorm norm);
 
 /// Brute-force best match per query descriptor (empty train set yields an
 /// empty result).

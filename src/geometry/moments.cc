@@ -154,23 +154,40 @@ HuMoments ComputeHuMoments(const Moments& m) {
 
 double MatchShapes(const HuMoments& ha, const HuMoments& hb,
                    ShapeMatchMethod method) {
+  return MatchShapesRaw(ha.data(), hb.data(), method);
+}
+
+double MatchShapesRaw(const double* ha, const double* hb,
+                      ShapeMatchMethod method) {
+  return MatchShapesFromMaps(MakeLogHuMap(ha), MakeLogHuMap(hb), method);
+}
+
+LogHuMap MakeLogHuMap(const double* hu7) {
   constexpr double kEps = 1e-5;
-  bool any_a = false;
-  bool any_b = false;
-  double result = 0.0;
-
+  LogHuMap map;
   for (int i = 0; i < 7; ++i) {
-    const double ama = std::abs(ha[static_cast<std::size_t>(i)]);
-    const double amb = std::abs(hb[static_cast<std::size_t>(i)]);
-    if (ama > 0) any_a = true;
-    if (amb > 0) any_b = true;
-    if (ama <= kEps || amb <= kEps) continue;
+    const double h = hu7[static_cast<std::size_t>(i)];
+    const double ah = std::abs(h);
+    if (ah > 0) map.any = true;
+    // Note `!(ah <= kEps)`, not `ah > kEps`: a NaN moment must stay
+    // usable so the NaN reaches the combine step exactly as it does in
+    // the historical single-function path.
+    if (ah <= kEps) continue;
+    map.usable[static_cast<std::size_t>(i)] = 1;
+    const double sign = h > 0 ? 1.0 : -1.0;
+    map.m[static_cast<std::size_t>(i)] = sign * std::log10(ah);
+  }
+  return map;
+}
 
-    const double sma = ha[static_cast<std::size_t>(i)] > 0 ? 1.0 : -1.0;
-    const double smb = hb[static_cast<std::size_t>(i)] > 0 ? 1.0 : -1.0;
-    const double la = sma * std::log10(ama);
-    const double lb = smb * std::log10(amb);
-
+double MatchShapesFromMaps(const LogHuMap& a, const LogHuMap& b,
+                           ShapeMatchMethod method) {
+  double result = 0.0;
+  for (int i = 0; i < 7; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (a.usable[idx] == 0 || b.usable[idx] == 0) continue;
+    const double la = a.m[idx];
+    const double lb = b.m[idx];
     switch (method) {
       case ShapeMatchMethod::kI1:
         result += std::abs(-1.0 / la + 1.0 / lb);
@@ -187,7 +204,7 @@ double MatchShapes(const HuMoments& ha, const HuMoments& hb,
   }
 
   // One shape degenerate, the other not: maximal dissimilarity.
-  if (any_a != any_b) return std::numeric_limits<double>::max();
+  if (a.any != b.any) return std::numeric_limits<double>::max();
   return result;
 }
 

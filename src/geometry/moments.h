@@ -2,6 +2,7 @@
 #define SNOR_GEOMETRY_MOMENTS_H_
 
 #include <array>
+#include <cstdint>
 
 #include "geometry/types.h"
 #include "img/image.h"
@@ -50,6 +51,36 @@ enum class ShapeMatchMethod {
 /// does not.
 double MatchShapes(const HuMoments& a, const HuMoments& b,
                    ShapeMatchMethod method);
+
+/// Raw-pointer core of MatchShapes over two arrays of 7 Hu moments. The
+/// SoA feature-bank batch kernels call this directly on bank rows; the
+/// HuMoments overload delegates here, so both paths share one
+/// implementation and stay bit-identical.
+double MatchShapesRaw(const double* a, const double* b,
+                      ShapeMatchMethod method);
+
+/// \brief Precomputed log-map of one Hu vector: the per-pair transform
+/// MatchShapesRaw applies before combining.
+///
+/// The transcendentals (log10 per usable component) dominate the cost of
+/// a shape distance, yet depend only on one side of the pair. Callers
+/// that score one query against many gallery rows map each side once and
+/// combine with MatchShapesFromMaps; MatchShapesRaw itself delegates
+/// through the same pair of functions, so mapped and unmapped paths are
+/// bit-identical by construction.
+struct LogHuMap {
+  std::array<double, 7> m{};         ///< sign(h_i) * log10|h_i|.
+  std::array<std::uint8_t, 7> usable{};  ///< 0 when |h_i| <= 1e-5.
+  bool any = false;                  ///< Any |h_i| > 0 (degeneracy flag).
+};
+
+/// Maps 7 Hu moments into log space.
+[[nodiscard]] LogHuMap MakeLogHuMap(const double* hu7);
+
+/// Combine step of MatchShapesRaw over two precomputed maps; identical
+/// arithmetic, iteration order, and skip rules as the unmapped path.
+double MatchShapesFromMaps(const LogHuMap& a, const LogHuMap& b,
+                           ShapeMatchMethod method);
 
 /// Convenience overload on contours.
 double MatchShapes(const Contour& a, const Contour& b,

@@ -12,6 +12,17 @@
 
 namespace snor::serve {
 
+Result<MatchMode> ParseMatchMode(const std::string& text) {
+  if (text == "exact") return MatchMode::kExact;
+  if (text == "ann") return MatchMode::kAnn;
+  return Status::InvalidArgument("unknown match mode '" + text +
+                                 "' (expected 'exact' or 'ann')");
+}
+
+const char* MatchModeName(MatchMode mode) {
+  return mode == MatchMode::kAnn ? "ann" : "exact";
+}
+
 Result<std::unique_ptr<BatchEngine>> BatchEngine::Create(
     const ApproachSpec& spec, std::vector<ImageFeatures> gallery,
     const BatchEngineOptions& options, std::uint64_t baseline_seed) {
@@ -57,9 +68,21 @@ BatchEngine::BatchEngine(const ApproachSpec& spec,
   obs::MetricsRegistry::Global()
       .gauge("serve.engine.shards")
       .Set(static_cast<double>(shards_.size()));
+  obs::MetricsRegistry::Global()
+      .gauge("serve.engine.match_mode")
+      .Set(options_.match_mode == MatchMode::kAnn ? 1.0 : 0.0);
   if (spec_.kind == ApproachSpec::Kind::kBaseline) {
     baseline_ = std::make_unique<RandomBaselineClassifier>(gallery_,
                                                            baseline_seed);
+    return;  // The baseline never scores views; no bank or index needed.
+  }
+  bank_ = PackFeatureBank(gallery_);
+  if (options_.match_mode == MatchMode::kAnn) {
+    // The prefilter must rank with the approach's own shape metric so
+    // its top-R equals the exact scan's top-R.
+    GalleryIndexOptions index_options = options_.ann;
+    index_options.shape_method = spec_.shape;
+    index_ = GalleryViewIndex::Build(bank_, index_options);
   }
 }
 
@@ -104,6 +127,12 @@ std::vector<ObjectClass> BatchEngine::ClassifyBatch(
     degradation_ = baseline_->degradation();
     return predictions;
   }
+  if (options_.match_mode == MatchMode::kAnn && index_.has_value()) {
+    if (spec_.kind == ApproachSpec::Kind::kHybrid) {
+      return ClassifyHybridAnn(queries, context_array);
+    }
+    return ClassifyPartialArgminAnn(queries, context_array);
+  }
   if (spec_.kind == ApproachSpec::Kind::kHybrid) {
     return ClassifyHybrid(queries, context_array);
   }
@@ -138,11 +167,14 @@ std::vector<ObjectClass> BatchEngine::ClassifyPartialArgmin(
         if (contexts != nullptr) scope.emplace(contexts[q]);
         SNOR_TRACE_SPAN("serve.engine.shard_scan");
         const Shard& shard = shards_[task % ns];
+        // Bank kernels: same per-pair functions and skip rules as the
+        // cold *OverRange loops, streaming the SoA rows instead of
+        // chasing AoS pointers.
         partials[task] =
-            shape ? ShapeArgminOverRange(*queries[q], gallery_, shard.begin,
-                                         shard.end, spec_.shape)
-                  : ColorArgbestOverRange(*queries[q], gallery_, shard.begin,
-                                          shard.end, spec_.color);
+            shape ? BankShapeArgminOverRange(*queries[q], bank_, shard.begin,
+                                             shard.end, spec_.shape)
+                  : BankColorArgbestOverRange(*queries[q], bank_, shard.begin,
+                                              shard.end, spec_.color);
       },
       options_.n_threads);
 
@@ -203,8 +235,8 @@ std::vector<ObjectClass> BatchEngine::ClassifyHybrid(
         if (contexts != nullptr) scope.emplace(contexts[q]);
         SNOR_TRACE_SPAN("serve.engine.shard_scan");
         const Shard& shard = shards_[task % ns];
-        ComputeHybridScoresOverRange(
-            *queries[q], gallery_, shard.begin, shard.end, spec_.shape,
+        BankHybridScoresOverRange(
+            *queries[q], bank_, shard.begin, shard.end, spec_.shape,
             spec_.color, use_shape[q] != 0, use_color[q] != 0,
             &shape_rows[q], &color_rows[q], &counts[task].first,
             &counts[task].second);
@@ -240,9 +272,152 @@ std::vector<ObjectClass> BatchEngine::ClassifyHybrid(
         AssembleHybridTheta(shape_rows[q], color_rows[q], spec_.alpha,
                             spec_.beta, shape_live, color_live);
     predictions[q] =
-        HybridArgminLabel(theta, gallery_, spec_.strategy, FallbackLabel());
+        BankHybridArgminLabel(theta, bank_, spec_.strategy, FallbackLabel());
   }
   return predictions;
+}
+
+std::vector<ObjectClass> BatchEngine::ClassifyPartialArgminAnn(
+    const std::vector<const ImageFeatures*>& queries,
+    const obs::TraceContext* contexts) {
+  const std::size_t nq = queries.size();
+  const bool shape = spec_.kind == ApproachSpec::Kind::kShape;
+
+  std::vector<char> usable(nq);
+  for (std::size_t q = 0; q < nq; ++q) {
+    usable[q] = shape ? ShapeModalityUsable(*queries[q])
+                      : queries[q]->valid;
+  }
+
+  // One task per query: candidate retrieval is sub-linear, so sharding
+  // the tiny rerank scan would cost more than it saves.
+  std::vector<PartialBest> bests(nq);  // GUARDED_BY(per_worker_slot)
+  std::vector<char> full_scan(nq, 0);  // GUARDED_BY(per_worker_slot)
+  ParallelFor(
+      nq,
+      [&](std::size_t q) {
+        if (!usable[q]) return;
+        std::optional<obs::ScopedTraceContext> scope;
+        if (contexts != nullptr) scope.emplace(contexts[q]);
+        SNOR_TRACE_SPAN("serve.engine.ann_rerank");
+        const std::vector<int> cands =
+            index_->Candidates(*queries[q], shape, !shape);
+        if (cands.empty()) {
+          // No usable modality embedding: degrade to a full exact scan
+          // rather than answering from nothing.
+          full_scan[q] = 1;
+          bests[q] = shape
+                         ? BankShapeArgminOverRange(*queries[q], bank_, 0,
+                                                    bank_.size(), spec_.shape)
+                         : BankColorArgbestOverRange(*queries[q], bank_, 0,
+                                                     bank_.size(), spec_.color);
+          return;
+        }
+        bests[q] = shape ? BankShapeArgminOverCandidates(*queries[q], bank_,
+                                                         cands, spec_.shape)
+                         : BankColorArgbestOverCandidates(*queries[q], bank_,
+                                                          cands, spec_.color);
+      },
+      options_.n_threads);
+
+  static obs::Counter& full_scan_counter =
+      obs::MetricsRegistry::Global().counter("serve.engine.ann_full_scans");
+  std::vector<ObjectClass> predictions(nq, FallbackLabel());
+  for (std::size_t q = 0; q < nq; ++q) {
+    if (!usable[q]) {
+      ++degradation_.fallback;
+      continue;
+    }
+    if (full_scan[q] != 0) {
+      ++ann_full_scans_;
+      full_scan_counter.Increment();
+    }
+    const PartialBest& p = bests[q];
+    if (p.found) predictions[q] = p.label;
+  }
+  return predictions;
+}
+
+std::vector<ObjectClass> BatchEngine::ClassifyHybridAnn(
+    const std::vector<const ImageFeatures*>& queries,
+    const obs::TraceContext* contexts) {
+  const std::size_t nq = queries.size();
+  const std::size_t n = bank_.size();
+
+  std::vector<char> use_shape(nq);
+  std::vector<char> use_color(nq);
+  for (std::size_t q = 0; q < nq; ++q) {
+    use_shape[q] = ShapeModalityUsable(*queries[q]);
+    use_color[q] = ColorModalityUsable(*queries[q]);
+  }
+
+  std::vector<ObjectClass> labels(nq, FallbackLabel());  // GUARDED_BY(per_worker_slot)
+  // Per-query degradation verdict resolved inside the task, applied to
+  // the shared counters sequentially after the barrier.
+  enum : char { kNone, kFallback, kShapeOnly, kColorOnly };
+  std::vector<char> verdicts(nq, kNone);  // GUARDED_BY(per_worker_slot)
+  std::vector<char> full_scan(nq, 0);     // GUARDED_BY(per_worker_slot)
+  ParallelFor(
+      nq,
+      [&](std::size_t q) {
+        if (!use_shape[q] && !use_color[q]) {
+          verdicts[q] = kFallback;
+          return;
+        }
+        std::optional<obs::ScopedTraceContext> scope;
+        if (contexts != nullptr) scope.emplace(contexts[q]);
+        SNOR_TRACE_SPAN("serve.engine.ann_rerank");
+        const std::vector<int> cands = index_->Candidates(
+            *queries[q], use_shape[q] != 0, use_color[q] != 0);
+        std::vector<double> shape_row(n, kUnusableScore);
+        std::vector<double> color_row(n, kUnusableScore);
+        std::size_t shape_usable = 0;
+        std::size_t color_usable = 0;
+        if (cands.empty()) {
+          full_scan[q] = 1;
+          BankHybridScoresOverRange(*queries[q], bank_, 0, n, spec_.shape,
+                                    spec_.color, use_shape[q] != 0,
+                                    use_color[q] != 0, &shape_row, &color_row,
+                                    &shape_usable, &color_usable);
+        } else {
+          BankHybridScoresOverCandidates(
+              *queries[q], bank_, cands, spec_.shape, spec_.color,
+              use_shape[q] != 0, use_color[q] != 0, &shape_row, &color_row,
+              &shape_usable, &color_usable);
+        }
+        const bool shape_live = use_shape[q] != 0 && shape_usable > 0;
+        const bool color_live = use_color[q] != 0 && color_usable > 0;
+        if (!shape_live && !color_live) {
+          verdicts[q] = kFallback;
+          return;
+        }
+        if (shape_live != color_live) {
+          verdicts[q] = shape_live ? kShapeOnly : kColorOnly;
+        }
+        const std::vector<double> theta =
+            AssembleHybridTheta(shape_row, color_row, spec_.alpha, spec_.beta,
+                                shape_live, color_live);
+        labels[q] =
+            BankHybridArgminLabel(theta, bank_, spec_.strategy,
+                                  FallbackLabel());
+      },
+      options_.n_threads);
+
+  static obs::Counter& full_scan_counter =
+      obs::MetricsRegistry::Global().counter("serve.engine.ann_full_scans");
+  for (std::size_t q = 0; q < nq; ++q) {
+    if (full_scan[q] != 0) {
+      ++ann_full_scans_;
+      full_scan_counter.Increment();
+    }
+    switch (verdicts[q]) {
+      case kFallback: ++degradation_.fallback; break;
+      case kShapeOnly: ++degradation_.shape_only; break;
+      case kColorOnly: ++degradation_.color_only; break;
+      default: break;
+    }
+  }
+  return labels;
 }
 
 Result<EvalReport> RunApproachBatched(const ApproachSpec& spec,

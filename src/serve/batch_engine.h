@@ -16,15 +16,34 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "core/classifiers.h"
 #include "core/evaluation.h"
 #include "core/experiment.h"
+#include "core/feature_bank.h"
 #include "obs/trace.h"
 #include "util/status.h"
 
 namespace snor::serve {
+
+/// \brief Gallery matching mode.
+enum class MatchMode {
+  /// Full scan over the SoA feature bank. Bit-identical to the cold
+  /// classifiers for every approach and any shard/thread count.
+  kExact,
+  /// ANN candidate retrieval (GalleryViewIndex) followed by an exact
+  /// rerank of the top-R candidate views: sub-linear in gallery size,
+  /// trading bounded recall for speed. Scores are never approximated —
+  /// only the candidate set is.
+  kAnn,
+};
+
+/// Parses "exact" / "ann" (as accepted by --match-mode flags).
+[[nodiscard]] Result<MatchMode> ParseMatchMode(const std::string& text);
+[[nodiscard]] const char* MatchModeName(MatchMode mode);
 
 /// \brief Sharding/batching knobs for the warm matching path.
 struct BatchEngineOptions {
@@ -34,6 +53,10 @@ struct BatchEngineOptions {
   int batch_size = 64;
   /// Worker threads for the (query, shard) task grid; 0 = default.
   int n_threads = 0;
+  /// Exact full-bank scan vs. ANN candidates + exact rerank.
+  MatchMode match_mode = MatchMode::kExact;
+  /// ANN index knobs (kAnn only): top-R per modality, leaf-check budget.
+  GalleryIndexOptions ann;
 };
 
 /// \brief Matches query batches against a sharded in-memory gallery.
@@ -67,6 +90,10 @@ class BatchEngine {
 
   std::size_t num_shards() const { return shards_.size(); }
   const std::vector<ImageFeatures>& gallery() const { return gallery_; }
+  MatchMode match_mode() const { return options_.match_mode; }
+  /// Number of ANN-mode queries that fell back to a full exact scan
+  /// because no modality produced candidates.
+  std::uint64_t ann_full_scans() const { return ann_full_scans_; }
 
  private:
   /// Contiguous gallery index range [begin, end).
@@ -87,12 +114,24 @@ class BatchEngine {
   std::vector<ObjectClass> ClassifyHybrid(
       const std::vector<const ImageFeatures*>& queries,
       const obs::TraceContext* contexts);
+  /// ANN mode: candidate retrieval + exact rerank, one task per query.
+  std::vector<ObjectClass> ClassifyPartialArgminAnn(
+      const std::vector<const ImageFeatures*>& queries,
+      const obs::TraceContext* contexts);
+  std::vector<ObjectClass> ClassifyHybridAnn(
+      const std::vector<const ImageFeatures*>& queries,
+      const obs::TraceContext* contexts);
 
   ApproachSpec spec_;
   std::vector<ImageFeatures> gallery_;  // GUARDED_BY(caller)
+  /// SoA pack of gallery_; all non-baseline scoring reads bank rows.
+  FeatureBank bank_;  // GUARDED_BY(caller)
+  /// ANN candidate index (kAnn mode, non-baseline approaches only).
+  std::optional<GalleryViewIndex> index_;  // GUARDED_BY(caller)
   BatchEngineOptions options_;
   std::vector<Shard> shards_;  // GUARDED_BY(caller)
   DegradationStats degradation_;  // GUARDED_BY(caller)
+  std::uint64_t ann_full_scans_ = 0;  // GUARDED_BY(caller)
   /// The baseline consumes one RNG draw per classified query; delegating
   /// to the real classifier keeps the draw sequence cold-path-identical.
   std::unique_ptr<MatchingClassifier> baseline_;

@@ -10,6 +10,41 @@
 #include "util/string_util.h"
 
 namespace snor::serve {
+
+StoredViewBanks PackStoredViews(const std::vector<StoredView>& views) {
+  SNOR_TRACE_SPAN("serve.store.pack");
+  StoredViewBanks banks;
+
+  std::vector<ImageFeatures> features;
+  features.reserve(views.size());
+  std::vector<FloatDescriptor> floats;
+  std::vector<BinaryDescriptor> binaries;
+  banks.float_ranges.reserve(views.size());
+  banks.binary_ranges.reserve(views.size());
+  for (const StoredView& view : views) {
+    features.push_back(view.features);
+    const auto fb = static_cast<std::uint32_t>(floats.size());
+    floats.insert(floats.end(), view.float_descriptors.begin(),
+                  view.float_descriptors.end());
+    banks.float_ranges.emplace_back(fb,
+                                    static_cast<std::uint32_t>(floats.size()));
+    const auto bb = static_cast<std::uint32_t>(binaries.size());
+    binaries.insert(binaries.end(), view.binary_descriptors.begin(),
+                    view.binary_descriptors.end());
+    banks.binary_ranges.emplace_back(
+        bb, static_cast<std::uint32_t>(binaries.size()));
+  }
+
+  banks.features = PackFeatureBank(features);
+  banks.float_bank = PackFloatDescriptors(floats);
+  banks.binary_bank = PackBinaryDescriptors(binaries);
+
+  static obs::Counter& packed =
+      obs::MetricsRegistry::Global().counter("serve.store.packed_views");
+  packed.Increment(views.size());
+  return banks;
+}
+
 namespace {
 
 constexpr char kMagic[8] = {'S', 'N', 'O', 'R', 'F', 'S', 'T', '1'};

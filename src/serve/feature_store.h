@@ -32,8 +32,10 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/feature_bank.h"
 #include "core/feature_cache.h"
 #include "data/dataset.h"
 #include "features/keypoint.h"
@@ -53,6 +55,28 @@ struct StoredView {
   std::vector<FloatDescriptor> float_descriptors;
   std::vector<BinaryDescriptor> binary_descriptors;
 };
+
+/// \brief SoA pack of a loaded gallery: the matching-feature bank plus
+/// flat per-approach descriptor banks, with per-view row ranges so a
+/// view's descriptors stay addressable after flattening.
+///
+/// This is the warm-path in-memory layout: load (or compute) StoredViews
+/// once, pack them, and hand the banks to the batch kernels. Packing
+/// copies values bit-for-bit — no renormalization, no re-extraction — so
+/// a warm run scores exactly what the cold run scored.
+struct StoredViewBanks {
+  FeatureBank features;
+  FloatDescriptorBank float_bank;
+  BinaryDescriptorBank binary_bank;
+  /// Per-view [begin, end) row ranges into float_bank / binary_bank.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> float_ranges;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> binary_ranges;
+};
+
+/// Packs stored views into SoA banks (counts `serve.store.packed_views`).
+/// Views with float descriptors must agree on descriptor dimension.
+[[nodiscard]] StoredViewBanks PackStoredViews(
+    const std::vector<StoredView>& views);
 
 /// Stable fingerprint of every extraction option that changes record
 /// content. Loading a store written under different options fails instead

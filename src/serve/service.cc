@@ -488,6 +488,8 @@ std::string RecognitionService::StatusJson() const {
   json.EndObject();
   json.Key("approach");
   json.String(spec_.DisplayName());
+  json.Key("match_mode");
+  json.String(MatchModeName(options_.engine.match_mode));
   json.Key("stats");
   json.BeginObject();
   json.Key("submitted");

@@ -160,6 +160,66 @@ TEST(EmptyHistCompareTest, CorrelationTreatsFlatAsCorrelated) {
       CompareHistograms(empty, empty, HistCompareMethod::kCorrelation), 1.0);
 }
 
+TEST(EmptyHistCompareTest, CorrelationOneSidedFlatIsAntiCorrelated) {
+  // Regression: exactly one flat operand used to return 1.0 (the both-flat
+  // answer), letting a fully masked-out histogram beat every real one in a
+  // correlation argmax. A 0/0 Pearson coefficient against a real histogram
+  // must report the similarity floor instead.
+  ColorHistogram flat(4);
+  ColorHistogram real(4);
+  real.At(1, 2, 3) = 0.8;
+  real.At(0, 0, 0) = 0.2;
+  EXPECT_DOUBLE_EQ(
+      CompareHistograms(flat, real, HistCompareMethod::kCorrelation), -1.0);
+  EXPECT_DOUBLE_EQ(
+      CompareHistograms(real, flat, HistCompareMethod::kCorrelation), -1.0);
+
+  // Uniform (non-empty but deviation-free) histograms count as flat too.
+  ColorHistogram uniform(4);
+  for (double& bin : uniform.bins()) {
+    bin = 1.0 / static_cast<double>(uniform.num_bins());
+  }
+  EXPECT_DOUBLE_EQ(
+      CompareHistograms(uniform, real, HistCompareMethod::kCorrelation),
+      -1.0);
+  EXPECT_DOUBLE_EQ(
+      CompareHistograms(uniform, uniform, HistCompareMethod::kCorrelation),
+      1.0);
+}
+
+TEST(HistCompareTest, RawCoreMatchesWrapper) {
+  ColorHistogram a(4);
+  ColorHistogram b(4);
+  a.At(0, 1, 2) = 0.6;
+  a.At(2, 2, 2) = 0.4;
+  b.At(0, 1, 2) = 0.3;
+  b.At(3, 0, 1) = 0.7;
+  for (const auto method :
+       {HistCompareMethod::kCorrelation, HistCompareMethod::kChiSquare,
+        HistCompareMethod::kIntersection, HistCompareMethod::kHellinger}) {
+    EXPECT_EQ(CompareHistogramsRaw(a.bins().data(), b.bins().data(),
+                                   a.num_bins(), method),
+              CompareHistograms(a, b, method));
+  }
+}
+
+TEST(ColorHistogramTest, NormalizeL1IsIdempotent) {
+  // Renormalizing an already-normalized histogram must not drift any bin:
+  // dividing by a total of 0.99999... would break the bit-identity
+  // contract between cold histograms and packed SoA bank rows.
+  ColorHistogram h(4);
+  h.At(0, 0, 0) = 3.0;
+  h.At(1, 2, 3) = 7.0;
+  h.At(3, 3, 3) = 11.0;
+  h.NormalizeL1();
+  const std::vector<double> once = h.bins();
+  h.NormalizeL1();
+  ASSERT_EQ(h.bins().size(), once.size());
+  for (std::size_t i = 0; i < once.size(); ++i) {
+    EXPECT_EQ(h.bins()[i], once[i]) << "bin " << i;
+  }
+}
+
 TEST(HistCompareTest, DisjointHistogramsAreMaximallyDissimilar) {
   ColorHistogram a(4);
   ColorHistogram b(4);

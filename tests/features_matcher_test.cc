@@ -219,6 +219,109 @@ TEST(KdTreeTest, DuplicatePointsHandled) {
   EXPECT_NEAR(knn[0][0].distance, 0.0f, 1e-6);
 }
 
+// Differential contract against brute force: with an exhaustive budget the
+// tree is exact for every k, including k > train size, and list sizes are
+// always min(k, train size).
+TEST(KdTreeTest, DifferentialAgainstBruteForce) {
+  Rng rng(505);
+  const auto train = RandomDescriptors(97, 12, rng);  // Odd size: uneven splits.
+  const auto query = RandomDescriptors(25, 12, rng);
+  KdTreeMatcher tree(train, /*max_leaf_checks=*/100000);
+  for (const int k : {1, 2, 5, 97, 200}) {
+    const auto knn_tree = tree.KnnMatch(query, k);
+    const auto knn_bf = KnnMatchBruteForce(query, train, k);
+    ASSERT_EQ(knn_tree.size(), knn_bf.size());
+    const std::size_t expect_len =
+        std::min<std::size_t>(static_cast<std::size_t>(k), train.size());
+    for (std::size_t i = 0; i < knn_tree.size(); ++i) {
+      ASSERT_EQ(knn_tree[i].size(), expect_len) << "k=" << k;
+      ASSERT_EQ(knn_bf[i].size(), expect_len) << "k=" << k;
+      for (std::size_t j = 0; j < expect_len; ++j) {
+        EXPECT_EQ(knn_tree[i][j].train_idx, knn_bf[i][j].train_idx)
+            << "query " << i << " rank " << j << " k=" << k;
+        EXPECT_EQ(knn_tree[i][j].distance, knn_bf[i][j].distance);
+      }
+    }
+  }
+}
+
+// Regression: a leaf-check budget smaller than k used to truncate result
+// lists below min(k, train size), which made RatioTestFilter keep
+// unvettable single-neighbour lists the brute-force path would have
+// tested (and possibly dropped) as ambiguous. The budget bounds extra
+// backtracking only — never the result count.
+TEST(KdTreeTest, TinyBudgetStillReturnsMinKNeighbours) {
+  Rng rng(606);
+  const auto train = RandomDescriptors(128, 8, rng);
+  const auto query = RandomDescriptors(20, 8, rng);
+  for (const int budget : {1, 2, 7}) {
+    KdTreeMatcher tree(train, budget);
+    for (const int k : {1, 2, 4}) {
+      const auto knn = tree.KnnMatch(query, k);
+      for (const auto& list : knn) {
+        ASSERT_EQ(list.size(), static_cast<std::size_t>(k))
+            << "budget=" << budget << " k=" << k;
+        for (std::size_t j = 1; j < list.size(); ++j) {
+          EXPECT_LE(list[j - 1].distance, list[j].distance);
+        }
+      }
+    }
+  }
+}
+
+TEST(KdTreeTest, KGreaterThanTrainSizeMatchesBruteForce) {
+  Rng rng(707);
+  const auto train = RandomDescriptors(5, 4, rng);
+  const auto query = RandomDescriptors(3, 4, rng);
+  KdTreeMatcher tree(train, 100000);
+  const auto knn_tree = tree.KnnMatch(query, 9);
+  const auto knn_bf = KnnMatchBruteForce(query, train, 9);
+  for (std::size_t i = 0; i < knn_tree.size(); ++i) {
+    ASSERT_EQ(knn_tree[i].size(), train.size());
+    for (std::size_t j = 0; j < train.size(); ++j) {
+      EXPECT_EQ(knn_tree[i][j].train_idx, knn_bf[i][j].train_idx);
+    }
+  }
+}
+
+TEST(KdTreeTest, DuplicatePointsAgreeWithBruteForceDistances) {
+  // All-identical training points: every neighbour is at distance 0 and
+  // the list still holds k distinct train indices.
+  std::vector<FloatDescriptor> train(20, FloatDescriptor{4.0f, -2.0f, 1.0f});
+  KdTreeMatcher tree(train, 100000);
+  const auto knn = tree.KnnMatch({{4.0f, -2.0f, 1.0f}}, 3);
+  ASSERT_EQ(knn[0].size(), 3u);
+  std::array<int, 3> seen{};
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(knn[0][j].distance, 0.0f);
+    seen[j] = knn[0][j].train_idx;
+  }
+  EXPECT_NE(seen[0], seen[1]);
+  EXPECT_NE(seen[1], seen[2]);
+}
+
+TEST(KdTreeTest, RatioTestParityWithBruteForceUnderSmallBudget) {
+  Rng rng(808);
+  const auto train = RandomDescriptors(200, 6, rng);
+  const auto query = RandomDescriptors(40, 6, rng);
+  // Exhaustive budget: 2-NN lists match brute force, so the ratio filter
+  // keeps and drops exactly the same matches.
+  KdTreeMatcher tree(train, 100000);
+  const auto kept_tree = RatioTestFilter(tree.KnnMatch(query, 2), 0.75f);
+  const auto kept_bf =
+      RatioTestFilter(KnnMatchBruteForce(query, train, 2), 0.75f);
+  ASSERT_EQ(kept_tree.size(), kept_bf.size());
+  for (std::size_t i = 0; i < kept_tree.size(); ++i) {
+    EXPECT_EQ(kept_tree[i].query_idx, kept_bf[i].query_idx);
+    EXPECT_EQ(kept_tree[i].train_idx, kept_bf[i].train_idx);
+  }
+  // Tiny budget: lists are full-length (2 entries), so every kept match
+  // still passed a genuine ratio test rather than a truncation loophole.
+  KdTreeMatcher small(train, 3);
+  const auto knn_small = small.KnnMatch(query, 2);
+  for (const auto& list : knn_small) ASSERT_EQ(list.size(), 2u);
+}
+
 TEST(KdTreeTest, QueryIdxPopulated) {
   Rng rng(404);
   const auto train = RandomDescriptors(32, 4, rng);

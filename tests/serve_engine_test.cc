@@ -172,6 +172,101 @@ TEST(RunApproachBatchedTest, ReportMatchesColdRunApproach) {
   }
 }
 
+/// --match-mode=exact must stay bit-identical to the cold classifier for
+/// every approach (it is the default, so BitIdentityTest above already
+/// covers it implicitly; this pins the explicit option).
+TEST(MatchModeTest, ExactModeIsBitIdenticalForAllApproaches) {
+  auto& ctx = Context();
+  const auto& inputs = ctx.Sns2Features();
+  const auto& gallery = ctx.Sns1Features();
+  for (const ApproachSpec& spec : Table2Approaches()) {
+    auto cold = MakeClassifier(spec, gallery, ctx.config().seed);
+    ASSERT_TRUE(cold.ok());
+    const auto expected = cold.value()->ClassifyAll(inputs);
+
+    BatchEngineOptions options;
+    options.match_mode = MatchMode::kExact;
+    options.num_shards = 3;
+    auto engine = BatchEngine::Create(spec, gallery, options,
+                                      ctx.config().seed);
+    ASSERT_TRUE(engine.ok());
+    EXPECT_EQ(engine.value()->ClassifyBatch(Pointers(inputs)), expected)
+        << spec.DisplayName();
+  }
+}
+
+/// With a candidate budget covering the whole gallery, ANN retrieval
+/// proposes every usable view, so exact rerank reproduces the exact-mode
+/// labels bit for bit — the recall knob degrades gracefully to exact.
+TEST(MatchModeTest, AnnWithFullBudgetMatchesExact) {
+  auto& ctx = Context();
+  const auto& inputs = ctx.Sns2Features();
+  const auto& gallery = ctx.Sns1Features();
+  for (const std::size_t approach : {std::size_t{1}, std::size_t{4},
+                                     std::size_t{6}, std::size_t{10}}) {
+    const ApproachSpec spec = Table2Approaches()[approach];
+    auto cold = MakeClassifier(spec, gallery, ctx.config().seed);
+    ASSERT_TRUE(cold.ok());
+    const auto expected = cold.value()->ClassifyAll(inputs);
+
+    BatchEngineOptions options;
+    options.match_mode = MatchMode::kAnn;
+    options.ann.candidates = static_cast<int>(gallery.size());
+    options.num_shards = 3;
+    auto engine = BatchEngine::Create(spec, gallery, options,
+                                      ctx.config().seed);
+    ASSERT_TRUE(engine.ok());
+    EXPECT_EQ(engine.value()->ClassifyBatch(Pointers(inputs)), expected)
+        << spec.DisplayName();
+  }
+}
+
+/// A small candidate budget trades recall for speed but must stay a valid
+/// classification (labels drawn from the gallery's classes) with high
+/// agreement against exact mode on this small context.
+TEST(MatchModeTest, AnnWithSmallBudgetKeepsHighRecall) {
+  auto& ctx = Context();
+  const auto& inputs = ctx.Sns2Features();
+  const auto& gallery = ctx.Sns1Features();
+  ApproachSpec spec;
+  spec.kind = ApproachSpec::Kind::kHybrid;
+  spec.alpha = 0.3;
+  spec.beta = 0.7;
+
+  BatchEngineOptions exact_opts;
+  auto exact = BatchEngine::Create(spec, gallery, exact_opts,
+                                   ctx.config().seed);
+  ASSERT_TRUE(exact.ok());
+  const auto expected = exact.value()->ClassifyBatch(Pointers(inputs));
+
+  BatchEngineOptions ann_opts;
+  ann_opts.match_mode = MatchMode::kAnn;
+  ann_opts.ann.candidates = 16;
+  auto ann = BatchEngine::Create(spec, gallery, ann_opts, ctx.config().seed);
+  ASSERT_TRUE(ann.ok());
+  const auto actual = ann.value()->ClassifyBatch(Pointers(inputs));
+
+  ASSERT_EQ(actual.size(), expected.size());
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    if (actual[i] == expected[i]) ++agree;
+  }
+  EXPECT_GE(static_cast<double>(agree),
+            0.95 * static_cast<double>(expected.size()));
+}
+
+TEST(MatchModeTest, ParseAndNameRoundTrip) {
+  const auto exact = ParseMatchMode("exact");
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact.value(), MatchMode::kExact);
+  const auto ann = ParseMatchMode("ann");
+  ASSERT_TRUE(ann.ok());
+  EXPECT_EQ(ann.value(), MatchMode::kAnn);
+  EXPECT_FALSE(ParseMatchMode("fuzzy").ok());
+  EXPECT_STREQ(MatchModeName(MatchMode::kExact), "exact");
+  EXPECT_STREQ(MatchModeName(MatchMode::kAnn), "ann");
+}
+
 TEST(RunApproachBatchedTest, EmptyGalleryPropagatesStatus) {
   ApproachSpec spec;
   spec.kind = ApproachSpec::Kind::kColor;

@@ -561,8 +561,19 @@ bool IsValidBenchKey(std::string_view name) {
   return true;
 }
 
+// Span/metric name vocabulary: the leading segment must name a module of
+// the layers.toml DAG (or `bench` for the table runners) so grepping a
+// metric dump by layer always works. Growing a layer's vocabulary
+// (e.g. `core.bank.*` for the SoA feature banks or `features.ann.*` for
+// the ANN index) needs no lint change; inventing a new first segment does.
+// `test` is reserved for test-local fixture names.
+constexpr std::array<std::string_view, 12> kObsNameLayers = {
+    "bench", "core", "data",      "features", "geometry", "img",
+    "nn",    "obs",  "knowledge", "serve",    "test",     "util"};
+
 // Lowercase dotted name: >= 2 non-empty dot-separated segments of
-// [a-z0-9_-] characters. Mirrors obs::IsValidMetricName.
+// [a-z0-9_-] characters, the first from the layer vocabulary. Mirrors
+// obs::IsValidMetricName plus the vocabulary restriction.
 bool IsValidObsName(std::string_view name) {
   if (name.empty() || name.front() == '.' || name.back() == '.') return false;
   bool has_dot = false;
@@ -578,7 +589,12 @@ bool IsValidObsName(std::string_view name) {
     }
     prev = c;
   }
-  return has_dot;
+  if (!has_dot) return false;
+  const std::string_view first = name.substr(0, name.find('.'));
+  for (std::string_view layer : kObsNameLayers) {
+    if (first == layer) return true;
+  }
+  return false;
 }
 
 void CheckSpanMetricNames(const SourceFile& file, std::vector<Violation>* out) {
@@ -617,7 +633,8 @@ void CheckSpanMetricNames(const SourceFile& file, std::vector<Violation>* out) {
     };
     check_patterns(kObsNamePatterns, IsValidObsName,
                    "must be lowercase dotted `layer.stage.detail` "
-                   "([a-z0-9_-] segments, at least one dot)");
+                   "([a-z0-9_-] segments, at least one dot, first segment "
+                   "a known layer)");
     check_patterns(kBenchKeyPatterns, IsValidBenchKey,
                    "is a bench telemetry JSON key and must be lowercase "
                    "snake_case ([a-z][a-z0-9_]*)");

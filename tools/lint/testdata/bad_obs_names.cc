@@ -78,6 +78,26 @@ void ObservabilityNames() {
   registry.gauge("serve.slo availability").Set(1.0);  // EXPECT-LINT: span-metric-name
 }
 
+void BankAndAnnNames() {
+  // Vocabulary of the SoA feature banks and the gallery ANN index: the
+  // first segment must be a module of the layer DAG, so the bank/ann
+  // families live under their owning layers rather than inventing one.
+  auto& registry = snor::obs::MetricsRegistry::Global();
+  registry.gauge("core.bank.views").Set(1.0);
+  registry.gauge("core.bank.bytes").Set(64.0);
+  SNOR_TRACE_SPAN("core.bank.pack");
+  SNOR_TRACE_SPAN("core.bank.index_build");
+  registry.gauge("features.ann.points").Set(1.0);
+  registry.counter("features.ann.candidates").Increment();
+  SNOR_TRACE_SPAN("features.ann.build");
+  SNOR_TRACE_SPAN("serve.engine.ann_rerank");
+  registry.counter("serve.engine.ann_full_scans").Increment();
+  registry.gauge("serve.engine.match_mode").Set(0.0);
+  registry.counter("bank.views").Increment();  // EXPECT-LINT: span-metric-name
+  SNOR_TRACE_SPAN("ann.index.build");  // EXPECT-LINT: span-metric-name
+  SNOR_TRACE_SPAN("engine.ann.rerank");  // EXPECT-LINT: span-metric-name
+}
+
 void Metrics() {
   auto& registry = snor::obs::MetricsRegistry::Global();
   registry.counter("core.classify.items").Increment();

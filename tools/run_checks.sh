@@ -92,6 +92,15 @@ echo "== introspect-smoke: live /healthz /metricsz /statusz /tracez =="
 # non-200 answer or invalid JSON body fails the run.
 ctest --test-dir build-check -R IntrospectSmoke --output-on-failure
 
+echo "== match-regression: exact identity + ann recall/speedup bands =="
+# Blocking matching gate against bench/match_baseline.txt: every Table-2
+# approach must stay bit-identical to the cold classifier in exact mode,
+# exact-mode match_s must stay within the checked-in ratio band of the
+# cold scan, and the ANN path must keep recall@1 and its speedup over
+# exact inside the bands. Ratios, not absolute times, so the gate is
+# host-independent.
+ctest --test-dir build-check -R MatchRegressionGate --output-on-failure
+
 if [[ $run_asan -eq 1 ]]; then
   echo "== asan: AddressSanitizer + UBSan =="
   cmake --preset asan
