@@ -33,6 +33,7 @@
 #include "features/ann.h"
 #include "features/keypoint.h"
 #include "features/matcher.h"
+#include "util/thread_annotations.h"
 
 namespace snor {
 
@@ -41,7 +42,13 @@ namespace snor {
 /// Rows are padded to a 64-byte stride (8 doubles) so consecutive views
 /// never straddle the same cache line pair and the autovectorizer sees
 /// constant-stride streams. Pad lanes are zero and never read.
-struct FeatureBank {
+///
+/// OWNS_VIEWS: row accessors hand out borrowed pointers into the flat
+/// arrays. A row pointer dies when the bank is destroyed, reassigned,
+/// swapped, or repacked — take rows inside the scan that uses them
+/// (never across a snapshot swap) and re-derive after any reload. The
+/// snor_analyze borrow pass enforces this generation discipline.
+struct SNOR_OWNS_VIEWS FeatureBank {
   /// Hu rows are 7 moments + 1 zero pad lane.
   static constexpr std::size_t kHuStride = 8;
 
@@ -60,10 +67,10 @@ struct FeatureBank {
   std::size_t size() const { return num_views; }
   bool empty() const { return num_views == 0; }
 
-  const double* HuRow(std::size_t i) const {
+  const double* HuRow(std::size_t i) const SNOR_LIFETIME_BOUND {
     return hu.data() + i * kHuStride;
   }
-  const double* HistRow(std::size_t i) const {
+  const double* HistRow(std::size_t i) const SNOR_LIFETIME_BOUND {
     return hist.data() + i * hist_stride;
   }
   bool IsValid(std::size_t i) const { return valid[i] != 0; }
@@ -131,13 +138,18 @@ void BankHybridScoresOverCandidates(
 
 /// \brief Flat bank of equal-length float descriptors (one row per
 /// descriptor, stride padded to 16 floats / 64 bytes).
-struct FloatDescriptorBank {
+///
+/// OWNS_VIEWS: Row() borrows from `data` under the same generation
+/// discipline as FeatureBank.
+struct SNOR_OWNS_VIEWS FloatDescriptorBank {
   std::size_t count = 0;
   std::size_t dim = 0;
   std::size_t stride = 0;
   std::vector<float> data;
 
-  const float* Row(std::size_t i) const { return data.data() + i * stride; }
+  const float* Row(std::size_t i) const SNOR_LIFETIME_BOUND {
+    return data.data() + i * stride;
+  }
 };
 
 /// All descriptors must share one dimension.
@@ -165,13 +177,16 @@ void BankFloatSquaredL2(const FloatDescriptorBank& bank,
                         const FloatDescriptor& query, float* out);
 
 /// \brief Flat bank of 256-bit binary descriptors as aligned u64 words.
-struct BinaryDescriptorBank {
+///
+/// OWNS_VIEWS: Row() borrows from `words` under the same generation
+/// discipline as FeatureBank.
+struct SNOR_OWNS_VIEWS BinaryDescriptorBank {
   static constexpr std::size_t kWordsPerRow = 4;  // 256 bits.
 
   std::size_t count = 0;
   std::vector<std::uint64_t> words;  ///< count * kWordsPerRow.
 
-  const std::uint64_t* Row(std::size_t i) const {
+  const std::uint64_t* Row(std::size_t i) const SNOR_LIFETIME_BOUND {
     return words.data() + i * kWordsPerRow;
   }
 };

@@ -27,6 +27,12 @@ struct AnnOptions {
 /// AnnIndex over the embeddings, and rerank the returned candidate ids
 /// with the exact distance kernels. The index itself is deterministic:
 /// same points, ids, and query always yield the same candidate list.
+///
+/// Borrow contract: every query returns candidate ids *by value* — the
+/// index never hands out pointers or iterators into its own storage, so
+/// it needs no LIFETIME-BOUND annotations and results stay valid across
+/// index rebuilds (the snor_analyze borrow pass has nothing to track
+/// here by construction).
 class AnnIndex {
  public:
   /// Builds an index over `points` (all the same dimension). `ids[i]` is

@@ -26,6 +26,7 @@
 #include "core/feature_bank.h"
 #include "obs/trace.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace snor::serve {
 
@@ -60,7 +61,14 @@ struct BatchEngineOptions {
 };
 
 /// \brief Matches query batches against a sharded in-memory gallery.
-class BatchEngine {
+///
+/// Owns the gallery's SoA banks (OWNS_VIEWS): shard workers borrow bank
+/// rows only inside their ClassifyBatch scan, so a future live gallery
+/// snapshot-swap (ROADMAP item 1) can replace `bank_`/`gallery_` between
+/// batches without ever racing a borrowed row. The snor_analyze borrow
+/// pass flags any row view that crosses a dispatch or generation
+/// boundary.
+class SNOR_OWNS_VIEWS BatchEngine {
  public:
   /// Validating factory, mirroring `MakeClassifier`: fails with
   /// `InvalidArgument` on an empty gallery and `Unavailable` when no

@@ -273,6 +273,9 @@ Result<std::vector<StoredView>> LoadFeatureStore(
       InjectFault(FaultPoint::kIoRead, "LoadFeatureStore " + path));
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open for reading: " + path);
+  in.seekg(0, std::ios::end);
+  const std::uint64_t file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
 
   char magic[8];
   in.read(magic, sizeof(magic));
@@ -315,6 +318,20 @@ Result<std::vector<StoredView>> LoadFeatureStore(
     if (!read_pod(&payload_size) || payload_size > kMaxRecordBytes) {
       return Status::IoError(
           StrFormat("bad record size at record %u: %s", i, path.c_str()));
+    }
+    // Reject a declared length larger than what the file can still hold
+    // BEFORE allocating: a corrupt 4-byte length field must not trigger a
+    // multi-hundred-megabyte resize just to discover truncation on read.
+    const std::uint64_t offset = static_cast<std::uint64_t>(in.tellg());
+    if (offset > file_size ||
+        std::uint64_t{payload_size} + sizeof(std::uint64_t) >
+            file_size - offset) {
+      return Status::IoError(StrFormat(
+          "record %u declares %u payload byte(s) but only %llu remain: %s",
+          i, payload_size,
+          static_cast<unsigned long long>(
+              file_size > offset ? file_size - offset : 0),
+          path.c_str()));
     }
     payload.resize(payload_size);
     in.read(payload.data(), static_cast<std::streamsize>(payload_size));

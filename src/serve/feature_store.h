@@ -64,7 +64,12 @@ struct StoredView {
 /// once, pack them, and hand the banks to the batch kernels. Packing
 /// copies values bit-for-bit — no renormalization, no re-extraction — so
 /// a warm run scores exactly what the cold run scored.
-struct StoredViewBanks {
+///
+/// Generation discipline: rows borrowed from these banks (see the
+/// OWNS_VIEWS contracts in core/feature_bank.h) die when the aggregate
+/// is reloaded or repacked — LoadOrComputeFeatures round-trips replace
+/// the whole generation, so borrowed rows must never be held across one.
+struct StoredViewBanks {  // SNOR_OWNS_VIEWS
   FeatureBank features;
   FloatDescriptorBank float_bank;
   BinaryDescriptorBank binary_bank;

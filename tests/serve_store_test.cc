@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iterator>
 #include <string>
@@ -179,6 +180,61 @@ TEST(FeatureStoreTest, TruncatedFileIsIoError) {
     std::ofstream f(path, std::ios::binary);
     f.write(raw.data(), static_cast<std::streamsize>(raw.size() - 9));
   }
+  auto loaded = LoadFeatureStore(path, 5);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(FeatureStoreTest, OversizedRecordLengthIsRejectedBeforeAllocating) {
+  const std::string path = testing::TempDir() + "/snor_store_oversize.fst";
+  ASSERT_TRUE(
+      SaveFeatureStore(path, 5, {MakeView(3, 0, true, 77)}).ok());
+  std::string raw;
+  {
+    std::ifstream f(path, std::ios::binary);
+    raw.assign(std::istreambuf_iterator<char>(f), {});
+  }
+  // Overwrite the first record's length field (it sits right after the
+  // 24-byte header) with ~200 MiB — under the absolute record cap, but
+  // far beyond what this tiny file holds. The loader must reject the
+  // declared length against the remaining file size BEFORE allocating a
+  // payload buffer for it.
+  const std::uint32_t bogus_size = 200u * 1024u * 1024u;
+  ASSERT_GE(raw.size(), 24u + sizeof(bogus_size));
+  std::memcpy(raw.data() + 24, &bogus_size, sizeof(bogus_size));
+  {
+    std::ofstream f(path, std::ios::binary);
+    f.write(raw.data(), static_cast<std::streamsize>(raw.size()));
+  }
+  auto loaded = LoadFeatureStore(path, 5);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  // The pre-allocation bounds check fired, not the post-read truncation
+  // path: the message reports how many bytes actually remain.
+  EXPECT_NE(loaded.status().message().find("remain"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST(FeatureStoreTest, RecordLengthPastEofUnderIoReadFaultStaysAnError) {
+  // Same corruption with the io-read fault armed at a rate of zero: the
+  // fault plumbing must not mask the bounds rejection.
+  const std::string path = testing::TempDir() + "/snor_store_oversize2.fst";
+  ASSERT_TRUE(
+      SaveFeatureStore(path, 5, {MakeView(4, 1, true, 78)}).ok());
+  std::string raw;
+  {
+    std::ifstream f(path, std::ios::binary);
+    raw.assign(std::istreambuf_iterator<char>(f), {});
+  }
+  const std::uint32_t bogus_size =
+      static_cast<std::uint32_t>(raw.size());  // > remaining by definition.
+  ASSERT_GE(raw.size(), 24u + sizeof(bogus_size));
+  std::memcpy(raw.data() + 24, &bogus_size, sizeof(bogus_size));
+  {
+    std::ofstream f(path, std::ios::binary);
+    f.write(raw.data(), static_cast<std::streamsize>(raw.size()));
+  }
+  ScopedFault io_read(FaultPoint::kIoRead, 0.0, 7);
   auto loaded = LoadFeatureStore(path, 5);
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);

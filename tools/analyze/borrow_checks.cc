@@ -1,0 +1,164 @@
+#include "borrow_checks.h"
+
+#include <string>
+#include <utility>
+
+namespace snor_analyze {
+
+namespace {
+
+const char kRuleViewReturn[] = "view-return";
+const char kRuleViewEscape[] = "view-escape";
+const char kRuleViewGeneration[] = "view-generation";
+const char kRuleViewInvalidation[] = "view-invalidation";
+
+void Report(const CallGraph& graph, const FunctionRef& site, int line,
+            const char* rule, std::string message,
+            std::vector<Finding>* out) {
+  const TuSummary& tu = graph.tus()[site.tu];
+  if (tu.Suppressed(line, rule)) return;
+  out->push_back({tu.path, line, rule, std::move(message), false});
+}
+
+const char* ViewReturnName(ViewReturn vr) {
+  switch (vr) {
+    case ViewReturn::kNone: return "value";
+    case ViewReturn::kPointer: return "raw pointer";
+    case ViewReturn::kSpan: return "std::span";
+    case ViewReturn::kStringView: return "std::string_view";
+    case ViewReturn::kIterator: return "iterator";
+  }
+  return "value";
+}
+
+// The provenance fragment of a finding message: how we know the bound
+// value is a view, and of what.
+std::string Provenance(const BorrowCandidate& b) {
+  std::string out;
+  if (!b.var.empty()) {
+    out += "view '" + b.var + "'";
+  } else {
+    out += "a view";
+  }
+  if (!b.owner.empty()) out += " of '" + b.owner + "'";
+  if (!b.view_callee.empty()) {
+    out += " (via " + b.view_callee + "())";
+  }
+  return out;
+}
+
+std::string BindSuffix(const BorrowCandidate& b) {
+  if (b.bind_line <= 0 || b.bind_line == b.line) return std::string();
+  return " [borrowed at line " + std::to_string(b.bind_line) + "]";
+}
+
+}  // namespace
+
+void CheckViewReturns(const CallGraph& graph, std::vector<Finding>* out) {
+  const std::vector<TuSummary>& tus = graph.tus();
+  for (std::size_t t = 0; t < tus.size(); ++t) {
+    for (std::size_t f = 0; f < tus[t].functions.size(); ++f) {
+      const FunctionRef ref{t, f};
+      const FunctionSummary& fn = graph.Fn(ref);
+      if (fn.view_return == ViewReturn::kNone || fn.lifetime_bound) {
+        continue;
+      }
+      // span/string_view are views by type, anywhere. Raw pointers and
+      // iterators are only borrows when the class hands out views of
+      // owned storage (OWNS_VIEWS) — flagging every pointer return
+      // tree-wide would bury the signal in factory/tag lookups.
+      const bool typed_view = fn.view_return == ViewReturn::kSpan ||
+                              fn.view_return == ViewReturn::kStringView;
+      if (!typed_view && !graph.IsOwnerClass(fn.cls)) continue;
+      std::string name = fn.cls.empty() ? fn.name : fn.cls + "::" + fn.name;
+      Report(graph, ref, fn.line, kRuleViewReturn,
+             name + " returns a borrowed view (" +
+                 ViewReturnName(fn.view_return) +
+                 ") without a LIFETIME_BOUND annotation tying it to its "
+                 "owner",
+             out);
+    }
+  }
+}
+
+void CheckBorrowCandidates(const CallGraph& graph,
+                           std::vector<Finding>* out) {
+  const std::vector<TuSummary>& tus = graph.tus();
+  for (std::size_t t = 0; t < tus.size(); ++t) {
+    for (std::size_t f = 0; f < tus[t].functions.size(); ++f) {
+      const FunctionRef ref{t, f};
+      const FunctionSummary& fn = graph.Fn(ref);
+      for (const BorrowCandidate& b : fn.borrows) {
+        // Is the bound value actually a view? Definite when pass 1 saw
+        // data()/&v[i]/span-typed binds; otherwise resolved against the
+        // cross-TU ReturnsView relation.
+        if (!b.view_callee.empty() && !graph.ReturnsView(b.view_callee)) {
+          continue;
+        }
+        switch (b.kind) {
+          case BorrowCandidate::kEscapeMember: {
+            if (graph.IsSanctionedMember(b.detail)) break;
+            Report(graph, ref, b.line, kRuleViewEscape,
+                   Provenance(b) + " stored into member '" + b.detail +
+                       "' outlives the borrow; copy the data or mark "
+                       "the member OWNS_VIEWS with generation discipline" +
+                       BindSuffix(b),
+                   out);
+            break;
+          }
+          case BorrowCandidate::kEscapeStatic: {
+            Report(graph, ref, b.line, kRuleViewEscape,
+                   Provenance(b) + " stored into '" + b.detail +
+                       "' outlives every borrow; copy the data instead" +
+                       BindSuffix(b),
+                   out);
+            break;
+          }
+          case BorrowCandidate::kEscapeCapture: {
+            Report(graph, ref, b.line, kRuleViewEscape,
+                   Provenance(b) + " captured by a lambda handed to " +
+                       b.detail + "; take the view inside the worker so "
+                       "it cannot cross a snapshot swap" +
+                       BindSuffix(b),
+                   out);
+            break;
+          }
+          case BorrowCandidate::kGeneration: {
+            // Helper-mediated kills must be confirmed against the
+            // kills-closure; direct swap/reset/Load* already are kills.
+            std::string via = b.detail;
+            if (!b.kill_callee.empty()) {
+              if (!graph.KillsParam(b.kill_callee, b.kill_arg)) break;
+              via = b.kill_callee + "() -> generation kill of '" +
+                    b.owner + "'";
+            } else {
+              via = "'" + b.owner + "." + b.detail + "'";
+              if (b.detail == "operator=") via = "reassignment of '" + b.owner + "'";
+              if (b.detail == "std::swap") via = "std::swap of '" + b.owner + "'";
+            }
+            Report(graph, ref, b.line, kRuleViewGeneration,
+                   Provenance(b) + " used after " + via +
+                       " replaced the owner's generation" + BindSuffix(b),
+                   out);
+            break;
+          }
+          case BorrowCandidate::kInvalidation: {
+            Report(graph, ref, b.line, kRuleViewInvalidation,
+                   Provenance(b) + " used after '" + b.owner + "." +
+                       b.detail + "()' may have reallocated the storage "
+                       "it points into" + BindSuffix(b),
+                   out);
+            break;
+          }
+        }
+      }
+    }
+  }
+}
+
+void RunBorrowChecks(const CallGraph& graph, std::vector<Finding>* out) {
+  CheckViewReturns(graph, out);
+  CheckBorrowCandidates(graph, out);
+}
+
+}  // namespace snor_analyze

@@ -1,0 +1,51 @@
+#ifndef SNOR_TOOLS_ANALYZE_BORROW_CHECKS_H_
+#define SNOR_TOOLS_ANALYZE_BORROW_CHECKS_H_
+
+// Pass 2, step 3: borrow/escape checks for borrowed views over a linked
+// CallGraph. A "view" is a raw pointer, std::span, std::string_view or
+// iterator whose storage is owned by someone else (a bank, store or
+// container). Pass 1 records per-function borrow facts and candidate
+// hazards (summary.h); this pass resolves them cross-TU — whether a
+// producing call really returns a view (ReturnsView unanimity), whether
+// a helper call really kills its argument's generation (the
+// kills-closure), and whether a member store is sanctioned (OWNS_VIEWS)
+// — and reports the survivors:
+//
+//  view-return       A view-shaped return (span/string_view anywhere;
+//                    pointer/iterator on an OWNS_VIEWS class) without a
+//                    LIFETIME_BOUND annotation tying it to its owner.
+//                    String-literal-only returns are exempt (static
+//                    storage).
+//  view-escape       A view stored into a longer-lived location: a
+//                    class member (unless the member is OWNS_VIEWS-
+//                    sanctioned generation-managed storage), a static,
+//                    or a worker lambda handed to ParallelFor / a
+//                    dispatcher / the request queue.
+//  view-generation   A view used after its owner crossed a generation
+//                    boundary — swap / reset / Load* / reassignment,
+//                    directly or through a helper in the kills-closure.
+//                    This is the exact bug class a live gallery
+//                    snapshot-swap would introduce (ROADMAP item 1).
+//  view-invalidation A view used after a mutating container method
+//                    (push_back/resize/clear/…) on its owner may have
+//                    reallocated the storage it points into.
+//
+// All findings honour per-line NOLINT suppressions from the summaries.
+
+#include <vector>
+
+#include "callgraph.h"
+#include "lexer.h"
+
+namespace snor_analyze {
+
+void CheckViewReturns(const CallGraph& graph, std::vector<Finding>* out);
+void CheckBorrowCandidates(const CallGraph& graph,
+                           std::vector<Finding>* out);
+
+/// Runs both borrow checks (all four rule ids).
+void RunBorrowChecks(const CallGraph& graph, std::vector<Finding>* out);
+
+}  // namespace snor_analyze
+
+#endif  // SNOR_TOOLS_ANALYZE_BORROW_CHECKS_H_

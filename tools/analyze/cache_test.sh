@@ -9,7 +9,10 @@
 #   5. a corrupted cache entry (truncated / garbage) is rejected and
 #      rebuilt, never trusted or crashed on;
 #   6. io-read / truncated-file fault injection on every cache read
-#      degrades to a full re-summarize with correct findings.
+#      degrades to a full re-summarize with correct findings;
+#   7. --cache-max-bytes LRU eviction: an over-budget cache is trimmed
+#      oldest-first, and eviction only ever makes the next run colder —
+#      never changes findings.
 #
 # Usage: cache_test.sh <snor_analyze-binary> <scratch-dir>
 set -eu
@@ -117,5 +120,30 @@ expect "fault-injected" "3 file(s) (3 re-summarized, 0 cached)" "$out"
 # And the faults must not have poisoned the cache for the next run.
 out=$(run "--cache-salt 7") || fail "post-fault warm run exited non-zero"
 expect "post-fault-warm" "3 file(s) (0 re-summarized, 3 cached)" "$out"
+
+# 7a. LRU eviction, total wipe: a 1-byte budget evicts every entry. The
+#     run that evicted still used its warm cache (eviction happens after
+#     the store pass), the next run is fully cold, and findings are
+#     identical — eviction makes runs colder, never incorrect.
+out=$(run "--cache-salt 7 --cache-max-bytes 1") ||
+  fail "evict-all run exited non-zero"
+expect "evict-all" "3 file(s) (0 re-summarized, 3 cached)" "$out"
+expect "evict-all-findings" "0 finding(s)" "$out"
+[ -z "$(ls "$CACHE" 2>/dev/null)" ] || fail "1-byte budget left cache entries"
+out=$(run "--cache-salt 7") || fail "post-evict cold run exited non-zero"
+expect "post-evict-cold" "3 file(s) (3 re-summarized, 0 cached)" "$out"
+expect "post-evict-findings" "0 finding(s)" "$out"
+
+# 7b. LRU order: warm every entry, then set the budget one byte below
+#     the total. Exactly one entry — the least-recently-used one — is
+#     evicted, so the next run re-summarizes exactly one TU.
+out=$(run "--cache-salt 7") || fail "pre-evict warm run exited non-zero"
+expect "pre-evict-warm" "3 file(s) (0 re-summarized, 3 cached)" "$out"
+total=$(cat "$CACHE"/* | wc -c)
+out=$(run "--cache-salt 7 --cache-max-bytes $((total - 1))") ||
+  fail "evict-one run exited non-zero"
+[ "$(ls "$CACHE" | wc -l)" -eq 2 ] || fail "expected exactly one eviction"
+out=$(run "--cache-salt 7") || fail "post-evict-one run exited non-zero"
+expect "post-evict-one" "3 file(s) (1 re-summarized, 2 cached)" "$out"
 
 echo "cache_test: all checks passed"

@@ -44,11 +44,27 @@
 //   promise-exactly-once A promise-routing loop has a path that drops a
 //                        promise-carrying value or fulfils it twice.
 //
+// Borrow/escape dataflow for borrowed views (two-pass; see
+// borrow_checks.h; vocabulary in src/util/thread_annotations.h):
+//   view-return          A view-shaped return type (span/string_view
+//                        anywhere; pointer/iterator on an OWNS_VIEWS
+//                        class) without a LIFETIME_BOUND annotation.
+//   view-escape          A borrowed view stored into a class member
+//                        (unless OWNS_VIEWS-sanctioned), a static, or a
+//                        worker lambda handed to ParallelFor/dispatch.
+//   view-generation      A view used after its owner crossed a
+//                        generation boundary (swap/reset/Load*/
+//                        reassignment, directly or via the cross-TU
+//                        kills-closure) — the snapshot-swap bug class.
+//   view-invalidation    A view used after a mutating container method
+//                        (push_back/resize/clear/…) on its owner.
+//
 // Pass 1 builds one summary per TU (summary.h); summaries are cached on
 // disk (`--cache-dir`) keyed by content hash, format version and
 // `--cache-salt`, so a warm incremental run re-tokenizes only edited
-// TUs. Pass 2 (cross-TU linking + the four interprocedural checks) runs
-// from summaries every time — it is cheap relative to tokenization.
+// TUs (`--cache-max-bytes` LRU-bounds the cache directory). Pass 2
+// (cross-TU linking + the interprocedural checks) runs from summaries
+// every time — it is cheap relative to tokenization.
 //
 // Suppression: `// NOLINT(rule)` on the line, `// NOLINTNEXTLINE(rule)`
 // above it, or a (path, rule) entry in the baseline file
@@ -77,6 +93,7 @@
 #include <string_view>
 #include <vector>
 
+#include "borrow_checks.h"
 #include "callgraph.h"
 #include "concurrency_checks.h"
 #include "lexer.h"
@@ -1035,7 +1052,37 @@ constexpr RuleInfo kRules[] = {
      "Condition-variable wait without predicate or re-check loop"},
     {"promise-exactly-once",
      "A loop path drops a promise-carrying value or fulfils it twice"},
+    {"view-return",
+     "Borrowed-view return type without a LIFETIME_BOUND annotation"},
+    {"view-escape",
+     "Borrowed view stored into a member, static or worker lambda"},
+    {"view-generation",
+     "Borrowed view used after its owner crossed a generation boundary "
+     "(swap/reset/Load*/reassignment)"},
+    {"view-invalidation",
+     "Borrowed view used after a mutating container method on its owner"},
 };
+
+int RuleIndexOf(const std::string& rule) {
+  int index = 0;
+  for (const RuleInfo& r : kRules) {
+    if (rule == r.id) return index;
+    ++index;
+  }
+  return -1;
+}
+
+// Stable across line shifts: content hash of file + rule + message, the
+// token window SARIF consumers use to match results between runs.
+std::string FindingFingerprint(const Finding& f) {
+  std::uint64_t h = Fnv1a(f.file);
+  h = Fnv1aMix(h, f.rule);
+  h = Fnv1aMix(h, f.message);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
 
 std::string SarifReport(const std::vector<Finding>& findings) {
   std::ostringstream out;
@@ -1053,12 +1100,22 @@ std::string SarifReport(const std::vector<Finding>& findings) {
   }
   out << "]}},\"results\":[";
   first = true;
+  // Identical findings surfacing through several TUs (same file, rule
+  // and message — e.g. a header finding re-linked per includer) carry
+  // the same fingerprint; emit only the first so editors show one.
+  std::set<std::pair<std::string, std::string>> seen;
   for (const Finding& f : findings) {
+    const std::string fingerprint = FindingFingerprint(f);
+    if (!seen.insert({f.rule, fingerprint}).second) continue;
     if (!first) out << ",";
     first = false;
-    out << "{\"ruleId\":\"" << f.rule << "\",\"level\":\""
-        << (f.baselined ? "note" : "error") << "\",\"message\":{\"text\":\""
-        << JsonEscape(f.message) << "\"},\"locations\":[{"
+    out << "{\"ruleId\":\"" << f.rule << "\"";
+    const int rule_index = RuleIndexOf(f.rule);
+    if (rule_index >= 0) out << ",\"ruleIndex\":" << rule_index;
+    out << ",\"level\":\"" << (f.baselined ? "note" : "error")
+        << "\",\"message\":{\"text\":\"" << JsonEscape(f.message)
+        << "\"},\"partialFingerprints\":{\"snorContentHash/v1\":\""
+        << fingerprint << "\"},\"locations\":[{"
         << "\"physicalLocation\":{\"artifactLocation\":{\"uri\":\""
         << JsonEscape(f.file) << "\"},\"region\":{\"startLine\":" << f.line
         << "}}}]";
@@ -1112,6 +1169,7 @@ std::vector<std::string> CollectTreeFiles(const fs::path& root) {
 struct AnalyzeOptions {
   fs::path cache_dir;  // Empty = caching disabled.
   std::uint64_t cache_salt = 0;
+  std::uint64_t cache_max_bytes = 0;  // 0 = unbounded (no eviction).
 };
 
 struct AnalyzeResult {
@@ -1205,9 +1263,14 @@ bool AnalyzePaths(const std::vector<std::string>& paths,
     }
   }
 
+  // LRU-bound the cache after all stores/loads of this run: eviction
+  // only affects the NEXT run's warmth, never this run's findings.
+  EnforceCacheBudget(options.cache_dir, options.cache_max_bytes);
+
   CheckIncludeCycles(tus, &result->findings);
   const CallGraph graph(tus);
   RunConcurrencyChecks(graph, &result->findings);
+  RunBorrowChecks(graph, &result->findings);
   std::sort(result->findings.begin(), result->findings.end());
   result->findings.erase(
       std::unique(result->findings.begin(), result->findings.end(),
@@ -1405,6 +1468,8 @@ int main(int argc, char** argv) {
       options.cache_dir = argv[++i];
     } else if (arg == "--cache-salt" && i + 1 < argc) {
       options.cache_salt = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--cache-max-bytes" && i + 1 < argc) {
+      options.cache_max_bytes = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--fault-rate" && i + 1 < argc) {
       fault_rate = std::strtod(argv[++i], nullptr);
     } else if (arg == "--fault-seed" && i + 1 < argc) {
@@ -1418,14 +1483,17 @@ int main(int argc, char** argv) {
           "usage: snor_analyze [--root DIR] [--config layers.toml]\n"
           "                    [--baseline FILE] [--format=text|sarif]\n"
           "                    [--sarif-out FILE] [--cache-dir DIR]\n"
-          "                    [--cache-salt N] [--fault-rate P]\n"
-          "                    [--fault-seed N] [files...]\n"
+          "                    [--cache-salt N] [--cache-max-bytes N]\n"
+          "                    [--fault-rate P] [--fault-seed N]\n"
+          "                    [files...]\n"
           "       snor_analyze --self-test FIXTURE_DIR\n"
-          "Dependency-DAG, dataflow and whole-program concurrency\n"
-          "analysis over src/, bench/, examples/, tests/ and tools/\n"
-          "(see tools/analyze/layers.toml). --cache-dir enables the\n"
-          "incremental summary cache; --fault-rate arms io-read and\n"
-          "truncated-file faults on cache reads (recovery testing).\n");
+          "Dependency-DAG, dataflow, whole-program concurrency and\n"
+          "borrowed-view lifetime analysis over src/, bench/, examples/,\n"
+          "tests/ and tools/ (see tools/analyze/layers.toml).\n"
+          "--cache-dir enables the incremental summary cache;\n"
+          "--cache-max-bytes LRU-bounds it (0 = unbounded); --fault-rate\n"
+          "arms io-read and truncated-file faults on cache reads\n"
+          "(recovery testing).\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "snor_analyze: unknown flag %s\n", arg.c_str());

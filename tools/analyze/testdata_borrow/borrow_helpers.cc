@@ -1,0 +1,19 @@
+// ANALYZE-AS: tests/borrow/borrow_helpers.cc
+// Kill-set helpers for the generation fixtures. RefreshBank kills its
+// argument's generation directly; ReloadEverything kills it through the
+// cross-TU kills-closure (it only forwards to RefreshBank);
+// LogBankStats merely reads and must NOT land in the closure.
+
+#include "borrow_helpers.h"
+
+void RefreshBank(SnapshotBank& bank) {
+  bank.LoadSnapshot("refresh");
+}
+
+void ReloadEverything(SnapshotBank& bank) {
+  RefreshBank(bank);
+}
+
+void LogBankStats(SnapshotBank& bank) {
+  Log(bank.RowCount());
+}

@@ -1,0 +1,21 @@
+// ANALYZE-AS: tests/borrow/borrow_helpers.h
+// Owner types shared by the borrow fixtures. SnapshotBank is the
+// canonical generation-managed owner: OWNS_VIEWS on the class head puts
+// its pointer accessors under the LIFETIME_BOUND contract, and Row() is
+// annotated, so this header itself is clean.
+
+class SnapshotBank {  // SNOR_OWNS_VIEWS
+ public:
+  // LIFETIME_BOUND: rows die at the next LoadSnapshot / swap.
+  const float* Row(std::size_t i) const { return &data_[i * 16]; }
+  void LoadSnapshot(const char* tag);
+  void swap(SnapshotBank& other);
+  std::size_t RowCount() const { return data_.size() / 16; }
+
+ private:
+  std::vector<float> data_;
+};
+
+void RefreshBank(SnapshotBank& bank);
+void ReloadEverything(SnapshotBank& bank);
+void LogBankStats(SnapshotBank& bank);

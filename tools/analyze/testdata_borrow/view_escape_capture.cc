@@ -1,0 +1,29 @@
+// ANALYZE-AS: tests/borrow/view_escape_capture.cc
+// A view captured by reference into a ParallelFor worker crosses onto
+// other threads — if another thread swaps the snapshot mid-batch the
+// workers read freed memory. Taking the view INSIDE the worker is the
+// sanctioned SoA pattern.
+
+#include "borrow_helpers.h"
+
+void ScoreAll(const SnapshotBank& bank, std::vector<float>& out) {
+  const float* row = bank.Row(0);
+  ParallelFor(0, out.size(), [&](std::size_t i) {
+    out[i] = row[i];  // EXPECT-ANALYZE: view-escape
+  });
+}
+
+void EnqueueScore(const SnapshotBank& bank, std::vector<float>& out) {
+  const float* row = bank.Row(0);
+  Submit([&]() {
+    out[0] = row[0];  // EXPECT-ANALYZE: view-escape
+  });
+}
+
+// Per-worker views taken inside the body never cross the dispatch.
+void ScoreAllSafe(const SnapshotBank& bank, std::vector<float>& out) {
+  ParallelFor(0, out.size(), [&](std::size_t i) {
+    const float* row = bank.Row(i);
+    out[i] = row[0];
+  });
+}

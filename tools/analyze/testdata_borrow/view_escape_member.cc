@@ -1,0 +1,39 @@
+// ANALYZE-AS: tests/borrow/view_escape_member.cc
+// Views stored into class members outlive the borrow unless the member
+// is OWNS_VIEWS-sanctioned generation-managed storage.
+
+#include "borrow_helpers.h"
+
+class RowCache {
+ public:
+  void Remember(const SnapshotBank& bank, std::size_t i) {
+    row_ = bank.Row(i);  // EXPECT-ANALYZE: view-escape
+  }
+
+  void RememberData(const std::vector<float>& samples) {
+    this->base_ = samples.data();  // EXPECT-ANALYZE: view-escape
+  }
+
+  // Storing a value (size_t) is not an escape: ReturnsView("size") is
+  // false, so the candidate dies in pass 2.
+  void RememberCount(const std::vector<float>& samples) {
+    count_ = samples.size();
+  }
+
+ private:
+  const float* row_ = nullptr;
+  const float* base_ = nullptr;
+  std::size_t count_ = 0;
+};
+
+class HotRowCache {
+ public:
+  // Sanctioned storage: re-derived on every snapshot swap, so the store
+  // is the OWNS_VIEWS pattern, not an escape.
+  void Refresh(const SnapshotBank& bank) {
+    hot_row_ = bank.Row(0);
+  }
+
+ private:
+  const float* hot_row_ = nullptr;  // SNOR_OWNS_VIEWS: generation-managed.
+};

@@ -1,0 +1,15 @@
+// ANALYZE-AS: tests/borrow/view_escape_static.cc
+// A view bound to a static outlives every generation of its owner.
+
+#include "borrow_helpers.h"
+
+float FirstRowSum(const SnapshotBank& bank) {
+  static const float* cached_row = bank.Row(0);  // EXPECT-ANALYZE: view-escape
+  return cached_row[0];
+}
+
+// A static copy of the element value is fine — nothing is borrowed.
+float FirstRowValue(const SnapshotBank& bank) {
+  static float cached_value = bank.Row(0)[0];
+  return cached_value;
+}

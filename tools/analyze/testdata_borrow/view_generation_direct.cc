@@ -1,0 +1,31 @@
+// ANALYZE-AS: tests/borrow/view_generation_direct.cc
+// Direct generation boundaries: LoadSnapshot / std::swap / reassignment
+// of the owner invalidate every outstanding view.
+
+#include "borrow_helpers.h"
+
+float StaleAfterLoad(SnapshotBank& bank) {
+  const float* row = bank.Row(3);
+  bank.LoadSnapshot("nightly");
+  return row[0];  // EXPECT-ANALYZE: view-generation
+}
+
+float StaleAfterSwap(SnapshotBank& bank, SnapshotBank& other) {
+  const float* row = bank.Row(3);
+  std::swap(bank, other);
+  return row[0];  // EXPECT-ANALYZE: view-generation
+}
+
+float StaleAfterReassign(SnapshotBank& bank, const SnapshotBank& next) {
+  const float* row = bank.Row(2);
+  bank = next;
+  return row[0];  // EXPECT-ANALYZE: view-generation
+}
+
+// Re-deriving the view after the boundary is the sanctioned pattern.
+float RederivedAfterLoad(SnapshotBank& bank) {
+  const float* row = bank.Row(3);
+  bank.LoadSnapshot("nightly");
+  row = bank.Row(3);
+  return row[0];
+}

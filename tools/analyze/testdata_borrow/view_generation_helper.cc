@@ -1,0 +1,26 @@
+// ANALYZE-AS: tests/borrow/view_generation_helper.cc
+// Generation kills through helper calls, resolved against the cross-TU
+// kills-closure (borrow_helpers.cc): RefreshBank kills directly,
+// ReloadEverything kills one forwarding hop away, LogBankStats reads
+// only and must not fire.
+
+#include "borrow_helpers.h"
+
+float StaleAfterRefresh(SnapshotBank& bank) {
+  const float* row = bank.Row(1);
+  RefreshBank(bank);
+  return row[0];  // EXPECT-ANALYZE: view-generation
+}
+
+float StaleAfterReload(SnapshotBank& bank) {
+  const float* row = bank.Row(1);
+  ReloadEverything(bank);
+  return row[0];  // EXPECT-ANALYZE: view-generation
+}
+
+// Read-only helpers are not in the kills-closure.
+float FreshAfterPeek(SnapshotBank& bank) {
+  const float* row = bank.Row(1);
+  LogBankStats(bank);
+  return row[0];
+}

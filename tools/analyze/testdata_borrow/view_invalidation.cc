@@ -1,0 +1,31 @@
+// ANALYZE-AS: tests/borrow/view_invalidation.cc
+// Container mutators (push_back/clear/erase/…) may reallocate, stale-
+// ing element pointers and iterators taken before the call.
+
+float GrowthInvalidates(std::vector<float>& samples) {
+  const float* first = &samples[0];
+  samples.push_back(1.0f);
+  return first[0];  // EXPECT-ANALYZE: view-invalidation
+}
+
+float IteratorAfterClear(std::vector<float>& samples) {
+  auto it = samples.begin();
+  samples.clear();
+  return *it;  // EXPECT-ANALYZE: view-invalidation
+}
+
+// The erase-returns-next idiom rebinds the iterator before any use.
+void EraseLoopIdiom(std::vector<float>& samples) {
+  auto it = samples.begin();
+  while (it != samples.end()) {
+    it = samples.erase(it);
+  }
+}
+
+// Uses that finish before the mutation are fine.
+float UseBeforeGrowth(std::vector<float>& samples) {
+  const float* first = &samples[0];
+  const float sum = first[0];
+  samples.push_back(sum);
+  return sum;
+}

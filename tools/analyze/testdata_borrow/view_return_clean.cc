@@ -1,0 +1,32 @@
+// ANALYZE-AS: tests/borrow/view_return_clean.cc
+// View-shaped returns that must NOT be flagged: annotated contracts
+// (comment and macro form), string-literal switches (static storage),
+// and pointer returns outside OWNS_VIEWS classes.
+
+// LIFETIME_BOUND: the returned view dies with `name`.
+std::string_view BoundLabel(const std::string& name) {
+  return std::string_view(name);
+}
+
+class AnnotatedBank {  // SNOR_OWNS_VIEWS
+ public:
+  const float* Row(std::size_t i) const SNOR_LIFETIME_BOUND { return &data_[i]; }
+
+ private:
+  std::vector<float> data_;
+};
+
+// String-literal switches return static storage, not borrows.
+std::string_view StageName(int stage) {
+  switch (stage) {
+    case 0: return "ingest";
+    case 1: return "rank";
+  }
+  return "unknown";
+}
+
+// Pointer returns on plain classes are factory/tag lookups, not views.
+const char* GreetingFor(int kind) {
+  static const char buffer[] = "hello";
+  return buffer;
+}

@@ -1,0 +1,19 @@
+// ANALYZE-AS: tests/borrow/view_return_flagged.cc
+// Un-annotated view-shaped returns. span/string_view are views by type
+// anywhere; raw pointers count on OWNS_VIEWS classes.
+
+std::string_view PendingLabel(const std::string& name) {  // EXPECT-ANALYZE: view-return
+  return std::string_view(name);
+}
+
+std::span<const float> PendingRows(const std::vector<float>& v) {  // EXPECT-ANALYZE: view-return
+  return std::span<const float>(v.data(), v.size());
+}
+
+class UnboundBank {  // SNOR_OWNS_VIEWS
+ public:
+  const float* Row(std::size_t i) const { return &data_[i]; }  // EXPECT-ANALYZE: view-return
+
+ private:
+  std::vector<float> data_;
+};

@@ -39,6 +39,13 @@
 //                       telemetry.emplace_back keys become JSON keys
 //                       in BENCH_<name>.json and must be lowercase
 //                       snake_case.
+//   annotation-typo     A token one typo away from the borrow-annotation
+//                       vocabulary (util/thread_annotations.h): a missing
+//                       or misplaced underscore, a dropped letter. A
+//                       typo'd macro in code fails to compile, but the
+//                       comment form of the markers (and macro mentions
+//                       in comments) silently drops the annotation —
+//                       snor_analyze would simply never see it.
 //
 // Suppression: `// NOLINT`, `// NOLINT(rule)` on the offending line or
 // `// NOLINTNEXTLINE(rule)` on the line above. Intentional Status
@@ -641,6 +648,87 @@ void CheckSpanMetricNames(const SourceFile& file, std::vector<Violation>* out) {
   }
 }
 
+// ------------------------------------------------------ annotation typos --
+
+// The borrow-annotation vocabulary (util/thread_annotations.h). Assembled
+// at runtime so this file's own literals never read as the markers they
+// police.
+const std::vector<std::string>& AnnotationMacros() {
+  static const std::vector<std::string> kMacros = {
+      std::string("SNOR_LIFETIME") + "_BOUND",
+      std::string("SNOR_OWNS") + "_VIEWS",
+  };
+  return kMacros;
+}
+
+// Lowercased, underscores removed: the canonical form used to detect
+// misplaced/missing underscores.
+std::string FoldAnnotation(std::string_view token) {
+  std::string out;
+  for (char c : token) {
+    if (c != '_') {
+      out.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  return out;
+}
+
+// True when `a` can be turned into `b` with at most one insert, delete,
+// or substitute.
+bool WithinOneEdit(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) return WithinOneEdit(b, a);
+  if (b.size() - a.size() > 1) return false;
+  std::size_t i = 0;
+  while (i < a.size() && a[i] == b[i]) ++i;
+  if (a.size() == b.size()) {
+    return a.substr(i + 1) == b.substr(i + 1);  // One substitution.
+  }
+  return a.substr(i) == b.substr(i + 1);  // One insertion into `a`.
+}
+
+void CheckAnnotationTypos(const SourceFile& file, std::vector<Violation>* out) {
+  // Scan the RAW lines: the dangerous typos live in comments, where the
+  // analyzer's comment-form markers are spelled, and where a typo cannot
+  // fail compilation.
+  for (std::size_t li = 0; li < file.raw.size(); ++li) {
+    const std::string& line = file.raw[li];
+    const int lineno = static_cast<int>(li) + 1;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (!IsIdentStart(line[i]) || (i > 0 && IsIdentChar(line[i - 1]))) {
+        continue;
+      }
+      std::size_t j = i;
+      while (j < line.size() && IsIdentChar(line[j])) ++j;
+      const std::string token = line.substr(i, j - i);
+      i = j;
+      bool macro_like = true;  // Markers are ALL_CAPS; skip prose/camelCase.
+      for (char c : token) {
+        if (std::islower(static_cast<unsigned char>(c))) macro_like = false;
+      }
+      if (!macro_like) continue;
+      for (const std::string& macro : AnnotationMacros()) {
+        const std::string marker = macro.substr(5);  // Comment form.
+        if (token == macro || token == marker) break;  // Exact: fine.
+        const bool prefixed = token.compare(0, 5, macro.substr(0, 5)) == 0;
+        const bool typo =
+            prefixed ? (FoldAnnotation(token) == FoldAnnotation(macro) ||
+                        WithinOneEdit(token, macro))
+                     : FoldAnnotation(token) == FoldAnnotation(marker);
+        if (!typo) continue;
+        if (!file.Suppressed(lineno, "annotation-typo")) {
+          out->push_back({file.path, lineno, "annotation-typo",
+                          "`" + token + "` looks like a misspelling of `" +
+                              (prefixed ? macro : marker) +
+                              "`; the annotation would be silently "
+                              "ignored by snor_analyze"});
+        }
+        break;
+      }
+    }
+  }
+}
+
 void CheckIncludeGuard(const SourceFile& file, std::vector<Violation>* out) {
   if (!file.IsHeader()) return;
   if (file.Suppressed(1, "include-guard")) return;
@@ -847,6 +935,7 @@ void CheckFile(const SourceFile& file, const std::set<std::string>& registry,
   CheckMissingNodiscard(file, out);
   CheckDiscardedCalls(file, registry, out);
   CheckSpanMetricNames(file, out);
+  CheckAnnotationTypos(file, out);
 }
 
 bool IsSourcePath(const fs::path& p) {

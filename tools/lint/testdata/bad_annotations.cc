@@ -1,0 +1,17 @@
+// Misspelled borrow-annotation vocabulary: each typo below would be
+// silently ignored by snor_analyze (the comment form of the markers
+// never fails compilation), so the linter must catch it.
+
+class FakeBank {  // SNOR_OWNSVIEWS  // EXPECT-LINT: annotation-typo
+ public:
+  const float* Row(int i) const;  // SNOR_LIFETIMEBOUND  // EXPECT-LINT: annotation-typo
+  // OWNSVIEWS: generation-managed storage.  // EXPECT-LINT: annotation-typo
+  // LIFETIMEBOUND on the accessor above.  // EXPECT-LINT: annotation-typo
+  const float* cached_ = nullptr;
+};
+
+// One edit away also counts:
+// SNOR_OWN_VIEWS  // EXPECT-LINT: annotation-typo
+
+// The exact spellings pass: SNOR_LIFETIME_BOUND and SNOR_OWNS_VIEWS as
+// macros, LIFETIME_BOUND and OWNS_VIEWS as comment markers.

@@ -47,13 +47,18 @@ cmake --build --preset check -j
 ctest --preset check -j
 ./build-check/tools/lint/snor_lint --root .
 
-echo "== analyze: layering + dataflow + whole-program concurrency (SARIF) =="
-# Blocking: any non-baselined finding fails the run. The SARIF file is
-# the machine-readable artifact for CI annotation upload. The summary
-# cache under build-check/analyze-cache makes repeat runs incremental;
-# the timed cold/warm pair below also gates the incrementality itself
-# (a warm run that re-summarizes anything means content-hash keying
-# broke).
+echo "== analyze: layering + dataflow + concurrency + borrow (SARIF) =="
+# Blocking: any non-baselined finding fails the run — including the
+# borrowed-view lifetime/escape family (view-return / view-escape /
+# view-generation / view-invalidation), which gates the snapshot-swap
+# discipline on the SoA feature banks. The SARIF file is the
+# machine-readable artifact for CI annotation upload. The summary cache
+# under build-check/analyze-cache makes repeat runs incremental; the
+# timed cold/warm pair below also gates the incrementality itself (a
+# warm run that re-summarizes anything means content-hash keying broke).
+# The 64 MiB cache budget exercises LRU eviction on every CI run; the
+# tree's summaries fit well inside it, so the warm gate still demands a
+# 100% cache hit rate.
 analyze_cache=build-check/analyze-cache
 if [[ $analyze_clean -eq 1 ]]; then
   rm -rf "$analyze_cache"
@@ -61,11 +66,13 @@ fi
 cold_start=$(date +%s%N)
 ./build-check/tools/analyze/snor_analyze --root . \
     --cache-dir "$analyze_cache" \
+    --cache-max-bytes $((64 * 1024 * 1024)) \
     --sarif-out build-check/analyze.sarif
 cold_ms=$(( ($(date +%s%N) - cold_start) / 1000000 ))
 warm_start=$(date +%s%N)
 warm_out=$(./build-check/tools/analyze/snor_analyze --root . \
     --cache-dir "$analyze_cache" \
+    --cache-max-bytes $((64 * 1024 * 1024)) \
     --sarif-out build-check/analyze.sarif)
 warm_ms=$(( ($(date +%s%N) - warm_start) / 1000000 ))
 echo "$warm_out"
